@@ -1,0 +1,140 @@
+// A1 — ablations of the design choices DESIGN.md calls out:
+//   (a) raster resolution: localization accuracy vs storage (E6 axis);
+//   (b) particle count: marking-localizer accuracy vs update cost;
+//   (c) tile size: tile count vs duplicated-border overhead (E4 axis).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/statistics.h"
+#include "core/serialization.h"
+#include "core/tile_store.h"
+#include "localization/marking_localizer.h"
+#include "localization/raster_localizer.h"
+#include "sim/road_network_generator.h"
+#include "sim/sensors.h"
+
+namespace hdmap {
+namespace {
+
+int Run() {
+  bench::PrintHeader("A1", "Design-choice ablations",
+                     "raster resolution, particle count, tile size");
+
+  Rng rng(2301);
+  HighwayOptions hopt;
+  hopt.length = 2500.0;
+  hopt.curve_amplitude = 0.0;
+  hopt.sign_spacing = 100.0;
+  auto hw = GenerateHighway(hopt, rng);
+  if (!hw.ok()) return 1;
+  const Lanelet* lane = nullptr;
+  for (const auto& [id, ll] : hw->lanelets()) {
+    if (ll.predecessors.empty() && !ll.successors.empty()) {
+      lane = &ll;
+      break;
+    }
+  }
+  if (lane == nullptr) return 1;
+
+  // (a) Raster resolution ablation.
+  std::printf("  (a) raster resolution (drive on 2.5 km corridor):\n");
+  std::printf("      %-12s %-16s %-16s %-12s\n", "res (m)",
+              "median err (m)", "RLE size (KB)", "time (s)");
+  for (double res : {0.1, 0.25, 0.5, 1.0}) {
+    SemanticRaster raster = RasterizeMap(*hw, res);
+    RasterLocalizer::Options lopt;
+    lopt.filter.num_particles = 150;
+    lopt.patch_half_extent = 12.0;
+    RasterLocalizer loc(&raster, lopt);
+    Rng drive_rng(2400);
+    Pose2 truth(lane->centerline.PointAt(0.0),
+                lane->centerline.HeadingAt(0.0));
+    loc.Init(truth, 0.8, 0.03, drive_rng);
+    std::vector<double> errors;
+    bench::Timer timer;
+    const Lanelet* cur = lane;
+    while (cur != nullptr) {
+      for (double s = 10.0; s < cur->Length(); s += 10.0) {
+        Pose2 next(cur->centerline.PointAt(s),
+                   cur->centerline.HeadingAt(s));
+        double dist = next.translation.DistanceTo(truth.translation);
+        loc.Predict(dist, AngleDiff(next.heading, truth.heading),
+                    drive_rng);
+        truth = next;
+        loc.Update(BuildObservedPatch(raster, truth, 12.0, res, 0.15,
+                                      0.002, drive_rng),
+                   drive_rng);
+        errors.push_back(
+            loc.Estimate().translation.DistanceTo(truth.translation));
+      }
+      cur = cur->successors.empty()
+                ? nullptr
+                : hw->FindLanelet(cur->successors.front());
+    }
+    std::printf("      %-12.2f %-16.2f %-16.1f %-12.2f\n", res,
+                Median(errors), raster.SerializeRle().size() / 1024.0,
+                timer.Seconds());
+  }
+
+  // (b) Particle-count ablation for the marking localizer.
+  std::printf("\n  (b) particle count (marking localizer, 0.8 km):\n");
+  std::printf("      %-12s %-18s %-12s\n", "particles",
+              "mean lat err (m)", "time (s)");
+  MarkingScanner scanner({});
+  for (int particles : {50, 150, 400}) {
+    MarkingLocalizer::Options mopt;
+    mopt.filter.num_particles = particles;
+    MarkingLocalizer localizer(&*hw, mopt);
+    Rng drive_rng(2500);
+    Pose2 truth(lane->centerline.PointAt(0.0),
+                lane->centerline.HeadingAt(0.0));
+    localizer.Init(truth, 0.8, 0.03, drive_rng);
+    RunningStats lat_err;
+    bench::Timer timer;
+    for (double s = 5.0; s < std::min(800.0, lane->Length()); s += 5.0) {
+      Pose2 next(lane->centerline.PointAt(s),
+                 lane->centerline.HeadingAt(s));
+      double dist = next.translation.DistanceTo(truth.translation);
+      localizer.Predict(dist, AngleDiff(next.heading, truth.heading),
+                        drive_rng);
+      truth = next;
+      localizer.Update(scanner.Scan(*hw, truth, drive_rng), drive_rng);
+      LineStringProjection proj =
+          lane->centerline.Project(localizer.Estimate().translation);
+      LineStringProjection truth_proj =
+          lane->centerline.Project(truth.translation);
+      lat_err.Add(std::abs(proj.signed_offset - truth_proj.signed_offset));
+    }
+    std::printf("      %-12d %-18.3f %-12.2f\n", particles, lat_err.mean(),
+                timer.Seconds());
+  }
+
+  // (c) Tile-size ablation: smaller tiles mean finer update granularity
+  // but more duplicated border elements.
+  std::printf("\n  (c) tile size (town map):\n");
+  std::printf("      %-12s %-10s %-16s %-18s\n", "tile (m)", "tiles",
+              "total bytes (KB)", "duplication factor");
+  Rng town_rng(2601);
+  TownOptions topt;
+  topt.grid_rows = 4;
+  topt.grid_cols = 4;
+  auto town = GenerateTown(topt, town_rng);
+  if (!town.ok()) return 1;
+  size_t base_bytes = SerializeMap(*town).size();
+  for (double tile : {64.0, 128.0, 256.0, 512.0}) {
+    TileStore store(tile);
+    store.Build(*town);
+    std::printf("      %-12.0f %-10zu %-16.1f %-18.2f\n", tile,
+                store.NumTiles(), store.TotalBytes() / 1024.0,
+                static_cast<double>(store.TotalBytes()) / base_bytes);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hdmap
+
+int main() { return hdmap::Run(); }

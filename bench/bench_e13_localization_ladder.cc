@@ -1,0 +1,106 @@
+// E13 — the localization accuracy ladder of §III-1 ([50], [54], [59]):
+// GPS alone gives meter-level fixes; fusing odometry + map landmarks in
+// an EKF reaches sub-meter; marking-based map matching reaches
+// lane-level (decimeter) lateral accuracy; lane identification with
+// integrity rides on top.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/statistics.h"
+#include "localization/ekf_localizer.h"
+#include "localization/lane_matcher.h"
+#include "localization/marking_localizer.h"
+#include "sim/sensors.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+int Run() {
+  bench::PrintHeader(
+      "E13", "Localization ladder: GPS -> EKF -> marking PF [50,54,59]",
+      "meter-level GPS, sub-meter map-EKF, lane-level (dm) marking "
+      "matching; lane identity with integrity");
+
+  HdMap map = StraightRoad(1500.0, 50.0);
+  Rng rng(1901);
+  GpsSensor gps({1.6, 1.0, 0.005}, rng);
+  OdometrySensor odo({});
+  LandmarkDetector detector({});
+  MarkingScanner scanner({});
+
+  EkfLocalizer ekf(&map, {});
+  MarkingLocalizer::Options mopt;
+  mopt.filter.num_particles = 250;
+  MarkingLocalizer marking(&map, mopt);
+  LaneMatcher matcher(&map, {});
+
+  Pose2 truth(10.0, -1.75, 0.0);
+  ekf.Init(truth, 0.5, 0.02);
+  marking.Init(truth, 0.5, 0.02, rng);
+
+  RunningStats gps_err, ekf_err, marking_lat, marking_total;
+  int lane_correct = 0, lane_total = 0, with_integrity = 0;
+  for (int step = 0; step < 600; ++step) {
+    Pose2 next(truth.translation + Vec2{2.0, 0.0}, 0.0);
+    auto delta = odo.Measure(truth, next, rng);
+    truth = next;
+    Vec2 fix = gps.Measure(truth.translation, rng);
+
+    ekf.Predict(delta.distance, delta.heading_change);
+    ekf.UpdateGps(fix);
+    ekf.UpdateLandmarks(detector.Detect(map, truth, rng));
+
+    marking.Predict(delta.distance, delta.heading_change, rng);
+    marking.Update(scanner.Scan(map, truth, rng), rng);
+
+    auto lane = matcher.Step(ekf.estimate().translation,
+                             ekf.estimate().heading, delta.distance);
+
+    if (step > 50) {
+      gps_err.Add(fix.DistanceTo(truth.translation));
+      ekf_err.Add(ekf.estimate().translation.DistanceTo(truth.translation));
+      marking_lat.Add(
+          std::abs(marking.Estimate().translation.y - truth.translation.y));
+      marking_total.Add(
+          marking.Estimate().translation.DistanceTo(truth.translation));
+      ++lane_total;
+      if (lane.has_integrity) ++with_integrity;
+      const Lanelet* ll = map.FindLanelet(lane.lanelet_id);
+      if (ll != nullptr &&
+          std::abs(ll->centerline.Project(truth.translation).signed_offset) <
+              1.75) {
+        ++lane_correct;
+      }
+    }
+  }
+
+  bench::PrintRow("GPS-only mean error (m)", "meters",
+                  bench::Fmt("%.2f", gps_err.mean()));
+  bench::PrintRow("EKF (GPS+odom+landmarks) mean error (m)", "sub-meter",
+                  bench::Fmt("%.2f", ekf_err.mean()));
+  bench::PrintRow("marking-PF lateral error (m)", "lane-level (dm)",
+                  bench::Fmt("%.2f", marking_lat.mean()));
+  bench::PrintRow("marking-PF total error (m)", "(long. weaker on hwys)",
+                  bench::Fmt("%.2f", marking_total.mean()));
+  bench::PrintRow("lane identification rate", "high",
+                  bench::Fmt("%.1f%%", 100.0 * lane_correct /
+                                           std::max(1, lane_total)));
+  bench::PrintRow("steps with integrity flag", "reported",
+                  bench::Fmt("%.1f%%", 100.0 * with_integrity /
+                                           std::max(1, lane_total)));
+  std::printf("\n");
+  bool ladder = ekf_err.mean() < gps_err.mean() &&
+                marking_lat.mean() < ekf_err.mean();
+  bench::PrintRow("ladder ordering GPS > EKF > marking(lat)", "holds",
+                  ladder ? "holds" : "NO");
+  std::printf("\n");
+  return ladder ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hdmap
+
+int main() { return hdmap::Run(); }

@@ -1,0 +1,175 @@
+// E3 — Pannen et al. [42, 44]: keeping HD maps up to date with a boosted
+// change classifier over fleet (FCD) localization-health data.
+// Paper: multi-traversal classification reaches 98.7% sensitivity /
+// 81.2% specificity, far beyond single-traversal methods
+// (evaluated on 300 traversals over 7 construction sites).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/statistics.h"
+#include "maintenance/change_detector.h"
+#include "sim/sensors.h"
+
+namespace hdmap {
+namespace {
+
+/// A 200 m straight road section with center marking and road edges.
+HdMap MakeSection() {
+  HdMap map;
+  ElementId next = 1;
+  auto line = [&](double y, LineType type, double refl) {
+    LineFeature lf;
+    lf.id = next++;
+    lf.type = type;
+    lf.reflectivity = refl;
+    std::vector<Vec2> pts;
+    for (double x = 0.0; x <= 200.0; x += 5.0) pts.push_back({x, y});
+    lf.geometry = LineString(std::move(pts));
+    (void)map.AddLineFeature(std::move(lf));
+    return next - 1;
+  };
+  line(3.5, LineType::kRoadEdge, 0.3);
+  line(0.0, LineType::kSolidLaneMarking, 0.85);
+  line(-3.5, LineType::kRoadEdge, 0.3);
+  Lanelet ll;
+  ll.id = next++;
+  ll.centerline = LineString({{0, -1.75}, {200, -1.75}});
+  (void)map.AddLanelet(std::move(ll));
+  return map;
+}
+
+/// Applies a construction-site repaint: the center marking shifts
+/// laterally inside [60 m, 140 m].
+void ApplyConstruction(HdMap* world, double shift) {
+  for (const auto& [id, lf] : world->line_features()) {
+    if (lf.type != LineType::kSolidLaneMarking) continue;
+    LineFeature moved = lf;
+    std::vector<Vec2> pts;
+    for (const Vec2& p : lf.geometry.points()) {
+      double s = p.x;
+      double f = 0.0;
+      if (s >= 60.0 && s <= 140.0) {
+        double rel = (s - 60.0) / 80.0;
+        f = std::min({rel * 4.0, (1.0 - rel) * 4.0, 1.0});
+      }
+      pts.push_back({p.x, p.y + shift * f});
+    }
+    moved.geometry = LineString(std::move(pts));
+    (void)world->ReplaceLineFeature(std::move(moved));
+    return;
+  }
+}
+
+/// Extracts the FCD localization-health features of one traversal of a
+/// section: scan-to-map residual statistics at GPS-grade pose estimates.
+SectionFeatures Traverse(const HdMap& world, const HdMap& map, Rng& rng) {
+  MarkingScanner::Options sopt;
+  sopt.road_surface_points = 40;
+  sopt.max_range = 20.0;
+  MarkingScanner scanner(sopt);
+
+  int inliers = 0, total = 0;
+  RunningStats residuals;
+  std::vector<double> corrections;
+  for (double x = 20.0; x <= 180.0; x += 20.0) {
+    Pose2 truth(x, -1.75, 0.0);
+    Pose2 estimated(truth.translation + Vec2{rng.Normal(0.0, 0.4),
+                                             rng.Normal(0.0, 0.4)},
+                    rng.Normal(0.0, 0.004));
+    auto scan = scanner.Scan(world, truth, rng);
+    RunningStats signed_lat;
+    for (const MarkingPoint& p : scan) {
+      if (p.intensity < 0.5) continue;
+      Vec2 w = estimated.TransformPoint(p.position_vehicle);
+      double best = 2.0;
+      double best_signed = 0.0;
+      for (ElementId id : map.LineFeaturesInBox(Aabb::FromPoint(w, 3.0))) {
+        const LineFeature* lf = map.FindLineFeature(id);
+        if (lf == nullptr) continue;
+        auto proj = lf->geometry.Project(w);
+        if (proj.distance < best) {
+          best = proj.distance;
+          best_signed = proj.signed_offset;
+        }
+      }
+      ++total;
+      residuals.Add(best);
+      if (best <= 0.4) ++inliers;
+      signed_lat.Add(best_signed);
+    }
+    corrections.push_back(signed_lat.count() > 0 ? signed_lat.mean() : 0.0);
+  }
+  SectionFeatures f;
+  f.inlier_ratio =
+      total > 0 ? static_cast<double>(inliers) / total : 1.0;
+  f.mean_residual = residuals.mean();
+  RunningStats corr;
+  for (double c : corrections) corr.Add(c);
+  f.filter_spread = corr.stddev();
+  f.gps_disagreement = std::abs(corr.mean());
+  return f;
+}
+
+int Run() {
+  bench::PrintHeader(
+      "E3", "Boosted HD-map change detection from FCD [42,44]",
+      "multi-traversal: 98.7% sensitivity / 81.2% specificity; "
+      "single-traversal clearly worse (300 traversals, 7 sites)");
+
+  Rng rng(801);
+  HdMap map = MakeSection();
+
+  // Training set: 40 labeled sections x 4 traversals each.
+  std::vector<LabeledSection> train;
+  for (int sec = 0; sec < 40; ++sec) {
+    bool changed = sec % 2 == 0;
+    HdMap world = map;
+    if (changed) ApplyConstruction(&world, rng.Uniform(0.8, 1.5));
+    for (int t = 0; t < 4; ++t) {
+      train.push_back({Traverse(world, map, rng), changed});
+    }
+  }
+  BoostedStumpClassifier classifier;
+  classifier.Train(train, 25);
+
+  // Evaluation: 7 construction sites + 21 stable sections, ~300 total
+  // traversals (as in the paper's setup).
+  BinaryConfusion single, multi;
+  int total_traversals = 0;
+  for (int sec = 0; sec < 28; ++sec) {
+    bool changed = sec < 7;
+    HdMap world = map;
+    if (changed) ApplyConstruction(&world, rng.Uniform(0.8, 1.5));
+    std::vector<SectionFeatures> traversals;
+    for (int t = 0; t < 11; ++t) {
+      traversals.push_back(Traverse(world, map, rng));
+      ++total_traversals;
+    }
+    for (const SectionFeatures& f : traversals) {
+      single.Add(classifier.Predict(f), changed);
+    }
+    multi.Add(ClassifySectionMultiTraversal(classifier, traversals),
+              changed);
+  }
+
+  bench::PrintRow("single-traversal sensitivity", "(lower)",
+                  bench::Fmt("%.1f%%", 100.0 * single.Sensitivity()));
+  bench::PrintRow("single-traversal specificity", "(lower)",
+                  bench::Fmt("%.1f%%", 100.0 * single.Specificity()));
+  bench::PrintRow("multi-traversal sensitivity", "98.7%",
+                  bench::Fmt("%.1f%%", 100.0 * multi.Sensitivity()));
+  bench::PrintRow("multi-traversal specificity", "81.2%",
+                  bench::Fmt("%.1f%%", 100.0 * multi.Specificity()));
+  std::printf("  evaluation: %d traversals over 7 changed + 21 stable "
+              "sections; %zu boosted stumps\n\n",
+              total_traversals, classifier.stumps().size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace hdmap
+
+int main() { return hdmap::Run(); }

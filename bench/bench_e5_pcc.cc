@@ -1,0 +1,106 @@
+// E5 — Chu et al. [61]: predictive cruise control with HD-map slope
+// data. Paper: 8.73% fuel saving vs a factory adaptive cruise control
+// over a 370 km route, at comparable travel time.
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "planning/pcc.h"
+#include "sim/road_network_generator.h"
+
+namespace hdmap {
+namespace {
+
+/// Builds a 370 km slope profile by sampling a generated hilly highway
+/// and tiling its grade pattern (generating 370 km of map geometry
+/// directly would only repeat the same statistics).
+SlopeProfile Build370kmProfile(Rng& rng) {
+  HighwayOptions opt;
+  opt.length = 30000.0;
+  opt.hill_amplitude = 35.0;
+  opt.hill_wavelength = 2600.0;
+  opt.curve_amplitude = 0.05;
+  opt.sign_spacing = 1e9;
+  auto hw = GenerateHighway(opt, rng);
+  SlopeProfile profile;
+  profile.station_step = 50.0;
+  if (!hw.ok()) return profile;
+  std::vector<ElementId> route;
+  for (const auto& [id, ll] : hw->lanelets()) {
+    if (ll.predecessors.empty() && !ll.successors.empty()) {
+      ElementId cur = id;
+      while (cur != kInvalidId) {
+        route.push_back(cur);
+        const Lanelet* l = hw->FindLanelet(cur);
+        cur = l->successors.empty() ? kInvalidId : l->successors.front();
+      }
+      break;
+    }
+  }
+  auto base = BuildSlopeProfile(*hw, route, 50.0);
+  if (!base.ok()) return profile;
+  while (profile.Length() < 370000.0) {
+    for (double g : base->grades) {
+      profile.grades.push_back(g);
+      if (profile.Length() >= 370000.0) break;
+    }
+  }
+  return profile;
+}
+
+int Run() {
+  bench::PrintHeader("E5",
+                     "Predictive cruise control from HD-map slopes [61]",
+                     "8.73% fuel saving vs factory ACC over a 370 km "
+                     "route");
+
+  Rng rng(1001);
+  SlopeProfile profile = Build370kmProfile(rng);
+  if (profile.grades.empty()) return 1;
+  FuelModel model;
+  PccOptions opt;
+  opt.set_speed = 22.2;  // 80 km/h.
+
+  bench::Timer timer;
+  PccResult acc = SimulateConstantSpeed(profile, model, opt.set_speed);
+  PccResult pcc = OptimizePcc(profile, model, opt);
+  double solve_s = timer.Seconds();
+
+  double saving =
+      (acc.total_fuel_g - pcc.total_fuel_g) / acc.total_fuel_g * 100.0;
+  bench::PrintRow("route length (km)", "370",
+                  bench::Fmt("%.0f", profile.Length() / 1000.0));
+  bench::PrintRow("ACC fuel (kg)", "(baseline)",
+                  bench::Fmt("%.2f", acc.total_fuel_g / 1000.0));
+  bench::PrintRow("PCC fuel (kg)", "(lower)",
+                  bench::Fmt("%.2f", pcc.total_fuel_g / 1000.0));
+  bench::PrintRow("fuel saving", "8.73%", bench::Fmt("%.2f%%", saving));
+  bench::PrintRow("trip time change", "comparable",
+                  bench::Fmt("%+.1f%%", (pcc.total_time_s / acc.total_time_s -
+                                         1.0) *
+                                            100.0));
+  bench::PrintRow("DP solve time (s)", "(real-time capable)",
+                  bench::Fmt("%.2f", solve_s));
+
+  // Speed-band ablation: wider bands unlock more savings.
+  std::printf("\n  speed-band ablation:\n    %-10s %-12s\n", "band",
+              "saving (%)");
+  for (double band : {0.05, 0.10, 0.15}) {
+    PccOptions ab = opt;
+    ab.speed_band = band;
+    PccResult r = OptimizePcc(profile, model, ab);
+    std::printf("    +-%.0f%%      %.2f\n", band * 100.0,
+                (acc.total_fuel_g - r.total_fuel_g) / acc.total_fuel_g *
+                    100.0);
+  }
+  std::printf("\n");
+  return saving > 0.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hdmap
+
+int main() { return hdmap::Run(); }

@@ -1,0 +1,113 @@
+// E7 — Zheng & Wang [49]: geometric analysis of map-feature influence on
+// localization. Paper: position error is driven primarily by feature
+// count and feature distance — abundant, close, well-spread features
+// give the best estimates.
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "localization/triangulation.h"
+
+namespace hdmap {
+namespace {
+
+std::vector<Vec2> Ring(int count, double radius, Rng& rng) {
+  std::vector<Vec2> lms;
+  for (int i = 0; i < count; ++i) {
+    double a = 2.0 * std::numbers::pi * i / count + rng.Uniform(-0.2, 0.2);
+    double r = radius * rng.Uniform(0.85, 1.15);
+    lms.push_back({r * std::cos(a), r * std::sin(a)});
+  }
+  return lms;
+}
+
+/// Monte-Carlo empirical fix error for the given layout.
+double EmpiricalError(const std::vector<Vec2>& landmarks, double sigma0,
+                      double growth, Rng& rng) {
+  RunningStats err;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<RangeObservation> obs;
+    for (const Vec2& lm : landmarks) {
+      double dist = lm.Norm();
+      double sigma = sigma0 * (1.0 + growth * dist);
+      obs.push_back({lm, dist + rng.Normal(0.0, sigma)});
+    }
+    auto fix = TriangulatePosition(obs);
+    if (fix.ok()) err.Add(fix->Norm());  // True position is the origin.
+  }
+  return err.mean();
+}
+
+int Run() {
+  bench::PrintHeader(
+      "E7", "Geometric analysis of feature influence on localization [49]",
+      "error falls with feature count, rises with feature distance; "
+      "spread features beat clustered ones");
+
+  Rng rng(1201);
+  const double kSigma = 0.3;
+  const double kGrowth = 0.02;
+
+  std::printf("  sweep 1 — feature count (ring at 25 m):\n");
+  std::printf("    %-8s %-22s %-20s\n", "count", "predicted sigma (m)",
+              "empirical error (m)");
+  double prev_pred = 1e9;
+  bool count_monotone = true;
+  for (int count : {3, 4, 6, 9, 14, 20}) {
+    auto lms = Ring(count, 25.0, rng);
+    double pred = PredictedPositionSigma({0, 0}, lms, kSigma, kGrowth);
+    double emp = EmpiricalError(lms, kSigma, kGrowth, rng);
+    std::printf("    %-8d %-22.3f %-20.3f\n", count, pred, emp);
+    if (pred > prev_pred) count_monotone = false;
+    prev_pred = pred;
+  }
+  bench::PrintRow("error falls with feature count", "yes",
+                  count_monotone ? "yes (monotone)" : "mostly");
+
+  std::printf("\n  sweep 2 — feature distance (6 features):\n");
+  std::printf("    %-10s %-22s %-20s\n", "radius", "predicted sigma (m)",
+              "empirical error (m)");
+  prev_pred = 0.0;
+  bool dist_monotone = true;
+  for (double radius : {10.0, 20.0, 40.0, 60.0, 80.0}) {
+    auto lms = Ring(6, radius, rng);
+    double pred = PredictedPositionSigma({0, 0}, lms, kSigma, kGrowth);
+    double emp = EmpiricalError(lms, kSigma, kGrowth, rng);
+    std::printf("    %-10.0f %-22.3f %-20.3f\n", radius, pred, emp);
+    if (pred < prev_pred) dist_monotone = false;
+    prev_pred = pred;
+  }
+  bench::PrintRow("error grows with feature distance", "yes",
+                  dist_monotone ? "yes (monotone)" : "mostly");
+
+  // Sweep 3: distribution — clustered vs spread at equal count/distance.
+  std::vector<Vec2> clustered;
+  for (int i = 0; i < 6; ++i) {
+    double a = rng.Uniform(-0.3, 0.3);  // All in one narrow bearing cone.
+    clustered.push_back({25.0 * std::cos(a), 25.0 * std::sin(a)});
+  }
+  auto spread = Ring(6, 25.0, rng);
+  double pred_clustered =
+      PredictedPositionSigma({0, 0}, clustered, kSigma, kGrowth);
+  double pred_spread =
+      PredictedPositionSigma({0, 0}, spread, kSigma, kGrowth);
+  std::printf("\n");
+  bench::PrintRow("clustered-bearing layout sigma (m)", "(worse)",
+                  bench::Fmt("%.3f", pred_clustered));
+  bench::PrintRow("spread (random) layout sigma (m)", "(better)",
+                  bench::Fmt("%.3f", pred_spread));
+  std::printf("\n");
+  return (count_monotone && dist_monotone && pred_spread < pred_clustered)
+             ? 0
+             : 1;
+}
+
+}  // namespace
+}  // namespace hdmap
+
+int main() { return hdmap::Run(); }

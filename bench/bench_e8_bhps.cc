@@ -1,0 +1,101 @@
+// E8 — Yang et al. [62]: lane-level bidirectional hybrid path search
+// (BHPS) on HD maps. Paper: the bidirectional hybrid search explores the
+// lane graph more efficiently than unidirectional search at equal route
+// quality.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/statistics.h"
+#include "planning/route_planner.h"
+#include "sim/road_network_generator.h"
+
+namespace hdmap {
+namespace {
+
+int Run() {
+  bench::PrintHeader("E8", "Bidirectional hybrid path search (BHPS) [62]",
+                     "fewer node expansions than unidirectional search at "
+                     "equal route cost");
+
+  Rng rng(1301);
+  TownOptions opt;
+  opt.grid_rows = 10;
+  opt.grid_cols = 10;
+  opt.lanes_per_direction = 2;
+  opt.block_size = 120.0;
+  opt.traffic_lights = false;  // Pure routing benchmark.
+  opt.crosswalks = false;
+  auto town = GenerateTown(opt, rng);
+  if (!town.ok()) return 1;
+  RoutingGraph graph = RoutingGraph::Build(*town);
+  std::printf("  lane graph: %zu nodes, %zu edges\n", graph.NumNodes(),
+              graph.NumEdges());
+
+  std::vector<ElementId> lanelet_ids;
+  for (const auto& [id, ll] : town->lanelets()) {
+    if (ll.Length() > 40.0) lanelet_ids.push_back(id);
+  }
+
+  struct Algo {
+    RouteAlgorithm algorithm;
+    const char* name;
+    RunningStats expansions;
+    RunningStats cost;
+    RunningStats micros;
+    int failures = 0;
+  };
+  std::vector<Algo> algos = {{RouteAlgorithm::kDijkstra, "Dijkstra", {}, {}, {}, 0},
+                             {RouteAlgorithm::kAStar, "A*", {}, {}, {}, 0},
+                             {RouteAlgorithm::kBhps, "BHPS", {}, {}, {}, 0}};
+
+  const int kQueries = 120;
+  for (int q = 0; q < kQueries; ++q) {
+    ElementId from = lanelet_ids[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int>(lanelet_ids.size()) - 1))];
+    ElementId to = lanelet_ids[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int>(lanelet_ids.size()) - 1))];
+    if (from == to) continue;
+    // Skip unroutable pairs (opposite one-way dead ends).
+    auto probe = PlanRoute(graph, from, to, RouteAlgorithm::kDijkstra);
+    if (!probe.ok()) continue;
+    for (Algo& algo : algos) {
+      bench::Timer timer;
+      auto route = PlanRoute(graph, from, to, algo.algorithm);
+      double us = timer.Seconds() * 1e6;
+      if (!route.ok()) {
+        ++algo.failures;
+        continue;
+      }
+      algo.expansions.Add(static_cast<double>(route->nodes_expanded));
+      algo.cost.Add(route->cost_seconds);
+      algo.micros.Add(us);
+    }
+  }
+
+  std::printf("\n  %-10s %-18s %-16s %-14s %s\n", "algorithm",
+              "mean expansions", "mean cost (s)", "mean time (us)",
+              "failures");
+  for (const Algo& algo : algos) {
+    std::printf("  %-10s %-18.1f %-16.2f %-14.1f %d\n", algo.name,
+                algo.expansions.mean(), algo.cost.mean(),
+                algo.micros.mean(), algo.failures);
+  }
+  double dijkstra_exp = algos[0].expansions.mean();
+  bench::PrintRow("BHPS expansions vs Dijkstra", "fewer",
+                  bench::Fmt("%.2fx", algos[2].expansions.mean() /
+                                          dijkstra_exp));
+  bench::PrintRow("BHPS route cost vs Dijkstra", "equal",
+                  bench::Fmt("%+.3f%%", (algos[2].cost.mean() /
+                                             algos[0].cost.mean() -
+                                         1.0) *
+                                            100.0));
+  std::printf("\n");
+  return algos[2].expansions.mean() < dijkstra_exp ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hdmap
+
+int main() { return hdmap::Run(); }

@@ -1,0 +1,86 @@
+// F1 — Fig. 1 (Matyus et al. [27]): image-based lane extraction fusing
+// aerial and ground-level imagery. Paper: fused road extraction error
+// 0.57 m vs 1.67 m for GPS+IMU alone; inference ~6 s/km.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/statistics.h"
+#include "creation/aerial_fusion.h"
+#include "sim/road_network_generator.h"
+#include "sim/sensors.h"
+
+namespace hdmap {
+namespace {
+
+int Run() {
+  bench::PrintHeader(
+      "F1 (Fig. 1)", "Aerial+ground cooperative lane extraction [27]",
+      "fused 0.57 m vs GPS+IMU 1.67 m average error; ~6 s/km inference");
+
+  Rng rng(101);
+  HighwayOptions opt;
+  opt.length = 8000.0;
+  opt.curve_amplitude = 0.1;
+  opt.sign_spacing = 1e9;  // No signs needed here.
+  auto hw = GenerateHighway(opt, rng);
+  if (!hw.ok()) return 1;
+
+  RunningStats aerial_errs, poses_errs, fused_errs;
+  double total_km = 0.0;
+  bench::Timer timer;
+
+  for (const auto& [id, lanelet] : hw->lanelets()) {
+    if (lanelet.Length() < 300.0) continue;
+    // Only forward-direction lanes (one side is enough for the figure).
+    if (lanelet.centerline.front().x > lanelet.centerline.back().x) continue;
+    total_km += lanelet.Length() / 1000.0;
+
+    // Phase 1-2: aerial decoding with a per-image georeferencing error.
+    AerialRoadEstimate aerial = DecodeAerialWithOffset(
+        lanelet, 0.5,
+        {rng.Normal(0.0, 1.2), rng.Normal(0.0, 1.2)});
+    aerial_errs.Add(CenterlineError(aerial.centerline, lanelet.centerline));
+
+    // Phase 3: ground-level lane detections from GPS+IMU vehicles.
+    std::vector<GroundObservation> ground;
+    for (int vehicle = 0; vehicle < 5; ++vehicle) {
+      GpsSensor gps({1.3, 1.1, 0.0}, rng);
+      for (double s = 0.0; s < lanelet.Length(); s += 10.0) {
+        GroundObservation obs;
+        Vec2 truth = lanelet.centerline.PointAt(s);
+        obs.estimated_pose =
+            Pose2(gps.Measure(truth, rng), lanelet.centerline.HeadingAt(s));
+        obs.detected_center_offset = rng.Normal(0.0, 0.12);
+        ground.push_back(obs);
+      }
+    }
+    poses_errs.Add(
+        CenterlineError(MapFromPosesOnly(ground), lanelet.centerline));
+
+    // Phase 4: cooperative fusion on the common grid.
+    fused_errs.Add(CenterlineError(FuseAerialAndGround(aerial, ground),
+                                   lanelet.centerline));
+  }
+
+  double seconds_per_km = timer.Seconds() / std::max(0.1, total_km);
+  bench::PrintRow("GPS+IMU-only mapping error (m)", "1.67",
+                  bench::Fmt("%.2f", poses_errs.mean()));
+  bench::PrintRow("aerial-only decoding error (m)", "(intermediate)",
+                  bench::Fmt("%.2f", aerial_errs.mean()));
+  bench::PrintRow("fused extraction error (m)", "0.57",
+                  bench::Fmt("%.2f", fused_errs.mean()));
+  bench::PrintRow("improvement factor fused vs GPS+IMU", "~2.9x",
+                  bench::Fmt("%.1fx", poses_errs.mean() /
+                                          std::max(1e-9, fused_errs.mean())));
+  bench::PrintRow("inference time (s/km)", "6",
+                  bench::Fmt("%.3f", seconds_per_km));
+  std::printf("  segments evaluated: %zu over %.1f km\n\n",
+              fused_errs.count(), total_km);
+  return fused_errs.mean() < poses_errs.mean() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hdmap
+
+int main() { return hdmap::Run(); }

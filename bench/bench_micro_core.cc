@@ -1,0 +1,178 @@
+// Micro-benchmarks of the core data structures (google-benchmark):
+// spatial indexes, lane matching, serialization, rasterization and
+// routing. These quantify the engineering costs behind the experiment
+// harness ("efficient data management" — the paper's §IV discussion).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/raster_layer.h"
+#include "core/serialization.h"
+#include "geometry/kd_tree.h"
+#include "geometry/r_tree.h"
+#include "planning/route_planner.h"
+#include "sim/road_network_generator.h"
+
+namespace hdmap {
+namespace {
+
+const HdMap& BenchTown() {
+  static const HdMap* map = [] {
+    Rng rng(7);
+    TownOptions opt;
+    opt.grid_rows = 6;
+    opt.grid_cols = 6;
+    opt.lanes_per_direction = 2;
+    return new HdMap(std::move(GenerateTown(opt, rng)).value());
+  }();
+  return *map;
+}
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<KdTree::Entry> entries;
+  for (int i = 0; i < state.range(0); ++i) {
+    entries.push_back({{rng.Uniform(0, 1000), rng.Uniform(0, 1000)}, i});
+  }
+  for (auto _ : state) {
+    KdTree tree(entries);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_KdTreeNearest(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<KdTree::Entry> entries;
+  for (int i = 0; i < state.range(0); ++i) {
+    entries.push_back({{rng.Uniform(0, 1000), rng.Uniform(0, 1000)}, i});
+  }
+  KdTree tree(entries);
+  for (auto _ : state) {
+    Vec2 q{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    benchmark::DoNotOptimize(tree.Nearest(q));
+  }
+}
+BENCHMARK(BM_KdTreeNearest)->Arg(1000)->Arg(100000);
+
+void BM_RTreeQuery(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<RTree::Entry> entries;
+  for (int i = 0; i < state.range(0); ++i) {
+    Vec2 c{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    entries.push_back({Aabb(c, c + Vec2{5, 5}), i});
+  }
+  RTree tree(entries);
+  for (auto _ : state) {
+    Vec2 c{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    benchmark::DoNotOptimize(tree.Query(Aabb(c, c + Vec2{50, 50})));
+  }
+}
+BENCHMARK(BM_RTreeQuery)->Arg(1000)->Arg(100000);
+
+void BM_MatchToLane(benchmark::State& state) {
+  const HdMap& map = BenchTown();
+  Rng rng(4);
+  Aabb box = map.BoundingBox();
+  for (auto _ : state) {
+    Vec2 q{rng.Uniform(box.min.x, box.max.x),
+           rng.Uniform(box.min.y, box.max.y)};
+    auto match = map.MatchToLane(q, 20.0);
+    benchmark::DoNotOptimize(match.ok());
+  }
+}
+BENCHMARK(BM_MatchToLane);
+
+void BM_SerializeMap(benchmark::State& state) {
+  const HdMap& map = BenchTown();
+  for (auto _ : state) {
+    std::string blob = SerializeMap(map);
+    benchmark::DoNotOptimize(blob.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(SerializeMap(map).size()));
+}
+BENCHMARK(BM_SerializeMap);
+
+void BM_DeserializeMap(benchmark::State& state) {
+  std::string blob = SerializeMap(BenchTown());
+  for (auto _ : state) {
+    auto map = DeserializeMap(blob);
+    benchmark::DoNotOptimize(map.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(blob.size()));
+}
+BENCHMARK(BM_DeserializeMap);
+
+void BM_SerializeCompact(benchmark::State& state) {
+  const HdMap& map = BenchTown();
+  for (auto _ : state) {
+    std::string blob = SerializeCompactMap(map);
+    benchmark::DoNotOptimize(blob.size());
+  }
+}
+BENCHMARK(BM_SerializeCompact);
+
+void BM_RasterizeMap(benchmark::State& state) {
+  const HdMap& map = BenchTown();
+  double resolution = 1.0 / static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    SemanticRaster raster = RasterizeMap(map, resolution);
+    benchmark::DoNotOptimize(raster.NumOccupied());
+  }
+}
+BENCHMARK(BM_RasterizeMap)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_PlanRoute(benchmark::State& state) {
+  const HdMap& map = BenchTown();
+  static RoutingGraph graph = RoutingGraph::Build(map);
+  Rng rng(5);
+  std::vector<ElementId> ids;
+  for (const auto& [id, ll] : map.lanelets()) ids.push_back(id);
+  RouteAlgorithm algo = static_cast<RouteAlgorithm>(state.range(0));
+  for (auto _ : state) {
+    ElementId from = ids[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int>(ids.size()) - 1))];
+    ElementId to = ids[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int>(ids.size()) - 1))];
+    auto route = PlanRoute(graph, from, to, algo);
+    benchmark::DoNotOptimize(route.ok());
+  }
+}
+BENCHMARK(BM_PlanRoute)
+    ->Arg(static_cast<int>(RouteAlgorithm::kDijkstra))
+    ->Arg(static_cast<int>(RouteAlgorithm::kAStar))
+    ->Arg(static_cast<int>(RouteAlgorithm::kBhps));
+
+void BM_RasterMatchScore(benchmark::State& state) {
+  const HdMap& map = BenchTown();
+  static SemanticRaster raster = RasterizeMap(map, 0.25);
+  Rng rng(6);
+  const Lanelet& lane = map.lanelets().begin()->second;
+  Pose2 pose(lane.centerline.PointAt(10.0), lane.centerline.HeadingAt(10.0));
+  SemanticRaster patch(Aabb({-12, -12}, {12, 12}), 0.25);
+  for (int cy = 0; cy < patch.height(); ++cy) {
+    for (int cx = 0; cx < patch.width(); ++cx) {
+      uint8_t bits = raster.Sample(pose.TransformPoint(
+          patch.CellCenter(cx, cy)));
+      if (bits != 0) patch.Set(cx, cy, bits);
+    }
+  }
+  auto cells = patch.OccupiedCells();
+  for (auto _ : state) {
+    Pose2 candidate(pose.translation + Vec2{rng.Normal(0, 1),
+                                            rng.Normal(0, 1)},
+                    pose.heading);
+    benchmark::DoNotOptimize(raster.MatchScoreSparse(cells, candidate));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cells.size()));
+}
+BENCHMARK(BM_RasterMatchScore);
+
+}  // namespace
+}  // namespace hdmap
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+#ifndef HDMAP_BENCH_BENCH_UTIL_H_
+#define HDMAP_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace hdmap::bench {
+
+/// Prints the standard experiment header used by every bench binary.
+inline void PrintHeader(const std::string& id, const std::string& title,
+                        const std::string& paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// One "claimed vs measured" row.
+inline void PrintRow(const std::string& metric, const std::string& paper,
+                     const std::string& measured) {
+  std::printf("  %-44s  paper: %-18s  measured: %s\n", metric.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hdmap::bench
+
+#endif  // HDMAP_BENCH_BENCH_UTIL_H_

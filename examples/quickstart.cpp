@@ -1,0 +1,84 @@
+// Quickstart: build an HD map, query it, route on it, and ship it.
+//
+// This walks the core public API end to end in ~80 lines:
+//   1. generate a ground-truth town map (or build your own via HdMap);
+//   2. spatial queries: lane matching, landmarks, speed limits;
+//   3. lane-level routing;
+//   4. serialization: full, compact, raster and tiles.
+
+#include <cstdio>
+
+#include "core/raster_layer.h"
+#include "core/serialization.h"
+#include "core/tile_store.h"
+#include "planning/route_planner.h"
+#include "sim/road_network_generator.h"
+
+int main() {
+  using namespace hdmap;
+
+  // 1. A 4x4-block town with traffic lights, crosswalks and signs.
+  Rng rng(7);
+  TownOptions options;
+  options.grid_rows = 4;
+  options.grid_cols = 4;
+  options.lanes_per_direction = 2;
+  Result<HdMap> town = GenerateTown(options, rng);
+  if (!town.ok()) {
+    std::printf("generation failed: %s\n", town.status().ToString().c_str());
+    return 1;
+  }
+  HdMap map = std::move(town).value();
+  std::printf("built a town: %zu lanelets, %zu landmarks, %zu line "
+              "features, %zu regulatory elements\n",
+              map.lanelets().size(), map.landmarks().size(),
+              map.line_features().size(), map.regulatory_elements().size());
+  Status valid = map.Validate();
+  std::printf("referential integrity: %s\n", valid.ToString().c_str());
+
+  // 2. Spatial queries.
+  Vec2 somewhere{200.0, 150.0};
+  Result<LaneMatch> match = map.MatchToLane(somewhere);
+  if (match.ok()) {
+    std::printf("(%.0f, %.0f) matches lanelet %lld at s=%.1f m, "
+                "offset %.2f m; speed limit %.1f m/s\n",
+                somewhere.x, somewhere.y,
+                static_cast<long long>(match->lanelet_id),
+                match->arc_length, match->signed_offset,
+                map.EffectiveSpeedLimit(match->lanelet_id));
+  }
+  std::printf("%zu landmarks within 80 m of that point\n",
+              map.LandmarksNear(somewhere, 80.0).size());
+
+  // 3. Lane-level routing across the town.
+  RoutingGraph graph = RoutingGraph::Build(map);
+  ElementId from = map.MatchToLane({10.0, 0.0})->lanelet_id;
+  ElementId to = map.MatchToLane({440.0, 440.0}, 30.0)->lanelet_id;
+  Result<Route> route = PlanRoute(graph, from, to, RouteAlgorithm::kAStar);
+  if (route.ok()) {
+    std::printf("route: %zu lanelets, %.0f s travel time, %d lane "
+                "changes (%zu nodes expanded)\n",
+                route->lanelets.size(), route->cost_seconds,
+                route->lane_changes, route->nodes_expanded);
+  } else {
+    std::printf("routing failed: %s\n", route.status().ToString().c_str());
+  }
+
+  // 4. Ship it: full binary, compact vector map, semantic raster, tiles.
+  std::string full = SerializeMap(map);
+  std::string compact = SerializeCompactMap(map);
+  SemanticRaster raster = RasterizeMap(map, 0.5);
+  TileStore tiles(256.0);
+  tiles.Build(map);
+  std::printf("storage: full %zu KB | compact %zu KB | raster (RLE) "
+              "%zu KB | %zu tiles\n",
+              full.size() / 1024, compact.size() / 1024,
+              raster.SerializeRle().size() / 1024, tiles.NumTiles());
+
+  // Round-trip sanity.
+  Result<HdMap> restored = DeserializeMap(full);
+  std::printf("round-trip: %s (%zu elements)\n",
+              restored.ok() ? "OK" : restored.status().ToString().c_str(),
+              restored.ok() ? restored->NumElements() : 0);
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "atv/factory_world.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "core/ids.h"
+
+namespace hdmap {
+
+Result<FactoryWorld> GenerateFactory(const FactoryOptions& opt, Rng& rng) {
+  if (opt.width <= 0.0 || opt.depth <= 0.0 || opt.rack_rows < 1) {
+    return Status::InvalidArgument("invalid factory options");
+  }
+  double needed_depth =
+      opt.rack_rows * opt.rack_depth + (opt.rack_rows + 1) * opt.aisle_width;
+  if (needed_depth > opt.depth) {
+    return Status::InvalidArgument(
+        "rack rows + aisles exceed the factory depth");
+  }
+  FactoryWorld world;
+  world.extent = Aabb({0.0, 0.0}, {opt.width, opt.depth});
+
+  // Perimeter walls.
+  world.walls.push_back({{0, 0}, {opt.width, 0}});
+  world.walls.push_back({{opt.width, 0}, {opt.width, opt.depth}});
+  world.walls.push_back({{opt.width, opt.depth}, {0, opt.depth}});
+  world.walls.push_back({{0, opt.depth}, {0, 0}});
+
+  IdAllocator ids;
+  double rack_x0 = (opt.width - opt.rack_length) / 2.0;
+  double rack_x1 = rack_x0 + opt.rack_length;
+
+  // Rack rows and the aisles between them.
+  for (int row = 0; row < opt.rack_rows; ++row) {
+    double y0 = opt.aisle_width + row * (opt.rack_depth + opt.aisle_width);
+    double y1 = y0 + opt.rack_depth;
+    // Rack as a rectangle of wall segments.
+    world.walls.push_back({{rack_x0, y0}, {rack_x1, y0}});
+    world.walls.push_back({{rack_x1, y0}, {rack_x1, y1}});
+    world.walls.push_back({{rack_x1, y1}, {rack_x0, y1}});
+    world.walls.push_back({{rack_x0, y1}, {rack_x0, y0}});
+  }
+
+  // Aisle centerlines (one below each rack row, plus one above the top
+  // row) and signs mounted facing each aisle.
+  for (int aisle = 0; aisle <= opt.rack_rows; ++aisle) {
+    double y_center =
+        aisle * (opt.rack_depth + opt.aisle_width) + opt.aisle_width / 2.0;
+    world.aisles.push_back(
+        LineString({{rack_x0, y_center}, {rack_x1, y_center}}));
+
+    // Signs on the rack faces bordering this aisle.
+    for (double x = rack_x0 + opt.sign_spacing / 2; x < rack_x1;
+         x += opt.sign_spacing) {
+      Landmark sign;
+      sign.id = ids.Next();
+      sign.type = LandmarkType::kTrafficSign;
+      sign.subtype = rng.Bernoulli(0.5) ? "safety_exit" : "speed_zone";
+      // Mount on the rack face above the aisle (or the wall for the top
+      // aisle).
+      double mount_y = y_center + opt.aisle_width / 2.0;
+      sign.position = Vec3{x, std::min(mount_y, opt.depth - 0.1), 2.0};
+      sign.reflectivity = 0.9;
+      HDMAP_RETURN_IF_ERROR(world.sign_map.AddLandmark(std::move(sign)));
+    }
+  }
+  return world;
+}
+
+double CastRay(const std::vector<Segment>& walls, const Vec2& origin,
+               const Vec2& direction, double max_range) {
+  Segment ray(origin, origin + direction * max_range);
+  double best = max_range;
+  for (const Segment& wall : walls) {
+    auto hit = ray.Intersect(wall);
+    if (hit.has_value()) {
+      best = std::min(best, origin.DistanceTo(*hit));
+    }
+  }
+  return best;
+}
+
+}  // namespace hdmap

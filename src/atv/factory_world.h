@@ -1,0 +1,47 @@
+#ifndef HDMAP_ATV_FACTORY_WORLD_H_
+#define HDMAP_ATV_FACTORY_WORLD_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/hd_map.h"
+#include "geometry/segment.h"
+
+namespace hdmap {
+
+/// The indoor smart-factory world for ATV experiments (Tas et al.
+/// [10, 11]): walls and storage racks as occupancy obstacles, plus an
+/// indoor HD map of safety/direction signs along the aisles.
+struct FactoryWorld {
+  std::vector<Segment> walls;  ///< Physical obstacles (incl. racks).
+  HdMap sign_map;              ///< The "valid" indoor HD map (signs).
+  Aabb extent;
+  /// Aisle centerlines the ATV patrols.
+  std::vector<LineString> aisles;
+};
+
+struct FactoryOptions {
+  double width = 80.0;
+  double depth = 50.0;
+  int rack_rows = 3;
+  double rack_length = 60.0;
+  double rack_depth = 3.0;
+  double aisle_width = 8.0;
+  double sign_spacing = 12.0;
+};
+
+/// Generates the factory: perimeter walls, rack rows with aisles between
+/// them, and safety signs mounted on the racks along each aisle.
+Result<FactoryWorld> GenerateFactory(const FactoryOptions& options,
+                                     Rng& rng);
+
+/// Casts a ray from `origin` toward `direction` (unit) against the wall
+/// segments; returns the hit distance, or `max_range` when nothing is
+/// hit within range.
+double CastRay(const std::vector<Segment>& walls, const Vec2& origin,
+               const Vec2& direction, double max_range);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_ATV_FACTORY_WORLD_H_

@@ -1,0 +1,73 @@
+#include "atv/occupancy_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdmap {
+
+namespace {
+constexpr double kLogOddsFree = -0.4;
+constexpr double kLogOddsHit = 0.85;
+constexpr double kLogOddsClamp = 6.0;
+}  // namespace
+
+OccupancyGrid::OccupancyGrid(const Aabb& extent, double resolution)
+    : origin_(extent.min),
+      resolution_(resolution),
+      width_(std::max(1, static_cast<int>(std::ceil(extent.Width() /
+                                                    resolution)))),
+      height_(std::max(1, static_cast<int>(std::ceil(extent.Height() /
+                                                     resolution)))),
+      log_odds_(static_cast<size_t>(width_) * static_cast<size_t>(height_),
+                0.0f) {}
+
+double OccupancyGrid::LogOddsAt(int cx, int cy) const {
+  if (!InBounds(cx, cy)) return 0.0;
+  return log_odds_[static_cast<size_t>(cy) * static_cast<size_t>(width_) +
+                   static_cast<size_t>(cx)];
+}
+
+void OccupancyGrid::AddLogOdds(int cx, int cy, double delta) {
+  if (!InBounds(cx, cy)) return;
+  float& cell =
+      log_odds_[static_cast<size_t>(cy) * static_cast<size_t>(width_) +
+                static_cast<size_t>(cx)];
+  cell = static_cast<float>(std::clamp(
+      static_cast<double>(cell) + delta, -kLogOddsClamp, kLogOddsClamp));
+}
+
+double OccupancyGrid::OccupancyAt(const Vec2& p) const {
+  int cx = 0, cy = 0;
+  WorldToCell(p, &cx, &cy);
+  double lo = LogOddsAt(cx, cy);
+  return 1.0 / (1.0 + std::exp(-lo));
+}
+
+void OccupancyGrid::IntegrateRay(const Vec2& origin, const Vec2& endpoint,
+                                 bool hit) {
+  double length = origin.DistanceTo(endpoint);
+  int steps = std::max(1, static_cast<int>(length / (resolution_ * 0.9)));
+  for (int i = 0; i < steps; ++i) {
+    Vec2 p = Lerp(origin, endpoint,
+                  static_cast<double>(i) / static_cast<double>(steps));
+    int cx = 0, cy = 0;
+    WorldToCell(p, &cx, &cy);
+    AddLogOdds(cx, cy, kLogOddsFree);
+  }
+  if (hit) {
+    int cx = 0, cy = 0;
+    WorldToCell(endpoint, &cx, &cy);
+    AddLogOdds(cx, cy, kLogOddsHit - kLogOddsFree);
+  }
+}
+
+size_t OccupancyGrid::NumOccupied(double threshold) const {
+  double lo_threshold = std::log(threshold / (1.0 - threshold));
+  size_t n = 0;
+  for (float lo : log_odds_) {
+    if (lo > lo_threshold) ++n;
+  }
+  return n;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,53 @@
+#ifndef HDMAP_ATV_OCCUPANCY_GRID_H_
+#define HDMAP_ATV_OCCUPANCY_GRID_H_
+
+#include <vector>
+
+#include "geometry/aabb.h"
+#include "geometry/vec2.h"
+
+namespace hdmap {
+
+/// Log-odds occupancy grid for indoor ATV mapping (the improved grid map
+/// of Tas et al. [10, 11] underlying visual-SLAM-based sign updates).
+class OccupancyGrid {
+ public:
+  OccupancyGrid() = default;
+  OccupancyGrid(const Aabb& extent, double resolution);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  double resolution() const { return resolution_; }
+
+  /// Occupancy probability of the cell containing p (0.5 = unknown).
+  double OccupancyAt(const Vec2& p) const;
+
+  /// Integrates one range ray: cells along the beam get a free update,
+  /// the endpoint cell (if a hit) an occupied update.
+  void IntegrateRay(const Vec2& origin, const Vec2& endpoint, bool hit);
+
+  /// Cells with occupancy above the threshold.
+  size_t NumOccupied(double threshold = 0.65) const;
+
+  bool InBounds(int cx, int cy) const {
+    return cx >= 0 && cx < width_ && cy >= 0 && cy < height_;
+  }
+  void WorldToCell(const Vec2& p, int* cx, int* cy) const {
+    *cx = static_cast<int>((p.x - origin_.x) / resolution_);
+    *cy = static_cast<int>((p.y - origin_.y) / resolution_);
+  }
+
+ private:
+  double LogOddsAt(int cx, int cy) const;
+  void AddLogOdds(int cx, int cy, double delta);
+
+  Vec2 origin_;
+  double resolution_ = 0.1;
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> log_odds_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_ATV_OCCUPANCY_GRID_H_

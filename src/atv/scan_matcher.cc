@@ -1,0 +1,69 @@
+#include "atv/scan_matcher.h"
+
+#include <algorithm>
+
+namespace hdmap {
+
+double GridScanMatcher::Score(const OccupancyGrid& grid, const Pose2& pose,
+                              const std::vector<Vec2>& hit_points) const {
+  if (hit_points.empty()) return 0.0;
+  // Neighborhood-max lookup widens the score basin beyond the (thin)
+  // occupied wall cells so hill climbing has a gradient to follow from
+  // sub-meter initial errors. Nearer matches still score higher via the
+  // distance falloff.
+  double res = grid.resolution();
+  double total = 0.0;
+  for (const Vec2& p : hit_points) {
+    Vec2 world = pose.TransformPoint(p);
+    double best = 0.0;
+    for (int dy = -2; dy <= 2; ++dy) {
+      for (int dx = -2; dx <= 2; ++dx) {
+        double occ = grid.OccupancyAt(world + Vec2{dx * res, dy * res});
+        if (occ < options_.occupied_threshold) continue;
+        double falloff =
+            1.0 / (1.0 + 0.5 * (std::abs(dx) + std::abs(dy)));
+        best = std::max(best, occ * falloff);
+      }
+    }
+    total += best;
+  }
+  return total / static_cast<double>(hit_points.size());
+}
+
+GridScanMatcher::MatchResult GridScanMatcher::Refine(
+    const OccupancyGrid& grid, const Pose2& predicted,
+    const std::vector<Vec2>& hit_points) const {
+  MatchResult best;
+  best.pose = predicted;
+  best.score = Score(grid, predicted, hit_points);
+
+  double step = options_.initial_step;
+  double heading_step = options_.initial_heading_step;
+  for (int level = 0; level <= options_.halvings; ++level) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      Pose2 center = best.pose;
+      for (double dx : {-step, 0.0, step}) {
+        for (double dy : {-step, 0.0, step}) {
+          for (double dh : {-heading_step, 0.0, heading_step}) {
+            if (dx == 0.0 && dy == 0.0 && dh == 0.0) continue;
+            Pose2 candidate(center.translation + Vec2{dx, dy},
+                            center.heading + dh);
+            double s = Score(grid, candidate, hit_points);
+            if (s > best.score + 1e-9) {
+              best.score = s;
+              best.pose = candidate;
+              improved = true;
+            }
+          }
+        }
+      }
+    }
+    step /= 2.0;
+    heading_step /= 2.0;
+  }
+  return best;
+}
+
+}  // namespace hdmap

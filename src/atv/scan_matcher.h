@@ -1,0 +1,47 @@
+#ifndef HDMAP_ATV_SCAN_MATCHER_H_
+#define HDMAP_ATV_SCAN_MATCHER_H_
+
+#include <vector>
+
+#include "atv/occupancy_grid.h"
+#include "geometry/pose2.h"
+
+namespace hdmap {
+
+/// Grid-based scan matching: corrects a predicted (odometry) pose by
+/// maximizing the occupancy of the scan's hit endpoints in the map grid
+/// — the pose-correction core of the ATV's visual SLAM (Tas et al.
+/// [10, 11]). Hill climbing with step halving; adequate for the small
+/// per-step drift of an indoor vehicle.
+class GridScanMatcher {
+ public:
+  struct Options {
+    double initial_step = 0.3;      ///< Meters.
+    double initial_heading_step = 0.04;  ///< Radians.
+    int halvings = 3;
+    /// Occupancy below this contributes nothing (unknown space).
+    double occupied_threshold = 0.55;
+  };
+
+  explicit GridScanMatcher(const Options& options) : options_(options) {}
+
+  struct MatchResult {
+    Pose2 pose;
+    double score = 0.0;   ///< Mean endpoint occupancy in [0, 1].
+  };
+
+  /// Refines `predicted` so the vehicle-frame `hit_points` (range-scan
+  /// endpoints that hit an obstacle) land on occupied grid cells.
+  MatchResult Refine(const OccupancyGrid& grid, const Pose2& predicted,
+                     const std::vector<Vec2>& hit_points) const;
+
+ private:
+  double Score(const OccupancyGrid& grid, const Pose2& pose,
+               const std::vector<Vec2>& hit_points) const;
+
+  Options options_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_ATV_SCAN_MATCHER_H_

@@ -1,0 +1,89 @@
+#include "atv/sign_update.h"
+
+#include <algorithm>
+
+namespace hdmap {
+
+AtvSignUpdater::AtvSignUpdater(const HdMap* valid_map,
+                               const Options& options)
+    : valid_map_(valid_map), options_(options) {}
+
+void AtvSignUpdater::ProcessFrame(
+    const Pose2& pose, const std::vector<LandmarkDetection>& detections) {
+  // Track which valid signs are within detector range this frame.
+  std::vector<ElementId> in_range = valid_map_->LandmarksNear(
+      pose.translation, options_.detector_range);
+  std::map<ElementId, bool> matched_this_frame;
+  for (ElementId id : in_range) matched_this_frame[id] = false;
+
+  for (const LandmarkDetection& det : detections) {
+    Vec2 world = pose.TransformPoint(det.position_vehicle);
+
+    // Match against the valid map.
+    ElementId valid_match = kInvalidId;
+    double best_d = options_.match_radius;
+    for (ElementId id :
+         valid_map_->LandmarksNear(world, options_.match_radius)) {
+      const Landmark* lm = valid_map_->FindLandmark(id);
+      if (lm == nullptr) continue;
+      double d = lm->position.xy().DistanceTo(world);
+      if (d < best_d) {
+        best_d = d;
+        valid_match = id;
+      }
+    }
+    if (valid_match != kInvalidId) {
+      matched_this_frame[valid_match] = true;
+      ++observed_counts_[valid_match];
+      continue;
+    }
+
+    // Unknown sign: accumulate in the virtual map. Reuse an existing
+    // virtual feature when nearby, else allocate a new id.
+    ElementId virtual_id = kInvalidId;
+    double best_virtual = options_.match_radius;
+    for (const auto& [vid, feature] : virtual_map_.features()) {
+      double d = feature.position.xy().DistanceTo(world);
+      if (d < best_virtual) {
+        best_virtual = d;
+        virtual_id = vid;
+      }
+    }
+    if (virtual_id == kInvalidId) virtual_id = virtual_ids_.Next();
+    virtual_map_.AddObservation(virtual_id, det.type, Vec3(world, 2.0));
+  }
+
+  for (const auto& [id, matched] : matched_this_frame) {
+    if (!matched) ++pass_counts_[id];
+  }
+}
+
+AtvSignUpdater::Report AtvSignUpdater::BuildReport() const {
+  Report report;
+  for (const auto& [vid, feature] : virtual_map_.features()) {
+    if (feature.observation_count < options_.min_observations) continue;
+    Landmark lm;
+    lm.id = vid;
+    lm.type = feature.type;
+    lm.position = feature.position;
+    lm.subtype = "atv_detected";
+    report.new_signs.push_back(std::move(lm));
+  }
+  for (const auto& [id, misses] : pass_counts_) {
+    int observed =
+        observed_counts_.count(id) > 0 ? observed_counts_.at(id) : 0;
+    if (misses >= options_.min_missed_passes && observed == 0) {
+      report.missing_signs.push_back(id);
+    }
+  }
+  return report;
+}
+
+MapPatch AtvSignUpdater::Report::AsPatch() const {
+  MapPatch patch;
+  patch.added_landmarks = new_signs;
+  patch.removed_landmarks = missing_signs;
+  return patch;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,60 @@
+#ifndef HDMAP_ATV_SIGN_UPDATE_H_
+#define HDMAP_ATV_SIGN_UPDATE_H_
+
+#include <vector>
+
+#include "atv/factory_world.h"
+#include "core/feature_layer.h"
+#include "core/map_patch.h"
+#include "sim/sensors.h"
+
+namespace hdmap {
+
+/// Indoor HD-map sign-update framework (Tas et al. [11]): the ATV patrols
+/// the aisles with visual SLAM + sign detection, accumulates a *virtual*
+/// HD map of observed signs, and compares it against the *valid* HD map
+/// to detect new and missing signs. Confirmed differences are batched
+/// into a map update.
+class AtvSignUpdater {
+ public:
+  struct Options {
+    /// A virtual-map sign counts once observed this many times.
+    int min_observations = 3;
+    /// Association radius between virtual and valid signs.
+    double match_radius = 2.0;
+    /// Valid-map signs passed (within detector range of the path) this
+    /// many times without a matching observation are reported missing.
+    int min_missed_passes = 3;
+    double detector_range = 15.0;
+  };
+
+  AtvSignUpdater(const HdMap* valid_map, const Options& options);
+
+  /// Processes one patrol frame: the ATV's estimated pose and the sign
+  /// detections of the frame.
+  void ProcessFrame(const Pose2& pose,
+                    const std::vector<LandmarkDetection>& detections);
+
+  struct Report {
+    std::vector<Landmark> new_signs;       ///< In world, not in map.
+    std::vector<ElementId> missing_signs;  ///< In map, not in world.
+    MapPatch AsPatch() const;
+  };
+
+  /// Compares the virtual map built so far against the valid HD map.
+  Report BuildReport() const;
+
+  const FeatureLayer& virtual_map() const { return virtual_map_; }
+
+ private:
+  const HdMap* valid_map_;
+  Options options_;
+  FeatureLayer virtual_map_{"atv_virtual"};
+  IdAllocator virtual_ids_{5000000};
+  std::map<ElementId, int> pass_counts_;     ///< Valid sign in range.
+  std::map<ElementId, int> observed_counts_; ///< Valid sign matched.
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_ATV_SIGN_UPDATE_H_

@@ -1,0 +1,82 @@
+#ifndef HDMAP_COMMON_RESULT_H_
+#define HDMAP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace hdmap {
+
+/// Result<T> holds either a value of type T or a non-OK Status, in the
+/// style of arrow::Result / absl::StatusOr. Accessing the value of a
+/// failed Result is a programming error (checked by assert in debug).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (the common, successful path).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  /// Implicit from error status. Must not be OK: an OK status carries no
+  /// value and would leave the Result in a meaningless state.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when this Result failed.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ is set.
+};
+
+}  // namespace hdmap
+
+/// Evaluates `rexpr` (a Result<T>); on failure returns its Status from the
+/// enclosing function, otherwise moves the value into `lhs`.
+#define HDMAP_ASSIGN_OR_RETURN(lhs, rexpr)               \
+  HDMAP_ASSIGN_OR_RETURN_IMPL_(                          \
+      HDMAP_RESULT_CONCAT_(result_, __LINE__), lhs, rexpr)
+
+#define HDMAP_RESULT_CONCAT_INNER_(a, b) a##b
+#define HDMAP_RESULT_CONCAT_(a, b) HDMAP_RESULT_CONCAT_INNER_(a, b)
+
+#define HDMAP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+#endif  // HDMAP_COMMON_RESULT_H_

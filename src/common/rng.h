@@ -1,0 +1,115 @@
+#ifndef HDMAP_COMMON_RNG_H_
+#define HDMAP_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace hdmap {
+
+/// Deterministic PCG32 pseudo-random generator (O'Neill, 2014).
+///
+/// Every stochastic component in the library takes an explicit Rng& so that
+/// simulations, tests and benchmarks are exactly reproducible from a seed.
+/// Satisfies enough of UniformRandomBitGenerator to be used standalone.
+class Rng {
+ public:
+  using result_type = uint32_t;
+
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL,
+               uint64_t stream = 0xda3e39cb94b95bdbULL)
+      : state_(0u), inc_((stream << 1u) | 1u) {
+    NextU32();
+    state_ += seed;
+    NextU32();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+  result_type operator()() { return NextU32(); }
+
+  /// Uniform 32-bit value.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform in [0, 1).
+  double Uniform() {
+    return NextU32() * (1.0 / 4294967296.0);
+  }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int UniformInt(int lo, int hi) {
+    return lo + static_cast<int>(NextU32() %
+                                 static_cast<uint32_t>(hi - lo + 1));
+  }
+
+  /// Standard normal via Box-Muller (cached second value).
+  double Normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = Uniform();
+    } while (u1 <= 1e-12);
+    double u2 = Uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * std::numbers::pi * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Weights must be non-negative; if all are zero, returns 0.
+  int Categorical(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return 0;
+    double x = Uniform() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (x < acc) return static_cast<int>(i);
+    }
+    return static_cast<int>(weights.size()) - 1;
+  }
+
+  /// Forks an independent, deterministic child generator. Used to give each
+  /// simulated vehicle / sensor its own stream.
+  Rng Fork() {
+    uint64_t child_seed =
+        (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+    uint64_t child_stream =
+        (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+    return Rng(child_seed, child_stream);
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_COMMON_RNG_H_

@@ -1,0 +1,133 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace hdmap {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  if (p >= 100.0) return values.back();
+  double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+double Median(std::vector<double> values) {
+  return Percentile(std::move(values), 50.0);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double Rmse(const std::vector<double>& errors) {
+  if (errors.empty()) return 0.0;
+  double total = 0.0;
+  for (double e : errors) total += e * e;
+  return std::sqrt(total / static_cast<double>(errors.size()));
+}
+
+Histogram::Histogram(double lo, double hi, int num_bins)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(num_bins > 0 ? num_bins : 1)),
+      counts_(static_cast<size_t>(num_bins > 0 ? num_bins : 1), 0) {}
+
+void Histogram::Add(double x) {
+  int bin = static_cast<int>((x - lo_) / width_);
+  bin = std::clamp(bin, 0, num_bins() - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+std::string Histogram::ToAscii(int max_bar_width) const {
+  size_t max_count = 1;
+  for (size_t c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  char line[160];
+  for (int b = 0; b < num_bins(); ++b) {
+    int bar = static_cast<int>(
+        static_cast<double>(counts_[static_cast<size_t>(b)]) /
+        static_cast<double>(max_count) * max_bar_width);
+    std::snprintf(line, sizeof(line), "[%7.2f, %7.2f) %8zu  ", bin_lo(b),
+                  bin_hi(b), counts_[static_cast<size_t>(b)]);
+    out += line;
+    out.append(static_cast<size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+void BinaryConfusion::Add(bool predicted, bool actual) {
+  if (predicted && actual) {
+    ++tp;
+  } else if (predicted && !actual) {
+    ++fp;
+  } else if (!predicted && actual) {
+    ++fn;
+  } else {
+    ++tn;
+  }
+}
+
+double BinaryConfusion::Sensitivity() const {
+  size_t denom = tp + fn;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double BinaryConfusion::Specificity() const {
+  size_t denom = tn + fp;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(tn) / static_cast<double>(denom);
+}
+
+double BinaryConfusion::Precision() const {
+  size_t denom = tp + fp;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double BinaryConfusion::Accuracy() const {
+  size_t denom = tp + fp + tn + fn;
+  return denom == 0
+             ? 0.0
+             : static_cast<double>(tp + tn) / static_cast<double>(denom);
+}
+
+double BinaryConfusion::F1() const {
+  double p = Precision();
+  double r = Sensitivity();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+}  // namespace hdmap

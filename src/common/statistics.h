@@ -1,0 +1,88 @@
+#ifndef HDMAP_COMMON_STATISTICS_H_
+#define HDMAP_COMMON_STATISTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hdmap {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance; 0 with fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the p-th percentile (p in [0,100]) by linear interpolation.
+/// Returns 0 for an empty input. Copies and sorts internally.
+double Percentile(std::vector<double> values, double p);
+
+/// Convenience: Percentile(values, 50).
+double Median(std::vector<double> values);
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Root mean square; 0 for an empty input.
+double Rmse(const std::vector<double>& errors);
+
+/// Fixed-bin histogram over [lo, hi); samples outside are clamped into the
+/// first/last bin. Used to regenerate the paper's Fig. 2 error histogram.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int num_bins);
+
+  void Add(double x);
+
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  size_t total() const { return total_; }
+  size_t bin_count(int bin) const { return counts_[bin]; }
+  double bin_lo(int bin) const { return lo_ + bin * width_; }
+  double bin_hi(int bin) const { return lo_ + (bin + 1) * width_; }
+
+  /// ASCII rendering, one row per bin: "[lo, hi)  count  ####".
+  std::string ToAscii(int max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+/// Confusion-matrix tallies for binary classifiers (change detection,
+/// sign updates, ...).
+struct BinaryConfusion {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t tn = 0;
+  size_t fn = 0;
+
+  void Add(bool predicted, bool actual);
+  /// TPR = tp / (tp + fn); 0 when no positives.
+  double Sensitivity() const;
+  /// TNR = tn / (tn + fp); 0 when no negatives.
+  double Specificity() const;
+  double Precision() const;
+  double Accuracy() const;
+  double F1() const;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_COMMON_STATISTICS_H_

@@ -1,0 +1,98 @@
+#ifndef HDMAP_COMMON_STATUS_H_
+#define HDMAP_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hdmap {
+
+/// Canonical error space for the library. The library never throws across
+/// its public API; every fallible operation returns a Status (or a
+/// Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+  kDataLoss = 8,
+};
+
+/// Returns the canonical spelling of a status code, e.g. "NOT_FOUND".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-type status: a code plus a human-readable message. An OK status
+/// carries no message and is cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace hdmap
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define HDMAP_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::hdmap::Status hdmap_status_macro_ = (expr);   \
+    if (!hdmap_status_macro_.ok()) {                \
+      return hdmap_status_macro_;                   \
+    }                                               \
+  } while (false)
+
+#endif  // HDMAP_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef HDMAP_COMMON_UNITS_H_
+#define HDMAP_COMMON_UNITS_H_
+
+#include <cmath>
+#include <numbers>
+
+namespace hdmap {
+
+inline constexpr double kMetersPerMile = 1609.344;
+inline constexpr double kMetersPerKilometer = 1000.0;
+inline constexpr double kGravity = 9.80665;  // m/s^2
+
+constexpr double DegToRad(double deg) {
+  return deg * std::numbers::pi / 180.0;
+}
+constexpr double RadToDeg(double rad) {
+  return rad * 180.0 / std::numbers::pi;
+}
+constexpr double KphToMps(double kph) { return kph / 3.6; }
+constexpr double MpsToKph(double mps) { return mps * 3.6; }
+
+/// Wraps an angle to (-pi, pi].
+inline double WrapAngle(double rad) {
+  const double two_pi = 2.0 * std::numbers::pi;
+  double x = std::fmod(rad + std::numbers::pi, two_pi);
+  if (x <= 0.0) x += two_pi;
+  return x - std::numbers::pi;
+}
+
+/// Shortest signed angular difference a - b, wrapped to (-pi, pi].
+inline double AngleDiff(double a, double b) { return WrapAngle(a - b); }
+
+}  // namespace hdmap
+
+#endif  // HDMAP_COMMON_UNITS_H_

@@ -1,0 +1,127 @@
+#ifndef HDMAP_CORE_BINARY_IO_H_
+#define HDMAP_CORE_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hdmap {
+
+/// Append-only little-endian binary writer used by map serialization.
+class BufferWriter {
+ public:
+  void WriteU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI16(int16_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+  void WriteString(std::string_view s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    buffer_.append(s.data(), s.size());
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Release() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  void WriteRaw(const void* data, size_t n) {
+    buffer_.append(static_cast<const char*>(data), n);
+  }
+  std::string buffer_;
+};
+
+/// Sequential reader over a serialized buffer. All reads are
+/// bounds-checked; the first failure latches and subsequent reads return
+/// zero values, so callers may batch reads and check status() once.
+class BufferReader {
+ public:
+  explicit BufferReader(std::string_view data) : data_(data) {}
+
+  uint8_t ReadU8() {
+    uint8_t v = 0;
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  uint32_t ReadU32() {
+    uint32_t v = 0;
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t ReadU64() {
+    uint64_t v = 0;
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  int64_t ReadI64() {
+    int64_t v = 0;
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  int32_t ReadI32() {
+    int32_t v = 0;
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  int16_t ReadI16() {
+    int16_t v = 0;
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  double ReadF64() {
+    double v = 0;
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  float ReadF32() {
+    float v = 0;
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  std::string ReadString() {
+    uint32_t n = ReadU32();
+    if (pos_ + n > data_.size()) {
+      Fail();
+      return {};
+    }
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  const Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+
+ private:
+  void ReadRaw(void* out, size_t n) {
+    if (!status_.ok() || pos_ + n > data_.size()) {
+      Fail();
+      std::memset(out, 0, n);
+      return;
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+  }
+  void Fail() {
+    if (status_.ok()) {
+      status_ = Status::DataLoss("truncated buffer at offset " +
+                                 std::to_string(pos_));
+    }
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_CORE_BINARY_IO_H_

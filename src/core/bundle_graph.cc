@@ -1,0 +1,107 @@
+#include "core/bundle_graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+namespace hdmap {
+
+const std::vector<BundleGraph::Edge> BundleGraph::kNoEdges;
+
+Result<BundleGraph> BundleGraph::Build(const HdMap& map) {
+  if (map.lane_bundles().empty()) {
+    return Status::FailedPrecondition("map has no lane bundles");
+  }
+  BundleGraph graph;
+  for (const auto& [node_id, node] : map.map_nodes()) {
+    graph.edges_[node_id];  // Ensure every node exists.
+  }
+  for (const auto& [bundle_id, bundle] : map.lane_bundles()) {
+    const MapNode* from = map.FindMapNode(bundle.from_node);
+    const MapNode* to = map.FindMapNode(bundle.to_node);
+    if (from == nullptr || to == nullptr) continue;
+
+    double length = from->position.DistanceTo(to->position);
+    int forward = 0;
+    int backward = 0;
+    for (ElementId lanelet_id : bundle.lanelet_ids) {
+      const Lanelet* ll = map.FindLanelet(lanelet_id);
+      if (ll == nullptr || ll->centerline.size() < 2) continue;
+      // A lane is "forward" when its travel direction points from
+      // from_node toward to_node.
+      Vec2 axis = (to->position - from->position).Normalized();
+      Vec2 dir = (ll->centerline.back() - ll->centerline.front())
+                     .Normalized();
+      if (axis.Dot(dir) >= 0.0) {
+        ++forward;
+      } else {
+        ++backward;
+      }
+    }
+    if (forward > 0) {
+      graph.edges_[bundle.from_node].push_back(
+          {bundle_id, bundle.to_node, length, forward, backward});
+      ++graph.num_edges_;
+    }
+    if (backward > 0) {
+      graph.edges_[bundle.to_node].push_back(
+          {bundle_id, bundle.from_node, length, backward, forward});
+      ++graph.num_edges_;
+    }
+  }
+  return graph;
+}
+
+const std::vector<BundleGraph::Edge>& BundleGraph::OutEdges(
+    ElementId node_id) const {
+  auto it = edges_.find(node_id);
+  return it == edges_.end() ? kNoEdges : it->second;
+}
+
+Result<std::vector<ElementId>> BundleGraph::ShortestNodePath(
+    ElementId from, ElementId to) const {
+  if (edges_.count(from) == 0 || edges_.count(to) == 0) {
+    return Status::InvalidArgument("endpoint node not in the graph");
+  }
+  struct Item {
+    double dist;
+    ElementId node;
+    bool operator>(const Item& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue;
+  std::unordered_map<ElementId, double> dist;
+  std::unordered_map<ElementId, ElementId> parent;
+  std::unordered_set<ElementId> settled;
+  dist[from] = 0.0;
+  queue.push({0.0, from});
+  while (!queue.empty()) {
+    auto [d, node] = queue.top();
+    queue.pop();
+    if (settled.count(node) > 0) continue;
+    settled.insert(node);
+    if (node == to) {
+      std::vector<ElementId> path;
+      ElementId cur = to;
+      while (cur != from) {
+        path.push_back(cur);
+        cur = parent.at(cur);
+      }
+      path.push_back(from);
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (const Edge& e : OutEdges(node)) {
+      double candidate = d + e.length;
+      auto it = dist.find(e.to_node);
+      if (it == dist.end() || candidate < it->second) {
+        dist[e.to_node] = candidate;
+        parent[e.to_node] = node;
+        queue.push({candidate, e.to_node});
+      }
+    }
+  }
+  return Status::NotFound("nodes are not connected");
+}
+
+}  // namespace hdmap

@@ -1,0 +1,50 @@
+#ifndef HDMAP_CORE_BUNDLE_GRAPH_H_
+#define HDMAP_CORE_BUNDLE_GRAPH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/hd_map.h"
+
+namespace hdmap {
+
+/// The HiDAM [21] compatibility view: the HD map reduced to its
+/// node-edge skeleton, where each edge is a multi-directional lane
+/// bundle between two nodes. Legacy (road-segment-level) applications —
+/// classic navigation, traffic assignment — run on this graph while the
+/// lane-level detail stays available underneath.
+class BundleGraph {
+ public:
+  struct Edge {
+    ElementId bundle_id = kInvalidId;
+    ElementId to_node = kInvalidId;
+    double length = 0.0;          ///< Representative segment length, m.
+    int forward_lanes = 0;        ///< Lanes drivable toward `to_node`.
+    int backward_lanes = 0;
+  };
+
+  /// Builds the node-edge view from the map's bundle/node layer.
+  /// kFailedPrecondition when the map carries no bundles.
+  static Result<BundleGraph> Build(const HdMap& map);
+
+  size_t NumNodes() const { return edges_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+
+  const std::vector<Edge>& OutEdges(ElementId node_id) const;
+
+  /// Road-segment-level shortest path (by length) between two nodes —
+  /// the classic navigation query HiDAM keeps compatible. Returns node
+  /// ids including both endpoints; kNotFound when disconnected.
+  Result<std::vector<ElementId>> ShortestNodePath(ElementId from,
+                                                  ElementId to) const;
+
+ private:
+  std::unordered_map<ElementId, std::vector<Edge>> edges_;
+  size_t num_edges_ = 0;
+  static const std::vector<Edge> kNoEdges;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_CORE_BUNDLE_GRAPH_H_

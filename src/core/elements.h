@@ -1,0 +1,170 @@
+#ifndef HDMAP_CORE_ELEMENTS_H_
+#define HDMAP_CORE_ELEMENTS_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "geometry/line_string.h"
+#include "geometry/polygon.h"
+#include "geometry/vec3.h"
+
+namespace hdmap {
+
+// ---------------------------------------------------------------------------
+// Physical layer (Lanelet2 [20] layer 1): directly observable elements.
+// ---------------------------------------------------------------------------
+
+/// Kind of a point landmark.
+enum class LandmarkType {
+  kTrafficSign = 0,
+  kTrafficLight = 1,
+  kPole = 2,
+  kHighReflectiveLandmark = 3,  // HRL [53]: uniquely reflective marker.
+};
+
+/// A point landmark (sign face, light housing, pole) with 3-D position.
+struct Landmark {
+  ElementId id = kInvalidId;
+  LandmarkType type = LandmarkType::kTrafficSign;
+  Vec3 position;
+  /// LiDAR reflectivity in [0, 1]; HRLs are near 1.
+  double reflectivity = 0.5;
+  /// Free-form subtype, e.g. "stop", "yield", "speed_limit_50".
+  std::string subtype;
+};
+
+/// Kind of a physical linear feature.
+enum class LineType {
+  kSolidLaneMarking = 0,
+  kDashedLaneMarking = 1,
+  kRoadEdge = 2,   // Curb / pavement edge.
+  kStopLine = 3,
+  kVirtual = 4,    // Non-observable boundary (e.g. across intersections).
+};
+
+/// A polyline feature: lane boundary, curb, stop line.
+struct LineFeature {
+  ElementId id = kInvalidId;
+  LineType type = LineType::kSolidLaneMarking;
+  LineString geometry;
+  /// LiDAR reflectivity of the paint/material in [0, 1].
+  double reflectivity = 0.8;
+  /// Dense survey point cloud captured by mapping vehicles (the payload
+  /// that makes conventional HD maps heavy, Pannen et al. [44]). Carried
+  /// by the full serialization, dropped by the compact encoding [60].
+  std::vector<Vec3> survey_points;
+};
+
+/// Kind of a mapped area.
+enum class AreaType {
+  kCrosswalk = 0,
+  kParking = 1,
+  kIntersection = 2,
+  kKeepout = 3,
+};
+
+/// A polygonal feature.
+struct AreaFeature {
+  ElementId id = kInvalidId;
+  AreaType type = AreaType::kCrosswalk;
+  Polygon geometry;
+};
+
+// ---------------------------------------------------------------------------
+// Relational layer (Lanelet2 layer 2): lanes, rules, and their links to the
+// physical layer.
+// ---------------------------------------------------------------------------
+
+enum class RegulatoryType {
+  kSpeedLimit = 0,
+  kStop = 1,
+  kYield = 2,
+  kTrafficLight = 3,
+  kCrosswalk = 4,
+};
+
+/// A traffic rule attached to one or more lanelets, optionally anchored to
+/// a physical landmark or area.
+struct RegulatoryElement {
+  ElementId id = kInvalidId;
+  RegulatoryType type = RegulatoryType::kSpeedLimit;
+  /// For kSpeedLimit: the limit in m/s; otherwise unused.
+  double speed_limit_mps = 0.0;
+  /// Physical anchor (landmark or area id), kInvalidId if none.
+  ElementId anchor_id = kInvalidId;
+  /// Lanelets this rule applies to.
+  std::vector<ElementId> lanelet_ids;
+};
+
+/// An atomic lane section: the fundamental relational unit (Lanelet2 [20]).
+/// Geometry is referenced from the physical layer; the centerline is stored
+/// denormalized for fast queries.
+struct Lanelet {
+  ElementId id = kInvalidId;
+  ElementId left_boundary_id = kInvalidId;
+  ElementId right_boundary_id = kInvalidId;
+  LineString centerline;
+  /// Elevation (m) at evenly spaced stations along the centerline; empty
+  /// means flat. Used by PCC [61] slope-aware planning.
+  std::vector<double> elevation_profile;
+  double speed_limit_mps = 13.89;  // 50 km/h default.
+  /// Topology (topological layer, Lanelet2 layer 3, stored explicitly).
+  std::vector<ElementId> successors;
+  std::vector<ElementId> predecessors;
+  ElementId left_neighbor = kInvalidId;   // Same direction, lane change OK.
+  ElementId right_neighbor = kInvalidId;
+  std::vector<ElementId> regulatory_ids;
+  /// HiDAM [21]: id of the road-segment bundle this lane belongs to.
+  ElementId bundle_id = kInvalidId;
+
+  double Length() const { return centerline.Length(); }
+
+  /// Linearly interpolated elevation at arc length s (0 if no profile).
+  double ElevationAt(double s) const {
+    if (elevation_profile.empty()) return 0.0;
+    if (elevation_profile.size() == 1) return elevation_profile.front();
+    double len = centerline.Length();
+    if (len <= 0.0) return elevation_profile.front();
+    double u = s / len * static_cast<double>(elevation_profile.size() - 1);
+    size_t i = static_cast<size_t>(u);
+    if (i + 1 >= elevation_profile.size()) return elevation_profile.back();
+    double frac = u - static_cast<double>(i);
+    return elevation_profile[i] * (1.0 - frac) +
+           elevation_profile[i + 1] * frac;
+  }
+
+  /// Grade (dz/ds) at arc length s via finite differences.
+  double GradeAt(double s) const {
+    const double kStep = 5.0;
+    double len = centerline.Length();
+    double s0 = std::max(0.0, s - kStep / 2);
+    double s1 = std::min(len, s + kStep / 2);
+    if (s1 <= s0) return 0.0;
+    return (ElevationAt(s1) - ElevationAt(s0)) / (s1 - s0);
+  }
+};
+
+/// HiDAM [21]: a road segment modeled as a multi-directional bundle of
+/// parallel lanes between two node points, preserving compatibility with
+/// node-edge road networks.
+struct LaneBundle {
+  ElementId id = kInvalidId;
+  ElementId from_node = kInvalidId;
+  ElementId to_node = kInvalidId;
+  /// Lanelets in the bundle, ordered left-to-right in `forward` direction;
+  /// both travel directions may be present.
+  std::vector<ElementId> lanelet_ids;
+};
+
+/// Node of the HiDAM node-edge skeleton (intersection or dead end).
+struct MapNode {
+  ElementId id = kInvalidId;
+  Vec2 position;
+  std::vector<ElementId> bundle_ids;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_CORE_ELEMENTS_H_

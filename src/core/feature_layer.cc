@@ -1,0 +1,59 @@
+#include "core/feature_layer.h"
+
+#include <algorithm>
+
+namespace hdmap {
+
+void FeatureLayer::AddObservation(ElementId id, LandmarkType type,
+                                  const Vec3& observed_position,
+                                  double observation_weight) {
+  LayerFeature& f = features_[id];
+  if (f.observation_count == 0) {
+    f.id = id;
+    f.type = type;
+    f.position = observed_position;
+  } else {
+    double n = static_cast<double>(f.observation_count);
+    f.position = (f.position * n + observed_position) / (n + 1.0);
+  }
+  ++f.observation_count;
+  // Saturating confidence: each consistent observation closes a fraction
+  // of the remaining gap, scaled by the observation weight.
+  f.confidence += (1.0 - f.confidence) * 0.25 *
+                  std::clamp(observation_weight, 0.0, 1.0);
+}
+
+void FeatureLayer::Merge(const FeatureLayer& other) {
+  for (const auto& [id, theirs] : other.features_) {
+    auto it = features_.find(id);
+    if (it == features_.end()) {
+      features_[id] = theirs;
+      continue;
+    }
+    LayerFeature& ours = it->second;
+    double wa = static_cast<double>(ours.observation_count);
+    double wb = static_cast<double>(theirs.observation_count);
+    if (wa + wb > 0.0) {
+      ours.position =
+          (ours.position * wa + theirs.position * wb) / (wa + wb);
+    }
+    ours.observation_count += theirs.observation_count;
+    ours.confidence = std::max(ours.confidence, theirs.confidence);
+  }
+}
+
+std::vector<Landmark> FeatureLayer::Promotable(double min_confidence) const {
+  std::vector<Landmark> out;
+  for (const auto& [id, f] : features_) {
+    if (f.confidence >= min_confidence) {
+      Landmark lm;
+      lm.id = f.id;
+      lm.type = f.type;
+      lm.position = f.position;
+      out.push_back(std::move(lm));
+    }
+  }
+  return out;
+}
+
+}  // namespace hdmap

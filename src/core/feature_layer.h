@@ -1,0 +1,64 @@
+#ifndef HDMAP_CORE_FEATURE_LAYER_H_
+#define HDMAP_CORE_FEATURE_LAYER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/elements.h"
+#include "core/ids.h"
+#include "geometry/vec3.h"
+
+namespace hdmap {
+
+/// One crowdsourced feature estimate inside a FeatureLayer.
+struct LayerFeature {
+  ElementId id = kInvalidId;
+  LandmarkType type = LandmarkType::kTrafficSign;
+  Vec3 position;
+  /// Confidence in [0, 1]; grows with consistent observations.
+  double confidence = 0.0;
+  int observation_count = 0;
+};
+
+/// A decoupled map feature layer (Kim et al. [31]): new content is
+/// crowdsourced into an independent layer so that human error is isolated
+/// per layer, and layers can be enriched by separate applications before
+/// being promoted into the base map.
+class FeatureLayer {
+ public:
+  FeatureLayer() = default;
+  explicit FeatureLayer(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return features_.size(); }
+  const std::map<ElementId, LayerFeature>& features() const {
+    return features_;
+  }
+  const LayerFeature* Find(ElementId id) const {
+    auto it = features_.find(id);
+    return it == features_.end() ? nullptr : &it->second;
+  }
+
+  /// Folds one observation of feature `id` into the layer: incremental
+  /// position mean and a saturating confidence update.
+  void AddObservation(ElementId id, LandmarkType type,
+                      const Vec3& observed_position,
+                      double observation_weight = 1.0);
+
+  /// Merges another layer into this one, combining estimates of shared
+  /// ids by observation-count weighting.
+  void Merge(const FeatureLayer& other);
+
+  /// Features whose confidence reached `min_confidence`, as landmarks
+  /// ready to be promoted into the base HD map.
+  std::vector<Landmark> Promotable(double min_confidence = 0.8) const;
+
+ private:
+  std::string name_;
+  std::map<ElementId, LayerFeature> features_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_CORE_FEATURE_LAYER_H_

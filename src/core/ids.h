@@ -1,0 +1,32 @@
+#ifndef HDMAP_CORE_IDS_H_
+#define HDMAP_CORE_IDS_H_
+
+#include <cstdint>
+
+namespace hdmap {
+
+/// All map elements share one id space (Lanelet2 convention). Id 0 is
+/// reserved as "invalid".
+using ElementId = int64_t;
+
+inline constexpr ElementId kInvalidId = 0;
+
+/// Monotonic id allocator for map construction pipelines.
+class IdAllocator {
+ public:
+  explicit IdAllocator(ElementId first = 1) : next_(first) {}
+
+  ElementId Next() { return next_++; }
+
+  /// Ensures subsequently allocated ids are greater than `id`.
+  void ReserveThrough(ElementId id) {
+    if (id >= next_) next_ = id + 1;
+  }
+
+ private:
+  ElementId next_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_CORE_IDS_H_

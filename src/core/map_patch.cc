@@ -1,0 +1,46 @@
+#include "core/map_patch.h"
+
+namespace hdmap {
+
+Status ApplyPatch(const MapPatch& patch, HdMap* map) {
+  for (const Landmark& lm : patch.added_landmarks) {
+    HDMAP_RETURN_IF_ERROR(map->AddLandmark(lm));
+  }
+  for (ElementId id : patch.removed_landmarks) {
+    HDMAP_RETURN_IF_ERROR(map->RemoveLandmark(id));
+  }
+  for (const MapPatch::Move& mv : patch.moved_landmarks) {
+    HDMAP_RETURN_IF_ERROR(map->MoveLandmark(mv.id, mv.new_position));
+  }
+  for (const LineFeature& lf : patch.updated_line_features) {
+    if (map->FindLineFeature(lf.id) == nullptr) {
+      return Status::NotFound("line feature " + std::to_string(lf.id));
+    }
+    // Replace: remove is not exposed for line features, so emulate via
+    // direct overwrite semantics (same id, new geometry).
+    LineFeature copy = lf;
+    HDMAP_RETURN_IF_ERROR(map->ReplaceLineFeature(std::move(copy)));
+  }
+  return Status::Ok();
+}
+
+MapPatch DiffLandmarks(const HdMap& before, const HdMap& after,
+                       double move_tolerance) {
+  MapPatch patch;
+  for (const auto& [id, lm] : after.landmarks()) {
+    const Landmark* old = before.FindLandmark(id);
+    if (old == nullptr) {
+      patch.added_landmarks.push_back(lm);
+    } else if (old->position.DistanceTo(lm.position) > move_tolerance) {
+      patch.moved_landmarks.push_back({id, lm.position});
+    }
+  }
+  for (const auto& [id, lm] : before.landmarks()) {
+    if (after.FindLandmark(id) == nullptr) {
+      patch.removed_landmarks.push_back(id);
+    }
+  }
+  return patch;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,47 @@
+#ifndef HDMAP_CORE_MAP_PATCH_H_
+#define HDMAP_CORE_MAP_PATCH_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/hd_map.h"
+
+namespace hdmap {
+
+/// A changeset produced by maintenance pipelines and applied to an HdMap.
+/// Covers the element classes that change at high rates in practice
+/// (landmarks and line features): SLAMCU [41], Pannen [44], Tas [11] all
+/// report sign/marking-level updates.
+struct MapPatch {
+  std::vector<Landmark> added_landmarks;
+  std::vector<ElementId> removed_landmarks;
+  struct Move {
+    ElementId id = kInvalidId;
+    Vec3 new_position;
+  };
+  std::vector<Move> moved_landmarks;
+  std::vector<LineFeature> updated_line_features;  // Replace-by-id.
+
+  bool IsEmpty() const {
+    return added_landmarks.empty() && removed_landmarks.empty() &&
+           moved_landmarks.empty() && updated_line_features.empty();
+  }
+  size_t NumChanges() const {
+    return added_landmarks.size() + removed_landmarks.size() +
+           moved_landmarks.size() + updated_line_features.size();
+  }
+};
+
+/// Applies a patch in-place. Add of an existing id, removal/move of a
+/// missing id, and update of a missing line feature fail; earlier entries
+/// stay applied (caller controls transactionality by validating first).
+Status ApplyPatch(const MapPatch& patch, HdMap* map);
+
+/// Landmark-level diff: the patch that transforms `before` into `after`.
+/// Positions differing by more than `move_tolerance` meters become moves.
+MapPatch DiffLandmarks(const HdMap& before, const HdMap& after,
+                       double move_tolerance = 0.05);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_CORE_MAP_PATCH_H_

@@ -1,0 +1,86 @@
+#include "core/raster_filter.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace hdmap {
+
+namespace {
+
+/// Distance-weighted label histogram around (cx, cy) in `input`; returns
+/// the winning non-empty label and its weight.
+void WeightedMode(const SemanticRaster& input, int cx, int cy,
+                  const WmofOptions& options, uint8_t* label,
+                  double* weight) {
+  std::array<double, 256> histogram{};
+  for (int dy = -options.radius; dy <= options.radius; ++dy) {
+    for (int dx = -options.radius; dx <= options.radius; ++dx) {
+      int nx = cx + dx;
+      int ny = cy + dy;
+      if (!input.InBounds(nx, ny)) continue;
+      uint8_t value = input.At(nx, ny);
+      if (value == 0) continue;
+      int chebyshev = std::max(std::abs(dx), std::abs(dy));
+      double w = 1.0 / (1.0 + chebyshev);
+      if (dx == 0 && dy == 0) w *= options.center_boost;
+      histogram[value] += w;
+    }
+  }
+  *label = 0;
+  *weight = 0.0;
+  for (int v = 1; v < 256; ++v) {
+    if (histogram[static_cast<size_t>(v)] > *weight) {
+      *weight = histogram[static_cast<size_t>(v)];
+      *label = static_cast<uint8_t>(v);
+    }
+  }
+}
+
+}  // namespace
+
+SemanticRaster WeightedModeFilter(const SemanticRaster& input,
+                                  const WmofOptions& options) {
+  SemanticRaster out(
+      Aabb(input.origin(),
+           input.origin() + Vec2{input.width() * input.resolution(),
+                                 input.height() * input.resolution()}),
+      input.resolution());
+  for (int cy = 0; cy < input.height(); ++cy) {
+    for (int cx = 0; cx < input.width(); ++cx) {
+      uint8_t label = 0;
+      double weight = 0.0;
+      WeightedMode(input, cx, cy, options, &label, &weight);
+      if (label != 0 && weight >= options.min_weight) {
+        out.Set(cx, cy, label);
+      }
+    }
+  }
+  return out;
+}
+
+SemanticRaster UpsampleModeFilter(const SemanticRaster& input, int factor,
+                                  const WmofOptions& options) {
+  factor = std::max(1, factor);
+  double fine_res = input.resolution() / factor;
+  SemanticRaster out(
+      Aabb(input.origin(),
+           input.origin() + Vec2{input.width() * input.resolution(),
+                                 input.height() * input.resolution()}),
+      fine_res);
+  for (int cy = 0; cy < out.height(); ++cy) {
+    for (int cx = 0; cx < out.width(); ++cx) {
+      int ix = cx / factor;
+      int iy = cy / factor;
+      uint8_t label = 0;
+      double weight = 0.0;
+      WeightedMode(input, ix, iy, options, &label, &weight);
+      if (label != 0 && weight >= options.min_weight) {
+        out.Set(cx, cy, label);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,38 @@
+#ifndef HDMAP_CORE_RASTER_FILTER_H_
+#define HDMAP_CORE_RASTER_FILTER_H_
+
+#include "core/raster_layer.h"
+
+namespace hdmap {
+
+/// Weighted mode filter over a semantic raster (software realization of
+/// the WMoF VLSI architecture of Chen et al. [19]: each output cell
+/// takes the distance-weighted mode of its neighborhood's labels).
+/// Removes salt noise from observation rasters while preserving thin
+/// structures better than majority voting.
+struct WmofOptions {
+  int radius = 1;               ///< Neighborhood radius in cells.
+  /// Weight of a neighbor at Chebyshev distance d is 1 / (1 + d).
+  /// The center cell gets this extra multiplier (self-confidence).
+  double center_boost = 1.5;
+  /// Minimum total weight of the winning label to emit a non-empty cell.
+  /// Must exceed the lone-center weight (center_boost) so isolated noise
+  /// cells are suppressed: a surviving cell needs at least one agreeing
+  /// neighbor.
+  double min_weight = 1.6;
+};
+
+/// Applies the weighted mode filter; per-bit labels are filtered jointly
+/// (the mode is over the full 8-bit label value, as in [19]).
+SemanticRaster WeightedModeFilter(const SemanticRaster& input,
+                                  const WmofOptions& options = {});
+
+/// Upsamples `input` by an integer factor with the weighted mode filter
+/// as the interpolation kernel (the Full-HD depth-map upsampling use
+/// case of [19], applied to semantic rasters).
+SemanticRaster UpsampleModeFilter(const SemanticRaster& input, int factor,
+                                  const WmofOptions& options = {});
+
+}  // namespace hdmap
+
+#endif  // HDMAP_CORE_RASTER_FILTER_H_

@@ -1,0 +1,225 @@
+#include "core/raster_layer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/binary_io.h"
+
+namespace hdmap {
+
+SemanticRaster::SemanticRaster(const Aabb& extent, double resolution)
+    : origin_(extent.min),
+      resolution_(resolution),
+      width_(std::max(1, static_cast<int>(std::ceil(extent.Width() /
+                                                    resolution)))),
+      height_(std::max(1, static_cast<int>(std::ceil(extent.Height() /
+                                                     resolution)))),
+      cells_(static_cast<size_t>(width_) * static_cast<size_t>(height_), 0) {}
+
+void SemanticRaster::DrawLineString(const LineString& ls, uint8_t bits) {
+  if (ls.size() < 2) return;
+  double step = resolution_ * 0.5;
+  double len = ls.Length();
+  for (double s = 0.0; s <= len; s += step) {
+    Vec2 p = ls.PointAt(s);
+    int cx = 0, cy = 0;
+    WorldToCell(p, &cx, &cy);
+    Set(cx, cy, bits);
+  }
+}
+
+void SemanticRaster::DrawDashedLineString(const LineString& ls,
+                                          uint8_t bits, double dash_len,
+                                          double gap_len) {
+  if (ls.size() < 2) return;
+  double step = resolution_ * 0.5;
+  double len = ls.Length();
+  double period = dash_len + gap_len;
+  for (double s = 0.0; s <= len; s += step) {
+    if (std::fmod(s, period) >= dash_len) continue;  // In a gap.
+    Vec2 p = ls.PointAt(s);
+    int cx = 0, cy = 0;
+    WorldToCell(p, &cx, &cy);
+    Set(cx, cy, bits);
+  }
+}
+
+void SemanticRaster::DrawPolygon(const Polygon& poly, uint8_t bits) {
+  if (poly.size() < 3) return;
+  Aabb box = poly.BoundingBox();
+  int cx_lo = 0, cy_lo = 0, cx_hi = 0, cy_hi = 0;
+  WorldToCell(box.min, &cx_lo, &cy_lo);
+  WorldToCell(box.max, &cx_hi, &cy_hi);
+  for (int cy = std::max(0, cy_lo); cy <= std::min(height_ - 1, cy_hi);
+       ++cy) {
+    for (int cx = std::max(0, cx_lo); cx <= std::min(width_ - 1, cx_hi);
+         ++cx) {
+      if (poly.Contains(CellCenter(cx, cy))) Set(cx, cy, bits);
+    }
+  }
+}
+
+void SemanticRaster::DrawDisc(const Vec2& center, double radius,
+                              uint8_t bits) {
+  int cx0 = 0, cy0 = 0;
+  WorldToCell(center, &cx0, &cy0);
+  int r_cells = std::max(1, static_cast<int>(std::ceil(radius / resolution_)));
+  for (int dy = -r_cells; dy <= r_cells; ++dy) {
+    for (int dx = -r_cells; dx <= r_cells; ++dx) {
+      if (CellCenter(cx0 + dx, cy0 + dy).DistanceTo(center) <= radius) {
+        Set(cx0 + dx, cy0 + dy, bits);
+      }
+    }
+  }
+}
+
+std::vector<SemanticRaster::OccupiedCell> SemanticRaster::OccupiedCells()
+    const {
+  std::vector<OccupiedCell> out;
+  for (int cy = 0; cy < height_; ++cy) {
+    for (int cx = 0; cx < width_; ++cx) {
+      uint8_t bits = At(cx, cy);
+      if (bits != 0) out.push_back({CellCenter(cx, cy), bits});
+    }
+  }
+  return out;
+}
+
+double SemanticRaster::MatchScoreSparse(
+    const std::vector<OccupiedCell>& observed,
+    const Pose2& patch_origin_pose) const {
+  double score = 0.0;
+  for (const OccupiedCell& cell : observed) {
+    uint8_t map_bits =
+        Sample(patch_origin_pose.TransformPoint(cell.center));
+    if ((cell.bits & map_bits) != 0) {
+      score += 1.0;
+    } else {
+      score -= 0.2;
+    }
+  }
+  return score;
+}
+
+double SemanticRaster::MatchScore(const SemanticRaster& patch,
+                                  const Pose2& patch_origin_pose) const {
+  double score = 0.0;
+  for (int cy = 0; cy < patch.height(); ++cy) {
+    for (int cx = 0; cx < patch.width(); ++cx) {
+      uint8_t observed = patch.At(cx, cy);
+      if (observed == 0) continue;
+      Vec2 local = patch.CellCenter(cx, cy);
+      Vec2 world = patch_origin_pose.TransformPoint(local);
+      uint8_t map_bits = Sample(world);
+      if ((observed & map_bits) != 0) {
+        score += 1.0;
+      } else {
+        score -= 0.2;  // Observed class absent from the map.
+      }
+    }
+  }
+  return score;
+}
+
+double SemanticRaster::DiffFraction(const SemanticRaster& other) const {
+  if (other.width() != width_ || other.height() != height_) return 1.0;
+  size_t differing = 0;
+  size_t considered = 0;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    uint8_t a = cells_[i];
+    uint8_t b = other.cells_[i];
+    if (a == 0 && b == 0) continue;
+    ++considered;
+    if (a != b) ++differing;
+  }
+  return considered == 0
+             ? 0.0
+             : static_cast<double>(differing) /
+                   static_cast<double>(considered);
+}
+
+std::string SemanticRaster::SerializeRle() const {
+  BufferWriter w;
+  w.WriteF64(origin_.x);
+  w.WriteF64(origin_.y);
+  w.WriteF64(resolution_);
+  w.WriteI32(width_);
+  w.WriteI32(height_);
+  // RLE: (count, value) pairs with 16-bit counts.
+  size_t i = 0;
+  while (i < cells_.size()) {
+    uint8_t v = cells_[i];
+    size_t run = 1;
+    while (i + run < cells_.size() && cells_[i + run] == v &&
+           run < 0xffff) {
+      ++run;
+    }
+    w.WriteI16(static_cast<int16_t>(run));
+    w.WriteU8(v);
+    i += run;
+  }
+  return w.Release();
+}
+
+size_t SemanticRaster::NumOccupied() const {
+  size_t n = 0;
+  for (uint8_t c : cells_) {
+    if (c != 0) ++n;
+  }
+  return n;
+}
+
+SemanticRaster RasterizeMap(const HdMap& map, double resolution,
+                            double margin) {
+  return RasterizeMapInExtent(map, resolution,
+                              map.BoundingBox().Expanded(margin));
+}
+
+SemanticRaster RasterizeMapInExtent(const HdMap& map, double resolution,
+                                    const Aabb& extent) {
+  SemanticRaster raster(extent, resolution);
+  for (const auto& [id, lf] : map.line_features()) {
+    switch (lf.type) {
+      case LineType::kSolidLaneMarking:
+        raster.DrawLineString(lf.geometry, kRasterLaneMarking);
+        break;
+      case LineType::kDashedLaneMarking:
+        raster.DrawDashedLineString(lf.geometry, kRasterLaneMarking);
+        break;
+      case LineType::kRoadEdge:
+        raster.DrawLineString(lf.geometry, kRasterRoadEdge);
+        break;
+      case LineType::kStopLine:
+        raster.DrawLineString(lf.geometry, kRasterStopLine);
+        break;
+      case LineType::kVirtual:
+        break;
+    }
+  }
+  for (const auto& [id, af] : map.area_features()) {
+    uint8_t bits = 0;
+    switch (af.type) {
+      case AreaType::kCrosswalk:
+        bits = kRasterCrosswalk;
+        break;
+      case AreaType::kIntersection:
+        bits = kRasterIntersection;
+        break;
+      default:
+        bits = 0;
+        break;
+    }
+    if (bits != 0) raster.DrawPolygon(af.geometry, bits);
+  }
+  for (const auto& [id, lm] : map.landmarks()) {
+    uint8_t bits = lm.type == LandmarkType::kTrafficLight ? kRasterLight
+                                                          : kRasterSign;
+    raster.DrawDisc(lm.position.xy(), 0.4, bits);
+  }
+  for (const auto& [id, ll] : map.lanelets()) {
+    raster.DrawLineString(ll.centerline, kRasterCenterline);
+  }
+  return raster;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,51 @@
+#include "core/routing_graph.h"
+
+#include <algorithm>
+
+namespace hdmap {
+
+const std::vector<RoutingGraph::Edge> RoutingGraph::kNoEdges;
+
+RoutingGraph RoutingGraph::Build(const HdMap& map,
+                                 double lane_change_penalty) {
+  RoutingGraph g;
+  for (const auto& [id, ll] : map.lanelets()) {
+    double speed = std::max(1.0, map.EffectiveSpeedLimit(id));
+    g.max_speed_mps_ = std::max(g.max_speed_mps_, speed);
+    double traverse_seconds = ll.Length() / speed;
+    std::vector<Edge>& out = g.edges_[id];
+    for (ElementId succ : ll.successors) {
+      if (map.FindLanelet(succ) == nullptr) continue;
+      out.push_back(Edge{succ, traverse_seconds, false});
+    }
+    auto add_lane_change = [&](ElementId neighbor) {
+      if (neighbor == kInvalidId || map.FindLanelet(neighbor) == nullptr) {
+        return;
+      }
+      // A lane change consumes roughly the same longitudinal distance,
+      // plus a penalty for the maneuver.
+      out.push_back(
+          Edge{neighbor, traverse_seconds + lane_change_penalty, true});
+    };
+    add_lane_change(ll.left_neighbor);
+    add_lane_change(ll.right_neighbor);
+    g.num_edges_ += out.size();
+    g.end_positions_[id] = ll.centerline.back();
+  }
+  return g;
+}
+
+const std::vector<RoutingGraph::Edge>& RoutingGraph::OutEdges(
+    ElementId id) const {
+  auto it = edges_.find(id);
+  return it == edges_.end() ? kNoEdges : it->second;
+}
+
+double RoutingGraph::HeuristicSeconds(ElementId from, ElementId to) const {
+  auto a = end_positions_.find(from);
+  auto b = end_positions_.find(to);
+  if (a == end_positions_.end() || b == end_positions_.end()) return 0.0;
+  return a->second.DistanceTo(b->second) / max_speed_mps_;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,55 @@
+#ifndef HDMAP_CORE_ROUTING_GRAPH_H_
+#define HDMAP_CORE_ROUTING_GRAPH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/hd_map.h"
+
+namespace hdmap {
+
+/// The topological layer materialized for search (Lanelet2 layer 3):
+/// nodes are lanelets; edges are successor transitions and lane changes.
+class RoutingGraph {
+ public:
+  struct Edge {
+    ElementId to = kInvalidId;
+    double cost = 0.0;        ///< Travel-time seconds at the speed limit.
+    bool lane_change = false;
+  };
+
+  RoutingGraph() = default;
+
+  /// Builds the graph from a map's lanelet topology. `lane_change_penalty`
+  /// is added (seconds) per lane-change edge.
+  static RoutingGraph Build(const HdMap& map,
+                            double lane_change_penalty = 2.0);
+
+  size_t NumNodes() const { return edges_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+  bool HasNode(ElementId id) const { return edges_.count(id) > 0; }
+
+  const std::vector<Edge>& OutEdges(ElementId id) const;
+
+  /// Straight-line lower bound (seconds) between two lanelets' endpoints
+  /// at `max_speed`; the admissible A* heuristic.
+  double HeuristicSeconds(ElementId from, ElementId to) const;
+
+  const std::unordered_map<ElementId, Vec2>& node_positions() const {
+    return end_positions_;
+  }
+
+  double max_speed_mps() const { return max_speed_mps_; }
+
+ private:
+  std::unordered_map<ElementId, std::vector<Edge>> edges_;
+  /// Centerline end point of each lanelet (for heuristics).
+  std::unordered_map<ElementId, Vec2> end_positions_;
+  size_t num_edges_ = 0;
+  double max_speed_mps_ = 13.89;
+  static const std::vector<Edge> kNoEdges;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_CORE_ROUTING_GRAPH_H_

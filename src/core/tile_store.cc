@@ -1,0 +1,163 @@
+#include "core/tile_store.h"
+
+#include <cmath>
+
+#include "core/serialization.h"
+
+namespace hdmap {
+
+namespace {
+
+uint64_t Part1By1(uint32_t x) {
+  uint64_t v = x;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFull;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFull;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0Full;
+  v = (v | (v << 2)) & 0x3333333333333333ull;
+  v = (v | (v << 1)) & 0x5555555555555555ull;
+  return v;
+}
+
+}  // namespace
+
+uint64_t TileId::Morton() const {
+  // Bias to keep coordinates non-negative.
+  uint32_t bx = static_cast<uint32_t>(static_cast<int64_t>(x) + (1 << 30));
+  uint32_t by = static_cast<uint32_t>(static_cast<int64_t>(y) + (1 << 30));
+  return Part1By1(bx) | (Part1By1(by) << 1);
+}
+
+size_t TileStore::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& [key, blob] : tiles_) total += blob.size();
+  return total;
+}
+
+TileId TileStore::TileAt(const Vec2& p) const {
+  return TileId{static_cast<int32_t>(std::floor(p.x / tile_size_)),
+                static_cast<int32_t>(std::floor(p.y / tile_size_))};
+}
+
+void TileStore::Build(const HdMap& map) {
+  tiles_.clear();
+  tile_ids_.clear();
+
+  // Collect the per-tile element sets, then serialize each tile map.
+  std::map<uint64_t, HdMap> tile_maps;
+  std::map<uint64_t, TileId> ids;
+
+  auto tiles_for_box = [&](const Aabb& box) {
+    std::vector<TileId> out;
+    if (box.IsEmpty()) return out;
+    TileId lo = TileAt(box.min);
+    TileId hi = TileAt(box.max);
+    for (int32_t ty = lo.y; ty <= hi.y; ++ty) {
+      for (int32_t tx = lo.x; tx <= hi.x; ++tx) {
+        out.push_back(TileId{tx, ty});
+      }
+    }
+    return out;
+  };
+
+  for (const auto& [id, lm] : map.landmarks()) {
+    for (const TileId& t : tiles_for_box(Aabb::FromPoint(lm.position.xy()))) {
+      uint64_t key = t.Morton();
+      ids.emplace(key, t);
+      // Ignore AlreadyExists: an element can only land once per tile.
+      (void)tile_maps[key].AddLandmark(lm);
+    }
+  }
+  for (const auto& [id, lf] : map.line_features()) {
+    for (const TileId& t : tiles_for_box(lf.geometry.BoundingBox())) {
+      uint64_t key = t.Morton();
+      ids.emplace(key, t);
+      (void)tile_maps[key].AddLineFeature(lf);
+    }
+  }
+  for (const auto& [id, af] : map.area_features()) {
+    for (const TileId& t : tiles_for_box(af.geometry.BoundingBox())) {
+      uint64_t key = t.Morton();
+      ids.emplace(key, t);
+      (void)tile_maps[key].AddAreaFeature(af);
+    }
+  }
+  for (const auto& [id, ll] : map.lanelets()) {
+    for (const TileId& t : tiles_for_box(ll.centerline.BoundingBox())) {
+      uint64_t key = t.Morton();
+      ids.emplace(key, t);
+      // Strip cross-tile references that may not resolve within the tile;
+      // region stitching restores them from the authoritative source.
+      Lanelet copy = ll;
+      (void)tile_maps[key].AddLanelet(std::move(copy));
+    }
+  }
+  for (const auto& [id, reg] : map.regulatory_elements()) {
+    // Regulatory elements ride with their first referenced lanelet.
+    if (reg.lanelet_ids.empty()) continue;
+    const Lanelet* ll = map.FindLanelet(reg.lanelet_ids.front());
+    if (ll == nullptr) continue;
+    for (const TileId& t : tiles_for_box(ll->centerline.BoundingBox())) {
+      uint64_t key = t.Morton();
+      if (tile_maps.find(key) == tile_maps.end()) continue;
+      (void)tile_maps[key].AddRegulatoryElement(reg);
+    }
+  }
+
+  for (auto& [key, tile_map] : tile_maps) {
+    tiles_[key] = SerializeMap(tile_map);
+    tile_ids_[key] = ids[key];
+  }
+}
+
+void TileStore::PutTile(const TileId& id, const HdMap& tile_map) {
+  tiles_[id.Morton()] = SerializeMap(tile_map);
+  tile_ids_[id.Morton()] = id;
+}
+
+Result<HdMap> TileStore::LoadTile(const TileId& id) const {
+  auto it = tiles_.find(id.Morton());
+  if (it == tiles_.end()) {
+    return Status::NotFound("tile (" + std::to_string(id.x) + "," +
+                            std::to_string(id.y) + ")");
+  }
+  return DeserializeMap(it->second);
+}
+
+std::vector<TileId> TileStore::TilesInBox(const Aabb& box) const {
+  std::vector<TileId> out;
+  if (box.IsEmpty()) return out;
+  TileId lo = TileAt(box.min);
+  TileId hi = TileAt(box.max);
+  for (int32_t ty = lo.y; ty <= hi.y; ++ty) {
+    for (int32_t tx = lo.x; tx <= hi.x; ++tx) {
+      TileId t{tx, ty};
+      if (tiles_.count(t.Morton()) > 0) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+Result<HdMap> TileStore::LoadRegion(const Aabb& box) const {
+  HdMap region;
+  for (const TileId& t : TilesInBox(box)) {
+    HDMAP_ASSIGN_OR_RETURN(HdMap tile, LoadTile(t));
+    for (const auto& [id, lm] : tile.landmarks()) {
+      (void)region.AddLandmark(lm);  // Duplicates across tiles are fine.
+    }
+    for (const auto& [id, lf] : tile.line_features()) {
+      (void)region.AddLineFeature(lf);
+    }
+    for (const auto& [id, af] : tile.area_features()) {
+      (void)region.AddAreaFeature(af);
+    }
+    for (const auto& [id, ll] : tile.lanelets()) {
+      (void)region.AddLanelet(ll);
+    }
+    for (const auto& [id, reg] : tile.regulatory_elements()) {
+      (void)region.AddRegulatoryElement(reg);
+    }
+  }
+  return region;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,75 @@
+#ifndef HDMAP_CORE_TILE_STORE_H_
+#define HDMAP_CORE_TILE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/hd_map.h"
+
+namespace hdmap {
+
+/// Tile coordinate in a uniform square tiling of the plane.
+struct TileId {
+  int32_t x = 0;
+  int32_t y = 0;
+
+  /// Morton (Z-order) code; the storage key. Interleaves offset-biased
+  /// coordinates so nearby tiles get nearby keys.
+  uint64_t Morton() const;
+
+  friend bool operator==(const TileId& a, const TileId& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend bool operator<(const TileId& a, const TileId& b) {
+    return a.Morton() < b.Morton();
+  }
+};
+
+/// Keyed collection of serialized map tiles (the unit of distribution and
+/// incremental update in production HD-map services; enables the
+/// partitioned update workloads of Pannen et al. [44] and Qi et al. [47]).
+class TileStore {
+ public:
+  explicit TileStore(double tile_size_m = 256.0)
+      : tile_size_(tile_size_m) {}
+
+  double tile_size() const { return tile_size_; }
+  size_t NumTiles() const { return tiles_.size(); }
+
+  /// Total serialized bytes across tiles.
+  size_t TotalBytes() const;
+
+  TileId TileAt(const Vec2& p) const;
+
+  /// Splits `map` into tiles: each element is assigned to every tile its
+  /// bounding box intersects (border elements are duplicated, as in
+  /// production tiling).
+  void Build(const HdMap& map);
+
+  /// Replaces one tile's payload with the serialization of `tile_map`.
+  void PutTile(const TileId& id, const HdMap& tile_map);
+
+  /// Deserializes a tile; kNotFound for absent tiles.
+  Result<HdMap> LoadTile(const TileId& id) const;
+
+  /// Tile ids intersecting the query box (present tiles only).
+  std::vector<TileId> TilesInBox(const Aabb& box) const;
+
+  /// Loads and stitches all tiles intersecting `box` into one map
+  /// (duplicated border elements are inserted once).
+  Result<HdMap> LoadRegion(const Aabb& box) const;
+
+  const std::map<uint64_t, std::string>& raw_tiles() const { return tiles_; }
+
+ private:
+  double tile_size_;
+  std::map<uint64_t, std::string> tiles_;   // Morton key -> blob.
+  std::map<uint64_t, TileId> tile_ids_;     // Morton key -> coordinates.
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_CORE_TILE_STORE_H_

@@ -1,0 +1,100 @@
+#include "creation/aerial_fusion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/statistics.h"
+
+namespace hdmap {
+
+AerialRoadEstimate DecodeAerial(const Lanelet& lanelet, double pixel_size,
+                                double geo_error_sigma, Rng& rng) {
+  return DecodeAerialWithOffset(lanelet, pixel_size,
+                                {rng.Normal(0.0, geo_error_sigma),
+                                 rng.Normal(0.0, geo_error_sigma)});
+}
+
+AerialRoadEstimate DecodeAerialWithOffset(const Lanelet& lanelet,
+                                          double pixel_size,
+                                          const Vec2& geo_offset) {
+  AerialRoadEstimate estimate;
+  estimate.pixel_size = pixel_size;
+  std::vector<Vec2> pts;
+  const LineString& truth = lanelet.centerline;
+  double len = truth.Length();
+  for (double s = 0.0; s <= len; s += std::max(1.0, pixel_size * 4)) {
+    Vec2 p = truth.PointAt(s) + geo_offset;
+    // Quantize to the image grid.
+    pts.push_back({std::round(p.x / pixel_size) * pixel_size,
+                   std::round(p.y / pixel_size) * pixel_size});
+  }
+  estimate.centerline = LineString(std::move(pts));
+  return estimate;
+}
+
+LineString FuseAerialAndGround(const AerialRoadEstimate& aerial,
+                               const std::vector<GroundObservation>& ground,
+                               double station_step) {
+  const LineString& ref = aerial.centerline;
+  if (ref.size() < 2) return ref;
+  double len = ref.Length();
+  size_t num_stations =
+      static_cast<size_t>(len / station_step) + 1;
+
+  // Project every ground detection of the lane center onto the aerial
+  // centerline: its lateral residual votes for a correction at that
+  // station.
+  std::vector<double> residual_sum(num_stations, 0.0);
+  std::vector<int> residual_count(num_stations, 0);
+  for (const GroundObservation& obs : ground) {
+    Vec2 detected_center = obs.estimated_pose.TransformPoint(
+        {0.0, obs.detected_center_offset});
+    LineStringProjection proj = ref.Project(detected_center);
+    size_t station = std::min(
+        num_stations - 1,
+        static_cast<size_t>(proj.arc_length / station_step));
+    residual_sum[station] += proj.signed_offset;
+    ++residual_count[station];
+  }
+
+  // Smooth the correction over neighboring stations and apply.
+  std::vector<Vec2> fused;
+  for (size_t i = 0; i < num_stations; ++i) {
+    double s = std::min(len, static_cast<double>(i) * station_step);
+    double corr_sum = 0.0;
+    int corr_n = 0;
+    for (size_t j = (i >= 2 ? i - 2 : 0);
+         j < std::min(num_stations, i + 3); ++j) {
+      corr_sum += residual_sum[j];
+      corr_n += residual_count[j];
+    }
+    double correction = corr_n > 0 ? corr_sum / corr_n : 0.0;
+    Vec2 base = ref.PointAt(s);
+    Vec2 normal = ref.TangentAt(s).Perp();
+    fused.push_back(base + normal * correction);
+  }
+  return LineString(std::move(fused));
+}
+
+LineString MapFromPosesOnly(const std::vector<GroundObservation>& ground) {
+  std::vector<Vec2> pts;
+  pts.reserve(ground.size());
+  for (const GroundObservation& obs : ground) {
+    pts.push_back(obs.estimated_pose.TransformPoint(
+        {0.0, obs.detected_center_offset}));
+  }
+  return LineString(std::move(pts));
+}
+
+double CenterlineError(const LineString& estimate,
+                       const LineString& truth) {
+  if (estimate.size() < 2) return 10.0;
+  RunningStats stats;
+  double len = estimate.Length();
+  for (double s = 0.0; s <= len; s += 2.0) {
+    stats.Add(truth.DistanceTo(estimate.PointAt(s)));
+  }
+  return stats.mean();
+}
+
+}  // namespace hdmap

@@ -1,0 +1,58 @@
+#ifndef HDMAP_CREATION_AERIAL_FUSION_H_
+#define HDMAP_CREATION_AERIAL_FUSION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/hd_map.h"
+#include "geometry/line_string.h"
+#include "geometry/pose2.h"
+
+namespace hdmap {
+
+/// Simulated aerial-image road decoding (Matyus et al. [27], Fig. 1,
+/// phase 1-2): the true road centerline as seen from orthophoto parsing —
+/// quantized to the image grid and systematically offset by the
+/// georeferencing error of the imagery.
+struct AerialRoadEstimate {
+  LineString centerline;
+  double pixel_size = 0.5;  ///< Ground sampling distance, m.
+};
+
+/// Decodes an "aerial image" of a lanelet: ground-truth centerline,
+/// quantized to pixel_size, plus a constant georeferencing offset drawn
+/// from `geo_error_sigma`.
+AerialRoadEstimate DecodeAerial(const Lanelet& lanelet, double pixel_size,
+                                double geo_error_sigma, Rng& rng);
+
+/// Deterministic variant with an explicit georeferencing offset (tests,
+/// controlled sweeps).
+AerialRoadEstimate DecodeAerialWithOffset(const Lanelet& lanelet,
+                                          double pixel_size,
+                                          const Vec2& geo_offset);
+
+/// A ground-level lane observation: the vehicle's estimated pose and the
+/// lateral offset of the detected lane center (phase 3 of Fig. 1).
+struct GroundObservation {
+  Pose2 estimated_pose;
+  double detected_center_offset = 0.0;  ///< Vehicle-frame lateral offset.
+};
+
+/// Phase 4: cooperative fusion of the aerial estimate with ground-level
+/// detections on a common grid. Ground detections correct the aerial
+/// georeferencing bias station-wise; the result is the fused high-
+/// resolution centerline.
+LineString FuseAerialAndGround(const AerialRoadEstimate& aerial,
+                               const std::vector<GroundObservation>& ground,
+                               double station_step = 5.0);
+
+/// Baseline for the Fig. 1 comparison: map the centerline purely from
+/// the (GPS+IMU) estimated poses of the ground vehicle, no aerial input.
+LineString MapFromPosesOnly(const std::vector<GroundObservation>& ground);
+
+/// Mean distance from `estimate` samples to the true centerline.
+double CenterlineError(const LineString& estimate, const LineString& truth);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_CREATION_AERIAL_FUSION_H_

@@ -1,0 +1,159 @@
+#include "creation/crowd_mapper.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/grid_index.h"
+
+namespace hdmap {
+
+namespace {
+
+/// A world-frame observation tagged with its source traversal.
+struct WorldObservation {
+  Vec2 world;
+  LandmarkType type;
+  int traversal = 0;
+  int pose_index = 0;
+};
+
+/// Greedy grid clustering (DBSCAN-lite): groups observations within
+/// `radius` of a growing cluster.
+std::vector<std::vector<int>> Cluster(
+    const std::vector<WorldObservation>& observations, double radius,
+    int min_size) {
+  std::vector<std::vector<int>> clusters;
+  GridIndex index(radius);
+  for (size_t i = 0; i < observations.size(); ++i) {
+    index.Insert(observations[i].world, static_cast<int64_t>(i));
+  }
+  std::vector<bool> assigned(observations.size(), false);
+  for (size_t seed = 0; seed < observations.size(); ++seed) {
+    if (assigned[seed]) continue;
+    std::vector<int> cluster;
+    std::vector<size_t> frontier{seed};
+    assigned[seed] = true;
+    while (!frontier.empty()) {
+      size_t cur = frontier.back();
+      frontier.pop_back();
+      cluster.push_back(static_cast<int>(cur));
+      for (const auto& item :
+           index.RadiusSearch(observations[cur].world, radius)) {
+        size_t other = static_cast<size_t>(item.id);
+        if (assigned[other]) continue;
+        if (observations[other].type != observations[cur].type) continue;
+        assigned[other] = true;
+        frontier.push_back(other);
+      }
+    }
+    if (static_cast<int>(cluster.size()) >= min_size) {
+      clusters.push_back(std::move(cluster));
+    }
+  }
+  return clusters;
+}
+
+Vec2 ClusterMean(const std::vector<WorldObservation>& observations,
+                 const std::vector<int>& cluster) {
+  Vec2 mean;
+  for (int idx : cluster) {
+    mean += observations[static_cast<size_t>(idx)].world;
+  }
+  return mean / static_cast<double>(cluster.size());
+}
+
+}  // namespace
+
+std::vector<MappedLandmark> CrowdMapper::Map(
+    const std::vector<CrowdTraversal>& traversals) const {
+  // Per-traversal corrective bias, refined across feedback iterations.
+  std::vector<Vec2> bias(traversals.size());
+
+  std::vector<MappedLandmark> landmarks;
+  for (int iter = 0; iter <= options_.feedback_iterations; ++iter) {
+    // 1) Project detections into the world with the current bias.
+    std::vector<WorldObservation> observations;
+    for (size_t t = 0; t < traversals.size(); ++t) {
+      const CrowdTraversal& trav = traversals[t];
+      for (size_t i = 0; i < trav.estimated_poses.size(); ++i) {
+        const Pose2& pose = trav.estimated_poses[i];
+        for (const LandmarkDetection& det : trav.detections[i]) {
+          WorldObservation obs;
+          obs.world = pose.TransformPoint(det.position_vehicle) - bias[t];
+          obs.type = det.type;
+          obs.traversal = static_cast<int>(t);
+          obs.pose_index = static_cast<int>(i);
+          observations.push_back(obs);
+        }
+      }
+    }
+
+    // 2) Cluster and 3) triangulate.
+    auto clusters = Cluster(observations, options_.cluster_radius,
+                            options_.min_cluster_size);
+    landmarks.clear();
+    landmarks.reserve(clusters.size());
+    for (const auto& cluster : clusters) {
+      MappedLandmark lm;
+      lm.position = ClusterMean(observations, cluster);
+      lm.type = observations[static_cast<size_t>(cluster.front())].type;
+      lm.support = static_cast<int>(cluster.size());
+      landmarks.push_back(lm);
+    }
+    if (iter == options_.feedback_iterations) break;
+
+    // 4) Corrective feedback: each traversal's mean residual against the
+    // current landmark estimates becomes its bias correction.
+    std::vector<Vec2> residual_sum(traversals.size());
+    std::vector<int> residual_count(traversals.size(), 0);
+    GridIndex landmark_index(options_.cluster_radius * 2);
+    for (size_t li = 0; li < landmarks.size(); ++li) {
+      landmark_index.Insert(landmarks[li].position,
+                            static_cast<int64_t>(li));
+    }
+    for (const WorldObservation& obs : observations) {
+      // Nearest current landmark of the same type.
+      double best_d = options_.outlier_distance;
+      const MappedLandmark* best = nullptr;
+      for (const auto& item : landmark_index.RadiusSearch(
+               obs.world, options_.outlier_distance)) {
+        const MappedLandmark& lm = landmarks[static_cast<size_t>(item.id)];
+        if (lm.type != obs.type) continue;
+        double d = lm.position.DistanceTo(obs.world);
+        if (d < best_d) {
+          best_d = d;
+          best = &lm;
+        }
+      }
+      if (best == nullptr) continue;
+      residual_sum[static_cast<size_t>(obs.traversal)] +=
+          obs.world - best->position;
+      ++residual_count[static_cast<size_t>(obs.traversal)];
+    }
+    for (size_t t = 0; t < traversals.size(); ++t) {
+      if (residual_count[t] >= 3) {
+        bias[t] += residual_sum[t] / static_cast<double>(residual_count[t]);
+      }
+    }
+  }
+  return landmarks;
+}
+
+std::vector<double> ScoreMappedLandmarks(
+    const std::vector<MappedLandmark>& mapped, const HdMap& truth,
+    double match_radius, double unmatched_penalty) {
+  std::vector<double> errors;
+  errors.reserve(mapped.size());
+  for (const MappedLandmark& lm : mapped) {
+    double best = unmatched_penalty;
+    for (ElementId id : truth.LandmarksNear(lm.position, match_radius)) {
+      const Landmark* true_lm = truth.FindLandmark(id);
+      if (true_lm == nullptr || true_lm->type != lm.type) continue;
+      best = std::min(best, true_lm->position.xy().DistanceTo(lm.position));
+    }
+    errors.push_back(best);
+  }
+  return errors;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,70 @@
+#ifndef HDMAP_CREATION_CROWD_MAPPER_H_
+#define HDMAP_CREATION_CROWD_MAPPER_H_
+
+#include <vector>
+
+#include "core/hd_map.h"
+#include "geometry/pose2.h"
+#include "sim/sensors.h"
+
+namespace hdmap {
+
+/// One crowd traversal: the estimated vehicle track (from the vehicle's
+/// own cheap localization) with the landmark detections made at each
+/// sample. This is what a connected vehicle uploads (Dabeer et al. [29],
+/// Massow et al. [28]).
+struct CrowdTraversal {
+  std::vector<Pose2> estimated_poses;
+  /// detections[i] were taken at estimated_poses[i].
+  std::vector<std::vector<LandmarkDetection>> detections;
+};
+
+/// A landmark reconstructed by the crowd pipeline.
+struct MappedLandmark {
+  Vec2 position;
+  LandmarkType type = LandmarkType::kTrafficSign;
+  int support = 0;  ///< Number of contributing observations.
+};
+
+/// Crowdsourced landmark mapping with corrective feedback:
+///   1. project every detection into the world through the (noisy)
+///      uploaded poses;
+///   2. cluster the projected observations (grid DBSCAN);
+///   3. triangulate each cluster to an initial landmark estimate;
+///   4. corrective feedback: re-estimate each traversal's systematic pose
+///      bias by aligning its observations to the current landmark
+///      estimates, then re-project and re-cluster.
+/// Iterating 3-4 drives the mean absolute error below the single-shot
+/// level (the <20 cm headline of [29]).
+class CrowdMapper {
+ public:
+  struct Options {
+    double cluster_radius = 2.5;     ///< Observations within this merge.
+    int min_cluster_size = 3;
+    int feedback_iterations = 3;
+    /// Observations farther than this from their landmark estimate are
+    /// dropped as outliers during feedback.
+    double outlier_distance = 4.0;
+  };
+
+  explicit CrowdMapper(const Options& options) : options_(options) {}
+
+  /// Runs the full pipeline over the uploaded traversals.
+  std::vector<MappedLandmark> Map(
+      const std::vector<CrowdTraversal>& traversals) const;
+
+ private:
+  Options options_;
+};
+
+/// Scores a reconstructed landmark set against ground truth: for each
+/// mapped landmark, the distance to the nearest true landmark. Returns
+/// the per-landmark absolute errors (unmatched mapped landmarks count as
+/// `unmatched_penalty`).
+std::vector<double> ScoreMappedLandmarks(
+    const std::vector<MappedLandmark>& mapped, const HdMap& truth,
+    double match_radius = 5.0, double unmatched_penalty = 5.0);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_CREATION_CROWD_MAPPER_H_

@@ -1,0 +1,111 @@
+#include "creation/lane_learner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/statistics.h"
+
+namespace hdmap {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+std::vector<double> LaneLearner::SmoothTrack(
+    const LaneObservationTrack& track) const {
+  size_t n = track.offsets.size();
+  std::vector<double> mean(n, 0.0), var(n, 0.0);
+  std::vector<double> pred_mean(n, 0.0), pred_var(n, 0.0);
+  if (n == 0) return {};
+
+  double q = options_.process_sigma * options_.process_sigma;
+  double r = options_.measurement_sigma * options_.measurement_sigma;
+
+  // Forward Kalman pass (random-walk model x_k = x_{k-1} + w).
+  double m = 0.0;
+  double p = 100.0;  // Diffuse prior.
+  bool initialized = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) p += q;
+    pred_mean[i] = m;
+    pred_var[i] = p;
+    double z = track.offsets[i];
+    if (!std::isnan(z)) {
+      if (!initialized) {
+        m = z;
+        p = r;
+        initialized = true;
+      } else {
+        double k = p / (p + r);
+        m += k * (z - m);
+        p *= (1.0 - k);
+      }
+    }
+    mean[i] = m;
+    var[i] = p;
+  }
+  if (!initialized) return std::vector<double>(n, kNan);
+
+  // RTS backward smoother.
+  std::vector<double> smoothed = mean;
+  for (size_t i = n - 1; i-- > 0;) {
+    double p_pred = var[i] + q;
+    if (p_pred <= 0.0) continue;
+    double c = var[i] / p_pred;
+    smoothed[i] = mean[i] + c * (smoothed[i + 1] - mean[i]);
+  }
+  return smoothed;
+}
+
+std::vector<double> LaneLearner::LearnOffsets(
+    const std::vector<LaneObservationTrack>& tracks) const {
+  size_t n = 0;
+  for (const auto& t : tracks) n = std::max(n, t.offsets.size());
+  std::vector<double> learned(n, kNan);
+  if (n == 0) return learned;
+
+  std::vector<std::vector<double>> smoothed;
+  smoothed.reserve(tracks.size());
+  for (const auto& t : tracks) smoothed.push_back(SmoothTrack(t));
+
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> samples;
+    for (size_t t = 0; t < tracks.size(); ++t) {
+      if (i < smoothed[t].size() && !std::isnan(smoothed[t][i]) &&
+          // Only count stations the track actually observed nearby:
+          // require at least one real detection within 3 stations.
+          [&] {
+            size_t lo = i >= 3 ? i - 3 : 0;
+            size_t hi = std::min(tracks[t].offsets.size(), i + 4);
+            for (size_t k = lo; k < hi; ++k) {
+              if (!std::isnan(tracks[t].offsets[k])) return true;
+            }
+            return false;
+          }()) {
+        samples.push_back(smoothed[t][i]);
+      }
+    }
+    if (static_cast<int>(samples.size()) >= options_.min_tracks) {
+      learned[i] = Median(samples);
+    }
+  }
+  return learned;
+}
+
+LineString LaneLearner::RealizeGeometry(const LineString& reference,
+                                        const std::vector<double>& offsets,
+                                        double station_step) const {
+  std::vector<Vec2> pts;
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    if (std::isnan(offsets[i])) continue;
+    double s = static_cast<double>(i) * station_step;
+    if (s > reference.Length()) break;
+    Vec2 base = reference.PointAt(s);
+    Vec2 normal = reference.TangentAt(s).Perp();
+    pts.push_back(base + normal * offsets[i]);
+  }
+  return LineString(std::move(pts));
+}
+
+}  // namespace hdmap

@@ -1,0 +1,57 @@
+#ifndef HDMAP_CREATION_LANE_LEARNER_H_
+#define HDMAP_CREATION_LANE_LEARNER_H_
+
+#include <vector>
+
+#include "geometry/line_string.h"
+
+namespace hdmap {
+
+/// One traversal's lane-boundary detections: noisy lateral offsets of the
+/// detected marking, sampled at stations along a common reference line
+/// (what a camera lane-detection stack outputs; Szabó [34], Maeda [37],
+/// Kim [45]).
+struct LaneObservationTrack {
+  double station_step = 5.0;
+  /// offsets[i] = detected lateral offset at station i; NaN = no
+  /// detection at that station.
+  std::vector<double> offsets;
+};
+
+/// Crowdsourced lane geometry learner (Kim et al. [45]): Kalman-smooths
+/// each low-quality track, then aggregates tracks station-wise with a
+/// robust (median) estimator to learn the lane-marking geometry.
+class LaneLearner {
+ public:
+  struct Options {
+    /// Kalman smoothing parameters for a single track: random-walk lane
+    /// model with measurement noise.
+    double process_sigma = 0.05;      ///< Offset drift per station.
+    double measurement_sigma = 0.5;   ///< Per-detection noise.
+    /// Minimum tracks covering a station for it to be learned.
+    int min_tracks = 3;
+  };
+
+  explicit LaneLearner(const Options& options) : options_(options) {}
+
+  /// Kalman forward filter + RTS backward smoother over one track.
+  /// Missing detections (NaN) are predicted through.
+  std::vector<double> SmoothTrack(const LaneObservationTrack& track) const;
+
+  /// Learns the per-station lane offset from all tracks. Stations with
+  /// insufficient coverage get NaN.
+  std::vector<double> LearnOffsets(
+      const std::vector<LaneObservationTrack>& tracks) const;
+
+  /// Realizes learned offsets as a polyline along `reference`.
+  LineString RealizeGeometry(const LineString& reference,
+                             const std::vector<double>& offsets,
+                             double station_step) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_CREATION_LANE_LEARNER_H_

@@ -1,0 +1,130 @@
+#include "creation/lidar_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/statistics.h"
+#include "geometry/grid_index.h"
+
+namespace hdmap {
+
+namespace {
+
+struct CellKey {
+  int x;
+  int y;
+  bool operator<(const CellKey& o) const {
+    return x < o.x || (x == o.x && y < o.y);
+  }
+};
+
+struct CellStats {
+  int marking_hits = 0;
+  int total_hits = 0;
+  Vec2 sum;  ///< Sum of marking-like point positions for sub-cell mean.
+};
+
+}  // namespace
+
+std::vector<LineString> LidarMapper::ExtractBoundaries(
+    const std::vector<GeoScan>& scans) const {
+  // Steps 1+2: aggregate into a 2-D grid keyed by world cell.
+  std::map<CellKey, CellStats> grid;
+  double res = options_.grid_resolution;
+  for (const GeoScan& scan : scans) {
+    for (const MarkingPoint& p : scan.points) {
+      Vec2 world = scan.pose.TransformPoint(p.position_vehicle);
+      CellKey key{static_cast<int>(std::floor(world.x / res)),
+                  static_cast<int>(std::floor(world.y / res))};
+      CellStats& cell = grid[key];
+      ++cell.total_hits;
+      // Step 3: ground removal via the intensity filter.
+      if (p.intensity >= options_.intensity_threshold) {
+        ++cell.marking_hits;
+        cell.sum += world;
+      }
+    }
+  }
+
+  // Step 5 (probabilistic fusion) applied cell-wise before extraction:
+  // keep cells that were marking-like consistently across visits.
+  std::vector<Vec2> survivors;
+  for (const auto& [key, cell] : grid) {
+    if (cell.marking_hits < options_.min_cell_hits) continue;
+    double ratio = static_cast<double>(cell.marking_hits) /
+                   static_cast<double>(cell.total_hits);
+    if (ratio < options_.fusion_min_ratio) continue;
+    survivors.push_back(cell.sum / static_cast<double>(cell.marking_hits));
+  }
+
+  // Step 4: chain surviving cells into boundary polylines by greedy
+  // nearest-neighbor walking.
+  std::vector<LineString> boundaries;
+  if (survivors.empty()) return boundaries;
+  GridIndex index(options_.chain_radius);
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    index.Insert(survivors[i], static_cast<int64_t>(i));
+  }
+  std::vector<bool> used(survivors.size(), false);
+
+  for (size_t seed = 0; seed < survivors.size(); ++seed) {
+    if (used[seed]) continue;
+    // Grow a chain in both directions from the seed.
+    std::vector<Vec2> chain{survivors[seed]};
+    used[seed] = true;
+    for (int direction = 0; direction < 2; ++direction) {
+      Vec2 cur = direction == 0 ? chain.back() : chain.front();
+      while (true) {
+        double best_d = options_.chain_radius;
+        int best = -1;
+        for (const auto& item :
+             index.RadiusSearch(cur, options_.chain_radius)) {
+          size_t idx = static_cast<size_t>(item.id);
+          if (used[idx]) continue;
+          double d = item.point.DistanceTo(cur);
+          if (d < best_d) {
+            best_d = d;
+            best = static_cast<int>(idx);
+          }
+        }
+        if (best < 0) break;
+        used[static_cast<size_t>(best)] = true;
+        cur = survivors[static_cast<size_t>(best)];
+        if (direction == 0) {
+          chain.push_back(cur);
+        } else {
+          chain.insert(chain.begin(), cur);
+        }
+      }
+    }
+    LineString candidate{std::move(chain)};
+    if (candidate.Length() >= options_.min_boundary_length) {
+      boundaries.push_back(candidate.Simplified(res / 2));
+    }
+  }
+  return boundaries;
+}
+
+double BoundaryExtractionError(const std::vector<LineString>& extracted,
+                               const HdMap& truth) {
+  RunningStats stats;
+  for (const LineString& boundary : extracted) {
+    double len = boundary.Length();
+    for (double s = 0.0; s <= len; s += 2.0) {
+      Vec2 p = boundary.PointAt(s);
+      double best = 10.0;  // Saturation: completely wrong extraction.
+      for (ElementId id :
+           truth.LineFeaturesInBox(Aabb::FromPoint(p, 10.0))) {
+        const LineFeature* lf = truth.FindLineFeature(id);
+        if (lf == nullptr || lf->type == LineType::kVirtual) continue;
+        best = std::min(best, lf->geometry.DistanceTo(p));
+      }
+      stats.Add(best);
+    }
+  }
+  return stats.mean();
+}
+
+}  // namespace hdmap

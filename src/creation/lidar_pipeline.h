@@ -1,0 +1,60 @@
+#ifndef HDMAP_CREATION_LIDAR_PIPELINE_H_
+#define HDMAP_CREATION_LIDAR_PIPELINE_H_
+
+#include <vector>
+
+#include "core/hd_map.h"
+#include "geometry/line_string.h"
+#include "geometry/pose2.h"
+#include "sim/sensors.h"
+
+namespace hdmap {
+
+/// One georeferenced LiDAR scan of a mobile mapping run.
+struct GeoScan {
+  Pose2 pose;  ///< Estimated scanner pose when the scan was taken.
+  std::vector<MarkingPoint> points;  ///< Vehicle-frame returns.
+};
+
+/// Automated vector road-structure mapping from multibeam LiDAR
+/// (Zhao et al. [32]), following the paper's five steps:
+///   1. aggregate scans into a georeferenced point cloud;
+///   2. project to a 2-D occupancy/intensity grid;
+///   3. remove ground returns (intensity filtering);
+///   4. extract road boundaries/markings from the grid;
+///   5. refine with a probabilistic fusion over repeated passes.
+class LidarMapper {
+ public:
+  struct Options {
+    double grid_resolution = 0.25;   ///< Meters per cell.
+    double intensity_threshold = 0.5;
+    /// Cells observed marking-like at least this fraction of visits
+    /// survive step 5.
+    double fusion_min_ratio = 0.5;
+    int min_cell_hits = 2;
+    /// Extracted polylines shorter than this are discarded, meters.
+    double min_boundary_length = 5.0;
+    /// Gap tolerance when chaining cells into polylines, meters.
+    double chain_radius = 0.9;
+  };
+
+  explicit LidarMapper(const Options& options) : options_(options) {}
+
+  /// Runs the pipeline over all scans; returns extracted boundary/marking
+  /// polylines in the world frame.
+  std::vector<LineString> ExtractBoundaries(
+      const std::vector<GeoScan>& scans) const;
+
+ private:
+  Options options_;
+};
+
+/// Mean absolute distance from sampled points of each extracted polyline
+/// to the nearest true marking/edge feature of the map: the pipeline's
+/// mapping error.
+double BoundaryExtractionError(const std::vector<LineString>& extracted,
+                               const HdMap& truth);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_CREATION_LIDAR_PIPELINE_H_

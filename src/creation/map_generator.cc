@@ -1,0 +1,313 @@
+#include "creation/map_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/statistics.h"
+#include "common/units.h"
+#include "core/ids.h"
+
+namespace hdmap {
+
+Result<MapTopologyStats> ExtractTopologyStats(const HdMap& map) {
+  if (map.lane_bundles().empty() || map.map_nodes().empty()) {
+    return Status::FailedPrecondition(
+        "stats extraction needs the bundle/node layer");
+  }
+  MapTopologyStats stats;
+  stats.num_nodes = map.map_nodes().size();
+  stats.num_segments = map.lane_bundles().size();
+
+  RunningStats lengths, lanes;
+  for (const auto& [id, bundle] : map.lane_bundles()) {
+    const MapNode* a = map.FindMapNode(bundle.from_node);
+    const MapNode* b = map.FindMapNode(bundle.to_node);
+    if (a == nullptr || b == nullptr) continue;
+    lengths.Add(a->position.DistanceTo(b->position));
+    lanes.Add(static_cast<double>(bundle.lanelet_ids.size()) / 2.0);
+  }
+  stats.mean_segment_length = lengths.mean();
+  stats.segment_length_stddev = lengths.stddev();
+  stats.mean_lanes_per_direction = std::max(1.0, lanes.mean());
+
+  size_t degree_total = 0;
+  std::array<size_t, 6> degree_counts{};
+  for (const auto& [id, node] : map.map_nodes()) {
+    size_t d = std::min<size_t>(5, node.bundle_ids.size());
+    ++degree_counts[d];
+    ++degree_total;
+  }
+  for (size_t i = 0; i < 6; ++i) {
+    stats.node_degree_pmf[i] =
+        static_cast<double>(degree_counts[i]) /
+        static_cast<double>(std::max<size_t>(1, degree_total));
+  }
+
+  // Local geometry: heading change per 25 m along bundle lanelets.
+  RunningStats heading_changes, speed;
+  for (const auto& [id, ll] : map.lanelets()) {
+    if (ll.bundle_id == kInvalidId) continue;  // Skip connectors.
+    speed.Add(ll.speed_limit_mps);
+    double len = ll.centerline.Length();
+    for (double s = 25.0; s < len; s += 25.0) {
+      heading_changes.Add(AngleDiff(ll.centerline.HeadingAt(s),
+                                    ll.centerline.HeadingAt(s - 25.0)));
+    }
+  }
+  stats.heading_change_stddev = heading_changes.stddev();
+  if (speed.count() > 0) stats.mean_speed_limit = speed.mean();
+  return stats;
+}
+
+namespace {
+
+/// Axis polyline from a to b with a sinusoidal lateral bow whose
+/// amplitude realizes the requested per-25m heading-change scale.
+LineString BowedAxis(const Vec2& a, const Vec2& b, double heading_sigma,
+                     double step, Rng& rng) {
+  double length = a.DistanceTo(b);
+  // Peak heading deviation of o(s) = A sin(pi s / L) is A*pi/L; per-25m
+  // heading change scales similarly, so A ~ sigma * L / pi gives the
+  // right order.
+  double amplitude = heading_sigma * length / std::numbers::pi *
+                     rng.Normal(0.0, 1.0);
+  amplitude = std::clamp(amplitude, -0.06 * length, 0.06 * length);
+  Vec2 dir = (b - a).Normalized();
+  Vec2 perp = dir.Perp();
+  int n = std::max(2, static_cast<int>(length / step));
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<size_t>(n) + 1);
+  for (int i = 0; i <= n; ++i) {
+    double t = static_cast<double>(i) / n;
+    double o = amplitude * std::sin(std::numbers::pi * t);
+    pts.push_back(a + dir * (t * length) + perp * o);
+  }
+  return LineString(std::move(pts));
+}
+
+LineString BezierLine(const Vec2& a, const Vec2& c, const Vec2& b,
+                      int samples) {
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<size_t>(samples) + 1);
+  for (int i = 0; i <= samples; ++i) {
+    double t = static_cast<double>(i) / samples;
+    double u = 1.0 - t;
+    pts.push_back(a * (u * u) + c * (2.0 * u * t) + b * (t * t));
+  }
+  return LineString(std::move(pts));
+}
+
+int FindRoot(std::vector<int>& parent, int x) {
+  while (parent[static_cast<size_t>(x)] != x) {
+    parent[static_cast<size_t>(x)] =
+        parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+    x = parent[static_cast<size_t>(x)];
+  }
+  return x;
+}
+
+}  // namespace
+
+Result<HdMap> GenerateFromStats(const MapTopologyStats& stats,
+                                const GeneratedMapOptions& options,
+                                Rng& rng) {
+  if (options.grid_rows < 2 || options.grid_cols < 2) {
+    return Status::InvalidArgument("generated lattice must be >= 2x2");
+  }
+  if (stats.mean_segment_length <= 10.0) {
+    return Status::InvalidArgument("segment length too small");
+  }
+  HdMap map;
+  IdAllocator ids;
+  int rows = options.grid_rows;
+  int cols = options.grid_cols;
+  double spacing = stats.mean_segment_length;
+  int lanes = std::max(1, static_cast<int>(std::round(
+                              stats.mean_lanes_per_direction)));
+  double lane_width = 3.5;
+  double margin = lanes * lane_width + 4.0;
+
+  // 1. Global graph nodes: jittered lattice.
+  std::vector<ElementId> node_ids(static_cast<size_t>(rows * cols));
+  std::vector<Vec2> node_pos(static_cast<size_t>(rows * cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      size_t idx = static_cast<size_t>(r * cols + c);
+      double jitter = options.jitter_frac * spacing;
+      node_pos[idx] = Vec2{c * spacing + rng.Uniform(-jitter, jitter),
+                           r * spacing + rng.Uniform(-jitter, jitter)};
+      MapNode node;
+      node.id = ids.Next();
+      node.position = node_pos[idx];
+      node_ids[idx] = node.id;
+      HDMAP_RETURN_IF_ERROR(map.AddMapNode(std::move(node)));
+    }
+  }
+
+  // 2. Edge selection: all lattice-neighbor candidates, a spanning tree
+  // first (connectivity), then extras sampled to hit the target segment
+  // count implied by the degree distribution.
+  struct Candidate {
+    int a;
+    int b;
+  };
+  std::vector<Candidate> candidates;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      int idx = r * cols + c;
+      if (c + 1 < cols) candidates.push_back({idx, idx + 1});
+      if (r + 1 < rows) candidates.push_back({idx, idx + cols});
+    }
+  }
+  // Shuffle deterministically.
+  for (size_t i = candidates.size(); i > 1; --i) {
+    size_t j = static_cast<size_t>(rng.UniformInt(0, static_cast<int>(i) - 1));
+    std::swap(candidates[i - 1], candidates[j]);
+  }
+  double mean_degree = 0.0;
+  for (size_t i = 0; i < stats.node_degree_pmf.size(); ++i) {
+    mean_degree += static_cast<double>(i) * stats.node_degree_pmf[i];
+  }
+  if (mean_degree <= 0.0) mean_degree = 3.0;
+  size_t target_edges = static_cast<size_t>(
+      std::round(mean_degree * static_cast<double>(rows * cols) / 2.0));
+  target_edges = std::min(target_edges, candidates.size());
+
+  std::vector<int> parent(static_cast<size_t>(rows * cols));
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+  std::vector<Candidate> kept;
+  std::vector<Candidate> extras;
+  for (const Candidate& cand : candidates) {
+    int ra = FindRoot(parent, cand.a);
+    int rb = FindRoot(parent, cand.b);
+    if (ra != rb) {
+      parent[static_cast<size_t>(ra)] = rb;
+      kept.push_back(cand);
+    } else {
+      extras.push_back(cand);
+    }
+  }
+  for (const Candidate& cand : extras) {
+    if (kept.size() >= target_edges) break;
+    kept.push_back(cand);
+  }
+
+  // 3. Realize each edge as a lane bundle with bowed local geometry.
+  struct DirectedLane {
+    ElementId lanelet;
+    Vec2 endpoint;
+    double heading;
+  };
+  std::map<ElementId, std::vector<DirectedLane>> approaches, departures;
+
+  for (const Candidate& cand : kept) {
+    Vec2 a = node_pos[static_cast<size_t>(cand.a)];
+    Vec2 b = node_pos[static_cast<size_t>(cand.b)];
+    Vec2 dir = (b - a).Normalized();
+    Vec2 a_trim = a + dir * margin;
+    Vec2 b_trim = b - dir * margin;
+    if (a_trim.DistanceTo(b_trim) < 20.0) continue;
+
+    LineString axis = BowedAxis(a_trim, b_trim, stats.heading_change_stddev,
+                                options.centerline_step, rng);
+    LaneBundle bundle;
+    bundle.id = ids.Next();
+    bundle.from_node = node_ids[static_cast<size_t>(cand.a)];
+    bundle.to_node = node_ids[static_cast<size_t>(cand.b)];
+
+    auto add_line = [&](double offset, LineType type) -> ElementId {
+      LineFeature lf;
+      lf.id = ids.Next();
+      lf.type = type;
+      lf.reflectivity = type == LineType::kRoadEdge ? 0.3 : 0.85;
+      lf.geometry = axis.Offset(offset);
+      ElementId id = lf.id;
+      (void)map.AddLineFeature(std::move(lf));
+      return id;
+    };
+    ElementId left_edge =
+        add_line(lanes * lane_width, LineType::kRoadEdge);
+    ElementId right_edge =
+        add_line(-lanes * lane_width, LineType::kRoadEdge);
+    ElementId divider = add_line(0.0, LineType::kSolidLaneMarking);
+    std::vector<ElementId> fwd_sep, bwd_sep;
+    for (int i = 1; i < lanes; ++i) {
+      fwd_sep.push_back(
+          add_line(-i * lane_width, LineType::kDashedLaneMarking));
+      bwd_sep.push_back(
+          add_line(i * lane_width, LineType::kDashedLaneMarking));
+    }
+
+    for (int direction = 0; direction < 2; ++direction) {
+      for (int i = 0; i < lanes; ++i) {
+        double side = direction == 0 ? -1.0 : 1.0;
+        Lanelet ll;
+        ll.id = ids.Next();
+        LineString center = axis.Offset(side * (i + 0.5) * lane_width);
+        if (direction == 1) center = center.Reversed();
+        ll.centerline = std::move(center);
+        if (direction == 0) {
+          ll.left_boundary_id =
+              i == 0 ? divider : fwd_sep[static_cast<size_t>(i - 1)];
+          ll.right_boundary_id =
+              i == lanes - 1 ? right_edge : fwd_sep[static_cast<size_t>(i)];
+        } else {
+          ll.left_boundary_id =
+              i == 0 ? divider : bwd_sep[static_cast<size_t>(i - 1)];
+          ll.right_boundary_id =
+              i == lanes - 1 ? left_edge : bwd_sep[static_cast<size_t>(i)];
+        }
+        ll.speed_limit_mps = stats.mean_speed_limit;
+        ll.bundle_id = bundle.id;
+        bundle.lanelet_ids.push_back(ll.id);
+        ElementId in_node = direction == 0 ? bundle.to_node
+                                           : bundle.from_node;
+        ElementId out_node = direction == 0 ? bundle.from_node
+                                            : bundle.to_node;
+        approaches[in_node].push_back(
+            {ll.id, ll.centerline.back(),
+             ll.centerline.HeadingAt(ll.centerline.Length())});
+        departures[out_node].push_back(
+            {ll.id, ll.centerline.front(), ll.centerline.HeadingAt(0.0)});
+        HDMAP_RETURN_IF_ERROR(map.AddLanelet(std::move(ll)));
+      }
+    }
+    MapNode* na = map.FindMutableMapNode(bundle.from_node);
+    MapNode* nb = map.FindMutableMapNode(bundle.to_node);
+    if (na != nullptr) na->bundle_ids.push_back(bundle.id);
+    if (nb != nullptr) nb->bundle_ids.push_back(bundle.id);
+    HDMAP_RETURN_IF_ERROR(map.AddLaneBundle(std::move(bundle)));
+  }
+
+  // 4. Intersection connectors (topology).
+  for (const auto& [node_id, ins] : approaches) {
+    const MapNode* node = map.FindMapNode(node_id);
+    auto dep_it = departures.find(node_id);
+    if (node == nullptr || dep_it == departures.end()) continue;
+    for (const DirectedLane& in : ins) {
+      for (const DirectedLane& out : dep_it->second) {
+        double turn = AngleDiff(out.heading, in.heading);
+        if (std::abs(std::abs(turn) - std::numbers::pi) < 0.15) continue;
+        Lanelet conn;
+        conn.id = ids.Next();
+        ElementId conn_id = conn.id;
+        conn.centerline =
+            BezierLine(in.endpoint, node->position, out.endpoint, 8);
+        conn.speed_limit_mps = stats.mean_speed_limit * 0.6;
+        HDMAP_RETURN_IF_ERROR(map.AddLanelet(std::move(conn)));
+        Lanelet* from_ll = map.FindMutableLanelet(in.lanelet);
+        Lanelet* conn_ll = map.FindMutableLanelet(conn_id);
+        Lanelet* to_ll = map.FindMutableLanelet(out.lanelet);
+        from_ll->successors.push_back(conn_id);
+        conn_ll->predecessors.push_back(in.lanelet);
+        conn_ll->successors.push_back(out.lanelet);
+        to_ll->predecessors.push_back(conn_id);
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace hdmap

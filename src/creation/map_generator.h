@@ -1,0 +1,55 @@
+#ifndef HDMAP_CREATION_MAP_GENERATOR_H_
+#define HDMAP_CREATION_MAP_GENERATOR_H_
+
+#include <array>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/hd_map.h"
+
+namespace hdmap {
+
+/// Statistics of an HD map's two-level structure (HDMapGen [24]): the
+/// global graph — nodes at intersections, edges as lane connections —
+/// plus local geometry statistics (curvature) for each lane.
+struct MapTopologyStats {
+  /// Global graph.
+  double mean_segment_length = 0.0;
+  double segment_length_stddev = 0.0;
+  /// P(node degree == i) for i in 0..5+ (clamped).
+  std::array<double, 6> node_degree_pmf{};
+  double mean_lanes_per_direction = 1.0;
+  /// Local geometry: stddev of per-25m heading change along centerlines.
+  double heading_change_stddev = 0.0;
+  double mean_speed_limit = 13.89;
+
+  size_t num_nodes = 0;
+  size_t num_segments = 0;
+};
+
+/// Extracts the two-level statistics from an example map. Requires the
+/// bundle/node layer (maps from GenerateTown or hand-built HiDAM maps).
+Result<MapTopologyStats> ExtractTopologyStats(const HdMap& map);
+
+struct GeneratedMapOptions {
+  int grid_rows = 5;
+  int grid_cols = 5;
+  /// Node placement jitter as a fraction of the segment length.
+  double jitter_frac = 0.15;
+  double centerline_step = 10.0;
+};
+
+/// Generates a new HD map whose global-graph and local-geometry
+/// statistics match `stats` (the HDMapGen [24] generative direction,
+/// realized with an explicit statistical model instead of a learned
+/// autoregressive one): nodes are placed on a jittered lattice at the
+/// example's segment-length scale, edges are dropped to match the degree
+/// distribution, and lane centerlines get heading noise matching the
+/// example's curvature. The result carries full topology and validates.
+Result<HdMap> GenerateFromStats(const MapTopologyStats& stats,
+                                const GeneratedMapOptions& options,
+                                Rng& rng);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_CREATION_MAP_GENERATOR_H_

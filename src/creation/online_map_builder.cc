@@ -1,0 +1,92 @@
+#include "creation/online_map_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdmap {
+
+OnlineMapBuilder::OnlineMapBuilder(const Options& options)
+    : options_(options) {}
+
+void OnlineMapBuilder::IntegrateFrame(
+    const Pose2& pose, const std::vector<MarkingPoint>& scan,
+    const std::vector<LandmarkDetection>& detections) {
+  ++num_frames_;
+  double res = options_.resolution;
+  auto cell_of = [&](const Vec2& world) {
+    return std::pair<int, int>{
+        static_cast<int>(std::floor(world.x / res)),
+        static_cast<int>(std::floor(world.y / res))};
+  };
+  for (const MarkingPoint& p : scan) {
+    Vec2 world = pose.TransformPoint(p.position_vehicle);
+    if (world.DistanceTo(pose.translation) > options_.extent) continue;
+    observed_.Extend(world);
+    CellEvidence& cell = evidence_[cell_of(world)];
+    if (p.intensity >= options_.intensity_threshold) {
+      ++cell.marking;
+    } else {
+      // Low-intensity returns vote weakly for drivable surface; curbs
+      // and edges come from their characteristic intensity band.
+      if (p.intensity < 0.45 && p.intensity > 0.2) ++cell.road_edge;
+    }
+  }
+  for (const LandmarkDetection& det : detections) {
+    Vec2 world = pose.TransformPoint(det.position_vehicle);
+    if (world.DistanceTo(pose.translation) > options_.extent) continue;
+    observed_.Extend(world);
+    CellEvidence& cell = evidence_[cell_of(world)];
+    if (det.type == LandmarkType::kTrafficLight) {
+      ++cell.light;
+    } else {
+      ++cell.sign;
+    }
+  }
+}
+
+SemanticRaster OnlineMapBuilder::Build() const {
+  if (observed_.IsEmpty()) {
+    return SemanticRaster(Aabb({0, 0}, {1, 1}), options_.resolution);
+  }
+  SemanticRaster raster(observed_.Expanded(options_.resolution),
+                        options_.resolution);
+  double res = options_.resolution;
+  for (const auto& [key, cell] : evidence_) {
+    Vec2 center{(key.first + 0.5) * res, (key.second + 0.5) * res};
+    int cx = 0, cy = 0;
+    raster.WorldToCell(center, &cx, &cy);
+    if (cell.marking >= options_.min_evidence) {
+      raster.Set(cx, cy, kRasterLaneMarking);
+    }
+    if (cell.road_edge >= options_.min_evidence * 2 &&
+        cell.road_edge > cell.marking) {
+      raster.Set(cx, cy, kRasterRoadEdge);
+    }
+    if (cell.sign >= options_.min_evidence) {
+      raster.Set(cx, cy, kRasterSign);
+    }
+    if (cell.light >= options_.min_evidence) {
+      raster.Set(cx, cy, kRasterLight);
+    }
+  }
+  return raster;
+}
+
+double OnlineMapBuilder::Iou(const SemanticRaster& built,
+                             const SemanticRaster& truth) {
+  size_t intersection = 0;
+  size_t union_count = 0;
+  for (int cy = 0; cy < built.height(); ++cy) {
+    for (int cx = 0; cx < built.width(); ++cx) {
+      bool b = built.At(cx, cy) != 0;
+      bool t = truth.Sample(built.CellCenter(cx, cy)) != 0;
+      if (b || t) ++union_count;
+      if (b && t) ++intersection;
+    }
+  }
+  return union_count == 0
+             ? 0.0
+             : static_cast<double>(intersection) / union_count;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,66 @@
+#ifndef HDMAP_CREATION_ONLINE_MAP_BUILDER_H_
+#define HDMAP_CREATION_ONLINE_MAP_BUILDER_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/raster_layer.h"
+#include "geometry/pose2.h"
+#include "sim/sensors.h"
+
+namespace hdmap {
+
+/// On-the-fly local semantic map construction from onboard sensors
+/// (HDMapNet [25]: fuse camera/LiDAR streams into a local semantic map
+/// instead of relying on a pre-built one). Accumulates per-frame
+/// marking returns and landmark detections into an ego-centric rolling
+/// semantic raster with per-cell evidence counting.
+class OnlineMapBuilder {
+ public:
+  struct Options {
+    double extent = 60.0;       ///< Half-extent of the built map, m.
+    double resolution = 0.5;
+    /// Evidence needed before a cell's class is emitted.
+    int min_evidence = 2;
+    double intensity_threshold = 0.5;
+  };
+
+  explicit OnlineMapBuilder(const Options& options);
+
+  /// Integrates one frame taken at `pose` (world frame anchors the
+  /// rolling map; HDMapNet's ego-frame map is the same content).
+  void IntegrateFrame(const Pose2& pose,
+                      const std::vector<MarkingPoint>& scan,
+                      const std::vector<LandmarkDetection>& detections);
+
+  /// The semantic map built so far: cells with enough evidence, rendered
+  /// into a SemanticRaster over the observed region.
+  SemanticRaster Build() const;
+
+  /// Intersection-over-union of the built map against a ground-truth
+  /// raster (per-class bits collapsed to occupancy) — the segmentation
+  /// metric HDMapNet reports.
+  static double Iou(const SemanticRaster& built,
+                    const SemanticRaster& truth);
+
+  size_t num_frames() const { return num_frames_; }
+
+ private:
+  struct CellEvidence {
+    int marking = 0;
+    int road_edge = 0;
+    int sign = 0;
+    int light = 0;
+  };
+  /// Keyed by quantized world cell.
+  std::map<std::pair<int, int>, CellEvidence> evidence_;
+  Options options_;
+  Aabb observed_;
+  size_t num_frames_ = 0;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_CREATION_ONLINE_MAP_BUILDER_H_

@@ -1,0 +1,71 @@
+#ifndef HDMAP_GEOMETRY_AABB_H_
+#define HDMAP_GEOMETRY_AABB_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "geometry/vec2.h"
+
+namespace hdmap {
+
+/// Axis-aligned bounding box. Default-constructed box is empty (inverted).
+struct Aabb {
+  Vec2 min{std::numeric_limits<double>::max(),
+           std::numeric_limits<double>::max()};
+  Vec2 max{std::numeric_limits<double>::lowest(),
+           std::numeric_limits<double>::lowest()};
+
+  constexpr Aabb() = default;
+  constexpr Aabb(Vec2 min_in, Vec2 max_in) : min(min_in), max(max_in) {}
+
+  static Aabb FromPoint(const Vec2& p, double half_extent = 0.0) {
+    return Aabb({p.x - half_extent, p.y - half_extent},
+                {p.x + half_extent, p.y + half_extent});
+  }
+
+  bool IsEmpty() const { return min.x > max.x || min.y > max.y; }
+
+  void Extend(const Vec2& p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+  }
+
+  void Extend(const Aabb& o) {
+    if (o.IsEmpty()) return;
+    Extend(o.min);
+    Extend(o.max);
+  }
+
+  /// Grows the box by `margin` on every side.
+  Aabb Expanded(double margin) const {
+    return Aabb({min.x - margin, min.y - margin},
+                {max.x + margin, max.y + margin});
+  }
+
+  bool Contains(const Vec2& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  bool Intersects(const Aabb& o) const {
+    return !(o.min.x > max.x || o.max.x < min.x || o.min.y > max.y ||
+             o.max.y < min.y);
+  }
+
+  Vec2 Center() const { return (min + max) * 0.5; }
+  double Width() const { return max.x - min.x; }
+  double Height() const { return max.y - min.y; }
+  double Area() const { return IsEmpty() ? 0.0 : Width() * Height(); }
+
+  /// Euclidean distance from p to the box (0 when inside).
+  double DistanceTo(const Vec2& p) const {
+    double dx = std::max({min.x - p.x, 0.0, p.x - max.x});
+    double dy = std::max({min.y - p.y, 0.0, p.y - max.y});
+    return std::sqrt(dx * dx + dy * dy);
+  }
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_GEOMETRY_AABB_H_

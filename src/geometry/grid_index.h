@@ -1,0 +1,91 @@
+#ifndef HDMAP_GEOMETRY_GRID_INDEX_H_
+#define HDMAP_GEOMETRY_GRID_INDEX_H_
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/aabb.h"
+#include "geometry/vec2.h"
+
+namespace hdmap {
+
+/// Uniform-grid spatial hash over (point, id) pairs. Supports incremental
+/// insertion (unlike the static KdTree/RTree), which map-update pipelines
+/// need.
+class GridIndex {
+ public:
+  explicit GridIndex(double cell_size = 10.0) : cell_size_(cell_size) {}
+
+  void Insert(const Vec2& p, int64_t id) {
+    cells_[KeyFor(p)].push_back({p, id});
+    ++size_;
+  }
+
+  /// Removes the first element with this id in the cell containing p.
+  /// Returns true if removed.
+  bool Remove(const Vec2& p, int64_t id) {
+    auto it = cells_.find(KeyFor(p));
+    if (it == cells_.end()) return false;
+    auto& vec = it->second;
+    for (size_t i = 0; i < vec.size(); ++i) {
+      if (vec[i].id == id) {
+        vec[i] = vec.back();
+        vec.pop_back();
+        --size_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  size_t size() const { return size_; }
+
+  struct Item {
+    Vec2 point;
+    int64_t id;
+  };
+
+  /// All items within `radius` of `query`.
+  std::vector<Item> RadiusSearch(const Vec2& query, double radius) const {
+    std::vector<Item> out;
+    double r2 = radius * radius;
+    int cx_lo = CellCoord(query.x - radius);
+    int cx_hi = CellCoord(query.x + radius);
+    int cy_lo = CellCoord(query.y - radius);
+    int cy_hi = CellCoord(query.y + radius);
+    for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+      for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+        auto it = cells_.find(Key(cx, cy));
+        if (it == cells_.end()) continue;
+        for (const Item& item : it->second) {
+          if (item.point.SquaredDistanceTo(query) <= r2) {
+            out.push_back(item);
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  int CellCoord(double v) const {
+    return static_cast<int>(std::floor(v / cell_size_));
+  }
+  static uint64_t Key(int cx, int cy) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+           static_cast<uint32_t>(cy);
+  }
+  uint64_t KeyFor(const Vec2& p) const {
+    return Key(CellCoord(p.x), CellCoord(p.y));
+  }
+
+  double cell_size_;
+  std::unordered_map<uint64_t, std::vector<Item>> cells_;
+  size_t size_ = 0;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_GEOMETRY_GRID_INDEX_H_

@@ -1,0 +1,121 @@
+#include "geometry/kd_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace hdmap {
+
+KdTree::KdTree(std::vector<Entry> entries) : entries_(std::move(entries)) {
+  if (entries_.empty()) return;
+  nodes_.reserve(entries_.size());
+  std::vector<int> order(entries_.size());
+  std::iota(order.begin(), order.end(), 0);
+  root_ = Build(0, static_cast<int>(order.size()), 0, order);
+}
+
+int KdTree::Build(int lo, int hi, int depth, std::vector<int>& order) {
+  if (lo >= hi) return -1;
+  int axis = depth % 2;
+  int mid = (lo + hi) / 2;
+  std::nth_element(order.begin() + lo, order.begin() + mid,
+                   order.begin() + hi, [&](int a, int b) {
+                     const Vec2& pa = entries_[static_cast<size_t>(a)].point;
+                     const Vec2& pb = entries_[static_cast<size_t>(b)].point;
+                     return axis == 0 ? pa.x < pb.x : pa.y < pb.y;
+                   });
+  int node_idx = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{order[static_cast<size_t>(mid)], -1, -1, axis});
+  int left = Build(lo, mid, depth + 1, order);
+  int right = Build(mid + 1, hi, depth + 1, order);
+  nodes_[static_cast<size_t>(node_idx)].left = left;
+  nodes_[static_cast<size_t>(node_idx)].right = right;
+  return node_idx;
+}
+
+void KdTree::NearestImpl(int node, const Vec2& q, double& best_d2,
+                         int& best) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  const Vec2& p = entries_[static_cast<size_t>(n.entry)].point;
+  double d2 = q.SquaredDistanceTo(p);
+  if (d2 < best_d2) {
+    best_d2 = d2;
+    best = n.entry;
+  }
+  double delta = n.axis == 0 ? q.x - p.x : q.y - p.y;
+  int near = delta <= 0.0 ? n.left : n.right;
+  int far = delta <= 0.0 ? n.right : n.left;
+  NearestImpl(near, q, best_d2, best);
+  if (delta * delta < best_d2) NearestImpl(far, q, best_d2, best);
+}
+
+const KdTree::Entry* KdTree::Nearest(const Vec2& query) const {
+  if (root_ < 0) return nullptr;
+  double best_d2 = std::numeric_limits<double>::max();
+  int best = -1;
+  NearestImpl(root_, query, best_d2, best);
+  return best >= 0 ? &entries_[static_cast<size_t>(best)] : nullptr;
+}
+
+void KdTree::KNearestImpl(
+    int node, const Vec2& q, size_t k,
+    std::vector<std::pair<double, int>>& heap) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  const Vec2& p = entries_[static_cast<size_t>(n.entry)].point;
+  double d2 = q.SquaredDistanceTo(p);
+  if (heap.size() < k) {
+    heap.emplace_back(d2, n.entry);
+    std::push_heap(heap.begin(), heap.end());
+  } else if (d2 < heap.front().first) {
+    std::pop_heap(heap.begin(), heap.end());
+    heap.back() = {d2, n.entry};
+    std::push_heap(heap.begin(), heap.end());
+  }
+  double delta = n.axis == 0 ? q.x - p.x : q.y - p.y;
+  int near = delta <= 0.0 ? n.left : n.right;
+  int far = delta <= 0.0 ? n.right : n.left;
+  KNearestImpl(near, q, k, heap);
+  if (heap.size() < k || delta * delta < heap.front().first) {
+    KNearestImpl(far, q, k, heap);
+  }
+}
+
+std::vector<KdTree::Entry> KdTree::KNearest(const Vec2& query,
+                                            size_t k) const {
+  std::vector<std::pair<double, int>> heap;
+  heap.reserve(k + 1);
+  KNearestImpl(root_, query, k, heap);
+  std::sort_heap(heap.begin(), heap.end());
+  std::vector<Entry> out;
+  out.reserve(heap.size());
+  for (const auto& [d2, idx] : heap) {
+    out.push_back(entries_[static_cast<size_t>(idx)]);
+  }
+  return out;
+}
+
+void KdTree::RadiusImpl(int node, const Vec2& q, double r2,
+                        std::vector<Entry>& out) const {
+  if (node < 0) return;
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  const Vec2& p = entries_[static_cast<size_t>(n.entry)].point;
+  if (q.SquaredDistanceTo(p) <= r2) {
+    out.push_back(entries_[static_cast<size_t>(n.entry)]);
+  }
+  double delta = n.axis == 0 ? q.x - p.x : q.y - p.y;
+  int near = delta <= 0.0 ? n.left : n.right;
+  int far = delta <= 0.0 ? n.right : n.left;
+  RadiusImpl(near, q, r2, out);
+  if (delta * delta <= r2) RadiusImpl(far, q, r2, out);
+}
+
+std::vector<KdTree::Entry> KdTree::RadiusSearch(const Vec2& query,
+                                                double radius) const {
+  std::vector<Entry> out;
+  RadiusImpl(root_, query, radius * radius, out);
+  return out;
+}
+
+}  // namespace hdmap

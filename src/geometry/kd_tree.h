@@ -1,0 +1,58 @@
+#ifndef HDMAP_GEOMETRY_KD_TREE_H_
+#define HDMAP_GEOMETRY_KD_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/vec2.h"
+
+namespace hdmap {
+
+/// Static 2-D k-d tree over (point, id) pairs. Build once, query many
+/// times; used for nearest-landmark lookup, marking association, etc.
+class KdTree {
+ public:
+  struct Entry {
+    Vec2 point;
+    int64_t id = 0;
+  };
+
+  KdTree() = default;
+  explicit KdTree(std::vector<Entry> entries);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Nearest entry to `query`; nullptr when empty.
+  const Entry* Nearest(const Vec2& query) const;
+
+  /// K nearest entries, closest first.
+  std::vector<Entry> KNearest(const Vec2& query, size_t k) const;
+
+  /// All entries within `radius` of `query` (unordered).
+  std::vector<Entry> RadiusSearch(const Vec2& query, double radius) const;
+
+ private:
+  struct Node {
+    int entry = -1;       // Index into entries_.
+    int left = -1;
+    int right = -1;
+    int axis = 0;         // 0 = x, 1 = y.
+  };
+
+  int Build(int lo, int hi, int depth, std::vector<int>& order);
+  void NearestImpl(int node, const Vec2& q, double& best_d2,
+                   int& best) const;
+  void KNearestImpl(int node, const Vec2& q, size_t k,
+                    std::vector<std::pair<double, int>>& heap) const;
+  void RadiusImpl(int node, const Vec2& q, double r2,
+                  std::vector<Entry>& out) const;
+
+  std::vector<Entry> entries_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_GEOMETRY_KD_TREE_H_

@@ -1,0 +1,159 @@
+#include "geometry/line_fitting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace hdmap {
+
+std::optional<Line> FitLineLeastSquares(const std::vector<Vec2>& points) {
+  if (points.size() < 2) return std::nullopt;
+  Vec2 mean;
+  for (const Vec2& p : points) mean += p;
+  mean = mean / static_cast<double>(points.size());
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (const Vec2& p : points) {
+    Vec2 d = p - mean;
+    sxx += d.x * d.x;
+    sxy += d.x * d.y;
+    syy += d.y * d.y;
+  }
+  // Smallest eigenvector of the covariance matrix is the line normal.
+  double trace = sxx + syy;
+  double det = sxx * syy - sxy * sxy;
+  double disc = std::sqrt(std::max(0.0, trace * trace / 4.0 - det));
+  double lambda_min = trace / 2.0 - disc;
+  Vec2 normal;
+  if (std::abs(sxy) > 1e-12) {
+    normal = Vec2{lambda_min - syy, sxy}.Normalized();
+  } else {
+    normal = sxx <= syy ? Vec2{1.0, 0.0} : Vec2{0.0, 1.0};
+  }
+  if (normal.SquaredNorm() < 0.5) return std::nullopt;
+  Line line;
+  line.normal = normal;
+  line.offset = normal.Dot(mean);
+  return line;
+}
+
+std::optional<RansacLineResult> FitLineRansac(const std::vector<Vec2>& points,
+                                              const RansacOptions& options,
+                                              Rng& rng) {
+  if (static_cast<int>(points.size()) < std::max(2, options.min_inliers)) {
+    return std::nullopt;
+  }
+  int n = static_cast<int>(points.size());
+  std::vector<int> best_inliers;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    int i = rng.UniformInt(0, n - 1);
+    int j = rng.UniformInt(0, n - 1);
+    if (i == j) continue;
+    Vec2 dir = points[static_cast<size_t>(j)] - points[static_cast<size_t>(i)];
+    if (dir.SquaredNorm() < 1e-12) continue;
+    Line candidate;
+    candidate.normal = dir.Normalized().Perp();
+    candidate.offset = candidate.normal.Dot(points[static_cast<size_t>(i)]);
+    std::vector<int> inliers;
+    for (int k = 0; k < n; ++k) {
+      if (candidate.DistanceTo(points[static_cast<size_t>(k)]) <=
+          options.inlier_threshold) {
+        inliers.push_back(k);
+      }
+    }
+    if (inliers.size() > best_inliers.size()) {
+      best_inliers = std::move(inliers);
+    }
+  }
+  if (static_cast<int>(best_inliers.size()) < options.min_inliers) {
+    return std::nullopt;
+  }
+  // Refine on the inlier set.
+  std::vector<Vec2> inlier_points;
+  inlier_points.reserve(best_inliers.size());
+  for (int idx : best_inliers) {
+    inlier_points.push_back(points[static_cast<size_t>(idx)]);
+  }
+  auto refined = FitLineLeastSquares(inlier_points);
+  RansacLineResult result;
+  if (refined.has_value()) {
+    result.line = *refined;
+  }
+  result.inliers = std::move(best_inliers);
+  return result;
+}
+
+std::vector<HoughPeak> HoughLines(const std::vector<Vec2>& points,
+                                  const HoughOptions& options) {
+  std::vector<HoughPeak> peaks;
+  if (points.empty()) return peaks;
+
+  double max_rho = 0.0;
+  for (const Vec2& p : points) max_rho = std::max(max_rho, p.Norm());
+  max_rho += options.rho_resolution;
+
+  int num_theta = std::max(
+      1, static_cast<int>(std::numbers::pi / options.theta_resolution));
+  int num_rho =
+      std::max(1, static_cast<int>(2.0 * max_rho / options.rho_resolution));
+  std::vector<int> acc(static_cast<size_t>(num_theta) *
+                           static_cast<size_t>(num_rho),
+                       0);
+
+  auto acc_at = [&](int t, int r) -> int& {
+    return acc[static_cast<size_t>(t) * static_cast<size_t>(num_rho) +
+               static_cast<size_t>(r)];
+  };
+
+  for (const Vec2& p : points) {
+    for (int t = 0; t < num_theta; ++t) {
+      double theta = (t + 0.5) * options.theta_resolution;
+      double rho = p.x * std::cos(theta) + p.y * std::sin(theta);
+      int r = static_cast<int>((rho + max_rho) / options.rho_resolution);
+      if (r >= 0 && r < num_rho) ++acc_at(t, r);
+    }
+  }
+
+  // Collect candidate cells above the vote threshold, strongest first.
+  struct Cell {
+    int votes;
+    int t;
+    int r;
+  };
+  std::vector<Cell> candidates;
+  for (int t = 0; t < num_theta; ++t) {
+    for (int r = 0; r < num_rho; ++r) {
+      int v = acc_at(t, r);
+      if (v >= options.min_votes) candidates.push_back({v, t, r});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Cell& a, const Cell& b) { return a.votes > b.votes; });
+
+  std::vector<Cell> accepted;
+  for (const Cell& c : candidates) {
+    if (static_cast<int>(accepted.size()) >= options.max_peaks) break;
+    bool suppressed = false;
+    for (const Cell& a : accepted) {
+      int dt = std::abs(a.t - c.t);
+      dt = std::min(dt, num_theta - dt);  // Theta wraps at pi.
+      if (dt <= options.suppression_radius &&
+          std::abs(a.r - c.r) <= options.suppression_radius) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) accepted.push_back(c);
+  }
+
+  peaks.reserve(accepted.size());
+  for (const Cell& c : accepted) {
+    HoughPeak peak;
+    peak.theta = (c.t + 0.5) * options.theta_resolution;
+    peak.rho = (c.r + 0.5) * options.rho_resolution - max_rho;
+    peak.votes = c.votes;
+    peaks.push_back(peak);
+  }
+  return peaks;
+}
+
+}  // namespace hdmap

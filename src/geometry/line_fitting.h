@@ -1,0 +1,75 @@
+#ifndef HDMAP_GEOMETRY_LINE_FITTING_H_
+#define HDMAP_GEOMETRY_LINE_FITTING_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/vec2.h"
+
+namespace hdmap {
+
+/// Infinite line in normal form: n . p = c with |n| = 1.
+struct Line {
+  Vec2 normal{0.0, 1.0};
+  double offset = 0.0;
+
+  double DistanceTo(const Vec2& p) const {
+    return std::abs(normal.Dot(p) - offset);
+  }
+  /// Direction along the line.
+  Vec2 Direction() const { return normal.Perp(); }
+};
+
+/// Total-least-squares line fit (PCA). Requires >= 2 points.
+std::optional<Line> FitLineLeastSquares(const std::vector<Vec2>& points);
+
+struct RansacOptions {
+  int max_iterations = 100;
+  double inlier_threshold = 0.15;  // meters
+  int min_inliers = 5;
+};
+
+struct RansacLineResult {
+  Line line;
+  std::vector<int> inliers;  // Indices into the input point set.
+};
+
+/// RANSAC line fit with least-squares refinement on the inlier set.
+/// Used by LiDAR lane-marking extraction (Ghallabi et al. style).
+std::optional<RansacLineResult> FitLineRansac(
+    const std::vector<Vec2>& points, const RansacOptions& options, Rng& rng);
+
+/// Peak found by the Hough transform: a line plus its supporting votes.
+struct HoughPeak {
+  double rho = 0.0;    // Signed distance of line from origin.
+  double theta = 0.0;  // Normal angle in [0, pi).
+  int votes = 0;
+
+  Line ToLine() const {
+    Line l;
+    l.normal = {std::cos(theta), std::sin(theta)};
+    l.offset = rho;
+    return l;
+  }
+};
+
+struct HoughOptions {
+  double rho_resolution = 0.2;            // meters
+  double theta_resolution = 0.0174533;    // ~1 degree, radians
+  int min_votes = 8;
+  int max_peaks = 16;
+  /// Peaks closer than this (in accumulator cells) to a stronger peak are
+  /// suppressed.
+  int suppression_radius = 3;
+};
+
+/// Classical Hough line transform over a 2-D point set, with non-maximum
+/// suppression. Points should be roughly centered near the origin for a
+/// compact accumulator (callers typically pass sensor-frame points).
+std::vector<HoughPeak> HoughLines(const std::vector<Vec2>& points,
+                                  const HoughOptions& options);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_GEOMETRY_LINE_FITTING_H_

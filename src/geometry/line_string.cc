@@ -1,0 +1,204 @@
+#include "geometry/line_string.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+#include "geometry/segment.h"
+
+namespace hdmap {
+
+LineString::LineString(std::vector<Vec2> points)
+    : points_(std::move(points)) {
+  RebuildArcLengths();
+}
+
+void LineString::Append(const Vec2& p) {
+  if (points_.empty()) {
+    points_.push_back(p);
+    cumulative_.push_back(0.0);
+    return;
+  }
+  cumulative_.push_back(cumulative_.back() + points_.back().DistanceTo(p));
+  points_.push_back(p);
+}
+
+void LineString::RebuildArcLengths() {
+  cumulative_.resize(points_.size());
+  if (points_.empty()) return;
+  cumulative_[0] = 0.0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    cumulative_[i] =
+        cumulative_[i - 1] + points_[i - 1].DistanceTo(points_[i]);
+  }
+}
+
+double LineString::Length() const {
+  return cumulative_.empty() ? 0.0 : cumulative_.back();
+}
+
+double LineString::ArcLengthAt(size_t i) const { return cumulative_[i]; }
+
+size_t LineString::SegmentIndexAt(double s, double* remainder) const {
+  if (points_.size() < 2) {
+    *remainder = 0.0;
+    return 0;
+  }
+  s = std::clamp(s, 0.0, Length());
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+  size_t idx = static_cast<size_t>(it - cumulative_.begin());
+  if (idx == 0) idx = 1;
+  if (idx >= points_.size()) idx = points_.size() - 1;
+  size_t seg = idx - 1;
+  *remainder = s - cumulative_[seg];
+  return seg;
+}
+
+Vec2 LineString::PointAt(double s) const {
+  if (points_.empty()) return {};
+  if (points_.size() == 1) return points_[0];
+  double rem = 0.0;
+  size_t seg = SegmentIndexAt(s, &rem);
+  double seg_len = cumulative_[seg + 1] - cumulative_[seg];
+  double t = seg_len > 0.0 ? rem / seg_len : 0.0;
+  return Lerp(points_[seg], points_[seg + 1], t);
+}
+
+Vec2 LineString::TangentAt(double s) const {
+  if (points_.size() < 2) return {1.0, 0.0};
+  double rem = 0.0;
+  size_t seg = SegmentIndexAt(s, &rem);
+  return (points_[seg + 1] - points_[seg]).Normalized();
+}
+
+double LineString::HeadingAt(double s) const { return TangentAt(s).Angle(); }
+
+double LineString::CurvatureAt(double s) const {
+  if (points_.size() < 3) return 0.0;
+  double rem = 0.0;
+  size_t seg = SegmentIndexAt(s, &rem);
+  // Use vertices around the segment: prev, current heading change.
+  size_t i = std::clamp<size_t>(seg, 1, points_.size() - 2);
+  Vec2 d0 = points_[i] - points_[i - 1];
+  Vec2 d1 = points_[i + 1] - points_[i];
+  double h0 = d0.Angle();
+  double h1 = d1.Angle();
+  double ds = 0.5 * (d0.Norm() + d1.Norm());
+  if (ds <= 0.0) return 0.0;
+  return AngleDiff(h1, h0) / ds;
+}
+
+LineStringProjection LineString::Project(const Vec2& p) const {
+  LineStringProjection best;
+  if (points_.empty()) return best;
+  if (points_.size() == 1) {
+    best.point = points_[0];
+    best.distance = p.DistanceTo(points_[0]);
+    best.signed_offset = best.distance;
+    return best;
+  }
+  double best_dist2 = std::numeric_limits<double>::max();
+  for (size_t i = 0; i + 1 < points_.size(); ++i) {
+    Segment seg(points_[i], points_[i + 1]);
+    double t = seg.ClosestParam(p);
+    Vec2 foot = Lerp(seg.a, seg.b, t);
+    double d2 = p.SquaredDistanceTo(foot);
+    if (d2 < best_dist2) {
+      best_dist2 = d2;
+      best.point = foot;
+      best.segment_index = i;
+      best.arc_length = cumulative_[i] + t * (cumulative_[i + 1] - cumulative_[i]);
+      Vec2 dir = seg.b - seg.a;
+      double side = dir.Cross(p - foot);
+      best.distance = std::sqrt(d2);
+      best.signed_offset = side >= 0.0 ? best.distance : -best.distance;
+    }
+  }
+  return best;
+}
+
+double LineString::DistanceTo(const Vec2& p) const {
+  return Project(p).distance;
+}
+
+LineString LineString::Resampled(double spacing) const {
+  if (points_.size() < 2 || spacing <= 0.0) return *this;
+  double len = Length();
+  int n = std::max(1, static_cast<int>(std::round(len / spacing)));
+  std::vector<Vec2> out;
+  out.reserve(static_cast<size_t>(n) + 1);
+  for (int i = 0; i <= n; ++i) {
+    out.push_back(PointAt(len * static_cast<double>(i) / n));
+  }
+  return LineString(std::move(out));
+}
+
+namespace {
+
+void SimplifyRecursive(const std::vector<Vec2>& pts, size_t lo, size_t hi,
+                       double tol, std::vector<bool>& keep) {
+  if (hi <= lo + 1) return;
+  Segment seg(pts[lo], pts[hi]);
+  double max_d = -1.0;
+  size_t max_i = lo;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    double d = seg.DistanceTo(pts[i]);
+    if (d > max_d) {
+      max_d = d;
+      max_i = i;
+    }
+  }
+  if (max_d > tol) {
+    keep[max_i] = true;
+    SimplifyRecursive(pts, lo, max_i, tol, keep);
+    SimplifyRecursive(pts, max_i, hi, tol, keep);
+  }
+}
+
+}  // namespace
+
+LineString LineString::Simplified(double tolerance) const {
+  if (points_.size() < 3) return *this;
+  std::vector<bool> keep(points_.size(), false);
+  keep.front() = true;
+  keep.back() = true;
+  SimplifyRecursive(points_, 0, points_.size() - 1, tolerance, keep);
+  std::vector<Vec2> out;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (keep[i]) out.push_back(points_[i]);
+  }
+  return LineString(std::move(out));
+}
+
+LineString LineString::Offset(double d) const {
+  if (points_.size() < 2) return *this;
+  std::vector<Vec2> out;
+  out.reserve(points_.size());
+  for (size_t i = 0; i < points_.size(); ++i) {
+    Vec2 dir;
+    if (i == 0) {
+      dir = (points_[1] - points_[0]).Normalized();
+    } else if (i + 1 == points_.size()) {
+      dir = (points_[i] - points_[i - 1]).Normalized();
+    } else {
+      dir = ((points_[i + 1] - points_[i]).Normalized() +
+             (points_[i] - points_[i - 1]).Normalized())
+                .Normalized();
+    }
+    out.push_back(points_[i] + dir.Perp() * d);
+  }
+  return LineString(std::move(out));
+}
+
+LineString LineString::Reversed() const {
+  std::vector<Vec2> out(points_.rbegin(), points_.rend());
+  return LineString(std::move(out));
+}
+
+Aabb LineString::BoundingBox() const {
+  Aabb box;
+  for (const Vec2& p : points_) box.Extend(p);
+  return box;
+}
+
+}  // namespace hdmap

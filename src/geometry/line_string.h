@@ -1,0 +1,90 @@
+#ifndef HDMAP_GEOMETRY_LINE_STRING_H_
+#define HDMAP_GEOMETRY_LINE_STRING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/aabb.h"
+#include "geometry/vec2.h"
+
+namespace hdmap {
+
+/// Result of projecting a point onto a LineString.
+struct LineStringProjection {
+  double arc_length = 0.0;      ///< s-coordinate of the foot point.
+  double signed_offset = 0.0;   ///< Lateral d: >0 left of travel direction.
+  Vec2 point;                   ///< The foot point itself.
+  size_t segment_index = 0;     ///< Segment containing the foot point.
+  double distance = 0.0;        ///< |signed_offset|.
+};
+
+/// Polyline in the plane with arc-length parameterization. The workhorse
+/// geometry for lane boundaries, centerlines and trajectories.
+class LineString {
+ public:
+  LineString() = default;
+  explicit LineString(std::vector<Vec2> points);
+
+  const std::vector<Vec2>& points() const { return points_; }
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const Vec2& operator[](size_t i) const { return points_[i]; }
+  const Vec2& front() const { return points_.front(); }
+  const Vec2& back() const { return points_.back(); }
+
+  void Append(const Vec2& p);
+
+  /// Total arc length.
+  double Length() const;
+
+  /// Cumulative arc length up to vertex i (0 for i==0).
+  double ArcLengthAt(size_t i) const;
+
+  /// Point at arc length s (clamped to [0, Length()]).
+  Vec2 PointAt(double s) const;
+
+  /// Unit tangent (travel direction) at arc length s.
+  Vec2 TangentAt(double s) const;
+
+  /// Heading (radians) at arc length s.
+  double HeadingAt(double s) const;
+
+  /// Signed curvature at arc length s, estimated from neighboring
+  /// vertices (1/m; >0 curving left). 0 for lines with < 3 points.
+  double CurvatureAt(double s) const;
+
+  /// Closest-point projection of p. Requires at least 2 points.
+  LineStringProjection Project(const Vec2& p) const;
+
+  /// Distance from p to the polyline.
+  double DistanceTo(const Vec2& p) const;
+
+  /// Evenly respaced copy with approximately `spacing` meters between
+  /// consecutive points (endpoints preserved).
+  LineString Resampled(double spacing) const;
+
+  /// Douglas-Peucker simplification with the given tolerance (meters).
+  LineString Simplified(double tolerance) const;
+
+  /// Copy laterally offset by d (d>0 to the left of travel direction).
+  /// Uses per-vertex normal offsetting (suitable for the gentle curvature
+  /// of road geometry).
+  LineString Offset(double d) const;
+
+  /// Reversed copy.
+  LineString Reversed() const;
+
+  Aabb BoundingBox() const;
+
+ private:
+  void RebuildArcLengths();
+  /// Index of the segment containing arc length s and local remainder.
+  size_t SegmentIndexAt(double s, double* remainder) const;
+
+  std::vector<Vec2> points_;
+  std::vector<double> cumulative_;  // cumulative_[i] = arc length at vertex i
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_GEOMETRY_LINE_STRING_H_

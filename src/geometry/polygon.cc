@@ -1,0 +1,103 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geometry/segment.h"
+
+namespace hdmap {
+
+double Polygon::SignedArea() const {
+  if (vertices_.size() < 3) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec2& a = vertices_[i];
+    const Vec2& b = vertices_[(i + 1) % vertices_.size()];
+    acc += a.Cross(b);
+  }
+  return 0.5 * acc;
+}
+
+double Polygon::Area() const { return std::abs(SignedArea()); }
+
+Vec2 Polygon::Centroid() const {
+  if (vertices_.empty()) return {};
+  double a = SignedArea();
+  if (std::abs(a) < 1e-12) {
+    // Degenerate: average the vertices.
+    Vec2 sum;
+    for (const Vec2& v : vertices_) sum += v;
+    return sum / static_cast<double>(vertices_.size());
+  }
+  Vec2 c;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec2& p = vertices_[i];
+    const Vec2& q = vertices_[(i + 1) % vertices_.size()];
+    double w = p.Cross(q);
+    c += (p + q) * w;
+  }
+  return c / (6.0 * a);
+}
+
+bool Polygon::Contains(const Vec2& p) const {
+  if (vertices_.size() < 3) return false;
+  // Boundary counts as inside.
+  if (BoundaryDistanceTo(p) < 1e-12) return true;
+  bool inside = false;
+  for (size_t i = 0, j = vertices_.size() - 1; i < vertices_.size();
+       j = i++) {
+    const Vec2& a = vertices_[i];
+    const Vec2& b = vertices_[j];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      double x_int = (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x;
+      if (p.x < x_int) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::BoundaryDistanceTo(const Vec2& p) const {
+  double best = std::numeric_limits<double>::max();
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    Segment s(vertices_[i], vertices_[(i + 1) % vertices_.size()]);
+    best = std::min(best, s.DistanceTo(p));
+  }
+  return vertices_.empty() ? 0.0 : best;
+}
+
+Aabb Polygon::BoundingBox() const {
+  Aabb box;
+  for (const Vec2& v : vertices_) box.Extend(v);
+  return box;
+}
+
+Polygon ConvexHull(std::vector<Vec2> points) {
+  if (points.size() < 3) return Polygon(std::move(points));
+  std::sort(points.begin(), points.end(), [](const Vec2& a, const Vec2& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  if (points.size() < 3) return Polygon(std::move(points));
+  std::vector<Vec2> hull(2 * points.size());
+  size_t k = 0;
+  for (const Vec2& p : points) {  // Lower hull.
+    while (k >= 2 &&
+           (hull[k - 1] - hull[k - 2]).Cross(p - hull[k - 2]) <= 0) {
+      --k;
+    }
+    hull[k++] = p;
+  }
+  size_t lower = k + 1;
+  for (auto it = points.rbegin() + 1; it != points.rend(); ++it) {
+    while (k >= lower &&
+           (hull[k - 1] - hull[k - 2]).Cross(*it - hull[k - 2]) <= 0) {
+      --k;
+    }
+    hull[k++] = *it;
+  }
+  hull.resize(k - 1);
+  return Polygon(std::move(hull));
+}
+
+}  // namespace hdmap

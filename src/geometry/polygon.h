@@ -1,0 +1,45 @@
+#ifndef HDMAP_GEOMETRY_POLYGON_H_
+#define HDMAP_GEOMETRY_POLYGON_H_
+
+#include <vector>
+
+#include "geometry/aabb.h"
+#include "geometry/vec2.h"
+
+namespace hdmap {
+
+/// Simple polygon (implicitly closed: last vertex connects to first).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Vec2> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  const std::vector<Vec2>& vertices() const { return vertices_; }
+  size_t size() const { return vertices_.size(); }
+  bool empty() const { return vertices_.empty(); }
+
+  /// Signed area (>0 for counter-clockwise winding).
+  double SignedArea() const;
+  double Area() const;
+  Vec2 Centroid() const;
+
+  /// Even-odd (crossing-number) containment test; boundary points count
+  /// as inside.
+  bool Contains(const Vec2& p) const;
+
+  /// Distance from p to the polygon boundary (0 only on the boundary).
+  double BoundaryDistanceTo(const Vec2& p) const;
+
+  Aabb BoundingBox() const;
+
+ private:
+  std::vector<Vec2> vertices_;
+};
+
+/// Convex hull (Andrew's monotone chain); returns CCW hull vertices.
+Polygon ConvexHull(std::vector<Vec2> points);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_GEOMETRY_POLYGON_H_

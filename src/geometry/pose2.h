@@ -1,0 +1,61 @@
+#ifndef HDMAP_GEOMETRY_POSE2_H_
+#define HDMAP_GEOMETRY_POSE2_H_
+
+#include <ostream>
+
+#include "common/units.h"
+#include "geometry/vec2.h"
+
+namespace hdmap {
+
+/// SE(2) rigid transform / vehicle pose: translation plus heading.
+/// Heading is radians counter-clockwise from +x, wrapped to (-pi, pi].
+struct Pose2 {
+  Vec2 translation;
+  double heading = 0.0;
+
+  constexpr Pose2() = default;
+  Pose2(Vec2 t, double h) : translation(t), heading(WrapAngle(h)) {}
+  Pose2(double x, double y, double h)
+      : translation(x, y), heading(WrapAngle(h)) {}
+
+  static constexpr Pose2 Identity() { return Pose2{}; }
+
+  /// Maps a point from this pose's local frame into the parent frame.
+  Vec2 TransformPoint(const Vec2& local) const {
+    return translation + local.Rotated(heading);
+  }
+
+  /// Maps a parent-frame point into this pose's local frame.
+  Vec2 InverseTransformPoint(const Vec2& world) const {
+    return (world - translation).Rotated(-heading);
+  }
+
+  /// Composition: (*this) ∘ other (apply `other` in this pose's frame).
+  Pose2 Compose(const Pose2& other) const {
+    return Pose2(TransformPoint(other.translation),
+                 heading + other.heading);
+  }
+
+  Pose2 Inverse() const {
+    return Pose2((-translation).Rotated(-heading), -heading);
+  }
+
+  /// Relative pose taking this pose to `other`: this ∘ result == other.
+  Pose2 RelativeTo(const Pose2& other) const {
+    return other.Inverse().Compose(*this);
+  }
+
+  /// Unit heading direction.
+  Vec2 Direction() const {
+    return {std::cos(heading), std::sin(heading)};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Pose2& p) {
+  return os << "[t=" << p.translation << ", h=" << p.heading << "]";
+}
+
+}  // namespace hdmap
+
+#endif  // HDMAP_GEOMETRY_POSE2_H_

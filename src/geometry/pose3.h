@@ -1,0 +1,60 @@
+#ifndef HDMAP_GEOMETRY_POSE3_H_
+#define HDMAP_GEOMETRY_POSE3_H_
+
+#include <ostream>
+
+#include "common/units.h"
+#include "geometry/pose2.h"
+#include "geometry/vec3.h"
+
+namespace hdmap {
+
+/// 6-DoF pose parameterized as translation + roll/pitch/yaw (Z-Y-X Euler,
+/// applied yaw, then pitch, then roll). Sufficient for vehicle poses, where
+/// roll/pitch stay far from the gimbal-lock singularity.
+struct Pose3 {
+  Vec3 translation;
+  double roll = 0.0;
+  double pitch = 0.0;
+  double yaw = 0.0;
+
+  constexpr Pose3() = default;
+  Pose3(Vec3 t, double roll_in, double pitch_in, double yaw_in)
+      : translation(t),
+        roll(WrapAngle(roll_in)),
+        pitch(WrapAngle(pitch_in)),
+        yaw(WrapAngle(yaw_in)) {}
+
+  /// Embeds an SE(2) pose at elevation z with zero roll/pitch.
+  static Pose3 FromPose2(const Pose2& p, double z = 0.0) {
+    return Pose3(Vec3(p.translation, z), 0.0, 0.0, p.heading);
+  }
+
+  /// Projects to SE(2) (drops z, roll, pitch).
+  Pose2 ToPose2() const { return Pose2(translation.xy(), yaw); }
+
+  /// Maps a point from the local (body) frame into the parent frame.
+  Vec3 TransformPoint(const Vec3& local) const {
+    // R = Rz(yaw) * Ry(pitch) * Rx(roll).
+    double cr = std::cos(roll), sr = std::sin(roll);
+    double cp = std::cos(pitch), sp = std::sin(pitch);
+    double cy = std::cos(yaw), sy = std::sin(yaw);
+    double x = local.x, y = local.y, z = local.z;
+    Vec3 rotated{
+        cy * cp * x + (cy * sp * sr - sy * cr) * y +
+            (cy * sp * cr + sy * sr) * z,
+        sy * cp * x + (sy * sp * sr + cy * cr) * y +
+            (sy * sp * cr - cy * sr) * z,
+        -sp * x + cp * sr * y + cp * cr * z};
+    return translation + rotated;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Pose3& p) {
+  return os << "[t=" << p.translation << ", rpy=(" << p.roll << ", "
+            << p.pitch << ", " << p.yaw << ")]";
+}
+
+}  // namespace hdmap
+
+#endif  // HDMAP_GEOMETRY_POSE3_H_

@@ -1,0 +1,89 @@
+#include "geometry/r_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdmap {
+
+RTree::RTree(std::vector<Entry> entries, int node_capacity) {
+  num_entries_ = entries.size();
+  if (entries.empty()) return;
+  if (node_capacity < 2) node_capacity = 2;
+
+  // Leaf level.
+  std::vector<int> level;  // Node indices of the current level.
+  // STR: sort by x, partition into vertical slices, sort each by y.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.box.Center().x < b.box.Center().x;
+            });
+  size_t n = entries.size();
+  size_t num_leaves =
+      (n + static_cast<size_t>(node_capacity) - 1) /
+      static_cast<size_t>(node_capacity);
+  size_t num_slices =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  size_t slice_size =
+      (n + num_slices - 1) / num_slices;
+  for (size_t s = 0; s < n; s += slice_size) {
+    size_t e = std::min(n, s + slice_size);
+    std::sort(entries.begin() + static_cast<long>(s),
+              entries.begin() + static_cast<long>(e),
+              [](const Entry& a, const Entry& b) {
+                return a.box.Center().y < b.box.Center().y;
+              });
+  }
+  // Create leaf nodes (one per entry) and group them bottom-up.
+  std::vector<int> current;
+  current.reserve(n);
+  for (const Entry& en : entries) {
+    nodes_.push_back(Node{en.box, en.id, true, -1, 0});
+    current.push_back(static_cast<int>(nodes_.size()) - 1);
+  }
+  // Build internal levels until a single root remains.
+  while (current.size() > 1) {
+    std::vector<int> next;
+    for (size_t i = 0; i < current.size();
+         i += static_cast<size_t>(node_capacity)) {
+      size_t e = std::min(current.size(),
+                          i + static_cast<size_t>(node_capacity));
+      Node parent;
+      parent.leaf = false;
+      parent.first_child = static_cast<int>(children_.size());
+      parent.num_children = static_cast<int>(e - i);
+      for (size_t j = i; j < e; ++j) {
+        children_.push_back(current[j]);
+        parent.box.Extend(nodes_[static_cast<size_t>(current[j])].box);
+      }
+      nodes_.push_back(parent);
+      next.push_back(static_cast<int>(nodes_.size()) - 1);
+    }
+    current = std::move(next);
+  }
+  root_ = current.front();
+}
+
+void RTree::QueryImpl(int node, const Aabb& q,
+                      std::vector<int64_t>& out) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  if (!n.box.Intersects(q)) return;
+  if (n.leaf) {
+    out.push_back(n.id);
+    return;
+  }
+  for (int c = 0; c < n.num_children; ++c) {
+    QueryImpl(children_[static_cast<size_t>(n.first_child + c)], q, out);
+  }
+}
+
+std::vector<int64_t> RTree::Query(const Aabb& query) const {
+  std::vector<int64_t> out;
+  if (root_ >= 0) QueryImpl(root_, query, out);
+  return out;
+}
+
+std::vector<int64_t> RTree::QueryPoint(const Vec2& p) const {
+  return Query(Aabb::FromPoint(p));
+}
+
+}  // namespace hdmap

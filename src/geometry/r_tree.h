@@ -1,0 +1,51 @@
+#ifndef HDMAP_GEOMETRY_R_TREE_H_
+#define HDMAP_GEOMETRY_R_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/aabb.h"
+
+namespace hdmap {
+
+/// Static R-tree over (AABB, id) pairs built with Sort-Tile-Recursive (STR)
+/// bulk loading. Backs range queries over map elements (lanelets, areas).
+class RTree {
+ public:
+  struct Entry {
+    Aabb box;
+    int64_t id = 0;
+  };
+
+  RTree() = default;
+  explicit RTree(std::vector<Entry> entries, int node_capacity = 8);
+
+  size_t size() const { return num_entries_; }
+  bool empty() const { return num_entries_ == 0; }
+
+  /// Ids of all entries whose box intersects `query`.
+  std::vector<int64_t> Query(const Aabb& query) const;
+
+  /// Ids of all entries whose box contains the point.
+  std::vector<int64_t> QueryPoint(const Vec2& p) const;
+
+ private:
+  struct Node {
+    Aabb box;
+    int64_t id = 0;       // Valid for leaves.
+    bool leaf = false;
+    int first_child = -1;
+    int num_children = 0;
+  };
+
+  void QueryImpl(int node, const Aabb& q, std::vector<int64_t>& out) const;
+
+  std::vector<Node> nodes_;
+  std::vector<int> children_;  // Flattened child-index storage.
+  int root_ = -1;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_GEOMETRY_R_TREE_H_

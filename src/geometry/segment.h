@@ -1,0 +1,55 @@
+#ifndef HDMAP_GEOMETRY_SEGMENT_H_
+#define HDMAP_GEOMETRY_SEGMENT_H_
+
+#include <algorithm>
+#include <optional>
+
+#include "geometry/vec2.h"
+
+namespace hdmap {
+
+/// Closed line segment between two points.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  constexpr Segment() = default;
+  constexpr Segment(Vec2 a_in, Vec2 b_in) : a(a_in), b(b_in) {}
+
+  double Length() const { return a.DistanceTo(b); }
+  Vec2 Direction() const { return (b - a).Normalized(); }
+
+  /// Parameter t in [0,1] of the closest point on the segment to p.
+  double ClosestParam(const Vec2& p) const {
+    Vec2 d = b - a;
+    double len2 = d.SquaredNorm();
+    if (len2 <= 0.0) return 0.0;
+    return std::clamp((p - a).Dot(d) / len2, 0.0, 1.0);
+  }
+
+  Vec2 ClosestPoint(const Vec2& p) const {
+    return Lerp(a, b, ClosestParam(p));
+  }
+
+  double DistanceTo(const Vec2& p) const {
+    return p.DistanceTo(ClosestPoint(p));
+  }
+
+  /// Intersection point of two segments if they properly intersect (or
+  /// touch); nullopt for parallel/disjoint segments.
+  std::optional<Vec2> Intersect(const Segment& o) const {
+    Vec2 r = b - a;
+    Vec2 s = o.b - o.a;
+    double denom = r.Cross(s);
+    if (denom == 0.0) return std::nullopt;  // Parallel or collinear.
+    Vec2 qp = o.a - a;
+    double t = qp.Cross(s) / denom;
+    double u = qp.Cross(r) / denom;
+    if (t < 0.0 || t > 1.0 || u < 0.0 || u > 1.0) return std::nullopt;
+    return a + r * t;
+  }
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_GEOMETRY_SEGMENT_H_

@@ -1,0 +1,81 @@
+#ifndef HDMAP_GEOMETRY_VEC2_H_
+#define HDMAP_GEOMETRY_VEC2_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace hdmap {
+
+/// 2-D vector / point in a local metric (ENU-style) frame, meters.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  constexpr double Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  /// 2-D cross product (z-component of the 3-D cross product).
+  constexpr double Cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double Norm() const { return std::sqrt(x * x + y * y); }
+  constexpr double SquaredNorm() const { return x * x + y * y; }
+  double DistanceTo(const Vec2& o) const { return (*this - o).Norm(); }
+  constexpr double SquaredDistanceTo(const Vec2& o) const {
+    return (*this - o).SquaredNorm();
+  }
+  /// Unit vector; returns (0,0) for the zero vector.
+  Vec2 Normalized() const {
+    double n = Norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Counter-clockwise perpendicular.
+  constexpr Vec2 Perp() const { return {-y, x}; }
+  /// Rotates by `angle` radians counter-clockwise.
+  Vec2 Rotated(double angle) const {
+    double c = std::cos(angle);
+    double s = std::sin(angle);
+    return {c * x - s * y, s * x + c * y};
+  }
+  /// atan2(y, x).
+  double Angle() const { return std::atan2(y, x); }
+
+  friend constexpr bool operator==(const Vec2& a, const Vec2& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+inline constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+  return os << "(" << v.x << ", " << v.y << ")";
+}
+
+/// Linear interpolation: a + t * (b - a).
+inline constexpr Vec2 Lerp(const Vec2& a, const Vec2& b, double t) {
+  return {a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+}
+
+}  // namespace hdmap
+
+#endif  // HDMAP_GEOMETRY_VEC2_H_

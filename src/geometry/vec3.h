@@ -1,0 +1,59 @@
+#ifndef HDMAP_GEOMETRY_VEC3_H_
+#define HDMAP_GEOMETRY_VEC3_H_
+
+#include <cmath>
+#include <ostream>
+
+#include "geometry/vec2.h"
+
+namespace hdmap {
+
+/// 3-D vector / point, meters. z is elevation.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_in, double y_in, double z_in)
+      : x(x_in), y(y_in), z(z_in) {}
+  explicit constexpr Vec3(const Vec2& v, double z_in = 0.0)
+      : x(v.x), y(v.y), z(z_in) {}
+
+  constexpr Vec2 xy() const { return {x, y}; }
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+
+  constexpr double Dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 Cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double Norm() const { return std::sqrt(x * x + y * y + z * z); }
+  constexpr double SquaredNorm() const { return x * x + y * y + z * z; }
+  double DistanceTo(const Vec3& o) const { return (*this - o).Norm(); }
+  Vec3 Normalized() const {
+    double n = Norm();
+    return n > 0.0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+  }
+
+  friend constexpr bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+}  // namespace hdmap
+
+#endif  // HDMAP_GEOMETRY_VEC3_H_

@@ -1,0 +1,95 @@
+#ifndef HDMAP_HDMAP_H_
+#define HDMAP_HDMAP_H_
+
+/// Umbrella header: the full public API of the hdmap ecosystem library.
+/// Fine-grained headers remain available for build-time-sensitive users.
+
+// Infrastructure.
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "common/status.h"
+#include "common/units.h"
+
+// Geometry.
+#include "geometry/aabb.h"
+#include "geometry/grid_index.h"
+#include "geometry/kd_tree.h"
+#include "geometry/line_fitting.h"
+#include "geometry/line_string.h"
+#include "geometry/polygon.h"
+#include "geometry/pose2.h"
+#include "geometry/pose3.h"
+#include "geometry/r_tree.h"
+#include "geometry/segment.h"
+#include "geometry/vec2.h"
+#include "geometry/vec3.h"
+
+// The HD map (II-A: modeling and design).
+#include "core/bundle_graph.h"
+#include "core/elements.h"
+#include "core/feature_layer.h"
+#include "core/hd_map.h"
+#include "core/map_patch.h"
+#include "core/raster_filter.h"
+#include "core/raster_layer.h"
+#include "core/routing_graph.h"
+#include "core/serialization.h"
+#include "core/tile_store.h"
+
+// Simulation substrate.
+#include "sim/change_injector.h"
+#include "sim/road_network_generator.h"
+#include "sim/sensors.h"
+#include "sim/trajectory.h"
+#include "sim/vehicle.h"
+
+// Map creation (II-B.1).
+#include "creation/aerial_fusion.h"
+#include "creation/crowd_mapper.h"
+#include "creation/lane_learner.h"
+#include "creation/lidar_pipeline.h"
+#include "creation/map_generator.h"
+#include "creation/online_map_builder.h"
+
+// Map maintenance and update (II-B.2).
+#include "maintenance/change_detector.h"
+#include "maintenance/crowd_sensing.h"
+#include "maintenance/incremental_fusion.h"
+#include "maintenance/raster_diff.h"
+#include "maintenance/slamcu.h"
+
+// Localization (III-1).
+#include "localization/cooperative_localization.h"
+#include "localization/ekf_localizer.h"
+#include "localization/lane_matcher.h"
+#include "localization/map_capability.h"
+#include "localization/marking_localizer.h"
+#include "localization/particle_filter.h"
+#include "localization/raster_localizer.h"
+#include "localization/relocalization.h"
+#include "localization/triangulation.h"
+
+// Pose estimation (III-2).
+#include "pose/factor_graph.h"
+#include "pose/pose_estimator.h"
+
+// Path planning (III-3).
+#include "planning/frenet_planner.h"
+#include "planning/pcc.h"
+#include "planning/pure_pursuit.h"
+#include "planning/route_planner.h"
+#include "planning/speed_profile.h"
+
+// Perception (III-4).
+#include "perception/cooperative.h"
+#include "perception/object_detector.h"
+#include "perception/traffic_light_recognition.h"
+
+// ATVs (III-5).
+#include "atv/factory_world.h"
+#include "atv/occupancy_grid.h"
+#include "atv/scan_matcher.h"
+#include "atv/sign_update.h"
+
+#endif  // HDMAP_HDMAP_H_

@@ -1,0 +1,118 @@
+#include "localization/cooperative_localization.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdmap {
+
+namespace {
+
+/// Inverse of a 2x2 symmetric covariance; identity-scaled fallback for
+/// near-singular inputs.
+Cov2 Invert(const Cov2& c) {
+  double det = c.xx * c.yy - c.xy * c.xy;
+  if (std::abs(det) < 1e-12) {
+    return {1e12, 0.0, 1e12};
+  }
+  return {c.yy / det, -c.xy / det, c.xx / det};
+}
+
+/// Information-form combination: inv(w*inv(A)) etc. handled by caller.
+Cov2 Add(const Cov2& a, const Cov2& b) {
+  return {a.xx + b.xx, a.xy + b.xy, a.yy + b.yy};
+}
+
+Vec2 Apply(const Cov2& m, const Vec2& v) {
+  return {m.xx * v.x + m.xy * v.y, m.xy * v.x + m.yy * v.y};
+}
+
+}  // namespace
+
+PositionBelief CovarianceIntersect(const PositionBelief& a,
+                                   const PositionBelief& b) {
+  // Line search over omega in (0, 1) minimizing the fused trace.
+  PositionBelief best;
+  double best_trace = 1e18;
+  for (int i = 1; i < 20; ++i) {
+    double w = static_cast<double>(i) / 20.0;
+    Cov2 info = Add(Invert(a.cov).Scaled(w), Invert(b.cov).Scaled(1.0 - w));
+    Cov2 fused_cov = Invert(info);
+    if (fused_cov.Trace() < best_trace) {
+      best_trace = fused_cov.Trace();
+      Vec2 weighted = Apply(Invert(a.cov).Scaled(w), a.mean) +
+                      Apply(Invert(b.cov).Scaled(1.0 - w), b.mean);
+      best.cov = fused_cov;
+      best.mean = Apply(fused_cov, weighted);
+    }
+  }
+  return best;
+}
+
+CooperativeLocalizer::CooperativeLocalizer(const HdMap* map,
+                                           const Options& options)
+    : map_(map), options_(options) {
+  belief_.cov = {100.0, 0.0, 100.0};
+}
+
+void CooperativeLocalizer::FuseIndependent(const Vec2& z, double sigma) {
+  if (!initialized_) {
+    belief_.mean = z;
+    belief_.cov = {sigma * sigma, 0.0, sigma * sigma};
+    initialized_ = true;
+    return;
+  }
+  Cov2 r{sigma * sigma, 0.0, sigma * sigma};
+  Cov2 info = Add(Invert(belief_.cov), Invert(r));
+  Cov2 fused = Invert(info);
+  Vec2 weighted =
+      Apply(Invert(belief_.cov), belief_.mean) + Apply(Invert(r), z);
+  belief_.cov = fused;
+  belief_.mean = Apply(fused, weighted);
+}
+
+void CooperativeLocalizer::UpdateGnss(const Vec2& fix) {
+  FuseIndependent(fix - gnss_bias_, options_.gnss_sigma);
+}
+
+void CooperativeLocalizer::UpdateMapFeature(
+    ElementId landmark_id, const Vec2& measured_offset_from_landmark) {
+  const Landmark* lm = map_->FindLandmark(landmark_id);
+  if (lm == nullptr) return;
+  Vec2 position = lm->position.xy() + measured_offset_from_landmark;
+  // Bias estimator [55]: georeferenced features reveal the GNSS bias as
+  // the persistent residual between raw fixes and feature-derived
+  // positions. The belief mean already tracks the corrected position;
+  // pull the bias toward the current (belief - feature) discrepancy.
+  if (initialized_) {
+    Vec2 residual = belief_.mean - position;
+    gnss_bias_ += residual * options_.bias_gain;
+  }
+  FuseIndependent(position, options_.feature_sigma);
+}
+
+void CooperativeLocalizer::UpdatePartner(
+    const PositionBelief& partner_belief, const Vec2& relative_position) {
+  // Partner's belief transported into an estimate of our own position.
+  PositionBelief transported;
+  transported.mean = partner_belief.mean - relative_position;
+  double r2 = options_.relative_sigma * options_.relative_sigma;
+  transported.cov = {partner_belief.cov.xx + r2, partner_belief.cov.xy,
+                     partner_belief.cov.yy + r2};
+  if (!initialized_) {
+    belief_ = transported;
+    initialized_ = true;
+    return;
+  }
+  // Unknown correlation (the partner may have fused OUR earlier belief):
+  // covariance intersection keeps the result consistent.
+  belief_ = CovarianceIntersect(belief_, transported);
+}
+
+double CooperativeLocalizer::MahalanobisSq(const Vec2& true_position) const {
+  Vec2 e = belief_.mean - true_position;
+  Cov2 info = Invert(belief_.cov);
+  return e.x * (info.xx * e.x + info.xy * e.y) +
+         e.y * (info.xy * e.x + info.yy * e.y);
+}
+
+}  // namespace hdmap

@@ -1,0 +1,90 @@
+#ifndef HDMAP_LOCALIZATION_COOPERATIVE_LOCALIZATION_H_
+#define HDMAP_LOCALIZATION_COOPERATIVE_LOCALIZATION_H_
+
+#include <vector>
+
+#include "core/hd_map.h"
+#include "geometry/vec2.h"
+
+namespace hdmap {
+
+/// 2x2 symmetric covariance (position only).
+struct Cov2 {
+  double xx = 1.0;
+  double xy = 0.0;
+  double yy = 1.0;
+
+  double Trace() const { return xx + yy; }
+  Cov2 Scaled(double s) const { return {xx * s, xy * s, yy * s}; }
+};
+
+/// A vehicle's shareable position belief — the position entry of the
+/// local dynamic map (LDM) vehicles exchange in Hery et al. [55].
+struct PositionBelief {
+  Vec2 mean;
+  Cov2 cov;
+};
+
+/// Covariance intersection fusion of two beliefs with UNKNOWN
+/// cross-correlation (the core consistency tool of [55]: naive Kalman
+/// fusion of exchanged LDM entries double-counts shared information;
+/// CI stays consistent for any correlation). Omega is chosen by a trace
+/// minimization line search.
+PositionBelief CovarianceIntersect(const PositionBelief& a,
+                                   const PositionBelief& b);
+
+/// Decentralized cooperative localizer for one vehicle:
+///  * GNSS fixes carry an unknown slowly varying bias;
+///  * the bias estimator compares fixes against georeferenced HD-map
+///    features the vehicle ranges to, and subtracts the estimated bias;
+///  * beliefs exchanged with partner vehicles (relative position known
+///    from V2V ranging) are fused with covariance intersection.
+class CooperativeLocalizer {
+ public:
+  struct Options {
+    double gnss_sigma = 2.0;
+    /// Smoothing factor of the recursive bias estimate.
+    double bias_gain = 0.15;
+    /// Sigma of a map-feature range-derived position residual.
+    double feature_sigma = 0.5;
+    /// Sigma of the V2V relative-position measurement.
+    double relative_sigma = 0.3;
+  };
+
+  CooperativeLocalizer(const HdMap* map, const Options& options);
+
+  /// GNSS update (bias-corrected).
+  void UpdateGnss(const Vec2& fix);
+
+  /// Map-feature update: the vehicle measured its position relative to a
+  /// georeferenced landmark (e.g., from LiDAR ranging). Also feeds the
+  /// GNSS bias estimator.
+  void UpdateMapFeature(ElementId landmark_id,
+                        const Vec2& measured_offset_from_landmark);
+
+  /// Cooperative update: partner vehicle's shared belief plus the
+  /// measured relative position (partner - self). Fused with CI.
+  void UpdatePartner(const PositionBelief& partner_belief,
+                     const Vec2& relative_position);
+
+  const PositionBelief& belief() const { return belief_; }
+  const Vec2& estimated_gnss_bias() const { return gnss_bias_; }
+
+  /// Consistency check: squared Mahalanobis distance of the true
+  /// position under the current belief (should be chi2-2 distributed
+  /// for a consistent estimator).
+  double MahalanobisSq(const Vec2& true_position) const;
+
+ private:
+  void FuseIndependent(const Vec2& z, double sigma);
+
+  const HdMap* map_;
+  Options options_;
+  PositionBelief belief_;
+  Vec2 gnss_bias_;
+  bool initialized_ = false;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_LOCALIZATION_COOPERATIVE_LOCALIZATION_H_

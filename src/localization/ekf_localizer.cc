@@ -1,0 +1,277 @@
+#include "localization/ekf_localizer.h"
+
+#include <cmath>
+
+#include "common/units.h"
+
+namespace hdmap {
+
+namespace {
+
+/// In-place 2x2 inverse; returns false when singular.
+bool Invert2x2(const double m[2][2], double out[2][2]) {
+  double det = m[0][0] * m[1][1] - m[0][1] * m[1][0];
+  if (std::abs(det) < 1e-12) return false;
+  double inv_det = 1.0 / det;
+  out[0][0] = m[1][1] * inv_det;
+  out[0][1] = -m[0][1] * inv_det;
+  out[1][0] = -m[1][0] * inv_det;
+  out[1][1] = m[0][0] * inv_det;
+  return true;
+}
+
+}  // namespace
+
+EkfLocalizer::EkfLocalizer(const HdMap* map, const Options& options)
+    : map_(map), options_(options) {}
+
+void EkfLocalizer::Init(const Pose2& initial, double position_sigma,
+                        double heading_sigma) {
+  state_ = initial;
+  cov_ = {};
+  cov_[0][0] = position_sigma * position_sigma;
+  cov_[1][1] = position_sigma * position_sigma;
+  cov_[2][2] = heading_sigma * heading_sigma;
+}
+
+void EkfLocalizer::Predict(double distance, double heading_change) {
+  double h_mid = state_.heading + heading_change / 2.0;
+  double c = std::cos(h_mid), s = std::sin(h_mid);
+  state_ = Pose2(state_.translation + Vec2{c, s} * distance,
+                 state_.heading + heading_change);
+
+  // Jacobian F = d(state')/d(state).
+  double F[3][3] = {{1, 0, -distance * s},
+                    {0, 1, distance * c},
+                    {0, 0, 1}};
+  // Process noise mapped through motion direction.
+  double qd = options_.odom_distance_noise_frac *
+              std::max(0.05, std::abs(distance));
+  double qh = options_.odom_heading_noise;
+  double Q[3][3] = {{qd * qd * c * c, qd * qd * c * s, 0},
+                    {qd * qd * c * s, qd * qd * s * s, 0},
+                    {0, 0, qh * qh}};
+
+  Cov3 next{};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        for (int l = 0; l < 3; ++l) {
+          acc += F[i][k] * cov_[static_cast<size_t>(k)][static_cast<size_t>(l)] * F[j][l];
+        }
+      }
+      next[static_cast<size_t>(i)][static_cast<size_t>(j)] = acc + Q[i][j];
+    }
+  }
+  cov_ = next;
+}
+
+bool EkfLocalizer::UpdateGps(const Vec2& fix) {
+  // H = [I2 | 0]; R = sigma^2 I.
+  double r2 = options_.gps_noise_sigma * options_.gps_noise_sigma;
+  double S[2][2] = {{cov_[0][0] + r2, cov_[0][1]},
+                    {cov_[1][0], cov_[1][1] + r2}};
+  double S_inv[2][2];
+  if (!Invert2x2(S, S_inv)) return false;
+  Vec2 innov = fix - state_.translation;
+  double chi2 = innov.x * (S_inv[0][0] * innov.x + S_inv[0][1] * innov.y) +
+                innov.y * (S_inv[1][0] * innov.x + S_inv[1][1] * innov.y);
+  if (chi2 > options_.gate_chi2) return false;  // Verification gate.
+
+  // K = P H^T S^-1  (3x2).
+  double K[3][2];
+  for (int i = 0; i < 3; ++i) {
+    double p0 = cov_[static_cast<size_t>(i)][0];
+    double p1 = cov_[static_cast<size_t>(i)][1];
+    K[i][0] = p0 * S_inv[0][0] + p1 * S_inv[1][0];
+    K[i][1] = p0 * S_inv[0][1] + p1 * S_inv[1][1];
+  }
+  state_ = Pose2(state_.translation +
+                     Vec2{K[0][0] * innov.x + K[0][1] * innov.y,
+                          K[1][0] * innov.x + K[1][1] * innov.y},
+                 state_.heading + K[2][0] * innov.x + K[2][1] * innov.y);
+  // P = (I - K H) P ; H selects rows 0..1.
+  Cov3 next{};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double ikh0 = (i == 0 ? 1.0 : 0.0) - K[i][0] * (0 == 0 ? 1.0 : 0.0);
+      (void)ikh0;
+      double acc = cov_[static_cast<size_t>(i)][static_cast<size_t>(j)];
+      acc -= K[i][0] * cov_[0][static_cast<size_t>(j)] +
+             K[i][1] * cov_[1][static_cast<size_t>(j)];
+      next[static_cast<size_t>(i)][static_cast<size_t>(j)] = acc;
+    }
+  }
+  cov_ = next;
+  return true;
+}
+
+int EkfLocalizer::UpdateLandmarks(
+    const std::vector<LandmarkDetection>& detections) {
+  int accepted = 0;
+  for (const LandmarkDetection& det : detections) {
+    // Predicted world position of the detection under the current state.
+    Vec2 world = state_.TransformPoint(det.position_vehicle);
+    // Associate: nearest map landmark of the same type.
+    const Landmark* best = nullptr;
+    double best_d = options_.association_radius;
+    for (ElementId id :
+         map_->LandmarksNear(world, options_.association_radius)) {
+      const Landmark* lm = map_->FindLandmark(id);
+      if (lm == nullptr || lm->type != det.type) continue;
+      double d = lm->position.xy().DistanceTo(world);
+      if (d < best_d) {
+        best_d = d;
+        best = lm;
+      }
+    }
+    if (best == nullptr) continue;
+
+    // Range/bearing measurement model.
+    Vec2 delta = best->position.xy() - state_.translation;
+    double range_pred = delta.Norm();
+    if (range_pred < 1.0) continue;
+    double bearing_pred = AngleDiff(delta.Angle(), state_.heading);
+    double range_meas = det.position_vehicle.Norm();
+    double bearing_meas = det.position_vehicle.Angle();
+    double innov[2] = {range_meas - range_pred,
+                       AngleDiff(bearing_meas, bearing_pred)};
+
+    // H (2x3): d[range, bearing]/d[x, y, heading].
+    double inv_r = 1.0 / range_pred;
+    double H[2][3] = {
+        {-delta.x * inv_r, -delta.y * inv_r, 0.0},
+        {delta.y * inv_r * inv_r, -delta.x * inv_r * inv_r, -1.0}};
+    double R[2] = {options_.landmark_range_sigma *
+                       options_.landmark_range_sigma,
+                   options_.landmark_bearing_sigma *
+                       options_.landmark_bearing_sigma};
+    // S = H P H^T + R.
+    double S[2][2] = {{R[0], 0}, {0, R[1]}};
+    for (int i = 0; i < 2; ++i) {
+      for (int j = 0; j < 2; ++j) {
+        for (int k = 0; k < 3; ++k) {
+          for (int l = 0; l < 3; ++l) {
+            S[i][j] += H[i][k] *
+                       cov_[static_cast<size_t>(k)][static_cast<size_t>(l)] *
+                       H[j][l];
+          }
+        }
+      }
+    }
+    double S_inv[2][2];
+    if (!Invert2x2(S, S_inv)) continue;
+    double chi2 =
+        innov[0] * (S_inv[0][0] * innov[0] + S_inv[0][1] * innov[1]) +
+        innov[1] * (S_inv[1][0] * innov[0] + S_inv[1][1] * innov[1]);
+    if (chi2 > options_.gate_chi2) continue;  // Gate: clutter/mismatch.
+
+    // K = P H^T S^-1 (3x2).
+    double PHt[3][2] = {};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 2; ++j) {
+        for (int k = 0; k < 3; ++k) {
+          PHt[i][j] +=
+              cov_[static_cast<size_t>(i)][static_cast<size_t>(k)] * H[j][k];
+        }
+      }
+    }
+    double K[3][2];
+    for (int i = 0; i < 3; ++i) {
+      K[i][0] = PHt[i][0] * S_inv[0][0] + PHt[i][1] * S_inv[1][0];
+      K[i][1] = PHt[i][0] * S_inv[0][1] + PHt[i][1] * S_inv[1][1];
+    }
+    state_ = Pose2(
+        state_.translation + Vec2{K[0][0] * innov[0] + K[0][1] * innov[1],
+                                  K[1][0] * innov[0] + K[1][1] * innov[1]},
+        state_.heading + K[2][0] * innov[0] + K[2][1] * innov[1]);
+    // P = P - K S K^T.
+    Cov3 next = cov_;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        double acc = 0.0;
+        for (int a = 0; a < 2; ++a) {
+          for (int b = 0; b < 2; ++b) {
+            acc += K[i][a] * S[a][b] * K[j][b];
+          }
+        }
+        next[static_cast<size_t>(i)][static_cast<size_t>(j)] -= acc;
+      }
+    }
+    cov_ = next;
+    ++accepted;
+  }
+  return accepted;
+}
+
+int EkfLocalizer::UpdateLandmarkBearings(
+    const std::vector<LandmarkDetection>& detections) {
+  int accepted = 0;
+  for (const LandmarkDetection& det : detections) {
+    Vec2 world = state_.TransformPoint(det.position_vehicle);
+    const Landmark* best = nullptr;
+    double best_d = options_.association_radius;
+    for (ElementId id :
+         map_->LandmarksNear(world, options_.association_radius)) {
+      const Landmark* lm = map_->FindLandmark(id);
+      if (lm == nullptr || lm->type != det.type) continue;
+      double d = lm->position.xy().DistanceTo(world);
+      if (d < best_d) {
+        best_d = d;
+        best = lm;
+      }
+    }
+    if (best == nullptr) continue;
+
+    Vec2 delta = best->position.xy() - state_.translation;
+    double range_pred = delta.Norm();
+    if (range_pred < 1.0) continue;
+    double bearing_pred = AngleDiff(delta.Angle(), state_.heading);
+    double innov = AngleDiff(det.position_vehicle.Angle(), bearing_pred);
+
+    // Scalar measurement: H = d bearing / d [x, y, heading].
+    double inv_r2 = 1.0 / (range_pred * range_pred);
+    double H[3] = {delta.y * inv_r2, -delta.x * inv_r2, -1.0};
+    double r = options_.landmark_bearing_sigma *
+               options_.landmark_bearing_sigma;
+    double s = r;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        s += H[i] * cov_[static_cast<size_t>(i)][static_cast<size_t>(j)] *
+             H[j];
+      }
+    }
+    if (s <= 0.0) continue;
+    double chi2 = innov * innov / s;
+    // Scalar gate: 1-dof chi-square ~99% is 6.63.
+    if (chi2 > 6.63) continue;
+
+    double K[3];
+    for (int i = 0; i < 3; ++i) {
+      double ph = 0.0;
+      for (int j = 0; j < 3; ++j) {
+        ph += cov_[static_cast<size_t>(i)][static_cast<size_t>(j)] * H[j];
+      }
+      K[i] = ph / s;
+    }
+    state_ = Pose2(state_.translation + Vec2{K[0] * innov, K[1] * innov},
+                   state_.heading + K[2] * innov);
+    Cov3 next = cov_;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        next[static_cast<size_t>(i)][static_cast<size_t>(j)] -=
+            K[i] * s * K[j];
+      }
+    }
+    cov_ = next;
+    ++accepted;
+  }
+  return accepted;
+}
+
+double EkfLocalizer::PositionSigma() const {
+  return std::sqrt(std::max(0.0, cov_[0][0] + cov_[1][1]));
+}
+
+}  // namespace hdmap

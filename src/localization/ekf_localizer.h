@@ -1,0 +1,72 @@
+#ifndef HDMAP_LOCALIZATION_EKF_LOCALIZER_H_
+#define HDMAP_LOCALIZATION_EKF_LOCALIZER_H_
+
+#include <array>
+#include <vector>
+
+#include "core/hd_map.h"
+#include "geometry/pose2.h"
+#include "sim/sensors.h"
+
+namespace hdmap {
+
+/// 3x3 symmetric covariance for the [x, y, heading] state.
+using Cov3 = std::array<std::array<double, 3>, 3>;
+
+/// Extended Kalman filter localizer fusing odometry, GPS and HD-map
+/// landmark observations, with Mahalanobis verification gates
+/// (Shin et al. [54]: ADAS-sensor localization with map matching and
+/// verification gates before fusion).
+class EkfLocalizer {
+ public:
+  struct Options {
+    double odom_distance_noise_frac = 0.05;
+    double odom_heading_noise = 0.01;
+    double gps_noise_sigma = 2.0;
+    /// Landmark range/bearing measurement sigmas.
+    double landmark_range_sigma = 0.4;
+    double landmark_bearing_sigma = 0.01;
+    /// Chi-square gate (2 dof, ~99%) for accepting a measurement.
+    double gate_chi2 = 9.21;
+    /// Landmark association radius in the map.
+    double association_radius = 8.0;
+  };
+
+  EkfLocalizer(const HdMap* map, const Options& options);
+
+  void Init(const Pose2& initial, double position_sigma,
+            double heading_sigma);
+
+  /// Odometry prediction step.
+  void Predict(double distance, double heading_change);
+
+  /// GPS position update. Returns false when the gate rejected the fix.
+  bool UpdateGps(const Vec2& fix);
+
+  /// Landmark update: associates each detection with the nearest map
+  /// landmark of compatible type and fuses the gated ones. Returns the
+  /// number of accepted detections.
+  int UpdateLandmarks(const std::vector<LandmarkDetection>& detections);
+
+  /// Monocular (bearing-only) landmark update (MLVHM [22]: low-cost
+  /// camera localization against the vector HD map — a single camera
+  /// measures bearings to map features, not ranges). Uses only the
+  /// bearing component of each detection. Returns accepted count.
+  int UpdateLandmarkBearings(
+      const std::vector<LandmarkDetection>& detections);
+
+  const Pose2& estimate() const { return state_; }
+  const Cov3& covariance() const { return cov_; }
+  /// Square root of the position covariance trace — the 1-sigma radius.
+  double PositionSigma() const;
+
+ private:
+  const HdMap* map_;
+  Options options_;
+  Pose2 state_;
+  Cov3 cov_{};
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_LOCALIZATION_EKF_LOCALIZER_H_

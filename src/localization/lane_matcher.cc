@@ -1,0 +1,91 @@
+#include "localization/lane_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace hdmap {
+
+LaneMatcher::LaneMatcher(const HdMap* map, const Options& options)
+    : map_(map), options_(options) {}
+
+LaneMatcher::MatchResult LaneMatcher::Step(const Vec2& position_fix,
+                                           double heading,
+                                           double distance_traveled) {
+  // 1) Gather candidates near the fix.
+  std::vector<ElementId> candidates = map_->LaneletsInBox(
+      Aabb::FromPoint(position_fix, options_.candidate_radius));
+
+  // 2) Prior: propagate the previous belief along topology. A lane keeps
+  // its mass; a fraction leaks to successors proportional to distance
+  // traveled, and a small amount to lane-change neighbors.
+  std::map<ElementId, double> prior;
+  if (belief_.empty()) {
+    for (ElementId id : candidates) prior[id] = 1.0;
+  } else {
+    for (const auto& [id, p] : belief_) {
+      const Lanelet* ll = map_->FindLanelet(id);
+      if (ll == nullptr) continue;
+      double leak = std::min(
+          0.9, distance_traveled / std::max(10.0, ll->Length()));
+      prior[id] += p * (1.0 - leak);
+      if (!ll->successors.empty()) {
+        double share = p * leak * 0.9 /
+                       static_cast<double>(ll->successors.size());
+        for (ElementId succ : ll->successors) prior[succ] += share;
+      }
+      if (ll->left_neighbor != kInvalidId) {
+        prior[ll->left_neighbor] += p * leak * 0.05;
+      }
+      if (ll->right_neighbor != kInvalidId) {
+        prior[ll->right_neighbor] += p * leak * 0.05;
+      }
+    }
+    // Seed any new candidate with a small floor so recovery is possible.
+    for (ElementId id : candidates) prior[id] += 1e-3;
+  }
+
+  // 3) Likelihood from the fix: lateral offset + heading agreement.
+  std::map<ElementId, double> posterior;
+  double best_prob = 0.0;
+  MatchResult result;
+  double total = 0.0;
+  for (const auto& [id, p] : prior) {
+    const Lanelet* ll = map_->FindLanelet(id);
+    if (ll == nullptr) continue;
+    LineStringProjection proj = ll->centerline.Project(position_fix);
+    // Discard candidates projecting beyond the lane ends by a margin.
+    double lateral = proj.distance;
+    if (lateral > 4.0 * options_.lateral_sigma) continue;
+    double dh = AngleDiff(heading, ll->centerline.HeadingAt(proj.arc_length));
+    double l = std::exp(-0.5 * (lateral * lateral) /
+                        (options_.lateral_sigma * options_.lateral_sigma)) *
+               std::exp(-0.5 * (dh * dh) /
+                        (options_.heading_sigma * options_.heading_sigma));
+    double post = p * std::max(l, 1e-9);
+    posterior[id] = post;
+    total += post;
+  }
+  if (total <= 0.0) {
+    // Lost: reset and report no integrity.
+    belief_.clear();
+    return result;
+  }
+  for (auto& [id, p] : posterior) p /= total;
+  belief_ = posterior;
+
+  for (const auto& [id, p] : posterior) {
+    if (p > best_prob) {
+      best_prob = p;
+      result.lanelet_id = id;
+      result.probability = p;
+      const Lanelet* ll = map_->FindLanelet(id);
+      result.arc_length = ll->centerline.Project(position_fix).arc_length;
+    }
+  }
+  result.has_integrity = best_prob >= options_.integrity_threshold;
+  return result;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,57 @@
+#ifndef HDMAP_LOCALIZATION_LANE_MATCHER_H_
+#define HDMAP_LOCALIZATION_LANE_MATCHER_H_
+
+#include <map>
+#include <vector>
+
+#include "core/hd_map.h"
+#include "geometry/pose2.h"
+
+namespace hdmap {
+
+/// Lane-level map matching with integrity (Li et al. [59]): maintains a
+/// probability distribution over candidate lanelets, propagated through
+/// the lane topology with odometry and updated from position fixes. The
+/// integrity flag reports whether the lane hypothesis is trustworthy.
+class LaneMatcher {
+ public:
+  struct Options {
+    /// Candidate lanelets are gathered within this radius of the fix.
+    double candidate_radius = 12.0;
+    /// Lateral measurement sigma (meters): how well the fix constrains
+    /// the lane.
+    double lateral_sigma = 1.5;
+    /// Heading agreement sigma (radians).
+    double heading_sigma = 0.5;
+    /// Integrity requires the winning lane to hold this posterior share.
+    double integrity_threshold = 0.8;
+  };
+
+  struct MatchResult {
+    ElementId lanelet_id = kInvalidId;
+    double arc_length = 0.0;
+    double probability = 0.0;  ///< Posterior of the winning lane.
+    bool has_integrity = false;
+  };
+
+  LaneMatcher(const HdMap* map, const Options& options);
+
+  /// Processes one (position fix, heading, distance traveled) sample and
+  /// returns the current lane belief.
+  MatchResult Step(const Vec2& position_fix, double heading,
+                   double distance_traveled);
+
+  /// Resets the belief (e.g., after a tunnel).
+  void Reset() { belief_.clear(); }
+
+  const std::map<ElementId, double>& belief() const { return belief_; }
+
+ private:
+  const HdMap* map_;
+  Options options_;
+  std::map<ElementId, double> belief_;  // Lanelet id -> probability.
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_LOCALIZATION_LANE_MATCHER_H_

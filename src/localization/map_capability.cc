@@ -1,0 +1,77 @@
+#include "localization/map_capability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "localization/triangulation.h"
+
+namespace hdmap {
+
+MapCapability EvaluateMapCapability(const HdMap& map, const Vec2& position,
+                                    const MapCapabilityOptions& options) {
+  MapCapability cap;
+
+  std::vector<Vec2> landmark_positions;
+  for (ElementId id : map.LandmarksNear(position, options.sensing_range)) {
+    const Landmark* lm = map.FindLandmark(id);
+    if (lm == nullptr) continue;
+    landmark_positions.push_back(lm->position.xy());
+  }
+  cap.landmark_count = static_cast<int>(landmark_positions.size());
+  cap.predicted_sigma =
+      PredictedPositionSigma(position, landmark_positions,
+                             options.range_sigma);
+
+  for (ElementId id : map.LineFeaturesInBox(
+           Aabb::FromPoint(position, options.sensing_range))) {
+    const LineFeature* lf = map.FindLineFeature(id);
+    if (lf == nullptr) continue;
+    if (lf->type != LineType::kSolidLaneMarking &&
+        lf->type != LineType::kDashedLaneMarking &&
+        lf->type != LineType::kStopLine) {
+      continue;
+    }
+    // Approximate visible length: the portion of the feature whose
+    // sampled points fall inside the sensing disc.
+    double len = lf->geometry.Length();
+    double visible = 0.0;
+    double step = 10.0;
+    for (double s = 0.0; s < len; s += step) {
+      if (lf->geometry.PointAt(s).DistanceTo(position) <=
+          options.sensing_range) {
+        visible += std::min(step, len - s);
+      }
+    }
+    cap.marking_length += visible;
+  }
+
+  double geometry_term =
+      std::isinf(cap.predicted_sigma)
+          ? 0.0
+          : std::clamp(1.0 - cap.predicted_sigma / options.sigma_ceiling,
+                       0.0, 1.0);
+  double marking_term = std::clamp(
+      cap.marking_length / options.marking_saturation, 0.0, 1.0);
+  // Either information source alone supports localization; both together
+  // are best. Weighted soft-OR.
+  cap.score = 1.0 - (1.0 - 0.7 * geometry_term) * (1.0 - 0.7 * marking_term);
+  return cap;
+}
+
+std::vector<MapCapability> RouteCapabilityProfile(
+    const HdMap& map, const std::vector<ElementId>& route,
+    double station_step, const MapCapabilityOptions& options) {
+  std::vector<MapCapability> profile;
+  for (ElementId id : route) {
+    const Lanelet* ll = map.FindLanelet(id);
+    if (ll == nullptr) continue;
+    double len = ll->Length();
+    for (double s = 0.0; s < len; s += station_step) {
+      profile.push_back(EvaluateMapCapability(
+          map, ll->centerline.PointAt(s), options));
+    }
+  }
+  return profile;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,45 @@
+#ifndef HDMAP_LOCALIZATION_MAP_CAPABILITY_H_
+#define HDMAP_LOCALIZATION_MAP_CAPABILITY_H_
+
+#include <vector>
+
+#include "core/hd_map.h"
+
+namespace hdmap {
+
+/// The per-location factors that determine how well a map supports
+/// vehicle localization (Javanmardi et al. [64]: feature sufficiency,
+/// geometric layout, and representation quality all gate the achievable
+/// accuracy).
+struct MapCapability {
+  int landmark_count = 0;        ///< Landmarks within sensing range.
+  double predicted_sigma = 0.0;  ///< Geometric dilution (m, inf if none).
+  double marking_length = 0.0;   ///< Meters of visible lane marking.
+  /// 0 (unusable) .. 1 (excellent): combined capability score.
+  double score = 0.0;
+};
+
+struct MapCapabilityOptions {
+  double sensing_range = 50.0;
+  double range_sigma = 0.3;
+  /// Marking length that saturates the marking term.
+  double marking_saturation = 120.0;
+  /// Predicted sigma that zeroes the geometry term.
+  double sigma_ceiling = 2.0;
+};
+
+/// Evaluates the map's localization capability at one position.
+MapCapability EvaluateMapCapability(const HdMap& map, const Vec2& position,
+                                    const MapCapabilityOptions& options = {});
+
+/// Capability profile along a lanelet route, one sample per
+/// `station_step` meters. Weak sections (low score) are where a
+/// localization stack should expect degraded accuracy — the map-quality
+/// audit of [64].
+std::vector<MapCapability> RouteCapabilityProfile(
+    const HdMap& map, const std::vector<ElementId>& route,
+    double station_step = 25.0, const MapCapabilityOptions& options = {});
+
+}  // namespace hdmap
+
+#endif  // HDMAP_LOCALIZATION_MAP_CAPABILITY_H_

@@ -1,0 +1,96 @@
+#include "localization/marking_localizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdmap {
+
+MarkingLocalizer::MarkingLocalizer(const HdMap* map, const Options& options)
+    : map_(map), options_(options), filter_(options.filter) {}
+
+void MarkingLocalizer::Init(const Pose2& initial, double position_spread,
+                            double heading_spread, Rng& rng) {
+  filter_.Init(initial, position_spread, heading_spread, rng);
+}
+
+void MarkingLocalizer::Predict(double distance, double heading_change,
+                               Rng& rng) {
+  filter_.Predict(distance, heading_change, rng);
+}
+
+void MarkingLocalizer::Update(const std::vector<MarkingPoint>& scan,
+                              Rng& rng) {
+  // 1) Segment: keep paint-like returns.
+  std::vector<Vec2> paint;
+  for (const MarkingPoint& p : scan) {
+    if (p.intensity >= options_.intensity_threshold) {
+      paint.push_back(p.position_vehicle);
+    }
+  }
+  if (paint.empty()) return;
+  // Subsample deterministically for update cost control.
+  if (static_cast<int>(paint.size()) > options_.max_points_per_update) {
+    size_t stride = paint.size() /
+                    static_cast<size_t>(options_.max_points_per_update);
+    std::vector<Vec2> sub;
+    for (size_t i = 0; i < paint.size(); i += std::max<size_t>(1, stride)) {
+      sub.push_back(paint[i]);
+    }
+    paint = std::move(sub);
+  }
+
+  // 2) Gather candidate map markings near the current estimate.
+  Pose2 estimate = filter_.Estimate();
+  std::vector<const LineFeature*> candidates;
+  for (ElementId id : map_->LineFeaturesInBox(Aabb::FromPoint(
+           estimate.translation, options_.map_query_radius))) {
+    const LineFeature* lf = map_->FindLineFeature(id);
+    if (lf == nullptr) continue;
+    if (lf->type == LineType::kSolidLaneMarking ||
+        lf->type == LineType::kDashedLaneMarking ||
+        lf->type == LineType::kStopLine) {
+      candidates.push_back(lf);
+    }
+  }
+  if (candidates.empty()) return;
+
+  auto residual = [&](const Vec2& world) {
+    double best = options_.matching_sigma * 6.0;  // Saturated residual.
+    for (const LineFeature* lf : candidates) {
+      best = std::min(best, lf->geometry.DistanceTo(world));
+      if (best < 1e-3) break;
+    }
+    return best;
+  };
+
+  // 3) Particle weighting: product of per-point Gaussians (in log space).
+  double inv_two_sigma2 =
+      1.0 / (2.0 * options_.matching_sigma * options_.matching_sigma);
+  filter_.Update(
+      [&](const Pose2& pose) {
+        double log_l = 0.0;
+        for (const Vec2& p : paint) {
+          double r = residual(pose.TransformPoint(p));
+          log_l += -r * r * inv_two_sigma2;
+        }
+        // Average rather than sum keeps the peakiness independent of the
+        // number of points, which stabilizes the filter.
+        return std::exp(log_l / static_cast<double>(paint.size()));
+      },
+      rng);
+
+  // 4) Health metrics at the posterior estimate.
+  Pose2 post = filter_.Estimate();
+  int inliers = 0;
+  double residual_sum = 0.0;
+  for (const Vec2& p : paint) {
+    double r = residual(post.TransformPoint(p));
+    residual_sum += r;
+    if (r <= 2.0 * options_.matching_sigma) ++inliers;
+  }
+  last_inlier_ratio_ =
+      static_cast<double>(inliers) / static_cast<double>(paint.size());
+  last_mean_residual_ = residual_sum / static_cast<double>(paint.size());
+}
+
+}  // namespace hdmap

@@ -1,0 +1,61 @@
+#ifndef HDMAP_LOCALIZATION_MARKING_LOCALIZER_H_
+#define HDMAP_LOCALIZATION_MARKING_LOCALIZER_H_
+
+#include <vector>
+
+#include "core/hd_map.h"
+#include "localization/particle_filter.h"
+#include "sim/sensors.h"
+
+namespace hdmap {
+
+/// Lane-marking-based map-matching localizer (Ghallabi et al. [50]):
+/// segments high-intensity LiDAR returns, extracts lane markings, and
+/// matches them against the HD map inside a particle filter.
+class MarkingLocalizer {
+ public:
+  struct Options {
+    ParticleFilter::Options filter;
+    /// Intensity threshold separating paint from road surface.
+    double intensity_threshold = 0.5;
+    /// Measurement model sigma: distance of an observed marking point to
+    /// the nearest map marking.
+    double matching_sigma = 0.3;  // meters
+    /// Cap on marking points scored per update (subsampled for speed).
+    int max_points_per_update = 60;
+    /// Map markings are looked up within this radius of the estimate.
+    double map_query_radius = 40.0;
+  };
+
+  MarkingLocalizer(const HdMap* map, const Options& options);
+
+  /// Initializes the belief around `initial` (e.g., a GPS fix).
+  void Init(const Pose2& initial, double position_spread,
+            double heading_spread, Rng& rng);
+
+  /// Dead-reckoning step from odometry.
+  void Predict(double distance, double heading_change, Rng& rng);
+
+  /// Measurement update from one LiDAR marking scan (vehicle frame).
+  void Update(const std::vector<MarkingPoint>& scan, Rng& rng);
+
+  Pose2 Estimate() const { return filter_.Estimate(); }
+  double PositionSpread() const { return filter_.PositionSpread(); }
+
+  /// Fraction of scored marking points within 2*matching_sigma of a map
+  /// marking at the current estimate — the localization-health signal
+  /// consumed by change detection [42].
+  double last_inlier_ratio() const { return last_inlier_ratio_; }
+  double last_mean_residual() const { return last_mean_residual_; }
+
+ private:
+  const HdMap* map_;
+  Options options_;
+  ParticleFilter filter_;
+  double last_inlier_ratio_ = 1.0;
+  double last_mean_residual_ = 0.0;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_LOCALIZATION_MARKING_LOCALIZER_H_

@@ -1,0 +1,112 @@
+#include "localization/particle_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace hdmap {
+
+void ParticleFilter::Init(const Pose2& initial, double position_spread,
+                          double heading_spread, Rng& rng) {
+  particles_.clear();
+  particles_.reserve(static_cast<size_t>(options_.num_particles));
+  for (int i = 0; i < options_.num_particles; ++i) {
+    Particle p;
+    p.pose = Pose2(initial.translation.x + rng.Normal(0.0, position_spread),
+                   initial.translation.y + rng.Normal(0.0, position_spread),
+                   initial.heading + rng.Normal(0.0, heading_spread));
+    p.weight = 1.0 / options_.num_particles;
+    particles_.push_back(p);
+  }
+}
+
+void ParticleFilter::Predict(double distance, double heading_change,
+                             Rng& rng) {
+  for (Particle& p : particles_) {
+    double d = distance +
+               rng.Normal(0.0, options_.position_noise *
+                                   std::max(0.1, std::abs(distance)));
+    double dh = heading_change + rng.Normal(0.0, options_.heading_noise);
+    double mid_heading = p.pose.heading + dh / 2.0;
+    p.pose = Pose2(p.pose.translation +
+                       Vec2{std::cos(mid_heading), std::sin(mid_heading)} * d,
+                   p.pose.heading + dh);
+  }
+}
+
+void ParticleFilter::Update(
+    const std::function<double(const Pose2&)>& likelihood, Rng& rng) {
+  for (Particle& p : particles_) {
+    p.weight *= std::max(1e-12, likelihood(p.pose));
+  }
+  Normalize();
+  if (EffectiveSampleSize() <
+      options_.resample_threshold * options_.num_particles) {
+    Resample(rng);
+  }
+}
+
+void ParticleFilter::Normalize() {
+  double total = 0.0;
+  for (const Particle& p : particles_) total += p.weight;
+  if (total <= 0.0) {
+    double uniform = 1.0 / static_cast<double>(particles_.size());
+    for (Particle& p : particles_) p.weight = uniform;
+    return;
+  }
+  for (Particle& p : particles_) p.weight /= total;
+}
+
+void ParticleFilter::Resample(Rng& rng) {
+  // Low-variance (systematic) resampling.
+  std::vector<Particle> next;
+  next.reserve(particles_.size());
+  size_t n = particles_.size();
+  double step = 1.0 / static_cast<double>(n);
+  double u = rng.Uniform() * step;
+  double cum = particles_[0].weight;
+  size_t i = 0;
+  for (size_t m = 0; m < n; ++m) {
+    double target = u + static_cast<double>(m) * step;
+    while (cum < target && i + 1 < n) {
+      ++i;
+      cum += particles_[i].weight;
+    }
+    Particle p = particles_[i];
+    p.weight = step;
+    next.push_back(p);
+  }
+  particles_ = std::move(next);
+}
+
+Pose2 ParticleFilter::Estimate() const {
+  if (particles_.empty()) return {};
+  Vec2 mean;
+  double sin_sum = 0.0, cos_sum = 0.0;
+  for (const Particle& p : particles_) {
+    mean += p.pose.translation * p.weight;
+    sin_sum += std::sin(p.pose.heading) * p.weight;
+    cos_sum += std::cos(p.pose.heading) * p.weight;
+  }
+  return Pose2(mean, std::atan2(sin_sum, cos_sum));
+}
+
+double ParticleFilter::PositionSpread() const {
+  if (particles_.empty()) return 0.0;
+  Pose2 mean = Estimate();
+  double var = 0.0;
+  for (const Particle& p : particles_) {
+    var += p.weight *
+           p.pose.translation.SquaredDistanceTo(mean.translation);
+  }
+  return std::sqrt(var);
+}
+
+double ParticleFilter::EffectiveSampleSize() const {
+  double sum_sq = 0.0;
+  for (const Particle& p : particles_) sum_sq += p.weight * p.weight;
+  return sum_sq > 0.0 ? 1.0 / sum_sq : 0.0;
+}
+
+}  // namespace hdmap

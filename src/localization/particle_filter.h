@@ -1,0 +1,69 @@
+#ifndef HDMAP_LOCALIZATION_PARTICLE_FILTER_H_
+#define HDMAP_LOCALIZATION_PARTICLE_FILTER_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/pose2.h"
+
+namespace hdmap {
+
+/// Generic SE(2) particle filter: the shared machinery behind the
+/// lane-marking localizer [50], the raster localizer [23] and the boosted
+/// change detector [42].
+class ParticleFilter {
+ public:
+  struct Particle {
+    Pose2 pose;
+    double weight = 1.0;
+  };
+
+  struct Options {
+    int num_particles = 300;
+    /// Process noise applied per Predict step.
+    double position_noise = 0.05;   ///< m per meter traveled.
+    double heading_noise = 0.01;    ///< rad per step.
+    /// Resample when effective sample size falls below this fraction.
+    double resample_threshold = 0.5;
+  };
+
+  ParticleFilter() : ParticleFilter(Options{}) {}
+  explicit ParticleFilter(const Options& options) : options_(options) {}
+
+  /// Initializes particles around `initial` with the given spreads.
+  void Init(const Pose2& initial, double position_spread,
+            double heading_spread, Rng& rng);
+
+  /// Motion update: moves every particle by `distance` along its own
+  /// heading plus `heading_change`, with process noise.
+  void Predict(double distance, double heading_change, Rng& rng);
+
+  /// Measurement update: multiplies weights by `likelihood(pose)` and
+  /// normalizes; resamples when the effective sample size degenerates.
+  void Update(const std::function<double(const Pose2&)>& likelihood,
+              Rng& rng);
+
+  /// Weighted mean pose (circular mean for heading).
+  Pose2 Estimate() const;
+
+  /// Weighted positional spread (RMS distance from the mean) — the filter
+  /// health metric used by change detection [42].
+  double PositionSpread() const;
+
+  /// Effective sample size in [1, N].
+  double EffectiveSampleSize() const;
+
+  const std::vector<Particle>& particles() const { return particles_; }
+
+ private:
+  void Normalize();
+  void Resample(Rng& rng);
+
+  Options options_;
+  std::vector<Particle> particles_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_LOCALIZATION_PARTICLE_FILTER_H_

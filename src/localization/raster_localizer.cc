@@ -1,0 +1,76 @@
+#include "localization/raster_localizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace hdmap {
+
+SemanticRaster BuildObservedPatch(const SemanticRaster& world_raster,
+                                  const Pose2& true_pose,
+                                  double half_extent, double resolution,
+                                  double dropout_prob, double noise_prob,
+                                  Rng& rng) {
+  SemanticRaster patch(
+      Aabb({-half_extent, -half_extent}, {half_extent, half_extent}),
+      resolution);
+  for (int cy = 0; cy < patch.height(); ++cy) {
+    for (int cx = 0; cx < patch.width(); ++cx) {
+      Vec2 world = true_pose.TransformPoint(patch.CellCenter(cx, cy));
+      uint8_t bits = world_raster.Sample(world);
+      if (bits != 0 && !rng.Bernoulli(dropout_prob)) {
+        patch.Set(cx, cy, bits);
+      } else if (bits == 0 && rng.Bernoulli(noise_prob)) {
+        patch.Set(cx, cy, kRasterLaneMarking);  // Spurious paint return.
+      }
+    }
+  }
+  return patch;
+}
+
+RasterLocalizer::RasterLocalizer(const SemanticRaster* map_raster,
+                                 const Options& options)
+    : map_raster_(map_raster), options_(options), filter_(options.filter) {}
+
+void RasterLocalizer::Init(const Pose2& initial, double position_spread,
+                           double heading_spread, Rng& rng) {
+  filter_.Init(initial, position_spread, heading_spread, rng);
+}
+
+void RasterLocalizer::Predict(double distance, double heading_change,
+                              Rng& rng) {
+  filter_.Predict(distance, heading_change, rng);
+}
+
+void RasterLocalizer::Update(const SemanticRaster& observed_patch,
+                             Rng& rng) {
+  // Extract the observation's occupied cells once; scoring each particle
+  // then touches only those cells.
+  std::vector<SemanticRaster::OccupiedCell> observed =
+      observed_patch.OccupiedCells();
+  if (observed.empty()) return;
+  // Normalize the bitwise score into a likelihood: scores are shifted by
+  // the best particle's score to avoid underflow, then exponentiated.
+  const auto& particles = filter_.particles();
+  std::vector<double> scores;
+  scores.reserve(particles.size());
+  double best = -1e18;
+  for (const auto& p : particles) {
+    double s = map_raster_->MatchScoreSparse(observed, p.pose);
+    scores.push_back(s);
+    best = std::max(best, s);
+  }
+  size_t idx = 0;
+  double occupied = static_cast<double>(observed.size());
+  filter_.Update(
+      [&](const Pose2&) {
+        // Temperature scaled by patch size so the weighting stays stable
+        // across patch densities.
+        double s = scores[idx++];
+        return std::exp((s - best) /
+                        (options_.score_temperature * occupied));
+      },
+      rng);
+}
+
+}  // namespace hdmap

@@ -1,0 +1,55 @@
+#ifndef HDMAP_LOCALIZATION_RASTER_LOCALIZER_H_
+#define HDMAP_LOCALIZATION_RASTER_LOCALIZER_H_
+
+#include "core/raster_layer.h"
+#include "localization/particle_filter.h"
+
+namespace hdmap {
+
+/// Builds the local semantic observation patch a perception front-end
+/// would produce at `true_pose` in `world_raster`: samples the world
+/// raster in the vehicle frame over a window, with per-cell dropout and
+/// bit noise. Scoring substitute for the stereo front-end of HDMI-Loc.
+SemanticRaster BuildObservedPatch(const SemanticRaster& world_raster,
+                                  const Pose2& true_pose,
+                                  double half_extent, double resolution,
+                                  double dropout_prob, double noise_prob,
+                                  Rng& rng);
+
+/// Bitwise raster particle-filter localizer (HDMI-Loc [23]): the vector
+/// map is pre-rendered into an 8-bit semantic image; localization matches
+/// observed patches against it with the bitwise score, inside a particle
+/// filter. Memory-efficient: the raster replaces the vector map online.
+class RasterLocalizer {
+ public:
+  struct Options {
+    ParticleFilter::Options filter;
+    /// Patch scored per update (vehicle frame), meters.
+    double patch_half_extent = 12.0;
+    /// Likelihood temperature as a fraction of the observed cell count:
+    /// weight = exp((score - best) / (temperature * cells)). Smaller is
+    /// sharper; must be small enough that periodic road texture (dashed
+    /// markings) cannot alias the belief between modes.
+    double score_temperature = 0.02;
+  };
+
+  RasterLocalizer(const SemanticRaster* map_raster, const Options& options);
+
+  void Init(const Pose2& initial, double position_spread,
+            double heading_spread, Rng& rng);
+  void Predict(double distance, double heading_change, Rng& rng);
+  /// Scores an observed patch (vehicle-frame cells) against the map.
+  void Update(const SemanticRaster& observed_patch, Rng& rng);
+
+  Pose2 Estimate() const { return filter_.Estimate(); }
+  double PositionSpread() const { return filter_.PositionSpread(); }
+
+ private:
+  const SemanticRaster* map_raster_;
+  Options options_;
+  ParticleFilter filter_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_LOCALIZATION_RASTER_LOCALIZER_H_

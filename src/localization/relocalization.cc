@@ -1,0 +1,105 @@
+#include "localization/relocalization.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace hdmap {
+
+std::optional<RelocalizationResult> CoarseToFineRelocalize(
+    const SemanticRaster& map_raster, const SemanticRaster& observed,
+    const Vec2& coarse_fix, double coarse_heading,
+    const RelocalizationOptions& options) {
+  std::vector<SemanticRaster::OccupiedCell> cells =
+      observed.OccupiedCells();
+  if (cells.empty()) return std::nullopt;
+
+  int evaluated = 0;
+  auto score_of = [&](const Pose2& candidate) {
+    ++evaluated;
+    return map_raster.MatchScoreSparse(cells, candidate);
+  };
+
+  // Stage 1: coarse grid over position x heading, keeping the top
+  // candidates. Road texture is locally periodic (dash patterns), so the
+  // global peak at coarse resolution may be an alias — several seeds are
+  // refined and the best refined pose wins.
+  struct Seed {
+    Pose2 pose;
+    double score;
+  };
+  std::vector<Seed> seeds;
+  for (double dx = -options.search_radius; dx <= options.search_radius;
+       dx += options.coarse_step) {
+    for (double dy = -options.search_radius; dy <= options.search_radius;
+         dy += options.coarse_step) {
+      for (double dh = -options.heading_range; dh <= options.heading_range;
+           dh += options.heading_step) {
+        Pose2 candidate(coarse_fix + Vec2{dx, dy}, coarse_heading + dh);
+        seeds.push_back({candidate, score_of(candidate)});
+      }
+    }
+  }
+  std::sort(seeds.begin(), seeds.end(),
+            [](const Seed& a, const Seed& b) { return a.score > b.score; });
+  if (seeds.empty() || seeds.front().score <= 0.0) return std::nullopt;
+  // Keep up to 6 seeds spaced at least 1.5 coarse steps apart.
+  std::vector<Seed> kept;
+  for (const Seed& seed : seeds) {
+    bool too_close = false;
+    for (const Seed& k : kept) {
+      if (k.pose.translation.DistanceTo(seed.pose.translation) <
+          1.5 * options.coarse_step) {
+        too_close = true;
+        break;
+      }
+    }
+    if (!too_close) kept.push_back(seed);
+    if (kept.size() >= 6) break;
+  }
+
+  // Stage 2: refine each seed with step halving; pick the best result.
+  RelocalizationResult best;
+  best.score = -1e18;
+  for (const Seed& seed : kept) {
+    Pose2 pose = seed.pose;
+    double score = seed.score;
+    double step = options.fine_step;
+    double heading_step = options.heading_step / 2.0;
+    for (int level = 0; level < 3; ++level) {
+      bool improved = true;
+      while (improved) {
+        improved = false;
+        Pose2 center = pose;
+        for (double dx : {-step, 0.0, step}) {
+          for (double dy : {-step, 0.0, step}) {
+            for (double dh : {-heading_step, 0.0, heading_step}) {
+              if (dx == 0.0 && dy == 0.0 && dh == 0.0) continue;
+              Pose2 candidate(center.translation + Vec2{dx, dy},
+                              center.heading + dh);
+              double s = score_of(candidate);
+              if (s > score) {
+                score = s;
+                pose = candidate;
+                improved = true;
+              }
+            }
+          }
+        }
+      }
+      step /= 2.0;
+      heading_step /= 2.0;
+    }
+    if (score > best.score) {
+      best.score = score;
+      best.pose = pose;
+    }
+  }
+  best.poses_evaluated = evaluated;
+  if (best.score <
+      options.min_score_fraction * static_cast<double>(cells.size())) {
+    return std::nullopt;  // Nothing in the map matched convincingly.
+  }
+  return best;
+}
+
+}  // namespace hdmap

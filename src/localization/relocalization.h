@@ -1,0 +1,48 @@
+#ifndef HDMAP_LOCALIZATION_RELOCALIZATION_H_
+#define HDMAP_LOCALIZATION_RELOCALIZATION_H_
+
+#include <optional>
+
+#include "core/raster_layer.h"
+#include "geometry/pose2.h"
+
+namespace hdmap {
+
+/// Coarse-to-fine semantic relocalization (Guo et al. [56]): a coarse
+/// GPS fix initializes a pose search; the fine stage aligns the
+/// vehicle's semantic observation against the HD map rendered as a
+/// raster. Solves the (re)initialization problem a tracking filter
+/// cannot: the kidnapped/startup case.
+struct RelocalizationOptions {
+  /// Search half-extent around the coarse fix, meters.
+  double search_radius = 15.0;
+  /// Coarse grid step of stage 1, meters.
+  double coarse_step = 2.0;
+  /// Heading search half-range (rad) and step for stage 1.
+  double heading_range = 0.35;
+  double heading_step = 0.07;
+  /// Fine refinement step of stage 2, meters (two halvings follow).
+  double fine_step = 0.5;
+  /// Required score margin: best must beat the patch-cell count times
+  /// this factor to be accepted (rejects featureless areas).
+  double min_score_fraction = 0.25;
+};
+
+struct RelocalizationResult {
+  Pose2 pose;
+  double score = 0.0;
+  int poses_evaluated = 0;
+};
+
+/// Runs the two-stage search. `observed` is the vehicle-frame semantic
+/// patch (from perception); `coarse_fix` the GPS-grade prior with
+/// heading `coarse_heading`. nullopt when no pose clears the acceptance
+/// threshold.
+std::optional<RelocalizationResult> CoarseToFineRelocalize(
+    const SemanticRaster& map_raster, const SemanticRaster& observed,
+    const Vec2& coarse_fix, double coarse_heading,
+    const RelocalizationOptions& options = {});
+
+}  // namespace hdmap
+
+#endif  // HDMAP_LOCALIZATION_RELOCALIZATION_H_

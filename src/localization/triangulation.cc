@@ -1,0 +1,97 @@
+#include "localization/triangulation.h"
+
+#include <cmath>
+#include <limits>
+
+namespace hdmap {
+
+namespace {
+
+/// Solves the 2x2 normal equations A x = b; false when near-singular.
+bool Solve2x2(double a00, double a01, double a11, double b0, double b1,
+              Vec2* x) {
+  double det = a00 * a11 - a01 * a01;
+  if (std::abs(det) < 1e-9) return false;
+  x->x = (a11 * b0 - a01 * b1) / det;
+  x->y = (a00 * b1 - a01 * b0) / det;
+  return true;
+}
+
+}  // namespace
+
+Result<Vec2> TriangulatePosition(
+    const std::vector<RangeObservation>& observations) {
+  if (observations.size() < 3) {
+    return Status::InvalidArgument("need at least 3 range observations");
+  }
+  // Linearize by subtracting the first equation: standard multilateration.
+  const Vec2& p0 = observations[0].landmark_world;
+  double r0 = observations[0].range;
+  double a00 = 0.0, a01 = 0.0, a11 = 0.0, b0 = 0.0, b1 = 0.0;
+  for (size_t i = 1; i < observations.size(); ++i) {
+    const Vec2& pi = observations[i].landmark_world;
+    double ri = observations[i].range;
+    double ax = 2.0 * (pi.x - p0.x);
+    double ay = 2.0 * (pi.y - p0.y);
+    double rhs = (r0 * r0 - ri * ri) + (pi.SquaredNorm() - p0.SquaredNorm());
+    a00 += ax * ax;
+    a01 += ax * ay;
+    a11 += ay * ay;
+    b0 += ax * rhs;
+    b1 += ay * rhs;
+  }
+  Vec2 solution;
+  if (!Solve2x2(a00, a01, a11, b0, b1, &solution)) {
+    return Status::FailedPrecondition("degenerate landmark geometry");
+  }
+  // One Gauss-Newton refinement step on the nonlinear residuals.
+  for (int iter = 0; iter < 5; ++iter) {
+    double h00 = 0.0, h01 = 0.0, h11 = 0.0, g0 = 0.0, g1 = 0.0;
+    for (const RangeObservation& obs : observations) {
+      Vec2 d = solution - obs.landmark_world;
+      double dist = d.Norm();
+      if (dist < 1e-6) continue;
+      double res = dist - obs.range;
+      Vec2 j = d / dist;
+      h00 += j.x * j.x;
+      h01 += j.x * j.y;
+      h11 += j.y * j.y;
+      g0 += j.x * res;
+      g1 += j.y * res;
+    }
+    Vec2 step;
+    if (!Solve2x2(h00, h01, h11, g0, g1, &step)) break;
+    solution -= step;
+    if (step.Norm() < 1e-6) break;
+  }
+  return solution;
+}
+
+double PredictedPositionSigma(const Vec2& vehicle,
+                              const std::vector<Vec2>& landmarks,
+                              double range_sigma,
+                              double range_noise_growth) {
+  if (landmarks.size() < 3) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Weighted information matrix J^T W J, W_i = 1/sigma_i^2.
+  double h00 = 0.0, h01 = 0.0, h11 = 0.0;
+  for (const Vec2& lm : landmarks) {
+    Vec2 d = vehicle - lm;
+    double dist = d.Norm();
+    if (dist < 1e-6) continue;
+    double sigma_i = range_sigma * (1.0 + range_noise_growth * dist);
+    double w = 1.0 / (sigma_i * sigma_i);
+    Vec2 j = d / dist;
+    h00 += w * j.x * j.x;
+    h01 += w * j.x * j.y;
+    h11 += w * j.y * j.y;
+  }
+  double det = h00 * h11 - h01 * h01;
+  if (det < 1e-9) return std::numeric_limits<double>::infinity();
+  // Covariance = (J^T W J)^-1; report sqrt of its trace (DRMS).
+  double trace_inv = (h00 + h11) / det;
+  return std::sqrt(trace_inv);
+}
+
+}  // namespace hdmap

@@ -1,0 +1,38 @@
+#ifndef HDMAP_LOCALIZATION_TRIANGULATION_H_
+#define HDMAP_LOCALIZATION_TRIANGULATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/vec2.h"
+
+namespace hdmap {
+
+/// One landmark observation with a known (map-resolved) world position.
+struct RangeObservation {
+  Vec2 landmark_world;
+  double range = 0.0;
+};
+
+/// Position fix from range-only multilateration against pre-mapped
+/// landmarks (Juang [72]: map-aided self-positioning from LiDAR landmark
+/// ranges). Solves the linearized system via least squares; needs >= 3
+/// non-collinear landmarks.
+Result<Vec2> TriangulatePosition(
+    const std::vector<RangeObservation>& observations);
+
+/// Predicted 1-sigma position error of a range-based fix from the
+/// landmark geometry (Zheng & Wang [49] geometric analysis): propagates
+/// the per-landmark range noise sigma_i = range_sigma * (1 +
+/// range_noise_growth * distance_i) through the weighted multilateration
+/// normal equations. Captures both effects the paper reports: error
+/// shrinks with feature count and grows with feature distance.
+/// Degenerate geometry (collinear or < 3 landmarks) returns infinity.
+double PredictedPositionSigma(const Vec2& vehicle,
+                              const std::vector<Vec2>& landmarks,
+                              double range_sigma,
+                              double range_noise_growth = 0.02);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_LOCALIZATION_TRIANGULATION_H_

@@ -1,0 +1,92 @@
+#include "maintenance/change_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hdmap {
+
+void BoostedStumpClassifier::Train(const std::vector<LabeledSection>& data,
+                                   int num_rounds) {
+  stumps_.clear();
+  if (data.empty()) return;
+  size_t n = data.size();
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+
+  for (int round = 0; round < num_rounds; ++round) {
+    // Find the best stump over all features / thresholds / polarities.
+    Stump best;
+    double best_error = std::numeric_limits<double>::max();
+    for (int f = 0; f < 4; ++f) {
+      // Candidate thresholds: sorted unique feature values (midpoints).
+      std::vector<double> values;
+      values.reserve(n);
+      for (const auto& ex : data) {
+        values.push_back(ex.features.AsArray()[static_cast<size_t>(f)]);
+      }
+      std::sort(values.begin(), values.end());
+      values.erase(std::unique(values.begin(), values.end()), values.end());
+      for (size_t vi = 0; vi + 1 < values.size(); ++vi) {
+        double thr = 0.5 * (values[vi] + values[vi + 1]);
+        for (int polarity : {+1, -1}) {
+          double error = 0.0;
+          for (size_t i = 0; i < n; ++i) {
+            double v = data[i].features.AsArray()[static_cast<size_t>(f)];
+            bool predict_changed = polarity > 0 ? v > thr : v <= thr;
+            if (predict_changed != data[i].changed) error += weights[i];
+          }
+          if (error < best_error) {
+            best_error = error;
+            best.feature = f;
+            best.threshold = thr;
+            best.polarity = polarity;
+          }
+        }
+      }
+    }
+    best_error = std::clamp(best_error, 1e-10, 1.0 - 1e-10);
+    if (best_error >= 0.5) break;  // No better than chance: stop.
+    best.alpha = 0.5 * std::log((1.0 - best_error) / best_error);
+
+    // Reweight.
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double v =
+          data[i].features.AsArray()[static_cast<size_t>(best.feature)];
+      bool predict_changed =
+          best.polarity > 0 ? v > best.threshold : v <= best.threshold;
+      double margin = (predict_changed == data[i].changed) ? 1.0 : -1.0;
+      weights[i] *= std::exp(-best.alpha * margin);
+      total += weights[i];
+    }
+    for (double& w : weights) w /= total;
+    stumps_.push_back(best);
+  }
+}
+
+double BoostedStumpClassifier::Score(const SectionFeatures& features) const {
+  double score = 0.0;
+  auto values = features.AsArray();
+  for (const Stump& stump : stumps_) {
+    double v = values[static_cast<size_t>(stump.feature)];
+    bool predict_changed =
+        stump.polarity > 0 ? v > stump.threshold : v <= stump.threshold;
+    score += stump.alpha * (predict_changed ? 1.0 : -1.0);
+  }
+  return score;
+}
+
+bool ClassifySectionMultiTraversal(
+    const BoostedStumpClassifier& classifier,
+    const std::vector<SectionFeatures>& traversals,
+    double decision_threshold) {
+  if (traversals.empty()) return false;
+  double total = 0.0;
+  for (const SectionFeatures& f : traversals) {
+    total += classifier.Score(f);
+  }
+  return total / static_cast<double>(traversals.size()) >
+         decision_threshold;
+}
+
+}  // namespace hdmap

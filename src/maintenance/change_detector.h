@@ -1,0 +1,71 @@
+#ifndef HDMAP_MAINTENANCE_CHANGE_DETECTOR_H_
+#define HDMAP_MAINTENANCE_CHANGE_DETECTOR_H_
+
+#include <array>
+#include <vector>
+
+#include "common/statistics.h"
+
+namespace hdmap {
+
+/// Localization-health features of one traversal over one road section —
+/// what the boosted particle-filter change detector of Pannen et al.
+/// [42, 44] extracts from FCD: when the map disagrees with the world,
+/// map-relative localization degrades in characteristic ways.
+struct SectionFeatures {
+  double inlier_ratio = 1.0;      ///< Marking points matching the map.
+  double mean_residual = 0.0;     ///< Mean marking-to-map distance.
+  double filter_spread = 0.0;     ///< Particle spread (belief health).
+  double gps_disagreement = 0.0;  ///< |PF estimate - GPS| average.
+
+  std::array<double, 4> AsArray() const {
+    return {inlier_ratio, mean_residual, filter_spread, gps_disagreement};
+  }
+};
+
+/// A labeled example for training: features + whether the section truly
+/// changed.
+struct LabeledSection {
+  SectionFeatures features;
+  bool changed = false;
+};
+
+/// AdaBoost over decision stumps — the "boosted" classifier of [42].
+class BoostedStumpClassifier {
+ public:
+  struct Stump {
+    int feature = 0;
+    double threshold = 0.0;
+    /// +1: predict changed when feature > threshold; -1: inverted.
+    int polarity = 1;
+    double alpha = 0.0;  ///< Vote weight.
+  };
+
+  /// Trains `num_rounds` stumps on the labeled set.
+  void Train(const std::vector<LabeledSection>& data, int num_rounds = 20);
+
+  /// Boosted score; > 0 means "changed".
+  double Score(const SectionFeatures& features) const;
+  bool Predict(const SectionFeatures& features) const {
+    return Score(features) > 0.0;
+  }
+
+  const std::vector<Stump>& stumps() const { return stumps_; }
+
+ private:
+  std::vector<Stump> stumps_;
+};
+
+/// Multi-traversal aggregation (the key result of [44]: aggregating the
+/// per-traversal classifier scores across many traversals of the same
+/// section boosts sensitivity/specificity far beyond single-traversal
+/// classification). Returns the changed/unchanged decision from the mean
+/// boosted score of all traversals over a section.
+bool ClassifySectionMultiTraversal(
+    const BoostedStumpClassifier& classifier,
+    const std::vector<SectionFeatures>& traversals,
+    double decision_threshold = 0.0);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_MAINTENANCE_CHANGE_DETECTOR_H_

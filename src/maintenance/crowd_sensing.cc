@@ -1,0 +1,58 @@
+#include "maintenance/crowd_sensing.h"
+
+#include <cmath>
+
+namespace hdmap {
+
+void CrowdSensingAggregator::Ingest(const ChangeObservation& observation) {
+  int cx = static_cast<int>(
+      std::floor(observation.position.x / options_.rsu_cell_size));
+  int cy = static_cast<int>(
+      std::floor(observation.position.y / options_.rsu_cell_size));
+  cells_[{cx, cy}].observations.push_back(observation);
+  total_raw_bytes_ += observation.payload_bytes;
+}
+
+CrowdSensingAggregator::AggregateResult
+CrowdSensingAggregator::Aggregate() const {
+  AggregateResult result;
+  result.raw_upload_bytes = total_raw_bytes_;
+  result.num_rsus = cells_.size();
+
+  for (const auto& [key, cell] : cells_) {
+    // MEC-local dedupe: greedy clustering by proximity and kind.
+    std::vector<bool> used(cell.observations.size(), false);
+    for (size_t i = 0; i < cell.observations.size(); ++i) {
+      if (used[i]) continue;
+      const ChangeObservation& seed = cell.observations[i];
+      int support = 0;
+      Vec2 mean_sum;
+      for (size_t j = i; j < cell.observations.size(); ++j) {
+        if (used[j]) continue;
+        const ChangeObservation& other = cell.observations[j];
+        if (other.is_addition != seed.is_addition) continue;
+        if (seed.is_addition) {
+          if (other.position.DistanceTo(seed.position) >
+              options_.dedupe_radius) {
+            continue;
+          }
+        } else if (other.map_id != seed.map_id) {
+          continue;
+        }
+        used[j] = true;
+        ++support;
+        mean_sum += other.position;
+      }
+      if (support >= options_.min_reports) {
+        ChangeObservation confirmed = seed;
+        confirmed.position = mean_sum / static_cast<double>(support);
+        confirmed.payload_bytes = options_.summary_bytes;
+        result.confirmed.push_back(confirmed);
+        result.condensed_upload_bytes += options_.summary_bytes;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,64 @@
+#ifndef HDMAP_MAINTENANCE_CROWD_SENSING_H_
+#define HDMAP_MAINTENANCE_CROWD_SENSING_H_
+
+#include <map>
+#include <vector>
+
+#include "core/hd_map.h"
+#include "core/map_patch.h"
+#include "geometry/vec2.h"
+
+namespace hdmap {
+
+/// One raw change observation uploaded by a vehicle (position + kind).
+struct ChangeObservation {
+  Vec2 position;
+  /// True = element present in world but not map (addition evidence);
+  /// false = element in map but missing in world (removal evidence).
+  bool is_addition = true;
+  ElementId map_id = kInvalidId;  ///< For removal evidence.
+  size_t payload_bytes = 64;      ///< Upload cost of this observation.
+};
+
+/// Distributed crowd-sensing map update (Qi et al. [47]): roadside units
+/// with MEC servers pre-aggregate the observations of vehicles in their
+/// cell — deduplicating and thresholding locally — and forward only the
+/// condensed change summaries to the central map service.
+class CrowdSensingAggregator {
+ public:
+  struct Options {
+    double rsu_cell_size = 500.0;   ///< RSU coverage cell, meters.
+    double dedupe_radius = 3.0;
+    int min_reports = 3;            ///< Evidence threshold per change.
+    size_t summary_bytes = 48;      ///< Bytes per condensed change.
+  };
+
+  explicit CrowdSensingAggregator(const Options& options)
+      : options_(options) {}
+
+  /// MEC stage: ingest one observation at its RSU.
+  void Ingest(const ChangeObservation& observation);
+
+  struct AggregateResult {
+    /// Changes confirmed by enough deduplicated reports, per kind.
+    std::vector<ChangeObservation> confirmed;
+    size_t raw_upload_bytes = 0;       ///< Centralized-baseline cost.
+    size_t condensed_upload_bytes = 0; ///< MEC -> center cost.
+    size_t num_rsus = 0;
+  };
+
+  /// Central stage: aggregates all RSU summaries.
+  AggregateResult Aggregate() const;
+
+ private:
+  struct RsuCell {
+    std::vector<ChangeObservation> observations;
+  };
+  Options options_;
+  std::map<std::pair<int, int>, RsuCell> cells_;
+  size_t total_raw_bytes_ = 0;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_MAINTENANCE_CROWD_SENSING_H_

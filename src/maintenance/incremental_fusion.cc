@@ -1,0 +1,79 @@
+#include "maintenance/incremental_fusion.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdmap {
+
+void IncrementalFuser::AddElement(ElementId id, const Vec2& position,
+                                  double initial_variance) {
+  ElementEstimate e;
+  e.position = position;
+  e.variance = initial_variance;
+  elements_[id] = e;
+}
+
+void IncrementalFuser::UpdateElement(ElementEstimate* e,
+                                     const Measurement& m) {
+  // Time decay: stale estimates become uncertain, so fresh measurements
+  // dominate after environmental change.
+  double days = std::max(0.0, m.day - e->last_update_day);
+  e->variance += options_.decay_variance_per_day * days;
+  e->last_update_day = m.day;
+
+  double r2 = options_.measurement_sigma * options_.measurement_sigma;
+  double k = e->variance / (e->variance + r2);
+  e->position = e->position + (m.position - e->position) * k;
+  e->variance *= (1.0 - k);
+
+  if (m.semantic_match) {
+    e->semantic_confidence = std::min(
+        1.0, e->semantic_confidence +
+                 options_.confidence_gain * (1.0 - e->semantic_confidence));
+  } else {
+    e->semantic_confidence = std::max(
+        0.0, e->semantic_confidence - options_.confidence_loss);
+  }
+}
+
+bool IncrementalFuser::TryMatch(const Measurement& m) {
+  ElementEstimate* best = nullptr;
+  double best_d = options_.match_radius;
+  for (auto& [id, e] : elements_) {
+    double d = e.position.DistanceTo(m.position);
+    if (d < best_d) {
+      best_d = d;
+      best = &e;
+    }
+  }
+  if (best == nullptr) return false;
+  UpdateElement(best, m);
+  return true;
+}
+
+void IncrementalFuser::Fuse(const Measurement& measurement) {
+  if (!TryMatch(measurement)) {
+    // Unmatched: feed back with historical information for future
+    // matching attempts [43].
+    feedback_queue_.emplace_back(measurement, 0);
+  }
+}
+
+void IncrementalFuser::RetryFeedbackQueue() {
+  std::vector<std::pair<Measurement, int>> remaining;
+  for (auto& [m, attempts] : feedback_queue_) {
+    if (TryMatch(m)) continue;
+    if (attempts + 1 < options_.max_feedback_attempts) {
+      remaining.emplace_back(m, attempts + 1);
+    }
+  }
+  feedback_queue_ = std::move(remaining);
+}
+
+const IncrementalFuser::ElementEstimate* IncrementalFuser::Find(
+    ElementId id) const {
+  auto it = elements_.find(id);
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+}  // namespace hdmap

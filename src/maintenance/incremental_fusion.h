@@ -1,0 +1,78 @@
+#ifndef HDMAP_MAINTENANCE_INCREMENTAL_FUSION_H_
+#define HDMAP_MAINTENANCE_INCREMENTAL_FUSION_H_
+
+#include <map>
+#include <vector>
+
+#include "core/ids.h"
+#include "geometry/vec2.h"
+
+namespace hdmap {
+
+/// Incremental HD-map element fusion (Liu et al. [43]): each element's
+/// position estimate is updated from new sensor measurements with a
+/// Kalman step; a time-decay term inflates stale covariance so the map
+/// quickly re-adapts after environmental changes; semantic confidence is
+/// tracked alongside; unmatched measurements are queued for future
+/// matching attempts.
+class IncrementalFuser {
+ public:
+  struct Options {
+    double measurement_sigma = 0.6;
+    /// Covariance inflation per day without observation (time decay).
+    double decay_variance_per_day = 0.04;
+    /// Confidence gain on a semantic-consistent observation.
+    double confidence_gain = 0.2;
+    double confidence_loss = 0.3;
+    /// Matching gate for assigning measurements to elements.
+    double match_radius = 3.0;
+    /// Unmatched measurements are kept this many attempts before drop.
+    int max_feedback_attempts = 3;
+  };
+
+  struct ElementEstimate {
+    Vec2 position;
+    double variance = 1.0;
+    double semantic_confidence = 0.5;
+    double last_update_day = 0.0;
+  };
+
+  struct Measurement {
+    Vec2 position;
+    bool semantic_match = true;  ///< Class agreed with the map element.
+    double day = 0.0;
+  };
+
+  explicit IncrementalFuser(const Options& options) : options_(options) {}
+
+  /// Registers a map element with its current (map) position.
+  void AddElement(ElementId id, const Vec2& position,
+                  double initial_variance = 0.25);
+
+  /// Fuses one measurement: matched to the nearest element within the
+  /// gate, otherwise parked in the feedback queue for later attempts.
+  void Fuse(const Measurement& measurement);
+
+  /// Retries the feedback queue against the current estimates; drops
+  /// entries that exceeded max_feedback_attempts.
+  void RetryFeedbackQueue();
+
+  const ElementEstimate* Find(ElementId id) const;
+  const std::map<ElementId, ElementEstimate>& elements() const {
+    return elements_;
+  }
+  size_t feedback_queue_size() const { return feedback_queue_.size(); }
+
+ private:
+  /// Applies time decay up to `day`, then the Kalman measurement update.
+  void UpdateElement(ElementEstimate* e, const Measurement& m);
+  bool TryMatch(const Measurement& m);
+
+  Options options_;
+  std::map<ElementId, ElementEstimate> elements_;
+  std::vector<std::pair<Measurement, int>> feedback_queue_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_MAINTENANCE_INCREMENTAL_FUSION_H_

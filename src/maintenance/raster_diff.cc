@@ -1,0 +1,69 @@
+#include "maintenance/raster_diff.h"
+
+#include <algorithm>
+
+namespace hdmap {
+
+std::vector<RasterChangeRegion> RasterChangeDetector::Detect(
+    const SemanticRaster& map_raster, const SemanticRaster& observed) const {
+  std::vector<RasterChangeRegion> regions;
+  if (map_raster.width() != observed.width() ||
+      map_raster.height() != observed.height()) {
+    RasterChangeRegion whole;
+    whole.region =
+        Aabb(map_raster.origin(),
+             map_raster.origin() +
+                 Vec2{map_raster.width() * map_raster.resolution(),
+                      map_raster.height() * map_raster.resolution()});
+    whole.score = 1.0;
+    regions.push_back(whole);
+    return regions;
+  }
+
+  int w = options_.window_cells;
+  for (int wy = 0; wy < map_raster.height(); wy += w) {
+    for (int wx = 0; wx < map_raster.width(); wx += w) {
+      int x_end = std::min(map_raster.width(), wx + w);
+      int y_end = std::min(map_raster.height(), wy + w);
+      int content = 0;
+      int differing = 0;
+      uint8_t map_only = 0;
+      uint8_t world_only = 0;
+      for (int cy = wy; cy < y_end; ++cy) {
+        for (int cx = wx; cx < x_end; ++cx) {
+          uint8_t a = map_raster.At(cx, cy);
+          uint8_t b = observed.At(cx, cy);
+          if (a == 0 && b == 0) continue;
+          ++content;
+          if (a != b) {
+            ++differing;
+            map_only |= static_cast<uint8_t>(a & ~b);
+            world_only |= static_cast<uint8_t>(b & ~a);
+          }
+        }
+      }
+      if (content < options_.min_content_cells) continue;
+      double score = static_cast<double>(differing) / content;
+      if (score < options_.score_threshold) continue;
+      RasterChangeRegion region;
+      region.region =
+          Aabb(map_raster.CellCenter(wx, wy) -
+                   Vec2{map_raster.resolution() / 2,
+                        map_raster.resolution() / 2},
+               map_raster.CellCenter(x_end - 1, y_end - 1) +
+                   Vec2{map_raster.resolution() / 2,
+                        map_raster.resolution() / 2});
+      region.score = score;
+      region.map_only = map_only;
+      region.world_only = world_only;
+      regions.push_back(region);
+    }
+  }
+  std::sort(regions.begin(), regions.end(),
+            [](const RasterChangeRegion& a, const RasterChangeRegion& b) {
+              return a.score > b.score;
+            });
+  return regions;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,51 @@
+#ifndef HDMAP_MAINTENANCE_RASTER_DIFF_H_
+#define HDMAP_MAINTENANCE_RASTER_DIFF_H_
+
+#include <vector>
+
+#include "core/raster_layer.h"
+
+namespace hdmap {
+
+/// A region proposed as changed by the raster comparison.
+struct RasterChangeRegion {
+  Aabb region;
+  double score = 0.0;       ///< Fraction of differing non-empty cells.
+  uint8_t map_only = 0;     ///< Classes present only in the map raster.
+  uint8_t world_only = 0;   ///< Classes present only in the observation.
+};
+
+/// Single-step raster change detection (Diff-Net [46] surrogate): map
+/// elements are projected into a rasterized image and compared — here
+/// bitwise against an observed semantic raster — revealing map changes
+/// directly, without per-element tracking. The comparison is windowed so
+/// each change is localized to a region proposal.
+class RasterChangeDetector {
+ public:
+  struct Options {
+    /// Window edge length in cells.
+    int window_cells = 64;
+    /// Windows whose differing-cell fraction exceeds this are reported.
+    double score_threshold = 0.15;
+    /// Windows with fewer non-empty cells than this are skipped (no
+    /// content to compare).
+    int min_content_cells = 20;
+  };
+
+  explicit RasterChangeDetector(const Options& options)
+      : options_(options) {}
+
+  /// Compares two same-geometry rasters (map-rendered vs observed) and
+  /// returns the changed regions, strongest first. Mismatched geometry
+  /// returns a single full-extent region with score 1.
+  std::vector<RasterChangeRegion> Detect(
+      const SemanticRaster& map_raster,
+      const SemanticRaster& observed) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_MAINTENANCE_RASTER_DIFF_H_

@@ -1,0 +1,145 @@
+#include "maintenance/slamcu.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdmap {
+
+Slamcu::Slamcu(const HdMap* map, const Options& options)
+    : map_(map), options_(options) {}
+
+void Slamcu::ProcessFrame(const Pose2& estimated_pose,
+                          const std::vector<LandmarkDetection>& detections) {
+  double r2 = options_.measurement_sigma * options_.measurement_sigma;
+
+  // Track which in-FOV map features were seen this frame.
+  std::map<ElementId, bool> seen;
+  for (ElementId id : map_->LandmarksNear(estimated_pose.translation,
+                                          options_.fov_range)) {
+    const Landmark* lm = map_->FindLandmark(id);
+    if (lm == nullptr) continue;
+    Vec2 local = estimated_pose.InverseTransformPoint(lm->position.xy());
+    if (local.Norm() > options_.fov_range || local.Norm() < 1.0) continue;
+    if (std::abs(local.Angle()) > options_.fov_rad / 2.0) continue;
+    seen[id] = false;
+  }
+
+  for (const LandmarkDetection& det : detections) {
+    Vec2 world = estimated_pose.TransformPoint(det.position_vehicle);
+
+    // 1) Does it match an existing map feature?
+    const Landmark* matched = nullptr;
+    double best_d = options_.association_radius;
+    for (ElementId id :
+         map_->LandmarksNear(world, options_.association_radius)) {
+      const Landmark* lm = map_->FindLandmark(id);
+      if (lm == nullptr || lm->type != det.type) continue;
+      double d = lm->position.xy().DistanceTo(world);
+      if (d < best_d) {
+        best_d = d;
+        matched = lm;
+      }
+    }
+    if (matched != nullptr) {
+      seen[matched->id] = true;
+      // Displacement evidence: fuse into a move track when beyond the
+      // move threshold.
+      if (best_d > options_.move_threshold) {
+        Track& track = move_tracks_[matched->id];
+        if (track.hits == 0) {
+          track.mean = world;
+          track.variance = r2;
+          track.type = det.type;
+          track.map_id = matched->id;
+          track.hits = 1;
+        } else {
+          double k = track.variance / (track.variance + r2);
+          track.mean = track.mean + (world - track.mean) * k;
+          track.variance *= (1.0 - k);
+          ++track.hits;
+        }
+      }
+      continue;
+    }
+
+    // 2) New-feature candidate: recursive Bayesian position estimate
+    // (the DBN inference of [41] reduced to its Kalman form).
+    Track* nearest = nullptr;
+    double nearest_d = options_.association_radius;
+    for (Track& track : addition_tracks_) {
+      if (track.type != det.type) continue;
+      double d = track.mean.DistanceTo(world);
+      if (d < nearest_d) {
+        nearest_d = d;
+        nearest = &track;
+      }
+    }
+    if (nearest == nullptr) {
+      Track track;
+      track.mean = world;
+      track.variance = r2;
+      track.hits = 1;
+      track.type = det.type;
+      addition_tracks_.push_back(track);
+    } else {
+      double k = nearest->variance / (nearest->variance + r2);
+      nearest->mean = nearest->mean + (world - nearest->mean) * k;
+      nearest->variance *= (1.0 - k);
+      ++nearest->hits;
+    }
+  }
+
+  // 3) Miss accounting for removal evidence.
+  for (const auto& [id, was_seen] : seen) {
+    if (was_seen) {
+      miss_counts_[id] = std::max(0, miss_counts_[id] - 1);
+    } else {
+      ++miss_counts_[id];
+    }
+  }
+}
+
+std::vector<Slamcu::Track> Slamcu::ConfirmedAdditions() const {
+  std::vector<Track> out;
+  for (const Track& t : addition_tracks_) {
+    if (t.hits >= options_.add_confirmations) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<ElementId> Slamcu::ConfirmedRemovals() const {
+  std::vector<ElementId> out;
+  for (const auto& [id, misses] : miss_counts_) {
+    if (misses >= options_.remove_confirmations) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<Slamcu::Track> Slamcu::ConfirmedMoves() const {
+  std::vector<Track> out;
+  for (const auto& [id, t] : move_tracks_) {
+    if (t.hits >= options_.add_confirmations) out.push_back(t);
+  }
+  return out;
+}
+
+MapPatch Slamcu::BuildPatch() const {
+  MapPatch patch;
+  for (const Track& t : ConfirmedAdditions()) {
+    Landmark lm;
+    lm.id = next_new_id_++;
+    lm.type = t.type;
+    lm.position = Vec3(t.mean, 2.2);
+    lm.subtype = "slamcu_detected";
+    patch.added_landmarks.push_back(std::move(lm));
+  }
+  for (ElementId id : ConfirmedRemovals()) {
+    patch.removed_landmarks.push_back(id);
+  }
+  for (const Track& t : ConfirmedMoves()) {
+    patch.moved_landmarks.push_back({t.map_id, Vec3(t.mean, 2.2)});
+  }
+  return patch;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,76 @@
+#ifndef HDMAP_MAINTENANCE_SLAMCU_H_
+#define HDMAP_MAINTENANCE_SLAMCU_H_
+
+#include <map>
+#include <vector>
+
+#include "core/hd_map.h"
+#include "core/map_patch.h"
+#include "geometry/pose2.h"
+#include "sim/sensors.h"
+
+namespace hdmap {
+
+/// Simultaneous Localization and Map Change Update (SLAMCU, Jo et al.
+/// [41]): while localizing against the current HD map, maintain recursive
+/// Bayesian estimates of candidate map changes — new features, vanished
+/// features and moved features — and emit a change report once the
+/// evidence crosses a confidence threshold.
+class Slamcu {
+ public:
+  struct Options {
+    /// Gate for associating a detection with an existing map feature.
+    double association_radius = 4.0;
+    /// Measurement sigma of a single world-projected detection.
+    double measurement_sigma = 0.8;
+    /// Evidence needed to confirm an addition (observation count).
+    int add_confirmations = 4;
+    /// Misses (feature in FOV but undetected) to confirm a removal.
+    int remove_confirmations = 5;
+    /// Map features displaced beyond this are treated as moved.
+    double move_threshold = 1.5;
+    /// Sensor FOV model for miss accounting.
+    double fov_range = 45.0;
+    double fov_rad = 2.0944;
+  };
+
+  /// State of one tracked candidate change.
+  struct Track {
+    Vec2 mean;
+    double variance = 0.0;  ///< Isotropic position variance.
+    int hits = 0;
+    LandmarkType type = LandmarkType::kTrafficSign;
+    /// For moved/removed candidates: the map feature involved.
+    ElementId map_id = kInvalidId;
+  };
+
+  Slamcu(const HdMap* map, const Options& options);
+
+  /// Processes one frame: the vehicle's estimated pose and its landmark
+  /// detections. Updates internal change tracks.
+  void ProcessFrame(const Pose2& estimated_pose,
+                    const std::vector<LandmarkDetection>& detections);
+
+  /// The confirmed changes accumulated so far, as a map patch plus the
+  /// estimated positions of new features (for error scoring).
+  MapPatch BuildPatch() const;
+
+  /// Estimated positions of confirmed NEW features (additions), used to
+  /// regenerate the paper's Fig. 2 error histogram.
+  std::vector<Track> ConfirmedAdditions() const;
+  std::vector<ElementId> ConfirmedRemovals() const;
+  std::vector<Track> ConfirmedMoves() const;
+
+ private:
+  const HdMap* map_;
+  Options options_;
+  std::vector<Track> addition_tracks_;
+  std::map<ElementId, int> miss_counts_;
+  std::map<ElementId, Track> move_tracks_;
+  /// Next id handed to confirmed additions in BuildPatch.
+  mutable ElementId next_new_id_ = 1000000;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_MAINTENANCE_SLAMCU_H_

@@ -1,0 +1,62 @@
+#include "perception/cooperative.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdmap {
+
+void ObjectTracker::PredictTo(double t) {
+  for (auto& [id, track] : tracks_) {
+    double dt = t - track.last_t;
+    if (dt <= 0.0) continue;
+    track.position += track.velocity * dt;
+    double q = options_.process_accel_sigma * options_.process_accel_sigma;
+    // CV-model covariance growth (per-axis, isotropic approximation).
+    track.pos_variance += track.vel_variance * dt * dt +
+                          0.25 * q * dt * dt * dt * dt;
+    track.vel_variance += q * dt * dt;
+    track.last_t = t;
+  }
+}
+
+void ObjectTracker::Fuse(const ObjectMeasurement& measurement, double t) {
+  auto it = tracks_.find(measurement.object_id);
+  if (it == tracks_.end()) {
+    TrackState track;
+    track.position = measurement.position;
+    track.velocity = {0.0, 0.0};
+    track.pos_variance = measurement.noise_sigma * measurement.noise_sigma;
+    track.vel_variance = 4.0;
+    track.last_t = t;
+    tracks_[measurement.object_id] = track;
+    return;
+  }
+  TrackState& track = it->second;
+  double dt = t - track.last_t;
+  if (dt > 0.0) {
+    track.position += track.velocity * dt;
+    double q = options_.process_accel_sigma * options_.process_accel_sigma;
+    track.pos_variance += track.vel_variance * dt * dt +
+                          0.25 * q * dt * dt * dt * dt;
+    track.vel_variance += q * dt * dt;
+    track.last_t = t;
+  }
+  double r2 = measurement.noise_sigma * measurement.noise_sigma;
+  double k = track.pos_variance / (track.pos_variance + r2);
+  Vec2 innovation = measurement.position - track.position;
+  track.position += innovation * k;
+  // Velocity pseudo-update: innovation over the prediction interval
+  // informs velocity (simplified cross-covariance gain).
+  if (dt > 1e-3) {
+    double kv = std::min(0.5, k / dt);
+    track.velocity += innovation * kv;
+  }
+  track.pos_variance *= (1.0 - k);
+}
+
+const ObjectTracker::TrackState* ObjectTracker::Find(int object_id) const {
+  auto it = tracks_.find(object_id);
+  return it == tracks_.end() ? nullptr : &it->second;
+}
+
+}  // namespace hdmap

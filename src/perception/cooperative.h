@@ -1,0 +1,56 @@
+#ifndef HDMAP_PERCEPTION_COOPERATIVE_H_
+#define HDMAP_PERCEPTION_COOPERATIVE_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "geometry/vec2.h"
+
+namespace hdmap {
+
+/// A position measurement of a tracked object from one sensor source.
+struct ObjectMeasurement {
+  int object_id = 0;   ///< Association is given (visual track id).
+  Vec2 position;
+  double noise_sigma = 0.5;
+};
+
+/// Constant-velocity Kalman tracker for road objects, supporting fusion
+/// of measurements from heterogeneous sources — the ego vehicle's sensors
+/// and HD-map-registered roadside cameras (Masi et al. [63] cooperative
+/// perception: roadside infrastructure fills ego blind spots and tightens
+/// state estimates).
+class ObjectTracker {
+ public:
+  struct TrackState {
+    Vec2 position;
+    Vec2 velocity;
+    double pos_variance = 1.0;  ///< Isotropic position variance.
+    double vel_variance = 1.0;
+    double last_t = 0.0;
+  };
+
+  struct Options {
+    double process_accel_sigma = 1.0;  ///< m/s^2 white acceleration.
+  };
+
+  explicit ObjectTracker(const Options& options) : options_(options) {}
+
+  /// Predicts all tracks to time t.
+  void PredictTo(double t);
+
+  /// Fuses one measurement taken at time t (creates the track if new).
+  void Fuse(const ObjectMeasurement& measurement, double t);
+
+  const TrackState* Find(int object_id) const;
+  const std::map<int, TrackState>& tracks() const { return tracks_; }
+
+ private:
+  Options options_;
+  std::map<int, TrackState> tracks_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_PERCEPTION_COOPERATIVE_H_

@@ -1,0 +1,208 @@
+#include "perception/object_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <numbers>
+
+namespace hdmap {
+
+namespace {
+
+/// Terrain elevation at p: taken from the nearest lanelet's profile
+/// (0 when far from the road network).
+double GroundElevationAt(const HdMap& map, const Vec2& p) {
+  auto match = map.MatchToLane(p, 40.0);
+  if (!match.ok()) return 0.0;
+  const Lanelet* ll = map.FindLanelet(match->lanelet_id);
+  return ll == nullptr ? 0.0 : ll->ElevationAt(match->arc_length);
+}
+
+}  // namespace
+
+std::vector<ScenePoint> SimulateSceneScan(
+    const HdMap& map, const std::vector<SimObject>& objects,
+    const Pose2& sensor_pose, const SceneScanOptions& options, Rng& rng) {
+  std::vector<ScenePoint> scan;
+
+  // Object returns.
+  for (size_t oi = 0; oi < objects.size(); ++oi) {
+    const SimObject& obj = objects[oi];
+    if (obj.position.DistanceTo(sensor_pose.translation) > options.range) {
+      continue;
+    }
+    double ground = GroundElevationAt(map, obj.position);
+    for (int i = 0; i < options.points_per_object; ++i) {
+      Vec2 local{rng.Uniform(-obj.half_length, obj.half_length),
+                 rng.Uniform(-obj.half_width, obj.half_width)};
+      ScenePoint p;
+      p.position = obj.position + local.Rotated(obj.heading);
+      p.z = ground + rng.Uniform(0.2, obj.height);
+      p.object_index = static_cast<int>(oi);
+      scan.push_back(p);
+    }
+  }
+
+  // Off-road clutter: placed just outside the road corridor.
+  Aabb extent = map.BoundingBox();
+  for (int i = 0; i < options.clutter_points; ++i) {
+    // Rejection-sample a point near the sensor but off the road.
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      double angle = rng.Uniform(-std::numbers::pi, std::numbers::pi);
+      double radius = rng.Uniform(5.0, options.range);
+      Vec2 p = sensor_pose.translation +
+               Vec2{std::cos(angle), std::sin(angle)} * radius;
+      if (!extent.Contains(p)) continue;
+      auto match = map.MatchToLane(p, options.clutter_band);
+      if (match.ok() && match->distance < 5.0) continue;  // On the road.
+      ScenePoint sp;
+      sp.position = p;
+      sp.z = GroundElevationAt(map, p) +
+             rng.Uniform(options.clutter_height_min,
+                         options.clutter_height_max);
+      scan.push_back(sp);
+      break;
+    }
+  }
+
+  // Ground returns.
+  for (int i = 0; i < options.ground_points; ++i) {
+    double angle = rng.Uniform(-std::numbers::pi, std::numbers::pi);
+    double radius = rng.Uniform(2.0, options.range);
+    Vec2 p = sensor_pose.translation +
+             Vec2{std::cos(angle), std::sin(angle)} * radius;
+    ScenePoint sp;
+    sp.position = p;
+    sp.z = GroundElevationAt(map, p) + rng.Normal(0.0, options.ground_noise);
+    scan.push_back(sp);
+  }
+  return scan;
+}
+
+std::vector<ObjectDetection> DetectObjects(
+    const HdMap& map, const std::vector<ScenePoint>& scan,
+    MapPriorMode mode, const DetectorOptions& options) {
+  // 1) Ground removal under the selected prior.
+  double online_ground = 0.0;
+  if (mode == MapPriorMode::kOnlineEstimated) {
+    // Estimate a single ground plane height as the low percentile of z
+    // (what a map-less detector can do from one scan [6]).
+    std::vector<double> zs;
+    zs.reserve(scan.size());
+    for (const ScenePoint& p : scan) zs.push_back(p.z);
+    std::sort(zs.begin(), zs.end());
+    online_ground = zs.empty() ? 0.0 : zs[zs.size() / 5];  // 20th pct.
+  }
+  std::vector<const ScenePoint*> elevated;
+  for (const ScenePoint& p : scan) {
+    double ground = 0.0;
+    switch (mode) {
+      case MapPriorMode::kNone:
+        ground = 0.0;  // Flat-world assumption.
+        break;
+      case MapPriorMode::kOnlineEstimated:
+        ground = online_ground;
+        break;
+      case MapPriorMode::kFullMap: {
+        auto match = map.MatchToLane(p.position, 60.0);
+        const Lanelet* ll =
+            match.ok() ? map.FindLanelet(match->lanelet_id) : nullptr;
+        ground = ll != nullptr ? ll->ElevationAt(match->arc_length) : 0.0;
+        break;
+      }
+    }
+    if (p.z - ground > options.ground_band) elevated.push_back(&p);
+  }
+
+  // 2) Grid clustering of elevated points.
+  std::map<std::pair<int, int>, std::vector<const ScenePoint*>> cells;
+  for (const ScenePoint* p : elevated) {
+    cells[{static_cast<int>(std::floor(p->position.x / options.cluster_cell)),
+           static_cast<int>(
+               std::floor(p->position.y / options.cluster_cell))}]
+        .push_back(p);
+  }
+  // Merge 8-connected cells into clusters via union-find over cell keys.
+  std::map<std::pair<int, int>, std::pair<int, int>> parent;
+  std::function<std::pair<int, int>(std::pair<int, int>)> find =
+      [&](std::pair<int, int> k) {
+        while (parent[k] != k) {
+          parent[k] = parent[parent[k]];
+          k = parent[k];
+        }
+        return k;
+      };
+  for (const auto& [key, pts] : cells) parent[key] = key;
+  for (const auto& [key, pts] : cells) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        std::pair<int, int> nb{key.first + dx, key.second + dy};
+        if (cells.count(nb) > 0) {
+          parent[find(key)] = find(nb);
+        }
+      }
+    }
+  }
+  std::map<std::pair<int, int>, std::vector<const ScenePoint*>> clusters;
+  for (const auto& [key, pts] : cells) {
+    auto& cluster = clusters[find(key)];
+    cluster.insert(cluster.end(), pts.begin(), pts.end());
+  }
+
+  // 3) Emit detections; apply the road-mask prior under kFullMap.
+  std::vector<ObjectDetection> detections;
+  for (const auto& [root, pts] : clusters) {
+    if (static_cast<int>(pts.size()) < options.min_cluster_points) continue;
+    Vec2 centroid;
+    std::map<int, int> votes;
+    for (const ScenePoint* p : pts) {
+      centroid += p->position;
+      ++votes[p->object_index];
+    }
+    centroid = centroid / static_cast<double>(pts.size());
+    if (mode == MapPriorMode::kFullMap) {
+      auto match = map.MatchToLane(centroid, options.road_margin);
+      if (!match.ok()) continue;  // Off-road: semantic prior rejects.
+    }
+    ObjectDetection det;
+    det.centroid = centroid;
+    det.num_points = static_cast<int>(pts.size());
+    int best_votes = 0;
+    for (const auto& [obj, count] : votes) {
+      if (count > best_votes) {
+        best_votes = count;
+        det.majority_object = obj;
+      }
+    }
+    detections.push_back(det);
+  }
+  return detections;
+}
+
+BinaryConfusion ScoreDetections(
+    const std::vector<ObjectDetection>& detections,
+    const std::vector<SimObject>& objects, double match_radius) {
+  BinaryConfusion confusion;
+  std::vector<bool> matched(objects.size(), false);
+  for (const ObjectDetection& det : detections) {
+    bool hit = false;
+    for (size_t i = 0; i < objects.size(); ++i) {
+      if (det.centroid.DistanceTo(objects[i].position) <= match_radius) {
+        matched[i] = true;
+        hit = true;
+      }
+    }
+    if (hit) {
+      ++confusion.tp;
+    } else {
+      ++confusion.fp;
+    }
+  }
+  for (bool m : matched) {
+    if (!m) ++confusion.fn;
+  }
+  return confusion;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,127 @@
+#include "perception/traffic_light_recognition.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdmap {
+
+LightState TrafficLightProgram::StateAt(ElementId id, double t) const {
+  double cycle = options_.red_s + options_.green_s + options_.yellow_s;
+  // Phase-shift by id so neighboring intersections are not in lockstep.
+  double phase = std::fmod(static_cast<double>(id) * 7.31, cycle);
+  double u = std::fmod(t + phase, cycle);
+  if (u < 0.0) u += cycle;
+  if (u < options_.red_s) return LightState::kRed;
+  if (u < options_.red_s + options_.green_s) return LightState::kGreen;
+  return LightState::kYellow;
+}
+
+std::vector<LightDetection> CameraLightDetector::Detect(
+    const HdMap& map, const TrafficLightProgram& program,
+    const Pose2& vehicle_pose, double t, Rng& rng) const {
+  std::vector<LightDetection> detections;
+  for (ElementId id :
+       map.LandmarksNear(vehicle_pose.translation, options_.max_range)) {
+    const Landmark* lm = map.FindLandmark(id);
+    if (lm == nullptr || lm->type != LandmarkType::kTrafficLight) continue;
+    Vec2 local = vehicle_pose.InverseTransformPoint(lm->position.xy());
+    if (local.Norm() > options_.max_range || local.Norm() < 2.0) continue;
+    if (std::abs(local.Angle()) > options_.fov_rad / 2.0) continue;
+    if (!rng.Bernoulli(options_.detection_prob)) continue;
+    LightDetection det;
+    det.position_vehicle =
+        local + Vec2{rng.Normal(0.0, options_.position_noise),
+                     rng.Normal(0.0, options_.position_noise)};
+    LightState truth = program.StateAt(id, t);
+    if (rng.Bernoulli(options_.color_error_prob)) {
+      // Misclassified into one of the other two colors.
+      LightState wrong[2];
+      int n = 0;
+      for (LightState s :
+           {LightState::kRed, LightState::kYellow, LightState::kGreen}) {
+        if (s != truth) wrong[n++] = s;
+      }
+      det.color = wrong[rng.UniformInt(0, 1)];
+    } else {
+      det.color = truth;
+    }
+    det.truth_id = id;
+    detections.push_back(det);
+  }
+  // Clutter: brake lights, billboards, reflections.
+  double lambda = options_.clutter_rate;
+  while (lambda > 0.0) {
+    if (rng.Bernoulli(std::min(1.0, lambda))) {
+      LightDetection det;
+      double range = rng.Uniform(5.0, options_.max_range);
+      double bearing =
+          rng.Uniform(-options_.fov_rad / 2.0, options_.fov_rad / 2.0);
+      det.position_vehicle =
+          Vec2{range * std::cos(bearing), range * std::sin(bearing)};
+      det.color = rng.Bernoulli(0.7) ? LightState::kRed : LightState::kGreen;
+      det.is_clutter = true;
+      detections.push_back(det);
+    }
+    lambda -= 1.0;
+  }
+  return detections;
+}
+
+MapGatedLightRecognizer::MapGatedLightRecognizer(const HdMap* map,
+                                                 const Options& options)
+    : map_(map), options_(options) {}
+
+std::vector<RecognizedLight> MapGatedLightRecognizer::ProcessFrame(
+    const Pose2& vehicle_pose,
+    const std::vector<LightDetection>& detections) {
+  // Attribute detections to mapped lights.
+  std::map<ElementId, std::vector<LightState>> frame_votes;
+  for (const LightDetection& det : detections) {
+    Vec2 world = vehicle_pose.TransformPoint(det.position_vehicle);
+    double search = options_.use_map_gate ? options_.gate_radius : 80.0;
+    ElementId best = kInvalidId;
+    double best_d = search;
+    for (ElementId id : map_->LandmarksNear(world, search)) {
+      const Landmark* lm = map_->FindLandmark(id);
+      if (lm == nullptr || lm->type != LandmarkType::kTrafficLight) {
+        continue;
+      }
+      double d = lm->position.xy().DistanceTo(world);
+      if (d < best_d) {
+        best_d = d;
+        best = id;
+      }
+    }
+    if (best == kInvalidId) continue;  // Gated out (or truly nothing).
+    frame_votes[best].push_back(det.color);
+  }
+
+  // Update per-light history and produce filtered states.
+  std::vector<RecognizedLight> out;
+  for (const auto& [id, votes] : frame_votes) {
+    std::deque<LightState>& hist = history_[id];
+    for (LightState s : votes) hist.push_back(s);
+    size_t window = options_.use_interframe_filter
+                        ? static_cast<size_t>(options_.filter_window)
+                        : votes.size();
+    while (hist.size() > window) hist.pop_front();
+
+    int counts[4] = {0, 0, 0, 0};
+    for (LightState s : hist) ++counts[static_cast<int>(s)];
+    int best_count = 0;
+    LightState best_state = LightState::kUnknown;
+    for (int s = 1; s <= 3; ++s) {
+      if (counts[s] > best_count) {
+        best_count = counts[s];
+        best_state = static_cast<LightState>(s);
+      }
+    }
+    int needed = options_.use_interframe_filter ? options_.min_votes : 1;
+    if (best_count >= needed) {
+      out.push_back({id, best_state, best_count});
+    }
+  }
+  return out;
+}
+
+}  // namespace hdmap

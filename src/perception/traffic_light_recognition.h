@@ -1,0 +1,118 @@
+#ifndef HDMAP_PERCEPTION_TRAFFIC_LIGHT_RECOGNITION_H_
+#define HDMAP_PERCEPTION_TRAFFIC_LIGHT_RECOGNITION_H_
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/hd_map.h"
+#include "geometry/pose2.h"
+
+namespace hdmap {
+
+enum class LightState {
+  kUnknown = 0,
+  kRed = 1,
+  kYellow = 2,
+  kGreen = 3,
+};
+
+/// Ground-truth signal program: a fixed red/green/yellow cycle per light,
+/// phase-shifted by light id.
+class TrafficLightProgram {
+ public:
+  struct Options {
+    double red_s = 20.0;
+    double green_s = 15.0;
+    double yellow_s = 3.0;
+  };
+
+  explicit TrafficLightProgram(const Options& options)
+      : options_(options) {}
+
+  /// The true state of light `id` at time t.
+  LightState StateAt(ElementId id, double t) const;
+
+ private:
+  Options options_;
+};
+
+/// One per-frame color detection from the camera stack.
+struct LightDetection {
+  Vec2 position_vehicle;
+  LightState color = LightState::kUnknown;
+  ElementId truth_id = kInvalidId;  ///< Scoring only.
+  bool is_clutter = false;  ///< Brake light / billboard false positive.
+};
+
+/// Camera color-detection model: detects map traffic lights in range/FOV
+/// with per-frame color-classification errors, plus clutter detections
+/// (the false positives a map-less recognizer must swallow).
+class CameraLightDetector {
+ public:
+  struct Options {
+    double max_range = 70.0;
+    double fov_rad = 1.4;
+    double detection_prob = 0.95;
+    double color_error_prob = 0.08;
+    double position_noise = 0.5;
+    double clutter_rate = 0.6;  ///< Expected clutter detections/frame.
+  };
+
+  explicit CameraLightDetector(const Options& options)
+      : options_(options) {}
+
+  std::vector<LightDetection> Detect(const HdMap& map,
+                                     const TrafficLightProgram& program,
+                                     const Pose2& vehicle_pose, double t,
+                                     Rng& rng) const;
+
+ private:
+  Options options_;
+};
+
+/// A recognized light with its filtered state.
+struct RecognizedLight {
+  ElementId light_id = kInvalidId;
+  LightState state = LightState::kUnknown;
+  int votes = 0;
+};
+
+/// Map-gated traffic-light recognizer (Hirabayashi et al. [33]): the HD
+/// map supplies the expected light positions (ROI gating — detections
+/// away from mapped lights are discarded) and an inter-frame filter
+/// smooths per-frame color flicker. Paper: 97% average precision.
+class MapGatedLightRecognizer {
+ public:
+  struct Options {
+    /// A detection must fall within this distance of a mapped light.
+    double gate_radius = 2.5;
+    /// Sliding vote window (frames) for the inter-frame filter.
+    int filter_window = 5;
+    /// Minimum votes for the winning color to report a state.
+    int min_votes = 3;
+    /// When false, gating is disabled (the map-less baseline) and every
+    /// detection is attributed to its nearest mapped light regardless of
+    /// distance.
+    bool use_map_gate = true;
+    /// When false, the inter-frame filter is disabled (single-frame).
+    bool use_interframe_filter = true;
+  };
+
+  MapGatedLightRecognizer(const HdMap* map, const Options& options);
+
+  /// Processes one camera frame; returns the current recognized states.
+  std::vector<RecognizedLight> ProcessFrame(
+      const Pose2& vehicle_pose,
+      const std::vector<LightDetection>& detections);
+
+ private:
+  const HdMap* map_;
+  Options options_;
+  std::map<ElementId, std::deque<LightState>> history_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_PERCEPTION_TRAFFIC_LIGHT_RECOGNITION_H_

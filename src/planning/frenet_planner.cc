@@ -1,0 +1,91 @@
+#include "planning/frenet_planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdmap {
+
+namespace {
+
+/// Quintic ease: f(0)=0, f(1)=1, zero first/second derivatives at both
+/// ends — the standard smooth lateral transition profile.
+double QuinticBlend(double u) {
+  return u * u * u * (10.0 - 15.0 * u + 6.0 * u * u);
+}
+
+}  // namespace
+
+std::optional<std::vector<CandidatePath>> FrenetPlanner::Plan(
+    const LineString& reference, double s0, double d0,
+    const std::vector<Obstacle>& obstacles) {
+  if (reference.size() < 2 || options_.num_candidates < 1) {
+    return std::nullopt;
+  }
+  double s_end = std::min(reference.Length(), s0 + options_.horizon);
+  if (s_end - s0 < 2.0 * options_.step) return std::nullopt;
+
+  std::vector<CandidatePath> paths;
+  paths.reserve(static_cast<size_t>(options_.num_candidates));
+  for (int i = 0; i < options_.num_candidates; ++i) {
+    double frac = options_.num_candidates == 1
+                      ? 0.5
+                      : static_cast<double>(i) /
+                            (options_.num_candidates - 1);
+    double end_offset = -options_.lateral_span +
+                        2.0 * options_.lateral_span * frac;
+    CandidatePath path;
+    path.end_offset = end_offset;
+
+    std::vector<Vec2> pts;
+    for (double s = s0; s <= s_end; s += options_.step) {
+      double u = (s - s0) / (s_end - s0);
+      double d = d0 + (end_offset - d0) * QuinticBlend(u);
+      Vec2 base = reference.PointAt(s);
+      Vec2 normal = reference.TangentAt(s).Perp();
+      pts.push_back(base + normal * d);
+    }
+    path.geometry = LineString(std::move(pts));
+
+    // Kinematic feasibility: curvature bound.
+    double len = path.geometry.Length();
+    for (double s = 0.0; s < len; s += 2.0 * options_.step) {
+      path.max_curvature = std::max(
+          path.max_curvature, std::abs(path.geometry.CurvatureAt(s)));
+    }
+    if (path.max_curvature > options_.max_feasible_curvature) {
+      path.collision_free = false;  // Treated as invalid.
+    }
+
+    // Collision check against disc obstacles.
+    if (path.collision_free) {
+      for (const Obstacle& ob : obstacles) {
+        if (path.geometry.DistanceTo(ob.position) <=
+            ob.radius + options_.obstacle_margin) {
+          path.collision_free = false;
+          break;
+        }
+      }
+    }
+
+    path.cost = options_.offset_weight * std::abs(end_offset) +
+                options_.inertia_weight *
+                    std::abs(end_offset - last_selected_offset_) +
+                options_.curvature_weight * path.max_curvature;
+    paths.push_back(std::move(path));
+  }
+
+  // Select: cheapest collision-free candidate.
+  int best = -1;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    if (!paths[i].collision_free) continue;
+    if (best < 0 || paths[i].cost < paths[static_cast<size_t>(best)].cost) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) return std::nullopt;
+  last_selected_offset_ = paths[static_cast<size_t>(best)].end_offset;
+  std::swap(paths[0], paths[static_cast<size_t>(best)]);
+  return paths;
+}
+
+}  // namespace hdmap

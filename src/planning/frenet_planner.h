@@ -1,0 +1,69 @@
+#ifndef HDMAP_PLANNING_FRENET_PLANNER_H_
+#define HDMAP_PLANNING_FRENET_PLANNER_H_
+
+#include <optional>
+#include <vector>
+
+#include "geometry/line_string.h"
+#include "geometry/vec2.h"
+
+namespace hdmap {
+
+/// A static obstacle on the road (disc model).
+struct Obstacle {
+  Vec2 position;
+  double radius = 1.0;
+};
+
+/// One candidate local path in the lane (Frenet) coordinate system.
+struct CandidatePath {
+  double end_offset = 0.0;        ///< Lateral offset at the horizon.
+  LineString geometry;            ///< Cartesian realization.
+  bool collision_free = true;
+  double max_curvature = 0.0;
+  double cost = 0.0;
+};
+
+/// Local motion planner over HD-map lane geometry (Jian et al. [52]):
+/// generates a lateral-offset path set in the lane coordinate system via
+/// quintic lateral polynomials, prunes colliding/kinematically infeasible
+/// candidates, and selects with an inertia-like rule that prefers paths
+/// close to the previously selected offset to avoid oscillation.
+class FrenetPlanner {
+ public:
+  struct Options {
+    double horizon = 40.0;          ///< Planning distance along the lane.
+    double lateral_span = 3.0;      ///< Max |offset| explored, meters.
+    int num_candidates = 13;        ///< Path-set size (odd: includes 0).
+    double step = 1.0;              ///< Longitudinal sampling, meters.
+    double obstacle_margin = 0.5;   ///< Clearance added to obstacle radii.
+    double max_feasible_curvature = 0.2;  ///< 1/m.
+    /// Inertia weight: cost per meter of deviation from the previous
+    /// selection (the "inertia-like path selection" of [52]).
+    double inertia_weight = 0.6;
+    double offset_weight = 0.4;     ///< Cost per meter of |end offset|.
+    double curvature_weight = 5.0;
+  };
+
+  explicit FrenetPlanner(const Options& options) : options_(options) {}
+
+  /// Plans from arc length `s0` on the reference centerline with current
+  /// lateral offset `d0`. Returns the full evaluated path set (for
+  /// introspection) with the selected path first, or nullopt when every
+  /// candidate collides.
+  std::optional<std::vector<CandidatePath>> Plan(
+      const LineString& reference, double s0, double d0,
+      const std::vector<Obstacle>& obstacles);
+
+  /// The lateral offset selected by the last Plan call (inertia state).
+  double last_selected_offset() const { return last_selected_offset_; }
+  void ResetInertia() { last_selected_offset_ = 0.0; }
+
+ private:
+  Options options_;
+  double last_selected_offset_ = 0.0;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_PLANNING_FRENET_PLANNER_H_

@@ -1,0 +1,84 @@
+#ifndef HDMAP_PLANNING_PCC_H_
+#define HDMAP_PLANNING_PCC_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/hd_map.h"
+
+namespace hdmap {
+
+/// Road grade as a function of distance along a route.
+struct SlopeProfile {
+  double station_step = 50.0;    ///< Meters between samples.
+  std::vector<double> grades;    ///< dz/ds at each station.
+
+  double Length() const {
+    return static_cast<double>(grades.size()) * station_step;
+  }
+};
+
+/// Samples the grade profile of a lanelet route from the HD map's
+/// elevation data (the map input that enables PCC, Chu et al. [61]).
+Result<SlopeProfile> BuildSlopeProfile(const HdMap& map,
+                                       const std::vector<ElementId>& route,
+                                       double station_step = 50.0);
+
+/// Physics-based longitudinal fuel model (rolling + aerodynamic + grade
+/// resistance with a Willans-line engine): the standard PCC evaluation
+/// surrogate for a real powertrain (DESIGN.md §4).
+struct FuelModel {
+  double mass_kg = 1800.0;
+  double rolling_coeff = 0.009;
+  double drag_area = 0.72;        ///< Cd * A, m^2.
+  double air_density = 1.2;      ///< kg/m^3.
+  /// Willans line: fuel power = idle + engine power / efficiency;
+  /// grams per joule of brake energy.
+  double grams_per_joule = 7.3e-5;  ///< ~ 1/ (43.5 MJ/kg * 0.315 eff).
+  double idle_grams_per_s = 0.25;
+  /// Fraction of braking energy recoverable (0 = conventional car).
+  double regen_fraction = 0.0;
+
+  /// Traction force (N) needed at speed v (m/s), acceleration a, grade g.
+  double TractionForce(double v, double a, double grade) const;
+  /// Fuel mass flow (g/s) for the given operating point.
+  double FuelRate(double v, double a, double grade) const;
+};
+
+/// One step of an executed speed plan.
+struct SpeedPlanStep {
+  double station = 0.0;
+  double speed = 0.0;   ///< m/s entering the station.
+  double fuel_g = 0.0;  ///< Fuel burned over the step.
+  double time_s = 0.0;
+};
+
+struct PccResult {
+  std::vector<SpeedPlanStep> plan;
+  double total_fuel_g = 0.0;
+  double total_time_s = 0.0;
+};
+
+/// Constant-set-speed cruise (factory ACC baseline in [61]): holds
+/// `set_speed` exactly, paying whatever fuel the grade demands.
+PccResult SimulateConstantSpeed(const SlopeProfile& profile,
+                                const FuelModel& model, double set_speed);
+
+struct PccOptions {
+  double set_speed = 22.2;      ///< m/s (80 km/h).
+  double speed_band = 0.10;     ///< Allowed deviation: +-10% of set speed.
+  int speed_levels = 21;        ///< Discretization of the band.
+  double max_accel = 0.6;       ///< m/s^2.
+  double max_decel = 0.8;       ///< m/s^2.
+};
+
+/// Predictive cruise control: dynamic-programming speed-profile
+/// optimization over the HD-map slope profile, minimizing fuel within a
+/// speed band around the set speed (Chu et al. [61] shift-map MPC,
+/// reformulated as DP over the spatial horizon).
+PccResult OptimizePcc(const SlopeProfile& profile, const FuelModel& model,
+                      const PccOptions& options);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_PLANNING_PCC_H_

@@ -1,0 +1,42 @@
+#include "planning/pure_pursuit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdmap {
+
+PurePursuitController::Command PurePursuitController::Compute(
+    const LineString& path, const Pose2& pose, double speed,
+    double target_speed) const {
+  Command cmd;
+  if (path.size() < 2) {
+    cmd.path_finished = true;
+    return cmd;
+  }
+  LineStringProjection proj = path.Project(pose.translation);
+  double lookahead =
+      options_.lookahead_base + options_.lookahead_gain * speed;
+  cmd.lookahead_s = proj.arc_length + lookahead;
+  if (cmd.lookahead_s >= path.Length()) {
+    cmd.lookahead_s = path.Length();
+    if (proj.arc_length >= path.Length() - 0.5) {
+      cmd.path_finished = true;
+    }
+  }
+  Vec2 target = path.PointAt(cmd.lookahead_s);
+  Vec2 local = pose.InverseTransformPoint(target);
+  double d2 = local.SquaredNorm();
+  if (d2 < 1e-6) {
+    return cmd;
+  }
+  // Pure-pursuit curvature: kappa = 2 * y_local / d^2.
+  double curvature = 2.0 * local.y / d2;
+  cmd.steering = std::clamp(std::atan(curvature * options_.wheelbase),
+                            -options_.max_steering, options_.max_steering);
+  cmd.acceleration =
+      std::clamp(options_.accel_gain * (target_speed - speed),
+                 -options_.max_decel, options_.max_accel);
+  return cmd;
+}
+
+}  // namespace hdmap

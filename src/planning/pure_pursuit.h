@@ -1,0 +1,50 @@
+#ifndef HDMAP_PLANNING_PURE_PURSUIT_H_
+#define HDMAP_PLANNING_PURE_PURSUIT_H_
+
+#include "geometry/line_string.h"
+#include "geometry/pose2.h"
+
+namespace hdmap {
+
+/// Pure-pursuit path-tracking controller: turns a planned path (global
+/// route centerline or a Frenet candidate) into steering commands for
+/// the bicycle model — the motion-planning consumer of HD-map routes
+/// that the paper's introduction motivates [4, 5].
+class PurePursuitController {
+ public:
+  struct Options {
+    double wheelbase = 2.7;
+    /// Lookahead distance = base + gain * speed.
+    double lookahead_base = 3.0;
+    double lookahead_gain = 0.4;
+    double max_steering = 0.6;  ///< rad.
+    /// Speed control: simple proportional tracking of the target speed.
+    double accel_gain = 1.0;
+    double max_accel = 2.0;
+    double max_decel = 3.0;
+  };
+
+  explicit PurePursuitController(const Options& options)
+      : options_(options) {}
+
+  struct Command {
+    double steering = 0.0;
+    double acceleration = 0.0;
+    /// Arc length of the lookahead point on the path.
+    double lookahead_s = 0.0;
+    bool path_finished = false;
+  };
+
+  /// Computes the control command for the current vehicle state against
+  /// the path. `target_speed` typically comes from the map's speed
+  /// limit (or a PCC plan).
+  Command Compute(const LineString& path, const Pose2& pose, double speed,
+                  double target_speed) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_PLANNING_PURE_PURSUIT_H_

@@ -1,0 +1,200 @@
+#include "planning/route_planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hdmap {
+
+namespace {
+
+struct QueueItem {
+  double priority;
+  ElementId node;
+  bool operator>(const QueueItem& o) const { return priority > o.priority; }
+};
+
+using MinQueue =
+    std::priority_queue<QueueItem, std::vector<QueueItem>,
+                        std::greater<QueueItem>>;
+
+Route Reconstruct(const std::unordered_map<ElementId, ElementId>& parent,
+                  const std::unordered_map<ElementId, double>& dist,
+                  const std::unordered_map<ElementId, bool>& via_lane_change,
+                  ElementId from, ElementId to) {
+  Route route;
+  route.cost_seconds = dist.at(to);
+  ElementId cur = to;
+  while (cur != from) {
+    route.lanelets.push_back(cur);
+    auto lc = via_lane_change.find(cur);
+    if (lc != via_lane_change.end() && lc->second) ++route.lane_changes;
+    cur = parent.at(cur);
+  }
+  route.lanelets.push_back(from);
+  std::reverse(route.lanelets.begin(), route.lanelets.end());
+  return route;
+}
+
+Result<Route> SearchUnidirectional(const RoutingGraph& graph, ElementId from,
+                                   ElementId to, bool use_heuristic) {
+  std::unordered_map<ElementId, double> dist;
+  std::unordered_map<ElementId, ElementId> parent;
+  std::unordered_map<ElementId, bool> via_lane_change;
+  std::unordered_set<ElementId> settled;
+  MinQueue queue;
+  dist[from] = 0.0;
+  queue.push({use_heuristic ? graph.HeuristicSeconds(from, to) : 0.0, from});
+  size_t expanded = 0;
+
+  while (!queue.empty()) {
+    auto [priority, node] = queue.top();
+    queue.pop();
+    if (settled.count(node) > 0) continue;
+    settled.insert(node);
+    ++expanded;
+    if (node == to) {
+      Route route = Reconstruct(parent, dist, via_lane_change, from, to);
+      route.nodes_expanded = expanded;
+      return route;
+    }
+    double g = dist[node];
+    for (const RoutingGraph::Edge& e : graph.OutEdges(node)) {
+      double candidate = g + e.cost;
+      auto it = dist.find(e.to);
+      if (it == dist.end() || candidate < it->second) {
+        dist[e.to] = candidate;
+        parent[e.to] = node;
+        via_lane_change[e.to] = e.lane_change;
+        double h = use_heuristic ? graph.HeuristicSeconds(e.to, to) : 0.0;
+        queue.push({candidate + h, e.to});
+      }
+    }
+  }
+  return Status::NotFound("no route between the given lanelets");
+}
+
+Result<Route> SearchBhps(const RoutingGraph& graph, ElementId from,
+                         ElementId to) {
+  // Reverse adjacency for the backward frontier.
+  std::unordered_map<ElementId, std::vector<RoutingGraph::Edge>> reverse;
+  for (const auto& [id, pos] : graph.node_positions()) {
+    for (const RoutingGraph::Edge& e : graph.OutEdges(id)) {
+      reverse[e.to].push_back({id, e.cost, e.lane_change});
+    }
+  }
+
+  std::unordered_map<ElementId, double> dist_f, dist_r;
+  std::unordered_map<ElementId, ElementId> parent_f, parent_r;
+  std::unordered_map<ElementId, bool> lc_f, lc_r;
+  std::unordered_set<ElementId> settled_f, settled_r;
+  MinQueue queue_f, queue_r;
+  dist_f[from] = 0.0;
+  dist_r[to] = 0.0;
+  queue_f.push({0.0, from});
+  queue_r.push({0.0, to});
+  size_t expanded = 0;
+  double best_meet_cost = std::numeric_limits<double>::max();
+  ElementId best_meet = kInvalidId;
+
+  auto expand = [&](bool forward) {
+    MinQueue& queue = forward ? queue_f : queue_r;
+    auto& dist = forward ? dist_f : dist_r;
+    auto& other_dist = forward ? dist_r : dist_f;
+    auto& parent = forward ? parent_f : parent_r;
+    auto& lc = forward ? lc_f : lc_r;
+    auto& settled = forward ? settled_f : settled_r;
+    while (!queue.empty()) {
+      auto [priority, node] = queue.top();
+      queue.pop();
+      if (settled.count(node) > 0) continue;
+      settled.insert(node);
+      ++expanded;
+      double g = dist[node];
+      auto other = other_dist.find(node);
+      if (other != other_dist.end() && g + other->second < best_meet_cost) {
+        best_meet_cost = g + other->second;
+        best_meet = node;
+      }
+      const auto& edges =
+          forward ? graph.OutEdges(node)
+                  : (reverse.count(node) > 0 ? reverse[node]
+                                             : graph.OutEdges(kInvalidId));
+      for (const RoutingGraph::Edge& e : edges) {
+        double candidate = g + e.cost;
+        auto it = dist.find(e.to);
+        if (it == dist.end() || candidate < it->second) {
+          dist[e.to] = candidate;
+          parent[e.to] = node;
+          lc[e.to] = e.lane_change;
+          queue.push({candidate, e.to});
+        }
+      }
+      return true;
+    }
+    return false;
+  };
+
+  while (!queue_f.empty() || !queue_r.empty()) {
+    // Hybrid alternation: expand the side with the cheaper frontier top.
+    double top_f = queue_f.empty()
+                       ? std::numeric_limits<double>::max()
+                       : queue_f.top().priority;
+    double top_r = queue_r.empty()
+                       ? std::numeric_limits<double>::max()
+                       : queue_r.top().priority;
+    // Standard bidirectional stopping criterion.
+    if (best_meet != kInvalidId && top_f + top_r >= best_meet_cost) break;
+    if (top_f <= top_r) {
+      if (!expand(true)) break;
+    } else {
+      if (!expand(false)) break;
+    }
+  }
+
+  if (best_meet == kInvalidId) {
+    return Status::NotFound("no route between the given lanelets");
+  }
+  // Stitch forward path (from..meet) with reverse path (meet..to).
+  Route fwd = Reconstruct(parent_f, dist_f, lc_f, from, best_meet);
+  Route route;
+  route.lanelets = fwd.lanelets;
+  route.lane_changes = fwd.lane_changes;
+  ElementId cur = best_meet;
+  while (cur != to) {
+    ElementId next = parent_r.at(cur);
+    route.lanelets.push_back(next);
+    if (lc_r.count(next) > 0 && lc_r.at(next)) ++route.lane_changes;
+    cur = next;
+  }
+  route.cost_seconds = best_meet_cost;
+  route.nodes_expanded = expanded;
+  return route;
+}
+
+}  // namespace
+
+Result<Route> PlanRoute(const RoutingGraph& graph, ElementId from,
+                        ElementId to, RouteAlgorithm algorithm) {
+  if (!graph.HasNode(from) || !graph.HasNode(to)) {
+    return Status::InvalidArgument("endpoint lanelet not in routing graph");
+  }
+  if (from == to) {
+    Route route;
+    route.lanelets = {from};
+    return route;
+  }
+  switch (algorithm) {
+    case RouteAlgorithm::kDijkstra:
+      return SearchUnidirectional(graph, from, to, /*use_heuristic=*/false);
+    case RouteAlgorithm::kAStar:
+      return SearchUnidirectional(graph, from, to, /*use_heuristic=*/true);
+    case RouteAlgorithm::kBhps:
+      return SearchBhps(graph, from, to);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+}  // namespace hdmap

@@ -1,0 +1,39 @@
+#ifndef HDMAP_PLANNING_ROUTE_PLANNER_H_
+#define HDMAP_PLANNING_ROUTE_PLANNER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/routing_graph.h"
+
+namespace hdmap {
+
+/// A lane-level route with search instrumentation.
+struct Route {
+  std::vector<ElementId> lanelets;
+  double cost_seconds = 0.0;
+  int lane_changes = 0;
+  /// Nodes settled by the search (the efficiency metric compared across
+  /// algorithms in the BHPS experiment [62]).
+  size_t nodes_expanded = 0;
+};
+
+/// Search algorithm selector.
+enum class RouteAlgorithm {
+  kDijkstra = 0,
+  kAStar = 1,
+  /// Bidirectional hybrid path search (Yang et al. [62]): a forward
+  /// breadth-layered frontier and a reverse Dijkstra frontier expanded
+  /// alternately until they meet.
+  kBhps = 2,
+};
+
+/// Shortest (travel-time) lane-level route from `from` to `to`.
+/// kNotFound when no route exists.
+Result<Route> PlanRoute(const RoutingGraph& graph, ElementId from,
+                        ElementId to,
+                        RouteAlgorithm algorithm = RouteAlgorithm::kAStar);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_PLANNING_ROUTE_PLANNER_H_

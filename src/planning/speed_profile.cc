@@ -1,0 +1,101 @@
+#include "planning/speed_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace hdmap {
+
+Result<std::vector<SpeedConstraint>> ExtractRouteConstraints(
+    const HdMap& map, const std::vector<ElementId>& route,
+    const SpeedProfileOptions& options) {
+  if (route.empty()) return Status::InvalidArgument("empty route");
+  std::vector<SpeedConstraint> constraints;
+  double station = 0.0;
+  for (ElementId id : route) {
+    const Lanelet* ll = map.FindLanelet(id);
+    if (ll == nullptr) {
+      return Status::NotFound("route lanelet " + std::to_string(id));
+    }
+    constraints.push_back(
+        {station, map.EffectiveSpeedLimit(id),
+         SpeedConstraintCause::kSpeedLimit});
+    for (ElementId reg_id : ll->regulatory_ids) {
+      const RegulatoryElement* reg = map.FindRegulatoryElement(reg_id);
+      if (reg == nullptr) continue;
+      if (reg->type == RegulatoryType::kStop) {
+        constraints.push_back({station + ll->Length(), 0.0,
+                               SpeedConstraintCause::kStopSign});
+      } else if (reg->type == RegulatoryType::kTrafficLight &&
+                 options.stop_at_lights) {
+        constraints.push_back({station + ll->Length(), 0.0,
+                               SpeedConstraintCause::kTrafficLight});
+      }
+    }
+    station += ll->Length();
+  }
+  constraints.push_back({station, 0.0, SpeedConstraintCause::kRouteEnd});
+  return constraints;
+}
+
+std::vector<SpeedSample> GenerateSpeedProfile(
+    const std::vector<SpeedConstraint>& constraints, double route_length,
+    const SpeedProfileOptions& options) {
+  std::vector<SpeedSample> profile;
+  if (route_length <= 0.0 || options.station_step <= 0.0) return profile;
+  size_t n = static_cast<size_t>(route_length / options.station_step) + 1;
+  double ds = options.station_step;
+
+  // 1. Upper envelope from the constraints: each limit applies from its
+  // station until the next limit; stops pin single stations to zero.
+  std::vector<double> cap(n, 1e9);
+  std::vector<SpeedConstraint> limits, stops;
+  for (const SpeedConstraint& c : constraints) {
+    if (c.max_speed <= 0.0) {
+      stops.push_back(c);
+    } else {
+      limits.push_back(c);
+    }
+  }
+  std::sort(limits.begin(), limits.end(),
+            [](const SpeedConstraint& a, const SpeedConstraint& b) {
+              return a.station < b.station;
+            });
+  for (size_t i = 0; i < n; ++i) {
+    double s = static_cast<double>(i) * ds;
+    for (const SpeedConstraint& c : limits) {
+      if (c.station <= s + 1e-9) {
+        cap[i] = c.max_speed;  // Later limits override earlier ones.
+      }
+    }
+  }
+  for (const SpeedConstraint& c : stops) {
+    size_t idx = static_cast<size_t>(
+        std::clamp(c.station / ds, 0.0, static_cast<double>(n - 1)) + 0.5);
+    cap[std::min(idx, n - 1)] = 0.0;
+  }
+
+  // 2. Forward pass: v_{i+1}^2 <= v_i^2 + 2 a ds.
+  std::vector<double> v2(n);
+  v2[0] = std::min(options.initial_speed, cap[0]);
+  v2[0] *= v2[0];
+  for (size_t i = 1; i < n; ++i) {
+    double reachable = v2[i - 1] + 2.0 * options.max_accel * ds;
+    double limit = cap[i] * cap[i];
+    v2[i] = std::min(reachable, limit);
+  }
+  // 3. Backward pass: v_i^2 <= v_{i+1}^2 + 2 b ds.
+  for (size_t i = n - 1; i-- > 0;) {
+    double allowed = v2[i + 1] + 2.0 * options.max_decel * ds;
+    v2[i] = std::min(v2[i], allowed);
+  }
+
+  profile.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    profile.push_back({static_cast<double>(i) * ds,
+                       std::sqrt(std::max(0.0, v2[i]))});
+  }
+  return profile;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,60 @@
+#ifndef HDMAP_PLANNING_SPEED_PROFILE_H_
+#define HDMAP_PLANNING_SPEED_PROFILE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/hd_map.h"
+
+namespace hdmap {
+
+/// Why the profile is constrained at a station.
+enum class SpeedConstraintCause {
+  kSpeedLimit = 0,
+  kStopSign = 1,
+  kTrafficLight = 2,
+  kRouteEnd = 3,
+};
+
+/// One constraint extracted from the map along a route.
+struct SpeedConstraint {
+  double station = 0.0;     ///< Meters from the route start.
+  double max_speed = 0.0;   ///< 0 for mandatory stops.
+  SpeedConstraintCause cause = SpeedConstraintCause::kSpeedLimit;
+};
+
+/// One sample of the generated drivable profile.
+struct SpeedSample {
+  double station = 0.0;
+  double speed = 0.0;
+};
+
+struct SpeedProfileOptions {
+  double station_step = 5.0;
+  double max_accel = 1.5;   ///< m/s^2.
+  double max_decel = 2.5;
+  double initial_speed = 0.0;
+  /// Treat traffic lights as mandatory stops (worst case) when true;
+  /// otherwise they are ignored (green-wave assumption).
+  bool stop_at_lights = true;
+};
+
+/// Extracts the speed constraints of a lanelet route from the map's
+/// regulatory layer: effective speed limits per lanelet, stop signs and
+/// (optionally) traffic lights as zero-speed points at the lanelet end,
+/// and a stop at the route end.
+Result<std::vector<SpeedConstraint>> ExtractRouteConstraints(
+    const HdMap& map, const std::vector<ElementId>& route,
+    const SpeedProfileOptions& options = {});
+
+/// Generates the drivable velocity profile for the constraints: the
+/// classic forward (acceleration-limited) / backward (deceleration-
+/// limited) pass over v^2, honoring every constraint exactly. This is
+/// the "machine-readable route" of §III-3 made executable.
+std::vector<SpeedSample> GenerateSpeedProfile(
+    const std::vector<SpeedConstraint>& constraints, double route_length,
+    const SpeedProfileOptions& options = {});
+
+}  // namespace hdmap
+
+#endif  // HDMAP_PLANNING_SPEED_PROFILE_H_

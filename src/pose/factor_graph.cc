@@ -1,0 +1,248 @@
+#include "pose/factor_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hdmap {
+
+namespace {
+
+/// Dense symmetric solve via Gaussian elimination with partial pivoting.
+/// Window sizes are tiny (<= ~30 variables), so dense is appropriate.
+bool SolveDense(std::vector<std::vector<double>>& a, std::vector<double>& b,
+                std::vector<double>* x) {
+  size_t n = b.size();
+  for (size_t col = 0; col < n; ++col) {
+    // Pivot.
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t row = col + 1; row < n; ++row) {
+      double factor = a[row][col] / a[col][col];
+      for (size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  x->assign(n, 0.0);
+  for (size_t row = n; row-- > 0;) {
+    double acc = b[row];
+    for (size_t k = row + 1; k < n; ++k) acc -= a[row][k] * (*x)[k];
+    (*x)[row] = acc / a[row][row];
+  }
+  return true;
+}
+
+/// Accumulates r^T W r terms into the normal equations for a residual
+/// with Jacobian rows over a contiguous 3-var block (or two blocks).
+struct NormalEquations {
+  explicit NormalEquations(size_t num_vars)
+      : h(num_vars, std::vector<double>(num_vars, 0.0)), g(num_vars, 0.0) {}
+
+  /// Adds one scalar residual r with weight w and sparse Jacobian:
+  /// (var index, derivative) pairs.
+  void Add(double r, double w,
+           const std::vector<std::pair<size_t, double>>& jacobian) {
+    for (const auto& [i, ji] : jacobian) {
+      g[i] += w * ji * r;
+      for (const auto& [j, jj] : jacobian) {
+        h[i][j] += w * ji * jj;
+      }
+    }
+  }
+
+  std::vector<std::vector<double>> h;
+  std::vector<double> g;
+};
+
+}  // namespace
+
+SlidingWindowEstimator::SlidingWindowEstimator(const HdMap* map,
+                                               const Options& options)
+    : map_(map), options_(options) {}
+
+void SlidingWindowEstimator::Init(const Pose2& initial) {
+  window_.clear();
+  Frame f;
+  f.pose = initial;
+  window_.push_back(std::move(f));
+}
+
+void SlidingWindowEstimator::AssociateDetections(
+    Frame* frame, const std::vector<LandmarkDetection>& detections) {
+  for (const LandmarkDetection& det : detections) {
+    Vec2 world = frame->pose.TransformPoint(det.position_vehicle);
+    const Landmark* best = nullptr;
+    double best_d = options_.association_radius;
+    for (ElementId id :
+         map_->LandmarksNear(world, options_.association_radius)) {
+      const Landmark* lm = map_->FindLandmark(id);
+      if (lm == nullptr || lm->type != det.type) continue;  // Semantic gate.
+      double d = lm->position.xy().DistanceTo(world);
+      if (d < best_d) {
+        best_d = d;
+        best = lm;
+      }
+    }
+    if (best != nullptr) {
+      frame->observations.push_back(
+          {det.position_vehicle, best->position.xy()});
+    }
+  }
+}
+
+void SlidingWindowEstimator::AddFrame(
+    double odom_distance, double odom_heading_change,
+    const std::vector<LandmarkDetection>& detections) {
+  if (window_.empty()) {
+    Init(Pose2());
+  }
+  Frame f;
+  const Pose2& prev = window_.back().pose;
+  double mid_h = prev.heading + odom_heading_change / 2.0;
+  f.pose = Pose2(prev.translation +
+                     Vec2{std::cos(mid_h), std::sin(mid_h)} * odom_distance,
+                 prev.heading + odom_heading_change);
+  f.odom_distance = odom_distance;
+  f.odom_heading_change = odom_heading_change;
+  AssociateDetections(&f, detections);
+  window_.push_back(std::move(f));
+  while (static_cast<int>(window_.size()) > options_.window_size) {
+    window_.pop_front();
+  }
+  Optimize();
+}
+
+void SlidingWindowEstimator::Optimize() {
+  size_t k = window_.size();
+  if (k < 2) return;
+  size_t num_vars = 3 * k;
+
+  double w_odom_t = 1.0 / (options_.odom_trans_sigma *
+                           options_.odom_trans_sigma);
+  double w_odom_r =
+      1.0 / (options_.odom_rot_sigma * options_.odom_rot_sigma);
+  double w_range_in = 1.0 / (options_.landmark_range_sigma *
+                             options_.landmark_range_sigma);
+  double w_bear_in = 1.0 / (options_.landmark_bearing_sigma *
+                            options_.landmark_bearing_sigma);
+  double out2 = options_.outlier_scale * options_.outlier_scale;
+
+  int inlier_factors = 0;
+  int total_factors = 0;
+
+  for (int iter = 0; iter < options_.gauss_newton_iterations; ++iter) {
+    NormalEquations eq(num_vars);
+    inlier_factors = 0;
+    total_factors = 0;
+
+    // Anchor prior on the oldest pose (gauge fixing).
+    {
+      const Pose2& p0 = window_.front().pose;
+      double w_anchor = 1e4;
+      eq.Add(0.0, w_anchor, {{0, 1.0}});
+      eq.Add(0.0, w_anchor, {{1, 1.0}});
+      eq.Add(0.0, w_anchor, {{2, 1.0}});
+      (void)p0;
+    }
+
+    // Odometry factors between consecutive poses.
+    for (size_t i = 1; i < k; ++i) {
+      const Pose2& a = window_[i - 1].pose;
+      const Pose2& b = window_[i].pose;
+      double d = window_[i].odom_distance;
+      double dh = window_[i].odom_heading_change;
+      double mid_h = a.heading + dh / 2.0;
+      double c = std::cos(mid_h), s = std::sin(mid_h);
+      // Residuals: rx, ry = b.t - a.t - R(mid)*[d,0]; rh = wrap(...).
+      double rx = b.translation.x - a.translation.x - d * c;
+      double ry = b.translation.y - a.translation.y - d * s;
+      double rh = AngleDiff(b.heading, a.heading + dh);
+      size_t ia = 3 * (i - 1);
+      size_t ib = 3 * i;
+      // d rx / d a.h = d * s; d ry / d a.h = -d * c (from -R*[d,0]).
+      eq.Add(rx, w_odom_t,
+             {{ia, -1.0}, {ia + 2, d * s}, {ib, 1.0}});
+      eq.Add(ry, w_odom_t,
+             {{ia + 1, -1.0}, {ia + 2, -d * c}, {ib + 1, 1.0}});
+      eq.Add(rh, w_odom_r, {{ia + 2, -1.0}, {ib + 2, 1.0}});
+    }
+
+    // Landmark factors with max-mixture gating.
+    for (size_t i = 0; i < k; ++i) {
+      const Pose2& p = window_[i].pose;
+      size_t base = 3 * i;
+      for (const Frame::Observation& obs : window_[i].observations) {
+        ++total_factors;
+        Vec2 delta = obs.landmark_world - p.translation;
+        double range_pred = delta.Norm();
+        if (range_pred < 1.0) continue;
+        double bearing_pred = AngleDiff(delta.Angle(), p.heading);
+        double range_meas = obs.detection_vehicle.Norm();
+        double bearing_meas = obs.detection_vehicle.Angle();
+        double r_r = range_meas - range_pred;
+        double r_b = AngleDiff(bearing_meas, bearing_pred);
+
+        // Max-mixture: the outlier mode is the same Gaussian inflated by
+        // outlier_scale. The inlier mode wins iff its (Mahalanobis +
+        // normalization) log-likelihood is higher:
+        //   m2_in - m2_out < 2 * dim * ln(outlier_scale).
+        double m2_in = r_r * r_r * w_range_in + r_b * r_b * w_bear_in;
+        double m2_out = m2_in / out2;
+        bool inlier = (m2_in - m2_out) <
+                      2.0 * 2.0 * std::log(options_.outlier_scale);
+        double w_r = inlier ? w_range_in : w_range_in / out2;
+        double w_b = inlier ? w_bear_in : w_bear_in / out2;
+        if (inlier) ++inlier_factors;
+
+        double inv_r = 1.0 / range_pred;
+        // d range_pred / d x = -delta.x / range, etc.
+        // Residual r_r = meas - pred, so d r_r/d x = +delta.x/range.
+        eq.Add(r_r, w_r,
+               {{base, delta.x * inv_r}, {base + 1, delta.y * inv_r}});
+        // bearing_pred = atan2(dy,dx) - heading.
+        // d bearing_pred/d x = dy/r^2 ; d/d y = -dx/r^2 ; d/d h = -1.
+        // r_b = meas - pred => derivatives negated.
+        eq.Add(r_b, w_b,
+               {{base, -delta.y * inv_r * inv_r},
+                {base + 1, delta.x * inv_r * inv_r},
+                {base + 2, 1.0}});
+      }
+    }
+
+    // Solve H dx = -g.
+    std::vector<double> rhs(num_vars);
+    for (size_t i = 0; i < num_vars; ++i) rhs[i] = -eq.g[i];
+    // Levenberg damping for robustness.
+    for (size_t i = 0; i < num_vars; ++i) eq.h[i][i] += 1e-6;
+    std::vector<double> dx;
+    if (!SolveDense(eq.h, rhs, &dx)) break;
+
+    double max_step = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      Pose2& p = window_[i].pose;
+      p = Pose2(p.translation + Vec2{dx[3 * i], dx[3 * i + 1]},
+                p.heading + dx[3 * i + 2]);
+      max_step = std::max({max_step, std::abs(dx[3 * i]),
+                           std::abs(dx[3 * i + 1])});
+    }
+    if (max_step < 1e-5) break;
+  }
+
+  inlier_fraction_ =
+      total_factors > 0
+          ? static_cast<double>(inlier_factors) / total_factors
+          : 1.0;
+}
+
+Pose2 SlidingWindowEstimator::Estimate() const {
+  return window_.empty() ? Pose2() : window_.back().pose;
+}
+
+}  // namespace hdmap

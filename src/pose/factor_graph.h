@@ -1,0 +1,83 @@
+#ifndef HDMAP_POSE_FACTOR_GRAPH_H_
+#define HDMAP_POSE_FACTOR_GRAPH_H_
+
+#include <deque>
+#include <vector>
+
+#include "core/hd_map.h"
+#include "geometry/pose2.h"
+#include "sim/sensors.h"
+
+namespace hdmap {
+
+/// Sliding-window max-mixture factor-graph localizer (Stannartz et al.
+/// [58]): a window of recent SE(2) poses is optimized with Gauss-Newton
+/// over odometry factors and semantic landmark factors. Each landmark
+/// factor is a max-mixture of an inlier Gaussian and a broad outlier
+/// Gaussian, which resolves wrong data associations: factors whose
+/// residual is better explained by the outlier mode are effectively
+/// down-weighted.
+class SlidingWindowEstimator {
+ public:
+  struct Options {
+    int window_size = 8;
+    int gauss_newton_iterations = 5;
+    /// Odometry factor noise.
+    double odom_trans_sigma = 0.08;
+    double odom_rot_sigma = 0.01;
+    /// Landmark (range, bearing) factor noise — the inlier mixture mode.
+    double landmark_range_sigma = 0.4;
+    double landmark_bearing_sigma = 0.01;
+    /// Outlier mode: the inlier sigma scaled by this factor; the
+    /// max-mixture picks whichever mode scores higher.
+    double outlier_scale = 10.0;
+    /// Association radius for semantic landmark matching.
+    double association_radius = 6.0;
+  };
+
+  SlidingWindowEstimator(const HdMap* map, const Options& options);
+
+  /// Seeds the window with an initial pose.
+  void Init(const Pose2& initial);
+
+  /// Adds one frame: the odometry delta since the previous frame and the
+  /// landmark detections of this frame; re-optimizes the window.
+  void AddFrame(double odom_distance, double odom_heading_change,
+                const std::vector<LandmarkDetection>& detections);
+
+  /// The optimized current pose.
+  Pose2 Estimate() const;
+
+  /// Fraction of landmark factors resolved to the inlier mode in the
+  /// last optimization (association health).
+  double inlier_fraction() const { return inlier_fraction_; }
+
+  size_t window_size() const { return window_.size(); }
+
+ private:
+  struct Frame {
+    Pose2 pose;  ///< Current estimate (optimized in place).
+    double odom_distance = 0.0;       ///< From the previous frame.
+    double odom_heading_change = 0.0;
+    /// Associated landmark observations: vehicle-frame detection plus
+    /// the matched map landmark position.
+    struct Observation {
+      Vec2 detection_vehicle;
+      Vec2 landmark_world;
+    };
+    std::vector<Observation> observations;
+  };
+
+  void Optimize();
+  void AssociateDetections(Frame* frame,
+                           const std::vector<LandmarkDetection>& detections);
+
+  const HdMap* map_;
+  Options options_;
+  std::deque<Frame> window_;
+  double inlier_fraction_ = 1.0;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_POSE_FACTOR_GRAPH_H_

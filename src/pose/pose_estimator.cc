@@ -1,0 +1,51 @@
+#include "pose/pose_estimator.h"
+
+#include <cmath>
+
+namespace hdmap {
+
+Pose3 CompleteTo6Dof(const HdMap& map, const Pose2& planar_pose) {
+  auto match = map.MatchToLane(planar_pose.translation, 15.0);
+  if (!match.ok()) {
+    return Pose3::FromPose2(planar_pose, 0.0);
+  }
+  const Lanelet* ll = map.FindLanelet(match->lanelet_id);
+  if (ll == nullptr) return Pose3::FromPose2(planar_pose, 0.0);
+
+  double z = ll->ElevationAt(match->arc_length);
+  double grade = ll->GradeAt(match->arc_length);
+
+  // Pitch: positive grade (climbing) pitches the nose up. In the Z-Y-X
+  // convention of Pose3, positive pitch maps +x toward -z, so climbing
+  // corresponds to negative pitch.
+  double lane_heading = ll->centerline.HeadingAt(match->arc_length);
+  double along = std::cos(AngleDiff(planar_pose.heading, lane_heading));
+  double pitch = -std::atan(grade * along);
+
+  // Roll: lateral surface slope across the vehicle, from the elevation of
+  // the adjacent lanelet stations of the neighbors (flat roads and
+  // single-lane maps give ~0). Estimated by probing elevation slightly
+  // left/right along the lane normal through neighboring lanelets.
+  double roll = 0.0;
+  const double kProbe = 1.5;
+  Vec2 normal =
+      ll->centerline.TangentAt(match->arc_length).Perp();
+  auto left = map.MatchToLane(planar_pose.translation + normal * kProbe,
+                              15.0);
+  auto right = map.MatchToLane(planar_pose.translation - normal * kProbe,
+                               15.0);
+  if (left.ok() && right.ok()) {
+    const Lanelet* lll = map.FindLanelet(left->lanelet_id);
+    const Lanelet* llr = map.FindLanelet(right->lanelet_id);
+    if (lll != nullptr && llr != nullptr) {
+      double zl = lll->ElevationAt(left->arc_length);
+      double zr = llr->ElevationAt(right->arc_length);
+      roll = std::atan2(zl - zr, 2.0 * kProbe);
+    }
+  }
+
+  return Pose3(Vec3(planar_pose.translation, z), roll, pitch,
+               planar_pose.heading);
+}
+
+}  // namespace hdmap

@@ -1,0 +1,22 @@
+#ifndef HDMAP_POSE_POSE_ESTIMATOR_H_
+#define HDMAP_POSE_POSE_ESTIMATOR_H_
+
+#include "core/hd_map.h"
+#include "geometry/pose2.h"
+#include "geometry/pose3.h"
+
+namespace hdmap {
+
+/// Completes a planar (4-DoF: x, y, z-from-map, yaw) estimate to a full
+/// 6-DoF pose using the HD map's road-surface geometry (HDMI-Loc [23]:
+/// the particle filter provides translation+heading, then roll and pitch
+/// are recovered relative to the map).
+///
+/// Pitch comes from the longitudinal grade at the matched lane station;
+/// roll from the lateral elevation difference across the road surface.
+/// Off-map poses return a flat (roll = pitch = 0, z = 0) completion.
+Pose3 CompleteTo6Dof(const HdMap& map, const Pose2& planar_pose);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_POSE_POSE_ESTIMATOR_H_

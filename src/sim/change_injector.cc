@@ -1,0 +1,121 @@
+#include "sim/change_injector.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace hdmap {
+
+std::vector<ChangeEvent> InjectChanges(const ChangeInjectorOptions& options,
+                                       HdMap* world, Rng& rng) {
+  std::vector<ChangeEvent> events;
+
+  // Find the largest id in use so added elements do not collide.
+  IdAllocator ids;
+  for (const auto& [id, lm] : world->landmarks()) ids.ReserveThrough(id);
+  for (const auto& [id, lf] : world->line_features()) ids.ReserveThrough(id);
+  for (const auto& [id, ll] : world->lanelets()) ids.ReserveThrough(id);
+  for (const auto& [id, af] : world->area_features()) ids.ReserveThrough(id);
+  for (const auto& [id, re] : world->regulatory_elements()) {
+    ids.ReserveThrough(id);
+  }
+  for (const auto& [id, b] : world->lane_bundles()) ids.ReserveThrough(id);
+  for (const auto& [id, n] : world->map_nodes()) ids.ReserveThrough(id);
+
+  // Snapshot landmark ids (we mutate while iterating otherwise).
+  std::vector<ElementId> landmark_ids;
+  landmark_ids.reserve(world->landmarks().size());
+  for (const auto& [id, lm] : world->landmarks()) landmark_ids.push_back(id);
+
+  for (ElementId id : landmark_ids) {
+    const Landmark* lm = world->FindLandmark(id);
+    if (lm == nullptr) continue;
+    double u = rng.Uniform();
+    if (u < options.landmark_remove_prob) {
+      ChangeEvent ev;
+      ev.type = ChangeType::kLandmarkRemoved;
+      ev.element_id = id;
+      ev.old_position = lm->position;
+      (void)world->RemoveLandmark(id);
+      events.push_back(std::move(ev));
+    } else if (u < options.landmark_remove_prob +
+                       options.landmark_move_prob) {
+      ChangeEvent ev;
+      ev.type = ChangeType::kLandmarkMoved;
+      ev.element_id = id;
+      ev.old_position = lm->position;
+      ev.new_position =
+          lm->position + Vec3{rng.Normal(0.0, options.move_sigma),
+                              rng.Normal(0.0, options.move_sigma), 0.0};
+      (void)world->MoveLandmark(id, ev.new_position);
+      events.push_back(std::move(ev));
+    } else if (u < options.landmark_remove_prob +
+                       options.landmark_move_prob +
+                       options.landmark_add_prob) {
+      // Add a brand-new sign near this one (new installation).
+      Landmark added = *lm;
+      added.id = ids.Next();
+      added.subtype = "new_installation";
+      added.position =
+          lm->position + Vec3{rng.Normal(0.0, 8.0), rng.Normal(0.0, 8.0),
+                              0.0};
+      ChangeEvent ev;
+      ev.type = ChangeType::kLandmarkAdded;
+      ev.element_id = added.id;
+      ev.new_position = added.position;
+      if (world->AddLandmark(std::move(added)).ok()) {
+        events.push_back(std::move(ev));
+      }
+    }
+  }
+
+  // Construction sites: pick random lane-marking features and shift a
+  // window of their geometry laterally (lane re-painting / barriers).
+  if (options.construction_sites > 0) {
+    std::vector<ElementId> marking_ids;
+    for (const auto& [id, lf] : world->line_features()) {
+      if ((lf.type == LineType::kSolidLaneMarking ||
+           lf.type == LineType::kDashedLaneMarking) &&
+          lf.geometry.Length() > options.construction_length / 2) {
+        marking_ids.push_back(id);
+      }
+    }
+    for (int site = 0;
+         site < options.construction_sites && !marking_ids.empty(); ++site) {
+      int pick = rng.UniformInt(0, static_cast<int>(marking_ids.size()) - 1);
+      ElementId line_id = marking_ids[static_cast<size_t>(pick)];
+      marking_ids.erase(marking_ids.begin() + pick);
+      const LineFeature* lf = world->FindLineFeature(line_id);
+      if (lf == nullptr) continue;
+      LineFeature shifted = *lf;
+      double len = shifted.geometry.Length();
+      double window = std::min(options.construction_length, len);
+      double start = rng.Uniform(0.0, len - window);
+      // Rebuild geometry with a lateral shift inside [start, start+window],
+      // ramped at the edges.
+      std::vector<Vec2> pts;
+      const LineString& g = lf->geometry;
+      for (size_t i = 0; i < g.size(); ++i) {
+        double s = g.ArcLengthAt(i);
+        double shift = 0.0;
+        if (s >= start && s <= start + window) {
+          double rel = (s - start) / window;           // 0..1
+          double ramp = std::min(rel, 1.0 - rel) * 4.0;  // Trapezoid.
+          shift = options.construction_shift * std::min(1.0, ramp);
+        }
+        Vec2 normal = g.TangentAt(s).Perp();
+        pts.push_back(g[i] + normal * shift);
+      }
+      shifted.geometry = LineString(std::move(pts));
+      (void)world->ReplaceLineFeature(std::move(shifted));
+
+      ChangeEvent ev;
+      ev.type = ChangeType::kConstructionSite;
+      ev.element_id = line_id;
+      ev.affected_lines.push_back(line_id);
+      events.push_back(std::move(ev));
+    }
+  }
+  return events;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,49 @@
+#ifndef HDMAP_SIM_CHANGE_INJECTOR_H_
+#define HDMAP_SIM_CHANGE_INJECTOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/hd_map.h"
+#include "core/ids.h"
+
+namespace hdmap {
+
+/// Kind of an injected world change.
+enum class ChangeType {
+  kLandmarkAdded = 0,
+  kLandmarkRemoved = 1,
+  kLandmarkMoved = 2,
+  kConstructionSite = 3,  ///< Lane markings shifted over an interval.
+};
+
+/// Ground-truth record of one injected change (what maintenance pipelines
+/// are scored against).
+struct ChangeEvent {
+  ChangeType type = ChangeType::kLandmarkAdded;
+  ElementId element_id = kInvalidId;
+  Vec3 old_position;
+  Vec3 new_position;
+  /// For construction sites: affected line features.
+  std::vector<ElementId> affected_lines;
+};
+
+struct ChangeInjectorOptions {
+  double landmark_add_prob = 0.05;    ///< Per existing landmark.
+  double landmark_remove_prob = 0.05;
+  double landmark_move_prob = 0.05;
+  double move_sigma = 1.5;            ///< Displacement of moved landmarks.
+  int construction_sites = 0;
+  double construction_length = 120.0; ///< Meters of shifted markings.
+  double construction_shift = 1.2;    ///< Lateral marking shift, meters.
+};
+
+/// Mutates `world` in place (the real world drifts away from the mapped
+/// state) and returns the ground-truth change list. The original map —
+/// copied before calling — is what the update pipelines hold.
+std::vector<ChangeEvent> InjectChanges(const ChangeInjectorOptions& options,
+                                       HdMap* world, Rng& rng);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_SIM_CHANGE_INJECTOR_H_

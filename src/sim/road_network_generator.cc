@@ -1,0 +1,542 @@
+#include "sim/road_network_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "core/ids.h"
+
+namespace hdmap {
+
+namespace {
+
+/// Samples a straight centerline from a to b every `step` meters.
+LineString StraightLine(const Vec2& a, const Vec2& b, double step) {
+  double len = a.DistanceTo(b);
+  int n = std::max(1, static_cast<int>(std::round(len / step)));
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<size_t>(n) + 1);
+  for (int i = 0; i <= n; ++i) {
+    pts.push_back(Lerp(a, b, static_cast<double>(i) / n));
+  }
+  return LineString(std::move(pts));
+}
+
+/// Quadratic Bezier through control point c (intersection connectors).
+LineString BezierLine(const Vec2& a, const Vec2& c, const Vec2& b,
+                      int samples) {
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<size_t>(samples) + 1);
+  for (int i = 0; i <= samples; ++i) {
+    double t = static_cast<double>(i) / samples;
+    double u = 1.0 - t;
+    pts.push_back(a * (u * u) + c * (2.0 * u * t) + b * (t * t));
+  }
+  return LineString(std::move(pts));
+}
+
+double TerrainElevation(const Vec2& p, double amplitude, double wavelength) {
+  if (amplitude <= 0.0) return 0.0;
+  double k = 2.0 * std::numbers::pi / wavelength;
+  return amplitude * std::sin(p.x * k) * std::cos(p.y * k);
+}
+
+void FillElevationProfile(Lanelet* lanelet, double amplitude,
+                          double wavelength) {
+  if (amplitude <= 0.0) return;
+  const int kStations = 16;
+  lanelet->elevation_profile.resize(kStations);
+  double len = lanelet->centerline.Length();
+  for (int i = 0; i < kStations; ++i) {
+    Vec2 p = lanelet->centerline.PointAt(len * i / (kStations - 1));
+    lanelet->elevation_profile[static_cast<size_t>(i)] =
+        TerrainElevation(p, amplitude, wavelength);
+  }
+}
+
+/// Links `from` -> `to` with symmetric predecessor back-reference.
+void LinkLanelets(HdMap* map, ElementId from, ElementId to) {
+  Lanelet* a = map->FindMutableLanelet(from);
+  Lanelet* b = map->FindMutableLanelet(to);
+  if (a == nullptr || b == nullptr) return;
+  a->successors.push_back(to);
+  b->predecessors.push_back(from);
+}
+
+}  // namespace
+
+Result<HdMap> GenerateTown(const TownOptions& opt, Rng& rng) {
+  if (opt.grid_rows < 2 || opt.grid_cols < 2) {
+    return Status::InvalidArgument("town grid must be at least 2x2");
+  }
+  if (opt.lanes_per_direction < 1 || opt.lane_width <= 0.0) {
+    return Status::InvalidArgument("invalid lane configuration");
+  }
+  HdMap map;
+  IdAllocator ids;
+  const int n = opt.lanes_per_direction;
+  const double w = opt.lane_width;
+  const double road_half_width = n * w;
+  // Keep lane geometry out of the intersection box.
+  const double margin = road_half_width + 4.0;
+
+  auto node_pos = [&](int r, int c) {
+    return Vec2{c * opt.block_size, r * opt.block_size};
+  };
+
+  // Intersection nodes.
+  std::vector<std::vector<ElementId>> node_id(
+      static_cast<size_t>(opt.grid_rows),
+      std::vector<ElementId>(static_cast<size_t>(opt.grid_cols)));
+  for (int r = 0; r < opt.grid_rows; ++r) {
+    for (int c = 0; c < opt.grid_cols; ++c) {
+      MapNode node;
+      node.id = ids.Next();
+      node.position = node_pos(r, c);
+      node_id[static_cast<size_t>(r)][static_cast<size_t>(c)] = node.id;
+      HDMAP_RETURN_IF_ERROR(map.AddMapNode(std::move(node)));
+    }
+  }
+
+  // Directed approach/departure lane bookkeeping per node, used to build
+  // intersection connectors afterwards. Keyed by node id.
+  struct DirectedLane {
+    ElementId lanelet = kInvalidId;
+    Vec2 endpoint;      // Entry (for approaches) / start (for departures).
+    double heading = 0.0;
+  };
+  std::map<ElementId, std::vector<DirectedLane>> approaches;
+  std::map<ElementId, std::vector<DirectedLane>> departures;
+
+  // One road segment between two adjacent nodes.
+  auto build_segment = [&](ElementId node_a, ElementId node_b,
+                           const Vec2& a, const Vec2& b) -> Status {
+    Vec2 dir = (b - a).Normalized();
+    Vec2 perp = dir.Perp();
+    Vec2 a_trim = a + dir * margin;
+    Vec2 b_trim = b - dir * margin;
+
+    LaneBundle bundle;
+    bundle.id = ids.Next();
+    bundle.from_node = node_a;
+    bundle.to_node = node_b;
+
+    // Physical boundaries for the whole road: edges, center divider, and
+    // dashed separators between same-direction lanes.
+    auto add_line = [&](double offset, LineType type,
+                        double reflectivity) -> ElementId {
+      LineFeature lf;
+      lf.id = ids.Next();
+      lf.type = type;
+      lf.reflectivity = reflectivity;
+      lf.geometry = StraightLine(a_trim + perp * offset,
+                                 b_trim + perp * offset,
+                                 opt.centerline_step);
+      ElementId id = lf.id;
+      Status s = map.AddLineFeature(std::move(lf));
+      return s.ok() ? id : kInvalidId;
+    };
+
+    ElementId left_edge = add_line(road_half_width, LineType::kRoadEdge, 0.3);
+    ElementId right_edge =
+        add_line(-road_half_width, LineType::kRoadEdge, 0.3);
+    ElementId divider = add_line(0.0, LineType::kSolidLaneMarking, 0.85);
+    std::vector<ElementId> fwd_separators;  // Offsets -w, -2w, ...
+    std::vector<ElementId> bwd_separators;  // Offsets +w, +2w, ...
+    for (int i = 1; i < n; ++i) {
+      fwd_separators.push_back(
+          add_line(-i * w, LineType::kDashedLaneMarking, 0.8));
+      bwd_separators.push_back(
+          add_line(i * w, LineType::kDashedLaneMarking, 0.8));
+    }
+
+    // Forward lanes (a -> b) sit right of the divider; backward lanes
+    // left (right-hand traffic).
+    for (int i = 0; i < n; ++i) {
+      double offset = -(i + 0.5) * w;
+      Lanelet ll;
+      ll.id = ids.Next();
+      ll.centerline = StraightLine(a_trim + perp * offset,
+                                   b_trim + perp * offset,
+                                   opt.centerline_step);
+      ll.left_boundary_id = i == 0 ? divider
+                                   : fwd_separators[static_cast<size_t>(i - 1)];
+      ll.right_boundary_id =
+          i == n - 1 ? right_edge : fwd_separators[static_cast<size_t>(i)];
+      ll.speed_limit_mps = opt.speed_limit_mps;
+      ll.bundle_id = bundle.id;
+      FillElevationProfile(&ll, opt.elevation_amplitude, opt.block_size);
+      bundle.lanelet_ids.push_back(ll.id);
+      approaches[node_b].push_back(
+          {ll.id, ll.centerline.back(), dir.Angle()});
+      departures[node_a].push_back(
+          {ll.id, ll.centerline.front(), dir.Angle()});
+      HDMAP_RETURN_IF_ERROR(map.AddLanelet(std::move(ll)));
+    }
+    for (int i = 0; i < n; ++i) {
+      double offset = (i + 0.5) * w;
+      Lanelet ll;
+      ll.id = ids.Next();
+      ll.centerline = StraightLine(b_trim + perp * offset,
+                                   a_trim + perp * offset,
+                                   opt.centerline_step);
+      ll.left_boundary_id = i == 0 ? divider
+                                   : bwd_separators[static_cast<size_t>(i - 1)];
+      ll.right_boundary_id =
+          i == n - 1 ? left_edge : bwd_separators[static_cast<size_t>(i)];
+      ll.speed_limit_mps = opt.speed_limit_mps;
+      ll.bundle_id = bundle.id;
+      FillElevationProfile(&ll, opt.elevation_amplitude, opt.block_size);
+      bundle.lanelet_ids.push_back(ll.id);
+      approaches[node_a].push_back(
+          {ll.id, ll.centerline.back(), (-dir).Angle()});
+      departures[node_b].push_back(
+          {ll.id, ll.centerline.front(), (-dir).Angle()});
+      HDMAP_RETURN_IF_ERROR(map.AddLanelet(std::move(ll)));
+    }
+
+    // Same-direction lane-change neighbors. Forward lanes were added
+    // first in bundle.lanelet_ids (indices 0..n-1), then backward.
+    for (int i = 0; i + 1 < n; ++i) {
+      ElementId inner = bundle.lanelet_ids[static_cast<size_t>(i)];
+      ElementId outer = bundle.lanelet_ids[static_cast<size_t>(i + 1)];
+      map.FindMutableLanelet(inner)->right_neighbor = outer;
+      map.FindMutableLanelet(outer)->left_neighbor = inner;
+      ElementId inner_b = bundle.lanelet_ids[static_cast<size_t>(n + i)];
+      ElementId outer_b = bundle.lanelet_ids[static_cast<size_t>(n + i + 1)];
+      map.FindMutableLanelet(inner_b)->right_neighbor = outer_b;
+      map.FindMutableLanelet(outer_b)->left_neighbor = inner_b;
+    }
+
+    // Roadside speed-limit signs along both sides.
+    double seg_len = a_trim.DistanceTo(b_trim);
+    int speed_kph = static_cast<int>(std::round(MpsToKph(
+        opt.speed_limit_mps)));
+    for (double s = opt.sign_spacing / 2; s < seg_len;
+         s += opt.sign_spacing) {
+      Vec2 base = a_trim + dir * s;
+      Landmark sign;
+      sign.id = ids.Next();
+      sign.type = LandmarkType::kTrafficSign;
+      sign.subtype = "speed_limit_" + std::to_string(speed_kph);
+      double side = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+      sign.position =
+          Vec3(base + perp * (side * (road_half_width + 1.0)), 2.2);
+      sign.reflectivity = 0.9;
+      HDMAP_RETURN_IF_ERROR(map.AddLandmark(std::move(sign)));
+    }
+
+    MapNode* na = map.FindMutableMapNode(node_a);
+    MapNode* nb = map.FindMutableMapNode(node_b);
+    if (na != nullptr) na->bundle_ids.push_back(bundle.id);
+    if (nb != nullptr) nb->bundle_ids.push_back(bundle.id);
+    return map.AddLaneBundle(std::move(bundle));
+  };
+
+  for (int r = 0; r < opt.grid_rows; ++r) {
+    for (int c = 0; c < opt.grid_cols; ++c) {
+      ElementId here = node_id[static_cast<size_t>(r)][static_cast<size_t>(c)];
+      if (c + 1 < opt.grid_cols) {
+        HDMAP_RETURN_IF_ERROR(build_segment(
+            here, node_id[static_cast<size_t>(r)][static_cast<size_t>(c + 1)],
+            node_pos(r, c), node_pos(r, c + 1)));
+      }
+      if (r + 1 < opt.grid_rows) {
+        HDMAP_RETURN_IF_ERROR(build_segment(
+            here, node_id[static_cast<size_t>(r + 1)][static_cast<size_t>(c)],
+            node_pos(r, c), node_pos(r + 1, c)));
+      }
+    }
+  }
+
+  // Intersection connectors: join every approach lane to every departure
+  // lane except the U-turn back onto the reverse of the same street.
+  for (const auto& [node, ins] : approaches) {
+    const MapNode* nd = map.FindMapNode(node);
+    if (nd == nullptr) continue;
+    auto dep_it = departures.find(node);
+    if (dep_it == departures.end()) continue;
+    for (const DirectedLane& in : ins) {
+      for (const DirectedLane& out : dep_it->second) {
+        double turn = AngleDiff(out.heading, in.heading);
+        if (std::abs(std::abs(turn) - std::numbers::pi) < 0.1) {
+          continue;  // U-turn.
+        }
+        Lanelet conn;
+        conn.id = ids.Next();
+        ElementId conn_id = conn.id;
+        conn.centerline =
+            BezierLine(in.endpoint, nd->position, out.endpoint, 8);
+        conn.speed_limit_mps = opt.speed_limit_mps * 0.6;
+        HDMAP_RETURN_IF_ERROR(map.AddLanelet(std::move(conn)));
+        LinkLanelets(&map, in.lanelet, conn_id);
+        LinkLanelets(&map, conn_id, out.lanelet);
+      }
+    }
+
+    // Stop lines, traffic lights and crosswalks per approach.
+    for (const DirectedLane& in : ins) {
+      Vec2 dir{std::cos(in.heading), std::sin(in.heading)};
+      Vec2 perp = dir.Perp();
+      if (opt.traffic_lights) {
+        // Stop line across the approach half of the road.
+        LineFeature stop;
+        stop.id = ids.Next();
+        stop.type = LineType::kStopLine;
+        stop.reflectivity = 0.9;
+        stop.geometry = LineString(
+            {in.endpoint + perp * 0.2, in.endpoint - perp * (n * w - 0.2)});
+        ElementId stop_id = stop.id;
+        HDMAP_RETURN_IF_ERROR(map.AddLineFeature(std::move(stop)));
+
+        Landmark light;
+        light.id = ids.Next();
+        light.type = LandmarkType::kTrafficLight;
+        light.subtype = "3_state";
+        light.position = Vec3(in.endpoint - perp * (n * w + 1.0), 5.0);
+        light.reflectivity = 0.6;
+        ElementId light_id = light.id;
+        HDMAP_RETURN_IF_ERROR(map.AddLandmark(std::move(light)));
+
+        RegulatoryElement reg;
+        reg.id = ids.Next();
+        reg.type = RegulatoryType::kTrafficLight;
+        reg.anchor_id = light_id;
+        reg.lanelet_ids.push_back(in.lanelet);
+        (void)stop_id;
+        ElementId reg_id = reg.id;
+        HDMAP_RETURN_IF_ERROR(map.AddRegulatoryElement(std::move(reg)));
+        map.FindMutableLanelet(in.lanelet)->regulatory_ids.push_back(reg_id);
+      }
+      if (opt.crosswalks) {
+        // A 3 m-deep stripe across the full road just behind the stop
+        // line.
+        Vec2 near = in.endpoint + dir * 1.0;
+        Vec2 far = in.endpoint + dir * 4.0;
+        AreaFeature cw;
+        cw.id = ids.Next();
+        cw.type = AreaType::kCrosswalk;
+        cw.geometry = Polygon({near + perp * road_half_width,
+                               far + perp * road_half_width,
+                               far - perp * road_half_width,
+                               near - perp * road_half_width});
+        HDMAP_RETURN_IF_ERROR(map.AddAreaFeature(std::move(cw)));
+      }
+    }
+  }
+
+  return map;
+}
+
+Result<HdMap> GenerateHighway(const HighwayOptions& opt, Rng& rng) {
+  if (opt.length <= 0.0 || opt.lanes_per_direction < 1) {
+    return Status::InvalidArgument("invalid highway options");
+  }
+  HdMap map;
+  IdAllocator ids;
+  const int n = opt.lanes_per_direction;
+  const double w = opt.lane_width;
+  const double median = 1.0;  // Half-width of the central median.
+
+  // Integrate the reference axis with oscillating heading.
+  std::vector<Vec2> axis;
+  std::vector<double> axis_s;
+  {
+    Vec2 p{0.0, 0.0};
+    double s = 0.0;
+    axis.push_back(p);
+    axis_s.push_back(0.0);
+    while (s < opt.length) {
+      double heading =
+          opt.curve_amplitude *
+          std::sin(2.0 * std::numbers::pi * s / opt.curve_wavelength);
+      p += Vec2{std::cos(heading), std::sin(heading)} * opt.centerline_step;
+      s += opt.centerline_step;
+      axis.push_back(p);
+      axis_s.push_back(s);
+    }
+  }
+  LineString axis_line(axis);
+  double total_len = axis_line.Length();
+
+  auto elevation_at = [&](double s) {
+    if (opt.hill_amplitude <= 0.0) return 0.0;
+    return opt.hill_amplitude *
+           std::sin(2.0 * std::numbers::pi * s / opt.hill_wavelength);
+  };
+
+  int num_segments = std::max(
+      1, static_cast<int>(std::ceil(total_len / opt.segment_length)));
+
+  // Per-direction, per-lane chain of lanelets.
+  std::vector<std::vector<ElementId>> fwd_chain(
+      static_cast<size_t>(n));
+  std::vector<std::vector<ElementId>> bwd_chain(
+      static_cast<size_t>(n));
+
+  for (int seg = 0; seg < num_segments; ++seg) {
+    double s0 = seg * opt.segment_length;
+    double s1 = std::min(total_len, s0 + opt.segment_length);
+    if (s1 - s0 < 1.0) break;
+
+    // Sample the axis sub-polyline.
+    std::vector<Vec2> sub;
+    std::vector<double> sub_s;
+    for (double s = s0; s < s1; s += opt.centerline_step) {
+      sub.push_back(axis_line.PointAt(s));
+      sub_s.push_back(s);
+    }
+    sub.push_back(axis_line.PointAt(s1));
+    sub_s.push_back(s1);
+    LineString sub_axis(sub);
+
+    // Boundary features for this segment.
+    auto add_offset_line = [&](double offset, LineType type,
+                               double reflectivity) -> ElementId {
+      LineFeature lf;
+      lf.id = ids.Next();
+      lf.type = type;
+      lf.reflectivity = reflectivity;
+      lf.geometry = sub_axis.Offset(offset);
+      ElementId id = lf.id;
+      Status st = map.AddLineFeature(std::move(lf));
+      return st.ok() ? id : kInvalidId;
+    };
+
+    ElementId fwd_inner =
+        add_offset_line(-median, LineType::kSolidLaneMarking, 0.85);
+    ElementId bwd_inner =
+        add_offset_line(median, LineType::kSolidLaneMarking, 0.85);
+    ElementId fwd_edge = add_offset_line(-(median + n * w),
+                                         LineType::kRoadEdge, 0.3);
+    ElementId bwd_edge =
+        add_offset_line(median + n * w, LineType::kRoadEdge, 0.3);
+    std::vector<ElementId> fwd_sep, bwd_sep;
+    for (int i = 1; i < n; ++i) {
+      fwd_sep.push_back(add_offset_line(-(median + i * w),
+                                        LineType::kDashedLaneMarking, 0.8));
+      bwd_sep.push_back(add_offset_line(median + i * w,
+                                        LineType::kDashedLaneMarking, 0.8));
+    }
+
+    auto fill_elevation = [&](Lanelet* ll) {
+      const int kStations = 16;
+      ll->elevation_profile.resize(kStations);
+      for (int i = 0; i < kStations; ++i) {
+        double s = s0 + (s1 - s0) * i / (kStations - 1);
+        ll->elevation_profile[static_cast<size_t>(i)] = elevation_at(s);
+      }
+    };
+
+    std::vector<ElementId> seg_fwd(static_cast<size_t>(n));
+    std::vector<ElementId> seg_bwd(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Lanelet ll;
+      ll.id = ids.Next();
+      ll.centerline = sub_axis.Offset(-(median + (i + 0.5) * w));
+      ll.left_boundary_id =
+          i == 0 ? fwd_inner : fwd_sep[static_cast<size_t>(i - 1)];
+      ll.right_boundary_id =
+          i == n - 1 ? fwd_edge : fwd_sep[static_cast<size_t>(i)];
+      ll.speed_limit_mps = opt.speed_limit_mps;
+      fill_elevation(&ll);
+      seg_fwd[static_cast<size_t>(i)] = ll.id;
+      HDMAP_RETURN_IF_ERROR(map.AddLanelet(std::move(ll)));
+    }
+    for (int i = 0; i < n; ++i) {
+      Lanelet ll;
+      ll.id = ids.Next();
+      ll.centerline = sub_axis.Offset(median + (i + 0.5) * w).Reversed();
+      ll.left_boundary_id =
+          i == 0 ? bwd_inner : bwd_sep[static_cast<size_t>(i - 1)];
+      ll.right_boundary_id =
+          i == n - 1 ? bwd_edge : bwd_sep[static_cast<size_t>(i)];
+      ll.speed_limit_mps = opt.speed_limit_mps;
+      fill_elevation(&ll);
+      // Reverse direction: elevation profile must be reversed too.
+      Lanelet* stored = nullptr;
+      seg_bwd[static_cast<size_t>(i)] = ll.id;
+      HDMAP_RETURN_IF_ERROR(map.AddLanelet(std::move(ll)));
+      stored = map.FindMutableLanelet(seg_bwd[static_cast<size_t>(i)]);
+      std::reverse(stored->elevation_profile.begin(),
+                   stored->elevation_profile.end());
+    }
+
+    // Lane-change neighbors within the segment.
+    for (int i = 0; i + 1 < n; ++i) {
+      map.FindMutableLanelet(seg_fwd[static_cast<size_t>(i)])
+          ->right_neighbor = seg_fwd[static_cast<size_t>(i + 1)];
+      map.FindMutableLanelet(seg_fwd[static_cast<size_t>(i + 1)])
+          ->left_neighbor = seg_fwd[static_cast<size_t>(i)];
+      map.FindMutableLanelet(seg_bwd[static_cast<size_t>(i)])
+          ->right_neighbor = seg_bwd[static_cast<size_t>(i + 1)];
+      map.FindMutableLanelet(seg_bwd[static_cast<size_t>(i + 1)])
+          ->left_neighbor = seg_bwd[static_cast<size_t>(i)];
+    }
+
+    // Chain with the previous segment.
+    for (int i = 0; i < n; ++i) {
+      if (!fwd_chain[static_cast<size_t>(i)].empty()) {
+        LinkLanelets(&map, fwd_chain[static_cast<size_t>(i)].back(),
+                     seg_fwd[static_cast<size_t>(i)]);
+      }
+      fwd_chain[static_cast<size_t>(i)].push_back(
+          seg_fwd[static_cast<size_t>(i)]);
+      if (!bwd_chain[static_cast<size_t>(i)].empty()) {
+        // Backward lanes run end -> start, so the new segment precedes.
+        LinkLanelets(&map, seg_bwd[static_cast<size_t>(i)],
+                     bwd_chain[static_cast<size_t>(i)].back());
+      }
+      bwd_chain[static_cast<size_t>(i)].push_back(
+          seg_bwd[static_cast<size_t>(i)]);
+    }
+  }
+
+  // Roadside signs along the forward direction.
+  int speed_kph =
+      static_cast<int>(std::round(MpsToKph(opt.speed_limit_mps)));
+  int sign_counter = 0;
+  for (double s = opt.sign_spacing; s < total_len; s += opt.sign_spacing) {
+    Vec2 base = axis_line.PointAt(s);
+    Vec2 tangent = axis_line.TangentAt(s);
+    Vec2 perp = tangent.Perp();
+    Landmark sign;
+    sign.id = ids.Next();
+    sign.type = LandmarkType::kTrafficSign;
+    ++sign_counter;
+    sign.subtype = sign_counter % 5 == 0
+                       ? "exit_info"
+                       : "speed_limit_" + std::to_string(speed_kph);
+    sign.position =
+        Vec3(base - perp * (median + n * w + 1.5), 2.5 + elevation_at(s));
+    sign.reflectivity = rng.Uniform(0.85, 0.95);
+    HDMAP_RETURN_IF_ERROR(map.AddLandmark(std::move(sign)));
+  }
+
+  return map;
+}
+
+void AttachSurveyPayload(HdMap* map, double points_per_meter, Rng& rng) {
+  std::vector<ElementId> ids;
+  for (const auto& [id, lf] : map->line_features()) ids.push_back(id);
+  for (ElementId id : ids) {
+    const LineFeature* lf = map->FindLineFeature(id);
+    LineFeature copy = *lf;
+    double len = copy.geometry.Length();
+    size_t count = static_cast<size_t>(len * points_per_meter);
+    copy.survey_points.clear();
+    copy.survey_points.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      Vec2 p = copy.geometry.PointAt(rng.Uniform(0.0, len));
+      copy.survey_points.push_back(Vec3{p.x + rng.Normal(0.0, 0.05),
+                                        p.y + rng.Normal(0.0, 0.05),
+                                        rng.Normal(0.0, 0.02)});
+    }
+    (void)map->ReplaceLineFeature(std::move(copy));
+  }
+}
+
+}  // namespace hdmap

@@ -1,0 +1,69 @@
+#ifndef HDMAP_SIM_ROAD_NETWORK_GENERATOR_H_
+#define HDMAP_SIM_ROAD_NETWORK_GENERATOR_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/hd_map.h"
+
+namespace hdmap {
+
+/// Options for the procedural town generator. The generated map is the
+/// *ground truth* world that sensor models observe and against which every
+/// accuracy experiment is scored (substitute for real survey data, see
+/// DESIGN.md §4).
+struct TownOptions {
+  int grid_rows = 4;           ///< Intersection rows.
+  int grid_cols = 4;           ///< Intersection columns.
+  double block_size = 150.0;   ///< Meters between intersections.
+  int lanes_per_direction = 1;
+  double lane_width = 3.5;
+  double speed_limit_mps = 13.89;  // 50 km/h.
+  /// Spacing of roadside speed-limit/advertisement signs along blocks.
+  double sign_spacing = 60.0;
+  bool traffic_lights = true;
+  bool crosswalks = true;
+  /// Sinusoidal terrain amplitude (m); 0 for a flat town.
+  double elevation_amplitude = 0.0;
+  /// Centerline sampling step (m).
+  double centerline_step = 5.0;
+};
+
+/// Generates a Manhattan-grid town with full physical, relational and
+/// topological layers: lane boundaries (solid edges, dashed separators),
+/// lanelets with symmetric successor/predecessor links, lane bundles
+/// (HiDAM node-edge skeleton), traffic lights, stop lines, crosswalks and
+/// roadside signs.
+Result<HdMap> GenerateTown(const TownOptions& options, Rng& rng);
+
+/// Options for the highway generator (long corridor workloads: SLAMCU's
+/// 20 km sign study, HDMI-Loc's 11 km drive, PCC's 370 km route).
+struct HighwayOptions {
+  double length = 20000.0;  ///< Meters.
+  int lanes_per_direction = 2;
+  double lane_width = 3.75;
+  double speed_limit_mps = 27.78;  // 100 km/h.
+  double sign_spacing = 250.0;     ///< Roadside sign spacing.
+  /// Gentle horizontal curvature: heading oscillation amplitude (rad).
+  double curve_amplitude = 0.15;
+  double curve_wavelength = 2000.0;  ///< Meters.
+  /// Rolling-hill elevation amplitude (m) and wavelength (m); drives the
+  /// PCC fuel-saving experiment.
+  double hill_amplitude = 0.0;
+  double hill_wavelength = 3000.0;
+  double centerline_step = 10.0;
+  /// Segment length per lanelet (the map is chunked for tiling/routing).
+  double segment_length = 500.0;
+};
+
+/// Generates a divided highway with per-direction lanes, road-edge and
+/// marking features, periodic roadside signs and an elevation profile.
+Result<HdMap> GenerateHighway(const HighwayOptions& options, Rng& rng);
+
+/// Attaches a dense synthetic survey point cloud to every line feature
+/// (points per meter controls the payload that makes conventional HD maps
+/// heavy; Pannen et al. [44] report ~10 MB/mile).
+void AttachSurveyPayload(HdMap* map, double points_per_meter, Rng& rng);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_SIM_ROAD_NETWORK_GENERATOR_H_

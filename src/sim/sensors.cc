@@ -1,0 +1,136 @@
+#include "sim/sensors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/units.h"
+
+namespace hdmap {
+
+GpsSensor::GpsSensor(const Options& options, Rng& rng) : options_(options) {
+  bias_ = Vec2{rng.Normal(0.0, options_.bias_sigma),
+               rng.Normal(0.0, options_.bias_sigma)};
+}
+
+Vec2 GpsSensor::Measure(const Vec2& true_position, Rng& rng) {
+  bias_ += Vec2{rng.Normal(0.0, options_.bias_walk_sigma),
+                rng.Normal(0.0, options_.bias_walk_sigma)};
+  return true_position + bias_ +
+         Vec2{rng.Normal(0.0, options_.noise_sigma),
+              rng.Normal(0.0, options_.noise_sigma)};
+}
+
+OdometrySensor::Delta OdometrySensor::Measure(const Pose2& from,
+                                              const Pose2& to,
+                                              Rng& rng) const {
+  double true_distance = from.translation.DistanceTo(to.translation);
+  double true_heading_change = AngleDiff(to.heading, from.heading);
+  Delta d;
+  d.distance = true_distance *
+               (1.0 + rng.Normal(0.0, options_.distance_noise_frac));
+  d.heading_change =
+      true_heading_change + rng.Normal(0.0, options_.heading_noise_sigma);
+  return d;
+}
+
+std::vector<LandmarkDetection> LandmarkDetector::Detect(
+    const HdMap& map, const Pose2& vehicle_pose, Rng& rng) const {
+  std::vector<LandmarkDetection> detections;
+  for (ElementId id :
+       map.LandmarksNear(vehicle_pose.translation, options_.max_range)) {
+    const Landmark* lm = map.FindLandmark(id);
+    if (lm == nullptr) continue;
+    if (lm->reflectivity < options_.min_reflectivity) continue;
+    Vec2 local = vehicle_pose.InverseTransformPoint(lm->position.xy());
+    double range = local.Norm();
+    if (range > options_.max_range || range < 0.5) continue;
+    double bearing = local.Angle();
+    if (std::abs(bearing) > options_.fov_rad / 2.0) continue;
+    if (!rng.Bernoulli(options_.detection_prob)) continue;
+
+    double noisy_range =
+        range * (1.0 + rng.Normal(0.0, options_.range_noise_frac));
+    double noisy_bearing =
+        bearing + rng.Normal(0.0, options_.bearing_noise_sigma);
+    LandmarkDetection det;
+    det.position_vehicle = Vec2{noisy_range * std::cos(noisy_bearing),
+                                noisy_range * std::sin(noisy_bearing)};
+    det.range = noisy_range;
+    det.type = lm->type;
+    det.reflectivity =
+        std::clamp(lm->reflectivity + rng.Normal(0.0, 0.03), 0.0, 1.0);
+    det.truth_id = id;
+    detections.push_back(det);
+  }
+  // Poisson-ish clutter: one draw per expected false positive.
+  int clutter = 0;
+  double lambda = options_.clutter_rate;
+  while (lambda > 0.0) {
+    if (rng.Bernoulli(std::min(1.0, lambda))) ++clutter;
+    lambda -= 1.0;
+  }
+  for (int i = 0; i < clutter; ++i) {
+    double range = rng.Uniform(2.0, options_.max_range);
+    double bearing =
+        rng.Uniform(-options_.fov_rad / 2.0, options_.fov_rad / 2.0);
+    LandmarkDetection det;
+    det.position_vehicle =
+        Vec2{range * std::cos(bearing), range * std::sin(bearing)};
+    det.range = range;
+    det.type = LandmarkType::kTrafficSign;
+    det.reflectivity = rng.Uniform(0.2, 0.9);
+    det.is_clutter = true;
+    detections.push_back(det);
+  }
+  return detections;
+}
+
+std::vector<MarkingPoint> MarkingScanner::Scan(const HdMap& map,
+                                               const Pose2& vehicle_pose,
+                                               Rng& rng) const {
+  std::vector<MarkingPoint> points;
+  Aabb query = Aabb::FromPoint(vehicle_pose.translation, options_.max_range);
+  for (ElementId id : map.LineFeaturesInBox(query)) {
+    const LineFeature* lf = map.FindLineFeature(id);
+    if (lf == nullptr || lf->type == LineType::kVirtual) continue;
+    bool is_marking = lf->type == LineType::kSolidLaneMarking ||
+                      lf->type == LineType::kDashedLaneMarking ||
+                      lf->type == LineType::kStopLine;
+    double len = lf->geometry.Length();
+    for (double s = 0.0; s < len; s += options_.point_spacing) {
+      // Dashed markings: skip the gaps (3 m dash, 3 m gap pattern).
+      if (lf->type == LineType::kDashedLaneMarking &&
+          std::fmod(s, 6.0) >= 3.0) {
+        continue;
+      }
+      Vec2 world = lf->geometry.PointAt(s);
+      if (world.DistanceTo(vehicle_pose.translation) > options_.max_range) {
+        continue;
+      }
+      Vec2 normal = lf->geometry.TangentAt(s).Perp();
+      Vec2 noisy = world + normal * rng.Normal(0.0, options_.lateral_noise_sigma);
+      MarkingPoint mp;
+      mp.position_vehicle = vehicle_pose.InverseTransformPoint(noisy);
+      mp.intensity = std::clamp(
+          lf->reflectivity + rng.Normal(0.0, options_.intensity_noise_sigma),
+          0.0, 1.0);
+      mp.on_marking = is_marking;
+      points.push_back(mp);
+    }
+  }
+  // Low-intensity road-surface returns scattered around the vehicle.
+  for (int i = 0; i < options_.road_surface_points; ++i) {
+    double range = rng.Uniform(1.0, options_.max_range);
+    double angle = rng.Uniform(-std::numbers::pi, std::numbers::pi);
+    MarkingPoint mp;
+    mp.position_vehicle = Vec2{range * std::cos(angle),
+                               range * std::sin(angle)};
+    mp.intensity = std::clamp(rng.Normal(0.15, 0.08), 0.0, 1.0);
+    mp.on_marking = false;
+    points.push_back(mp);
+  }
+  return points;
+}
+
+}  // namespace hdmap

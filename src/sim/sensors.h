@@ -1,0 +1,144 @@
+#ifndef HDMAP_SIM_SENSORS_H_
+#define HDMAP_SIM_SENSORS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/hd_map.h"
+#include "geometry/pose2.h"
+#include "geometry/vec3.h"
+
+namespace hdmap {
+
+// ---------------------------------------------------------------------------
+// GPS
+// ---------------------------------------------------------------------------
+
+/// Consumer/automotive GNSS model: slowly varying bias (multipath /
+/// atmospheric) plus white noise. Each traversal draws its own bias.
+class GpsSensor {
+ public:
+  struct Options {
+    double noise_sigma = 1.5;       ///< White noise per axis, meters.
+    double bias_sigma = 1.0;        ///< Per-traversal constant bias, m.
+    double bias_walk_sigma = 0.01;  ///< Bias random-walk per fix, m.
+  };
+
+  GpsSensor(const Options& options, Rng& rng);
+
+  /// A noisy fix of the true position.
+  Vec2 Measure(const Vec2& true_position, Rng& rng);
+
+  const Vec2& bias() const { return bias_; }
+
+ private:
+  Options options_;
+  Vec2 bias_;
+};
+
+// ---------------------------------------------------------------------------
+// Odometry / IMU
+// ---------------------------------------------------------------------------
+
+/// Wheel-odometry + yaw-gyro model: measures the relative motion between
+/// consecutive poses with multiplicative distance error and additive
+/// heading drift.
+class OdometrySensor {
+ public:
+  struct Options {
+    double distance_noise_frac = 0.02;  ///< 2% of distance traveled.
+    double heading_noise_sigma = 0.003; ///< rad per step.
+  };
+
+  explicit OdometrySensor(const Options& options) : options_(options) {}
+
+  struct Delta {
+    double distance = 0.0;
+    double heading_change = 0.0;
+  };
+
+  Delta Measure(const Pose2& from, const Pose2& to, Rng& rng) const;
+
+ private:
+  Options options_;
+};
+
+// ---------------------------------------------------------------------------
+// Landmark detector (camera / LiDAR object front-end)
+// ---------------------------------------------------------------------------
+
+/// One detected landmark. `truth_id` identifies the ground-truth element
+/// for scoring; association pipelines must not use it.
+struct LandmarkDetection {
+  Vec2 position_vehicle;   ///< In the vehicle frame (x forward, y left).
+  double range = 0.0;
+  LandmarkType type = LandmarkType::kTrafficSign;
+  double reflectivity = 0.0;
+  ElementId truth_id = kInvalidId;
+  bool is_clutter = false; ///< False positive.
+};
+
+/// Parametric landmark detection model: detects map landmarks within
+/// range/FOV with configurable miss rate, range-dependent position noise
+/// and clutter (DESIGN.md §4: stands in for the CNN/LiDAR front-ends the
+/// surveyed systems consume detections from).
+class LandmarkDetector {
+ public:
+  struct Options {
+    double max_range = 60.0;
+    double fov_rad = 2.0944;          ///< 120 degrees.
+    double detection_prob = 0.95;
+    double range_noise_frac = 0.01;   ///< Sigma as a fraction of range.
+    double bearing_noise_sigma = 0.005;  ///< rad.
+    double clutter_rate = 0.05;       ///< Expected false positives/frame.
+    /// Minimum reflectivity to be detectable (HRL filtering uses high
+    /// thresholds).
+    double min_reflectivity = 0.0;
+  };
+
+  explicit LandmarkDetector(const Options& options) : options_(options) {}
+
+  std::vector<LandmarkDetection> Detect(const HdMap& map,
+                                        const Pose2& vehicle_pose,
+                                        Rng& rng) const;
+
+ private:
+  Options options_;
+};
+
+// ---------------------------------------------------------------------------
+// Lane-marking scanner (LiDAR intensity front-end)
+// ---------------------------------------------------------------------------
+
+/// One LiDAR return on the ground plane, vehicle frame, with intensity.
+struct MarkingPoint {
+  Vec2 position_vehicle;
+  double intensity = 0.0;  ///< Reflectivity estimate in [0, 1].
+  bool on_marking = false; ///< Ground truth (scoring only).
+};
+
+/// Simulates the intensity-based lane-marking returns a multilayer LiDAR
+/// produces (Ghallabi et al. [50]): samples points on nearby marking and
+/// road-edge features with noise, plus low-intensity road-surface returns.
+class MarkingScanner {
+ public:
+  struct Options {
+    double max_range = 25.0;
+    double point_spacing = 0.5;        ///< Along-feature sampling, m.
+    double lateral_noise_sigma = 0.04; ///< m.
+    double intensity_noise_sigma = 0.08;
+    int road_surface_points = 120;     ///< Clutter returns per scan.
+  };
+
+  explicit MarkingScanner(const Options& options) : options_(options) {}
+
+  std::vector<MarkingPoint> Scan(const HdMap& map, const Pose2& vehicle_pose,
+                                 Rng& rng) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_SIM_SENSORS_H_

@@ -1,0 +1,61 @@
+#include "sim/trajectory.h"
+
+#include <algorithm>
+#include <string>
+
+namespace hdmap {
+
+Result<std::vector<TimedPose>> DriveRoute(const HdMap& map,
+                                          const std::vector<ElementId>& route,
+                                          const TrajectoryOptions& options) {
+  if (route.empty()) {
+    return Status::InvalidArgument("empty route");
+  }
+  if (options.dt <= 0.0) {
+    return Status::InvalidArgument("dt must be positive");
+  }
+  // Validate connectivity.
+  for (size_t i = 0; i < route.size(); ++i) {
+    const Lanelet* ll = map.FindLanelet(route[i]);
+    if (ll == nullptr) {
+      return Status::NotFound("route lanelet " + std::to_string(route[i]));
+    }
+    if (i > 0) {
+      const Lanelet* prev = map.FindLanelet(route[i - 1]);
+      bool connected =
+          std::find(prev->successors.begin(), prev->successors.end(),
+                    route[i]) != prev->successors.end() ||
+          prev->left_neighbor == route[i] ||
+          prev->right_neighbor == route[i];
+      if (!connected) {
+        return Status::InvalidArgument(
+            "route not connected at lanelet " + std::to_string(route[i]));
+      }
+    }
+  }
+
+  std::vector<TimedPose> out;
+  double t = 0.0;
+  for (ElementId id : route) {
+    const Lanelet& ll = *map.FindLanelet(id);
+    double speed =
+        std::max(0.5, map.EffectiveSpeedLimit(id) * options.speed_factor);
+    double len = ll.centerline.Length();
+    for (double s = 0.0; s < len; s += speed * options.dt) {
+      TimedPose tp;
+      tp.t = t;
+      Vec2 base = ll.centerline.PointAt(s);
+      Vec2 tangent = ll.centerline.TangentAt(s);
+      tp.pose = Pose2(base + tangent.Perp() * options.lateral_offset,
+                      tangent.Angle());
+      tp.speed = speed;
+      tp.lanelet_id = id;
+      tp.arc_length = s;
+      out.push_back(tp);
+      t += options.dt;
+    }
+  }
+  return out;
+}
+
+}  // namespace hdmap

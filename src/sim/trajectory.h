@@ -1,0 +1,39 @@
+#ifndef HDMAP_SIM_TRAJECTORY_H_
+#define HDMAP_SIM_TRAJECTORY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/hd_map.h"
+#include "geometry/pose2.h"
+
+namespace hdmap {
+
+/// A ground-truth vehicle state at time t.
+struct TimedPose {
+  double t = 0.0;
+  Pose2 pose;
+  double speed = 0.0;
+  /// Lanelet being traversed and arc length along it.
+  ElementId lanelet_id = kInvalidId;
+  double arc_length = 0.0;
+};
+
+struct TrajectoryOptions {
+  double dt = 0.1;            ///< Sampling period, seconds.
+  double speed_factor = 1.0;  ///< Fraction of the speed limit driven.
+  /// Lateral offset from the centerline (driver imperfection), meters.
+  double lateral_offset = 0.0;
+};
+
+/// Drives the centerline of a lanelet route at (speed_factor x speed
+/// limit), sampling poses every dt. The route must be topologically
+/// connected (each lanelet a successor of the previous); otherwise
+/// kInvalidArgument.
+Result<std::vector<TimedPose>> DriveRoute(
+    const HdMap& map, const std::vector<ElementId>& route,
+    const TrajectoryOptions& options = {});
+
+}  // namespace hdmap
+
+#endif  // HDMAP_SIM_TRAJECTORY_H_

@@ -1,0 +1,43 @@
+#ifndef HDMAP_SIM_VEHICLE_H_
+#define HDMAP_SIM_VEHICLE_H_
+
+#include "geometry/pose2.h"
+
+namespace hdmap {
+
+/// Kinematic bicycle model: the standard vehicle motion substrate for
+/// localization and planning experiments.
+class BicycleModel {
+ public:
+  struct State {
+    Pose2 pose;
+    double speed = 0.0;  // m/s, longitudinal.
+  };
+
+  explicit BicycleModel(double wheelbase = 2.7) : wheelbase_(wheelbase) {}
+
+  double wheelbase() const { return wheelbase_; }
+
+  /// Advances `state` by dt seconds under acceleration (m/s^2) and
+  /// steering angle (rad, at the front axle).
+  State Step(const State& state, double acceleration, double steering,
+             double dt) const {
+    State next = state;
+    next.speed = std::max(0.0, state.speed + acceleration * dt);
+    double mid_speed = 0.5 * (state.speed + next.speed);
+    double yaw_rate = mid_speed * std::tan(steering) / wheelbase_;
+    double heading_mid = state.pose.heading + 0.5 * yaw_rate * dt;
+    Vec2 delta{mid_speed * std::cos(heading_mid) * dt,
+               mid_speed * std::sin(heading_mid) * dt};
+    next.pose = Pose2(state.pose.translation + delta,
+                      state.pose.heading + yaw_rate * dt);
+    return next;
+  }
+
+ private:
+  double wheelbase_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_SIM_VEHICLE_H_

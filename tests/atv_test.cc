@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "atv/factory_world.h"
+#include "atv/occupancy_grid.h"
+#include "atv/sign_update.h"
+#include "common/statistics.h"
+#include "sim/sensors.h"
+
+namespace hdmap {
+namespace {
+
+TEST(FactoryWorldTest, GeneratesRacksAislesAndSigns) {
+  Rng rng(71);
+  FactoryOptions opt;
+  auto factory = GenerateFactory(opt, rng);
+  ASSERT_TRUE(factory.ok()) << factory.status().ToString();
+  EXPECT_EQ(factory->walls.size(), 4u + 4u * opt.rack_rows);
+  EXPECT_EQ(factory->aisles.size(),
+            static_cast<size_t>(opt.rack_rows) + 1);
+  EXPECT_GT(factory->sign_map.landmarks().size(), 10u);
+  // Signs lie inside the factory extent.
+  for (const auto& [id, lm] : factory->sign_map.landmarks()) {
+    EXPECT_TRUE(factory->extent.Contains(lm.position.xy()));
+  }
+}
+
+TEST(FactoryWorldTest, RejectsOverfullLayout) {
+  Rng rng(72);
+  FactoryOptions opt;
+  opt.depth = 10.0;
+  opt.rack_rows = 5;
+  EXPECT_FALSE(GenerateFactory(opt, rng).ok());
+}
+
+TEST(CastRayTest, HitsNearestWall) {
+  std::vector<Segment> walls = {{{10, -5}, {10, 5}}, {{20, -5}, {20, 5}}};
+  EXPECT_NEAR(CastRay(walls, {0, 0}, {1, 0}, 100.0), 10.0, 1e-9);
+  EXPECT_NEAR(CastRay(walls, {15, 0}, {1, 0}, 100.0), 5.0, 1e-9);
+  // Miss: ray goes the other way.
+  EXPECT_NEAR(CastRay(walls, {0, 0}, {-1, 0}, 100.0), 100.0, 1e-9);
+}
+
+TEST(OccupancyGridTest, RayIntegrationMarksFreeAndOccupied) {
+  OccupancyGrid grid(Aabb({0, 0}, {20, 20}), 0.25);
+  Vec2 origin{2, 10};
+  Vec2 wall{12, 10};
+  for (int i = 0; i < 10; ++i) grid.IntegrateRay(origin, wall, true);
+  EXPECT_GT(grid.OccupancyAt(wall), 0.8);
+  EXPECT_LT(grid.OccupancyAt({7, 10}), 0.2);   // Along the beam: free.
+  EXPECT_NEAR(grid.OccupancyAt({7, 15}), 0.5, 0.01);  // Unseen: unknown.
+  EXPECT_GT(grid.NumOccupied(), 0u);
+}
+
+TEST(OccupancyGridTest, MapsFactoryFromScans) {
+  Rng rng(73);
+  auto factory = GenerateFactory({}, rng);
+  ASSERT_TRUE(factory.ok());
+  OccupancyGrid grid(factory->extent, 0.25);
+
+  // Scan from points along every aisle.
+  for (const LineString& aisle : factory->aisles) {
+    for (double s = 0.0; s < aisle.Length(); s += 2.0) {
+      Vec2 origin = aisle.PointAt(s);
+      for (int beam = 0; beam < 72; ++beam) {
+        double angle = 2.0 * std::numbers::pi * beam / 72;
+        Vec2 dir{std::cos(angle), std::sin(angle)};
+        double range = CastRay(factory->walls, origin, dir, 30.0);
+        bool hit = range < 30.0;
+        grid.IntegrateRay(origin, origin + dir * range, hit);
+      }
+    }
+  }
+  // Rack faces should be occupied, aisle centers free.
+  EXPECT_GT(grid.NumOccupied(), 200u);
+  for (const LineString& aisle : factory->aisles) {
+    EXPECT_LT(grid.OccupancyAt(aisle.PointAt(aisle.Length() / 2)), 0.2);
+  }
+}
+
+TEST(AtvSignUpdaterTest, DetectsNewAndMissingSigns) {
+  Rng rng(74);
+  auto factory = GenerateFactory({}, rng);
+  ASSERT_TRUE(factory.ok());
+  HdMap valid_map = factory->sign_map;  // ATV's on-board HD map.
+  HdMap world = factory->sign_map;      // The real factory floor...
+
+  // ...which has drifted: remove 2 signs, add 2 new ones.
+  std::vector<ElementId> ids;
+  for (const auto& [id, lm] : world.landmarks()) ids.push_back(id);
+  ASSERT_GE(ids.size(), 4u);
+  ASSERT_TRUE(world.RemoveLandmark(ids[0]).ok());
+  ASSERT_TRUE(world.RemoveLandmark(ids[3]).ok());
+  Landmark new1;
+  new1.id = 9001;
+  new1.type = LandmarkType::kTrafficSign;
+  new1.position = {30.0, 4.0, 2.0};
+  Landmark new2;
+  new2.id = 9002;
+  new2.type = LandmarkType::kTrafficSign;
+  new2.position = {50.0, 15.0, 2.0};
+  ASSERT_TRUE(world.AddLandmark(new1).ok());
+  ASSERT_TRUE(world.AddLandmark(new2).ok());
+
+  LandmarkDetector::Options det_opt;
+  det_opt.max_range = 15.0;
+  det_opt.fov_rad = 2.0 * std::numbers::pi;  // Omnidirectional RGB-D rig.
+  det_opt.detection_prob = 0.9;
+  det_opt.clutter_rate = 0.02;
+  LandmarkDetector detector(det_opt);
+
+  AtvSignUpdater updater(&valid_map, {});
+  // Patrol every aisle several times.
+  for (int pass = 0; pass < 4; ++pass) {
+    for (const LineString& aisle : factory->aisles) {
+      for (double s = 0.0; s < aisle.Length(); s += 3.0) {
+        Pose2 pose(aisle.PointAt(s), aisle.HeadingAt(s));
+        updater.ProcessFrame(pose, detector.Detect(world, pose, rng));
+      }
+    }
+  }
+
+  auto report = updater.BuildReport();
+  // Both new signs found, near their true positions.
+  int new_found = 0;
+  for (const Landmark& lm : report.new_signs) {
+    for (const Landmark* truth : {&new1, &new2}) {
+      if (lm.position.xy().DistanceTo(truth->position.xy()) < 1.5) {
+        ++new_found;
+      }
+    }
+  }
+  EXPECT_GE(new_found, 1);
+  EXPECT_LE(report.new_signs.size(), 4u);  // No clutter explosion.
+
+  // Both removed signs reported missing; no false missing.
+  EXPECT_GE(report.missing_signs.size(), 2u);
+  int correct_missing = 0;
+  for (ElementId id : report.missing_signs) {
+    if (id == ids[0] || id == ids[3]) ++correct_missing;
+  }
+  EXPECT_EQ(correct_missing, 2);
+  EXPECT_LE(report.missing_signs.size(), 3u);
+
+  // The batched patch applies to the valid map.
+  MapPatch patch = report.AsPatch();
+  EXPECT_TRUE(ApplyPatch(patch, &valid_map).ok());
+}
+
+TEST(AtvSignUpdaterTest, StableWorldProducesEmptyReport) {
+  Rng rng(75);
+  auto factory = GenerateFactory({}, rng);
+  ASSERT_TRUE(factory.ok());
+  HdMap valid_map = factory->sign_map;
+
+  LandmarkDetector::Options det_opt;
+  det_opt.max_range = 15.0;
+  det_opt.fov_rad = 2.0 * std::numbers::pi;
+  det_opt.detection_prob = 0.9;
+  det_opt.clutter_rate = 0.0;
+  LandmarkDetector detector(det_opt);
+
+  AtvSignUpdater updater(&valid_map, {});
+  for (int pass = 0; pass < 4; ++pass) {
+    for (const LineString& aisle : factory->aisles) {
+      for (double s = 0.0; s < aisle.Length(); s += 3.0) {
+        Pose2 pose(aisle.PointAt(s), aisle.HeadingAt(s));
+        updater.ProcessFrame(pose, detector.Detect(valid_map, pose, rng));
+      }
+    }
+  }
+  auto report = updater.BuildReport();
+  EXPECT_TRUE(report.new_signs.empty());
+  EXPECT_TRUE(report.missing_signs.empty());
+}
+
+}  // namespace
+}  // namespace hdmap

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/binary_io.h"
+
+namespace hdmap {
+namespace {
+
+TEST(BinaryIoTest, RoundTripsEveryType) {
+  BufferWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x1122334455667788ULL);
+  w.WriteI64(-42);
+  w.WriteI32(-7);
+  w.WriteI16(-300);
+  w.WriteF64(3.14159265358979);
+  w.WriteF32(2.5f);
+  w.WriteString("hd map");
+
+  BufferReader r(w.buffer());
+  EXPECT_EQ(r.ReadU8(), 0xAB);
+  EXPECT_EQ(r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64(), 0x1122334455667788ULL);
+  EXPECT_EQ(r.ReadI64(), -42);
+  EXPECT_EQ(r.ReadI32(), -7);
+  EXPECT_EQ(r.ReadI16(), -300);
+  EXPECT_DOUBLE_EQ(r.ReadF64(), 3.14159265358979);
+  EXPECT_FLOAT_EQ(r.ReadF32(), 2.5f);
+  EXPECT_EQ(r.ReadString(), "hd map");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, ExtremeValues) {
+  BufferWriter w;
+  w.WriteI64(std::numeric_limits<int64_t>::min());
+  w.WriteI64(std::numeric_limits<int64_t>::max());
+  w.WriteF64(std::numeric_limits<double>::max());
+  w.WriteString("");
+  BufferReader r(w.buffer());
+  EXPECT_EQ(r.ReadI64(), std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(r.ReadI64(), std::numeric_limits<int64_t>::max());
+  EXPECT_DOUBLE_EQ(r.ReadF64(), std::numeric_limits<double>::max());
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(BinaryIoTest, TruncatedReadLatchesError) {
+  BufferWriter w;
+  w.WriteU32(1);
+  BufferReader r(w.buffer());
+  EXPECT_EQ(r.ReadU32(), 1u);
+  EXPECT_TRUE(r.ok());
+  // Past the end: zero value and a latched DataLoss status.
+  EXPECT_EQ(r.ReadU64(), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  // Subsequent reads stay failed and keep returning zeros.
+  EXPECT_EQ(r.ReadU32(), 0u);
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BinaryIoTest, OversizedStringLengthIsRejected) {
+  BufferWriter w;
+  w.WriteU32(1000000);  // Claims a megabyte of string data...
+  w.WriteU8('x');       // ...but only one byte follows.
+  BufferReader r(w.buffer());
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BinaryIoTest, PartialScalarAtEnd) {
+  BufferWriter w;
+  w.WriteU8(1);
+  w.WriteU8(2);
+  BufferReader r(w.buffer());
+  // 2 bytes present, 4 requested.
+  EXPECT_EQ(r.ReadU32(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BinaryIoTest, WriterSizeTracksContent) {
+  BufferWriter w;
+  EXPECT_EQ(w.size(), 0u);
+  w.WriteU32(5);
+  EXPECT_EQ(w.size(), 4u);
+  w.WriteString("abc");
+  EXPECT_EQ(w.size(), 4u + 4u + 3u);
+  std::string released = w.Release();
+  EXPECT_EQ(released.size(), 11u);
+}
+
+}  // namespace
+}  // namespace hdmap

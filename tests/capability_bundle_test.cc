@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+#include "core/bundle_graph.h"
+#include "localization/ekf_localizer.h"
+#include "localization/map_capability.h"
+#include "sim/sensors.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+TEST(MapCapabilityTest, RichAreaScoresHigherThanEmpty) {
+  HdMap map = StraightRoad(1000.0, 40.0);  // Dense signs + markings.
+  MapCapability on_road = EvaluateMapCapability(map, {500.0, -1.75});
+  MapCapability off_map = EvaluateMapCapability(map, {5000.0, 5000.0});
+  EXPECT_GT(on_road.score, 0.5);
+  EXPECT_EQ(off_map.landmark_count, 0);
+  EXPECT_TRUE(std::isinf(off_map.predicted_sigma));
+  EXPECT_EQ(off_map.score, 0.0);
+  EXPECT_GT(on_road.landmark_count, 0);
+  EXPECT_GT(on_road.marking_length, 50.0);
+}
+
+TEST(MapCapabilityTest, SparserSignsLowerTheScore) {
+  HdMap dense = StraightRoad(1000.0, 30.0);
+  HdMap sparse = StraightRoad(1000.0, 500.0);
+  MapCapability c_dense = EvaluateMapCapability(dense, {500.0, -1.75});
+  MapCapability c_sparse = EvaluateMapCapability(sparse, {500.0, -1.75});
+  EXPECT_GT(c_dense.landmark_count, c_sparse.landmark_count);
+  EXPECT_GE(c_dense.score, c_sparse.score);
+}
+
+TEST(MapCapabilityTest, RouteProfileCoversRoute) {
+  HdMap map = SmallTownWorld(91, 3, 3);
+  // Any lanelet with a successor forms a short route.
+  std::vector<ElementId> route;
+  for (const auto& [id, ll] : map.lanelets()) {
+    if (!ll.successors.empty()) {
+      route = {id, ll.successors.front()};
+      break;
+    }
+  }
+  ASSERT_EQ(route.size(), 2u);
+  auto profile = RouteCapabilityProfile(map, route, 20.0);
+  EXPECT_GE(profile.size(), 3u);
+  for (const MapCapability& cap : profile) {
+    EXPECT_GE(cap.score, 0.0);
+    EXPECT_LE(cap.score, 1.0);
+  }
+}
+
+TEST(MapCapabilityTest, ScorePredictsAchievedAccuracy) {
+  // The premise of [64]: low-capability map sections really do localize
+  // worse. Build a road whose first km has signs and whose second km has
+  // none, drive it with a landmark EKF, and compare.
+  HdMap map = StraightRoad(2000.0, 50.0);
+  std::vector<ElementId> to_remove;
+  for (const auto& [id, lm] : map.landmarks()) {
+    if (lm.position.x > 1000.0) to_remove.push_back(id);
+  }
+  ASSERT_GT(to_remove.size(), 5u);
+  for (ElementId id : to_remove) {
+    ASSERT_TRUE(map.RemoveLandmark(id).ok());
+  }
+
+  MapCapability rich = EvaluateMapCapability(map, {500.0, -1.75});
+  MapCapability poor = EvaluateMapCapability(map, {1700.0, -1.75});
+  EXPECT_GT(rich.landmark_count, poor.landmark_count);
+
+  Rng rng(201);
+  OdometrySensor odo({});
+  LandmarkDetector::Options det_opt;
+  det_opt.clutter_rate = 0.0;
+  LandmarkDetector detector(det_opt);
+  EkfLocalizer ekf(&map, {});
+  Pose2 truth(10.0, -1.75, 0.0);
+  ekf.Init(truth, 0.3, 0.02);
+  RunningStats rich_err, poor_err;
+  for (int step = 0; step < 650; ++step) {
+    Pose2 next(truth.translation + Vec2{3.0, 0.0}, 0.0);
+    auto delta = odo.Measure(truth, next, rng);
+    truth = next;
+    ekf.Predict(delta.distance, delta.heading_change);
+    ekf.UpdateLandmarks(detector.Detect(map, truth, rng));
+    double err = ekf.estimate().translation.DistanceTo(truth.translation);
+    if (truth.translation.x > 200.0 && truth.translation.x < 950.0) {
+      rich_err.Add(err);
+    } else if (truth.translation.x > 1200.0) {
+      poor_err.Add(err);
+    }
+  }
+  // Accuracy degrades exactly where the capability score said it would.
+  EXPECT_LT(rich_err.mean(), poor_err.mean());
+}
+
+TEST(BundleGraphTest, BuildsNodeEdgeSkeleton) {
+  HdMap map = SmallTownWorld(92, 3, 3);
+  auto graph = BundleGraph::Build(map);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->NumNodes(), 9u);
+  // 12 bidirectional street segments -> 24 directed edges.
+  EXPECT_EQ(graph->NumEdges(), 24u);
+  // Every edge carries lanes in its direction.
+  for (const auto& [id, node] : map.map_nodes()) {
+    for (const auto& edge : graph->OutEdges(id)) {
+      EXPECT_GT(edge.forward_lanes, 0);
+      EXPECT_GT(edge.length, 0.0);
+    }
+  }
+}
+
+TEST(BundleGraphTest, ShortestNodePathIsManhattan) {
+  HdMap map = SmallTownWorld(93, 3, 3);
+  auto graph = BundleGraph::Build(map);
+  ASSERT_TRUE(graph.ok());
+  // Corner to opposite corner of the 3x3 grid: 4 hops, 5 nodes.
+  ElementId first = map.map_nodes().begin()->first;
+  ElementId last = map.map_nodes().rbegin()->first;
+  auto path = graph->ShortestNodePath(first, last);
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  EXPECT_EQ(path->size(), 5u);
+  EXPECT_EQ(path->front(), first);
+  EXPECT_EQ(path->back(), last);
+}
+
+TEST(BundleGraphTest, ErrorsOnBadInput) {
+  HdMap empty;
+  EXPECT_FALSE(BundleGraph::Build(empty).ok());
+  HdMap map = SmallTownWorld(94, 2, 2);
+  auto graph = BundleGraph::Build(map);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(graph->ShortestNodePath(999999, 1).ok());
+}
+
+TEST(BundleGraphTest, MultiLaneBundlesCountLanes) {
+  HdMap map = SmallTownWorld(95, 2, 2);
+  // Regenerate with 2 lanes per direction.
+  Rng rng(95);
+  TownOptions opt;
+  opt.grid_rows = 2;
+  opt.grid_cols = 2;
+  opt.lanes_per_direction = 2;
+  auto town = GenerateTown(opt, rng);
+  ASSERT_TRUE(town.ok());
+  auto graph = BundleGraph::Build(*town);
+  ASSERT_TRUE(graph.ok());
+  for (const auto& [id, node] : town->map_nodes()) {
+    for (const auto& edge : graph->OutEdges(id)) {
+      EXPECT_EQ(edge.forward_lanes, 2);
+      EXPECT_EQ(edge.backward_lanes, 2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hdmap

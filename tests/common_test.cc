@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace hdmap {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("lanelet 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "lanelet 42");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: lanelet 42");
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+}
+
+Status FailsInner() { return Status::Internal("inner"); }
+
+Status PropagatesViaMacro() {
+  HDMAP_RETURN_IF_ERROR(FailsInner());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_EQ(PropagatesViaMacro().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.value_or(0), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("none"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterViaMacro(int x) {
+  HDMAP_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  return HalveEven(half);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = QuarterViaMacro(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_FALSE(QuarterViaMacro(7).ok());
+  EXPECT_FALSE(QuarterViaMacro(6).ok());  // 6/2 = 3 is odd.
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(123), b(124);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(1, 6));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 1);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(42);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.Normal(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(42);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(42);
+  std::vector<double> weights = {1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Categorical(weights) == 1) ++ones;
+  }
+  EXPECT_NEAR(ones / 10000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(9);
+  Rng child = parent.Fork();
+  // Child stream does not simply mirror the parent.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.NextU32() == child.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StatisticsTest, PercentileAndMedian) {
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Median(v), 5.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 10.0);
+  EXPECT_NEAR(Percentile(v, 90), 9.1, 1e-9);
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(StatisticsTest, MeanAndRmse) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Rmse({3.0, 4.0}), std::sqrt(12.5));
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Rmse({}), 0.0);
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.6);
+  h.Add(-5.0);  // Clamps into bin 0.
+  h.Add(50.0);  // Clamps into bin 9.
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 2u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_FALSE(h.ToAscii().empty());
+}
+
+TEST(BinaryConfusionTest, Rates) {
+  BinaryConfusion c;
+  // 8 actual positives: 7 detected; 12 actual negatives: 9 rejected.
+  for (int i = 0; i < 7; ++i) c.Add(true, true);
+  c.Add(false, true);
+  for (int i = 0; i < 9; ++i) c.Add(false, false);
+  for (int i = 0; i < 3; ++i) c.Add(true, false);
+  EXPECT_DOUBLE_EQ(c.Sensitivity(), 7.0 / 8.0);
+  EXPECT_DOUBLE_EQ(c.Specificity(), 9.0 / 12.0);
+  EXPECT_DOUBLE_EQ(c.Precision(), 7.0 / 10.0);
+  EXPECT_DOUBLE_EQ(c.Accuracy(), 16.0 / 20.0);
+  EXPECT_GT(c.F1(), 0.7);
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_NEAR(DegToRad(180.0), std::numbers::pi, 1e-12);
+  EXPECT_NEAR(RadToDeg(std::numbers::pi / 2), 90.0, 1e-12);
+  EXPECT_NEAR(KphToMps(36.0), 10.0, 1e-12);
+  EXPECT_NEAR(MpsToKph(10.0), 36.0, 1e-12);
+}
+
+TEST(UnitsTest, WrapAngle) {
+  EXPECT_NEAR(WrapAngle(3 * std::numbers::pi), std::numbers::pi, 1e-9);
+  EXPECT_NEAR(WrapAngle(-3 * std::numbers::pi), std::numbers::pi, 1e-9);
+  EXPECT_NEAR(WrapAngle(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(AngleDiff(0.1, -0.1), 0.2, 1e-12);
+  EXPECT_NEAR(AngleDiff(-3.0, 3.0), 2 * std::numbers::pi - 6.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hdmap

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+#include "localization/cooperative_localization.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+TEST(CovarianceIntersectTest, FusedCovarianceNoLargerThanInputs) {
+  PositionBelief a{{0, 0}, {4.0, 0.0, 1.0}};
+  PositionBelief b{{1, 1}, {1.0, 0.0, 4.0}};
+  PositionBelief fused = CovarianceIntersect(a, b);
+  EXPECT_LE(fused.cov.Trace(), a.cov.Trace() + 1e-9);
+  EXPECT_LE(fused.cov.Trace(), b.cov.Trace() + 1e-9);
+  // Mean lies between the inputs.
+  EXPECT_GE(fused.mean.x, -0.1);
+  EXPECT_LE(fused.mean.x, 1.1);
+}
+
+TEST(CovarianceIntersectTest, IdenticalInputsAreIdempotentInMean) {
+  PositionBelief a{{3, -2}, {2.0, 0.3, 1.5}};
+  PositionBelief fused = CovarianceIntersect(a, a);
+  EXPECT_NEAR(fused.mean.x, 3.0, 1e-9);
+  EXPECT_NEAR(fused.mean.y, -2.0, 1e-9);
+  // CI of identical information must not claim extra confidence.
+  EXPECT_GE(fused.cov.Trace(), a.cov.Trace() - 1e-9);
+}
+
+TEST(CooperativeLocalizerTest, BiasEstimatorConvergesWithMapFeatures) {
+  HdMap map = StraightRoad();
+  Rng rng(11);
+  CooperativeLocalizer loc(&map, {});
+  Vec2 truth{300.0, -1.75};
+  Vec2 true_bias{1.8, -1.2};
+  ElementId nearest_sign = map.LandmarksNear(truth, 100.0).front();
+  const Landmark* sign = map.FindLandmark(nearest_sign);
+  for (int step = 0; step < 60; ++step) {
+    loc.UpdateGnss(truth + true_bias +
+                   Vec2{rng.Normal(0.0, 0.8), rng.Normal(0.0, 0.8)});
+    loc.UpdateMapFeature(nearest_sign,
+                         truth - sign->position.xy() +
+                             Vec2{rng.Normal(0.0, 0.2),
+                                  rng.Normal(0.0, 0.2)});
+  }
+  EXPECT_LT(loc.estimated_gnss_bias().DistanceTo(true_bias), 1.0);
+  EXPECT_LT(loc.belief().mean.DistanceTo(truth), 0.5);
+}
+
+TEST(CooperativeLocalizerTest, PartnerExchangeImprovesWeakVehicle) {
+  HdMap map = StraightRoad();
+  Rng rng(12);
+  RunningStats solo_err, coop_err;
+  for (int run = 0; run < 20; ++run) {
+    // Vehicle A is feature-rich (good); vehicle B only has coarse GNSS.
+    CooperativeLocalizer a(&map, {});
+    CooperativeLocalizer b_solo(&map, {});
+    CooperativeLocalizer b_coop(&map, {});
+    Vec2 truth_a{200.0, -1.75};
+    Vec2 truth_b{230.0, -1.75};
+    ElementId sign_id = map.LandmarksNear(truth_a, 100.0).front();
+    const Landmark* sign = map.FindLandmark(sign_id);
+    for (int step = 0; step < 15; ++step) {
+      a.UpdateGnss(truth_a +
+                   Vec2{rng.Normal(0.0, 2.0), rng.Normal(0.0, 2.0)});
+      a.UpdateMapFeature(sign_id, truth_a - sign->position.xy() +
+                                      Vec2{rng.Normal(0.0, 0.2),
+                                           rng.Normal(0.0, 0.2)});
+      Vec2 coarse = truth_b +
+                    Vec2{rng.Normal(0.0, 3.0), rng.Normal(0.0, 3.0)};
+      b_solo.UpdateGnss(coarse);
+      b_coop.UpdateGnss(coarse);
+      // V2V: B measures the relative position of A precisely.
+      Vec2 relative = (truth_a - truth_b) +
+                      Vec2{rng.Normal(0.0, 0.2), rng.Normal(0.0, 0.2)};
+      b_coop.UpdatePartner(a.belief(), relative);
+    }
+    solo_err.Add(b_solo.belief().mean.DistanceTo(truth_b));
+    coop_err.Add(b_coop.belief().mean.DistanceTo(truth_b));
+  }
+  EXPECT_LT(coop_err.mean(), solo_err.mean());
+}
+
+TEST(CooperativeLocalizerTest, CiStaysConsistentUnderEchoLoops) {
+  // Two vehicles repeatedly exchange beliefs (information echo). With CI
+  // the claimed covariance must remain consistent: the Mahalanobis
+  // distance of the truth stays chi2-like (not exploding).
+  HdMap map = StraightRoad();
+  Rng rng(13);
+  int consistent = 0, total = 0;
+  for (int run = 0; run < 15; ++run) {
+    CooperativeLocalizer a(&map, {});
+    CooperativeLocalizer b(&map, {});
+    Vec2 truth_a{100.0, -1.75};
+    Vec2 truth_b{130.0, -1.75};
+    a.UpdateGnss(truth_a + Vec2{rng.Normal(0.0, 2.0),
+                                rng.Normal(0.0, 2.0)});
+    b.UpdateGnss(truth_b + Vec2{rng.Normal(0.0, 2.0),
+                                rng.Normal(0.0, 2.0)});
+    // Echo the same information back and forth many times.
+    for (int ping = 0; ping < 10; ++ping) {
+      Vec2 rel_ab = truth_a - truth_b;
+      b.UpdatePartner(a.belief(), rel_ab);
+      a.UpdatePartner(b.belief(), -rel_ab);
+    }
+    ++total;
+    // 99.9% chi2(2) bound ~ 13.8; allow margin.
+    if (a.MahalanobisSq(truth_a) < 20.0) ++consistent;
+  }
+  EXPECT_GE(consistent, total - 2);
+}
+
+}  // namespace
+}  // namespace hdmap

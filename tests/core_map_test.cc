@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include "core/feature_layer.h"
+#include "core/hd_map.h"
+#include "core/map_patch.h"
+#include "core/routing_graph.h"
+
+namespace hdmap {
+namespace {
+
+/// Two consecutive straight lanelets along +x with boundaries.
+HdMap MakeTwoLaneletMap() {
+  HdMap map;
+  LineFeature left;
+  left.id = 100;
+  left.type = LineType::kSolidLaneMarking;
+  left.geometry = LineString({{0, 1.75}, {100, 1.75}});
+  EXPECT_TRUE(map.AddLineFeature(left).ok());
+  LineFeature right;
+  right.id = 101;
+  right.type = LineType::kRoadEdge;
+  right.geometry = LineString({{0, -1.75}, {100, -1.75}});
+  EXPECT_TRUE(map.AddLineFeature(right).ok());
+
+  Lanelet a;
+  a.id = 1;
+  a.left_boundary_id = 100;
+  a.right_boundary_id = 101;
+  a.centerline = LineString({{0, 0}, {50, 0}});
+  a.successors = {2};
+  Lanelet b;
+  b.id = 2;
+  b.left_boundary_id = 100;
+  b.right_boundary_id = 101;
+  b.centerline = LineString({{50, 0}, {100, 0}});
+  b.predecessors = {1};
+  EXPECT_TRUE(map.AddLanelet(a).ok());
+  EXPECT_TRUE(map.AddLanelet(b).ok());
+  return map;
+}
+
+TEST(HdMapTest, AddAndFind) {
+  HdMap map = MakeTwoLaneletMap();
+  EXPECT_NE(map.FindLanelet(1), nullptr);
+  EXPECT_NE(map.FindLineFeature(100), nullptr);
+  EXPECT_EQ(map.FindLanelet(99), nullptr);
+  EXPECT_EQ(map.NumElements(), 4u);
+}
+
+TEST(HdMapTest, RejectsInvalidAndDuplicateIds) {
+  HdMap map;
+  Landmark lm;
+  lm.id = kInvalidId;
+  EXPECT_EQ(map.AddLandmark(lm).code(), StatusCode::kInvalidArgument);
+  lm.id = 5;
+  EXPECT_TRUE(map.AddLandmark(lm).ok());
+  EXPECT_EQ(map.AddLandmark(lm).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(HdMapTest, RejectsDegenerateLanelet) {
+  HdMap map;
+  Lanelet ll;
+  ll.id = 1;
+  ll.centerline = LineString({{0, 0}});
+  EXPECT_EQ(map.AddLanelet(ll).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HdMapTest, MatchToLane) {
+  HdMap map = MakeTwoLaneletMap();
+  auto match = map.MatchToLane({20.0, 0.5});
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->lanelet_id, 1);
+  EXPECT_NEAR(match->arc_length, 20.0, 1e-9);
+  EXPECT_NEAR(match->signed_offset, 0.5, 1e-9);
+
+  auto match2 = map.MatchToLane({80.0, -0.3});
+  ASSERT_TRUE(match2.ok());
+  EXPECT_EQ(match2->lanelet_id, 2);
+  EXPECT_NEAR(match2->signed_offset, -0.3, 1e-9);
+
+  EXPECT_FALSE(map.MatchToLane({20.0, 500.0}).ok());
+}
+
+TEST(HdMapTest, LaneletsContaining) {
+  HdMap map = MakeTwoLaneletMap();
+  auto in_lane = map.LaneletsContaining({20.0, 1.0});
+  ASSERT_EQ(in_lane.size(), 1u);
+  EXPECT_EQ(in_lane[0], 1);
+  EXPECT_TRUE(map.LaneletsContaining({20.0, 10.0}).empty());
+}
+
+TEST(HdMapTest, LandmarksNear) {
+  HdMap map = MakeTwoLaneletMap();
+  Landmark s1;
+  s1.id = 200;
+  s1.position = {10, 5, 2};
+  Landmark s2;
+  s2.id = 201;
+  s2.position = {90, 5, 2};
+  ASSERT_TRUE(map.AddLandmark(s1).ok());
+  ASSERT_TRUE(map.AddLandmark(s2).ok());
+  auto near = map.LandmarksNear({10, 0}, 10.0);
+  ASSERT_EQ(near.size(), 1u);
+  EXPECT_EQ(near[0], 200);
+  EXPECT_EQ(map.LandmarksNear({50, 0}, 100.0).size(), 2u);
+}
+
+TEST(HdMapTest, RemoveAndMoveLandmark) {
+  HdMap map;
+  Landmark lm;
+  lm.id = 7;
+  lm.position = {1, 2, 3};
+  ASSERT_TRUE(map.AddLandmark(lm).ok());
+  ASSERT_TRUE(map.MoveLandmark(7, {4, 5, 6}).ok());
+  EXPECT_EQ(map.FindLandmark(7)->position, (Vec3{4, 5, 6}));
+  ASSERT_TRUE(map.RemoveLandmark(7).ok());
+  EXPECT_EQ(map.FindLandmark(7), nullptr);
+  EXPECT_EQ(map.RemoveLandmark(7).code(), StatusCode::kNotFound);
+  EXPECT_EQ(map.MoveLandmark(7, {0, 0, 0}).code(), StatusCode::kNotFound);
+}
+
+TEST(HdMapTest, IndexRebuildsAfterMutation) {
+  HdMap map = MakeTwoLaneletMap();
+  EXPECT_EQ(map.LandmarksNear({10, 0}, 10.0).size(), 0u);
+  Landmark lm;
+  lm.id = 300;
+  lm.position = {10, 2, 0};
+  ASSERT_TRUE(map.AddLandmark(lm).ok());
+  EXPECT_EQ(map.LandmarksNear({10, 0}, 10.0).size(), 1u);  // Fresh index.
+}
+
+TEST(HdMapTest, EffectiveSpeedLimit) {
+  HdMap map = MakeTwoLaneletMap();
+  EXPECT_NEAR(map.EffectiveSpeedLimit(1), 13.89, 1e-9);
+  RegulatoryElement reg;
+  reg.id = 500;
+  reg.type = RegulatoryType::kSpeedLimit;
+  reg.speed_limit_mps = 8.0;
+  reg.lanelet_ids = {1};
+  ASSERT_TRUE(map.AddRegulatoryElement(reg).ok());
+  map.FindMutableLanelet(1)->regulatory_ids.push_back(500);
+  EXPECT_NEAR(map.EffectiveSpeedLimit(1), 8.0, 1e-9);
+  EXPECT_EQ(map.EffectiveSpeedLimit(999), 0.0);
+}
+
+TEST(HdMapTest, ValidateDetectsDanglingSuccessor) {
+  HdMap map = MakeTwoLaneletMap();
+  EXPECT_TRUE(map.Validate().ok());
+  map.FindMutableLanelet(1)->successors.push_back(999);
+  EXPECT_EQ(map.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(HdMapTest, ValidateDetectsAsymmetricTopology) {
+  HdMap map = MakeTwoLaneletMap();
+  map.FindMutableLanelet(2)->predecessors.clear();
+  EXPECT_FALSE(map.Validate().ok());
+}
+
+TEST(LaneletTest, ElevationProfileInterpolation) {
+  Lanelet ll;
+  ll.centerline = LineString({{0, 0}, {100, 0}});
+  ll.elevation_profile = {0.0, 10.0, 0.0};
+  EXPECT_NEAR(ll.ElevationAt(0.0), 0.0, 1e-9);
+  EXPECT_NEAR(ll.ElevationAt(50.0), 10.0, 1e-9);
+  EXPECT_NEAR(ll.ElevationAt(25.0), 5.0, 1e-9);
+  EXPECT_NEAR(ll.ElevationAt(100.0), 0.0, 1e-9);
+  EXPECT_GT(ll.GradeAt(25.0), 0.0);
+  EXPECT_LT(ll.GradeAt(75.0), 0.0);
+}
+
+TEST(LaneletTest, EmptyElevationIsFlat) {
+  Lanelet ll;
+  ll.centerline = LineString({{0, 0}, {100, 0}});
+  EXPECT_EQ(ll.ElevationAt(50.0), 0.0);
+  EXPECT_EQ(ll.GradeAt(50.0), 0.0);
+}
+
+TEST(MapPatchTest, ApplyAddRemoveMove) {
+  HdMap map;
+  Landmark lm;
+  lm.id = 1;
+  lm.position = {0, 0, 0};
+  ASSERT_TRUE(map.AddLandmark(lm).ok());
+  Landmark lm2;
+  lm2.id = 2;
+  lm2.position = {5, 5, 0};
+  ASSERT_TRUE(map.AddLandmark(lm2).ok());
+
+  MapPatch patch;
+  Landmark added;
+  added.id = 3;
+  added.position = {9, 9, 0};
+  patch.added_landmarks.push_back(added);
+  patch.removed_landmarks.push_back(1);
+  patch.moved_landmarks.push_back({2, {6, 6, 0}});
+  ASSERT_TRUE(ApplyPatch(patch, &map).ok());
+  EXPECT_EQ(map.FindLandmark(1), nullptr);
+  EXPECT_EQ(map.FindLandmark(2)->position, (Vec3{6, 6, 0}));
+  EXPECT_NE(map.FindLandmark(3), nullptr);
+}
+
+TEST(MapPatchTest, ApplyFailsOnMissingTarget) {
+  HdMap map;
+  MapPatch patch;
+  patch.removed_landmarks.push_back(42);
+  EXPECT_EQ(ApplyPatch(patch, &map).code(), StatusCode::kNotFound);
+}
+
+TEST(MapPatchTest, DiffLandmarksRoundTrip) {
+  HdMap before;
+  Landmark a;
+  a.id = 1;
+  a.position = {0, 0, 0};
+  Landmark b;
+  b.id = 2;
+  b.position = {5, 0, 0};
+  ASSERT_TRUE(before.AddLandmark(a).ok());
+  ASSERT_TRUE(before.AddLandmark(b).ok());
+
+  HdMap after = before;
+  ASSERT_TRUE(after.RemoveLandmark(1).ok());
+  ASSERT_TRUE(after.MoveLandmark(2, {7, 0, 0}).ok());
+  Landmark c;
+  c.id = 3;
+  c.position = {1, 1, 0};
+  ASSERT_TRUE(after.AddLandmark(c).ok());
+
+  MapPatch patch = DiffLandmarks(before, after);
+  EXPECT_EQ(patch.added_landmarks.size(), 1u);
+  EXPECT_EQ(patch.removed_landmarks.size(), 1u);
+  EXPECT_EQ(patch.moved_landmarks.size(), 1u);
+  EXPECT_EQ(patch.NumChanges(), 3u);
+
+  ASSERT_TRUE(ApplyPatch(patch, &before).ok());
+  EXPECT_TRUE(DiffLandmarks(before, after).IsEmpty());
+}
+
+TEST(FeatureLayerTest, ObservationsConvergeAndPromote) {
+  FeatureLayer layer("signs");
+  for (int i = 0; i < 10; ++i) {
+    layer.AddObservation(1, LandmarkType::kTrafficSign,
+                         {10.0 + 0.1 * (i % 2), 5.0, 2.0});
+  }
+  const LayerFeature* f = layer.Find(1);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->observation_count, 10);
+  EXPECT_NEAR(f->position.x, 10.05, 1e-9);
+  EXPECT_GT(f->confidence, 0.8);
+  auto promotable = layer.Promotable(0.8);
+  ASSERT_EQ(promotable.size(), 1u);
+  EXPECT_EQ(promotable[0].id, 1);
+}
+
+TEST(FeatureLayerTest, LowConfidenceNotPromoted) {
+  FeatureLayer layer("signs");
+  layer.AddObservation(1, LandmarkType::kTrafficSign, {0, 0, 0});
+  EXPECT_TRUE(layer.Promotable(0.8).empty());
+}
+
+TEST(FeatureLayerTest, MergeCombinesWeighted) {
+  FeatureLayer a("a"), b("b");
+  for (int i = 0; i < 3; ++i) {
+    a.AddObservation(1, LandmarkType::kTrafficSign, {0, 0, 0});
+  }
+  b.AddObservation(1, LandmarkType::kTrafficSign, {4, 0, 0});
+  b.AddObservation(2, LandmarkType::kPole, {9, 9, 0});
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_NEAR(a.Find(1)->position.x, 1.0, 1e-9);  // (3*0 + 1*4) / 4.
+  EXPECT_EQ(a.Find(1)->observation_count, 4);
+  EXPECT_NE(a.Find(2), nullptr);
+}
+
+TEST(RoutingGraphTest, BuildFromTopology) {
+  HdMap map = MakeTwoLaneletMap();
+  RoutingGraph g = RoutingGraph::Build(map);
+  EXPECT_EQ(g.NumNodes(), 2u);
+  ASSERT_EQ(g.OutEdges(1).size(), 1u);
+  EXPECT_EQ(g.OutEdges(1)[0].to, 2);
+  EXPECT_FALSE(g.OutEdges(1)[0].lane_change);
+  // 50 m at 13.89 m/s.
+  EXPECT_NEAR(g.OutEdges(1)[0].cost, 50.0 / 13.89, 1e-6);
+  EXPECT_TRUE(g.OutEdges(2).empty());
+  EXPECT_TRUE(g.OutEdges(99).empty());
+}
+
+TEST(RoutingGraphTest, LaneChangeEdgesAndHeuristic) {
+  HdMap map = MakeTwoLaneletMap();
+  Lanelet c;
+  c.id = 3;
+  c.centerline = LineString({{0, 3.5}, {50, 3.5}});
+  ASSERT_TRUE(map.AddLanelet(c).ok());
+  map.FindMutableLanelet(1)->left_neighbor = 3;
+  map.FindMutableLanelet(3)->right_neighbor = 1;
+  RoutingGraph g = RoutingGraph::Build(map, 2.0);
+  bool found_lane_change = false;
+  for (const auto& e : g.OutEdges(1)) {
+    if (e.to == 3) {
+      found_lane_change = true;
+      EXPECT_TRUE(e.lane_change);
+    }
+  }
+  EXPECT_TRUE(found_lane_change);
+  EXPECT_GE(g.HeuristicSeconds(1, 2), 0.0);
+  EXPECT_EQ(g.HeuristicSeconds(1, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace hdmap

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+#include "creation/aerial_fusion.h"
+#include "creation/crowd_mapper.h"
+#include "creation/lane_learner.h"
+#include "creation/lidar_pipeline.h"
+#include "sim/sensors.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+/// Builds crowd traversals over the straight road: vehicles with biased
+/// GPS poses detecting roadside signs.
+std::vector<CrowdTraversal> MakeTraversals(const HdMap& map, int count,
+                                           double gps_noise,
+                                           double gps_bias, Rng& rng) {
+  std::vector<CrowdTraversal> traversals;
+  LandmarkDetector::Options det_opt;
+  det_opt.detection_prob = 0.9;
+  det_opt.clutter_rate = 0.02;
+  LandmarkDetector detector(det_opt);
+  for (int t = 0; t < count; ++t) {
+    GpsSensor gps({gps_noise, gps_bias, 0.0}, rng);
+    CrowdTraversal trav;
+    for (double x = 5.0; x < 995.0; x += 10.0) {
+      Pose2 truth(x, -1.75, 0.0);
+      Pose2 estimated(gps.Measure(truth.translation, rng), 0.0);
+      trav.estimated_poses.push_back(estimated);
+      trav.detections.push_back(detector.Detect(map, truth, rng));
+    }
+    traversals.push_back(std::move(trav));
+  }
+  return traversals;
+}
+
+TEST(CrowdMapperTest, ReconstructsLandmarks) {
+  HdMap map = StraightRoad();
+  Rng rng(31);
+  auto traversals = MakeTraversals(map, 20, 0.8, 0.8, rng);
+  CrowdMapper mapper({});
+  auto landmarks = mapper.Map(traversals);
+  // Most of the 16 signs should be reconstructed.
+  EXPECT_GE(landmarks.size(), 12u);
+  auto errors = ScoreMappedLandmarks(landmarks, map);
+  EXPECT_LT(Mean(errors), 0.8);
+}
+
+TEST(CrowdMapperTest, CorrectiveFeedbackImprovesAccuracy) {
+  HdMap map = StraightRoad();
+  Rng rng_a(32), rng_b(32);
+  auto traversals_a = MakeTraversals(map, 15, 0.6, 1.2, rng_a);
+  auto traversals_b = MakeTraversals(map, 15, 0.6, 1.2, rng_b);
+
+  CrowdMapper::Options no_feedback;
+  no_feedback.feedback_iterations = 0;
+  CrowdMapper::Options with_feedback;
+  with_feedback.feedback_iterations = 3;
+
+  auto raw = CrowdMapper(no_feedback).Map(traversals_a);
+  auto refined = CrowdMapper(with_feedback).Map(traversals_b);
+  double raw_err = Mean(ScoreMappedLandmarks(raw, map));
+  double refined_err = Mean(ScoreMappedLandmarks(refined, map));
+  EXPECT_LT(refined_err, raw_err);
+}
+
+TEST(CrowdMapperTest, EmptyInputYieldsNothing) {
+  CrowdMapper mapper({});
+  EXPECT_TRUE(mapper.Map({}).empty());
+}
+
+TEST(LidarMapperTest, ExtractsRoadBoundaries) {
+  HdMap map = StraightRoad();
+  Rng rng(33);
+  MarkingScanner::Options scan_opt;
+  scan_opt.road_surface_points = 60;
+  MarkingScanner scanner(scan_opt);
+  std::vector<GeoScan> scans;
+  for (double x = 10.0; x < 400.0; x += 5.0) {
+    GeoScan scan;
+    scan.pose = Pose2(x + rng.Normal(0.0, 0.05),
+                      -1.75 + rng.Normal(0.0, 0.05), 0.0);
+    Pose2 truth(x, -1.75, 0.0);
+    scan.points = scanner.Scan(map, truth, rng);
+    scans.push_back(std::move(scan));
+  }
+  LidarMapper mapper({});
+  auto boundaries = mapper.ExtractBoundaries(scans);
+  ASSERT_GE(boundaries.size(), 1u);
+  double total_length = 0.0;
+  for (const auto& b : boundaries) total_length += b.Length();
+  EXPECT_GT(total_length, 200.0);  // Covered a good part of the drive.
+  EXPECT_LT(BoundaryExtractionError(boundaries, map), 0.5);
+}
+
+TEST(LidarMapperTest, EmptyScansYieldNothing) {
+  LidarMapper mapper({});
+  EXPECT_TRUE(mapper.ExtractBoundaries({}).empty());
+}
+
+TEST(LaneLearnerTest, SmoothTrackReducesNoise) {
+  Rng rng(34);
+  LaneObservationTrack track;
+  track.offsets.resize(100);
+  for (size_t i = 0; i < track.offsets.size(); ++i) {
+    track.offsets[i] = 1.75 + rng.Normal(0.0, 0.5);
+  }
+  LaneLearner learner({});
+  auto smoothed = learner.SmoothTrack(track);
+  RunningStats raw_err, smooth_err;
+  for (size_t i = 0; i < track.offsets.size(); ++i) {
+    raw_err.Add(std::abs(track.offsets[i] - 1.75));
+    smooth_err.Add(std::abs(smoothed[i] - 1.75));
+  }
+  EXPECT_LT(smooth_err.mean(), raw_err.mean());
+}
+
+TEST(LaneLearnerTest, HandlesMissingDetections) {
+  LaneObservationTrack track;
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  track.offsets = {nan, 1.0, nan, nan, 1.2, 1.1, nan};
+  LaneLearner learner({});
+  auto smoothed = learner.SmoothTrack(track);
+  ASSERT_EQ(smoothed.size(), track.offsets.size());
+  for (size_t i = 1; i < smoothed.size(); ++i) {
+    EXPECT_FALSE(std::isnan(smoothed[i])) << i;
+    EXPECT_NEAR(smoothed[i], 1.1, 0.5);
+  }
+}
+
+TEST(LaneLearnerTest, LearnsGeometryFromManyTracks) {
+  Rng rng(35);
+  // True lane marking at offset 1.75 with a bump between stations 40-60.
+  auto true_offset = [](size_t i) {
+    if (i >= 40 && i < 60) return 1.75 + 0.8;
+    return 1.75;
+  };
+  std::vector<LaneObservationTrack> tracks;
+  for (int t = 0; t < 12; ++t) {
+    LaneObservationTrack track;
+    track.offsets.resize(100);
+    for (size_t i = 0; i < 100; ++i) {
+      if (rng.Bernoulli(0.15)) {
+        track.offsets[i] = std::numeric_limits<double>::quiet_NaN();
+      } else {
+        track.offsets[i] = true_offset(i) + rng.Normal(0.0, 0.4);
+      }
+    }
+    tracks.push_back(std::move(track));
+  }
+  LaneLearner learner({});
+  auto learned = learner.LearnOffsets(tracks);
+  ASSERT_EQ(learned.size(), 100u);
+  RunningStats err;
+  for (size_t i = 5; i < 95; ++i) {
+    ASSERT_FALSE(std::isnan(learned[i])) << i;
+    err.Add(std::abs(learned[i] - true_offset(i)));
+  }
+  EXPECT_LT(err.mean(), 0.25);
+  // The bump is actually recovered (not smoothed away).
+  EXPECT_GT(learned[50], 2.1);
+  EXPECT_LT(learned[20], 2.1);
+
+  // Geometry realization follows the reference.
+  LineString ref({{0, 0}, {500, 0}});
+  LineString geometry = learner.RealizeGeometry(ref, learned, 5.0);
+  EXPECT_GT(geometry.size(), 50u);
+  EXPECT_NEAR(geometry[10].y, learned[10], 1e-9);
+}
+
+TEST(LaneLearnerTest, InsufficientCoverageGivesNan) {
+  std::vector<LaneObservationTrack> tracks(2);
+  tracks[0].offsets.assign(10, 1.0);
+  tracks[1].offsets.assign(10, 1.1);
+  LaneLearner::Options opt;
+  opt.min_tracks = 3;
+  LaneLearner learner(opt);
+  auto learned = learner.LearnOffsets(tracks);
+  for (double v : learned) EXPECT_TRUE(std::isnan(v));
+}
+
+TEST(AerialFusionTest, FusionBeatsBothBaselines) {
+  HdMap map = StraightRoad();
+  Rng rng(36);
+  const Lanelet& lane = map.lanelets().begin()->second;
+
+  // Aerial estimate with a known lateral georeferencing error.
+  AerialRoadEstimate aerial =
+      DecodeAerialWithOffset(lane, 0.5, {0.8, -1.6});
+  double aerial_err = CenterlineError(aerial.centerline, lane.centerline);
+  EXPECT_GT(aerial_err, 1.0);  // The lateral geo error is visible.
+
+  // Ground observations from several GPS+IMU vehicles: each has its own
+  // constant bias, which averages out across the crowd.
+  std::vector<GroundObservation> ground;
+  for (int vehicle = 0; vehicle < 6; ++vehicle) {
+    GpsSensor gps({1.2, 1.0, 0.0}, rng);
+    for (double s = 0.0; s < lane.centerline.Length(); s += 8.0) {
+      Vec2 truth = lane.centerline.PointAt(s);
+      GroundObservation obs;
+      obs.estimated_pose = Pose2(gps.Measure(truth, rng), 0.0);
+      obs.detected_center_offset = rng.Normal(0.0, 0.1);
+      ground.push_back(obs);
+    }
+  }
+  LineString poses_only = MapFromPosesOnly(ground);
+  double poses_err = CenterlineError(poses_only, lane.centerline);
+
+  LineString fused = FuseAerialAndGround(aerial, ground);
+  double fused_err = CenterlineError(fused, lane.centerline);
+
+  EXPECT_LT(fused_err, poses_err);
+  EXPECT_LT(fused_err, aerial_err);
+  EXPECT_LT(fused_err, 0.8);
+}
+
+}  // namespace
+}  // namespace hdmap

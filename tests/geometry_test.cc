@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "geometry/aabb.h"
+#include "geometry/line_string.h"
+#include "geometry/polygon.h"
+#include "geometry/pose2.h"
+#include "geometry/pose3.h"
+#include "geometry/segment.h"
+#include "geometry/vec2.h"
+#include "geometry/vec3.h"
+
+namespace hdmap {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Vec2Test, Arithmetic) {
+  Vec2 a{1, 2}, b{3, -1};
+  EXPECT_EQ(a + b, (Vec2{4, 1}));
+  EXPECT_EQ(a - b, (Vec2{-2, 3}));
+  EXPECT_EQ(a * 2.0, (Vec2{2, 4}));
+  EXPECT_EQ(2.0 * a, (Vec2{2, 4}));
+  EXPECT_DOUBLE_EQ(a.Dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), -7.0);
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).Norm(), 5.0);
+}
+
+TEST(Vec2Test, RotationAndPerp) {
+  Vec2 x{1, 0};
+  Vec2 r = x.Rotated(kPi / 2);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+  EXPECT_EQ(x.Perp(), (Vec2{0, 1}));
+  EXPECT_NEAR((Vec2{1, 1}).Angle(), kPi / 4, 1e-12);
+}
+
+TEST(Vec2Test, NormalizedZeroIsZero) {
+  EXPECT_EQ(Vec2{}.Normalized(), (Vec2{0, 0}));
+  EXPECT_NEAR((Vec2{3, 4}).Normalized().Norm(), 1.0, 1e-12);
+}
+
+TEST(Vec3Test, CrossAndNorm) {
+  Vec3 x{1, 0, 0}, y{0, 1, 0};
+  EXPECT_EQ(x.Cross(y), (Vec3{0, 0, 1}));
+  EXPECT_DOUBLE_EQ((Vec3{1, 2, 2}).Norm(), 3.0);
+  EXPECT_EQ((Vec3{1, 2, 3}).xy(), (Vec2{1, 2}));
+}
+
+TEST(Pose2Test, TransformRoundTrip) {
+  Pose2 pose(10.0, -3.0, 0.7);
+  Vec2 local{2.5, 1.0};
+  Vec2 world = pose.TransformPoint(local);
+  Vec2 back = pose.InverseTransformPoint(world);
+  EXPECT_NEAR(back.x, local.x, 1e-12);
+  EXPECT_NEAR(back.y, local.y, 1e-12);
+}
+
+TEST(Pose2Test, ComposeWithInverseIsIdentity) {
+  Pose2 pose(4.0, 5.0, -1.2);
+  Pose2 ident = pose.Compose(pose.Inverse());
+  EXPECT_NEAR(ident.translation.x, 0.0, 1e-12);
+  EXPECT_NEAR(ident.translation.y, 0.0, 1e-12);
+  EXPECT_NEAR(ident.heading, 0.0, 1e-12);
+}
+
+TEST(Pose2Test, RelativeTo) {
+  Pose2 a(1.0, 1.0, 0.3);
+  Pose2 b(2.0, -1.0, 1.0);
+  Pose2 rel = a.RelativeTo(b);
+  Pose2 recomposed = b.Compose(rel);
+  EXPECT_NEAR(recomposed.translation.x, a.translation.x, 1e-12);
+  EXPECT_NEAR(recomposed.translation.y, a.translation.y, 1e-12);
+  EXPECT_NEAR(recomposed.heading, a.heading, 1e-12);
+}
+
+TEST(Pose3Test, YawOnlyMatchesPose2) {
+  Pose2 p2(3.0, 4.0, 0.6);
+  Pose3 p3 = Pose3::FromPose2(p2, 1.5);
+  Vec3 local{1.0, 2.0, 0.0};
+  Vec3 world = p3.TransformPoint(local);
+  Vec2 expected = p2.TransformPoint(local.xy());
+  EXPECT_NEAR(world.x, expected.x, 1e-12);
+  EXPECT_NEAR(world.y, expected.y, 1e-12);
+  EXPECT_NEAR(world.z, 1.5, 1e-12);
+}
+
+TEST(Pose3Test, PitchLiftsForwardPoint) {
+  // Positive pitch (nose down in Z-Y-X aero convention maps +x toward -z).
+  Pose3 p(Vec3{0, 0, 0}, 0.0, 0.3, 0.0);
+  Vec3 world = p.TransformPoint({1.0, 0.0, 0.0});
+  EXPECT_NEAR(world.z, -std::sin(0.3), 1e-12);
+  EXPECT_NEAR(world.x, std::cos(0.3), 1e-12);
+}
+
+TEST(SegmentTest, ClosestPointAndDistance) {
+  Segment s({0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(s.DistanceTo({5, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(s.DistanceTo({-3, 4}), 5.0);  // Clamped to endpoint.
+  EXPECT_EQ(s.ClosestPoint({5, 3}), (Vec2{5, 0}));
+}
+
+TEST(SegmentTest, Intersection) {
+  Segment a({0, 0}, {10, 10});
+  Segment b({0, 10}, {10, 0});
+  auto hit = a.Intersect(b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->x, 5.0, 1e-12);
+  EXPECT_NEAR(hit->y, 5.0, 1e-12);
+  EXPECT_FALSE(a.Intersect(Segment({20, 0}, {20, 10})).has_value());
+  // Parallel.
+  EXPECT_FALSE(a.Intersect(Segment({1, 0}, {11, 10})).has_value());
+}
+
+TEST(AabbTest, ExtendContainsIntersects) {
+  Aabb box;
+  EXPECT_TRUE(box.IsEmpty());
+  box.Extend({1, 1});
+  box.Extend({4, 3});
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_TRUE(box.Contains({2, 2}));
+  EXPECT_FALSE(box.Contains({0, 0}));
+  EXPECT_TRUE(box.Intersects(Aabb({3, 2}, {9, 9})));
+  EXPECT_FALSE(box.Intersects(Aabb({5, 5}, {9, 9})));
+  EXPECT_DOUBLE_EQ(box.Area(), 6.0);
+  EXPECT_DOUBLE_EQ(box.DistanceTo({1, -3}), 4.0);
+  EXPECT_DOUBLE_EQ(box.DistanceTo({2, 2}), 0.0);
+}
+
+LineString MakeL() {
+  // L-shaped: (0,0)->(10,0)->(10,10).
+  return LineString({{0, 0}, {10, 0}, {10, 10}});
+}
+
+TEST(LineStringTest, LengthAndPointAt) {
+  LineString ls = MakeL();
+  EXPECT_DOUBLE_EQ(ls.Length(), 20.0);
+  EXPECT_EQ(ls.PointAt(0.0), (Vec2{0, 0}));
+  EXPECT_EQ(ls.PointAt(5.0), (Vec2{5, 0}));
+  EXPECT_EQ(ls.PointAt(15.0), (Vec2{10, 5}));
+  EXPECT_EQ(ls.PointAt(99.0), (Vec2{10, 10}));  // Clamped.
+  EXPECT_EQ(ls.PointAt(-1.0), (Vec2{0, 0}));
+}
+
+TEST(LineStringTest, TangentAndHeading) {
+  LineString ls = MakeL();
+  EXPECT_NEAR(ls.HeadingAt(5.0), 0.0, 1e-12);
+  EXPECT_NEAR(ls.HeadingAt(15.0), kPi / 2, 1e-12);
+}
+
+TEST(LineStringTest, ProjectInterior) {
+  LineString ls = MakeL();
+  LineStringProjection p = ls.Project({5.0, 2.0});
+  EXPECT_NEAR(p.arc_length, 5.0, 1e-12);
+  EXPECT_NEAR(p.signed_offset, 2.0, 1e-12);  // Left of travel direction.
+  EXPECT_NEAR(p.distance, 2.0, 1e-12);
+  LineStringProjection q = ls.Project({5.0, -2.0});
+  EXPECT_NEAR(q.signed_offset, -2.0, 1e-12);
+}
+
+TEST(LineStringTest, ProjectBeyondEndClamps) {
+  LineString ls = MakeL();
+  LineStringProjection p = ls.Project({10.0, 15.0});
+  EXPECT_NEAR(p.arc_length, 20.0, 1e-12);
+  EXPECT_NEAR(p.distance, 5.0, 1e-12);
+}
+
+TEST(LineStringTest, ResampleKeepsShapeAndLength) {
+  LineString ls = MakeL();
+  LineString rs = ls.Resampled(1.0);
+  EXPECT_NEAR(rs.Length(), 20.0, 0.5);
+  EXPECT_GE(rs.size(), 19u);
+  for (const Vec2& p : rs.points()) {
+    EXPECT_LT(ls.DistanceTo(p), 0.2);
+  }
+}
+
+TEST(LineStringTest, SimplifyRemovesCollinear) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i <= 100; ++i) pts.push_back({i * 1.0, 0.0});
+  pts.push_back({100.0, 50.0});
+  LineString dense(pts);
+  LineString simple = dense.Simplified(0.01);
+  EXPECT_EQ(simple.size(), 3u);
+  EXPECT_NEAR(simple.Length(), dense.Length(), 1e-9);
+}
+
+TEST(LineStringTest, OffsetShiftsLeft) {
+  LineString ls({{0, 0}, {10, 0}});
+  LineString off = ls.Offset(2.0);
+  EXPECT_NEAR(off[0].y, 2.0, 1e-12);
+  EXPECT_NEAR(off[1].y, 2.0, 1e-12);
+  LineString neg = ls.Offset(-1.5);
+  EXPECT_NEAR(neg[0].y, -1.5, 1e-12);
+}
+
+TEST(LineStringTest, ReversedFlipsOrder) {
+  LineString ls = MakeL();
+  LineString rev = ls.Reversed();
+  EXPECT_EQ(rev.front(), ls.back());
+  EXPECT_EQ(rev.back(), ls.front());
+  EXPECT_DOUBLE_EQ(rev.Length(), ls.Length());
+}
+
+TEST(LineStringTest, CurvatureOfCircleApproximation) {
+  // Sampled circle of radius 50: curvature ~ 1/50.
+  std::vector<Vec2> pts;
+  for (int i = 0; i <= 90; ++i) {
+    double a = DegToRad(static_cast<double>(i));
+    pts.push_back({50.0 * std::cos(a), 50.0 * std::sin(a)});
+  }
+  LineString arc(pts);
+  EXPECT_NEAR(arc.CurvatureAt(arc.Length() / 2), 1.0 / 50.0, 2e-3);
+}
+
+TEST(LineStringTest, AppendMaintainsArcLength) {
+  LineString ls;
+  ls.Append({0, 0});
+  ls.Append({3, 4});
+  ls.Append({3, 10});
+  EXPECT_DOUBLE_EQ(ls.Length(), 11.0);
+}
+
+TEST(PolygonTest, AreaCentroidContains) {
+  Polygon square({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  EXPECT_DOUBLE_EQ(square.Area(), 16.0);
+  EXPECT_DOUBLE_EQ(square.SignedArea(), 16.0);  // CCW.
+  Vec2 c = square.Centroid();
+  EXPECT_NEAR(c.x, 2.0, 1e-12);
+  EXPECT_NEAR(c.y, 2.0, 1e-12);
+  EXPECT_TRUE(square.Contains({1, 1}));
+  EXPECT_FALSE(square.Contains({5, 5}));
+  EXPECT_DOUBLE_EQ(square.BoundaryDistanceTo({2, -3}), 3.0);
+}
+
+TEST(PolygonTest, ClockwiseHasNegativeSignedArea) {
+  Polygon cw({{0, 0}, {0, 4}, {4, 4}, {4, 0}});
+  EXPECT_LT(cw.SignedArea(), 0.0);
+  EXPECT_DOUBLE_EQ(cw.Area(), 16.0);
+}
+
+TEST(PolygonTest, ConvexHull) {
+  std::vector<Vec2> pts = {{0, 0}, {4, 0}, {4, 4}, {0, 4},
+                           {2, 2}, {1, 1}, {3, 2}};
+  Polygon hull = ConvexHull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_DOUBLE_EQ(hull.Area(), 16.0);
+}
+
+}  // namespace
+}  // namespace hdmap

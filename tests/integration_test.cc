@@ -1,0 +1,183 @@
+// End-to-end integration tests over the umbrella header: the full
+// pipelines the examples demonstrate, with assertions.
+
+#include <gtest/gtest.h>
+
+#include "hdmap.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+TEST(IntegrationTest, UmbrellaHeaderCompilesAndLinks) {
+  // Touch one symbol from several modules to keep the include honest.
+  Rng rng(1);
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Vec2(1, 2).x, 1.0);
+  HdMap map;
+  EXPECT_EQ(map.NumElements(), 0u);
+}
+
+TEST(IntegrationTest, PlanDriveLocalizeLoop) {
+  Rng rng(51);
+  TownOptions topt;
+  topt.grid_rows = 3;
+  topt.grid_cols = 3;
+  auto town = GenerateTown(topt, rng);
+  ASSERT_TRUE(town.ok());
+  const HdMap& map = *town;
+
+  // Plan.
+  RoutingGraph graph = RoutingGraph::Build(map);
+  ElementId from = kInvalidId, to = kInvalidId;
+  double best_d = 0.0;
+  Vec2 from_pos;
+  for (const auto& [id, ll] : map.lanelets()) {
+    if (ll.Length() < 50.0) continue;
+    if (from == kInvalidId) {
+      from = id;
+      from_pos = ll.centerline.front();
+    } else if (ll.centerline.front().DistanceTo(from_pos) > best_d) {
+      best_d = ll.centerline.front().DistanceTo(from_pos);
+      to = id;
+    }
+  }
+  auto route = PlanRoute(graph, from, to, RouteAlgorithm::kBhps);
+  ASSERT_TRUE(route.ok());
+
+  // Drive + localize.
+  auto trajectory = DriveRoute(map, route->lanelets, {});
+  ASSERT_TRUE(trajectory.ok());
+  ASSERT_GT(trajectory->size(), 50u);
+  GpsSensor gps({1.5, 1.0, 0.0}, rng);
+  OdometrySensor odo({});
+  LandmarkDetector detector({});
+  EkfLocalizer ekf(&map, {});
+  ekf.Init((*trajectory)[0].pose, 0.5, 0.02);
+  RunningStats gps_err, ekf_err;
+  for (size_t i = 1; i < trajectory->size(); ++i) {
+    auto delta = odo.Measure((*trajectory)[i - 1].pose,
+                             (*trajectory)[i].pose, rng);
+    ekf.Predict(delta.distance, delta.heading_change);
+    Vec2 fix = gps.Measure((*trajectory)[i].pose.translation, rng);
+    ekf.UpdateGps(fix);
+    ekf.UpdateLandmarks(detector.Detect(map, (*trajectory)[i].pose, rng));
+    if (i > 30) {
+      gps_err.Add(fix.DistanceTo((*trajectory)[i].pose.translation));
+      ekf_err.Add(ekf.estimate().translation.DistanceTo(
+          (*trajectory)[i].pose.translation));
+    }
+  }
+  EXPECT_LT(ekf_err.mean(), gps_err.mean());
+  EXPECT_LT(ekf_err.mean(), 1.0);
+
+  // 6-DoF completion works wherever the drive ended.
+  Pose3 full = CompleteTo6Dof(map, ekf.estimate());
+  EXPECT_NEAR(full.yaw, ekf.estimate().heading, 1e-9);
+}
+
+TEST(IntegrationTest, DetectPatchBroadcastApplyLoop) {
+  Rng rng(52);
+  HdMap published = StraightRoad(1200.0, 60.0);
+  HdMap world = published;
+  ChangeInjectorOptions copt;
+  copt.landmark_add_prob = 0.15;
+  copt.landmark_remove_prob = 0.15;
+  auto events = InjectChanges(copt, &world, rng);
+  ASSERT_GT(events.size(), 0u);
+
+  // Detect with SLAMCU.
+  LandmarkDetector::Options det_opt;
+  det_opt.detection_prob = 0.95;
+  det_opt.clutter_rate = 0.01;
+  LandmarkDetector detector(det_opt);
+  Slamcu slamcu(&published, {});
+  for (int pass = 0; pass < 4; ++pass) {
+    for (double x = 0.0; x < 1200.0; x += 5.0) {
+      Pose2 truth(x, -1.75, 0.0);
+      slamcu.ProcessFrame(truth, detector.Detect(world, truth, rng));
+    }
+  }
+  MapPatch patch = slamcu.BuildPatch();
+  ASSERT_FALSE(patch.IsEmpty());
+
+  // Broadcast: serialize, transmit, decode, apply.
+  std::string wire = SerializePatch(patch);
+  EXPECT_GT(wire.size(), 10u);
+  auto decoded = DeserializePatch(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->NumChanges(), patch.NumChanges());
+  ASSERT_TRUE(ApplyPatch(*decoded, &published).ok());
+
+  // The published map now reflects most injected changes.
+  int captured = 0, total = 0;
+  for (const auto& ev : events) {
+    if (ev.type == ChangeType::kLandmarkAdded) {
+      ++total;
+      if (!published.LandmarksNear(ev.new_position.xy(), 2.0).empty()) {
+        ++captured;
+      }
+    } else if (ev.type == ChangeType::kLandmarkRemoved) {
+      ++total;
+      if (published.FindLandmark(ev.element_id) == nullptr) ++captured;
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GE(captured, (total * 2) / 3);
+}
+
+TEST(IntegrationTest, PatchSerializationRoundTrip) {
+  MapPatch patch;
+  Landmark lm;
+  lm.id = 42;
+  lm.type = LandmarkType::kTrafficLight;
+  lm.position = {1.5, -2.5, 5.0};
+  lm.subtype = "3_state";
+  patch.added_landmarks.push_back(lm);
+  patch.removed_landmarks = {7, 9};
+  patch.moved_landmarks.push_back({11, {3.0, 4.0, 2.0}});
+  LineFeature lf;
+  lf.id = 100;
+  lf.type = LineType::kDashedLaneMarking;
+  lf.geometry = LineString({{0, 0}, {10, 0}, {20, 1}});
+  patch.updated_line_features.push_back(lf);
+
+  auto decoded = DeserializePatch(SerializePatch(patch));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->added_landmarks.size(), 1u);
+  EXPECT_EQ(decoded->added_landmarks[0].position, lm.position);
+  EXPECT_EQ(decoded->added_landmarks[0].subtype, "3_state");
+  EXPECT_EQ(decoded->removed_landmarks, patch.removed_landmarks);
+  ASSERT_EQ(decoded->moved_landmarks.size(), 1u);
+  EXPECT_EQ(decoded->moved_landmarks[0].id, 11);
+  ASSERT_EQ(decoded->updated_line_features.size(), 1u);
+  EXPECT_EQ(decoded->updated_line_features[0].geometry.size(), 3u);
+
+  EXPECT_FALSE(DeserializePatch("garbage").ok());
+  std::string wire = SerializePatch(patch);
+  EXPECT_FALSE(DeserializePatch(wire.substr(0, wire.size() / 2)).ok());
+}
+
+TEST(IntegrationTest, GenerativeModelRoundTrip) {
+  // Extract stats from a town, generate a new map, and run the full
+  // query/route/serialize stack on the generated map.
+  HdMap example = SmallTownWorld(53, 3, 3);
+  auto stats = ExtractTopologyStats(example);
+  ASSERT_TRUE(stats.ok());
+  Rng rng(54);
+  auto generated = GenerateFromStats(*stats, {}, rng);
+  ASSERT_TRUE(generated.ok());
+  EXPECT_TRUE(generated->Validate().ok());
+
+  auto match = generated->MatchToLane(
+      generated->lanelets().begin()->second.centerline.PointAt(5.0));
+  EXPECT_TRUE(match.ok());
+
+  std::string blob = SerializeMap(*generated);
+  auto restored = DeserializeMap(blob);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->NumElements(), generated->NumElements());
+}
+
+}  // namespace
+}  // namespace hdmap

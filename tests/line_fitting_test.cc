@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geometry/line_fitting.h"
+
+namespace hdmap {
+namespace {
+
+TEST(LeastSquaresTest, ExactHorizontalLine) {
+  std::vector<Vec2> pts = {{0, 2}, {1, 2}, {2, 2}, {5, 2}};
+  auto line = FitLineLeastSquares(pts);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_NEAR(std::abs(line->normal.y), 1.0, 1e-9);
+  EXPECT_NEAR(line->DistanceTo({3.0, 2.0}), 0.0, 1e-9);
+  EXPECT_NEAR(line->DistanceTo({3.0, 5.0}), 3.0, 1e-9);
+}
+
+TEST(LeastSquaresTest, ExactVerticalLine) {
+  std::vector<Vec2> pts = {{4, 0}, {4, 1}, {4, -3}};
+  auto line = FitLineLeastSquares(pts);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_NEAR(std::abs(line->normal.x), 1.0, 1e-9);
+  EXPECT_NEAR(line->DistanceTo({4.0, 100.0}), 0.0, 1e-9);
+}
+
+TEST(LeastSquaresTest, DiagonalWithNoise) {
+  Rng rng(1);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 200; ++i) {
+    double t = rng.Uniform(0, 10);
+    Vec2 on_line{t, t};  // y = x.
+    Vec2 normal{-std::numbers::sqrt2 / 2, std::numbers::sqrt2 / 2};
+    pts.push_back(on_line + normal * rng.Normal(0.0, 0.05));
+  }
+  auto line = FitLineLeastSquares(pts);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_NEAR(line->DistanceTo({5.0, 5.0}), 0.0, 0.05);
+  EXPECT_NEAR(line->DistanceTo({0.0, 0.0}), 0.0, 0.05);
+}
+
+TEST(LeastSquaresTest, TooFewPoints) {
+  EXPECT_FALSE(FitLineLeastSquares({{1, 1}}).has_value());
+  EXPECT_FALSE(FitLineLeastSquares({}).has_value());
+}
+
+TEST(RansacTest, RobustToOutliers) {
+  Rng rng(2);
+  std::vector<Vec2> pts;
+  // 60 inliers on y = 1.
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({rng.Uniform(0, 20), 1.0 + rng.Normal(0.0, 0.03)});
+  }
+  // 40 gross outliers.
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.Uniform(0, 20), rng.Uniform(3, 20)});
+  }
+  RansacOptions opt;
+  opt.max_iterations = 200;
+  opt.inlier_threshold = 0.12;
+  opt.min_inliers = 20;
+  auto result = FitLineRansac(pts, opt, rng);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GE(result->inliers.size(), 50u);
+  EXPECT_NEAR(result->line.DistanceTo({10.0, 1.0}), 0.0, 0.08);
+  // A least-squares fit over everything would be pulled far off.
+  auto naive = FitLineLeastSquares(pts);
+  ASSERT_TRUE(naive.has_value());
+  EXPECT_GT(naive->DistanceTo({10.0, 1.0}),
+            result->line.DistanceTo({10.0, 1.0}));
+}
+
+TEST(RansacTest, FailsBelowMinInliers) {
+  Rng rng(3);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  RansacOptions opt;
+  opt.inlier_threshold = 0.01;
+  opt.min_inliers = 25;
+  EXPECT_FALSE(FitLineRansac(pts, opt, rng).has_value());
+}
+
+TEST(HoughTest, FindsTwoParallelLines) {
+  Rng rng(4);
+  std::vector<Vec2> pts;
+  // Two lane markings: y = -1.75 and y = 1.75, x in [-10, 10].
+  for (int i = 0; i < 80; ++i) {
+    pts.push_back({rng.Uniform(-10, 10), -1.75 + rng.Normal(0.0, 0.03)});
+    pts.push_back({rng.Uniform(-10, 10), 1.75 + rng.Normal(0.0, 0.03)});
+  }
+  HoughOptions opt;
+  opt.min_votes = 30;
+  opt.max_peaks = 4;
+  auto peaks = HoughLines(pts, opt);
+  ASSERT_GE(peaks.size(), 2u);
+  // The two strongest peaks should be the markings at |rho| ~ 1.75 with
+  // near-vertical normals (theta ~ pi/2).
+  double rho0 = peaks[0].rho;
+  double rho1 = peaks[1].rho;
+  EXPECT_NEAR(std::abs(rho0), 1.75, 0.3);
+  EXPECT_NEAR(std::abs(rho1), 1.75, 0.3);
+  EXPECT_GT(std::abs(rho0 - rho1), 2.0);  // Distinct lines.
+}
+
+TEST(HoughTest, EmptyInput) {
+  EXPECT_TRUE(HoughLines({}, HoughOptions{}).empty());
+}
+
+TEST(HoughTest, PeakToLineConsistency) {
+  HoughPeak peak;
+  peak.rho = 2.0;
+  peak.theta = std::numbers::pi / 2;  // Normal points +y: line y = 2.
+  Line l = peak.ToLine();
+  EXPECT_NEAR(l.DistanceTo({5.0, 2.0}), 0.0, 1e-9);
+  EXPECT_NEAR(l.DistanceTo({5.0, 0.0}), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hdmap

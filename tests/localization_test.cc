@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+#include "localization/ekf_localizer.h"
+#include "localization/lane_matcher.h"
+#include "localization/marking_localizer.h"
+#include "localization/particle_filter.h"
+#include "localization/raster_localizer.h"
+#include "localization/triangulation.h"
+#include "sim/sensors.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+TEST(ParticleFilterTest, InitCentersOnPrior) {
+  Rng rng(1);
+  ParticleFilter pf;
+  pf.Init(Pose2(10, 5, 0.3), 0.5, 0.05, rng);
+  Pose2 est = pf.Estimate();
+  EXPECT_NEAR(est.translation.x, 10.0, 0.2);
+  EXPECT_NEAR(est.translation.y, 5.0, 0.2);
+  EXPECT_NEAR(est.heading, 0.3, 0.05);
+  EXPECT_GT(pf.EffectiveSampleSize(), 100.0);
+}
+
+TEST(ParticleFilterTest, PredictTranslatesBelief) {
+  Rng rng(2);
+  ParticleFilter pf;
+  pf.Init(Pose2(0, 0, 0), 0.1, 0.01, rng);
+  for (int i = 0; i < 10; ++i) pf.Predict(1.0, 0.0, rng);
+  EXPECT_NEAR(pf.Estimate().translation.x, 10.0, 0.5);
+  // Dead reckoning grows the spread.
+  EXPECT_GT(pf.PositionSpread(), 0.05);
+}
+
+TEST(ParticleFilterTest, UpdateConcentratesOnLikelihoodPeak) {
+  Rng rng(3);
+  ParticleFilter pf;
+  pf.Init(Pose2(0, 0, 0), 2.0, 0.1, rng);
+  Vec2 target{1.0, -0.5};
+  for (int i = 0; i < 5; ++i) {
+    pf.Update(
+        [&](const Pose2& p) {
+          double d2 = p.translation.SquaredDistanceTo(target);
+          return std::exp(-d2 / 0.08);
+        },
+        rng);
+  }
+  EXPECT_LT(pf.Estimate().translation.DistanceTo(target), 0.5);
+  EXPECT_LT(pf.PositionSpread(), 0.5);
+}
+
+TEST(MarkingLocalizerTest, TracksDriveBetterThanDeadReckoning) {
+  HdMap map = StraightRoad();
+  Rng rng(4);
+  MarkingScanner scanner({});
+  OdometrySensor odo({});
+
+  MarkingLocalizer::Options opt;
+  opt.filter.num_particles = 200;
+  MarkingLocalizer localizer(&map, opt);
+
+  Pose2 truth(20.0, -1.75, 0.0);
+  localizer.Init(Pose2(truth.translation + Vec2{1.0, 0.8}, 0.02), 1.0, 0.05,
+                 rng);
+
+  Pose2 dead_reckon = truth;  // Perfect start, odometry only.
+  RunningStats loc_err, dr_err;
+  Pose2 prev_truth = truth;
+  for (int step = 0; step < 120; ++step) {
+    Pose2 next_truth(truth.translation + Vec2{1.0, 0.0}, 0.0);
+    auto delta = odo.Measure(truth, next_truth, rng);
+    truth = next_truth;
+    localizer.Predict(delta.distance, delta.heading_change, rng);
+    double mid = dead_reckon.heading + delta.heading_change / 2;
+    dead_reckon =
+        Pose2(dead_reckon.translation +
+                  Vec2{std::cos(mid), std::sin(mid)} * delta.distance,
+              dead_reckon.heading + delta.heading_change);
+    auto scan = scanner.Scan(map, truth, rng);
+    localizer.Update(scan, rng);
+    if (step > 20) {
+      loc_err.Add(
+          localizer.Estimate().translation.DistanceTo(truth.translation));
+      dr_err.Add(dead_reckon.translation.DistanceTo(truth.translation));
+    }
+    prev_truth = truth;
+  }
+  (void)prev_truth;
+  // Lateral correction is strong (markings constrain y); overall error
+  // must be clearly bounded and the initial offset corrected.
+  EXPECT_LT(loc_err.mean(), 1.0);
+  EXPECT_GT(localizer.last_inlier_ratio(), 0.6);
+}
+
+TEST(MarkingLocalizerTest, LateralErrorIsLaneLevel) {
+  HdMap map = StraightRoad();
+  Rng rng(5);
+  MarkingScanner scanner({});
+  MarkingLocalizer::Options opt;
+  opt.filter.num_particles = 200;
+  MarkingLocalizer localizer(&map, opt);
+  Pose2 truth(50.0, -1.75, 0.0);
+  localizer.Init(Pose2(truth.translation + Vec2{0.5, 1.2}, 0.0), 1.0, 0.03,
+                 rng);
+  RunningStats lat_err;
+  for (int step = 0; step < 60; ++step) {
+    Pose2 next(truth.translation + Vec2{1.0, 0.0}, 0.0);
+    localizer.Predict(1.0, 0.0, rng);
+    truth = next;
+    localizer.Update(scanner.Scan(map, truth, rng), rng);
+    if (step > 15) {
+      lat_err.Add(std::abs(localizer.Estimate().translation.y -
+                           truth.translation.y));
+    }
+  }
+  EXPECT_LT(lat_err.mean(), 0.35);  // Sub-lane-width accuracy.
+}
+
+TEST(EkfLocalizerTest, CovarianceGrowsOnPredictShrinksOnUpdate) {
+  HdMap map = StraightRoad();
+  EkfLocalizer ekf(&map, {});
+  ekf.Init(Pose2(10, -1.75, 0), 0.5, 0.05);
+  double sigma0 = ekf.PositionSigma();
+  for (int i = 0; i < 20; ++i) ekf.Predict(1.0, 0.0);
+  double sigma_pred = ekf.PositionSigma();
+  EXPECT_GT(sigma_pred, sigma0);
+  ASSERT_TRUE(ekf.UpdateGps(ekf.estimate().translation + Vec2{0.3, -0.2}));
+  EXPECT_LT(ekf.PositionSigma(), sigma_pred);
+}
+
+TEST(EkfLocalizerTest, GateRejectsGrossOutlierFix) {
+  HdMap map = StraightRoad();
+  EkfLocalizer ekf(&map, {});
+  ekf.Init(Pose2(10, -1.75, 0), 0.5, 0.05);
+  EXPECT_FALSE(ekf.UpdateGps({200.0, 100.0}));
+  // Estimate unchanged by the rejected fix.
+  EXPECT_NEAR(ekf.estimate().translation.x, 10.0, 1e-9);
+}
+
+TEST(EkfLocalizerTest, FullFusionTracksDrive) {
+  HdMap map = StraightRoad();
+  Rng rng(6);
+  GpsSensor gps({1.5, 0.8, 0.0}, rng);
+  OdometrySensor odo({});
+  LandmarkDetector detector({});
+  EkfLocalizer ekf(&map, {});
+  Pose2 truth(10.0, -1.75, 0.0);
+  ekf.Init(truth, 0.5, 0.02);
+  RunningStats err, gps_err;
+  for (int step = 0; step < 150; ++step) {
+    Pose2 next(truth.translation + Vec2{1.0, 0.0}, 0.0);
+    auto delta = odo.Measure(truth, next, rng);
+    truth = next;
+    ekf.Predict(delta.distance, delta.heading_change);
+    Vec2 fix = gps.Measure(truth.translation, rng);
+    ekf.UpdateGps(fix);
+    ekf.UpdateLandmarks(detector.Detect(map, truth, rng));
+    if (step > 30) {
+      err.Add(ekf.estimate().translation.DistanceTo(truth.translation));
+      gps_err.Add(fix.DistanceTo(truth.translation));
+    }
+  }
+  EXPECT_LT(err.mean(), gps_err.mean());
+  EXPECT_LT(err.mean(), 1.0);
+}
+
+TEST(EkfLocalizerTest, BearingOnlyUpdatesBoundDrift) {
+  // MLVHM-style monocular mode: bearings to mapped signs, no ranges.
+  HdMap map = StraightRoad(800.0, 40.0);
+  Rng rng(66);
+  OdometrySensor odo({});
+  LandmarkDetector::Options det_opt;
+  det_opt.clutter_rate = 0.0;
+  LandmarkDetector detector(det_opt);
+  EkfLocalizer with_bearings(&map, {});
+  EkfLocalizer odom_only(&map, {});
+  Pose2 truth(10.0, -1.75, 0.0);
+  with_bearings.Init(truth, 0.3, 0.02);
+  odom_only.Init(truth, 0.3, 0.02);
+  RunningStats bearing_err, odom_err;
+  for (int step = 0; step < 300; ++step) {
+    Pose2 next(truth.translation + Vec2{1.5, 0.0}, 0.0);
+    auto delta = odo.Measure(truth, next, rng);
+    truth = next;
+    with_bearings.Predict(delta.distance, delta.heading_change);
+    odom_only.Predict(delta.distance, delta.heading_change);
+    with_bearings.UpdateLandmarkBearings(detector.Detect(map, truth, rng));
+    if (step > 100) {
+      bearing_err.Add(with_bearings.estimate().translation.DistanceTo(
+          truth.translation));
+      odom_err.Add(
+          odom_only.estimate().translation.DistanceTo(truth.translation));
+    }
+  }
+  // Bearings alone (no range) still bound the drift that pure odometry
+  // accumulates.
+  EXPECT_LT(bearing_err.mean(), odom_err.mean());
+  EXPECT_LT(bearing_err.mean(), 2.0);
+}
+
+TEST(TriangulationTest, ExactRangesRecoverPosition) {
+  Vec2 truth{5.0, 7.0};
+  std::vector<RangeObservation> obs;
+  for (Vec2 lm : {Vec2{0, 0}, Vec2{10, 0}, Vec2{0, 12}, Vec2{14, 9}}) {
+    obs.push_back({lm, truth.DistanceTo(lm)});
+  }
+  auto fix = TriangulatePosition(obs);
+  ASSERT_TRUE(fix.ok());
+  EXPECT_NEAR(fix->x, truth.x, 1e-6);
+  EXPECT_NEAR(fix->y, truth.y, 1e-6);
+}
+
+TEST(TriangulationTest, NoisyRangesStayClose) {
+  Rng rng(7);
+  Vec2 truth{3.0, -2.0};
+  RunningStats err;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<RangeObservation> obs;
+    for (Vec2 lm : {Vec2{-10, 0}, Vec2{10, 3}, Vec2{0, 12}, Vec2{5, -9}}) {
+      obs.push_back({lm, truth.DistanceTo(lm) + rng.Normal(0.0, 0.1)});
+    }
+    auto fix = TriangulatePosition(obs);
+    ASSERT_TRUE(fix.ok());
+    err.Add(fix->DistanceTo(truth));
+  }
+  EXPECT_LT(err.mean(), 0.25);
+}
+
+TEST(TriangulationTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(TriangulatePosition({}).ok());
+  EXPECT_FALSE(
+      TriangulatePosition({{{0, 0}, 1.0}, {{1, 0}, 1.0}}).ok());
+  // Collinear landmarks.
+  auto result = TriangulatePosition(
+      {{{0, 0}, 5.0}, {{1, 0}, 4.0}, {{2, 0}, 3.0}});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GeometricAnalysisTest, MoreFeaturesReduceError) {
+  Vec2 vehicle{0, 0};
+  std::vector<Vec2> few = {{20, 0}, {0, 20}, {-20, -5}};
+  std::vector<Vec2> many = few;
+  many.push_back({15, 15});
+  many.push_back({-10, 18});
+  many.push_back({18, -12});
+  double sigma_few = PredictedPositionSigma(vehicle, few, 0.3);
+  double sigma_many = PredictedPositionSigma(vehicle, many, 0.3);
+  EXPECT_LT(sigma_many, sigma_few);
+}
+
+TEST(GeometricAnalysisTest, CloserFeaturesReduceError) {
+  Vec2 vehicle{0, 0};
+  auto ring = [&](double radius) {
+    std::vector<Vec2> lms;
+    for (int i = 0; i < 5; ++i) {
+      double a = 2.0 * std::numbers::pi * i / 5;
+      lms.push_back({radius * std::cos(a), radius * std::sin(a)});
+    }
+    return lms;
+  };
+  double near_sigma = PredictedPositionSigma(vehicle, ring(10.0), 0.3);
+  double far_sigma = PredictedPositionSigma(vehicle, ring(60.0), 0.3);
+  EXPECT_LT(near_sigma, far_sigma);
+}
+
+TEST(GeometricAnalysisTest, DegenerateGeometryIsInfinite) {
+  EXPECT_TRUE(std::isinf(
+      PredictedPositionSigma({0, 0}, {{1, 0}, {2, 0}}, 0.3)));
+  // Vehicle collinear with all landmarks: ranges only constrain one axis.
+  EXPECT_TRUE(std::isinf(
+      PredictedPositionSigma({0, 0}, {{1, 0}, {2, 0}, {3, 0}}, 0.3)));
+}
+
+TEST(LaneMatcherTest, IdentifiesCorrectLaneWithIntegrity) {
+  HdMap map = StraightRoad();
+  LaneMatcher matcher(&map, {});
+  // Drive in the forward lane (y = -1.75).
+  LaneMatcher::MatchResult result;
+  for (int i = 0; i < 20; ++i) {
+    result = matcher.Step({10.0 + i * 2.0, -1.75}, 0.0, 2.0);
+  }
+  const Lanelet* ll = map.FindLanelet(result.lanelet_id);
+  ASSERT_NE(ll, nullptr);
+  EXPECT_NEAR(ll->centerline.front().y, -1.75, 0.1);
+  EXPECT_TRUE(result.has_integrity);
+  EXPECT_GT(result.probability, 0.8);
+}
+
+TEST(LaneMatcherTest, HeadingDisambiguatesDirection) {
+  HdMap map = StraightRoad();
+  LaneMatcher matcher(&map, {});
+  // Fix exactly between the two lanes but heading along -x: the backward
+  // lane (y=+1.75, heading pi) must win.
+  LaneMatcher::MatchResult result;
+  for (int i = 0; i < 15; ++i) {
+    result = matcher.Step({500.0 - i * 2.0, 0.0}, std::numbers::pi, 2.0);
+  }
+  const Lanelet* ll = map.FindLanelet(result.lanelet_id);
+  ASSERT_NE(ll, nullptr);
+  EXPECT_NEAR(ll->centerline.front().y, 1.75, 0.1);
+}
+
+TEST(LaneMatcherTest, NoIntegrityWhenLost) {
+  HdMap map = StraightRoad();
+  LaneMatcher matcher(&map, {});
+  auto result = matcher.Step({5000.0, 5000.0}, 0.0, 0.0);
+  EXPECT_FALSE(result.has_integrity);
+  EXPECT_EQ(result.lanelet_id, kInvalidId);
+}
+
+TEST(RasterLocalizerTest, TracksDriveOnTownRaster) {
+  HdMap map = SmallTownWorld(8, 2, 2);
+  ASSERT_GT(map.lanelets().size(), 0u);
+  SemanticRaster raster = RasterizeMap(map, 0.25);
+  Rng rng(9);
+
+  // Drive along a lanelet.
+  const Lanelet* lane = nullptr;
+  for (const auto& [id, ll] : map.lanelets()) {
+    if (ll.Length() > 80.0) {
+      lane = &ll;
+      break;
+    }
+  }
+  ASSERT_NE(lane, nullptr);
+
+  RasterLocalizer::Options opt;
+  opt.filter.num_particles = 250;
+  RasterLocalizer localizer(&raster, opt);
+  Pose2 truth(lane->centerline.PointAt(5.0),
+              lane->centerline.HeadingAt(5.0));
+  localizer.Init(Pose2(truth.translation + Vec2{0.8, -0.6}, truth.heading),
+                 1.0, 0.05, rng);
+  RunningStats err;
+  for (int step = 0; step < 50; ++step) {
+    double s = 5.0 + step * 1.5;
+    if (s > lane->Length() - 2.0) break;
+    Pose2 next(lane->centerline.PointAt(s), lane->centerline.HeadingAt(s));
+    double dist = next.translation.DistanceTo(truth.translation);
+    double dh = AngleDiff(next.heading, truth.heading);
+    localizer.Predict(dist, dh, rng);
+    truth = next;
+    SemanticRaster patch =
+        BuildObservedPatch(raster, truth, 10.0, 0.25, 0.2, 0.002, rng);
+    localizer.Update(patch, rng);
+    if (step > 10) {
+      err.Add(localizer.Estimate().translation.DistanceTo(truth.translation));
+    }
+  }
+  EXPECT_GT(err.count(), 10u);
+  EXPECT_LT(Median({err.mean()}), 1.0);
+  EXPECT_LT(err.mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace hdmap

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+#include "maintenance/change_detector.h"
+#include "maintenance/crowd_sensing.h"
+#include "maintenance/incremental_fusion.h"
+#include "maintenance/slamcu.h"
+#include "sim/change_injector.h"
+#include "sim/sensors.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+TEST(SlamcuTest, DetectsInjectedSignChanges) {
+  HdMap mapped = StraightRoad(1000.0, 50.0);
+  HdMap world = mapped;
+  Rng rng(41);
+  ChangeInjectorOptions copt;
+  copt.landmark_add_prob = 0.15;
+  copt.landmark_remove_prob = 0.15;
+  copt.landmark_move_prob = 0.0;
+  auto events = InjectChanges(copt, &world, rng);
+  int true_adds = 0, true_removes = 0;
+  for (const auto& ev : events) {
+    if (ev.type == ChangeType::kLandmarkAdded) ++true_adds;
+    if (ev.type == ChangeType::kLandmarkRemoved) ++true_removes;
+  }
+  ASSERT_GT(true_adds + true_removes, 0);
+
+  LandmarkDetector::Options det_opt;
+  det_opt.detection_prob = 0.95;
+  det_opt.clutter_rate = 0.01;
+  LandmarkDetector detector(det_opt);
+  Slamcu slamcu(&mapped, {});
+  // Several passes over the road with good localization.
+  for (int pass = 0; pass < 4; ++pass) {
+    for (double x = 0.0; x < 1000.0; x += 5.0) {
+      Pose2 truth(x, -1.75, 0.0);
+      Pose2 estimated(truth.translation + Vec2{rng.Normal(0.0, 0.1),
+                                               rng.Normal(0.0, 0.1)},
+                      rng.Normal(0.0, 0.005));
+      slamcu.ProcessFrame(estimated, detector.Detect(world, truth, rng));
+    }
+  }
+
+  auto additions = slamcu.ConfirmedAdditions();
+  auto removals = slamcu.ConfirmedRemovals();
+  // Recall: most injected adds/removes are found.
+  int adds_found = 0;
+  for (const auto& ev : events) {
+    if (ev.type != ChangeType::kLandmarkAdded) continue;
+    for (const auto& track : additions) {
+      if (track.mean.DistanceTo(ev.new_position.xy()) < 2.0) {
+        ++adds_found;
+        break;
+      }
+    }
+  }
+  int removes_found = 0;
+  for (const auto& ev : events) {
+    if (ev.type != ChangeType::kLandmarkRemoved) continue;
+    for (ElementId id : removals) {
+      if (id == ev.element_id) {
+        ++removes_found;
+        break;
+      }
+    }
+  }
+  if (true_adds > 0) {
+    EXPECT_GE(adds_found, (true_adds * 2) / 3);
+  }
+  if (true_removes > 0) {
+    EXPECT_GE(removes_found, (true_removes * 2) / 3);
+  }
+  // Precision on additions: estimates lie near the injected positions.
+  RunningStats err;
+  for (const auto& track : additions) {
+    double best = 5.0;
+    for (const auto& ev : events) {
+      if (ev.type != ChangeType::kLandmarkAdded) continue;
+      best = std::min(best, track.mean.DistanceTo(ev.new_position.xy()));
+    }
+    err.Add(best);
+  }
+  if (err.count() > 0) {
+    EXPECT_LT(err.mean(), 1.5);
+  }
+  // The patch applies cleanly to the mapped map.
+  MapPatch patch = slamcu.BuildPatch();
+  EXPECT_EQ(patch.NumChanges(),
+            additions.size() + removals.size() +
+                slamcu.ConfirmedMoves().size());
+  HdMap updated = mapped;
+  EXPECT_TRUE(ApplyPatch(patch, &updated).ok());
+}
+
+TEST(SlamcuTest, NoChangesNoReport) {
+  HdMap mapped = StraightRoad();
+  Rng rng(42);
+  LandmarkDetector::Options det_opt;
+  det_opt.detection_prob = 0.95;
+  det_opt.clutter_rate = 0.0;
+  LandmarkDetector detector(det_opt);
+  Slamcu slamcu(&mapped, {});
+  for (double x = 0.0; x < 1000.0; x += 5.0) {
+    Pose2 truth(x, -1.75, 0.0);
+    slamcu.ProcessFrame(truth, detector.Detect(mapped, truth, rng));
+  }
+  EXPECT_TRUE(slamcu.ConfirmedAdditions().empty());
+  EXPECT_TRUE(slamcu.ConfirmedRemovals().empty());
+  EXPECT_TRUE(slamcu.BuildPatch().IsEmpty());
+}
+
+SectionFeatures MakeFeatures(bool changed, Rng& rng) {
+  SectionFeatures f;
+  if (changed) {
+    f.inlier_ratio = std::clamp(rng.Normal(0.55, 0.15), 0.0, 1.0);
+    f.mean_residual = std::max(0.0, rng.Normal(0.8, 0.3));
+    f.filter_spread = std::max(0.0, rng.Normal(1.2, 0.4));
+    f.gps_disagreement = std::max(0.0, rng.Normal(1.5, 0.6));
+  } else {
+    f.inlier_ratio = std::clamp(rng.Normal(0.9, 0.08), 0.0, 1.0);
+    f.mean_residual = std::max(0.0, rng.Normal(0.25, 0.12));
+    f.filter_spread = std::max(0.0, rng.Normal(0.5, 0.2));
+    f.gps_disagreement = std::max(0.0, rng.Normal(0.8, 0.4));
+  }
+  return f;
+}
+
+TEST(BoostedClassifierTest, LearnsSeparableProblem) {
+  Rng rng(43);
+  std::vector<LabeledSection> train;
+  for (int i = 0; i < 400; ++i) {
+    bool changed = i % 2 == 0;
+    train.push_back({MakeFeatures(changed, rng), changed});
+  }
+  BoostedStumpClassifier classifier;
+  classifier.Train(train, 25);
+  EXPECT_GT(classifier.stumps().size(), 3u);
+
+  BinaryConfusion confusion;
+  for (int i = 0; i < 400; ++i) {
+    bool changed = rng.Bernoulli(0.5);
+    confusion.Add(classifier.Predict(MakeFeatures(changed, rng)), changed);
+  }
+  EXPECT_GT(confusion.Accuracy(), 0.8);
+}
+
+TEST(BoostedClassifierTest, MultiTraversalBeatsSingle) {
+  Rng rng(44);
+  std::vector<LabeledSection> train;
+  for (int i = 0; i < 400; ++i) {
+    bool changed = i % 2 == 0;
+    train.push_back({MakeFeatures(changed, rng), changed});
+  }
+  BoostedStumpClassifier classifier;
+  classifier.Train(train, 25);
+
+  BinaryConfusion single, multi;
+  for (int trial = 0; trial < 300; ++trial) {
+    bool changed = rng.Bernoulli(0.5);
+    std::vector<SectionFeatures> traversals;
+    for (int t = 0; t < 15; ++t) {
+      traversals.push_back(MakeFeatures(changed, rng));
+    }
+    single.Add(classifier.Predict(traversals[0]), changed);
+    multi.Add(ClassifySectionMultiTraversal(classifier, traversals),
+              changed);
+  }
+  EXPECT_GT(multi.Sensitivity(), single.Sensitivity() - 0.02);
+  EXPECT_GT(multi.Accuracy(), single.Accuracy());
+  EXPECT_GT(multi.Sensitivity(), 0.9);
+}
+
+TEST(BoostedClassifierTest, EmptyTrainingIsSafe) {
+  BoostedStumpClassifier classifier;
+  classifier.Train({}, 10);
+  EXPECT_TRUE(classifier.stumps().empty());
+  EXPECT_EQ(classifier.Score(SectionFeatures{}), 0.0);
+}
+
+TEST(IncrementalFuserTest, ConvergesToMeasurements) {
+  IncrementalFuser fuser({});
+  fuser.AddElement(1, {10.0, 10.0});
+  Rng rng(45);
+  for (int i = 0; i < 30; ++i) {
+    fuser.Fuse({{10.5 + rng.Normal(0.0, 0.1), 10.5 + rng.Normal(0.0, 0.1)},
+                true,
+                static_cast<double>(i)});
+  }
+  const auto* e = fuser.Find(1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_LT(e->position.DistanceTo({10.5, 10.5}), 0.15);
+  EXPECT_GT(e->semantic_confidence, 0.9);
+  // Steady-state variance is bounded by the decay/measurement balance.
+  EXPECT_LT(e->variance, 0.2);
+}
+
+TEST(IncrementalFuserTest, TimeDecayAdaptsAfterChange) {
+  // Two fusers: one with decay, one without. The element moved 2 m after
+  // a long gap; the decayed estimate adapts faster.
+  IncrementalFuser::Options with_decay;
+  with_decay.decay_variance_per_day = 0.1;
+  IncrementalFuser::Options no_decay;
+  no_decay.decay_variance_per_day = 0.0;
+  IncrementalFuser a(with_decay), b(no_decay);
+  for (auto* fuser : {&a, &b}) {
+    fuser->AddElement(1, {0.0, 0.0});
+    for (int i = 0; i < 20; ++i) {
+      fuser->Fuse({{0.0, 0.0}, true, static_cast<double>(i) * 0.1});
+    }
+  }
+  // 100 days later, the world element sits at (2, 0).
+  for (int i = 0; i < 3; ++i) {
+    double day = 100.0 + i;
+    a.Fuse({{2.0, 0.0}, true, day});
+    b.Fuse({{2.0, 0.0}, true, day});
+  }
+  EXPECT_GT(a.Find(1)->position.x, b.Find(1)->position.x);
+  EXPECT_GT(a.Find(1)->position.x, 1.0);
+}
+
+TEST(IncrementalFuserTest, SemanticMismatchLowersConfidence) {
+  IncrementalFuser fuser({});
+  fuser.AddElement(1, {0, 0});
+  fuser.Fuse({{0, 0}, true, 0.0});
+  double before = fuser.Find(1)->semantic_confidence;
+  fuser.Fuse({{0, 0}, false, 1.0});
+  EXPECT_LT(fuser.Find(1)->semantic_confidence, before);
+}
+
+TEST(IncrementalFuserTest, FeedbackQueueRetriesAndDrops) {
+  IncrementalFuser::Options opt;
+  opt.match_radius = 2.0;
+  opt.max_feedback_attempts = 2;
+  IncrementalFuser fuser(opt);
+  fuser.AddElement(1, {0, 0});
+  // Far measurement: unmatched, queued.
+  fuser.Fuse({{50.0, 0.0}, true, 0.0});
+  EXPECT_EQ(fuser.feedback_queue_size(), 1u);
+  // A new element appears near the queued measurement: retry matches it.
+  fuser.AddElement(2, {49.5, 0.0});
+  fuser.RetryFeedbackQueue();
+  EXPECT_EQ(fuser.feedback_queue_size(), 0u);
+  EXPECT_LT(fuser.Find(2)->position.DistanceTo({50.0, 0.0}), 1.0);
+
+  // A hopeless measurement is dropped after max attempts.
+  fuser.Fuse({{500.0, 0.0}, true, 1.0});
+  fuser.RetryFeedbackQueue();
+  EXPECT_EQ(fuser.feedback_queue_size(), 1u);
+  fuser.RetryFeedbackQueue();
+  EXPECT_EQ(fuser.feedback_queue_size(), 0u);
+}
+
+TEST(CrowdSensingTest, DedupesAndThresholds) {
+  CrowdSensingAggregator::Options opt;
+  opt.min_reports = 3;
+  CrowdSensingAggregator aggregator(opt);
+  // 5 vehicles report the same new sign (slightly scattered).
+  for (int i = 0; i < 5; ++i) {
+    aggregator.Ingest({{100.0 + i * 0.3, 50.0}, true, kInvalidId, 64});
+  }
+  // A single spurious report elsewhere.
+  aggregator.Ingest({{300.0, 70.0}, true, kInvalidId, 64});
+  auto result = aggregator.Aggregate();
+  ASSERT_EQ(result.confirmed.size(), 1u);
+  EXPECT_NEAR(result.confirmed[0].position.x, 100.6, 0.5);
+  EXPECT_EQ(result.raw_upload_bytes, 6u * 64u);
+  EXPECT_LT(result.condensed_upload_bytes, result.raw_upload_bytes / 4);
+}
+
+TEST(CrowdSensingTest, RemovalEvidenceKeyedByMapId) {
+  CrowdSensingAggregator aggregator({});
+  for (int i = 0; i < 4; ++i) {
+    aggregator.Ingest({{10.0, 10.0}, false, 77, 64});
+  }
+  for (int i = 0; i < 2; ++i) {
+    aggregator.Ingest({{10.0, 10.0}, false, 88, 64});
+  }
+  auto result = aggregator.Aggregate();
+  ASSERT_EQ(result.confirmed.size(), 1u);
+  EXPECT_EQ(result.confirmed[0].map_id, 77);
+  EXPECT_FALSE(result.confirmed[0].is_addition);
+}
+
+TEST(CrowdSensingTest, PartitionsAcrossRsus) {
+  CrowdSensingAggregator::Options opt;
+  opt.rsu_cell_size = 100.0;
+  opt.min_reports = 2;
+  CrowdSensingAggregator aggregator(opt);
+  for (int i = 0; i < 3; ++i) {
+    aggregator.Ingest({{50.0, 50.0}, true, kInvalidId, 64});
+    aggregator.Ingest({{550.0, 50.0}, true, kInvalidId, 64});
+  }
+  auto result = aggregator.Aggregate();
+  EXPECT_EQ(result.num_rsus, 2u);
+  EXPECT_EQ(result.confirmed.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hdmap

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/routing_graph.h"
+#include "creation/map_generator.h"
+#include "planning/route_planner.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+TEST(TopologyStatsTest, ExtractsFromTown) {
+  HdMap town = SmallTownWorld(101, 4, 4);
+  auto stats = ExtractTopologyStats(town);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->num_nodes, 16u);
+  EXPECT_EQ(stats->num_segments, 24u);
+  EXPECT_NEAR(stats->mean_segment_length, 150.0, 1.0);
+  EXPECT_NEAR(stats->mean_lanes_per_direction, 1.0, 1e-9);
+  // PMF sums to 1; town corner nodes have degree 2, edges 3, interior 4.
+  double total = 0.0;
+  for (double p : stats->node_degree_pmf) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(stats->node_degree_pmf[2], 0.0);
+  EXPECT_GT(stats->node_degree_pmf[4], 0.0);
+  // Straight streets: near-zero curvature.
+  EXPECT_LT(stats->heading_change_stddev, 0.05);
+}
+
+TEST(TopologyStatsTest, FailsWithoutBundleLayer) {
+  HdMap bare = StraightRoad();
+  EXPECT_FALSE(ExtractTopologyStats(bare).ok());
+}
+
+TEST(MapGeneratorTest, GeneratedMapValidates) {
+  HdMap town = SmallTownWorld(102, 4, 4);
+  auto stats = ExtractTopologyStats(town);
+  ASSERT_TRUE(stats.ok());
+  Rng rng(5);
+  auto generated = GenerateFromStats(*stats, {}, rng);
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  EXPECT_TRUE(generated->Validate().ok())
+      << generated->Validate().ToString();
+  EXPECT_GT(generated->lanelets().size(), 20u);
+  EXPECT_GT(generated->lane_bundles().size(), 10u);
+  EXPECT_EQ(generated->map_nodes().size(), 25u);
+}
+
+TEST(MapGeneratorTest, PreservesScaleStatistics) {
+  HdMap town = SmallTownWorld(103, 4, 4);
+  auto stats = ExtractTopologyStats(town);
+  ASSERT_TRUE(stats.ok());
+  Rng rng(6);
+  auto generated = GenerateFromStats(*stats, {}, rng);
+  ASSERT_TRUE(generated.ok());
+  auto regenerated_stats = ExtractTopologyStats(*generated);
+  ASSERT_TRUE(regenerated_stats.ok());
+  // Segment length scale is preserved within the jitter budget.
+  EXPECT_NEAR(regenerated_stats->mean_segment_length,
+              stats->mean_segment_length,
+              0.25 * stats->mean_segment_length);
+  EXPECT_NEAR(regenerated_stats->mean_lanes_per_direction,
+              stats->mean_lanes_per_direction, 0.01);
+  // Mean degree within one unit of the example.
+  auto mean_degree = [](const MapTopologyStats& s) {
+    double m = 0.0;
+    for (size_t i = 0; i < s.node_degree_pmf.size(); ++i) {
+      m += static_cast<double>(i) * s.node_degree_pmf[i];
+    }
+    return m;
+  };
+  EXPECT_NEAR(mean_degree(*regenerated_stats), mean_degree(*stats), 1.0);
+}
+
+TEST(MapGeneratorTest, GeneratedMapIsRoutable) {
+  HdMap town = SmallTownWorld(104, 3, 3);
+  auto stats = ExtractTopologyStats(town);
+  ASSERT_TRUE(stats.ok());
+  Rng rng(7);
+  GeneratedMapOptions opt;
+  opt.grid_rows = 4;
+  opt.grid_cols = 4;
+  auto generated = GenerateFromStats(*stats, opt, rng);
+  ASSERT_TRUE(generated.ok());
+  RoutingGraph graph = RoutingGraph::Build(*generated);
+  // Many random pairs should route (spanning tree guarantees the global
+  // graph is connected; one-way lane topology may exclude a few).
+  std::vector<ElementId> ids;
+  for (const auto& [id, ll] : generated->lanelets()) {
+    if (ll.bundle_id != kInvalidId) ids.push_back(id);
+  }
+  ASSERT_GT(ids.size(), 10u);
+  int routable = 0, tried = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    ElementId from = ids[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int>(ids.size()) - 1))];
+    ElementId to = ids[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int>(ids.size()) - 1))];
+    if (from == to) continue;
+    ++tried;
+    if (PlanRoute(RoutingGraph::Build(*generated), from, to).ok()) {
+      ++routable;
+    }
+  }
+  EXPECT_GT(routable, tried / 2);
+}
+
+TEST(MapGeneratorTest, CurvyExampleYieldsCurvyOutput) {
+  HdMap town = SmallTownWorld(105, 3, 3);
+  auto stats = ExtractTopologyStats(town);
+  ASSERT_TRUE(stats.ok());
+  MapTopologyStats curvy = *stats;
+  curvy.heading_change_stddev = 0.06;
+  Rng rng(8);
+  auto straight = GenerateFromStats(*stats, {}, rng);
+  Rng rng2(8);
+  auto curved = GenerateFromStats(curvy, {}, rng2);
+  ASSERT_TRUE(straight.ok());
+  ASSERT_TRUE(curved.ok());
+  auto s1 = ExtractTopologyStats(*straight);
+  auto s2 = ExtractTopologyStats(*curved);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_GT(s2->heading_change_stddev, s1->heading_change_stddev);
+}
+
+TEST(MapGeneratorTest, RejectsDegenerateInputs) {
+  MapTopologyStats stats;
+  stats.mean_segment_length = 5.0;  // Too small.
+  Rng rng(9);
+  EXPECT_FALSE(GenerateFromStats(stats, {}, rng).ok());
+  stats.mean_segment_length = 150.0;
+  GeneratedMapOptions opt;
+  opt.grid_rows = 1;
+  EXPECT_FALSE(GenerateFromStats(stats, opt, rng).ok());
+}
+
+}  // namespace
+}  // namespace hdmap

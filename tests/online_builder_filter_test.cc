@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/raster_filter.h"
+#include "creation/online_map_builder.h"
+#include "sim/sensors.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+TEST(OnlineMapBuilderTest, BuildsLocalMapFromDrive) {
+  HdMap world = StraightRoad(400.0, 60.0);
+  Rng rng(111);
+  MarkingScanner scanner({});
+  LandmarkDetector detector({});
+  OnlineMapBuilder builder({});
+  for (double x = 10.0; x < 390.0; x += 4.0) {
+    Pose2 pose(x, -1.75, 0.0);
+    builder.IntegrateFrame(pose, scanner.Scan(world, pose, rng),
+                           detector.Detect(world, pose, rng));
+  }
+  EXPECT_GT(builder.num_frames(), 50u);
+  SemanticRaster built = builder.Build();
+  EXPECT_GT(built.NumOccupied(), 200u);
+
+  // Marking cells of the built map trace the true markings.
+  int marking_cells = 0, near_truth = 0;
+  for (int cy = 0; cy < built.height(); ++cy) {
+    for (int cx = 0; cx < built.width(); ++cx) {
+      if ((built.At(cx, cy) & kRasterLaneMarking) == 0) continue;
+      ++marking_cells;
+      Vec2 p = built.CellCenter(cx, cy);
+      double best = 10.0;
+      for (ElementId id : world.LineFeaturesInBox(Aabb::FromPoint(p, 3.0))) {
+        const LineFeature* lf = world.FindLineFeature(id);
+        if (lf == nullptr || lf->type == LineType::kVirtual) continue;
+        best = std::min(best, lf->geometry.DistanceTo(p));
+      }
+      if (best < 0.8) ++near_truth;
+    }
+  }
+  ASSERT_GT(marking_cells, 100);
+  EXPECT_GT(static_cast<double>(near_truth) / marking_cells, 0.85);
+
+  // IoU against the ground-truth raster over the same region.
+  SemanticRaster truth = RasterizeMapInExtent(
+      world, built.resolution(),
+      Aabb(built.origin(),
+           built.origin() + Vec2{built.width() * built.resolution(),
+                                 built.height() * built.resolution()}));
+  double iou = OnlineMapBuilder::Iou(built, truth);
+  EXPECT_GT(iou, 0.15);  // Sensor map is sparse vs the full GT raster.
+}
+
+TEST(OnlineMapBuilderTest, EvidenceThresholdSuppressesOneOffNoise) {
+  OnlineMapBuilder::Options opt;
+  opt.min_evidence = 3;
+  OnlineMapBuilder builder(opt);
+  MarkingPoint noise;
+  noise.position_vehicle = {5.0, 0.0};
+  noise.intensity = 0.9;
+  builder.IntegrateFrame(Pose2(0, 0, 0), {noise}, {});
+  EXPECT_EQ(builder.Build().NumOccupied(), 0u);
+  // Two more consistent observations cross the threshold.
+  builder.IntegrateFrame(Pose2(0, 0, 0), {noise}, {});
+  builder.IntegrateFrame(Pose2(0, 0, 0), {noise}, {});
+  EXPECT_EQ(builder.Build().NumOccupied(), 1u);
+}
+
+TEST(OnlineMapBuilderTest, EmptyBuilderYieldsEmptyRaster) {
+  OnlineMapBuilder builder({});
+  EXPECT_EQ(builder.Build().NumOccupied(), 0u);
+}
+
+TEST(WmofTest, RemovesSaltNoiseKeepsLines) {
+  SemanticRaster raster(Aabb({0, 0}, {20, 20}), 0.5);
+  // A solid horizontal line at y = 10.
+  raster.DrawLineString(LineString({{1, 10}, {19, 10}}),
+                        kRasterLaneMarking);
+  // Salt noise: isolated single cells.
+  raster.Set(5, 5, kRasterSign);
+  raster.Set(30, 8, kRasterSign);
+  raster.Set(12, 33, kRasterLight);
+
+  SemanticRaster filtered = WeightedModeFilter(raster);
+  // The noise cells vanish (weight below threshold)...
+  EXPECT_EQ(filtered.At(5, 5), 0);
+  EXPECT_EQ(filtered.At(30, 8), 0);
+  EXPECT_EQ(filtered.At(12, 33), 0);
+  // ...but the line survives (check its middle).
+  int lcx = 0, lcy = 0;
+  filtered.WorldToCell({10.0, 10.0}, &lcx, &lcy);
+  EXPECT_NE(filtered.At(lcx, lcy) & kRasterLaneMarking, 0);
+}
+
+TEST(WmofTest, UpsampleProducesFinerGridSameContent) {
+  SemanticRaster coarse(Aabb({0, 0}, {10, 10}), 1.0);
+  coarse.DrawLineString(LineString({{1, 5}, {9, 5}}), kRasterLaneMarking);
+  SemanticRaster fine = UpsampleModeFilter(coarse, 4);
+  EXPECT_EQ(fine.width(), coarse.width() * 4);
+  EXPECT_NEAR(fine.resolution(), 0.25, 1e-9);
+  // The upsampled marking still covers the line location.
+  EXPECT_NE(fine.Sample({5.0, 5.2}) & kRasterLaneMarking, 0);
+  // Far-away cells stay empty.
+  EXPECT_EQ(fine.Sample({5.0, 9.0}), 0);
+}
+
+TEST(WmofTest, FactorOneIsPlainFilter) {
+  SemanticRaster raster(Aabb({0, 0}, {5, 5}), 0.5);
+  raster.DrawLineString(LineString({{0.5, 2.5}, {4.5, 2.5}}),
+                        kRasterLaneMarking);
+  SemanticRaster a = WeightedModeFilter(raster);
+  SemanticRaster b = UpsampleModeFilter(raster, 1);
+  EXPECT_EQ(a.width(), b.width());
+  EXPECT_EQ(a.NumOccupied(), b.NumOccupied());
+}
+
+}  // namespace
+}  // namespace hdmap

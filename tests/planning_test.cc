@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "planning/frenet_planner.h"
+#include "planning/pcc.h"
+#include "planning/route_planner.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+class RoutePlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    map_ = SmallTownWorld(21, 4, 4);
+    ASSERT_GT(map_.lanelets().size(), 0u);
+    graph_ = RoutingGraph::Build(map_);
+    // Pick two far-apart lanelets that are both on streets (long ones).
+    for (const auto& [id, ll] : map_.lanelets()) {
+      if (ll.Length() < 50.0) continue;
+      if (from_ == kInvalidId) {
+        from_ = id;
+        from_pos_ = ll.centerline.front();
+      } else {
+        double d = ll.centerline.front().DistanceTo(from_pos_);
+        if (d > best_dist_) {
+          best_dist_ = d;
+          to_ = id;
+        }
+      }
+    }
+    ASSERT_NE(from_, kInvalidId);
+    ASSERT_NE(to_, kInvalidId);
+  }
+
+  HdMap map_;
+  RoutingGraph graph_;
+  ElementId from_ = kInvalidId;
+  ElementId to_ = kInvalidId;
+  Vec2 from_pos_;
+  double best_dist_ = 0.0;
+};
+
+TEST_F(RoutePlannerTest, AllAlgorithmsFindEquallyGoodRoutes) {
+  auto dijkstra = PlanRoute(graph_, from_, to_, RouteAlgorithm::kDijkstra);
+  auto astar = PlanRoute(graph_, from_, to_, RouteAlgorithm::kAStar);
+  auto bhps = PlanRoute(graph_, from_, to_, RouteAlgorithm::kBhps);
+  ASSERT_TRUE(dijkstra.ok()) << dijkstra.status().ToString();
+  ASSERT_TRUE(astar.ok());
+  ASSERT_TRUE(bhps.ok());
+  EXPECT_NEAR(astar->cost_seconds, dijkstra->cost_seconds, 1e-6);
+  EXPECT_NEAR(bhps->cost_seconds, dijkstra->cost_seconds, 1e-6);
+}
+
+TEST_F(RoutePlannerTest, RoutesAreTopologicallyConnected) {
+  auto route = PlanRoute(graph_, from_, to_, RouteAlgorithm::kAStar);
+  ASSERT_TRUE(route.ok());
+  ASSERT_GE(route->lanelets.size(), 2u);
+  EXPECT_EQ(route->lanelets.front(), from_);
+  EXPECT_EQ(route->lanelets.back(), to_);
+  for (size_t i = 1; i < route->lanelets.size(); ++i) {
+    const Lanelet* prev = map_.FindLanelet(route->lanelets[i - 1]);
+    ASSERT_NE(prev, nullptr);
+    ElementId cur = route->lanelets[i];
+    bool connected =
+        std::find(prev->successors.begin(), prev->successors.end(), cur) !=
+            prev->successors.end() ||
+        prev->left_neighbor == cur || prev->right_neighbor == cur;
+    EXPECT_TRUE(connected) << "hop " << i;
+  }
+}
+
+TEST_F(RoutePlannerTest, InformedSearchesExpandFewerNodes) {
+  auto dijkstra = PlanRoute(graph_, from_, to_, RouteAlgorithm::kDijkstra);
+  auto astar = PlanRoute(graph_, from_, to_, RouteAlgorithm::kAStar);
+  auto bhps = PlanRoute(graph_, from_, to_, RouteAlgorithm::kBhps);
+  ASSERT_TRUE(dijkstra.ok());
+  ASSERT_TRUE(astar.ok());
+  ASSERT_TRUE(bhps.ok());
+  EXPECT_LT(astar->nodes_expanded, dijkstra->nodes_expanded);
+  EXPECT_LT(bhps->nodes_expanded, dijkstra->nodes_expanded);
+}
+
+TEST_F(RoutePlannerTest, TrivialAndInvalidCases) {
+  auto self = PlanRoute(graph_, from_, from_);
+  ASSERT_TRUE(self.ok());
+  EXPECT_EQ(self->lanelets.size(), 1u);
+  EXPECT_EQ(self->cost_seconds, 0.0);
+  EXPECT_FALSE(PlanRoute(graph_, from_, 999999).ok());
+  EXPECT_FALSE(PlanRoute(graph_, 999999, to_).ok());
+}
+
+TEST(FrenetPlannerTest, PrefersCenterWithoutObstacles) {
+  LineString ref({{0, 0}, {100, 0}});
+  FrenetPlanner planner({});
+  auto paths = planner.Plan(ref, 0.0, 0.0, {});
+  ASSERT_TRUE(paths.has_value());
+  EXPECT_NEAR((*paths)[0].end_offset, 0.0, 1e-9);
+  EXPECT_TRUE((*paths)[0].collision_free);
+}
+
+TEST(FrenetPlannerTest, AvoidsObstacleAhead) {
+  LineString ref({{0, 0}, {100, 0}});
+  FrenetPlanner planner({});
+  // Obstacle late in the horizon so lateral transitions can develop.
+  std::vector<Obstacle> obstacles = {{{30.0, 0.0}, 0.8}};
+  auto paths = planner.Plan(ref, 0.0, 0.0, obstacles);
+  ASSERT_TRUE(paths.has_value());
+  const CandidatePath& selected = (*paths)[0];
+  EXPECT_TRUE(selected.collision_free);
+  EXPECT_GT(std::abs(selected.end_offset), 0.5);
+  // The geometry truly clears the obstacle (radius + margin).
+  EXPECT_GT(selected.geometry.DistanceTo({30.0, 0.0}), 1.3);
+}
+
+TEST(FrenetPlannerTest, InertiaStabilizesSelection) {
+  LineString ref({{0, 0}, {200, 0}});
+  FrenetPlanner::Options opt;
+  FrenetPlanner planner(opt);
+  std::vector<Obstacle> obstacles = {{{30.0, 0.0}, 1.0}};
+  auto first = planner.Plan(ref, 0.0, 0.0, obstacles);
+  ASSERT_TRUE(first.has_value());
+  double offset1 = (*first)[0].end_offset;
+  // Replan a bit later with the obstacle slightly moved: the inertia
+  // term should keep the same side.
+  obstacles[0].position = {32.0, 0.2};
+  auto second = planner.Plan(ref, 5.0, offset1 * 0.3, obstacles);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_GT((*second)[0].end_offset * offset1, 0.0);  // Same sign.
+}
+
+TEST(FrenetPlannerTest, AllBlockedReturnsNullopt) {
+  LineString ref({{0, 0}, {60, 0}});
+  FrenetPlanner::Options opt;
+  opt.lateral_span = 2.0;
+  FrenetPlanner planner(opt);
+  // Wall of obstacles across the whole corridor.
+  std::vector<Obstacle> obstacles;
+  for (double y = -3.0; y <= 3.0; y += 1.0) {
+    obstacles.push_back({{25.0, y}, 1.0});
+  }
+  EXPECT_FALSE(planner.Plan(ref, 0.0, 0.0, obstacles).has_value());
+}
+
+TEST(FrenetPlannerTest, RejectsDegenerateInput) {
+  FrenetPlanner planner({});
+  EXPECT_FALSE(planner.Plan(LineString(), 0.0, 0.0, {}).has_value());
+  LineString tiny({{0, 0}, {1, 0}});
+  EXPECT_FALSE(planner.Plan(tiny, 0.0, 0.0, {}).has_value());
+}
+
+TEST(PccTest, SlopeProfileFromHillyHighway) {
+  Rng rng(11);
+  HighwayOptions opt;
+  opt.length = 10000.0;
+  opt.hill_amplitude = 25.0;
+  opt.hill_wavelength = 2000.0;
+  auto hw = GenerateHighway(opt, rng);
+  ASSERT_TRUE(hw.ok());
+  // Collect the forward chain of lanelets.
+  std::vector<ElementId> route;
+  for (const auto& [id, ll] : hw->lanelets()) {
+    if (ll.predecessors.empty() && !ll.successors.empty()) {
+      ElementId cur = id;
+      while (cur != kInvalidId) {
+        route.push_back(cur);
+        const Lanelet* l = hw->FindLanelet(cur);
+        cur = l->successors.empty() ? kInvalidId : l->successors.front();
+      }
+      break;
+    }
+  }
+  ASSERT_GT(route.size(), 5u);
+  auto profile = BuildSlopeProfile(*hw, route, 50.0);
+  ASSERT_TRUE(profile.ok());
+  double max_grade = 0.0;
+  for (double g : profile->grades) {
+    max_grade = std::max(max_grade, std::abs(g));
+  }
+  EXPECT_GT(max_grade, 0.02);  // Hills are visible in the profile.
+  EXPECT_LT(max_grade, 0.15);
+}
+
+TEST(PccTest, FuelModelPhysics) {
+  FuelModel model;
+  // Climbing needs more force than flat; descending less.
+  EXPECT_GT(model.TractionForce(20.0, 0.0, 0.05),
+            model.TractionForce(20.0, 0.0, 0.0));
+  EXPECT_LT(model.TractionForce(20.0, 0.0, -0.05),
+            model.TractionForce(20.0, 0.0, 0.0));
+  // Faster costs more fuel per second on flat ground.
+  EXPECT_GT(model.FuelRate(30.0, 0.0, 0.0), model.FuelRate(15.0, 0.0, 0.0));
+  // Engine braking downhill costs only idle.
+  EXPECT_NEAR(model.FuelRate(20.0, 0.0, -0.08), model.idle_grams_per_s,
+              1e-9);
+}
+
+TEST(PccTest, NoSavingsOnFlatRoad) {
+  SlopeProfile flat;
+  flat.station_step = 50.0;
+  flat.grades.assign(100, 0.0);
+  FuelModel model;
+  PccOptions opt;
+  auto acc = SimulateConstantSpeed(flat, model, opt.set_speed);
+  auto pcc = OptimizePcc(flat, model, opt);
+  // On a flat road PCC cannot do much better than constant speed.
+  EXPECT_LT(acc.total_fuel_g - pcc.total_fuel_g,
+            0.02 * acc.total_fuel_g + 1.0);
+}
+
+TEST(PccTest, SavesFuelOnRollingHills) {
+  SlopeProfile hilly;
+  hilly.station_step = 50.0;
+  for (int i = 0; i < 200; ++i) {
+    hilly.grades.push_back(
+        0.05 * std::sin(2.0 * std::numbers::pi * i / 40.0));
+  }
+  FuelModel model;
+  PccOptions opt;
+  auto acc = SimulateConstantSpeed(hilly, model, opt.set_speed);
+  auto pcc = OptimizePcc(hilly, model, opt);
+  EXPECT_LT(pcc.total_fuel_g, acc.total_fuel_g);
+  double saving = (acc.total_fuel_g - pcc.total_fuel_g) / acc.total_fuel_g;
+  EXPECT_GT(saving, 0.02);
+  // Trip time stays comparable (within the speed band).
+  EXPECT_LT(pcc.total_time_s, acc.total_time_s * 1.15);
+  // The plan respects the speed band.
+  for (const SpeedPlanStep& step : pcc.plan) {
+    EXPECT_GE(step.speed, opt.set_speed * (1 - opt.speed_band) - 1e-9);
+    EXPECT_LE(step.speed, opt.set_speed * (1 + opt.speed_band) + 1e-9);
+  }
+}
+
+TEST(PccTest, BuildSlopeProfileValidation) {
+  HdMap map = StraightRoad();
+  EXPECT_FALSE(BuildSlopeProfile(map, {}).ok());
+  EXPECT_FALSE(BuildSlopeProfile(map, {999}).ok());
+  std::vector<ElementId> route{map.lanelets().begin()->first};
+  EXPECT_FALSE(BuildSlopeProfile(map, route, -5.0).ok());
+  EXPECT_TRUE(BuildSlopeProfile(map, route, 50.0).ok());
+}
+
+}  // namespace
+}  // namespace hdmap

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+#include "pose/factor_graph.h"
+#include "pose/pose_estimator.h"
+#include "sim/road_network_generator.h"
+#include "sim/sensors.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+TEST(PoseEstimatorTest, FlatRoadGivesFlatPose) {
+  HdMap map = StraightRoad();
+  Pose3 pose = CompleteTo6Dof(map, Pose2(100.0, -1.75, 0.0));
+  EXPECT_NEAR(pose.pitch, 0.0, 1e-6);
+  EXPECT_NEAR(pose.roll, 0.0, 1e-6);
+  EXPECT_NEAR(pose.translation.z, 0.0, 1e-6);
+  EXPECT_NEAR(pose.yaw, 0.0, 1e-9);
+}
+
+TEST(PoseEstimatorTest, OffMapFallsBackToFlat) {
+  HdMap map = StraightRoad();
+  Pose3 pose = CompleteTo6Dof(map, Pose2(5000.0, 5000.0, 0.5));
+  EXPECT_EQ(pose.pitch, 0.0);
+  EXPECT_EQ(pose.translation.z, 0.0);
+  EXPECT_NEAR(pose.yaw, 0.5, 1e-9);
+}
+
+TEST(PoseEstimatorTest, HillyHighwayGivesPitchAndElevation) {
+  Rng rng(61);
+  HighwayOptions opt;
+  opt.length = 4000.0;
+  opt.hill_amplitude = 30.0;
+  opt.hill_wavelength = 1500.0;
+  auto hw = GenerateHighway(opt, rng);
+  ASSERT_TRUE(hw.ok());
+
+  // Find a climbing station on a forward lanelet.
+  const Lanelet* lane = nullptr;
+  double climb_s = 0.0;
+  for (const auto& [id, ll] : hw->lanelets()) {
+    for (double s = 10.0; s < ll.Length() - 10.0; s += 20.0) {
+      if (ll.GradeAt(s) > 0.03) {
+        lane = &ll;
+        climb_s = s;
+        break;
+      }
+    }
+    if (lane != nullptr) break;
+  }
+  ASSERT_NE(lane, nullptr);
+  Pose2 planar(lane->centerline.PointAt(climb_s),
+               lane->centerline.HeadingAt(climb_s));
+  Pose3 pose = CompleteTo6Dof(*hw, planar);
+  // Climbing: nose up = negative pitch in the Z-Y-X convention used.
+  EXPECT_LT(pose.pitch, -0.01);
+  EXPECT_NEAR(pose.translation.z, lane->ElevationAt(climb_s), 0.8);
+
+  // Driving the opposite direction at the same spot pitches the other
+  // way.
+  Pose2 reversed(planar.translation, planar.heading + std::numbers::pi);
+  Pose3 back = CompleteTo6Dof(*hw, reversed);
+  EXPECT_GT(back.pitch, 0.01);
+}
+
+TEST(SlidingWindowTest, BeatsDeadReckoningOnStraightRoad) {
+  HdMap map = StraightRoad(600.0, 40.0);
+  Rng rng(62);
+  OdometrySensor odo({});
+  LandmarkDetector::Options det_opt;
+  det_opt.clutter_rate = 0.05;
+  LandmarkDetector detector(det_opt);
+
+  SlidingWindowEstimator estimator(&map, {});
+  Pose2 truth(10.0, -1.75, 0.0);
+  estimator.Init(truth);
+  Pose2 dead_reckon = truth;
+  RunningStats est_err, dr_err;
+  for (int step = 0; step < 200; ++step) {
+    Pose2 next(truth.translation + Vec2{1.5, 0.0}, 0.0);
+    auto delta = odo.Measure(truth, next, rng);
+    truth = next;
+    double mid = dead_reckon.heading + delta.heading_change / 2;
+    dead_reckon =
+        Pose2(dead_reckon.translation +
+                  Vec2{std::cos(mid), std::sin(mid)} * delta.distance,
+              dead_reckon.heading + delta.heading_change);
+    estimator.AddFrame(delta.distance, delta.heading_change,
+                       detector.Detect(map, truth, rng));
+    if (step > 60) {
+      est_err.Add(
+          estimator.Estimate().translation.DistanceTo(truth.translation));
+      dr_err.Add(dead_reckon.translation.DistanceTo(truth.translation));
+    }
+  }
+  EXPECT_LT(est_err.mean(), dr_err.mean());
+  EXPECT_LT(est_err.mean(), 1.0);
+  EXPECT_GT(estimator.inlier_fraction(), 0.5);
+}
+
+TEST(SlidingWindowTest, MaxMixtureShrugsOffClutter) {
+  HdMap map = StraightRoad(600.0, 40.0);
+  Rng rng(63);
+  OdometrySensor odo({});
+  LandmarkDetector::Options det_opt;
+  det_opt.clutter_rate = 0.0;
+  LandmarkDetector detector(det_opt);
+
+  SlidingWindowEstimator estimator(&map, {});
+  Pose2 truth(10.0, -1.75, 0.0);
+  estimator.Init(truth);
+  RunningStats est_err;
+  bool saw_outlier_rejection = false;
+  for (int step = 0; step < 150; ++step) {
+    Pose2 next(truth.translation + Vec2{1.5, 0.0}, 0.0);
+    auto delta = odo.Measure(truth, next, rng);
+    truth = next;
+    auto detections = detector.Detect(map, truth, rng);
+    // Adversarial clutter: every real detection gains a corrupted twin
+    // displaced a few meters — close enough to pass the association
+    // gate, wrong enough that accepting it would bias the solution.
+    std::vector<LandmarkDetection> corrupted = detections;
+    for (const auto& det : detections) {
+      LandmarkDetection ghost = det;
+      ghost.position_vehicle += Vec2{2.5, -2.0};
+      ghost.is_clutter = true;
+      corrupted.push_back(ghost);
+    }
+    estimator.AddFrame(delta.distance, delta.heading_change, corrupted);
+    if (estimator.inlier_fraction() < 1.0) saw_outlier_rejection = true;
+    if (step > 50) {
+      est_err.Add(
+          estimator.Estimate().translation.DistanceTo(truth.translation));
+    }
+  }
+  // The ghosts must not blow up the estimate...
+  EXPECT_LT(est_err.mean(), 1.5);
+  // ...and the max-mixture actually resolved factors to the outlier mode.
+  EXPECT_TRUE(saw_outlier_rejection);
+}
+
+TEST(SlidingWindowTest, WindowSizeIsBounded) {
+  HdMap map = StraightRoad();
+  SlidingWindowEstimator::Options opt;
+  opt.window_size = 5;
+  SlidingWindowEstimator estimator(&map, opt);
+  estimator.Init(Pose2(0, -1.75, 0));
+  for (int i = 0; i < 20; ++i) {
+    estimator.AddFrame(1.0, 0.0, {});
+  }
+  EXPECT_LE(estimator.window_size(), 5u);
+}
+
+}  // namespace
+}  // namespace hdmap

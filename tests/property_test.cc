@@ -1,0 +1,208 @@
+// Property-based tests: invariants checked over randomized inputs via
+// parameterized suites (seeds are the parameters, so failures reproduce).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/serialization.h"
+#include "core/tile_store.h"
+#include "localization/particle_filter.h"
+#include "planning/route_planner.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+LineString RandomPolyline(Rng& rng, int min_points = 5,
+                          int max_points = 40) {
+  int n = rng.UniformInt(min_points, max_points);
+  std::vector<Vec2> pts;
+  Vec2 p{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+  double heading = rng.Uniform(-3.14, 3.14);
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(p);
+    heading += rng.Normal(0.0, 0.3);
+    p += Vec2{std::cos(heading), std::sin(heading)} *
+         rng.Uniform(2.0, 15.0);
+  }
+  return LineString(std::move(pts));
+}
+
+class LineStringPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LineStringPropertyTest, ProjectOfPointAtRecoversArcLength) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  LineString ls = RandomPolyline(rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    double s = rng.Uniform(0.0, ls.Length());
+    LineStringProjection proj = ls.Project(ls.PointAt(s));
+    EXPECT_NEAR(proj.arc_length, s, 1e-6);
+    EXPECT_NEAR(proj.distance, 0.0, 1e-9);
+  }
+}
+
+TEST_P(LineStringPropertyTest, ReversePreservesLength) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  LineString ls = RandomPolyline(rng);
+  EXPECT_NEAR(ls.Reversed().Length(), ls.Length(), 1e-9);
+  EXPECT_NEAR(ls.Resampled(1.0).Length(), ls.Length(),
+              0.02 * ls.Length() + 0.5);
+}
+
+TEST_P(LineStringPropertyTest, SimplifiedStaysWithinTolerance) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 200);
+  LineString ls = RandomPolyline(rng);
+  const double kTol = 0.5;
+  LineString simple = ls.Simplified(kTol);
+  EXPECT_LE(simple.size(), ls.size());
+  // Every original vertex stays within the tolerance of the simplified
+  // polyline.
+  for (const Vec2& p : ls.points()) {
+    EXPECT_LE(simple.DistanceTo(p), kTol + 1e-9);
+  }
+}
+
+TEST_P(LineStringPropertyTest, OffsetDistanceApproximatesOffset) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 300);
+  LineString ls = RandomPolyline(rng);
+  double d = rng.Uniform(0.5, 2.0);
+  LineString off = ls.Offset(d);
+  // Interior points of the offset curve are ~d from the base curve for
+  // gently curving polylines.
+  for (size_t i = 1; i + 1 < off.size(); ++i) {
+    double dist = ls.DistanceTo(off[i]);
+    EXPECT_GT(dist, 0.3 * d);
+    EXPECT_LT(dist, 2.5 * d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LineStringPropertyTest,
+                         ::testing::Range(1, 9));
+
+class SerializationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializationPropertyTest, RoundTripIsExact) {
+  HdMap map = SmallTownWorld(static_cast<uint64_t>(GetParam()), 2, 3);
+  std::string blob = SerializeMap(map);
+  auto restored = DeserializeMap(blob);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->NumElements(), map.NumElements());
+  for (const auto& [id, lm] : map.landmarks()) {
+    ASSERT_NE(restored->FindLandmark(id), nullptr);
+    EXPECT_EQ(restored->FindLandmark(id)->position, lm.position);
+  }
+  EXPECT_EQ(SerializeMap(*restored), blob);
+}
+
+TEST_P(SerializationPropertyTest, TruncationNeverCrashesAlwaysErrors) {
+  HdMap map = SmallTownWorld(static_cast<uint64_t>(GetParam()) + 50, 2, 2);
+  std::string blob = SerializeMap(map);
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 25; ++trial) {
+    size_t cut = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int>(blob.size()) - 1));
+    auto result = DeserializeMap(blob.substr(0, cut));
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST_P(SerializationPropertyTest, CorruptionIsDetectedOrBenign) {
+  // Flipping bytes must never crash; it may decode to some map, but the
+  // call always returns (no UB / unbounded allocation via size fields is
+  // the property of interest — caught by sanitizer-like crashes).
+  HdMap map = SmallTownWorld(static_cast<uint64_t>(GetParam()) + 80, 2, 2);
+  std::string blob = SerializeMap(map);
+  Rng rng(static_cast<uint64_t>(GetParam()) + 9);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string corrupted = blob;
+    for (int flips = 0; flips < 4; ++flips) {
+      size_t pos = static_cast<size_t>(
+          rng.UniformInt(8, static_cast<int>(corrupted.size()) - 1));
+      corrupted[pos] = static_cast<char>(rng.NextU32() & 0xff);
+    }
+    auto result = DeserializeMap(corrupted);
+    (void)result;  // OK either way; must not crash.
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializationPropertyTest,
+                         ::testing::Range(1, 6));
+
+class RoutingPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoutingPropertyTest, AllAlgorithmsAgreeOnCost) {
+  HdMap map = SmallTownWorld(static_cast<uint64_t>(GetParam()) + 500, 3, 3);
+  RoutingGraph graph = RoutingGraph::Build(map);
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<ElementId> ids;
+  for (const auto& [id, ll] : map.lanelets()) ids.push_back(id);
+  for (int trial = 0; trial < 10; ++trial) {
+    ElementId from = ids[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int>(ids.size()) - 1))];
+    ElementId to = ids[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int>(ids.size()) - 1))];
+    auto dijkstra = PlanRoute(graph, from, to, RouteAlgorithm::kDijkstra);
+    auto astar = PlanRoute(graph, from, to, RouteAlgorithm::kAStar);
+    auto bhps = PlanRoute(graph, from, to, RouteAlgorithm::kBhps);
+    EXPECT_EQ(dijkstra.ok(), astar.ok());
+    EXPECT_EQ(dijkstra.ok(), bhps.ok());
+    if (dijkstra.ok()) {
+      EXPECT_NEAR(astar->cost_seconds, dijkstra->cost_seconds, 1e-6);
+      EXPECT_NEAR(bhps->cost_seconds, dijkstra->cost_seconds, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingPropertyTest,
+                         ::testing::Range(1, 5));
+
+class TileStorePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TileStorePropertyTest, RegionLoadIsComplete) {
+  HdMap map = SmallTownWorld(static_cast<uint64_t>(GetParam()) + 700, 2, 3);
+  double tile_size = 50.0 * GetParam();
+  TileStore store(tile_size);
+  store.Build(map);
+  auto region = store.LoadRegion(map.BoundingBox());
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(region->lanelets().size(), map.lanelets().size());
+  EXPECT_EQ(region->landmarks().size(), map.landmarks().size());
+  EXPECT_EQ(region->line_features().size(), map.line_features().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, TileStorePropertyTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+class ParticleFilterPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParticleFilterPropertyTest, WeightsStayNormalizedAndEssBounded) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  ParticleFilter::Options opt;
+  opt.num_particles = 100;
+  ParticleFilter pf(opt);
+  pf.Init(Pose2(0, 0, 0), 1.0, 0.1, rng);
+  for (int step = 0; step < 20; ++step) {
+    pf.Predict(rng.Uniform(0.0, 2.0), rng.Normal(0.0, 0.05), rng);
+    Vec2 target{rng.Uniform(-2, 2), rng.Uniform(-2, 2)};
+    pf.Update(
+        [&](const Pose2& p) {
+          return std::exp(-p.translation.SquaredDistanceTo(target));
+        },
+        rng);
+    double total = 0.0;
+    for (const auto& particle : pf.particles()) total += particle.weight;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    double ess = pf.EffectiveSampleSize();
+    EXPECT_GE(ess, 1.0 - 1e-9);
+    EXPECT_LE(ess, opt.num_particles + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParticleFilterPropertyTest,
+                         ::testing::Range(1, 5));
+
+}  // namespace
+}  // namespace hdmap

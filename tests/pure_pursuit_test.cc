@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+#include "planning/frenet_planner.h"
+#include "planning/pure_pursuit.h"
+#include "sim/vehicle.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+/// Drives the bicycle model along `path` under pure pursuit; returns the
+/// mean cross-track error once up to speed.
+double TrackPath(const LineString& path, Pose2 start, double target_speed,
+                 double* final_progress = nullptr) {
+  PurePursuitController controller({});
+  BicycleModel model;
+  BicycleModel::State state;
+  state.pose = start;
+  state.speed = 0.0;
+  RunningStats cross_track;
+  const double dt = 0.05;
+  double progress = 0.0;
+  for (int step = 0; step < 4000; ++step) {
+    auto cmd = controller.Compute(path, state.pose, state.speed,
+                                  target_speed);
+    if (cmd.path_finished) break;
+    state = model.Step(state, cmd.acceleration, cmd.steering, dt);
+    LineStringProjection proj = path.Project(state.pose.translation);
+    progress = proj.arc_length;
+    if (step > 100) cross_track.Add(proj.distance);
+  }
+  if (final_progress != nullptr) *final_progress = progress;
+  return cross_track.mean();
+}
+
+TEST(PurePursuitTest, TracksStraightPath) {
+  LineString path({{0, 0}, {300, 0}});
+  double progress = 0.0;
+  double err = TrackPath(path, Pose2(0, 0.8, 0.1), 12.0, &progress);
+  EXPECT_GT(progress, 295.0);  // Reached the end.
+  EXPECT_LT(err, 0.3);         // Converged onto the line.
+}
+
+TEST(PurePursuitTest, TracksCurvedPath) {
+  // Quarter circle of radius 60.
+  std::vector<Vec2> pts;
+  for (int i = 0; i <= 45; ++i) {
+    double a = DegToRad(static_cast<double>(i) * 2.0);
+    pts.push_back({60.0 * std::sin(a), 60.0 * (1.0 - std::cos(a))});
+  }
+  LineString path(pts);
+  double progress = 0.0;
+  double err = TrackPath(path, Pose2(0, 0, 0), 8.0, &progress);
+  EXPECT_GT(progress, path.Length() - 5.0);
+  EXPECT_LT(err, 0.8);
+}
+
+TEST(PurePursuitTest, SpeedConvergesToTarget) {
+  LineString path({{0, 0}, {500, 0}});
+  PurePursuitController controller({});
+  BicycleModel model;
+  BicycleModel::State state;
+  state.pose = Pose2(0, 0, 0);
+  for (int step = 0; step < 600; ++step) {
+    auto cmd = controller.Compute(path, state.pose, state.speed, 15.0);
+    state = model.Step(state, cmd.acceleration, cmd.steering, 0.05);
+  }
+  EXPECT_NEAR(state.speed, 15.0, 0.5);
+}
+
+TEST(PurePursuitTest, FinishesAtPathEnd) {
+  LineString path({{0, 0}, {50, 0}});
+  PurePursuitController controller({});
+  auto cmd = controller.Compute(path, Pose2(49.8, 0.0, 0.0), 5.0, 5.0);
+  EXPECT_TRUE(cmd.path_finished);
+  EXPECT_FALSE(
+      controller.Compute(path, Pose2(10, 0, 0), 5.0, 5.0).path_finished);
+}
+
+TEST(PurePursuitTest, DegeneratePathIsFinished) {
+  PurePursuitController controller({});
+  EXPECT_TRUE(controller.Compute(LineString(), Pose2(), 0.0, 5.0)
+                  .path_finished);
+}
+
+TEST(PurePursuitTest, ExecutesFrenetAvoidancePath) {
+  // Plan around an obstacle, then actually drive the selected path: the
+  // closed planning->control loop.
+  LineString ref({{0, 0}, {120, 0}});
+  FrenetPlanner planner({});
+  std::vector<Obstacle> obstacles = {{{30.0, 0.0}, 0.8}};
+  auto paths = planner.Plan(ref, 0.0, 0.0, obstacles);
+  ASSERT_TRUE(paths.has_value());
+  const LineString& selected = (*paths)[0].geometry;
+
+  PurePursuitController controller({});
+  BicycleModel model;
+  BicycleModel::State state;
+  state.pose = Pose2(0, 0, 0);
+  state.speed = 6.0;
+  double min_clearance = 1e9;
+  for (int step = 0; step < 2000; ++step) {
+    auto cmd = controller.Compute(selected, state.pose, state.speed, 8.0);
+    if (cmd.path_finished) break;
+    state = model.Step(state, cmd.acceleration, cmd.steering, 0.05);
+    min_clearance = std::min(
+        min_clearance, state.pose.translation.DistanceTo({30.0, 0.0}));
+  }
+  // The executed trajectory clears the obstacle (radius 0.8).
+  EXPECT_GT(min_clearance, 0.9);
+}
+
+}  // namespace
+}  // namespace hdmap

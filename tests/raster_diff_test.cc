@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "maintenance/raster_diff.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+TEST(RasterDiffTest, IdenticalRastersYieldNoRegions) {
+  HdMap map = SmallTownWorld(81, 2, 2);
+  SemanticRaster raster = RasterizeMap(map, 0.5);
+  RasterChangeDetector detector({});
+  EXPECT_TRUE(detector.Detect(raster, raster).empty());
+}
+
+TEST(RasterDiffTest, LocalizesRemovedLandmarks) {
+  HdMap map = SmallTownWorld(82, 2, 2);
+  HdMap world = map;
+  // Remove a couple of landmarks from one corner of the town.
+  std::vector<ElementId> removed;
+  for (const auto& [id, lm] : map.landmarks()) {
+    if (lm.position.x < 80.0 && lm.position.y < 80.0) {
+      removed.push_back(id);
+    }
+  }
+  ASSERT_GE(removed.size(), 1u);
+  for (ElementId id : removed) {
+    ASSERT_TRUE(world.RemoveLandmark(id).ok());
+  }
+  // Both rasters must share one grid even though removing edge
+  // landmarks shrank the world's own bounding box.
+  Aabb extent = map.BoundingBox().Expanded(5.0);
+  SemanticRaster map_raster = RasterizeMapInExtent(map, 0.5, extent);
+  SemanticRaster world_raster = RasterizeMapInExtent(world, 0.5, extent);
+  ASSERT_EQ(map_raster.width(), world_raster.width());
+
+  RasterChangeDetector::Options opt;
+  opt.window_cells = 40;
+  opt.score_threshold = 0.01;
+  RasterChangeDetector detector(opt);
+  auto regions = detector.Detect(map_raster, world_raster);
+  ASSERT_GE(regions.size(), 1u);
+  // The strongest region must cover at least one removed landmark and
+  // report the sign class as map-only (in map, missing in world).
+  bool covered = false;
+  for (ElementId id : removed) {
+    const Landmark* lm = map.FindLandmark(id);
+    for (const auto& region : regions) {
+      if (region.region.Contains(lm->position.xy())) {
+        covered = true;
+        EXPECT_NE(region.map_only & (kRasterSign | kRasterLight), 0);
+      }
+    }
+  }
+  EXPECT_TRUE(covered);
+}
+
+TEST(RasterDiffTest, SortsStrongestFirst) {
+  HdMap map = SmallTownWorld(83, 2, 2);
+  HdMap world = map;
+  std::vector<ElementId> ids;
+  for (const auto& [id, lm] : world.landmarks()) ids.push_back(id);
+  for (size_t i = 0; i < ids.size() / 2; ++i) {
+    (void)world.RemoveLandmark(ids[i]);
+  }
+  RasterChangeDetector::Options opt;
+  opt.window_cells = 30;
+  opt.score_threshold = 0.0;
+  opt.min_content_cells = 5;
+  RasterChangeDetector detector(opt);
+  Aabb extent = map.BoundingBox().Expanded(5.0);
+  auto regions = detector.Detect(RasterizeMapInExtent(map, 0.5, extent),
+                                 RasterizeMapInExtent(world, 0.5, extent));
+  for (size_t i = 1; i < regions.size(); ++i) {
+    EXPECT_GE(regions[i - 1].score, regions[i].score);
+  }
+}
+
+TEST(RasterDiffTest, MismatchedGeometryIsFullChange) {
+  SemanticRaster a(Aabb({0, 0}, {10, 10}), 0.5);
+  SemanticRaster b(Aabb({0, 0}, {20, 20}), 0.5);
+  RasterChangeDetector detector({});
+  auto regions = detector.Detect(a, b);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].score, 1.0);
+}
+
+}  // namespace
+}  // namespace hdmap

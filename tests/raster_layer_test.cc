@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/raster_layer.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+TEST(SemanticRasterTest, CellWorldRoundTrip) {
+  SemanticRaster raster(Aabb({-10, -10}, {10, 10}), 0.5);
+  EXPECT_EQ(raster.width(), 40);
+  EXPECT_EQ(raster.height(), 40);
+  for (int cy : {0, 7, 39}) {
+    for (int cx : {0, 13, 39}) {
+      Vec2 center = raster.CellCenter(cx, cy);
+      int rx = 0, ry = 0;
+      raster.WorldToCell(center, &rx, &ry);
+      EXPECT_EQ(rx, cx);
+      EXPECT_EQ(ry, cy);
+    }
+  }
+}
+
+TEST(SemanticRasterTest, SetAndSampleOrBits) {
+  SemanticRaster raster(Aabb({0, 0}, {10, 10}), 1.0);
+  raster.Set(3, 4, kRasterLaneMarking);
+  raster.Set(3, 4, kRasterSign);
+  EXPECT_EQ(raster.At(3, 4), kRasterLaneMarking | kRasterSign);
+  EXPECT_EQ(raster.Sample({3.5, 4.5}), kRasterLaneMarking | kRasterSign);
+  // Out of bounds: silent no-op / zero.
+  raster.Set(-1, 0, kRasterSign);
+  raster.Set(100, 100, kRasterSign);
+  EXPECT_EQ(raster.At(-1, 0), 0);
+  EXPECT_EQ(raster.Sample({-50.0, -50.0}), 0);
+}
+
+TEST(SemanticRasterTest, DashedLineHasGaps) {
+  SemanticRaster raster(Aabb({0, -2}, {60, 2}), 0.25);
+  LineString line({{0, 0}, {60, 0}});
+  raster.DrawDashedLineString(line, kRasterLaneMarking, 3.0, 3.0);
+  // Mid-dash cells set; mid-gap cells clear.
+  EXPECT_NE(raster.Sample({1.5, 0.0}) & kRasterLaneMarking, 0);
+  EXPECT_EQ(raster.Sample({4.5, 0.0}) & kRasterLaneMarking, 0);
+  EXPECT_NE(raster.Sample({7.5, 0.0}) & kRasterLaneMarking, 0);
+  // A solid draw fills everything.
+  SemanticRaster solid(Aabb({0, -2}, {60, 2}), 0.25);
+  solid.DrawLineString(line, kRasterLaneMarking);
+  EXPECT_NE(solid.Sample({4.5, 0.0}) & kRasterLaneMarking, 0);
+  EXPECT_GT(solid.NumOccupied(), raster.NumOccupied());
+}
+
+TEST(SemanticRasterTest, SparseAndDenseScoresAgree) {
+  HdMap map = SmallTownWorld(61, 2, 2);
+  SemanticRaster raster = RasterizeMap(map, 0.5);
+  const Lanelet& lane = map.lanelets().begin()->second;
+  Pose2 pose(lane.centerline.PointAt(15.0), lane.centerline.HeadingAt(15.0));
+
+  SemanticRaster patch(Aabb({-8, -8}, {8, 8}), 0.5);
+  for (int cy = 0; cy < patch.height(); ++cy) {
+    for (int cx = 0; cx < patch.width(); ++cx) {
+      uint8_t bits = raster.Sample(pose.TransformPoint(
+          patch.CellCenter(cx, cy)));
+      if (bits != 0) patch.Set(cx, cy, bits);
+    }
+  }
+  auto cells = patch.OccupiedCells();
+  ASSERT_GT(cells.size(), 10u);
+  for (const Vec2& offset : {Vec2{0, 0}, Vec2{1.5, -0.5}, Vec2{-3, 2}}) {
+    Pose2 candidate(pose.translation + offset, pose.heading);
+    EXPECT_DOUBLE_EQ(raster.MatchScore(patch, candidate),
+                     raster.MatchScoreSparse(cells, candidate));
+  }
+}
+
+TEST(SemanticRasterTest, RasterizeInExtentMatchesAutoExtentContent) {
+  HdMap map = SmallTownWorld(62, 2, 2);
+  Aabb extent = map.BoundingBox().Expanded(5.0);
+  SemanticRaster a = RasterizeMap(map, 0.5, 5.0);
+  SemanticRaster b = RasterizeMapInExtent(map, 0.5, extent);
+  EXPECT_EQ(a.width(), b.width());
+  EXPECT_EQ(a.height(), b.height());
+  EXPECT_EQ(a.NumOccupied(), b.NumOccupied());
+  EXPECT_DOUBLE_EQ(a.DiffFraction(b), 0.0);
+}
+
+TEST(SemanticRasterTest, DrawDiscCoversRadius) {
+  SemanticRaster raster(Aabb({0, 0}, {10, 10}), 0.25);
+  raster.DrawDisc({5.0, 5.0}, 1.0, kRasterLight);
+  EXPECT_NE(raster.Sample({5.0, 5.0}) & kRasterLight, 0);
+  EXPECT_NE(raster.Sample({5.8, 5.0}) & kRasterLight, 0);
+  EXPECT_EQ(raster.Sample({7.0, 5.0}) & kRasterLight, 0);
+}
+
+TEST(SemanticRasterTest, DrawPolygonFillsInterior) {
+  SemanticRaster raster(Aabb({0, 0}, {10, 10}), 0.25);
+  Polygon square({{2, 2}, {8, 2}, {8, 8}, {2, 8}});
+  raster.DrawPolygon(square, kRasterCrosswalk);
+  EXPECT_NE(raster.Sample({5.0, 5.0}) & kRasterCrosswalk, 0);
+  EXPECT_NE(raster.Sample({2.2, 2.2}) & kRasterCrosswalk, 0);
+  EXPECT_EQ(raster.Sample({1.0, 1.0}) & kRasterCrosswalk, 0);
+}
+
+TEST(SemanticRasterTest, RleRoundTripSizeSanity) {
+  // RLE of a sparse raster is far smaller than raw; of a dense raster it
+  // degrades gracefully (bounded overhead).
+  SemanticRaster sparse(Aabb({0, 0}, {100, 100}), 0.5);
+  sparse.DrawLineString(LineString({{0, 50}, {100, 50}}),
+                        kRasterLaneMarking);
+  EXPECT_LT(sparse.SerializeRle().size(), sparse.SizeBytes() / 10);
+
+  SemanticRaster dense(Aabb({0, 0}, {10, 10}), 0.5);
+  for (int cy = 0; cy < dense.height(); ++cy) {
+    for (int cx = 0; cx < dense.width(); ++cx) {
+      dense.Set(cx, cy, static_cast<uint8_t>(1 + ((cx + cy) % 7)));
+    }
+  }
+  EXPECT_LT(dense.SerializeRle().size(), dense.SizeBytes() * 3 + 64);
+}
+
+}  // namespace
+}  // namespace hdmap

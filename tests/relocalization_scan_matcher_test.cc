@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "atv/factory_world.h"
+#include "atv/scan_matcher.h"
+#include "localization/raster_localizer.h"
+#include "localization/relocalization.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+TEST(RelocalizationTest, RecoversFromLargeCoarseError) {
+  HdMap map = SmallTownWorld(121, 3, 3);
+  SemanticRaster raster = RasterizeMap(map, 0.25);
+  Rng rng(122);
+  // True pose on a lane; coarse fix 8 m off with 0.2 rad heading error.
+  const Lanelet* lane = nullptr;
+  for (const auto& [id, ll] : map.lanelets()) {
+    if (ll.Length() > 80.0) {
+      lane = &ll;
+      break;
+    }
+  }
+  ASSERT_NE(lane, nullptr);
+  Pose2 truth(lane->centerline.PointAt(30.0),
+              lane->centerline.HeadingAt(30.0));
+  SemanticRaster patch =
+      BuildObservedPatch(raster, truth, 12.0, 0.25, 0.1, 0.001, rng);
+
+  auto result = CoarseToFineRelocalize(
+      raster, patch, truth.translation + Vec2{6.0, -5.0},
+      truth.heading + 0.2);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(result->pose.translation.DistanceTo(truth.translation), 1.0);
+  EXPECT_LT(std::abs(AngleDiff(result->pose.heading, truth.heading)), 0.1);
+  EXPECT_GT(result->poses_evaluated, 100);
+}
+
+TEST(RelocalizationTest, RejectsFeaturelessArea) {
+  HdMap map = SmallTownWorld(123, 2, 2);
+  SemanticRaster raster = RasterizeMap(map, 0.25);
+  Rng rng(124);
+  // Observation built far outside the map content: empty patch.
+  SemanticRaster empty_patch(Aabb({-10, -10}, {10, 10}), 0.25);
+  EXPECT_FALSE(CoarseToFineRelocalize(raster, empty_patch, {5000, 5000},
+                                      0.0)
+                   .has_value());
+}
+
+TEST(RelocalizationTest, RejectsWhenCoarseFixIsHopeless) {
+  HdMap map = SmallTownWorld(125, 2, 2);
+  SemanticRaster raster = RasterizeMap(map, 0.25);
+  Rng rng(126);
+  const Lanelet& lane = map.lanelets().begin()->second;
+  Pose2 truth(lane.centerline.PointAt(20.0), lane.centerline.HeadingAt(20.0));
+  SemanticRaster patch =
+      BuildObservedPatch(raster, truth, 10.0, 0.25, 0.1, 0.001, rng);
+  // Coarse fix 10 km away: the search window contains no map content.
+  auto result =
+      CoarseToFineRelocalize(raster, patch, {10000.0, 10000.0}, 0.0);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(GridScanMatcherTest, CorrectsInjectedOffset) {
+  Rng rng(127);
+  auto factory = GenerateFactory({}, rng);
+  ASSERT_TRUE(factory.ok());
+  OccupancyGrid grid(factory->extent, 0.2);
+
+  // Map the factory from the true aisle poses.
+  auto scan_from = [&](const Pose2& pose) {
+    std::vector<Vec2> hits;
+    for (int beam = 0; beam < 90; ++beam) {
+      double angle = 2.0 * std::numbers::pi * beam / 90;
+      Vec2 dir{std::cos(angle), std::sin(angle)};
+      double range = CastRay(factory->walls, pose.translation, dir, 30.0);
+      if (range < 30.0) {
+        hits.push_back(
+            pose.InverseTransformPoint(pose.translation + dir * range));
+      }
+      grid.IntegrateRay(pose.translation,
+                        pose.translation + dir * std::min(range, 30.0),
+                        range < 30.0);
+    }
+    return hits;
+  };
+  for (const LineString& aisle : factory->aisles) {
+    for (double s = 0.0; s < aisle.Length(); s += 2.0) {
+      (void)scan_from(Pose2(aisle.PointAt(s), 0.0));
+    }
+  }
+
+  // Now take a fresh scan at a known pose and perturb the prediction.
+  // Near the aisle end the rack corners are in range, so both axes are
+  // observable (mid-corridor, the along-aisle direction is inherently
+  // ambiguous — a property, not a bug).
+  const LineString& aisle = factory->aisles[1];
+  Pose2 truth(aisle.PointAt(6.0), 0.3);
+  std::vector<Vec2> hits;
+  for (int beam = 0; beam < 90; ++beam) {
+    double angle = truth.heading + 2.0 * std::numbers::pi * beam / 90;
+    Vec2 dir{std::cos(angle), std::sin(angle)};
+    double range = CastRay(factory->walls, truth.translation, dir, 30.0);
+    if (range < 30.0) {
+      hits.push_back(truth.InverseTransformPoint(
+          truth.translation + dir * range));
+    }
+  }
+  ASSERT_GT(hits.size(), 20u);
+
+  Pose2 predicted(truth.translation + Vec2{0.5, -0.4}, truth.heading + 0.05);
+  GridScanMatcher matcher({});
+  auto refined = matcher.Refine(grid, predicted, hits);
+  double before = predicted.translation.DistanceTo(truth.translation);
+  double after = refined.pose.translation.DistanceTo(truth.translation);
+  EXPECT_LT(after, before);
+  EXPECT_LT(after, 0.25);
+  EXPECT_LT(std::abs(AngleDiff(refined.pose.heading, truth.heading)), 0.04);
+  EXPECT_GT(refined.score, 0.3);
+}
+
+TEST(GridScanMatcherTest, EmptyScanIsNoOp) {
+  OccupancyGrid grid(Aabb({0, 0}, {10, 10}), 0.2);
+  GridScanMatcher matcher({});
+  Pose2 predicted(5, 5, 0);
+  auto result = matcher.Refine(grid, predicted, {});
+  EXPECT_EQ(result.pose.translation, predicted.translation);
+  EXPECT_EQ(result.score, 0.0);
+}
+
+}  // namespace
+}  // namespace hdmap

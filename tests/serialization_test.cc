@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/raster_layer.h"
+#include "core/serialization.h"
+#include "core/tile_store.h"
+#include "sim/road_network_generator.h"
+
+namespace hdmap {
+namespace {
+
+HdMap SmallTown() {
+  Rng rng(11);
+  TownOptions opt;
+  opt.grid_rows = 2;
+  opt.grid_cols = 3;
+  opt.block_size = 120.0;
+  auto town = GenerateTown(opt, rng);
+  EXPECT_TRUE(town.ok()) << town.status().ToString();
+  return std::move(town).value();
+}
+
+TEST(SerializationTest, FullRoundTripPreservesEverything) {
+  HdMap map = SmallTown();
+  std::string blob = SerializeMap(map);
+  EXPECT_GT(blob.size(), 1000u);
+  auto restored = DeserializeMap(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->landmarks().size(), map.landmarks().size());
+  EXPECT_EQ(restored->line_features().size(), map.line_features().size());
+  EXPECT_EQ(restored->area_features().size(), map.area_features().size());
+  EXPECT_EQ(restored->lanelets().size(), map.lanelets().size());
+  EXPECT_EQ(restored->regulatory_elements().size(),
+            map.regulatory_elements().size());
+  EXPECT_EQ(restored->lane_bundles().size(), map.lane_bundles().size());
+  EXPECT_EQ(restored->map_nodes().size(), map.map_nodes().size());
+  EXPECT_TRUE(restored->Validate().ok()) << restored->Validate().ToString();
+  // Geometry is preserved exactly.
+  for (const auto& [id, ll] : map.lanelets()) {
+    const Lanelet* rll = restored->FindLanelet(id);
+    ASSERT_NE(rll, nullptr);
+    ASSERT_EQ(rll->centerline.size(), ll.centerline.size());
+    EXPECT_EQ(rll->centerline.front(), ll.centerline.front());
+    EXPECT_EQ(rll->centerline.back(), ll.centerline.back());
+    EXPECT_EQ(rll->successors, ll.successors);
+  }
+  // Second serialization is byte-identical (deterministic iteration).
+  EXPECT_EQ(SerializeMap(*restored), blob);
+}
+
+TEST(SerializationTest, SurveyPayloadRoundTrips) {
+  HdMap map = SmallTown();
+  Rng rng(5);
+  AttachSurveyPayload(&map, 20.0, rng);
+  size_t total_points = 0;
+  for (const auto& [id, lf] : map.line_features()) {
+    total_points += lf.survey_points.size();
+  }
+  EXPECT_GT(total_points, 1000u);
+  std::string blob = SerializeMap(map);
+  auto restored = DeserializeMap(blob);
+  ASSERT_TRUE(restored.ok());
+  size_t restored_points = 0;
+  for (const auto& [id, lf] : restored->line_features()) {
+    restored_points += lf.survey_points.size();
+  }
+  EXPECT_EQ(restored_points, total_points);
+}
+
+TEST(SerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeMap("not a map").ok());
+  EXPECT_FALSE(DeserializeMap("").ok());
+  EXPECT_FALSE(DeserializeCompactMap("junk").ok());
+}
+
+TEST(SerializationTest, RejectsTruncated) {
+  HdMap map = SmallTown();
+  std::string blob = SerializeMap(map);
+  std::string truncated = blob.substr(0, blob.size() / 2);
+  EXPECT_FALSE(DeserializeMap(truncated).ok());
+}
+
+TEST(SerializationTest, CompactIsSmallAndAccurate) {
+  HdMap map = SmallTown();
+  Rng rng(5);
+  AttachSurveyPayload(&map, 50.0, rng);
+  std::string full = SerializeMap(map);
+  std::string compact = SerializeCompactMap(map);
+  EXPECT_LT(compact.size() * 10, full.size());
+
+  auto restored = DeserializeCompactMap(compact);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->lanelets().size(), map.lanelets().size());
+  EXPECT_EQ(restored->landmarks().size(), map.landmarks().size());
+  // Centerline endpoints are reconstructed to within the quantum plus
+  // simplification tolerance.
+  for (const auto& [id, ll] : map.lanelets()) {
+    const Lanelet* rll = restored->FindLanelet(id);
+    ASSERT_NE(rll, nullptr);
+    EXPECT_LT(rll->centerline.front().DistanceTo(ll.centerline.front()),
+              0.1);
+    EXPECT_LT(rll->centerline.back().DistanceTo(ll.centerline.back()), 0.1);
+    // Interior shape preserved within tolerance.
+    double len = ll.centerline.Length();
+    for (double s = 0.0; s < len; s += 10.0) {
+      EXPECT_LT(rll->centerline.DistanceTo(ll.centerline.PointAt(s)), 0.15);
+    }
+  }
+  // Topology preserved (successors and symmetric predecessors).
+  for (const auto& [id, ll] : map.lanelets()) {
+    EXPECT_EQ(restored->FindLanelet(id)->successors, ll.successors);
+  }
+  EXPECT_TRUE(restored->Validate().ok()) << restored->Validate().ToString();
+}
+
+TEST(TileStoreTest, BuildLoadStitch) {
+  HdMap map = SmallTown();
+  TileStore store(128.0);
+  store.Build(map);
+  EXPECT_GT(store.NumTiles(), 1u);
+  EXPECT_GT(store.TotalBytes(), 0u);
+
+  // Every lanelet must be found in the tile covering its start point.
+  for (const auto& [id, ll] : map.lanelets()) {
+    TileId tile = store.TileAt(ll.centerline.front());
+    auto loaded = store.LoadTile(tile);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_NE(loaded->FindLanelet(id), nullptr);
+  }
+
+  // Region stitching returns every element intersecting the region.
+  Aabb region = map.BoundingBox();
+  auto stitched = store.LoadRegion(region);
+  ASSERT_TRUE(stitched.ok());
+  EXPECT_EQ(stitched->lanelets().size(), map.lanelets().size());
+  EXPECT_EQ(stitched->landmarks().size(), map.landmarks().size());
+}
+
+TEST(TileStoreTest, MissingTileIsNotFound) {
+  TileStore store(100.0);
+  EXPECT_EQ(store.LoadTile({55, 55}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(TileStoreTest, MortonIsUniqueAndLocal) {
+  TileId a{0, 0}, b{1, 0}, c{0, 1}, d{-1, -1};
+  EXPECT_NE(a.Morton(), b.Morton());
+  EXPECT_NE(a.Morton(), c.Morton());
+  EXPECT_NE(a.Morton(), d.Morton());
+  EXPECT_NE(b.Morton(), c.Morton());
+}
+
+TEST(RasterTest, RasterizeAndSample) {
+  HdMap map = SmallTown();
+  SemanticRaster raster = RasterizeMap(map, 0.5);
+  EXPECT_GT(raster.NumOccupied(), 100u);
+
+  // A lane centerline point must carry the centerline bit.
+  const Lanelet& ll = map.lanelets().begin()->second;
+  Vec2 mid = ll.centerline.PointAt(ll.centerline.Length() / 2);
+  EXPECT_NE(raster.Sample(mid) & kRasterCenterline, 0);
+
+  // A sign position must carry the sign bit.
+  for (const auto& [id, lm] : map.landmarks()) {
+    if (lm.type == LandmarkType::kTrafficSign) {
+      EXPECT_NE(raster.Sample(lm.position.xy()) & kRasterSign, 0);
+      break;
+    }
+  }
+}
+
+TEST(RasterTest, MatchScorePeaksAtTruePose) {
+  HdMap map = SmallTown();
+  SemanticRaster map_raster = RasterizeMap(map, 0.25);
+
+  // Build an observation patch: rasterize a small window around a pose on
+  // the road, in the patch's local frame.
+  const Lanelet& ll = map.lanelets().begin()->second;
+  Vec2 center = ll.centerline.PointAt(20.0);
+  double heading = ll.centerline.HeadingAt(20.0);
+  Pose2 true_pose(center, heading);
+
+  SemanticRaster patch(Aabb({-15, -15}, {15, 15}), 0.25);
+  for (int cy = 0; cy < patch.height(); ++cy) {
+    for (int cx = 0; cx < patch.width(); ++cx) {
+      Vec2 world = true_pose.TransformPoint(patch.CellCenter(cx, cy));
+      uint8_t bits = map_raster.Sample(world);
+      if (bits != 0) patch.Set(cx, cy, bits);
+    }
+  }
+  double true_score = map_raster.MatchScore(patch, true_pose);
+  Pose2 shifted(center + Vec2{2.0, 1.0}, heading + 0.05);
+  double shifted_score = map_raster.MatchScore(patch, shifted);
+  EXPECT_GT(true_score, shifted_score);
+  EXPECT_GT(true_score, 0.0);
+}
+
+TEST(RasterTest, DiffFractionDetectsChange) {
+  HdMap map = SmallTown();
+  SemanticRaster a = RasterizeMap(map, 0.5);
+  EXPECT_EQ(a.DiffFraction(a), 0.0);
+
+  // Remove a couple of landmarks: the raster changes a little.
+  HdMap changed = map;
+  std::vector<ElementId> ids;
+  for (const auto& [id, lm] : changed.landmarks()) ids.push_back(id);
+  ASSERT_GE(ids.size(), 2u);
+  ASSERT_TRUE(changed.RemoveLandmark(ids[0]).ok());
+  ASSERT_TRUE(changed.RemoveLandmark(ids[1]).ok());
+  SemanticRaster b = RasterizeMap(changed, 0.5);
+  if (a.width() == b.width() && a.height() == b.height()) {
+    double diff = a.DiffFraction(b);
+    EXPECT_GT(diff, 0.0);
+    EXPECT_LT(diff, 0.2);
+  }
+}
+
+TEST(RasterTest, RleSerializationIsCompact) {
+  HdMap map = SmallTown();
+  SemanticRaster raster = RasterizeMap(map, 0.5);
+  std::string rle = raster.SerializeRle();
+  EXPECT_LT(rle.size(), raster.SizeBytes());
+  EXPECT_GT(rle.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hdmap

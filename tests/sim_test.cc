@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/statistics.h"
+#include "sim/change_injector.h"
+#include "sim/road_network_generator.h"
+#include "sim/sensors.h"
+#include "sim/trajectory.h"
+#include "sim/vehicle.h"
+
+namespace hdmap {
+namespace {
+
+TEST(TownGeneratorTest, ProducesValidMap) {
+  Rng rng(1);
+  TownOptions opt;
+  opt.grid_rows = 3;
+  opt.grid_cols = 3;
+  auto town = GenerateTown(opt, rng);
+  ASSERT_TRUE(town.ok()) << town.status().ToString();
+  const HdMap& map = *town;
+  EXPECT_TRUE(map.Validate().ok()) << map.Validate().ToString();
+  EXPECT_EQ(map.map_nodes().size(), 9u);
+  // 12 road segments in a 3x3 grid, each with 2 lanes (1 per direction).
+  EXPECT_EQ(map.lane_bundles().size(), 12u);
+  EXPECT_GT(map.lanelets().size(), 24u);  // Street lanes + connectors.
+  EXPECT_GT(map.landmarks().size(), 10u);
+  EXPECT_GT(map.area_features().size(), 0u);
+}
+
+TEST(TownGeneratorTest, RejectsDegenerate) {
+  Rng rng(1);
+  TownOptions opt;
+  opt.grid_rows = 1;
+  EXPECT_FALSE(GenerateTown(opt, rng).ok());
+  TownOptions opt2;
+  opt2.lanes_per_direction = 0;
+  EXPECT_FALSE(GenerateTown(opt2, rng).ok());
+}
+
+TEST(TownGeneratorTest, MultiLaneHasLaneChangeNeighbors) {
+  Rng rng(2);
+  TownOptions opt;
+  opt.grid_rows = 2;
+  opt.grid_cols = 2;
+  opt.lanes_per_direction = 2;
+  auto town = GenerateTown(opt, rng);
+  ASSERT_TRUE(town.ok());
+  int with_neighbor = 0;
+  for (const auto& [id, ll] : town->lanelets()) {
+    if (ll.left_neighbor != kInvalidId || ll.right_neighbor != kInvalidId) {
+      ++with_neighbor;
+    }
+  }
+  EXPECT_GT(with_neighbor, 0);
+}
+
+TEST(TownGeneratorTest, DeterministicFromSeed) {
+  TownOptions opt;
+  opt.grid_rows = 2;
+  opt.grid_cols = 2;
+  Rng rng_a(7), rng_b(7);
+  auto a = GenerateTown(opt, rng_a);
+  auto b = GenerateTown(opt, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->NumElements(), b->NumElements());
+  for (const auto& [id, lm] : a->landmarks()) {
+    const Landmark* other = b->FindLandmark(id);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->position, lm.position);
+  }
+}
+
+TEST(HighwayGeneratorTest, ProducesConnectedCorridor) {
+  Rng rng(3);
+  HighwayOptions opt;
+  opt.length = 5000.0;
+  opt.hill_amplitude = 20.0;
+  auto hw = GenerateHighway(opt, rng);
+  ASSERT_TRUE(hw.ok()) << hw.status().ToString();
+  EXPECT_TRUE(hw->Validate().ok()) << hw->Validate().ToString();
+  EXPECT_GT(hw->lanelets().size(), 10u);
+  EXPECT_GT(hw->landmarks().size(), 10u);
+
+  // The forward chain must be drivable end to end: follow successors.
+  // Find a lanelet with no predecessors whose chain is long.
+  size_t longest_chain = 0;
+  for (const auto& [id, ll] : hw->lanelets()) {
+    if (!ll.predecessors.empty()) continue;
+    size_t chain = 1;
+    const Lanelet* cur = &ll;
+    std::set<ElementId> seen{ll.id};
+    while (!cur->successors.empty()) {
+      ElementId next = cur->successors.front();
+      if (seen.count(next) > 0) break;
+      seen.insert(next);
+      cur = hw->FindLanelet(next);
+      ASSERT_NE(cur, nullptr);
+      ++chain;
+    }
+    longest_chain = std::max(longest_chain, chain);
+  }
+  EXPECT_GE(longest_chain, 9u);  // ~5000/500 segments.
+
+  // Elevation profile present and non-trivial.
+  bool has_elevation = false;
+  for (const auto& [id, ll] : hw->lanelets()) {
+    for (double z : ll.elevation_profile) {
+      if (std::abs(z) > 1.0) has_elevation = true;
+    }
+  }
+  EXPECT_TRUE(has_elevation);
+}
+
+TEST(BicycleModelTest, StraightLineMotion) {
+  BicycleModel model;
+  BicycleModel::State s;
+  s.pose = Pose2(0, 0, 0);
+  s.speed = 10.0;
+  for (int i = 0; i < 10; ++i) s = model.Step(s, 0.0, 0.0, 0.1);
+  EXPECT_NEAR(s.pose.translation.x, 10.0, 1e-9);
+  EXPECT_NEAR(s.pose.translation.y, 0.0, 1e-9);
+  EXPECT_NEAR(s.speed, 10.0, 1e-9);
+}
+
+TEST(BicycleModelTest, SteeringCurves) {
+  BicycleModel model(2.7);
+  BicycleModel::State s;
+  s.speed = 10.0;
+  for (int i = 0; i < 50; ++i) s = model.Step(s, 0.0, 0.1, 0.1);
+  EXPECT_GT(s.pose.heading, 0.1);
+  EXPECT_GT(s.pose.translation.y, 1.0);
+}
+
+TEST(BicycleModelTest, SpeedNeverNegative) {
+  BicycleModel model;
+  BicycleModel::State s;
+  s.speed = 1.0;
+  s = model.Step(s, -10.0, 0.0, 1.0);
+  EXPECT_EQ(s.speed, 0.0);
+}
+
+TEST(TrajectoryTest, FollowsRouteCenterline) {
+  Rng rng(4);
+  TownOptions opt;
+  opt.grid_rows = 2;
+  opt.grid_cols = 2;
+  auto town = GenerateTown(opt, rng);
+  ASSERT_TRUE(town.ok());
+  // Pick a lanelet and one of its successors.
+  ElementId first = kInvalidId, second = kInvalidId;
+  for (const auto& [id, ll] : town->lanelets()) {
+    if (!ll.successors.empty()) {
+      first = id;
+      second = ll.successors.front();
+      break;
+    }
+  }
+  ASSERT_NE(first, kInvalidId);
+  auto traj = DriveRoute(*town, {first, second});
+  ASSERT_TRUE(traj.ok()) << traj.status().ToString();
+  EXPECT_GT(traj->size(), 10u);
+  // Time is monotonic; poses stay near the centerlines.
+  for (size_t i = 1; i < traj->size(); ++i) {
+    EXPECT_GT((*traj)[i].t, (*traj)[i - 1].t);
+  }
+  for (const TimedPose& tp : *traj) {
+    const Lanelet* ll = town->FindLanelet(tp.lanelet_id);
+    ASSERT_NE(ll, nullptr);
+    EXPECT_LT(ll->centerline.DistanceTo(tp.pose.translation), 0.1);
+  }
+}
+
+TEST(TrajectoryTest, RejectsDisconnectedRoute) {
+  Rng rng(4);
+  TownOptions opt;
+  opt.grid_rows = 2;
+  opt.grid_cols = 2;
+  auto town = GenerateTown(opt, rng);
+  ASSERT_TRUE(town.ok());
+  // Two arbitrary lanelets that are not successive.
+  ElementId a = town->lanelets().begin()->first;
+  ElementId b = kInvalidId;
+  for (const auto& [id, ll] : town->lanelets()) {
+    const Lanelet* la = town->FindLanelet(a);
+    if (id != a &&
+        std::find(la->successors.begin(), la->successors.end(), id) ==
+            la->successors.end()) {
+      b = id;
+      break;
+    }
+  }
+  ASSERT_NE(b, kInvalidId);
+  EXPECT_FALSE(DriveRoute(*town, {a, b}).ok());
+  EXPECT_FALSE(DriveRoute(*town, {}).ok());
+}
+
+TEST(GpsSensorTest, ErrorStatisticsMatchModel) {
+  Rng rng(5);
+  GpsSensor::Options opt;
+  opt.noise_sigma = 1.5;
+  opt.bias_sigma = 1.0;
+  opt.bias_walk_sigma = 0.0;
+  RunningStats err;
+  for (int traversal = 0; traversal < 200; ++traversal) {
+    GpsSensor gps(opt, rng);
+    Vec2 fix = gps.Measure({100.0, 50.0}, rng);
+    err.Add(fix.DistanceTo({100.0, 50.0}));
+  }
+  // Expected RMS per-axis ~ sqrt(1.5^2 + 1^2) = 1.8 => mean 2D error
+  // ~ 1.8 * sqrt(pi/2) ~ 2.26.
+  EXPECT_GT(err.mean(), 1.4);
+  EXPECT_LT(err.mean(), 3.2);
+}
+
+TEST(OdometrySensorTest, MeasuresRelativeMotion) {
+  Rng rng(6);
+  OdometrySensor odo({0.0, 0.0});  // Noise-free.
+  Pose2 a(0, 0, 0), b(3, 4, 0.2);
+  auto d = odo.Measure(a, b, rng);
+  EXPECT_NEAR(d.distance, 5.0, 1e-9);
+  EXPECT_NEAR(d.heading_change, 0.2, 1e-9);
+}
+
+TEST(LandmarkDetectorTest, DetectsInFovWithNoise) {
+  Rng rng(7);
+  HdMap map;
+  Landmark ahead;
+  ahead.id = 1;
+  ahead.position = {30, 2, 2};
+  Landmark behind;
+  behind.id = 2;
+  behind.position = {-30, 0, 2};
+  Landmark far_away;
+  far_away.id = 3;
+  far_away.position = {500, 0, 2};
+  ASSERT_TRUE(map.AddLandmark(ahead).ok());
+  ASSERT_TRUE(map.AddLandmark(behind).ok());
+  ASSERT_TRUE(map.AddLandmark(far_away).ok());
+
+  LandmarkDetector::Options opt;
+  opt.detection_prob = 1.0;
+  opt.clutter_rate = 0.0;
+  LandmarkDetector detector(opt);
+  Pose2 pose(0, 0, 0);
+  int detections_of_1 = 0;
+  RunningStats err;
+  for (int i = 0; i < 100; ++i) {
+    auto dets = detector.Detect(map, pose, rng);
+    for (const auto& d : dets) {
+      EXPECT_NE(d.truth_id, 2);  // Behind: outside FOV.
+      EXPECT_NE(d.truth_id, 3);  // Out of range.
+      if (d.truth_id == 1) {
+        ++detections_of_1;
+        err.Add(d.position_vehicle.DistanceTo({30, 2}));
+      }
+    }
+  }
+  EXPECT_EQ(detections_of_1, 100);
+  EXPECT_LT(err.mean(), 1.0);
+  EXPECT_GT(err.mean(), 0.0);
+}
+
+TEST(LandmarkDetectorTest, MissRateRoughlyHonored) {
+  Rng rng(8);
+  HdMap map;
+  Landmark lm;
+  lm.id = 1;
+  lm.position = {20, 0, 2};
+  ASSERT_TRUE(map.AddLandmark(lm).ok());
+  LandmarkDetector::Options opt;
+  opt.detection_prob = 0.7;
+  opt.clutter_rate = 0.0;
+  LandmarkDetector detector(opt);
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!detector.Detect(map, Pose2(0, 0, 0), rng).empty()) ++hits;
+  }
+  EXPECT_NEAR(hits / 1000.0, 0.7, 0.05);
+}
+
+TEST(LandmarkDetectorTest, ReflectivityThresholdFiltersHrl) {
+  Rng rng(9);
+  HdMap map;
+  Landmark dull;
+  dull.id = 1;
+  dull.position = {20, 0, 2};
+  dull.reflectivity = 0.4;
+  Landmark hrl;
+  hrl.id = 2;
+  hrl.position = {25, 0, 2};
+  hrl.type = LandmarkType::kHighReflectiveLandmark;
+  hrl.reflectivity = 0.98;
+  ASSERT_TRUE(map.AddLandmark(dull).ok());
+  ASSERT_TRUE(map.AddLandmark(hrl).ok());
+  LandmarkDetector::Options opt;
+  opt.detection_prob = 1.0;
+  opt.clutter_rate = 0.0;
+  opt.min_reflectivity = 0.9;
+  LandmarkDetector detector(opt);
+  auto dets = detector.Detect(map, Pose2(0, 0, 0), rng);
+  ASSERT_EQ(dets.size(), 1u);
+  EXPECT_EQ(dets[0].truth_id, 2);
+}
+
+TEST(MarkingScannerTest, MarkingPointsAreBrighter) {
+  Rng rng(10);
+  HdMap map;
+  LineFeature marking;
+  marking.id = 1;
+  marking.type = LineType::kSolidLaneMarking;
+  marking.reflectivity = 0.85;
+  marking.geometry = LineString({{-20, 1.75}, {20, 1.75}});
+  ASSERT_TRUE(map.AddLineFeature(marking).ok());
+
+  MarkingScanner scanner({});
+  auto points = scanner.Scan(map, Pose2(0, 0, 0), rng);
+  RunningStats on, off;
+  for (const auto& p : points) {
+    (p.on_marking ? on : off).Add(p.intensity);
+  }
+  EXPECT_GT(on.count(), 10u);
+  EXPECT_GT(off.count(), 10u);
+  EXPECT_GT(on.mean(), off.mean() + 0.3);
+}
+
+TEST(ChangeInjectorTest, ReportsGroundTruth) {
+  Rng rng(11);
+  TownOptions topt;
+  topt.grid_rows = 3;
+  topt.grid_cols = 3;
+  auto town = GenerateTown(topt, rng);
+  ASSERT_TRUE(town.ok());
+  HdMap world = *town;
+
+  ChangeInjectorOptions copt;
+  copt.landmark_add_prob = 0.1;
+  copt.landmark_remove_prob = 0.1;
+  copt.landmark_move_prob = 0.1;
+  copt.construction_sites = 2;
+  auto events = InjectChanges(copt, &world, rng);
+  EXPECT_GT(events.size(), 0u);
+
+  int adds = 0, removes = 0, moves = 0, constructions = 0;
+  for (const auto& ev : events) {
+    switch (ev.type) {
+      case ChangeType::kLandmarkAdded:
+        ++adds;
+        EXPECT_NE(world.FindLandmark(ev.element_id), nullptr);
+        EXPECT_EQ(town->FindLandmark(ev.element_id), nullptr);
+        break;
+      case ChangeType::kLandmarkRemoved:
+        ++removes;
+        EXPECT_EQ(world.FindLandmark(ev.element_id), nullptr);
+        EXPECT_NE(town->FindLandmark(ev.element_id), nullptr);
+        break;
+      case ChangeType::kLandmarkMoved: {
+        ++moves;
+        const Landmark* lm = world.FindLandmark(ev.element_id);
+        ASSERT_NE(lm, nullptr);
+        EXPECT_EQ(lm->position, ev.new_position);
+        break;
+      }
+      case ChangeType::kConstructionSite: {
+        ++constructions;
+        const LineFeature* lf = world.FindLineFeature(ev.element_id);
+        const LineFeature* orig = town->FindLineFeature(ev.element_id);
+        ASSERT_NE(lf, nullptr);
+        ASSERT_NE(orig, nullptr);
+        // Geometry actually shifted somewhere.
+        double max_shift = 0.0;
+        for (const Vec2& p : lf->geometry.points()) {
+          max_shift = std::max(max_shift, orig->geometry.DistanceTo(p));
+        }
+        EXPECT_GT(max_shift, 0.5);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(constructions, 2);
+  EXPECT_GT(adds + removes + moves, 0);
+}
+
+}  // namespace
+}  // namespace hdmap

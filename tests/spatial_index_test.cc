@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/rng.h"
+#include "geometry/grid_index.h"
+#include "geometry/kd_tree.h"
+#include "geometry/r_tree.h"
+
+namespace hdmap {
+namespace {
+
+std::vector<KdTree::Entry> RandomPoints(int n, Rng& rng) {
+  std::vector<KdTree::Entry> entries;
+  entries.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    entries.push_back(
+        {{rng.Uniform(-100, 100), rng.Uniform(-100, 100)}, i + 1});
+  }
+  return entries;
+}
+
+int64_t BruteNearest(const std::vector<KdTree::Entry>& entries,
+                     const Vec2& q) {
+  double best = std::numeric_limits<double>::max();
+  int64_t id = 0;
+  for (const auto& e : entries) {
+    double d = e.point.SquaredDistanceTo(q);
+    if (d < best) {
+      best = d;
+      id = e.id;
+    }
+  }
+  return id;
+}
+
+class KdTreeParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KdTreeParamTest, NearestMatchesBruteForce) {
+  Rng rng(GetParam());
+  auto entries = RandomPoints(GetParam() * 50 + 1, rng);
+  KdTree tree(entries);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec2 q{rng.Uniform(-120, 120), rng.Uniform(-120, 120)};
+    const KdTree::Entry* got = tree.Nearest(q);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->id, BruteNearest(entries, q));
+  }
+}
+
+TEST_P(KdTreeParamTest, RadiusMatchesBruteForce) {
+  Rng rng(GetParam() + 1000);
+  auto entries = RandomPoints(GetParam() * 50 + 1, rng);
+  KdTree tree(entries);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vec2 q{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    double r = rng.Uniform(5, 40);
+    auto got = tree.RadiusSearch(q, r);
+    std::set<int64_t> got_ids;
+    for (const auto& e : got) got_ids.insert(e.id);
+    std::set<int64_t> want_ids;
+    for (const auto& e : entries) {
+      if (e.point.DistanceTo(q) <= r) want_ids.insert(e.id);
+    }
+    EXPECT_EQ(got_ids, want_ids);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KdTreeParamTest,
+                         ::testing::Values(1, 2, 5, 10, 20));
+
+TEST(KdTreeTest, EmptyTree) {
+  KdTree tree;
+  EXPECT_EQ(tree.Nearest({0, 0}), nullptr);
+  EXPECT_TRUE(tree.RadiusSearch({0, 0}, 10).empty());
+  EXPECT_TRUE(tree.KNearest({0, 0}, 3).empty());
+}
+
+TEST(KdTreeTest, KNearestOrderedByDistance) {
+  std::vector<KdTree::Entry> entries = {
+      {{0, 0}, 1}, {{1, 0}, 2}, {{2, 0}, 3}, {{3, 0}, 4}, {{10, 0}, 5}};
+  KdTree tree(entries);
+  auto knn = tree.KNearest({0.1, 0}, 3);
+  ASSERT_EQ(knn.size(), 3u);
+  EXPECT_EQ(knn[0].id, 1);
+  EXPECT_EQ(knn[1].id, 2);
+  EXPECT_EQ(knn[2].id, 3);
+}
+
+TEST(KdTreeTest, KNearestWithKLargerThanSize) {
+  std::vector<KdTree::Entry> entries = {{{0, 0}, 1}, {{1, 0}, 2}};
+  KdTree tree(entries);
+  EXPECT_EQ(tree.KNearest({0, 0}, 10).size(), 2u);
+}
+
+class RTreeParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeParamTest, QueryMatchesBruteForce) {
+  Rng rng(GetParam());
+  std::vector<RTree::Entry> entries;
+  int n = GetParam() * 40 + 1;
+  for (int i = 0; i < n; ++i) {
+    Vec2 c{rng.Uniform(-200, 200), rng.Uniform(-200, 200)};
+    Vec2 half{rng.Uniform(0.5, 10), rng.Uniform(0.5, 10)};
+    entries.push_back({Aabb(c - half, c + half), i + 1});
+  }
+  RTree tree(entries);
+  EXPECT_EQ(tree.size(), static_cast<size_t>(n));
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec2 c{rng.Uniform(-200, 200), rng.Uniform(-200, 200)};
+    Vec2 half{rng.Uniform(1, 50), rng.Uniform(1, 50)};
+    Aabb q(c - half, c + half);
+    auto got = tree.Query(q);
+    std::set<int64_t> got_ids(got.begin(), got.end());
+    std::set<int64_t> want_ids;
+    for (const auto& e : entries) {
+      if (e.box.Intersects(q)) want_ids.insert(e.id);
+    }
+    EXPECT_EQ(got_ids, want_ids);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RTreeParamTest,
+                         ::testing::Values(1, 3, 8, 25));
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.Query(Aabb({-1, -1}, {1, 1})).empty());
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(RTreeTest, QueryPoint) {
+  std::vector<RTree::Entry> entries = {{Aabb({0, 0}, {10, 10}), 1},
+                                       {Aabb({20, 20}, {30, 30}), 2}};
+  RTree tree(entries);
+  auto hits = tree.QueryPoint({5, 5});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1);
+  EXPECT_TRUE(tree.QueryPoint({15, 15}).empty());
+}
+
+TEST(GridIndexTest, InsertQueryRemove) {
+  GridIndex index(5.0);
+  index.Insert({1, 1}, 10);
+  index.Insert({2, 2}, 20);
+  index.Insert({50, 50}, 30);
+  EXPECT_EQ(index.size(), 3u);
+  auto near = index.RadiusSearch({0, 0}, 5.0);
+  EXPECT_EQ(near.size(), 2u);
+  EXPECT_TRUE(index.Remove({1, 1}, 10));
+  EXPECT_FALSE(index.Remove({1, 1}, 10));
+  EXPECT_EQ(index.RadiusSearch({0, 0}, 5.0).size(), 1u);
+}
+
+TEST(GridIndexTest, RadiusBoundaryExact) {
+  GridIndex index(10.0);
+  index.Insert({3, 4}, 1);  // Distance 5 from origin.
+  EXPECT_EQ(index.RadiusSearch({0, 0}, 5.0).size(), 1u);
+  EXPECT_EQ(index.RadiusSearch({0, 0}, 4.99).size(), 0u);
+}
+
+TEST(GridIndexTest, NegativeCoordinates) {
+  GridIndex index(10.0);
+  index.Insert({-95, -95}, 7);
+  auto got = index.RadiusSearch({-94, -94}, 3.0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 7);
+}
+
+}  // namespace
+}  // namespace hdmap

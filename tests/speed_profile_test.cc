@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "planning/speed_profile.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+TEST(SpeedProfileTest, ExtractsLimitsAndStopsFromTown) {
+  HdMap map = SmallTownWorld(141, 3, 3);
+  // Find a street lanelet with a traffic-light regulatory element.
+  std::vector<ElementId> route;
+  for (const auto& [id, ll] : map.lanelets()) {
+    if (!ll.regulatory_ids.empty() && !ll.successors.empty()) {
+      route = {id};
+      break;
+    }
+  }
+  ASSERT_EQ(route.size(), 1u);
+  auto constraints = ExtractRouteConstraints(map, route);
+  ASSERT_TRUE(constraints.ok());
+  bool has_limit = false, has_light_stop = false, has_end = false;
+  for (const auto& c : *constraints) {
+    if (c.cause == SpeedConstraintCause::kSpeedLimit) {
+      has_limit = true;
+      EXPECT_GT(c.max_speed, 1.0);
+    }
+    if (c.cause == SpeedConstraintCause::kTrafficLight) {
+      has_light_stop = true;
+      EXPECT_EQ(c.max_speed, 0.0);
+    }
+    if (c.cause == SpeedConstraintCause::kRouteEnd) has_end = true;
+  }
+  EXPECT_TRUE(has_limit);
+  EXPECT_TRUE(has_light_stop);
+  EXPECT_TRUE(has_end);
+
+  // Green-wave option drops the light stop.
+  SpeedProfileOptions green;
+  green.stop_at_lights = false;
+  auto relaxed = ExtractRouteConstraints(map, route, green);
+  ASSERT_TRUE(relaxed.ok());
+  for (const auto& c : *relaxed) {
+    EXPECT_NE(c.cause, SpeedConstraintCause::kTrafficLight);
+  }
+}
+
+TEST(SpeedProfileTest, ExtractValidation) {
+  HdMap map = StraightRoad();
+  EXPECT_FALSE(ExtractRouteConstraints(map, {}).ok());
+  EXPECT_FALSE(ExtractRouteConstraints(map, {999}).ok());
+}
+
+TEST(SpeedProfileTest, ProfileRespectsLimitsAndDynamics) {
+  std::vector<SpeedConstraint> constraints = {
+      {0.0, 14.0, SpeedConstraintCause::kSpeedLimit},
+      {200.0, 8.0, SpeedConstraintCause::kSpeedLimit},
+      {400.0, 0.0, SpeedConstraintCause::kStopSign},
+      {600.0, 0.0, SpeedConstraintCause::kRouteEnd},
+  };
+  SpeedProfileOptions opt;
+  opt.max_accel = 1.5;
+  opt.max_decel = 2.5;
+  auto profile = GenerateSpeedProfile(constraints, 600.0, opt);
+  ASSERT_GT(profile.size(), 50u);
+
+  for (size_t i = 0; i < profile.size(); ++i) {
+    double s = profile[i].station;
+    double v = profile[i].speed;
+    // Limit envelope: later limits override earlier ones.
+    if (s < 200.0 - 1e-9) {
+      EXPECT_LE(v, 14.0 + 1e-6);
+    } else {
+      EXPECT_LE(v, 8.0 + 1e-6);
+    }
+    // Dynamics: v^2 changes bounded by 2*a*ds between samples.
+    if (i > 0) {
+      double dv2 = v * v - profile[i - 1].speed * profile[i - 1].speed;
+      double ds = s - profile[i - 1].station;
+      EXPECT_LE(dv2, 2.0 * opt.max_accel * ds + 1e-6);
+      EXPECT_GE(dv2, -2.0 * opt.max_decel * ds - 1e-6);
+    }
+  }
+  // Stops reached: speed ~0 at the stop sign and at the route end.
+  auto speed_at = [&](double station) {
+    double best = 1e9;
+    double best_d = 1e18;
+    for (const auto& sample : profile) {
+      double d = std::abs(sample.station - station);
+      if (d < best_d) {
+        best_d = d;
+        best = sample.speed;
+      }
+    }
+    return best;
+  };
+  EXPECT_LT(speed_at(400.0), 0.5);
+  EXPECT_LT(speed_at(600.0), 0.5);
+  // The vehicle actually gets moving in between.
+  EXPECT_GT(speed_at(100.0), 10.0);
+  EXPECT_GT(speed_at(500.0), 3.0);
+}
+
+TEST(SpeedProfileTest, StartsFromInitialSpeed) {
+  std::vector<SpeedConstraint> constraints = {
+      {0.0, 20.0, SpeedConstraintCause::kSpeedLimit},
+      {300.0, 0.0, SpeedConstraintCause::kRouteEnd},
+  };
+  SpeedProfileOptions opt;
+  opt.initial_speed = 12.0;
+  auto profile = GenerateSpeedProfile(constraints, 300.0, opt);
+  ASSERT_FALSE(profile.empty());
+  EXPECT_NEAR(profile[0].speed, 12.0, 1e-9);
+}
+
+TEST(SpeedProfileTest, EmptyInputsAreSafe) {
+  EXPECT_TRUE(GenerateSpeedProfile({}, 0.0).empty());
+  EXPECT_TRUE(GenerateSpeedProfile({}, -5.0).empty());
+}
+
+}  // namespace
+}  // namespace hdmap

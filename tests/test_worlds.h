@@ -1,0 +1,87 @@
+#ifndef HDMAP_TESTS_TEST_WORLDS_H_
+#define HDMAP_TESTS_TEST_WORLDS_H_
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/hd_map.h"
+#include "sim/road_network_generator.h"
+
+namespace hdmap {
+
+/// A 1 km straight two-lane road along +x with markings, edges and
+/// periodic signs: the shared fixture for localization/creation tests.
+inline HdMap StraightRoad(double length = 1000.0, double sign_spacing = 60.0) {
+  HdMap map;
+  ElementId next = 1;
+  auto line = [&](double y, LineType type, double refl) {
+    LineFeature lf;
+    lf.id = next++;
+    lf.type = type;
+    lf.reflectivity = refl;
+    std::vector<Vec2> pts;
+    for (double x = 0.0; x <= length; x += 10.0) pts.push_back({x, y});
+    lf.geometry = LineString(std::move(pts));
+    ElementId id = lf.id;
+    (void)map.AddLineFeature(std::move(lf));
+    return id;
+  };
+  ElementId left_edge = line(3.5, LineType::kRoadEdge, 0.3);
+  ElementId center = line(0.0, LineType::kSolidLaneMarking, 0.85);
+  ElementId right_edge = line(-3.5, LineType::kRoadEdge, 0.3);
+
+  auto lane = [&](double y, ElementId lb, ElementId rb, bool reversed) {
+    Lanelet ll;
+    ll.id = next++;
+    std::vector<Vec2> pts;
+    for (double x = 0.0; x <= length; x += 10.0) pts.push_back({x, y});
+    if (reversed) std::reverse(pts.begin(), pts.end());
+    ll.centerline = LineString(std::move(pts));
+    ll.left_boundary_id = lb;
+    ll.right_boundary_id = rb;
+    ElementId id = ll.id;
+    (void)map.AddLanelet(std::move(ll));
+    return id;
+  };
+  ElementId fwd = lane(-1.75, center, right_edge, false);
+  ElementId bwd = lane(1.75, center, left_edge, true);
+  (void)fwd;
+  (void)bwd;
+
+  // Periodic cross stop-lines (side-street mouths): these make the
+  // longitudinal direction observable to marking-based localizers.
+  for (double x = 100.0; x < length; x += 100.0) {
+    LineFeature stop;
+    stop.id = next++;
+    stop.type = LineType::kStopLine;
+    stop.reflectivity = 0.9;
+    stop.geometry = LineString({{x, -3.3}, {x, 3.3}});
+    (void)map.AddLineFeature(std::move(stop));
+  }
+
+  for (double x = sign_spacing / 2; x < length; x += sign_spacing) {
+    Landmark sign;
+    sign.id = next++;
+    sign.type = LandmarkType::kTrafficSign;
+    sign.subtype = "speed_limit_50";
+    double side = (static_cast<int>(x / sign_spacing) % 2 == 0) ? 1.0 : -1.0;
+    sign.position = {x, side * 5.0, 2.2};
+    sign.reflectivity = 0.9;
+    (void)map.AddLandmark(std::move(sign));
+  }
+  return map;
+}
+
+/// A small deterministic town.
+inline HdMap SmallTownWorld(uint64_t seed = 17, int rows = 3, int cols = 3) {
+  Rng rng(seed);
+  TownOptions opt;
+  opt.grid_rows = rows;
+  opt.grid_cols = cols;
+  auto town = GenerateTown(opt, rng);
+  return town.ok() ? std::move(town).value() : HdMap();
+}
+
+}  // namespace hdmap
+
+#endif  // HDMAP_TESTS_TEST_WORLDS_H_

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+#include "perception/traffic_light_recognition.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+HdMap MapWithLights() {
+  HdMap map;
+  for (int i = 0; i < 3; ++i) {
+    Landmark light;
+    light.id = 10 + i;
+    light.type = LandmarkType::kTrafficLight;
+    light.position = {40.0 + i * 60.0, 5.0, 5.0};
+    EXPECT_TRUE(map.AddLandmark(light).ok());
+  }
+  return map;
+}
+
+TEST(TrafficLightProgramTest, CyclesThroughStates) {
+  TrafficLightProgram program({20.0, 15.0, 3.0});
+  bool saw[4] = {false, false, false, false};
+  for (double t = 0.0; t < 38.0; t += 0.5) {
+    saw[static_cast<int>(program.StateAt(10, t))] = true;
+  }
+  EXPECT_TRUE(saw[static_cast<int>(LightState::kRed)]);
+  EXPECT_TRUE(saw[static_cast<int>(LightState::kGreen)]);
+  EXPECT_TRUE(saw[static_cast<int>(LightState::kYellow)]);
+  EXPECT_FALSE(saw[static_cast<int>(LightState::kUnknown)]);
+  // Deterministic.
+  EXPECT_EQ(program.StateAt(10, 5.0), program.StateAt(10, 5.0));
+  // The cycle repeats.
+  EXPECT_EQ(program.StateAt(10, 1.0), program.StateAt(10, 39.0));
+}
+
+TEST(CameraLightDetectorTest, DetectsLightAheadWithColor) {
+  HdMap map = MapWithLights();
+  TrafficLightProgram program({});
+  CameraLightDetector::Options opt;
+  opt.detection_prob = 1.0;
+  opt.color_error_prob = 0.0;
+  opt.clutter_rate = 0.0;
+  CameraLightDetector detector(opt);
+  Rng rng(1);
+  auto dets = detector.Detect(map, program, Pose2(0, 5, 0), 10.0, rng);
+  ASSERT_EQ(dets.size(), 1u);  // Only the first light is within 70 m.
+  EXPECT_EQ(dets[0].truth_id, 10);
+  EXPECT_EQ(dets[0].color, program.StateAt(10, 10.0));
+}
+
+TEST(RecognizerTest, InterFrameFilterSuppressesFlicker) {
+  HdMap map = MapWithLights();
+  TrafficLightProgram program({});
+  MapGatedLightRecognizer recognizer(&map, {});
+  Rng rng(2);
+  // Feed 5 frames: 4 correct red, 1 flickered green.
+  const Landmark* light = map.FindLandmark(10);
+  Pose2 pose(10.0, 5.0, 0.0);
+  Vec2 local = pose.InverseTransformPoint(light->position.xy());
+  std::vector<RecognizedLight> out;
+  for (int frame = 0; frame < 5; ++frame) {
+    LightDetection det;
+    det.position_vehicle = local;
+    det.color = frame == 2 ? LightState::kGreen : LightState::kRed;
+    out = recognizer.ProcessFrame(pose, {det});
+  }
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].light_id, 10);
+  EXPECT_EQ(out[0].state, LightState::kRed);
+}
+
+TEST(RecognizerTest, MapGateRejectsClutter) {
+  HdMap map = MapWithLights();
+  MapGatedLightRecognizer gated(&map, {});
+  MapGatedLightRecognizer::Options ungated_opt;
+  ungated_opt.use_map_gate = false;
+  ungated_opt.use_interframe_filter = false;
+  MapGatedLightRecognizer ungated(&map, ungated_opt);
+
+  Pose2 pose(10.0, 5.0, 0.0);
+  LightDetection clutter;
+  clutter.position_vehicle = {25.0, -14.0};  // 15+ m from any light.
+  clutter.color = LightState::kGreen;
+  clutter.is_clutter = true;
+  // Gated: nothing is attributed.
+  EXPECT_TRUE(gated.ProcessFrame(pose, {clutter}).empty());
+  // Ungated baseline: the clutter is attributed to the nearest light.
+  auto out = ungated.ProcessFrame(pose, {clutter});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].state, LightState::kGreen);
+}
+
+TEST(RecognizerTest, EndToEndPrecisionWithMapBeatsBaseline) {
+  HdMap map = MapWithLights();
+  TrafficLightProgram program({});
+  CameraLightDetector detector({});
+  MapGatedLightRecognizer with_map(&map, {});
+  MapGatedLightRecognizer::Options base_opt;
+  base_opt.use_map_gate = false;
+  base_opt.use_interframe_filter = false;
+  MapGatedLightRecognizer baseline(&map, base_opt);
+  Rng rng(3);
+
+  int map_correct = 0, map_total = 0;
+  int base_correct = 0, base_total = 0;
+  for (int run = 0; run < 30; ++run) {
+    double t0 = run * 7.0;
+    for (int frame = 0; frame < 10; ++frame) {
+      double t = t0 + frame * 0.1;
+      Pose2 pose(5.0 + frame * 1.5, 5.0, 0.0);
+      auto dets = detector.Detect(map, program, pose, t, rng);
+      for (const auto& rec : with_map.ProcessFrame(pose, dets)) {
+        ++map_total;
+        if (rec.state == program.StateAt(rec.light_id, t)) ++map_correct;
+      }
+      for (const auto& rec : baseline.ProcessFrame(pose, dets)) {
+        ++base_total;
+        if (rec.state == program.StateAt(rec.light_id, t)) ++base_correct;
+      }
+    }
+  }
+  ASSERT_GT(map_total, 50);
+  ASSERT_GT(base_total, 50);
+  double map_precision = static_cast<double>(map_correct) / map_total;
+  double base_precision = static_cast<double>(base_correct) / base_total;
+  EXPECT_GT(map_precision, base_precision);
+  EXPECT_GT(map_precision, 0.9);
+}
+
+}  // namespace
+}  // namespace hdmap
