@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_incremental_fusion.dir/bench_e10_incremental_fusion.cc.o"
+  "CMakeFiles/bench_e10_incremental_fusion.dir/bench_e10_incremental_fusion.cc.o.d"
+  "bench_e10_incremental_fusion"
+  "bench_e10_incremental_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_incremental_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_localization_ladder.dir/bench_e13_localization_ladder.cc.o"
+  "CMakeFiles/bench_e13_localization_ladder.dir/bench_e13_localization_ladder.cc.o.d"
+  "bench_e13_localization_ladder"
+  "bench_e13_localization_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_localization_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

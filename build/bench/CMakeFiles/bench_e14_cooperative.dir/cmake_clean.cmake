@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_cooperative.dir/bench_e14_cooperative.cc.o"
+  "CMakeFiles/bench_e14_cooperative.dir/bench_e14_cooperative.cc.o.d"
+  "bench_e14_cooperative"
+  "bench_e14_cooperative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_cooperative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_traffic_lights.dir/bench_e15_traffic_lights.cc.o"
+  "CMakeFiles/bench_e15_traffic_lights.dir/bench_e15_traffic_lights.cc.o.d"
+  "bench_e15_traffic_lights"
+  "bench_e15_traffic_lights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_traffic_lights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

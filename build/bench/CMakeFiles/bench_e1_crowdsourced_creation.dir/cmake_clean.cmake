@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_crowdsourced_creation.dir/bench_e1_crowdsourced_creation.cc.o"
+  "CMakeFiles/bench_e1_crowdsourced_creation.dir/bench_e1_crowdsourced_creation.cc.o.d"
+  "bench_e1_crowdsourced_creation"
+  "bench_e1_crowdsourced_creation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_crowdsourced_creation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_pcc.dir/bench_e5_pcc.cc.o"
+  "CMakeFiles/bench_e5_pcc.dir/bench_e5_pcc.cc.o.d"
+  "bench_e5_pcc"
+  "bench_e5_pcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_pcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_raster_loc.dir/bench_e6_raster_loc.cc.o"
+  "CMakeFiles/bench_e6_raster_loc.dir/bench_e6_raster_loc.cc.o.d"
+  "bench_e6_raster_loc"
+  "bench_e6_raster_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_raster_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_bhps.dir/bench_e8_bhps.cc.o"
+  "CMakeFiles/bench_e8_bhps.dir/bench_e8_bhps.cc.o.d"
+  "bench_e8_bhps"
+  "bench_e8_bhps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_bhps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

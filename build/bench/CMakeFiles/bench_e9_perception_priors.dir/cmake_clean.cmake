@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_perception_priors.dir/bench_e9_perception_priors.cc.o"
+  "CMakeFiles/bench_e9_perception_priors.dir/bench_e9_perception_priors.cc.o.d"
+  "bench_e9_perception_priors"
+  "bench_e9_perception_priors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_perception_priors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_lane_extraction.dir/bench_fig1_lane_extraction.cc.o"
+  "CMakeFiles/bench_fig1_lane_extraction.dir/bench_fig1_lane_extraction.cc.o.d"
+  "bench_fig1_lane_extraction"
+  "bench_fig1_lane_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_lane_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_slamcu.dir/bench_fig2_slamcu.cc.o"
+  "CMakeFiles/bench_fig2_slamcu.dir/bench_fig2_slamcu.cc.o.d"
+  "bench_fig2_slamcu"
+  "bench_fig2_slamcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_slamcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

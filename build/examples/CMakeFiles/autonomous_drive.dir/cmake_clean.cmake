@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonomous_drive.dir/autonomous_drive.cpp.o"
+  "CMakeFiles/autonomous_drive.dir/autonomous_drive.cpp.o.d"
+  "autonomous_drive"
+  "autonomous_drive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonomous_drive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_map_update.dir/fleet_map_update.cpp.o"
+  "CMakeFiles/fleet_map_update.dir/fleet_map_update.cpp.o.d"
+  "fleet_map_update"
+  "fleet_map_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_map_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

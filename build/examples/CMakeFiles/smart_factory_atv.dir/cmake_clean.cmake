@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_factory_atv.dir/smart_factory_atv.cpp.o"
+  "CMakeFiles/smart_factory_atv.dir/smart_factory_atv.cpp.o.d"
+  "smart_factory_atv"
+  "smart_factory_atv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_factory_atv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmap_atv.dir/factory_world.cc.o"
+  "CMakeFiles/hdmap_atv.dir/factory_world.cc.o.d"
+  "CMakeFiles/hdmap_atv.dir/occupancy_grid.cc.o"
+  "CMakeFiles/hdmap_atv.dir/occupancy_grid.cc.o.d"
+  "CMakeFiles/hdmap_atv.dir/scan_matcher.cc.o"
+  "CMakeFiles/hdmap_atv.dir/scan_matcher.cc.o.d"
+  "CMakeFiles/hdmap_atv.dir/sign_update.cc.o"
+  "CMakeFiles/hdmap_atv.dir/sign_update.cc.o.d"
+  "libhdmap_atv.a"
+  "libhdmap_atv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmap_atv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

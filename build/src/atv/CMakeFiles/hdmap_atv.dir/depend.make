@@ -1,0 +1,2 @@
+# Empty dependencies file for hdmap_atv.
+# This may be replaced when dependencies are built.

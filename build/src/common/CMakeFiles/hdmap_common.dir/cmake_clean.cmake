@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmap_common.dir/statistics.cc.o"
+  "CMakeFiles/hdmap_common.dir/statistics.cc.o.d"
+  "CMakeFiles/hdmap_common.dir/status.cc.o"
+  "CMakeFiles/hdmap_common.dir/status.cc.o.d"
+  "libhdmap_common.a"
+  "libhdmap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bundle_graph.cc" "src/core/CMakeFiles/hdmap_core.dir/bundle_graph.cc.o" "gcc" "src/core/CMakeFiles/hdmap_core.dir/bundle_graph.cc.o.d"
+  "/root/repo/src/core/feature_layer.cc" "src/core/CMakeFiles/hdmap_core.dir/feature_layer.cc.o" "gcc" "src/core/CMakeFiles/hdmap_core.dir/feature_layer.cc.o.d"
+  "/root/repo/src/core/hd_map.cc" "src/core/CMakeFiles/hdmap_core.dir/hd_map.cc.o" "gcc" "src/core/CMakeFiles/hdmap_core.dir/hd_map.cc.o.d"
+  "/root/repo/src/core/map_patch.cc" "src/core/CMakeFiles/hdmap_core.dir/map_patch.cc.o" "gcc" "src/core/CMakeFiles/hdmap_core.dir/map_patch.cc.o.d"
+  "/root/repo/src/core/raster_filter.cc" "src/core/CMakeFiles/hdmap_core.dir/raster_filter.cc.o" "gcc" "src/core/CMakeFiles/hdmap_core.dir/raster_filter.cc.o.d"
+  "/root/repo/src/core/raster_layer.cc" "src/core/CMakeFiles/hdmap_core.dir/raster_layer.cc.o" "gcc" "src/core/CMakeFiles/hdmap_core.dir/raster_layer.cc.o.d"
+  "/root/repo/src/core/routing_graph.cc" "src/core/CMakeFiles/hdmap_core.dir/routing_graph.cc.o" "gcc" "src/core/CMakeFiles/hdmap_core.dir/routing_graph.cc.o.d"
+  "/root/repo/src/core/serialization.cc" "src/core/CMakeFiles/hdmap_core.dir/serialization.cc.o" "gcc" "src/core/CMakeFiles/hdmap_core.dir/serialization.cc.o.d"
+  "/root/repo/src/core/tile_store.cc" "src/core/CMakeFiles/hdmap_core.dir/tile_store.cc.o" "gcc" "src/core/CMakeFiles/hdmap_core.dir/tile_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/hdmap_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hdmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

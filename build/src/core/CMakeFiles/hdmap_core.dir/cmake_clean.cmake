@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmap_core.dir/bundle_graph.cc.o"
+  "CMakeFiles/hdmap_core.dir/bundle_graph.cc.o.d"
+  "CMakeFiles/hdmap_core.dir/feature_layer.cc.o"
+  "CMakeFiles/hdmap_core.dir/feature_layer.cc.o.d"
+  "CMakeFiles/hdmap_core.dir/hd_map.cc.o"
+  "CMakeFiles/hdmap_core.dir/hd_map.cc.o.d"
+  "CMakeFiles/hdmap_core.dir/map_patch.cc.o"
+  "CMakeFiles/hdmap_core.dir/map_patch.cc.o.d"
+  "CMakeFiles/hdmap_core.dir/raster_filter.cc.o"
+  "CMakeFiles/hdmap_core.dir/raster_filter.cc.o.d"
+  "CMakeFiles/hdmap_core.dir/raster_layer.cc.o"
+  "CMakeFiles/hdmap_core.dir/raster_layer.cc.o.d"
+  "CMakeFiles/hdmap_core.dir/routing_graph.cc.o"
+  "CMakeFiles/hdmap_core.dir/routing_graph.cc.o.d"
+  "CMakeFiles/hdmap_core.dir/serialization.cc.o"
+  "CMakeFiles/hdmap_core.dir/serialization.cc.o.d"
+  "CMakeFiles/hdmap_core.dir/tile_store.cc.o"
+  "CMakeFiles/hdmap_core.dir/tile_store.cc.o.d"
+  "libhdmap_core.a"
+  "libhdmap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

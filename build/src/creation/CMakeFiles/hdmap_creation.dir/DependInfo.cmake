@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/creation/aerial_fusion.cc" "src/creation/CMakeFiles/hdmap_creation.dir/aerial_fusion.cc.o" "gcc" "src/creation/CMakeFiles/hdmap_creation.dir/aerial_fusion.cc.o.d"
+  "/root/repo/src/creation/crowd_mapper.cc" "src/creation/CMakeFiles/hdmap_creation.dir/crowd_mapper.cc.o" "gcc" "src/creation/CMakeFiles/hdmap_creation.dir/crowd_mapper.cc.o.d"
+  "/root/repo/src/creation/lane_learner.cc" "src/creation/CMakeFiles/hdmap_creation.dir/lane_learner.cc.o" "gcc" "src/creation/CMakeFiles/hdmap_creation.dir/lane_learner.cc.o.d"
+  "/root/repo/src/creation/lidar_pipeline.cc" "src/creation/CMakeFiles/hdmap_creation.dir/lidar_pipeline.cc.o" "gcc" "src/creation/CMakeFiles/hdmap_creation.dir/lidar_pipeline.cc.o.d"
+  "/root/repo/src/creation/map_generator.cc" "src/creation/CMakeFiles/hdmap_creation.dir/map_generator.cc.o" "gcc" "src/creation/CMakeFiles/hdmap_creation.dir/map_generator.cc.o.d"
+  "/root/repo/src/creation/online_map_builder.cc" "src/creation/CMakeFiles/hdmap_creation.dir/online_map_builder.cc.o" "gcc" "src/creation/CMakeFiles/hdmap_creation.dir/online_map_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hdmap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hdmap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hdmap_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hdmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmap_creation.dir/aerial_fusion.cc.o"
+  "CMakeFiles/hdmap_creation.dir/aerial_fusion.cc.o.d"
+  "CMakeFiles/hdmap_creation.dir/crowd_mapper.cc.o"
+  "CMakeFiles/hdmap_creation.dir/crowd_mapper.cc.o.d"
+  "CMakeFiles/hdmap_creation.dir/lane_learner.cc.o"
+  "CMakeFiles/hdmap_creation.dir/lane_learner.cc.o.d"
+  "CMakeFiles/hdmap_creation.dir/lidar_pipeline.cc.o"
+  "CMakeFiles/hdmap_creation.dir/lidar_pipeline.cc.o.d"
+  "CMakeFiles/hdmap_creation.dir/map_generator.cc.o"
+  "CMakeFiles/hdmap_creation.dir/map_generator.cc.o.d"
+  "CMakeFiles/hdmap_creation.dir/online_map_builder.cc.o"
+  "CMakeFiles/hdmap_creation.dir/online_map_builder.cc.o.d"
+  "libhdmap_creation.a"
+  "libhdmap_creation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmap_creation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/kd_tree.cc" "src/geometry/CMakeFiles/hdmap_geometry.dir/kd_tree.cc.o" "gcc" "src/geometry/CMakeFiles/hdmap_geometry.dir/kd_tree.cc.o.d"
+  "/root/repo/src/geometry/line_fitting.cc" "src/geometry/CMakeFiles/hdmap_geometry.dir/line_fitting.cc.o" "gcc" "src/geometry/CMakeFiles/hdmap_geometry.dir/line_fitting.cc.o.d"
+  "/root/repo/src/geometry/line_string.cc" "src/geometry/CMakeFiles/hdmap_geometry.dir/line_string.cc.o" "gcc" "src/geometry/CMakeFiles/hdmap_geometry.dir/line_string.cc.o.d"
+  "/root/repo/src/geometry/polygon.cc" "src/geometry/CMakeFiles/hdmap_geometry.dir/polygon.cc.o" "gcc" "src/geometry/CMakeFiles/hdmap_geometry.dir/polygon.cc.o.d"
+  "/root/repo/src/geometry/r_tree.cc" "src/geometry/CMakeFiles/hdmap_geometry.dir/r_tree.cc.o" "gcc" "src/geometry/CMakeFiles/hdmap_geometry.dir/r_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

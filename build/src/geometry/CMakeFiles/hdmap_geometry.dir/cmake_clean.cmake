@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmap_geometry.dir/kd_tree.cc.o"
+  "CMakeFiles/hdmap_geometry.dir/kd_tree.cc.o.d"
+  "CMakeFiles/hdmap_geometry.dir/line_fitting.cc.o"
+  "CMakeFiles/hdmap_geometry.dir/line_fitting.cc.o.d"
+  "CMakeFiles/hdmap_geometry.dir/line_string.cc.o"
+  "CMakeFiles/hdmap_geometry.dir/line_string.cc.o.d"
+  "CMakeFiles/hdmap_geometry.dir/polygon.cc.o"
+  "CMakeFiles/hdmap_geometry.dir/polygon.cc.o.d"
+  "CMakeFiles/hdmap_geometry.dir/r_tree.cc.o"
+  "CMakeFiles/hdmap_geometry.dir/r_tree.cc.o.d"
+  "libhdmap_geometry.a"
+  "libhdmap_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmap_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

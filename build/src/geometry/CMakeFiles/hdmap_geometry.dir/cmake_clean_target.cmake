@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhdmap_geometry.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/localization/cooperative_localization.cc" "src/localization/CMakeFiles/hdmap_localization.dir/cooperative_localization.cc.o" "gcc" "src/localization/CMakeFiles/hdmap_localization.dir/cooperative_localization.cc.o.d"
+  "/root/repo/src/localization/ekf_localizer.cc" "src/localization/CMakeFiles/hdmap_localization.dir/ekf_localizer.cc.o" "gcc" "src/localization/CMakeFiles/hdmap_localization.dir/ekf_localizer.cc.o.d"
+  "/root/repo/src/localization/lane_matcher.cc" "src/localization/CMakeFiles/hdmap_localization.dir/lane_matcher.cc.o" "gcc" "src/localization/CMakeFiles/hdmap_localization.dir/lane_matcher.cc.o.d"
+  "/root/repo/src/localization/map_capability.cc" "src/localization/CMakeFiles/hdmap_localization.dir/map_capability.cc.o" "gcc" "src/localization/CMakeFiles/hdmap_localization.dir/map_capability.cc.o.d"
+  "/root/repo/src/localization/marking_localizer.cc" "src/localization/CMakeFiles/hdmap_localization.dir/marking_localizer.cc.o" "gcc" "src/localization/CMakeFiles/hdmap_localization.dir/marking_localizer.cc.o.d"
+  "/root/repo/src/localization/particle_filter.cc" "src/localization/CMakeFiles/hdmap_localization.dir/particle_filter.cc.o" "gcc" "src/localization/CMakeFiles/hdmap_localization.dir/particle_filter.cc.o.d"
+  "/root/repo/src/localization/raster_localizer.cc" "src/localization/CMakeFiles/hdmap_localization.dir/raster_localizer.cc.o" "gcc" "src/localization/CMakeFiles/hdmap_localization.dir/raster_localizer.cc.o.d"
+  "/root/repo/src/localization/relocalization.cc" "src/localization/CMakeFiles/hdmap_localization.dir/relocalization.cc.o" "gcc" "src/localization/CMakeFiles/hdmap_localization.dir/relocalization.cc.o.d"
+  "/root/repo/src/localization/triangulation.cc" "src/localization/CMakeFiles/hdmap_localization.dir/triangulation.cc.o" "gcc" "src/localization/CMakeFiles/hdmap_localization.dir/triangulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hdmap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hdmap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hdmap_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hdmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

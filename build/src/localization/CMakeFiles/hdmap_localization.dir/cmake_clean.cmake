@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmap_localization.dir/cooperative_localization.cc.o"
+  "CMakeFiles/hdmap_localization.dir/cooperative_localization.cc.o.d"
+  "CMakeFiles/hdmap_localization.dir/ekf_localizer.cc.o"
+  "CMakeFiles/hdmap_localization.dir/ekf_localizer.cc.o.d"
+  "CMakeFiles/hdmap_localization.dir/lane_matcher.cc.o"
+  "CMakeFiles/hdmap_localization.dir/lane_matcher.cc.o.d"
+  "CMakeFiles/hdmap_localization.dir/map_capability.cc.o"
+  "CMakeFiles/hdmap_localization.dir/map_capability.cc.o.d"
+  "CMakeFiles/hdmap_localization.dir/marking_localizer.cc.o"
+  "CMakeFiles/hdmap_localization.dir/marking_localizer.cc.o.d"
+  "CMakeFiles/hdmap_localization.dir/particle_filter.cc.o"
+  "CMakeFiles/hdmap_localization.dir/particle_filter.cc.o.d"
+  "CMakeFiles/hdmap_localization.dir/raster_localizer.cc.o"
+  "CMakeFiles/hdmap_localization.dir/raster_localizer.cc.o.d"
+  "CMakeFiles/hdmap_localization.dir/relocalization.cc.o"
+  "CMakeFiles/hdmap_localization.dir/relocalization.cc.o.d"
+  "CMakeFiles/hdmap_localization.dir/triangulation.cc.o"
+  "CMakeFiles/hdmap_localization.dir/triangulation.cc.o.d"
+  "libhdmap_localization.a"
+  "libhdmap_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmap_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

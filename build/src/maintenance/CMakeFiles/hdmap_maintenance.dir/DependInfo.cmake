@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/maintenance/change_detector.cc" "src/maintenance/CMakeFiles/hdmap_maintenance.dir/change_detector.cc.o" "gcc" "src/maintenance/CMakeFiles/hdmap_maintenance.dir/change_detector.cc.o.d"
+  "/root/repo/src/maintenance/crowd_sensing.cc" "src/maintenance/CMakeFiles/hdmap_maintenance.dir/crowd_sensing.cc.o" "gcc" "src/maintenance/CMakeFiles/hdmap_maintenance.dir/crowd_sensing.cc.o.d"
+  "/root/repo/src/maintenance/incremental_fusion.cc" "src/maintenance/CMakeFiles/hdmap_maintenance.dir/incremental_fusion.cc.o" "gcc" "src/maintenance/CMakeFiles/hdmap_maintenance.dir/incremental_fusion.cc.o.d"
+  "/root/repo/src/maintenance/raster_diff.cc" "src/maintenance/CMakeFiles/hdmap_maintenance.dir/raster_diff.cc.o" "gcc" "src/maintenance/CMakeFiles/hdmap_maintenance.dir/raster_diff.cc.o.d"
+  "/root/repo/src/maintenance/slamcu.cc" "src/maintenance/CMakeFiles/hdmap_maintenance.dir/slamcu.cc.o" "gcc" "src/maintenance/CMakeFiles/hdmap_maintenance.dir/slamcu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hdmap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hdmap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hdmap_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hdmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmap_maintenance.dir/change_detector.cc.o"
+  "CMakeFiles/hdmap_maintenance.dir/change_detector.cc.o.d"
+  "CMakeFiles/hdmap_maintenance.dir/crowd_sensing.cc.o"
+  "CMakeFiles/hdmap_maintenance.dir/crowd_sensing.cc.o.d"
+  "CMakeFiles/hdmap_maintenance.dir/incremental_fusion.cc.o"
+  "CMakeFiles/hdmap_maintenance.dir/incremental_fusion.cc.o.d"
+  "CMakeFiles/hdmap_maintenance.dir/raster_diff.cc.o"
+  "CMakeFiles/hdmap_maintenance.dir/raster_diff.cc.o.d"
+  "CMakeFiles/hdmap_maintenance.dir/slamcu.cc.o"
+  "CMakeFiles/hdmap_maintenance.dir/slamcu.cc.o.d"
+  "libhdmap_maintenance.a"
+  "libhdmap_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmap_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

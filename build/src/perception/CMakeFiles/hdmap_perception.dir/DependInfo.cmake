@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perception/cooperative.cc" "src/perception/CMakeFiles/hdmap_perception.dir/cooperative.cc.o" "gcc" "src/perception/CMakeFiles/hdmap_perception.dir/cooperative.cc.o.d"
+  "/root/repo/src/perception/object_detector.cc" "src/perception/CMakeFiles/hdmap_perception.dir/object_detector.cc.o" "gcc" "src/perception/CMakeFiles/hdmap_perception.dir/object_detector.cc.o.d"
+  "/root/repo/src/perception/traffic_light_recognition.cc" "src/perception/CMakeFiles/hdmap_perception.dir/traffic_light_recognition.cc.o" "gcc" "src/perception/CMakeFiles/hdmap_perception.dir/traffic_light_recognition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hdmap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hdmap_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hdmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

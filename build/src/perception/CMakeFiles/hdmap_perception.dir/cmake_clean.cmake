@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmap_perception.dir/cooperative.cc.o"
+  "CMakeFiles/hdmap_perception.dir/cooperative.cc.o.d"
+  "CMakeFiles/hdmap_perception.dir/object_detector.cc.o"
+  "CMakeFiles/hdmap_perception.dir/object_detector.cc.o.d"
+  "CMakeFiles/hdmap_perception.dir/traffic_light_recognition.cc.o"
+  "CMakeFiles/hdmap_perception.dir/traffic_light_recognition.cc.o.d"
+  "libhdmap_perception.a"
+  "libhdmap_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmap_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

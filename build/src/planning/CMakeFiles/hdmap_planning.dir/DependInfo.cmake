@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/planning/frenet_planner.cc" "src/planning/CMakeFiles/hdmap_planning.dir/frenet_planner.cc.o" "gcc" "src/planning/CMakeFiles/hdmap_planning.dir/frenet_planner.cc.o.d"
+  "/root/repo/src/planning/pcc.cc" "src/planning/CMakeFiles/hdmap_planning.dir/pcc.cc.o" "gcc" "src/planning/CMakeFiles/hdmap_planning.dir/pcc.cc.o.d"
+  "/root/repo/src/planning/pure_pursuit.cc" "src/planning/CMakeFiles/hdmap_planning.dir/pure_pursuit.cc.o" "gcc" "src/planning/CMakeFiles/hdmap_planning.dir/pure_pursuit.cc.o.d"
+  "/root/repo/src/planning/route_planner.cc" "src/planning/CMakeFiles/hdmap_planning.dir/route_planner.cc.o" "gcc" "src/planning/CMakeFiles/hdmap_planning.dir/route_planner.cc.o.d"
+  "/root/repo/src/planning/speed_profile.cc" "src/planning/CMakeFiles/hdmap_planning.dir/speed_profile.cc.o" "gcc" "src/planning/CMakeFiles/hdmap_planning.dir/speed_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hdmap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hdmap_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hdmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

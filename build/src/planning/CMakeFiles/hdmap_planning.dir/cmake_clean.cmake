@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmap_planning.dir/frenet_planner.cc.o"
+  "CMakeFiles/hdmap_planning.dir/frenet_planner.cc.o.d"
+  "CMakeFiles/hdmap_planning.dir/pcc.cc.o"
+  "CMakeFiles/hdmap_planning.dir/pcc.cc.o.d"
+  "CMakeFiles/hdmap_planning.dir/pure_pursuit.cc.o"
+  "CMakeFiles/hdmap_planning.dir/pure_pursuit.cc.o.d"
+  "CMakeFiles/hdmap_planning.dir/route_planner.cc.o"
+  "CMakeFiles/hdmap_planning.dir/route_planner.cc.o.d"
+  "CMakeFiles/hdmap_planning.dir/speed_profile.cc.o"
+  "CMakeFiles/hdmap_planning.dir/speed_profile.cc.o.d"
+  "libhdmap_planning.a"
+  "libhdmap_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmap_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmap_pose.dir/factor_graph.cc.o"
+  "CMakeFiles/hdmap_pose.dir/factor_graph.cc.o.d"
+  "CMakeFiles/hdmap_pose.dir/pose_estimator.cc.o"
+  "CMakeFiles/hdmap_pose.dir/pose_estimator.cc.o.d"
+  "libhdmap_pose.a"
+  "libhdmap_pose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmap_pose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/change_injector.cc" "src/sim/CMakeFiles/hdmap_sim.dir/change_injector.cc.o" "gcc" "src/sim/CMakeFiles/hdmap_sim.dir/change_injector.cc.o.d"
+  "/root/repo/src/sim/road_network_generator.cc" "src/sim/CMakeFiles/hdmap_sim.dir/road_network_generator.cc.o" "gcc" "src/sim/CMakeFiles/hdmap_sim.dir/road_network_generator.cc.o.d"
+  "/root/repo/src/sim/sensors.cc" "src/sim/CMakeFiles/hdmap_sim.dir/sensors.cc.o" "gcc" "src/sim/CMakeFiles/hdmap_sim.dir/sensors.cc.o.d"
+  "/root/repo/src/sim/trajectory.cc" "src/sim/CMakeFiles/hdmap_sim.dir/trajectory.cc.o" "gcc" "src/sim/CMakeFiles/hdmap_sim.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hdmap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hdmap_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hdmap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

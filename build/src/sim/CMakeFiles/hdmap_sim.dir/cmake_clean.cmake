@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmap_sim.dir/change_injector.cc.o"
+  "CMakeFiles/hdmap_sim.dir/change_injector.cc.o.d"
+  "CMakeFiles/hdmap_sim.dir/road_network_generator.cc.o"
+  "CMakeFiles/hdmap_sim.dir/road_network_generator.cc.o.d"
+  "CMakeFiles/hdmap_sim.dir/sensors.cc.o"
+  "CMakeFiles/hdmap_sim.dir/sensors.cc.o.d"
+  "CMakeFiles/hdmap_sim.dir/trajectory.cc.o"
+  "CMakeFiles/hdmap_sim.dir/trajectory.cc.o.d"
+  "libhdmap_sim.a"
+  "libhdmap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atv_test.dir/atv_test.cc.o"
+  "CMakeFiles/atv_test.dir/atv_test.cc.o.d"
+  "atv_test"
+  "atv_test.pdb"
+  "atv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooperative_localization_test.dir/cooperative_localization_test.cc.o"
+  "CMakeFiles/cooperative_localization_test.dir/cooperative_localization_test.cc.o.d"
+  "cooperative_localization_test"
+  "cooperative_localization_test.pdb"
+  "cooperative_localization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooperative_localization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/creation_test.dir/creation_test.cc.o"
+  "CMakeFiles/creation_test.dir/creation_test.cc.o.d"
+  "creation_test"
+  "creation_test.pdb"
+  "creation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/creation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_fitting_test.dir/line_fitting_test.cc.o"
+  "CMakeFiles/line_fitting_test.dir/line_fitting_test.cc.o.d"
+  "line_fitting_test"
+  "line_fitting_test.pdb"
+  "line_fitting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_fitting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

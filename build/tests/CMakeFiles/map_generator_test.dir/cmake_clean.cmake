@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_generator_test.dir/map_generator_test.cc.o"
+  "CMakeFiles/map_generator_test.dir/map_generator_test.cc.o.d"
+  "map_generator_test"
+  "map_generator_test.pdb"
+  "map_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_builder_filter_test.dir/online_builder_filter_test.cc.o"
+  "CMakeFiles/online_builder_filter_test.dir/online_builder_filter_test.cc.o.d"
+  "online_builder_filter_test"
+  "online_builder_filter_test.pdb"
+  "online_builder_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_builder_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pose_test.dir/pose_test.cc.o"
+  "CMakeFiles/pose_test.dir/pose_test.cc.o.d"
+  "pose_test"
+  "pose_test.pdb"
+  "pose_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pure_pursuit_test.dir/pure_pursuit_test.cc.o"
+  "CMakeFiles/pure_pursuit_test.dir/pure_pursuit_test.cc.o.d"
+  "pure_pursuit_test"
+  "pure_pursuit_test.pdb"
+  "pure_pursuit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pure_pursuit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raster_diff_test.dir/raster_diff_test.cc.o"
+  "CMakeFiles/raster_diff_test.dir/raster_diff_test.cc.o.d"
+  "raster_diff_test"
+  "raster_diff_test.pdb"
+  "raster_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raster_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raster_layer_test.dir/raster_layer_test.cc.o"
+  "CMakeFiles/raster_layer_test.dir/raster_layer_test.cc.o.d"
+  "raster_layer_test"
+  "raster_layer_test.pdb"
+  "raster_layer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raster_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

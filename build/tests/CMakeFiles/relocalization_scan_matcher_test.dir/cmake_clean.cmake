@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relocalization_scan_matcher_test.dir/relocalization_scan_matcher_test.cc.o"
+  "CMakeFiles/relocalization_scan_matcher_test.dir/relocalization_scan_matcher_test.cc.o.d"
+  "relocalization_scan_matcher_test"
+  "relocalization_scan_matcher_test.pdb"
+  "relocalization_scan_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relocalization_scan_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

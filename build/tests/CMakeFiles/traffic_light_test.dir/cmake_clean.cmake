@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_light_test.dir/traffic_light_test.cc.o"
+  "CMakeFiles/traffic_light_test.dir/traffic_light_test.cc.o.d"
+  "traffic_light_test"
+  "traffic_light_test.pdb"
+  "traffic_light_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_light_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

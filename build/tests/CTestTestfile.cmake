@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/spatial_index_test[1]_include.cmake")
+include("/root/repo/build/tests/line_fitting_test[1]_include.cmake")
+include("/root/repo/build/tests/core_map_test[1]_include.cmake")
+include("/root/repo/build/tests/serialization_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/localization_test[1]_include.cmake")
+include("/root/repo/build/tests/planning_test[1]_include.cmake")
+include("/root/repo/build/tests/creation_test[1]_include.cmake")
+include("/root/repo/build/tests/maintenance_test[1]_include.cmake")
+include("/root/repo/build/tests/perception_test[1]_include.cmake")
+include("/root/repo/build/tests/pose_test[1]_include.cmake")
+include("/root/repo/build/tests/atv_test[1]_include.cmake")
+include("/root/repo/build/tests/raster_diff_test[1]_include.cmake")
+include("/root/repo/build/tests/traffic_light_test[1]_include.cmake")
+include("/root/repo/build/tests/capability_bundle_test[1]_include.cmake")
+include("/root/repo/build/tests/map_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/cooperative_localization_test[1]_include.cmake")
+include("/root/repo/build/tests/online_builder_filter_test[1]_include.cmake")
+include("/root/repo/build/tests/relocalization_scan_matcher_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/binary_io_test[1]_include.cmake")
+include("/root/repo/build/tests/raster_layer_test[1]_include.cmake")
+include("/root/repo/build/tests/pure_pursuit_test[1]_include.cmake")
+include("/root/repo/build/tests/speed_profile_test[1]_include.cmake")
