@@ -22,6 +22,11 @@ void RunningStats::Add(double x) {
 
 double RunningStats::variance() const {
   if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::population_variance() const {
+  if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_);
 }
 
@@ -59,14 +64,24 @@ double Rmse(const std::vector<double>& errors) {
 
 Histogram::Histogram(double lo, double hi, int num_bins)
     : lo_(lo),
-      width_((hi - lo) / static_cast<double>(num_bins > 0 ? num_bins : 1)),
+      width_(hi > lo ? (hi - lo) /
+                           static_cast<double>(num_bins > 0 ? num_bins : 1)
+                     : 1.0),
       counts_(static_cast<size_t>(num_bins > 0 ? num_bins : 1), 0) {}
 
 void Histogram::Add(double x) {
-  int bin = static_cast<int>((x - lo_) / width_);
-  bin = std::clamp(bin, 0, num_bins() - 1);
-  ++counts_[static_cast<size_t>(bin)];
   ++total_;
+  double offset = (x - lo_) / width_;
+  if (offset < 0.0) {
+    ++underflow_;
+    return;
+  }
+  int bin = static_cast<int>(offset);
+  if (bin >= num_bins()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<size_t>(bin)];
 }
 
 std::string Histogram::ToAscii(int max_bar_width) const {
@@ -83,6 +98,16 @@ std::string Histogram::ToAscii(int max_bar_width) const {
     out += line;
     out.append(static_cast<size_t>(bar), '#');
     out += '\n';
+  }
+  if (underflow_ > 0) {
+    std::snprintf(line, sizeof(line), "underflow (< %7.2f)   %8zu\n", lo_,
+                  underflow_);
+    out += line;
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof(line), "overflow (>= %7.2f)   %8zu\n",
+                  bin_hi(num_bins() - 1), overflow_);
+    out += line;
   }
   return out;
 }

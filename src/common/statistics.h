@@ -14,8 +14,14 @@ class RunningStats {
 
   size_t count() const { return count_; }
   double mean() const { return count_ > 0 ? mean_ : 0.0; }
-  /// Population variance; 0 with fewer than 2 samples.
+  /// Sample (Bessel-corrected) variance, m2/(n-1); 0 with fewer than 2
+  /// samples. This is the right estimator when the samples are draws from
+  /// a larger population (measurement error, benchmark timings).
   double variance() const;
+  /// Population variance, m2/n; 0 with fewer than 2 samples. Use when the
+  /// accumulator has seen the entire population.
+  double population_variance() const;
+  /// sqrt(variance()), i.e. the sample standard deviation.
   double stddev() const;
   double min() const { return count_ > 0 ? min_ : 0.0; }
   double max() const { return count_ > 0 ? max_ : 0.0; }
@@ -41,8 +47,11 @@ double Mean(const std::vector<double>& values);
 /// Root mean square; 0 for an empty input.
 double Rmse(const std::vector<double>& errors);
 
-/// Fixed-bin histogram over [lo, hi); samples outside are clamped into the
-/// first/last bin. Used to regenerate the paper's Fig. 2 error histogram.
+/// Fixed-bin histogram over [lo, hi); samples outside the range are tallied
+/// in underflow/overflow counters rather than polluting the edge bins.
+/// Degenerate construction (hi <= lo, or num_bins < 1) falls back to a
+/// single unit-width bin so Add never divides by zero. Used to regenerate
+/// the paper's Fig. 2 error histogram.
 class Histogram {
  public:
   Histogram(double lo, double hi, int num_bins);
@@ -50,12 +59,17 @@ class Histogram {
   void Add(double x);
 
   int num_bins() const { return static_cast<int>(counts_.size()); }
+  /// All samples seen, including under/overflow.
   size_t total() const { return total_; }
   size_t bin_count(int bin) const { return counts_[bin]; }
+  /// Samples below lo / at-or-above hi.
+  size_t underflow() const { return underflow_; }
+  size_t overflow() const { return overflow_; }
   double bin_lo(int bin) const { return lo_ + bin * width_; }
   double bin_hi(int bin) const { return lo_ + (bin + 1) * width_; }
 
-  /// ASCII rendering, one row per bin: "[lo, hi)  count  ####".
+  /// ASCII rendering, one row per bin: "[lo, hi)  count  ####", plus
+  /// trailing "underflow"/"overflow" rows when nonzero.
   std::string ToAscii(int max_bar_width = 50) const;
 
  private:
@@ -63,6 +77,8 @@ class Histogram {
   double width_;
   std::vector<size_t> counts_;
   size_t total_ = 0;
+  size_t underflow_ = 0;
+  size_t overflow_ = 0;
 };
 
 /// Confusion-matrix tallies for binary classifiers (change detection,

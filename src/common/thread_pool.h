@@ -1,0 +1,61 @@
+#ifndef HDMAP_COMMON_THREAD_POOL_H_
+#define HDMAP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hdmap {
+
+/// Fixed-size worker pool for fan-out/join parallelism on the map-serving
+/// hot paths (tile serialization in TileStore::Build, tile deserialization
+/// in TileStore::LoadRegion). Deliberately small: Submit + Wait, no
+/// futures, no work stealing. Tasks must not throw.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Safe to call from any thread, including worker
+  /// threads (tasks must not Wait() from inside the pool, though —
+  /// that can deadlock).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // Queued + currently executing tasks.
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for i in [0, n), splitting the index range into contiguous
+/// chunks across `num_threads` threads (0 = hardware concurrency). The
+/// partition depends only on n and the thread count, never on timing, so
+/// any order-independent use is deterministic. Falls back to a plain loop
+/// when n is small or one thread is requested. Blocks until all iterations
+/// complete. fn must not throw.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t num_threads = 0);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_COMMON_THREAD_POOL_H_

@@ -1,7 +1,9 @@
 #include "core/tile_store.h"
 
 #include <cmath>
+#include <set>
 
+#include "common/thread_pool.h"
 #include "core/serialization.h"
 
 namespace hdmap {
@@ -38,19 +40,31 @@ TileId TileStore::TileAt(const Vec2& p) const {
                 static_cast<int32_t>(std::floor(p.y / tile_size_))};
 }
 
-void TileStore::Build(const HdMap& map) {
+Status TileStore::Build(const HdMap& map, size_t num_threads) {
   tiles_.clear();
   tile_ids_.clear();
+  CacheClear();
 
-  // Collect the per-tile element sets, then serialize each tile map.
+  // Phase 1 (sequential, deterministic): assign every element to the tiles
+  // its bounding box intersects.
   std::map<uint64_t, HdMap> tile_maps;
   std::map<uint64_t, TileId> ids;
 
+  Status box_error;  // First oversized-box failure, if any.
   auto tiles_for_box = [&](const Aabb& box) {
     std::vector<TileId> out;
-    if (box.IsEmpty()) return out;
+    if (box.IsEmpty() || !box_error.ok()) return out;
     TileId lo = TileAt(box.min);
     TileId hi = TileAt(box.max);
+    int64_t span = (static_cast<int64_t>(hi.x) - lo.x + 1) *
+                   (static_cast<int64_t>(hi.y) - lo.y + 1);
+    if (span > kMaxTilesPerBox) {
+      box_error = Status::InvalidArgument(
+          "element box covers " + std::to_string(span) +
+          " tiles (max " + std::to_string(kMaxTilesPerBox) +
+          "); likely a degenerate bounding box");
+      return out;
+    }
     for (int32_t ty = lo.y; ty <= hi.y; ++ty) {
       for (int32_t tx = lo.x; tx <= hi.x; ++tx) {
         out.push_back(TileId{tx, ty});
@@ -85,49 +99,101 @@ void TileStore::Build(const HdMap& map) {
     for (const TileId& t : tiles_for_box(ll.centerline.BoundingBox())) {
       uint64_t key = t.Morton();
       ids.emplace(key, t);
-      // Strip cross-tile references that may not resolve within the tile;
-      // region stitching restores them from the authoritative source.
-      Lanelet copy = ll;
-      (void)tile_maps[key].AddLanelet(std::move(copy));
+      // Cross-tile references (successors, boundaries, regulatory ids) are
+      // kept verbatim: a tile is self-contained for geometry but not for
+      // topology, and LoadRegion reports any reference that stays
+      // unresolved after stitching.
+      (void)tile_maps[key].AddLanelet(ll);
     }
   }
   for (const auto& [id, reg] : map.regulatory_elements()) {
-    // Regulatory elements ride with their first referenced lanelet.
-    if (reg.lanelet_ids.empty()) continue;
-    const Lanelet* ll = map.FindLanelet(reg.lanelet_ids.front());
-    if (ll == nullptr) continue;
-    for (const TileId& t : tiles_for_box(ll->centerline.BoundingBox())) {
-      uint64_t key = t.Morton();
-      if (tile_maps.find(key) == tile_maps.end()) continue;
-      (void)tile_maps[key].AddRegulatoryElement(reg);
+    // A regulatory element rides with every lanelet it references, so any
+    // region covering one of those lanelets sees the element (previously
+    // only the first reference was tiled, and the element vanished from
+    // regions covering the others).
+    std::set<uint64_t> reg_keys;
+    for (ElementId ll_id : reg.lanelet_ids) {
+      const Lanelet* ll = map.FindLanelet(ll_id);
+      if (ll == nullptr) continue;
+      for (const TileId& t : tiles_for_box(ll->centerline.BoundingBox())) {
+        reg_keys.insert(t.Morton());
+      }
+    }
+    for (uint64_t key : reg_keys) {
+      auto it = tile_maps.find(key);
+      if (it == tile_maps.end()) continue;
+      (void)it->second.AddRegulatoryElement(reg);
     }
   }
+  if (!box_error.ok()) {
+    tiles_.clear();
+    tile_ids_.clear();
+    return box_error;
+  }
 
-  for (auto& [key, tile_map] : tile_maps) {
-    tiles_[key] = SerializeMap(tile_map);
+  // Phase 2 (parallel): serialize each tile independently. Each task owns
+  // one output slot, so the assembled result — and therefore the stored
+  // bytes — do not depend on the thread count.
+  std::vector<std::pair<uint64_t, const HdMap*>> work;
+  work.reserve(tile_maps.size());
+  for (const auto& [key, tile_map] : tile_maps) {
+    work.emplace_back(key, &tile_map);
+  }
+  std::vector<std::string> blobs(work.size());
+  ParallelFor(
+      work.size(),
+      [&](size_t i) { blobs[i] = SerializeMap(*work[i].second); },
+      num_threads);
+
+  for (size_t i = 0; i < work.size(); ++i) {
+    uint64_t key = work[i].first;
+    tiles_[key] = std::move(blobs[i]);
     tile_ids_[key] = ids[key];
   }
+  return Status::Ok();
 }
 
 void TileStore::PutTile(const TileId& id, const HdMap& tile_map) {
   tiles_[id.Morton()] = SerializeMap(tile_map);
   tile_ids_[id.Morton()] = id;
+  CacheErase(id.Morton());
+}
+
+Result<std::shared_ptr<const HdMap>> TileStore::LoadTileShared(
+    uint64_t key) const {
+  if (auto cached = CacheLookup(key)) return cached;
+  auto it = tiles_.find(key);
+  if (it == tiles_.end()) {
+    return Status::NotFound("tile key " + std::to_string(key));
+  }
+  HDMAP_ASSIGN_OR_RETURN(HdMap tile, DeserializeMap(it->second));
+  auto shared = std::make_shared<const HdMap>(std::move(tile));
+  CacheInsert(key, shared);
+  return shared;
 }
 
 Result<HdMap> TileStore::LoadTile(const TileId& id) const {
-  auto it = tiles_.find(id.Morton());
-  if (it == tiles_.end()) {
+  if (tiles_.find(id.Morton()) == tiles_.end()) {
     return Status::NotFound("tile (" + std::to_string(id.x) + "," +
                             std::to_string(id.y) + ")");
   }
-  return DeserializeMap(it->second);
+  HDMAP_ASSIGN_OR_RETURN(std::shared_ptr<const HdMap> tile,
+                         LoadTileShared(id.Morton()));
+  return HdMap(*tile);
 }
 
-std::vector<TileId> TileStore::TilesInBox(const Aabb& box) const {
+Result<std::vector<TileId>> TileStore::TilesInBox(const Aabb& box) const {
   std::vector<TileId> out;
   if (box.IsEmpty()) return out;
   TileId lo = TileAt(box.min);
   TileId hi = TileAt(box.max);
+  int64_t span = (static_cast<int64_t>(hi.x) - lo.x + 1) *
+                 (static_cast<int64_t>(hi.y) - lo.y + 1);
+  if (span > kMaxTilesPerBox) {
+    return Status::InvalidArgument(
+        "query box covers " + std::to_string(span) + " tiles (max " +
+        std::to_string(kMaxTilesPerBox) + ")");
+  }
   for (int32_t ty = lo.y; ty <= hi.y; ++ty) {
     for (int32_t tx = lo.x; tx <= hi.x; ++tx) {
       TileId t{tx, ty};
@@ -137,10 +203,24 @@ std::vector<TileId> TileStore::TilesInBox(const Aabb& box) const {
   return out;
 }
 
-Result<HdMap> TileStore::LoadRegion(const Aabb& box) const {
+Result<HdMap> TileStore::LoadRegion(const Aabb& box, RegionReport* report,
+                                    size_t num_threads) const {
+  HDMAP_ASSIGN_OR_RETURN(std::vector<TileId> tile_list, TilesInBox(box));
+
+  // Fan out: deserialize (or fetch from cache) every tile concurrently.
+  // Each task writes its own slot; stitching below is sequential in tile
+  // order, so the stitched map is independent of thread timing.
+  std::vector<Result<std::shared_ptr<const HdMap>>> loaded(
+      tile_list.size(), Status::Internal("tile not loaded"));
+  ParallelFor(
+      tile_list.size(),
+      [&](size_t i) { loaded[i] = LoadTileShared(tile_list[i].Morton()); },
+      num_threads);
+
   HdMap region;
-  for (const TileId& t : TilesInBox(box)) {
-    HDMAP_ASSIGN_OR_RETURN(HdMap tile, LoadTile(t));
+  for (Result<std::shared_ptr<const HdMap>>& tile_result : loaded) {
+    if (!tile_result.ok()) return tile_result.status();
+    const HdMap& tile = **tile_result;
     for (const auto& [id, lm] : tile.landmarks()) {
       (void)region.AddLandmark(lm);  // Duplicates across tiles are fine.
     }
@@ -157,7 +237,72 @@ Result<HdMap> TileStore::LoadRegion(const Aabb& box) const {
       (void)region.AddRegulatoryElement(reg);
     }
   }
+
+  if (report != nullptr) {
+    report->unresolved_regulatory_refs.clear();
+    for (const auto& [id, reg] : region.regulatory_elements()) {
+      for (ElementId ll_id : reg.lanelet_ids) {
+        if (region.FindLanelet(ll_id) == nullptr) {
+          report->unresolved_regulatory_refs.emplace_back(id, ll_id);
+        }
+      }
+    }
+  }
   return region;
+}
+
+TileStoreStats TileStore::stats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return stats_;
+}
+
+void TileStore::ResetStats() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  stats_ = TileStoreStats{};
+}
+
+std::shared_ptr<const HdMap> TileStore::CacheLookup(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    ++stats_.cache_misses;
+    return nullptr;
+  }
+  ++stats_.cache_hits;
+  lru_.splice(lru_.begin(), lru_, it->second.second);  // Move to front.
+  return it->second.first;
+}
+
+void TileStore::CacheInsert(uint64_t key,
+                            std::shared_ptr<const HdMap> map) const {
+  if (cache_capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // Another thread deserialized the same tile first; keep its entry.
+    return;
+  }
+  while (cache_.size() >= cache_capacity_) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.cache_evictions;
+  }
+  lru_.push_front(key);
+  cache_.emplace(key, std::make_pair(std::move(map), lru_.begin()));
+}
+
+void TileStore::CacheErase(uint64_t key) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return;
+  lru_.erase(it->second.second);
+  cache_.erase(it);
+}
+
+void TileStore::CacheClear() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_.clear();
+  lru_.clear();
 }
 
 }  // namespace hdmap

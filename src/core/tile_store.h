@@ -2,8 +2,13 @@
 #define HDMAP_CORE_TILE_STORE_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -28,13 +33,48 @@ struct TileId {
   }
 };
 
+/// Serving counters for the deserialized-tile cache. Hits mean LoadTile /
+/// LoadRegion skipped DeserializeMap entirely.
+struct TileStoreStats {
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t cache_evictions = 0;
+};
+
+/// Post-stitch integrity findings from LoadRegion. A regulatory element is
+/// stitched into the region whenever any tile carrying one of its lanelets
+/// is loaded, so elements near the region boundary may reference lanelets
+/// that lie outside the queried box; those references are reported here
+/// rather than silently kept dangling.
+struct RegionReport {
+  /// (regulatory element id, unresolvable lanelet id) pairs.
+  std::vector<std::pair<ElementId, ElementId>> unresolved_regulatory_refs;
+};
+
 /// Keyed collection of serialized map tiles (the unit of distribution and
 /// incremental update in production HD-map services; enables the
 /// partitioned update workloads of Pannen et al. [44] and Qi et al. [47]).
+///
+/// Serving hot path: deserialized tiles are kept in a bounded LRU cache,
+/// so repeated LoadTile/LoadRegion calls over hot tiles skip
+/// DeserializeMap. Build and LoadRegion fan work out across threads; the
+/// serialized output of Build is byte-identical regardless of thread
+/// count (element-to-tile assignment is sequential and deterministic,
+/// only the per-tile serialization is parallel).
+///
+/// Thread safety: concurrent const calls (LoadTile/LoadRegion/TilesInBox)
+/// are safe with respect to the cache; mutations (Build/PutTile) must be
+/// externally serialized against readers.
 class TileStore {
  public:
-  explicit TileStore(double tile_size_m = 256.0)
-      : tile_size_(tile_size_m) {}
+  /// Any single box (element bounding box in Build, query box in
+  /// TilesInBox/LoadRegion) may cover at most this many tiles; larger
+  /// boxes — usually a degenerate Aabb from a bad sensor fix — are
+  /// rejected with kInvalidArgument instead of exploding memory.
+  static constexpr int64_t kMaxTilesPerBox = 1 << 16;
+
+  explicit TileStore(double tile_size_m = 256.0, size_t cache_capacity = 256)
+      : tile_size_(tile_size_m), cache_capacity_(cache_capacity) {}
 
   double tile_size() const { return tile_size_; }
   size_t NumTiles() const { return tiles_.size(); }
@@ -46,28 +86,66 @@ class TileStore {
 
   /// Splits `map` into tiles: each element is assigned to every tile its
   /// bounding box intersects (border elements are duplicated, as in
-  /// production tiling).
-  void Build(const HdMap& map);
+  /// production tiling; a regulatory element rides with *every* lanelet
+  /// it references). Per-tile serialization is spread over `num_threads`
+  /// threads (0 = hardware concurrency). Replaces previous content and
+  /// drops the cache. Fails with kInvalidArgument when an element's box
+  /// covers more than kMaxTilesPerBox tiles.
+  Status Build(const HdMap& map, size_t num_threads = 0);
 
-  /// Replaces one tile's payload with the serialization of `tile_map`.
+  /// Replaces one tile's payload with the serialization of `tile_map`
+  /// and invalidates that tile's cache entry.
   void PutTile(const TileId& id, const HdMap& tile_map);
 
-  /// Deserializes a tile; kNotFound for absent tiles.
+  /// Deserializes a tile (or copies it out of the cache); kNotFound for
+  /// absent tiles.
   Result<HdMap> LoadTile(const TileId& id) const;
 
   /// Tile ids intersecting the query box (present tiles only).
-  std::vector<TileId> TilesInBox(const Aabb& box) const;
+  /// kInvalidArgument when the box covers more than kMaxTilesPerBox tiles.
+  Result<std::vector<TileId>> TilesInBox(const Aabb& box) const;
 
   /// Loads and stitches all tiles intersecting `box` into one map
-  /// (duplicated border elements are inserted once).
-  Result<HdMap> LoadRegion(const Aabb& box) const;
+  /// (duplicated border elements are inserted once). Tiles deserialize
+  /// concurrently on `num_threads` threads (0 = hardware concurrency);
+  /// stitching is sequential in tile order, so the result is
+  /// deterministic. When `report` is non-null it receives post-stitch
+  /// referential-integrity findings (see RegionReport).
+  Result<HdMap> LoadRegion(const Aabb& box, RegionReport* report = nullptr,
+                           size_t num_threads = 0) const;
+
+  /// Snapshot of the cache counters (thread-safe).
+  TileStoreStats stats() const;
+  void ResetStats();
+
+  size_t cache_capacity() const { return cache_capacity_; }
 
   const std::map<uint64_t, std::string>& raw_tiles() const { return tiles_; }
 
  private:
+  /// Cache-aware tile load; returns a shared snapshot that must only be
+  /// read (never queried through the lazy-index API concurrently).
+  Result<std::shared_ptr<const HdMap>> LoadTileShared(uint64_t key) const;
+
+  std::shared_ptr<const HdMap> CacheLookup(uint64_t key) const;
+  void CacheInsert(uint64_t key, std::shared_ptr<const HdMap> map) const;
+  void CacheErase(uint64_t key);
+  void CacheClear();
+
   double tile_size_;
   std::map<uint64_t, std::string> tiles_;   // Morton key -> blob.
   std::map<uint64_t, TileId> tile_ids_;     // Morton key -> coordinates.
+
+  // Bounded LRU cache of deserialized tiles, keyed by Morton code.
+  // lru_ front = most recently used; entries hold their lru_ iterator.
+  size_t cache_capacity_;
+  mutable std::mutex cache_mu_;
+  mutable std::list<uint64_t> lru_;
+  mutable std::unordered_map<
+      uint64_t, std::pair<std::shared_ptr<const HdMap>,
+                          std::list<uint64_t>::iterator>>
+      cache_;
+  mutable TileStoreStats stats_;
 };
 
 }  // namespace hdmap

@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <numeric>
 #include <set>
+#include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/statistics.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/units.h"
 
 namespace hdmap {
@@ -156,19 +160,37 @@ TEST(RngTest, ForkIsIndependent) {
 
 TEST(RunningStatsTest, BasicMoments) {
   RunningStats s;
+  // Sum of squared deviations from the mean (5.0) is 32.
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
   EXPECT_DOUBLE_EQ(s.mean(), 5.0);
-  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
-  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 32.0 / 7.0);          // Bessel-corrected.
+  EXPECT_DOUBLE_EQ(s.population_variance(), 32.0 / 8.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(32.0 / 7.0));
   EXPECT_DOUBLE_EQ(s.min(), 2.0);
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
   EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStatsTest, SampleVarianceExceedsPopulationVariance) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.population_variance(), 2.0 / 3.0);
+  EXPECT_GT(s.variance(), s.population_variance());
 }
 
 TEST(RunningStatsTest, EmptyIsZero) {
   RunningStats s;
   EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.population_variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSampleVarianceIsZero) {
+  RunningStats s;
+  s.Add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.population_variance(), 0.0);
 }
 
 TEST(StatisticsTest, PercentileAndMedian) {
@@ -187,18 +209,49 @@ TEST(StatisticsTest, MeanAndRmse) {
   EXPECT_EQ(Rmse({}), 0.0);
 }
 
-TEST(HistogramTest, BinsAndClamping) {
+TEST(HistogramTest, BinsAndOutOfRangeCounters) {
   Histogram h(0.0, 10.0, 10);
   h.Add(0.5);
   h.Add(1.5);
   h.Add(1.6);
-  h.Add(-5.0);  // Clamps into bin 0.
-  h.Add(50.0);  // Clamps into bin 9.
+  h.Add(-5.0);  // Below range: underflow, not bin 0.
+  h.Add(50.0);  // Above range: overflow, not bin 9.
   EXPECT_EQ(h.total(), 5u);
-  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
   EXPECT_EQ(h.bin_count(1), 2u);
-  EXPECT_EQ(h.bin_count(9), 1u);
-  EXPECT_FALSE(h.ToAscii().empty());
+  EXPECT_EQ(h.bin_count(9), 0u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  std::string ascii = h.ToAscii();
+  EXPECT_NE(ascii.find("underflow"), std::string::npos);
+  EXPECT_NE(ascii.find("overflow"), std::string::npos);
+}
+
+TEST(HistogramTest, InRangeOnlyHistogramHasNoOverflowRows) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(0.1);
+  h.Add(0.9);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  std::string ascii = h.ToAscii();
+  EXPECT_EQ(ascii.find("underflow"), std::string::npos);
+  EXPECT_EQ(ascii.find("overflow"), std::string::npos);
+}
+
+TEST(HistogramTest, DegenerateRangeDoesNotDivideByZero) {
+  Histogram h(5.0, 5.0, 4);  // hi <= lo: falls back to unit-width bins.
+  h.Add(5.0);
+  h.Add(4.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+
+  Histogram no_bins(0.0, 1.0, 0);  // num_bins < 1: one bin.
+  no_bins.Add(0.5);
+  EXPECT_EQ(no_bins.num_bins(), 1);
+  EXPECT_EQ(no_bins.bin_count(0), 1u);
 }
 
 TEST(BinaryConfusionTest, Rates) {
@@ -213,6 +266,59 @@ TEST(BinaryConfusionTest, Rates) {
   EXPECT_DOUBLE_EQ(c.Precision(), 7.0 / 10.0);
   EXPECT_DOUBLE_EQ(c.Accuracy(), 16.0 / 20.0);
   EXPECT_GT(c.F1(), 0.7);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{7}, size_t{0}}) {
+    std::vector<std::atomic<int>> touched(257);
+    ParallelFor(
+        touched.size(),
+        [&](size_t i) { touched[i].fetch_add(1); }, threads);
+    for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, EmptyAndTinyRanges) {
+  int calls = 0;
+  ParallelFor(0, [&](size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls, 0);
+  ParallelFor(1, [&](size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, ResultIndependentOfThreadCount) {
+  std::vector<double> in(1000);
+  std::iota(in.begin(), in.end(), 0.0);
+  auto run = [&](size_t threads) {
+    std::vector<double> out(in.size());
+    ParallelFor(
+        in.size(), [&](size_t i) { out[i] = std::sqrt(in[i]) * 3.0; },
+        threads);
+    return out;
+  };
+  EXPECT_EQ(run(1), run(8));
 }
 
 TEST(UnitsTest, Conversions) {

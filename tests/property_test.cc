@@ -165,7 +165,7 @@ TEST_P(TileStorePropertyTest, RegionLoadIsComplete) {
   HdMap map = SmallTownWorld(static_cast<uint64_t>(GetParam()) + 700, 2, 3);
   double tile_size = 50.0 * GetParam();
   TileStore store(tile_size);
-  store.Build(map);
+  ASSERT_TRUE(store.Build(map).ok());
   auto region = store.LoadRegion(map.BoundingBox());
   ASSERT_TRUE(region.ok());
   EXPECT_EQ(region->lanelets().size(), map.lanelets().size());

@@ -116,7 +116,7 @@ TEST(SerializationTest, CompactIsSmallAndAccurate) {
 TEST(TileStoreTest, BuildLoadStitch) {
   HdMap map = SmallTown();
   TileStore store(128.0);
-  store.Build(map);
+  ASSERT_TRUE(store.Build(map).ok());
   EXPECT_GT(store.NumTiles(), 1u);
   EXPECT_GT(store.TotalBytes(), 0u);
 

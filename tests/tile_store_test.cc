@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/serialization.h"
+#include "core/tile_store.h"
+#include "sim/road_network_generator.h"
+
+namespace hdmap {
+namespace {
+
+HdMap SmallTown(uint64_t seed = 11) {
+  Rng rng(seed);
+  TownOptions opt;
+  opt.grid_rows = 2;
+  opt.grid_cols = 3;
+  opt.block_size = 120.0;
+  auto town = GenerateTown(opt, rng);
+  EXPECT_TRUE(town.ok()) << town.status().ToString();
+  return std::move(town).value();
+}
+
+/// Two lanelets in tiles far apart (tile size 100: tile (0,0) and (5,0)),
+/// plus one regulatory element referencing both.
+HdMap TwoTileWorldWithSharedRegElement() {
+  HdMap map;
+  Lanelet a;
+  a.id = 1;
+  a.centerline = LineString({{10, 10}, {20, 10}});
+  a.regulatory_ids = {900};
+  Lanelet b;
+  b.id = 2;
+  b.centerline = LineString({{510, 10}, {520, 10}});
+  b.regulatory_ids = {900};
+  EXPECT_TRUE(map.AddLanelet(a).ok());
+  EXPECT_TRUE(map.AddLanelet(b).ok());
+  RegulatoryElement reg;
+  reg.id = 900;
+  reg.type = RegulatoryType::kSpeedLimit;
+  reg.speed_limit_mps = 8.0;
+  reg.lanelet_ids = {1, 2};
+  EXPECT_TRUE(map.AddRegulatoryElement(reg).ok());
+  return map;
+}
+
+TEST(TileStoreRegressionTest, RegulatoryElementRidesWithEveryLanelet) {
+  HdMap map = TwoTileWorldWithSharedRegElement();
+  TileStore store(100.0);
+  ASSERT_TRUE(store.Build(map).ok());
+  ASSERT_GE(store.NumTiles(), 2u);
+
+  // The element must be present in the tile of each referenced lanelet,
+  // not just the first one's.
+  for (const Vec2& anchor : {Vec2{15, 10}, Vec2{515, 10}}) {
+    auto tile = store.LoadTile(store.TileAt(anchor));
+    ASSERT_TRUE(tile.ok()) << tile.status().ToString();
+    EXPECT_NE(tile->FindRegulatoryElement(900), nullptr)
+        << "element missing from tile at (" << anchor.x << "," << anchor.y
+        << ")";
+  }
+
+  // A region covering only the *second* lanelet still sees the element
+  // (this was silently lost before the fix).
+  auto region_b = store.LoadRegion(Aabb({500, 0}, {530, 20}));
+  ASSERT_TRUE(region_b.ok());
+  EXPECT_NE(region_b->FindLanelet(2), nullptr);
+  EXPECT_NE(region_b->FindRegulatoryElement(900), nullptr);
+
+  auto region_a = store.LoadRegion(Aabb({0, 0}, {30, 20}));
+  ASSERT_TRUE(region_a.ok());
+  EXPECT_NE(region_a->FindRegulatoryElement(900), nullptr);
+}
+
+TEST(TileStoreRegressionTest, PartialRegionReportsUnresolvedRegRefs) {
+  HdMap map = TwoTileWorldWithSharedRegElement();
+  TileStore store(100.0);
+  ASSERT_TRUE(store.Build(map).ok());
+
+  // Region covering only lanelet 2: the element is kept, and its dangling
+  // reference to lanelet 1 is reported instead of silently ignored.
+  RegionReport report;
+  auto region = store.LoadRegion(Aabb({500, 0}, {530, 20}), &report);
+  ASSERT_TRUE(region.ok());
+  ASSERT_EQ(report.unresolved_regulatory_refs.size(), 1u);
+  EXPECT_EQ(report.unresolved_regulatory_refs[0].first, 900u);
+  EXPECT_EQ(report.unresolved_regulatory_refs[0].second, 1u);
+
+  // The full region resolves everything.
+  auto full = store.LoadRegion(map.BoundingBox(), &report);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(report.unresolved_regulatory_refs.empty());
+}
+
+TEST(TileStoreTest, BuildOutputIsIdenticalAcrossThreadCounts) {
+  HdMap map = SmallTown();
+  TileStore serial(128.0);
+  ASSERT_TRUE(serial.Build(map, 1).ok());
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    TileStore parallel(128.0);
+    ASSERT_TRUE(parallel.Build(map, threads).ok());
+    ASSERT_EQ(parallel.NumTiles(), serial.NumTiles());
+    EXPECT_EQ(parallel.raw_tiles(), serial.raw_tiles())
+        << "tile bytes differ with " << threads << " threads";
+  }
+}
+
+TEST(TileStoreTest, ParallelRegionLoadMatchesSerial) {
+  HdMap map = SmallTown();
+  TileStore store(128.0);
+  ASSERT_TRUE(store.Build(map).ok());
+  Aabb box = map.BoundingBox();
+  auto serial = store.LoadRegion(box, nullptr, 1);
+  auto parallel = store.LoadRegion(box, nullptr, 8);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(SerializeMap(*serial), SerializeMap(*parallel));
+}
+
+TEST(TileStoreTest, CacheHitsOnRepeatedLoads) {
+  HdMap map = SmallTown();
+  TileStore store(128.0);
+  ASSERT_TRUE(store.Build(map).ok());
+  ASSERT_GT(store.NumTiles(), 1u);
+
+  auto present = store.TilesInBox(map.BoundingBox());
+  ASSERT_TRUE(present.ok());
+  ASSERT_FALSE(present->empty());
+  TileId tile = present->front();
+  ASSERT_TRUE(store.LoadTile(tile).ok());
+  TileStoreStats stats = store.stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+
+  ASSERT_TRUE(store.LoadTile(tile).ok());
+  stats = store.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+
+  // A whole-map region load deserializes each remaining tile once...
+  ASSERT_TRUE(store.LoadRegion(map.BoundingBox()).ok());
+  stats = store.stats();
+  EXPECT_EQ(stats.cache_misses, store.NumTiles());
+  // ...and a repeat is served fully from cache.
+  ASSERT_TRUE(store.LoadRegion(map.BoundingBox()).ok());
+  TileStoreStats hot = store.stats();
+  EXPECT_EQ(hot.cache_misses, stats.cache_misses);
+  EXPECT_EQ(hot.cache_hits, stats.cache_hits + store.NumTiles());
+}
+
+TEST(TileStoreTest, PutTileInvalidatesCacheEntry) {
+  HdMap map = TwoTileWorldWithSharedRegElement();
+  TileStore store(100.0);
+  ASSERT_TRUE(store.Build(map).ok());
+  TileId tile = store.TileAt({15, 10});
+  ASSERT_TRUE(store.LoadTile(tile).ok());  // Warm the cache.
+
+  HdMap replacement;
+  Lanelet moved;
+  moved.id = 77;
+  moved.centerline = LineString({{12, 12}, {18, 12}});
+  ASSERT_TRUE(replacement.AddLanelet(moved).ok());
+  store.PutTile(tile, replacement);
+
+  auto reloaded = store.LoadTile(tile);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_NE(reloaded->FindLanelet(77), nullptr);  // Fresh bytes, not cache.
+  EXPECT_EQ(reloaded->FindLanelet(1), nullptr);
+}
+
+TEST(TileStoreTest, CacheEvictsLeastRecentlyUsed) {
+  HdMap map = SmallTown();
+  TileStore store(128.0, /*cache_capacity=*/2);
+  ASSERT_TRUE(store.Build(map).ok());
+  ASSERT_GE(store.NumTiles(), 3u);
+
+  ASSERT_TRUE(store.LoadRegion(map.BoundingBox()).ok());
+  TileStoreStats stats = store.stats();
+  EXPECT_GT(stats.cache_evictions, 0u);
+
+  store.ResetStats();
+  stats = store.stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
+  EXPECT_EQ(stats.cache_evictions, 0u);
+}
+
+TEST(TileStoreTest, HugeQueryBoxIsRejected) {
+  HdMap map = SmallTown();
+  TileStore store(128.0);
+  ASSERT_TRUE(store.Build(map).ok());
+
+  Aabb degenerate({-1e9, -1e9}, {1e9, 1e9});
+  auto tiles = store.TilesInBox(degenerate);
+  EXPECT_EQ(tiles.status().code(), StatusCode::kInvalidArgument);
+  auto region = store.LoadRegion(degenerate);
+  EXPECT_EQ(region.status().code(), StatusCode::kInvalidArgument);
+
+  // Sane boxes still work.
+  auto ok_tiles = store.TilesInBox(map.BoundingBox());
+  ASSERT_TRUE(ok_tiles.ok());
+  EXPECT_EQ(ok_tiles->size(), store.NumTiles());
+}
+
+TEST(TileStoreTest, BuildRejectsDegenerateElementBox) {
+  HdMap map;
+  Lanelet huge;
+  huge.id = 1;
+  // A bad sensor fix: one endpoint flies off by thousands of kilometers,
+  // covering billions of tiles.
+  huge.centerline = LineString({{0, 0}, {5e7, 5e7}});
+  ASSERT_TRUE(map.AddLanelet(huge).ok());
+  TileStore store(100.0);
+  Status s = store.Build(map);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.NumTiles(), 0u);
+}
+
+}  // namespace
+}  // namespace hdmap
