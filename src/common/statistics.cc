@@ -76,12 +76,14 @@ void Histogram::Add(double x) {
     ++underflow_;
     return;
   }
-  int bin = static_cast<int>(offset);
-  if (bin >= num_bins()) {
+  // Range-check in floating point before casting: converting a double
+  // that exceeds INT_MAX (or NaN) to int is UB. The negated comparison
+  // also routes NaN to overflow.
+  if (!(offset < static_cast<double>(num_bins()))) {
     ++overflow_;
     return;
   }
-  ++counts_[static_cast<size_t>(bin)];
+  ++counts_[static_cast<size_t>(static_cast<int>(offset))];
 }
 
 std::string Histogram::ToAscii(int max_bar_width) const {

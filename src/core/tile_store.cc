@@ -1,6 +1,7 @@
 #include "core/tile_store.h"
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/thread_pool.h"
@@ -40,6 +41,41 @@ TileId TileStore::TileAt(const Vec2& p) const {
                 static_cast<int32_t>(std::floor(p.y / tile_size_))};
 }
 
+Result<std::pair<TileId, TileId>> TileStore::TileRangeForBox(
+    const Aabb& box) const {
+  // Tile indices stay in floating point until every check has passed:
+  // casting a double outside int32 range (or NaN) to int32 is UB.
+  constexpr double kMinIndex = std::numeric_limits<int32_t>::min();
+  constexpr double kMaxIndex = std::numeric_limits<int32_t>::max();
+  double lo_x = std::floor(box.min.x / tile_size_);
+  double lo_y = std::floor(box.min.y / tile_size_);
+  double hi_x = std::floor(box.max.x / tile_size_);
+  double hi_y = std::floor(box.max.y / tile_size_);
+  // Negated comparisons so NaN coordinates are rejected too.
+  if (!(lo_x >= kMinIndex && hi_x <= kMaxIndex && lo_y >= kMinIndex &&
+        hi_y <= kMaxIndex && lo_x <= hi_x && lo_y <= hi_y)) {
+    return Status::InvalidArgument(
+        "box coordinates outside the tileable range; likely a degenerate "
+        "bounding box");
+  }
+  // Both indices fit in int32, so each span fits in int64 exactly. The
+  // per-axis checks run before the multiplication, so the product is
+  // only formed when both factors are <= kMaxTilesPerBox.
+  int64_t span_x = static_cast<int64_t>(hi_x - lo_x) + 1;
+  int64_t span_y = static_cast<int64_t>(hi_y - lo_y) + 1;
+  if (span_x > kMaxTilesPerBox || span_y > kMaxTilesPerBox ||
+      span_x * span_y > kMaxTilesPerBox) {
+    return Status::InvalidArgument(
+        "box covers " + std::to_string(span_x) + "x" +
+        std::to_string(span_y) + " tiles (max " +
+        std::to_string(kMaxTilesPerBox) +
+        "); likely a degenerate bounding box");
+  }
+  return std::make_pair(
+      TileId{static_cast<int32_t>(lo_x), static_cast<int32_t>(lo_y)},
+      TileId{static_cast<int32_t>(hi_x), static_cast<int32_t>(hi_y)});
+}
+
 Status TileStore::Build(const HdMap& map, size_t num_threads) {
   tiles_.clear();
   tile_ids_.clear();
@@ -54,17 +90,14 @@ Status TileStore::Build(const HdMap& map, size_t num_threads) {
   auto tiles_for_box = [&](const Aabb& box) {
     std::vector<TileId> out;
     if (box.IsEmpty() || !box_error.ok()) return out;
-    TileId lo = TileAt(box.min);
-    TileId hi = TileAt(box.max);
-    int64_t span = (static_cast<int64_t>(hi.x) - lo.x + 1) *
-                   (static_cast<int64_t>(hi.y) - lo.y + 1);
-    if (span > kMaxTilesPerBox) {
-      box_error = Status::InvalidArgument(
-          "element box covers " + std::to_string(span) +
-          " tiles (max " + std::to_string(kMaxTilesPerBox) +
-          "); likely a degenerate bounding box");
+    auto range = TileRangeForBox(box);
+    if (!range.ok()) {
+      box_error = Status::InvalidArgument("element " +
+                                          range.status().message());
       return out;
     }
+    const TileId lo = range->first;
+    const TileId hi = range->second;
     for (int32_t ty = lo.y; ty <= hi.y; ++ty) {
       for (int32_t tx = lo.x; tx <= hi.x; ++tx) {
         out.push_back(TileId{tx, ty});
@@ -185,15 +218,12 @@ Result<HdMap> TileStore::LoadTile(const TileId& id) const {
 Result<std::vector<TileId>> TileStore::TilesInBox(const Aabb& box) const {
   std::vector<TileId> out;
   if (box.IsEmpty()) return out;
-  TileId lo = TileAt(box.min);
-  TileId hi = TileAt(box.max);
-  int64_t span = (static_cast<int64_t>(hi.x) - lo.x + 1) *
-                 (static_cast<int64_t>(hi.y) - lo.y + 1);
-  if (span > kMaxTilesPerBox) {
-    return Status::InvalidArgument(
-        "query box covers " + std::to_string(span) + " tiles (max " +
-        std::to_string(kMaxTilesPerBox) + ")");
+  auto range = TileRangeForBox(box);
+  if (!range.ok()) {
+    return Status::InvalidArgument("query " + range.status().message());
   }
+  const TileId lo = range->first;
+  const TileId hi = range->second;
   for (int32_t ty = lo.y; ty <= hi.y; ++ty) {
     for (int32_t tx = lo.x; tx <= hi.x; ++tx) {
       TileId t{tx, ty};
@@ -262,6 +292,10 @@ void TileStore::ResetStats() {
 }
 
 std::shared_ptr<const HdMap> TileStore::CacheLookup(uint64_t key) const {
+  // A capacity-0 store has no cache at all; counting its loads as misses
+  // would make stats read as a malfunctioning cache rather than a
+  // disabled one.
+  if (cache_capacity_ == 0) return nullptr;
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = cache_.find(key);
   if (it == cache_.end()) {

@@ -123,6 +123,15 @@ class TileStore {
   const std::map<uint64_t, std::string>& raw_tiles() const { return tiles_; }
 
  private:
+  /// Validated [lo, hi] tile range covered by `box`. Computes the tile
+  /// indices in floating point first, rejecting coordinates whose tile
+  /// index is not representable as int32 (the double->int32 cast in a
+  /// plain TileAt call would be UB for e.g. a bad sensor fix at 1e18 m)
+  /// and boxes spanning more than kMaxTilesPerBox tiles — each axis is
+  /// checked before the spans are multiplied, so the product cannot
+  /// overflow.
+  Result<std::pair<TileId, TileId>> TileRangeForBox(const Aabb& box) const;
+
   /// Cache-aware tile load; returns a shared snapshot that must only be
   /// read (never queried through the lazy-index API concurrently).
   Result<std::shared_ptr<const HdMap>> LoadTileShared(uint64_t key) const;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <vector>
@@ -225,6 +226,19 @@ TEST(HistogramTest, BinsAndOutOfRangeCounters) {
   std::string ascii = h.ToAscii();
   EXPECT_NE(ascii.find("underflow"), std::string::npos);
   EXPECT_NE(ascii.find("overflow"), std::string::npos);
+}
+
+TEST(HistogramTest, HugeAndNanSamplesCountAsOverflow) {
+  // Offsets past INT_MAX (and NaN) used to hit a UB double->int cast that
+  // in practice produced a negative bin and wrote far out of bounds.
+  Histogram h(0.0, 1.0, 4);
+  h.Add(3e9);
+  h.Add(std::numeric_limits<double>::infinity());
+  h.Add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.overflow(), 3u);
+  EXPECT_EQ(h.underflow(), 0u);
+  for (int b = 0; b < h.num_bins(); ++b) EXPECT_EQ(h.bin_count(b), 0u);
 }
 
 TEST(HistogramTest, InRangeOnlyHistogramHasNoOverflowRows) {

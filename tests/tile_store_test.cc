@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.h"
 #include "core/serialization.h"
 #include "core/tile_store.h"
@@ -198,6 +200,41 @@ TEST(TileStoreTest, HugeQueryBoxIsRejected) {
   auto ok_tiles = store.TilesInBox(map.BoundingBox());
   ASSERT_TRUE(ok_tiles.ok());
   EXPECT_EQ(ok_tiles->size(), store.NumTiles());
+}
+
+TEST(TileStoreTest, ExtremeQueryBoxesAreRejectedNotOverflowed) {
+  HdMap map = SmallTown();
+  TileStore store(1.0);
+  ASSERT_TRUE(store.Build(map).ok());
+
+  // Per-axis spans near 2^32: the old span product overflowed int64 and
+  // could wrap past the guard into a 2^64-iteration loop.
+  Aabb full_range({-2e9, -2e9}, {2e9, 2e9});
+  EXPECT_EQ(store.TilesInBox(full_range).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Coordinates whose tile index exceeds int32: the old code cast them
+  // to int32 (UB) before any guard ran.
+  Aabb far_away({1e18, 0.0}, {1e18 + 1.0, 1.0});
+  EXPECT_EQ(store.TilesInBox(far_away).status().code(),
+            StatusCode::kInvalidArgument);
+
+  Aabb nan_box({std::numeric_limits<double>::quiet_NaN(), 0.0}, {1.0, 1.0});
+  EXPECT_EQ(store.TilesInBox(nan_box).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TileStoreTest, DisabledCacheCountsNoMisses) {
+  HdMap map = SmallTown();
+  TileStore store(128.0, /*cache_capacity=*/0);
+  ASSERT_TRUE(store.Build(map).ok());
+
+  ASSERT_TRUE(store.LoadRegion(map.BoundingBox()).ok());
+  ASSERT_TRUE(store.LoadRegion(map.BoundingBox()).ok());
+  TileStoreStats stats = store.stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
+  EXPECT_EQ(stats.cache_evictions, 0u);
 }
 
 TEST(TileStoreTest, BuildRejectsDegenerateElementBox) {
