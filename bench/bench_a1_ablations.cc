@@ -124,7 +124,7 @@ int Run() {
   if (!town.ok()) return 1;
   size_t base_bytes = SerializeMap(*town).size();
   for (double tile : {64.0, 128.0, 256.0, 512.0}) {
-    TileStore store(tile);
+    TileStore store(TileStore::Options{.tile_size_m = tile});
     if (!store.Build(*town).ok()) return 1;
     std::printf("      %-12.0f %-10zu %-16.1f %-18.2f\n", tile,
                 store.NumTiles(), store.TotalBytes() / 1024.0,

@@ -1,0 +1,197 @@
+// E16: versioned snapshot serving under a concurrent reader/writer load.
+//
+// N reader threads hammer MapService::GetRegion while one writer thread
+// publishes patches at a fixed rate. Each patch moves a set of version
+// markers (landmarks whose z coordinate encodes the snapshot version), so
+// a reader can detect a torn read — a region stitched from tiles of two
+// different versions — by checking that every marker in the loaded region
+// carries the same z. The run fails (nonzero exit) on any torn read or
+// version rollback; latency percentiles and service metrics are reported
+// from the MetricsRegistry that instruments the service.
+//
+// Usage: bench_e16_serving [--smoke] [--readers=N] [--seconds=S]
+//                          [--rate-hz=R]
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/statistics.h"
+#include "service/map_service.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+constexpr ElementId kFirstMarkerId = 900001;
+constexpr int kNumMarkers = 6;
+
+/// Markers straddle several 100 m tiles so a region load crosses tile
+/// boundaries — the only way a torn stitch could manifest.
+Vec2 MarkerXy(int i) { return {40.0 + 55.0 * i, 6.0}; }
+
+struct ReaderResult {
+  std::vector<double> latencies_s;
+  uint64_t reads = 0;
+  uint64_t torn = 0;
+  uint64_t rollbacks = 0;
+  uint64_t errors = 0;
+};
+
+ReaderResult ReaderLoop(const MapService& service, const Aabb& box,
+                        const std::atomic<bool>& stop) {
+  ReaderResult out;
+  uint64_t last_version = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    bench::Timer t;
+    auto region = service.GetRegion(box);
+    out.latencies_s.push_back(t.Seconds());
+    ++out.reads;
+    if (!region.ok()) {
+      ++out.errors;
+      continue;
+    }
+    const Landmark* first = region->FindLandmark(kFirstMarkerId);
+    if (first == nullptr) {
+      ++out.errors;
+      continue;
+    }
+    uint64_t version = static_cast<uint64_t>(first->position.z);
+    bool torn = false;
+    for (int i = 1; i < kNumMarkers; ++i) {
+      const Landmark* lm = region->FindLandmark(kFirstMarkerId + i);
+      if (lm == nullptr ||
+          static_cast<uint64_t>(lm->position.z) != version) {
+        torn = true;
+      }
+    }
+    if (torn) ++out.torn;
+    if (version < last_version) ++out.rollbacks;
+    last_version = version;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace hdmap
+
+int main(int argc, char** argv) {
+  using namespace hdmap;
+
+  size_t readers = 4;
+  double seconds = 3.0;
+  double rate_hz = 100.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      readers = 2;
+      seconds = 0.4;
+    } else if (std::strncmp(argv[i], "--readers=", 10) == 0) {
+      readers = static_cast<size_t>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
+      seconds = std::atof(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--rate-hz=", 10) == 0) {
+      rate_hz = std::atof(argv[i] + 10);
+    }
+  }
+
+  bench::PrintHeader(
+      "E16", "snapshot serving under concurrent patch publishing",
+      "fleet map services serve consistent versions while updates land "
+      "continuously (II-B.2 / III serving workloads)");
+
+  MetricsRegistry registry;
+  MapService::Options opt;
+  opt.tile_store.tile_size_m = 100.0;
+  opt.metrics = &registry;
+  MapService service(opt);
+
+  HdMap world = StraightRoad(400.0);
+  for (int i = 0; i < kNumMarkers; ++i) {
+    Landmark marker;
+    marker.id = kFirstMarkerId + i;
+    marker.type = LandmarkType::kTrafficSign;
+    marker.subtype = "version_marker";
+    marker.position = {MarkerXy(i).x, MarkerXy(i).y, 1.0};  // z = version.
+    if (!world.AddLandmark(marker).ok()) return 1;
+  }
+  if (!service.Init(std::move(world)).ok()) {
+    std::fprintf(stderr, "Init failed\n");
+    return 1;
+  }
+
+  // The query box spans every marker (and several tile boundaries).
+  Aabb box{{0.0, -10.0}, {400.0, 12.0}};
+
+  std::atomic<bool> stop{false};
+  std::vector<ReaderResult> results(readers);
+  std::vector<std::thread> threads;
+  threads.reserve(readers);
+  for (size_t r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] { results[r] = ReaderLoop(service, box, stop); });
+  }
+
+  // Writer: publish version v with every marker's z set to v, at rate_hz.
+  uint64_t publishes = 0;
+  uint64_t publish_failures = 0;
+  bench::Timer run;
+  auto period =
+      std::chrono::duration<double>(rate_hz > 0.0 ? 1.0 / rate_hz : 0.01);
+  while (run.Seconds() < seconds) {
+    uint64_t next_version = service.version() + 1;
+    MapPatch patch;
+    for (int i = 0; i < kNumMarkers; ++i) {
+      patch.moved_landmarks.push_back(
+          {kFirstMarkerId + i,
+           {MarkerXy(i).x, MarkerXy(i).y, static_cast<double>(next_version)}});
+    }
+    if (service.ApplyPatch(std::move(patch)).ok()) {
+      ++publishes;
+    } else {
+      ++publish_failures;
+      service.DiscardStagedPatches();
+    }
+    std::this_thread::sleep_for(period);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+
+  std::vector<double> latencies;
+  uint64_t reads = 0, torn = 0, rollbacks = 0, errors = 0;
+  for (const ReaderResult& r : results) {
+    latencies.insert(latencies.end(), r.latencies_s.begin(),
+                     r.latencies_s.end());
+    reads += r.reads;
+    torn += r.torn;
+    rollbacks += r.rollbacks;
+    errors += r.errors;
+  }
+
+  std::printf("\nload: %zu readers x GetRegion, 1 writer @ %.0f Hz, %.1f s\n",
+              readers, rate_hz, seconds);
+  bench::PrintRow("reads served", "(consistent)",
+                  bench::Fmt("%.0f", static_cast<double>(reads)));
+  bench::PrintRow("versions published", "fixed rate",
+                  bench::Fmt("%.0f", static_cast<double>(publishes)));
+  bench::PrintRow("torn reads", "0",
+                  bench::Fmt("%.0f", static_cast<double>(torn)));
+  bench::PrintRow("version rollbacks", "0",
+                  bench::Fmt("%.0f", static_cast<double>(rollbacks)));
+  bench::PrintRow("read errors", "0",
+                  bench::Fmt("%.0f", static_cast<double>(errors)));
+  bench::PrintRow("GetRegion p50", "low ms",
+                  bench::Fmt("%.3f ms", Percentile(latencies, 50) * 1e3));
+  bench::PrintRow("GetRegion p99", "low ms",
+                  bench::Fmt("%.3f ms", Percentile(latencies, 99) * 1e3));
+
+  std::printf("\nmetrics registry:\n%s", registry.Render().c_str());
+
+  bool ok = torn == 0 && rollbacks == 0 && errors == 0 &&
+            publish_failures == 0 && publishes > 0 && reads > 0;
+  std::printf("\nE16 %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

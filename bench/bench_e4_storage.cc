@@ -84,7 +84,7 @@ int Run() {
                          : "FAILED");
 
   // Tiled distribution of the conventional map (production layout).
-  TileStore store(512.0);
+  TileStore store(TileStore::Options{.tile_size_m = 512.0});
   if (!store.Build(map).ok()) return 1;
   std::printf("  conventional map tiled: %zu tiles, %.1f MB total\n\n",
               store.NumTiles(), store.TotalBytes() / 1e6);
@@ -97,7 +97,7 @@ int Run() {
   // per-tile serialization fans out.
   constexpr int kBuildReps = 5;
   auto time_build = [&](size_t threads) {
-    TileStore s(256.0);
+    TileStore s(TileStore::Options{.tile_size_m = 256.0});
     bench::Timer t;
     for (int i = 0; i < kBuildReps; ++i) {
       if (!s.Build(map, threads).ok()) return -1.0;
@@ -111,7 +111,8 @@ int Run() {
               build_1 * 1e3, build_n * 1e3, nthreads, build_1 / build_n);
 
   // Determinism guarantee: identical bytes regardless of thread count.
-  TileStore s1(256.0), sn(256.0);
+  TileStore s1(TileStore::Options{.tile_size_m = 256.0});
+  TileStore sn(TileStore::Options{.tile_size_m = 256.0});
   if (!s1.Build(map, 1).ok() || !sn.Build(map, nthreads).ok()) return 1;
   bool deterministic = s1.raw_tiles() == sn.raw_tiles();
   std::printf("    Build bytes 1 vs %zu threads: %s\n", nthreads,
@@ -119,7 +120,7 @@ int Run() {
 
   // Repeated LoadRegion over hot tiles: first pass deserializes and fills
   // the LRU cache, later passes are served from it.
-  TileStore serving(256.0);
+  TileStore serving(TileStore::Options{.tile_size_m = 256.0});
   if (!serving.Build(map, nthreads).ok()) return 1;
   Aabb hot_box = map.BoundingBox();
   constexpr int kRegionReps = 10;

@@ -1,14 +1,16 @@
 // fleet_map_update: the §II-B maintenance loop end to end. The world
 // drifts away from the published map; a fleet of vehicles detects the
 // differences while driving (SLAMCU), roadside MEC units condense the
-// crowd evidence (Qi et al.), and the confirmed changes are applied to
-// the map as a patch — which is then re-verified against the world.
+// crowd evidence (Qi et al.), and the confirmed changes are published
+// through a MapService as one new snapshot version — which is then
+// re-verified against the world.
 
 #include <cstdio>
 
 #include "core/map_patch.h"
 #include "maintenance/crowd_sensing.h"
 #include "maintenance/slamcu.h"
+#include "service/map_service.h"
 #include "sim/change_injector.h"
 #include "sim/road_network_generator.h"
 #include "sim/sensors.h"
@@ -107,9 +109,21 @@ int main() {
       patch.removed_landmarks.push_back(change.map_id);
     }
   }
-  Status applied = ApplyPatch(patch, &published);
-  std::printf("patch: %zu changes applied (%s)\n", patch.NumChanges(),
-              applied.ToString().c_str());
+  // Publish through the serving stack: fleet readers keep loading the old
+  // snapshot until the patch lands as one atomic version swap.
+  MapService service;
+  if (!service.Init(published).ok()) return 1;
+  Status applied = service.ApplyPatch(patch);
+  std::printf("patch: %zu changes published as version %llu (%s), "
+              "publish p50 %.2f ms\n",
+              patch.NumChanges(),
+              static_cast<unsigned long long>(service.version()),
+              applied.ToString().c_str(),
+              service.metrics()
+                      .GetLatency("map_service.publish")
+                      ->ApproxPercentileSeconds(50) *
+                  1e3);
+  published = service.snapshot()->map;
 
   // Re-verification: how many of the injected changes did the loop
   // actually capture in the published map?

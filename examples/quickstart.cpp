@@ -68,7 +68,7 @@ int main() {
   std::string full = SerializeMap(map);
   std::string compact = SerializeCompactMap(map);
   SemanticRaster raster = RasterizeMap(map, 0.5);
-  TileStore tiles(256.0);
+  TileStore tiles(TileStore::Options{.tile_size_m = 256.0});
   tiles.Build(map);
   std::printf("storage: full %zu KB | compact %zu KB | raster (RLE) "
               "%zu KB | %zu tiles\n",

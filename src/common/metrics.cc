@@ -1,0 +1,129 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace hdmap {
+
+namespace {
+
+// Log-scale bucketing for latencies: 1/32 of a decade per bucket over
+// [1 us, 10 s) — 7 decades, 224 buckets, ±4% relative resolution.
+constexpr double kLogLo = -6.0;
+constexpr double kLogHi = 1.0;
+constexpr int kLogBins = 224;
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram()
+    : log_histogram_(kLogLo, kLogHi, kLogBins) {}
+
+void LatencyHistogram::Record(double seconds) {
+  if (!(seconds >= 0.0)) return;  // Rejects negatives and NaN.
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.Add(seconds);
+  // log10(0) is -inf; any sub-microsecond sample lands in underflow anyway.
+  log_histogram_.Add(seconds > 0.0 ? std::log10(seconds) : kLogLo - 1.0);
+}
+
+size_t LatencyHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.count();
+}
+
+double LatencyHistogram::mean_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.mean();
+}
+
+double LatencyHistogram::min_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.min();
+}
+
+double LatencyHistogram::max_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.max();
+}
+
+double LatencyHistogram::ApproxPercentileSeconds(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = log_histogram_.total();
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the requested percentile among all samples, in cumulative
+  // count space: underflow bucket first, then the bins, then overflow.
+  double rank = p / 100.0 * static_cast<double>(total);
+  double cumulative = static_cast<double>(log_histogram_.underflow());
+  if (rank <= cumulative) return std::pow(10.0, kLogLo);
+  for (int bin = 0; bin < log_histogram_.num_bins(); ++bin) {
+    double in_bin = static_cast<double>(log_histogram_.bin_count(bin));
+    if (in_bin > 0.0 && rank <= cumulative + in_bin) {
+      // Linear interpolation within the bucket, in log space.
+      double frac = (rank - cumulative) / in_bin;
+      double log_value = log_histogram_.bin_lo(bin) +
+                         frac * (log_histogram_.bin_hi(bin) -
+                                 log_histogram_.bin_lo(bin));
+      return std::pow(10.0, log_value);
+    }
+    cumulative += in_bin;
+  }
+  return std::pow(10.0, kLogHi);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetLatency(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = latencies_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::vector<Sample> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    out.push_back({name, static_cast<double>(counter->value())});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back({name, gauge->value()});
+  }
+  for (const auto& [name, latency] : latencies_) {
+    out.push_back({name + ".count", static_cast<double>(latency->count())});
+    out.push_back({name + ".mean_ms", latency->mean_seconds() * 1e3});
+    out.push_back(
+        {name + ".p50_ms", latency->ApproxPercentileSeconds(50.0) * 1e3});
+    out.push_back(
+        {name + ".p99_ms", latency->ApproxPercentileSeconds(99.0) * 1e3});
+    out.push_back({name + ".max_ms", latency->max_seconds() * 1e3});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+std::string MetricsRegistry::Render() const {
+  std::string text;
+  for (const Sample& s : Snapshot()) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%-44s %.6g\n", s.name.c_str(), s.value);
+    text += buf;
+  }
+  return text;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,136 @@
+#ifndef HDMAP_COMMON_METRICS_H_
+#define HDMAP_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/statistics.h"
+
+namespace hdmap {
+
+/// Monotonic counter (events served, cache hits, errors). Increment is
+/// lock-free; safe from any thread.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written value (snapshot version, queue depth, age). Set/value are
+/// lock-free; safe from any thread.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Latency distribution: exact count/mean/min/max via RunningStats plus
+/// approximate percentiles from a log10-bucketed Histogram covering
+/// [1 us, 10 s) (sub-microsecond samples land in the underflow bucket,
+/// 10 s+ in overflow). Bucketing keeps memory constant no matter how many
+/// samples arrive; percentile error is bounded by the bucket width
+/// (~5% relative). Record/readers are serialized by an internal mutex.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Records one latency sample, in seconds. Negative samples are ignored.
+  void Record(double seconds);
+
+  size_t count() const;
+  double mean_seconds() const;
+  double min_seconds() const;
+  double max_seconds() const;
+
+  /// Approximate p-th percentile (p in [0, 100]) in seconds, interpolated
+  /// within the log-scale bucket; 0 with no samples. Percentiles that fall
+  /// in the underflow/overflow buckets clamp to the range edge.
+  double ApproxPercentileSeconds(double p) const;
+
+ private:
+  mutable std::mutex mu_;
+  RunningStats stats_;
+  Histogram log_histogram_;  // Buckets over log10(seconds).
+};
+
+/// Named registry of counters, gauges, and latency histograms: the single
+/// observability surface for the serving stack (MapService endpoints,
+/// TileStore cache, patch publishing). Get* registers on first use and
+/// returns a pointer that stays valid for the registry's lifetime, so hot
+/// paths resolve names once and then touch only the instrument. All
+/// methods are thread-safe.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetLatency(const std::string& name);
+
+  /// One exported metric value. Latencies export count/mean/p50/p99.
+  struct Sample {
+    std::string name;  ///< Instrument name plus suffix, e.g. "x.p99_ms".
+    double value = 0.0;
+  };
+
+  /// Flattened snapshot of every registered instrument, sorted by name.
+  /// Latency values are exported in milliseconds.
+  std::vector<Sample> Snapshot() const;
+
+  /// Human-readable dump, one "name value" row per Sample.
+  std::string Render() const;
+
+ private:
+  mutable std::mutex mu_;
+  // node-based maps: pointers handed out by Get* stay stable.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> latencies_;
+};
+
+/// RAII timer: records the elapsed wall time into a LatencyHistogram when
+/// it goes out of scope. A null histogram disables it (zero-cost guard for
+/// optional metrics).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram* histogram)
+      : histogram_(histogram),
+        start_(histogram == nullptr
+                   ? std::chrono::steady_clock::time_point{}
+                   : std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Record(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count());
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  LatencyHistogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_COMMON_METRICS_H_

@@ -78,6 +78,30 @@ Status HdMap::ReplaceLineFeature(LineFeature feature) {
   return Status::Ok();
 }
 
+Status HdMap::ReplaceLanelet(Lanelet lanelet) {
+  if (lanelet.centerline.size() < 2) {
+    return Status::InvalidArgument(
+        "lanelet centerline needs at least 2 points");
+  }
+  auto it = lanelets_.find(lanelet.id);
+  if (it == lanelets_.end()) {
+    return Status::NotFound("lanelet " + std::to_string(lanelet.id));
+  }
+  it->second = std::move(lanelet);
+  InvalidateIndexes();
+  return Status::Ok();
+}
+
+Status HdMap::ReplaceRegulatoryElement(RegulatoryElement element) {
+  auto it = regulatory_elements_.find(element.id);
+  if (it == regulatory_elements_.end()) {
+    return Status::NotFound("regulatory element " +
+                            std::to_string(element.id));
+  }
+  it->second = std::move(element);
+  return Status::Ok();
+}
+
 Status HdMap::RemoveLandmark(ElementId id) {
   auto it = landmarks_.find(id);
   if (it == landmarks_.end()) {
@@ -85,6 +109,25 @@ Status HdMap::RemoveLandmark(ElementId id) {
   }
   landmarks_.erase(it);
   InvalidateIndexes();
+  return Status::Ok();
+}
+
+Status HdMap::RemoveLanelet(ElementId id) {
+  auto it = lanelets_.find(id);
+  if (it == lanelets_.end()) {
+    return Status::NotFound("lanelet " + std::to_string(id));
+  }
+  lanelets_.erase(it);
+  InvalidateIndexes();
+  return Status::Ok();
+}
+
+Status HdMap::RemoveRegulatoryElement(ElementId id) {
+  auto it = regulatory_elements_.find(id);
+  if (it == regulatory_elements_.end()) {
+    return Status::NotFound("regulatory element " + std::to_string(id));
+  }
+  regulatory_elements_.erase(it);
   return Status::Ok();
 }
 

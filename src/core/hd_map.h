@@ -46,13 +46,19 @@ class HdMap {
   Status AddLaneBundle(LaneBundle bundle);
   Status AddMapNode(MapNode node);
 
-  /// Replaces an existing line feature wholesale (same id). kNotFound if
-  /// absent.
+  /// Replace*: swaps an existing element wholesale (same id). kNotFound
+  /// if absent. Remove*: erases an element; kNotFound if absent. Neither
+  /// touches other elements that reference the id — callers own
+  /// referential integrity (check with Validate()), matching Add*
+  /// semantics.
   Status ReplaceLineFeature(LineFeature feature);
+  Status ReplaceLanelet(Lanelet lanelet);
+  Status ReplaceRegulatoryElement(RegulatoryElement element);
 
-  /// Removes a landmark (used by maintenance pipelines). kNotFound if
-  /// absent.
   Status RemoveLandmark(ElementId id);
+  Status RemoveLanelet(ElementId id);
+  Status RemoveRegulatoryElement(ElementId id);
+
   /// Replaces an existing landmark's position in-place.
   Status MoveLandmark(ElementId id, const Vec3& new_position);
 
@@ -127,6 +133,13 @@ class HdMap {
   /// must resolve, topology must be symmetric. Returns the first problem
   /// found, or OK.
   Status Validate() const;
+
+  /// Forces the lazy spatial indexes to build now. The spatial query
+  /// methods build them on first use, which mutates internal state even
+  /// through const access; a map shared read-only across threads (e.g. a
+  /// published MapSnapshot) must call this once, before sharing, to make
+  /// concurrent const queries data-race free.
+  void BuildIndexes() const { EnsureIndexes(); }
 
  private:
   void InvalidateIndexes();

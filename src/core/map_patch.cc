@@ -13,13 +13,19 @@ Status ApplyPatch(const MapPatch& patch, HdMap* map) {
     HDMAP_RETURN_IF_ERROR(map->MoveLandmark(mv.id, mv.new_position));
   }
   for (const LineFeature& lf : patch.updated_line_features) {
-    if (map->FindLineFeature(lf.id) == nullptr) {
-      return Status::NotFound("line feature " + std::to_string(lf.id));
-    }
-    // Replace: remove is not exposed for line features, so emulate via
-    // direct overwrite semantics (same id, new geometry).
-    LineFeature copy = lf;
-    HDMAP_RETURN_IF_ERROR(map->ReplaceLineFeature(std::move(copy)));
+    HDMAP_RETURN_IF_ERROR(map->ReplaceLineFeature(lf));
+  }
+  for (const Lanelet& ll : patch.updated_lanelets) {
+    HDMAP_RETURN_IF_ERROR(map->ReplaceLanelet(ll));
+  }
+  for (ElementId id : patch.removed_lanelets) {
+    HDMAP_RETURN_IF_ERROR(map->RemoveLanelet(id));
+  }
+  for (const RegulatoryElement& reg : patch.updated_regulatory_elements) {
+    HDMAP_RETURN_IF_ERROR(map->ReplaceRegulatoryElement(reg));
+  }
+  for (ElementId id : patch.removed_regulatory_elements) {
+    HDMAP_RETURN_IF_ERROR(map->RemoveRegulatoryElement(id));
   }
   return Status::Ok();
 }

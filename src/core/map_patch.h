@@ -10,8 +10,9 @@ namespace hdmap {
 
 /// A changeset produced by maintenance pipelines and applied to an HdMap.
 /// Covers the element classes that change at high rates in practice
-/// (landmarks and line features): SLAMCU [41], Pannen [44], Tas [11] all
-/// report sign/marking-level updates.
+/// (landmarks and line features: SLAMCU [41], Pannen [44], Tas [11] all
+/// report sign/marking-level updates) plus the relational layer (lanelets,
+/// regulatory elements) that rule-level rollouts touch.
 struct MapPatch {
   std::vector<Landmark> added_landmarks;
   std::vector<ElementId> removed_landmarks;
@@ -22,19 +23,29 @@ struct MapPatch {
   std::vector<Move> moved_landmarks;
   std::vector<LineFeature> updated_line_features;  // Replace-by-id.
 
-  bool IsEmpty() const {
-    return added_landmarks.empty() && removed_landmarks.empty() &&
-           moved_landmarks.empty() && updated_line_features.empty();
-  }
+  // Relational-layer changes (all replace-by-id / remove-by-id; adding a
+  // lanelet or regulatory element goes through the construction pipeline,
+  // not a patch).
+  std::vector<Lanelet> updated_lanelets;
+  std::vector<ElementId> removed_lanelets;
+  std::vector<RegulatoryElement> updated_regulatory_elements;
+  std::vector<ElementId> removed_regulatory_elements;
+
+  bool IsEmpty() const { return NumChanges() == 0; }
   size_t NumChanges() const {
     return added_landmarks.size() + removed_landmarks.size() +
-           moved_landmarks.size() + updated_line_features.size();
+           moved_landmarks.size() + updated_line_features.size() +
+           updated_lanelets.size() + removed_lanelets.size() +
+           updated_regulatory_elements.size() +
+           removed_regulatory_elements.size();
   }
 };
 
-/// Applies a patch in-place. Add of an existing id, removal/move of a
-/// missing id, and update of a missing line feature fail; earlier entries
-/// stay applied (caller controls transactionality by validating first).
+/// Applies a patch in-place through HdMap's regular mutation surface
+/// (Add*/Remove*/Move*/Replace*). Add of an existing id fails with
+/// kAlreadyExists; removal/move/update of a missing id with kNotFound;
+/// earlier entries stay applied (caller controls transactionality by
+/// validating first or applying to a copy, as MapService::Publish does).
 Status ApplyPatch(const MapPatch& patch, HdMap* map);
 
 /// Landmark-level diff: the patch that transforms `before` into `after`.

@@ -55,6 +55,64 @@ std::vector<ElementId> ReadIds(BufferReader& r) {
   return ids;
 }
 
+// Element codecs shared by the full-map format and the patch format (the
+// byte layout is the historical full-map one).
+
+void WriteLanelet(BufferWriter& w, const Lanelet& ll) {
+  w.WriteI64(ll.id);
+  w.WriteI64(ll.left_boundary_id);
+  w.WriteI64(ll.right_boundary_id);
+  WriteLineString(w, ll.centerline);
+  w.WriteU32(static_cast<uint32_t>(ll.elevation_profile.size()));
+  for (double z : ll.elevation_profile) w.WriteF64(z);
+  w.WriteF64(ll.speed_limit_mps);
+  WriteIds(w, ll.successors);
+  WriteIds(w, ll.predecessors);
+  w.WriteI64(ll.left_neighbor);
+  w.WriteI64(ll.right_neighbor);
+  WriteIds(w, ll.regulatory_ids);
+  w.WriteI64(ll.bundle_id);
+}
+
+Lanelet ReadLanelet(BufferReader& r) {
+  Lanelet ll;
+  ll.id = r.ReadI64();
+  ll.left_boundary_id = r.ReadI64();
+  ll.right_boundary_id = r.ReadI64();
+  ll.centerline = ReadLineString(r);
+  uint32_t nz = r.ReadU32();
+  SafeReserve(ll.elevation_profile, nz);
+  for (uint32_t j = 0; j < nz && r.ok(); ++j) {
+    ll.elevation_profile.push_back(r.ReadF64());
+  }
+  ll.speed_limit_mps = r.ReadF64();
+  ll.successors = ReadIds(r);
+  ll.predecessors = ReadIds(r);
+  ll.left_neighbor = r.ReadI64();
+  ll.right_neighbor = r.ReadI64();
+  ll.regulatory_ids = ReadIds(r);
+  ll.bundle_id = r.ReadI64();
+  return ll;
+}
+
+void WriteRegulatoryElement(BufferWriter& w, const RegulatoryElement& reg) {
+  w.WriteI64(reg.id);
+  w.WriteU8(static_cast<uint8_t>(reg.type));
+  w.WriteF64(reg.speed_limit_mps);
+  w.WriteI64(reg.anchor_id);
+  WriteIds(w, reg.lanelet_ids);
+}
+
+RegulatoryElement ReadRegulatoryElement(BufferReader& r) {
+  RegulatoryElement reg;
+  reg.id = r.ReadI64();
+  reg.type = static_cast<RegulatoryType>(r.ReadU8());
+  reg.speed_limit_mps = r.ReadF64();
+  reg.anchor_id = r.ReadI64();
+  reg.lanelet_ids = ReadIds(r);
+  return reg;
+}
+
 /// Delta-encodes a polyline on a `quantum` grid: absolute first point
 /// (int32 quanta), then int16 deltas with an escape for large jumps.
 void WriteQuantizedLineString(BufferWriter& w, const LineString& ls,
@@ -162,28 +220,14 @@ std::string SerializeMap(const HdMap& map) {
 
   w.WriteU32(static_cast<uint32_t>(map.lanelets().size()));
   for (const auto& [id, ll] : map.lanelets()) {
-    w.WriteI64(id);
-    w.WriteI64(ll.left_boundary_id);
-    w.WriteI64(ll.right_boundary_id);
-    WriteLineString(w, ll.centerline);
-    w.WriteU32(static_cast<uint32_t>(ll.elevation_profile.size()));
-    for (double z : ll.elevation_profile) w.WriteF64(z);
-    w.WriteF64(ll.speed_limit_mps);
-    WriteIds(w, ll.successors);
-    WriteIds(w, ll.predecessors);
-    w.WriteI64(ll.left_neighbor);
-    w.WriteI64(ll.right_neighbor);
-    WriteIds(w, ll.regulatory_ids);
-    w.WriteI64(ll.bundle_id);
+    (void)id;
+    WriteLanelet(w, ll);
   }
 
   w.WriteU32(static_cast<uint32_t>(map.regulatory_elements().size()));
   for (const auto& [id, reg] : map.regulatory_elements()) {
-    w.WriteI64(id);
-    w.WriteU8(static_cast<uint8_t>(reg.type));
-    w.WriteF64(reg.speed_limit_mps);
-    w.WriteI64(reg.anchor_id);
-    WriteIds(w, reg.lanelet_ids);
+    (void)id;
+    WriteRegulatoryElement(w, reg);
   }
 
   w.WriteU32(static_cast<uint32_t>(map.lane_bundles().size()));
@@ -265,35 +309,12 @@ Result<HdMap> DeserializeMap(std::string_view data) {
 
   uint32_t num_lanelets = r.ReadU32();
   for (uint32_t i = 0; i < num_lanelets && r.ok(); ++i) {
-    Lanelet ll;
-    ll.id = r.ReadI64();
-    ll.left_boundary_id = r.ReadI64();
-    ll.right_boundary_id = r.ReadI64();
-    ll.centerline = ReadLineString(r);
-    uint32_t nz = r.ReadU32();
-    SafeReserve(ll.elevation_profile, nz);
-    for (uint32_t j = 0; j < nz && r.ok(); ++j) {
-      ll.elevation_profile.push_back(r.ReadF64());
-    }
-    ll.speed_limit_mps = r.ReadF64();
-    ll.successors = ReadIds(r);
-    ll.predecessors = ReadIds(r);
-    ll.left_neighbor = r.ReadI64();
-    ll.right_neighbor = r.ReadI64();
-    ll.regulatory_ids = ReadIds(r);
-    ll.bundle_id = r.ReadI64();
-    HDMAP_RETURN_IF_ERROR(map.AddLanelet(std::move(ll)));
+    HDMAP_RETURN_IF_ERROR(map.AddLanelet(ReadLanelet(r)));
   }
 
   uint32_t num_regs = r.ReadU32();
   for (uint32_t i = 0; i < num_regs && r.ok(); ++i) {
-    RegulatoryElement reg;
-    reg.id = r.ReadI64();
-    reg.type = static_cast<RegulatoryType>(r.ReadU8());
-    reg.speed_limit_mps = r.ReadF64();
-    reg.anchor_id = r.ReadI64();
-    reg.lanelet_ids = ReadIds(r);
-    HDMAP_RETURN_IF_ERROR(map.AddRegulatoryElement(std::move(reg)));
+    HDMAP_RETURN_IF_ERROR(map.AddRegulatoryElement(ReadRegulatoryElement(r)));
   }
 
   uint32_t num_bundles = r.ReadU32();
@@ -440,7 +461,10 @@ constexpr uint32_t kPatchMagic = 0x48444d50;  // "HDMP"
 std::string SerializePatch(const MapPatch& patch) {
   BufferWriter w;
   w.WriteU32(kPatchMagic);
-  w.WriteU32(1);  // version
+  // Version 2 appends the relational-layer sections (updated/removed
+  // lanelets and regulatory elements) after the v1 payload; v1 buffers
+  // are still readable.
+  w.WriteU32(2);
 
   w.WriteU32(static_cast<uint32_t>(patch.added_landmarks.size()));
   for (const Landmark& lm : patch.added_landmarks) {
@@ -472,6 +496,16 @@ std::string SerializePatch(const MapPatch& patch) {
       w.WriteF64(p.y);
     }
   }
+  w.WriteU32(static_cast<uint32_t>(patch.updated_lanelets.size()));
+  for (const Lanelet& ll : patch.updated_lanelets) WriteLanelet(w, ll);
+  w.WriteU32(static_cast<uint32_t>(patch.removed_lanelets.size()));
+  for (ElementId id : patch.removed_lanelets) w.WriteI64(id);
+  w.WriteU32(static_cast<uint32_t>(patch.updated_regulatory_elements.size()));
+  for (const RegulatoryElement& reg : patch.updated_regulatory_elements) {
+    WriteRegulatoryElement(w, reg);
+  }
+  w.WriteU32(static_cast<uint32_t>(patch.removed_regulatory_elements.size()));
+  for (ElementId id : patch.removed_regulatory_elements) w.WriteI64(id);
   return w.Release();
 }
 
@@ -480,7 +514,8 @@ Result<MapPatch> DeserializePatch(std::string_view data) {
   if (r.ReadU32() != kPatchMagic) {
     return Status::DataLoss("bad magic: not a map patch buffer");
   }
-  if (r.ReadU32() != 1) {
+  uint32_t version = r.ReadU32();
+  if (version != 1 && version != 2) {
     return Status::DataLoss("unsupported patch version");
   }
   MapPatch patch;
@@ -529,6 +564,28 @@ Result<MapPatch> DeserializePatch(std::string_view data) {
     }
     lf.geometry = LineString(std::move(pts));
     patch.updated_line_features.push_back(std::move(lf));
+  }
+  if (version >= 2) {
+    uint32_t num_lanelets = r.ReadU32();
+    SafeReserve(patch.updated_lanelets, num_lanelets);
+    for (uint32_t i = 0; i < num_lanelets && r.ok(); ++i) {
+      patch.updated_lanelets.push_back(ReadLanelet(r));
+    }
+    uint32_t num_removed_lanelets = r.ReadU32();
+    SafeReserve(patch.removed_lanelets, num_removed_lanelets);
+    for (uint32_t i = 0; i < num_removed_lanelets && r.ok(); ++i) {
+      patch.removed_lanelets.push_back(r.ReadI64());
+    }
+    uint32_t num_regs = r.ReadU32();
+    SafeReserve(patch.updated_regulatory_elements, num_regs);
+    for (uint32_t i = 0; i < num_regs && r.ok(); ++i) {
+      patch.updated_regulatory_elements.push_back(ReadRegulatoryElement(r));
+    }
+    uint32_t num_removed_regs = r.ReadU32();
+    SafeReserve(patch.removed_regulatory_elements, num_removed_regs);
+    for (uint32_t i = 0; i < num_removed_regs && r.ok(); ++i) {
+      patch.removed_regulatory_elements.push_back(r.ReadI64());
+    }
   }
   if (!r.ok()) return r.status();
   return patch;

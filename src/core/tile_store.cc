@@ -30,6 +30,40 @@ uint64_t TileId::Morton() const {
   return Part1By1(bx) | (Part1By1(by) << 1);
 }
 
+TileStore::TileStore(const Options& options)
+    : tile_size_(options.tile_size_m),
+      cache_capacity_(options.cache_capacity) {
+  if (options.metrics != nullptr) {
+    hits_exported_ = options.metrics->GetCounter("tile_store.cache_hits");
+    misses_exported_ = options.metrics->GetCounter("tile_store.cache_misses");
+    evictions_exported_ =
+        options.metrics->GetCounter("tile_store.cache_evictions");
+  }
+}
+
+TileStore::TileStore(const TileStore& other)
+    : tile_size_(other.tile_size_),
+      tiles_(other.tiles_),
+      tile_ids_(other.tile_ids_),
+      cache_capacity_(other.cache_capacity_),
+      hits_exported_(other.hits_exported_),
+      misses_exported_(other.misses_exported_),
+      evictions_exported_(other.evictions_exported_) {}
+
+TileStore& TileStore::operator=(const TileStore& other) {
+  if (this == &other) return *this;
+  tile_size_ = other.tile_size_;
+  tiles_ = other.tiles_;
+  tile_ids_ = other.tile_ids_;
+  cache_capacity_ = other.cache_capacity_;
+  hits_exported_ = other.hits_exported_;
+  misses_exported_ = other.misses_exported_;
+  evictions_exported_ = other.evictions_exported_;
+  CacheClear();
+  ResetStats();
+  return *this;
+}
+
 size_t TileStore::TotalBytes() const {
   size_t total = 0;
   for (const auto& [key, blob] : tiles_) total += blob.size();
@@ -76,16 +110,10 @@ Result<std::pair<TileId, TileId>> TileStore::TileRangeForBox(
       TileId{static_cast<int32_t>(hi_x), static_cast<int32_t>(hi_y)});
 }
 
-Status TileStore::Build(const HdMap& map, size_t num_threads) {
-  tiles_.clear();
-  tile_ids_.clear();
-  CacheClear();
-
-  // Phase 1 (sequential, deterministic): assign every element to the tiles
-  // its bounding box intersects.
-  std::map<uint64_t, HdMap> tile_maps;
-  std::map<uint64_t, TileId> ids;
-
+Status TileStore::AssignTiles(const HdMap& map,
+                              const std::map<uint64_t, TileId>* only,
+                              std::map<uint64_t, HdMap>* tile_maps,
+                              std::map<uint64_t, TileId>* ids) const {
   Status box_error;  // First oversized-box failure, if any.
   auto tiles_for_box = [&](const Aabb& box) {
     std::vector<TileId> out;
@@ -100,7 +128,9 @@ Status TileStore::Build(const HdMap& map, size_t num_threads) {
     const TileId hi = range->second;
     for (int32_t ty = lo.y; ty <= hi.y; ++ty) {
       for (int32_t tx = lo.x; tx <= hi.x; ++tx) {
-        out.push_back(TileId{tx, ty});
+        TileId t{tx, ty};
+        if (only != nullptr && only->count(t.Morton()) == 0) continue;
+        out.push_back(t);
       }
     }
     return out;
@@ -109,34 +139,34 @@ Status TileStore::Build(const HdMap& map, size_t num_threads) {
   for (const auto& [id, lm] : map.landmarks()) {
     for (const TileId& t : tiles_for_box(Aabb::FromPoint(lm.position.xy()))) {
       uint64_t key = t.Morton();
-      ids.emplace(key, t);
+      ids->emplace(key, t);
       // Ignore AlreadyExists: an element can only land once per tile.
-      (void)tile_maps[key].AddLandmark(lm);
+      (void)(*tile_maps)[key].AddLandmark(lm);
     }
   }
   for (const auto& [id, lf] : map.line_features()) {
     for (const TileId& t : tiles_for_box(lf.geometry.BoundingBox())) {
       uint64_t key = t.Morton();
-      ids.emplace(key, t);
-      (void)tile_maps[key].AddLineFeature(lf);
+      ids->emplace(key, t);
+      (void)(*tile_maps)[key].AddLineFeature(lf);
     }
   }
   for (const auto& [id, af] : map.area_features()) {
     for (const TileId& t : tiles_for_box(af.geometry.BoundingBox())) {
       uint64_t key = t.Morton();
-      ids.emplace(key, t);
-      (void)tile_maps[key].AddAreaFeature(af);
+      ids->emplace(key, t);
+      (void)(*tile_maps)[key].AddAreaFeature(af);
     }
   }
   for (const auto& [id, ll] : map.lanelets()) {
     for (const TileId& t : tiles_for_box(ll.centerline.BoundingBox())) {
       uint64_t key = t.Morton();
-      ids.emplace(key, t);
+      ids->emplace(key, t);
       // Cross-tile references (successors, boundaries, regulatory ids) are
       // kept verbatim: a tile is self-contained for geometry but not for
       // topology, and LoadRegion reports any reference that stays
       // unresolved after stitching.
-      (void)tile_maps[key].AddLanelet(ll);
+      (void)(*tile_maps)[key].AddLanelet(ll);
     }
   }
   for (const auto& [id, reg] : map.regulatory_elements()) {
@@ -153,15 +183,28 @@ Status TileStore::Build(const HdMap& map, size_t num_threads) {
       }
     }
     for (uint64_t key : reg_keys) {
-      auto it = tile_maps.find(key);
-      if (it == tile_maps.end()) continue;
+      auto it = tile_maps->find(key);
+      if (it == tile_maps->end()) continue;
       (void)it->second.AddRegulatoryElement(reg);
     }
   }
-  if (!box_error.ok()) {
+  return box_error;
+}
+
+Status TileStore::Build(const HdMap& map, size_t num_threads) {
+  tiles_.clear();
+  tile_ids_.clear();
+  CacheClear();
+
+  // Phase 1 (sequential, deterministic): assign every element to the tiles
+  // its bounding box intersects.
+  std::map<uint64_t, HdMap> tile_maps;
+  std::map<uint64_t, TileId> ids;
+  Status assigned = AssignTiles(map, nullptr, &tile_maps, &ids);
+  if (!assigned.ok()) {
     tiles_.clear();
     tile_ids_.clear();
-    return box_error;
+    return assigned;
   }
 
   // Phase 2 (parallel): serialize each tile independently. Each task owns
@@ -178,6 +221,51 @@ Status TileStore::Build(const HdMap& map, size_t num_threads) {
       [&](size_t i) { blobs[i] = SerializeMap(*work[i].second); },
       num_threads);
 
+  for (size_t i = 0; i < work.size(); ++i) {
+    uint64_t key = work[i].first;
+    tiles_[key] = std::move(blobs[i]);
+    tile_ids_[key] = ids[key];
+  }
+  return Status::Ok();
+}
+
+Status TileStore::RebuildTiles(const HdMap& map,
+                               const std::vector<TileId>& tiles,
+                               size_t num_threads) {
+  if (tiles.empty()) return Status::Ok();
+
+  std::map<uint64_t, TileId> requested;
+  for (const TileId& t : tiles) requested.emplace(t.Morton(), t);
+
+  // Same deterministic assignment as Build, restricted to the requested
+  // tiles; everything outside `requested` keeps its serialized bytes.
+  std::map<uint64_t, HdMap> tile_maps;
+  std::map<uint64_t, TileId> ids;
+  HDMAP_RETURN_IF_ERROR(AssignTiles(map, &requested, &tile_maps, &ids));
+
+  std::vector<std::pair<uint64_t, const HdMap*>> work;
+  work.reserve(tile_maps.size());
+  for (const auto& [key, tile_map] : tile_maps) {
+    work.emplace_back(key, &tile_map);
+  }
+  std::vector<std::string> blobs(work.size());
+  ParallelFor(
+      work.size(),
+      [&](size_t i) { blobs[i] = SerializeMap(*work[i].second); },
+      num_threads);
+
+  for (const auto& [key, id] : requested) {
+    (void)id;
+    CacheErase(key);
+  }
+  // Requested tiles with no remaining content disappear from the store
+  // (exactly as a full Build would never have created them).
+  for (const auto& [key, id] : requested) {
+    if (tile_maps.count(key) == 0) {
+      tiles_.erase(key);
+      tile_ids_.erase(key);
+    }
+  }
   for (size_t i = 0; i < work.size(); ++i) {
     uint64_t key = work[i].first;
     tiles_[key] = std::move(blobs[i]);
@@ -213,6 +301,23 @@ Result<HdMap> TileStore::LoadTile(const TileId& id) const {
   HDMAP_ASSIGN_OR_RETURN(std::shared_ptr<const HdMap> tile,
                          LoadTileShared(id.Morton()));
   return HdMap(*tile);
+}
+
+Result<std::vector<TileId>> TileStore::TileCoverage(const Aabb& box) const {
+  std::vector<TileId> out;
+  if (box.IsEmpty()) return out;
+  auto range = TileRangeForBox(box);
+  if (!range.ok()) {
+    return Status::InvalidArgument("query " + range.status().message());
+  }
+  const TileId lo = range->first;
+  const TileId hi = range->second;
+  for (int32_t ty = lo.y; ty <= hi.y; ++ty) {
+    for (int32_t tx = lo.x; tx <= hi.x; ++tx) {
+      out.push_back(TileId{tx, ty});
+    }
+  }
+  return out;
 }
 
 Result<std::vector<TileId>> TileStore::TilesInBox(const Aabb& box) const {
@@ -300,9 +405,11 @@ std::shared_ptr<const HdMap> TileStore::CacheLookup(uint64_t key) const {
   auto it = cache_.find(key);
   if (it == cache_.end()) {
     ++stats_.cache_misses;
+    if (misses_exported_ != nullptr) misses_exported_->Increment();
     return nullptr;
   }
   ++stats_.cache_hits;
+  if (hits_exported_ != nullptr) hits_exported_->Increment();
   lru_.splice(lru_.begin(), lru_, it->second.second);  // Move to front.
   return it->second.first;
 }
@@ -320,6 +427,7 @@ void TileStore::CacheInsert(uint64_t key,
     cache_.erase(lru_.back());
     lru_.pop_back();
     ++stats_.cache_evictions;
+    if (evictions_exported_ != nullptr) evictions_exported_->Increment();
   }
   lru_.push_front(key);
   cache_.emplace(key, std::make_pair(std::move(map), lru_.begin()));

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "core/hd_map.h"
 
@@ -63,18 +64,45 @@ struct RegionReport {
 /// only the per-tile serialization is parallel).
 ///
 /// Thread safety: concurrent const calls (LoadTile/LoadRegion/TilesInBox)
-/// are safe with respect to the cache; mutations (Build/PutTile) must be
-/// externally serialized against readers.
+/// are safe with respect to the cache; mutations (Build/PutTile/
+/// RebuildTiles) and copies must be externally serialized against readers.
 class TileStore {
  public:
+  /// Construction knobs. New knobs land here so signatures don't churn.
+  struct Options {
+    /// Edge length of one square tile, meters.
+    double tile_size_m = 256.0;
+    /// Max deserialized tiles kept in the LRU cache; 0 disables caching.
+    size_t cache_capacity = 256;
+    /// When set, cache hit/miss/eviction counters are additionally
+    /// exported through this registry ("tile_store.cache_*"). Counters
+    /// are cumulative across stores sharing a registry — copies of a
+    /// store (e.g. successive MapSnapshot versions) keep feeding the same
+    /// series. The registry must outlive the store.
+    MetricsRegistry* metrics = nullptr;
+  };
+
   /// Any single box (element bounding box in Build, query box in
   /// TilesInBox/LoadRegion) may cover at most this many tiles; larger
   /// boxes — usually a degenerate Aabb from a bad sensor fix — are
   /// rejected with kInvalidArgument instead of exploding memory.
   static constexpr int64_t kMaxTilesPerBox = 1 << 16;
 
-  explicit TileStore(double tile_size_m = 256.0, size_t cache_capacity = 256)
-      : tile_size_(tile_size_m), cache_capacity_(cache_capacity) {}
+  TileStore() : TileStore(Options{}) {}
+  explicit TileStore(const Options& options);
+
+  /// Deprecated two-scalar constructor; use TileStore(Options) so new
+  /// knobs don't churn call sites.
+  [[deprecated("use TileStore(TileStore::Options)")]] explicit TileStore(
+      double tile_size_m, size_t cache_capacity = 256)
+      : TileStore(Options{tile_size_m, cache_capacity, nullptr}) {}
+
+  /// Copies configuration and serialized tiles; the copy starts with a
+  /// cold cache and zeroed stats (but keeps the metrics binding). This is
+  /// the copy-on-write step of snapshot publishing: untouched tiles share
+  /// nothing but their serialized bytes.
+  TileStore(const TileStore& other);
+  TileStore& operator=(const TileStore& other);
 
   double tile_size() const { return tile_size_; }
   size_t NumTiles() const { return tiles_.size(); }
@@ -93,6 +121,16 @@ class TileStore {
   /// covers more than kMaxTilesPerBox tiles.
   Status Build(const HdMap& map, size_t num_threads = 0);
 
+  /// Re-derives only the given tiles from `map`, leaving every other
+  /// tile's serialized bytes untouched: the incremental-update half of
+  /// Build for a patch whose touched-tile set is known. A requested tile
+  /// that ends up with no content is erased; every requested tile's cache
+  /// entry is invalidated. Postcondition: if `tiles` covers every tile
+  /// whose content changed, the store is byte-identical to a full
+  /// Build(map).
+  Status RebuildTiles(const HdMap& map, const std::vector<TileId>& tiles,
+                      size_t num_threads = 0);
+
   /// Replaces one tile's payload with the serialization of `tile_map`
   /// and invalidates that tile's cache entry.
   void PutTile(const TileId& id, const HdMap& tile_map);
@@ -100,6 +138,11 @@ class TileStore {
   /// Deserializes a tile (or copies it out of the cache); kNotFound for
   /// absent tiles.
   Result<HdMap> LoadTile(const TileId& id) const;
+
+  /// Every tile id in the tiling intersecting `box`, present in the store
+  /// or not (the touched-tile enumeration for incremental updates).
+  /// kInvalidArgument when the box covers more than kMaxTilesPerBox tiles.
+  Result<std::vector<TileId>> TileCoverage(const Aabb& box) const;
 
   /// Tile ids intersecting the query box (present tiles only).
   /// kInvalidArgument when the box covers more than kMaxTilesPerBox tiles.
@@ -132,6 +175,15 @@ class TileStore {
   /// overflow.
   Result<std::pair<TileId, TileId>> TileRangeForBox(const Aabb& box) const;
 
+  /// The deterministic element->tile assignment phase of Build. When
+  /// `only` is non-null, assignment is restricted to those Morton keys
+  /// (the RebuildTiles path). Fails with kInvalidArgument on an oversized
+  /// element box.
+  Status AssignTiles(const HdMap& map,
+                     const std::map<uint64_t, TileId>* only,
+                     std::map<uint64_t, HdMap>* tile_maps,
+                     std::map<uint64_t, TileId>* ids) const;
+
   /// Cache-aware tile load; returns a shared snapshot that must only be
   /// read (never queried through the lazy-index API concurrently).
   Result<std::shared_ptr<const HdMap>> LoadTileShared(uint64_t key) const;
@@ -155,6 +207,11 @@ class TileStore {
                           std::list<uint64_t>::iterator>>
       cache_;
   mutable TileStoreStats stats_;
+
+  // Optional registry export of the cache counters (null when unbound).
+  Counter* hits_exported_ = nullptr;
+  Counter* misses_exported_ = nullptr;
+  Counter* evictions_exported_ = nullptr;
 };
 
 }  // namespace hdmap

@@ -5,10 +5,12 @@
 /// Fine-grained headers remain available for build-time-sensitive users.
 
 // Infrastructure.
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/statistics.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/units.h"
 
 // Geometry.
@@ -80,6 +82,9 @@
 #include "planning/pure_pursuit.h"
 #include "planning/route_planner.h"
 #include "planning/speed_profile.h"
+
+// Serving (versioned snapshots + observability).
+#include "service/map_service.h"
 
 // Perception (III-4).
 #include "perception/cooperative.h"

@@ -1,0 +1,289 @@
+#include "service/map_service.h"
+
+#include <map>
+#include <utility>
+
+namespace hdmap {
+
+MapService::MapService(Options options) : options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  // Snapshots' tile caches export through the service registry unless the
+  // caller routed them elsewhere.
+  if (options_.tile_store.metrics == nullptr) {
+    options_.tile_store.metrics = metrics_;
+  }
+  lat_get_region_ = metrics_->GetLatency("map_service.get_region");
+  lat_get_tile_ = metrics_->GetLatency("map_service.get_tile");
+  lat_match_ = metrics_->GetLatency("map_service.match_to_lane");
+  lat_route_ = metrics_->GetLatency("map_service.route");
+  lat_publish_ = metrics_->GetLatency("map_service.publish");
+  requests_ = metrics_->GetCounter("map_service.requests");
+  errors_ = metrics_->GetCounter("map_service.errors");
+  patches_published_ = metrics_->GetCounter("map_service.patches_published");
+  changes_published_ = metrics_->GetCounter("map_service.changes_published");
+  version_gauge_ = metrics_->GetGauge("map_service.snapshot_version");
+  age_gauge_ = metrics_->GetGauge("map_service.snapshot_age_seconds");
+  staged_gauge_ = metrics_->GetGauge("map_service.staged_patches");
+}
+
+Status MapService::Init(HdMap initial_map) {
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  auto snap = std::make_shared<MapSnapshot>();
+  snap->tiles = TileStore(options_.tile_store);
+  HDMAP_RETURN_IF_ERROR(
+      snap->tiles.Build(initial_map, options_.publish_threads));
+  snap->map = std::move(initial_map);
+  snap->map.BuildIndexes();
+  snap->routing = std::make_shared<const RoutingGraph>(
+      RoutingGraph::Build(snap->map, options_.lane_change_penalty_s));
+  auto old = snapshot();
+  snap->version = old == nullptr ? 1 : old->version + 1;
+  snap->publish_time = std::chrono::steady_clock::now();
+  Install(std::move(snap));
+  return Status::Ok();
+}
+
+void MapService::StagePatch(MapPatch patch) {
+  std::lock_guard<std::mutex> lock(staged_mu_);
+  staged_.push_back(std::move(patch));
+  staged_gauge_->Set(static_cast<double>(staged_.size()));
+}
+
+size_t MapService::NumStagedPatches() const {
+  std::lock_guard<std::mutex> lock(staged_mu_);
+  return staged_.size();
+}
+
+void MapService::DiscardStagedPatches() {
+  std::lock_guard<std::mutex> lock(staged_mu_);
+  staged_.clear();
+  staged_gauge_->Set(0.0);
+}
+
+Result<std::vector<TileId>> MapService::TouchedTiles(
+    const MapPatch& patch, const HdMap& map, const TileStore& tiles) const {
+  std::vector<Aabb> boxes;
+  // A missing id yields no box here; ApplyPatch fails on it later and the
+  // publish aborts before the touched set is ever used.
+  auto old_landmark_box = [&](ElementId id) {
+    const Landmark* lm = map.FindLandmark(id);
+    if (lm != nullptr) boxes.push_back(Aabb::FromPoint(lm->position.xy()));
+  };
+  auto lanelet_box = [&](ElementId id) {
+    const Lanelet* ll = map.FindLanelet(id);
+    if (ll != nullptr) boxes.push_back(ll->centerline.BoundingBox());
+  };
+  // A regulatory element is serialized into every tile of every lanelet
+  // it references, so changing one touches all those lanelets' tiles.
+  auto regulatory_boxes = [&](const RegulatoryElement& reg) {
+    for (ElementId ll_id : reg.lanelet_ids) lanelet_box(ll_id);
+  };
+
+  for (const Landmark& lm : patch.added_landmarks) {
+    boxes.push_back(Aabb::FromPoint(lm.position.xy()));
+  }
+  for (ElementId id : patch.removed_landmarks) old_landmark_box(id);
+  for (const MapPatch::Move& mv : patch.moved_landmarks) {
+    old_landmark_box(mv.id);
+    boxes.push_back(Aabb::FromPoint(mv.new_position.xy()));
+  }
+  for (const LineFeature& lf : patch.updated_line_features) {
+    const LineFeature* old = map.FindLineFeature(lf.id);
+    if (old != nullptr) boxes.push_back(old->geometry.BoundingBox());
+    boxes.push_back(lf.geometry.BoundingBox());
+  }
+  for (const Lanelet& ll : patch.updated_lanelets) {
+    lanelet_box(ll.id);
+    boxes.push_back(ll.centerline.BoundingBox());
+  }
+  for (ElementId id : patch.removed_lanelets) lanelet_box(id);
+  for (const RegulatoryElement& reg : patch.updated_regulatory_elements) {
+    const RegulatoryElement* old = map.FindRegulatoryElement(reg.id);
+    if (old != nullptr) regulatory_boxes(*old);
+    regulatory_boxes(reg);
+  }
+  for (ElementId id : patch.removed_regulatory_elements) {
+    const RegulatoryElement* old = map.FindRegulatoryElement(id);
+    if (old != nullptr) regulatory_boxes(*old);
+  }
+
+  std::map<uint64_t, TileId> touched;
+  for (const Aabb& box : boxes) {
+    auto coverage = tiles.TileCoverage(box);
+    if (!coverage.ok()) {
+      return Status::InvalidArgument("patch " + coverage.status().message());
+    }
+    for (const TileId& t : *coverage) touched.emplace(t.Morton(), t);
+  }
+  std::vector<TileId> out;
+  out.reserve(touched.size());
+  for (const auto& [key, t] : touched) {
+    (void)key;
+    out.push_back(t);
+  }
+  return out;
+}
+
+Status MapService::Publish() {
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  auto old = snapshot();
+  if (old == nullptr) {
+    return Status::FailedPrecondition("MapService::Init has not run");
+  }
+  std::vector<MapPatch> staged;
+  {
+    // Copied, not moved: a failed publish leaves the queue intact.
+    std::lock_guard<std::mutex> lock(staged_mu_);
+    staged = staged_;
+  }
+  if (staged.empty()) return Status::Ok();
+  ScopedTimer publish_timer(lat_publish_);
+
+  // Apply every staged patch to a private copy, accumulating the touched
+  // tiles per patch against the state that patch actually sees (a later
+  // patch may move what an earlier one added).
+  HdMap new_map = old->map;
+  std::map<uint64_t, TileId> touched;
+  bool relational_changed = false;
+  size_t num_changes = 0;
+  for (const MapPatch& patch : staged) {
+    HDMAP_ASSIGN_OR_RETURN(std::vector<TileId> patch_tiles,
+                           TouchedTiles(patch, new_map, old->tiles));
+    for (const TileId& t : patch_tiles) touched.emplace(t.Morton(), t);
+    HDMAP_RETURN_IF_ERROR(hdmap::ApplyPatch(patch, &new_map));
+    relational_changed = relational_changed ||
+                         !patch.updated_lanelets.empty() ||
+                         !patch.removed_lanelets.empty() ||
+                         !patch.updated_regulatory_elements.empty() ||
+                         !patch.removed_regulatory_elements.empty();
+    num_changes += patch.NumChanges();
+  }
+
+  auto snap = std::make_shared<MapSnapshot>();
+  // Copy-on-write: the copy shares no cache with the served store, and
+  // only the touched tiles get re-serialized from the patched map.
+  snap->tiles = old->tiles;
+  std::vector<TileId> touched_list;
+  touched_list.reserve(touched.size());
+  for (const auto& [key, t] : touched) {
+    (void)key;
+    touched_list.push_back(t);
+  }
+  HDMAP_RETURN_IF_ERROR(snap->tiles.RebuildTiles(new_map, touched_list,
+                                                 options_.publish_threads));
+  snap->map = std::move(new_map);
+  snap->map.BuildIndexes();
+  // Landmark/marking-level patches don't alter lane topology or rules, so
+  // the routing graph is shared with the previous version.
+  snap->routing = relational_changed
+                      ? std::make_shared<const RoutingGraph>(RoutingGraph::Build(
+                            snap->map, options_.lane_change_penalty_s))
+                      : old->routing;
+  snap->version = old->version + 1;
+  snap->publish_time = std::chrono::steady_clock::now();
+  Install(std::move(snap));
+
+  {
+    // Remove exactly the patches that went out; anything staged while the
+    // publish ran stays queued for the next one.
+    std::lock_guard<std::mutex> lock(staged_mu_);
+    staged_.erase(staged_.begin(),
+                  staged_.begin() + static_cast<ptrdiff_t>(staged.size()));
+    staged_gauge_->Set(static_cast<double>(staged_.size()));
+  }
+  patches_published_->Increment(staged.size());
+  changes_published_->Increment(num_changes);
+  return Status::Ok();
+}
+
+Status MapService::ApplyPatch(MapPatch patch) {
+  StagePatch(std::move(patch));
+  return Publish();
+}
+
+void MapService::Install(std::shared_ptr<const MapSnapshot> snap) {
+  version_gauge_->Set(static_cast<double>(snap->version));
+  age_gauge_->Set(0.0);
+  snapshot_.store(std::move(snap));
+}
+
+std::shared_ptr<const MapSnapshot> MapService::snapshot() const {
+  return snapshot_.load();
+}
+
+uint64_t MapService::version() const {
+  auto snap = snapshot();
+  return snap == nullptr ? 0 : snap->version;
+}
+
+double MapService::SnapshotAgeSeconds() const {
+  auto snap = snapshot();
+  if (snap == nullptr) return 0.0;
+  double age = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - snap->publish_time)
+                   .count();
+  age_gauge_->Set(age);
+  return age;
+}
+
+Result<HdMap> MapService::GetRegion(const Aabb& box,
+                                    RegionReport* report) const {
+  requests_->Increment();
+  ScopedTimer timer(lat_get_region_);
+  auto snap = snapshot();
+  if (snap == nullptr) {
+    errors_->Increment();
+    return Status::FailedPrecondition("MapService::Init has not run");
+  }
+  auto region = snap->tiles.LoadRegion(box, report, options_.read_threads);
+  if (!region.ok()) errors_->Increment();
+  return region;
+}
+
+Result<HdMap> MapService::GetTile(const TileId& id) const {
+  requests_->Increment();
+  ScopedTimer timer(lat_get_tile_);
+  auto snap = snapshot();
+  if (snap == nullptr) {
+    errors_->Increment();
+    return Status::FailedPrecondition("MapService::Init has not run");
+  }
+  auto tile = snap->tiles.LoadTile(id);
+  if (!tile.ok()) errors_->Increment();
+  return tile;
+}
+
+Result<LaneMatch> MapService::MatchToLane(const Vec2& position,
+                                          double max_distance) const {
+  requests_->Increment();
+  ScopedTimer timer(lat_match_);
+  auto snap = snapshot();
+  if (snap == nullptr) {
+    errors_->Increment();
+    return Status::FailedPrecondition("MapService::Init has not run");
+  }
+  auto match = snap->map.MatchToLane(position, max_distance);
+  if (!match.ok()) errors_->Increment();
+  return match;
+}
+
+Result<Route> MapService::Route(ElementId from, ElementId to,
+                                RouteAlgorithm algorithm) const {
+  requests_->Increment();
+  ScopedTimer timer(lat_route_);
+  auto snap = snapshot();
+  if (snap == nullptr) {
+    errors_->Increment();
+    return Status::FailedPrecondition("MapService::Init has not run");
+  }
+  auto route = PlanRoute(*snap->routing, from, to, algorithm);
+  if (!route.ok()) errors_->Increment();
+  return route;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,208 @@
+#ifndef HDMAP_SERVICE_MAP_SERVICE_H_
+#define HDMAP_SERVICE_MAP_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/hd_map.h"
+#include "core/map_patch.h"
+#include "core/routing_graph.h"
+#include "core/tile_store.h"
+#include "planning/route_planner.h"
+
+namespace hdmap {
+
+/// One immutable published version of the map: the unit a fleet consumes.
+/// Everything inside is fully built before the snapshot becomes visible
+/// (spatial indexes warm, routing graph materialized), so any number of
+/// threads may query it concurrently through const access with no
+/// synchronization. Snapshots are only ever handed out as
+/// std::shared_ptr<const MapSnapshot>; a reader holding one keeps its
+/// version alive no matter how many newer versions publish.
+struct MapSnapshot {
+  /// Monotonic publish sequence number, starting at 1 for the initial map.
+  uint64_t version = 0;
+  std::chrono::steady_clock::time_point publish_time;
+  /// The stitched, query-ready map (indexes pre-built; see
+  /// HdMap::BuildIndexes).
+  HdMap map;
+  /// The map split into serialized tiles (the distribution format).
+  TileStore tiles;
+  /// Shared with the previous snapshot when a publish did not touch the
+  /// relational layer (lanelets/regulatory elements) — landmark- and
+  /// marking-level patches reuse the graph instead of rebuilding it.
+  std::shared_ptr<const RoutingGraph> routing;
+};
+
+/// The serving front door of the map ecosystem (the workload of Pannen et
+/// al. [44] / Qi et al. [47]: fleets read regions and patches land
+/// concurrently). One writer stages MapPatches and publishes; any number
+/// of reader threads query, each request served against exactly one
+/// version:
+///
+///   readers                 writer
+///   -------                 ------
+///   GetRegion / GetTile     StagePatch (cheap, any thread)
+///   MatchToLane / Route     Publish: copy map, apply patches,
+///   snapshot()                re-derive only the touched tiles
+///                             (copy-on-write; untouched tiles keep
+///                             their serialized bytes), rebuild what
+///                             depends on the change, then swap one
+///                             atomic pointer
+///
+/// Thread safety: all reader endpoints and StagePatch may be called
+/// concurrently from any thread. Publish/ApplyPatch/Init are serialized
+/// internally (multiple writers queue on a mutex). A reader never blocks
+/// on a publish and never observes a partially applied patch set: it
+/// either sees the whole previous version or the whole new one.
+///
+/// Observability: every endpoint records latency into a MetricsRegistry
+/// ("map_service.*" latency histograms, request/error counters,
+/// snapshot version/age gauges), and the tile cache exports its counters
+/// ("tile_store.cache_*") through the same registry.
+class MapService {
+ public:
+  /// Construction knobs (same pattern as TileStore::Options: new knobs
+  /// land here, signatures don't churn).
+  struct Options {
+    /// Tiling of the published snapshots. When `tile_store.metrics` is
+    /// null it is wired to the service registry automatically.
+    TileStore::Options tile_store;
+    /// Seconds added per lane-change edge in the routing graph.
+    double lane_change_penalty_s = 2.0;
+    /// Threads for publish-side tile (re)serialization; 0 = hardware
+    /// concurrency.
+    size_t publish_threads = 0;
+    /// Threads one GetRegion stitch may use. Default 1: region requests
+    /// already run on many reader threads, so per-request fan-out would
+    /// oversubscribe the serving host.
+    size_t read_threads = 1;
+    /// External metrics registry; null means the service owns one
+    /// (accessible via metrics()). Must outlive the service when set.
+    MetricsRegistry* metrics = nullptr;
+  };
+
+  MapService() : MapService(Options{}) {}
+  explicit MapService(Options options);
+
+  MapService(const MapService&) = delete;
+  MapService& operator=(const MapService&) = delete;
+
+  /// Publishes `initial_map` as version 1. Every reader endpoint fails
+  /// with kFailedPrecondition until this succeeds. Re-initializing an
+  /// already-serving service replaces the map wholesale (full tile build)
+  /// and keeps the version sequence monotonic.
+  Status Init(HdMap initial_map);
+
+  // --- Writer side ---
+
+  /// Queues a patch for the next Publish. Cheap and callable from any
+  /// thread; nothing becomes visible to readers until Publish.
+  void StagePatch(MapPatch patch);
+
+  /// Patches staged and not yet published.
+  size_t NumStagedPatches() const;
+
+  /// Drops all staged patches (e.g. after a failed Publish whose patches
+  /// the caller chooses to abandon).
+  void DiscardStagedPatches();
+
+  /// Applies every staged patch to a copy of the current snapshot and
+  /// publishes the result as one new version with a single atomic pointer
+  /// swap. Copy-on-write: only tiles whose content the patches touched
+  /// are re-serialized; every other tile keeps its bytes. All-or-nothing:
+  /// on any failure (unknown id in a patch, degenerate geometry) nothing
+  /// is published, no version is consumed, and the staged queue is left
+  /// intact for inspection. A Publish with nothing staged is a no-op.
+  Status Publish();
+
+  /// StagePatch + Publish in one call.
+  Status ApplyPatch(MapPatch patch);
+
+  // --- Reader side (all safe from any thread, lock-free pointer load) ---
+
+  /// The current snapshot. Hold the pointer to keep reading one
+  /// consistent version across multiple queries; re-call to observe
+  /// newer versions. Null before Init.
+  std::shared_ptr<const MapSnapshot> snapshot() const;
+
+  /// Version of the current snapshot; 0 before Init.
+  uint64_t version() const;
+
+  /// Seconds since the current snapshot was published (0 before Init).
+  /// Also refreshes the "map_service.snapshot_age_seconds" gauge.
+  double SnapshotAgeSeconds() const;
+
+  /// Loads and stitches every tile intersecting `box` from the current
+  /// snapshot (see TileStore::LoadRegion).
+  Result<HdMap> GetRegion(const Aabb& box,
+                          RegionReport* report = nullptr) const;
+
+  /// One tile of the current snapshot (see TileStore::LoadTile).
+  Result<HdMap> GetTile(const TileId& id) const;
+
+  /// Lane-level match against the current snapshot's stitched map.
+  Result<LaneMatch> MatchToLane(const Vec2& position,
+                                double max_distance = 10.0) const;
+
+  /// Lane-level route on the current snapshot's routing graph.
+  Result<::hdmap::Route> Route(
+      ElementId from, ElementId to,
+      RouteAlgorithm algorithm = RouteAlgorithm::kAStar) const;
+
+  /// The registry all service and tile-cache metrics land in (the
+  /// external one when Options::metrics was set, else the internal one).
+  MetricsRegistry& metrics() const { return *metrics_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  /// Tiles whose serialized content `patch` changes, evaluated against
+  /// `map` in its pre-patch state (old positions/geometry come from the
+  /// map, new ones from the patch itself).
+  Result<std::vector<TileId>> TouchedTiles(const MapPatch& patch,
+                                           const HdMap& map,
+                                           const TileStore& tiles) const;
+
+  /// Swaps in a fully built snapshot and updates version/age gauges.
+  void Install(std::shared_ptr<const MapSnapshot> snap);
+
+  Options options_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // Null when external.
+  MetricsRegistry* metrics_ = nullptr;
+
+  // Hot-path instruments, resolved once at construction.
+  LatencyHistogram* lat_get_region_ = nullptr;
+  LatencyHistogram* lat_get_tile_ = nullptr;
+  LatencyHistogram* lat_match_ = nullptr;
+  LatencyHistogram* lat_route_ = nullptr;
+  LatencyHistogram* lat_publish_ = nullptr;
+  Counter* requests_ = nullptr;
+  Counter* errors_ = nullptr;
+  Counter* patches_published_ = nullptr;
+  Counter* changes_published_ = nullptr;
+  Gauge* version_gauge_ = nullptr;
+  Gauge* age_gauge_ = nullptr;
+  Gauge* staged_gauge_ = nullptr;
+
+  // The one pointer readers touch. libstdc++'s atomic<shared_ptr> may
+  // guard the refcount bump with a spinlock pool, but readers never wait
+  // on the writer's publish work — the swap itself is a pointer store.
+  std::atomic<std::shared_ptr<const MapSnapshot>> snapshot_;
+
+  mutable std::mutex staged_mu_;  // Guards staged_.
+  std::vector<MapPatch> staged_;
+
+  std::mutex publish_mu_;  // Serializes Init/Publish (one writer at a time).
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_SERVICE_MAP_SERVICE_H_

@@ -4,6 +4,7 @@
 #include "core/hd_map.h"
 #include "core/map_patch.h"
 #include "core/routing_graph.h"
+#include "core/serialization.h"
 
 namespace hdmap {
 namespace {
@@ -233,6 +234,123 @@ TEST(MapPatchTest, DiffLandmarksRoundTrip) {
 
   ASSERT_TRUE(ApplyPatch(patch, &before).ok());
   EXPECT_TRUE(DiffLandmarks(before, after).IsEmpty());
+}
+
+TEST(HdMapTest, ReplaceAndRemoveLanelet) {
+  HdMap map = MakeTwoLaneletMap();
+  Lanelet repl = *map.FindLanelet(1);
+  repl.centerline = LineString({{0, 0.5}, {50, 0.5}});
+  ASSERT_TRUE(map.ReplaceLanelet(repl).ok());
+  EXPECT_NEAR(map.FindLanelet(1)->centerline[0].y, 0.5, 1e-12);
+  // The spatial index reflects the new geometry.
+  auto match = map.MatchToLane({20.0, 0.5});
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->lanelet_id, 1);
+  EXPECT_NEAR(match->signed_offset, 0.0, 1e-9);
+
+  Lanelet missing = repl;
+  missing.id = 999;
+  EXPECT_EQ(map.ReplaceLanelet(missing).code(), StatusCode::kNotFound);
+  Lanelet degenerate = repl;
+  degenerate.centerline = LineString({{0, 0}});
+  EXPECT_EQ(map.ReplaceLanelet(degenerate).code(),
+            StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(map.RemoveLanelet(2).ok());
+  EXPECT_EQ(map.FindLanelet(2), nullptr);
+  EXPECT_EQ(map.RemoveLanelet(2).code(), StatusCode::kNotFound);
+  // Removal does not touch referencing elements; Validate reports the
+  // dangling successor edge the caller now owns.
+  EXPECT_FALSE(map.Validate().ok());
+}
+
+TEST(HdMapTest, ReplaceAndRemoveRegulatoryElement) {
+  HdMap map = MakeTwoLaneletMap();
+  RegulatoryElement reg;
+  reg.id = 500;
+  reg.type = RegulatoryType::kSpeedLimit;
+  reg.speed_limit_mps = 8.0;
+  reg.lanelet_ids = {1};
+  ASSERT_TRUE(map.AddRegulatoryElement(reg).ok());
+  map.FindMutableLanelet(1)->regulatory_ids.push_back(500);
+
+  reg.speed_limit_mps = 5.0;
+  ASSERT_TRUE(map.ReplaceRegulatoryElement(reg).ok());
+  EXPECT_NEAR(map.EffectiveSpeedLimit(1), 5.0, 1e-9);
+  reg.id = 501;
+  EXPECT_EQ(map.ReplaceRegulatoryElement(reg).code(),
+            StatusCode::kNotFound);
+
+  ASSERT_TRUE(map.RemoveRegulatoryElement(500).ok());
+  EXPECT_EQ(map.FindRegulatoryElement(500), nullptr);
+  EXPECT_EQ(map.RemoveRegulatoryElement(500).code(), StatusCode::kNotFound);
+}
+
+TEST(MapPatchTest, ApplyRelationalChanges) {
+  HdMap map = MakeTwoLaneletMap();
+  RegulatoryElement reg;
+  reg.id = 500;
+  reg.type = RegulatoryType::kSpeedLimit;
+  reg.speed_limit_mps = 8.0;
+  reg.lanelet_ids = {1, 2};
+  ASSERT_TRUE(map.AddRegulatoryElement(reg).ok());
+
+  MapPatch patch;
+  Lanelet moved = *map.FindLanelet(1);
+  moved.centerline = LineString({{0, 1.0}, {50, 1.0}});
+  patch.updated_lanelets.push_back(moved);
+  reg.speed_limit_mps = 6.0;
+  patch.updated_regulatory_elements.push_back(reg);
+  EXPECT_EQ(patch.NumChanges(), 2u);
+  ASSERT_TRUE(ApplyPatch(patch, &map).ok());
+  EXPECT_NEAR(map.FindLanelet(1)->centerline[0].y, 1.0, 1e-12);
+  EXPECT_NEAR(map.FindRegulatoryElement(500)->speed_limit_mps, 6.0, 1e-12);
+
+  MapPatch removal;
+  removal.removed_regulatory_elements.push_back(500);
+  removal.removed_lanelets.push_back(2);
+  ASSERT_TRUE(ApplyPatch(removal, &map).ok());
+  EXPECT_EQ(map.FindRegulatoryElement(500), nullptr);
+  EXPECT_EQ(map.FindLanelet(2), nullptr);
+
+  MapPatch bad;
+  bad.removed_lanelets.push_back(2);
+  EXPECT_EQ(ApplyPatch(bad, &map).code(), StatusCode::kNotFound);
+}
+
+TEST(MapPatchTest, SerializeRoundTripsRelationalSections) {
+  MapPatch patch;
+  Landmark lm;
+  lm.id = 9;
+  lm.position = {1, 2, 3};
+  patch.added_landmarks.push_back(lm);
+  Lanelet ll;
+  ll.id = 4;
+  ll.centerline = LineString({{0, 0}, {10, 0}});
+  ll.successors = {5};
+  ll.regulatory_ids = {500};
+  patch.updated_lanelets.push_back(ll);
+  patch.removed_lanelets.push_back(6);
+  RegulatoryElement reg;
+  reg.id = 500;
+  reg.type = RegulatoryType::kSpeedLimit;
+  reg.speed_limit_mps = 7.5;
+  reg.lanelet_ids = {4};
+  patch.updated_regulatory_elements.push_back(reg);
+  patch.removed_regulatory_elements.push_back(501);
+
+  auto decoded = DeserializePatch(SerializePatch(patch));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->NumChanges(), patch.NumChanges());
+  ASSERT_EQ(decoded->updated_lanelets.size(), 1u);
+  EXPECT_EQ(decoded->updated_lanelets[0].id, 4);
+  EXPECT_EQ(decoded->updated_lanelets[0].successors, ll.successors);
+  ASSERT_EQ(decoded->updated_regulatory_elements.size(), 1u);
+  EXPECT_NEAR(decoded->updated_regulatory_elements[0].speed_limit_mps, 7.5,
+              1e-12);
+  EXPECT_EQ(decoded->removed_lanelets, patch.removed_lanelets);
+  EXPECT_EQ(decoded->removed_regulatory_elements,
+            patch.removed_regulatory_elements);
 }
 
 TEST(FeatureLayerTest, ObservationsConvergeAndPromote) {

@@ -1,0 +1,261 @@
+#include "service/map_service.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/serialization.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+ElementId FirstLandmarkId(const HdMap& map) {
+  EXPECT_FALSE(map.landmarks().empty());
+  return map.landmarks().begin()->first;
+}
+
+MapService::Options SmallTileOptions() {
+  MapService::Options opt;
+  opt.tile_store.tile_size_m = 100.0;
+  return opt;
+}
+
+TEST(MapServiceTest, ReadersFailBeforeInit) {
+  MapService service;
+  EXPECT_EQ(service.version(), 0u);
+  EXPECT_EQ(service.snapshot(), nullptr);
+  EXPECT_EQ(service.GetRegion(Aabb{{0, 0}, {10, 10}}).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.MatchToLane({0, 0}).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.Route(1, 2).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.Publish().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MapServiceTest, InitServesAllEndpoints) {
+  MapService service(SmallTileOptions());
+  HdMap world = StraightRoad(500.0);
+  size_t num_landmarks = world.landmarks().size();
+  ASSERT_TRUE(service.Init(std::move(world)).ok());
+  EXPECT_EQ(service.version(), 1u);
+  ASSERT_NE(service.snapshot(), nullptr);
+
+  auto region = service.GetRegion(service.snapshot()->map.BoundingBox());
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(region->landmarks().size(), num_landmarks);
+
+  auto tile = service.GetTile(service.snapshot()->tiles.TileAt({10, 0}));
+  ASSERT_TRUE(tile.ok());
+  EXPECT_GT(tile->NumElements(), 0u);
+
+  auto match = service.MatchToLane({50.0, -1.75});
+  ASSERT_TRUE(match.ok());
+
+  ElementId lane = match->lanelet_id;
+  auto route = service.Route(lane, lane);
+  EXPECT_TRUE(route.ok());
+
+  EXPECT_GE(service.SnapshotAgeSeconds(), 0.0);
+}
+
+TEST(MapServiceTest, HeldSnapshotIsIsolatedFromPublish) {
+  MapService service(SmallTileOptions());
+  ASSERT_TRUE(service.Init(StraightRoad(500.0)).ok());
+
+  std::shared_ptr<const MapSnapshot> before = service.snapshot();
+  ElementId sign = FirstLandmarkId(before->map);
+  Vec3 old_pos = before->map.FindLandmark(sign)->position;
+  Vec3 new_pos = old_pos + Vec3{1.0, 1.0, 0.0};
+
+  MapPatch patch;
+  patch.moved_landmarks.push_back({sign, new_pos});
+  service.StagePatch(patch);
+  EXPECT_EQ(service.NumStagedPatches(), 1u);
+  ASSERT_TRUE(service.Publish().ok());
+  EXPECT_EQ(service.NumStagedPatches(), 0u);
+
+  // The pre-publish snapshot shows zero effects of the patch, in both the
+  // stitched map and the serialized tiles it serves.
+  EXPECT_EQ(before->version, 1u);
+  EXPECT_EQ(before->map.FindLandmark(sign)->position, old_pos);
+  auto old_region = before->tiles.LoadRegion(before->map.BoundingBox());
+  ASSERT_TRUE(old_region.ok());
+  EXPECT_EQ(old_region->FindLandmark(sign)->position, old_pos);
+
+  // Post-publish readers see all of it.
+  std::shared_ptr<const MapSnapshot> after = service.snapshot();
+  EXPECT_EQ(after->version, 2u);
+  EXPECT_EQ(after->map.FindLandmark(sign)->position, new_pos);
+  auto new_region = service.GetRegion(after->map.BoundingBox());
+  ASSERT_TRUE(new_region.ok());
+  EXPECT_EQ(new_region->FindLandmark(sign)->position, new_pos);
+}
+
+TEST(MapServiceTest, CowTilesMatchFullRebuild) {
+  MapService service(SmallTileOptions());
+  ASSERT_TRUE(service.Init(StraightRoad(500.0)).ok());
+  auto before = service.snapshot();
+
+  MapPatch patch;
+  ElementId sign = FirstLandmarkId(before->map);
+  // Move a landmark across tiles and add one in untouched space.
+  patch.moved_landmarks.push_back(
+      {sign, before->map.FindLandmark(sign)->position + Vec3{150, 0, 0}});
+  Landmark fresh;
+  fresh.id = 99001;
+  fresh.position = {321.0, 2.0, 1.0};
+  patch.added_landmarks.push_back(fresh);
+  ASSERT_TRUE(service.ApplyPatch(patch).ok());
+
+  auto after = service.snapshot();
+  // Copy-on-write must be indistinguishable from a from-scratch build of
+  // the patched map: byte-identical tiles under the same options.
+  TileStore full(TileStore::Options{.tile_size_m = 100.0});
+  ASSERT_TRUE(full.Build(after->map).ok());
+  EXPECT_EQ(after->tiles.raw_tiles(), full.raw_tiles());
+  // And the previous snapshot's store was left byte-identical to its own
+  // full build.
+  TileStore old_full(TileStore::Options{.tile_size_m = 100.0});
+  ASSERT_TRUE(old_full.Build(before->map).ok());
+  EXPECT_EQ(before->tiles.raw_tiles(), old_full.raw_tiles());
+}
+
+TEST(MapServiceTest, CowTilesMatchFullRebuildOnRelationalPatch) {
+  HdMap world = StraightRoad(500.0);
+  ElementId lane_id = world.lanelets().begin()->first;
+  RegulatoryElement reg;
+  reg.id = 77001;
+  reg.type = RegulatoryType::kSpeedLimit;
+  reg.speed_limit_mps = 8.0;
+  reg.lanelet_ids = {lane_id};
+  ASSERT_TRUE(world.AddRegulatoryElement(reg).ok());
+  world.FindMutableLanelet(lane_id)->regulatory_ids.push_back(reg.id);
+
+  MapService service(SmallTileOptions());
+  ASSERT_TRUE(service.Init(std::move(world)).ok());
+  auto before = service.snapshot();
+
+  // Shorten the regulated lanelet and tighten its speed limit in one
+  // patch: both changes ripple through every tile the lanelet occupies.
+  Lanelet shorter = *before->map.FindLanelet(lane_id);
+  std::vector<Vec2> pts(shorter.centerline.points().begin(),
+                        shorter.centerline.points().end() - 2);
+  shorter.centerline = LineString(std::move(pts));
+  reg.speed_limit_mps = 6.0;
+
+  MapPatch patch;
+  patch.updated_lanelets.push_back(shorter);
+  patch.updated_regulatory_elements.push_back(reg);
+  ASSERT_TRUE(service.ApplyPatch(patch).ok());
+
+  auto after = service.snapshot();
+  EXPECT_NEAR(after->map.EffectiveSpeedLimit(lane_id), 6.0, 1e-9);
+  TileStore full(TileStore::Options{.tile_size_m = 100.0});
+  ASSERT_TRUE(full.Build(after->map).ok());
+  EXPECT_EQ(after->tiles.raw_tiles(), full.raw_tiles());
+}
+
+TEST(MapServiceTest, PublishIsAllOrNothing) {
+  MapService service(SmallTileOptions());
+  ASSERT_TRUE(service.Init(StraightRoad(500.0)).ok());
+  auto before = service.snapshot();
+  ElementId sign = FirstLandmarkId(before->map);
+  Vec3 old_pos = before->map.FindLandmark(sign)->position;
+
+  MapPatch good;
+  good.moved_landmarks.push_back({sign, old_pos + Vec3{1, 0, 0}});
+  MapPatch bad;
+  bad.removed_landmarks.push_back(987654);  // No such landmark.
+  service.StagePatch(good);
+  service.StagePatch(bad);
+
+  EXPECT_EQ(service.Publish().code(), StatusCode::kNotFound);
+  // Nothing published, no version consumed, queue intact.
+  EXPECT_EQ(service.version(), 1u);
+  EXPECT_EQ(service.snapshot()->map.FindLandmark(sign)->position, old_pos);
+  EXPECT_EQ(service.NumStagedPatches(), 2u);
+  service.DiscardStagedPatches();
+  EXPECT_EQ(service.NumStagedPatches(), 0u);
+  // An empty publish is a no-op, not a version bump.
+  EXPECT_TRUE(service.Publish().ok());
+  EXPECT_EQ(service.version(), 1u);
+}
+
+TEST(MapServiceTest, RoutingGraphSharedWhenTopologyUntouched) {
+  MapService service(SmallTileOptions());
+  ASSERT_TRUE(service.Init(StraightRoad(500.0)).ok());
+  auto v1 = service.snapshot();
+
+  MapPatch landmarks_only;
+  ElementId sign = FirstLandmarkId(v1->map);
+  landmarks_only.moved_landmarks.push_back(
+      {sign, v1->map.FindLandmark(sign)->position + Vec3{0.5, 0, 0}});
+  ASSERT_TRUE(service.ApplyPatch(landmarks_only).ok());
+  auto v2 = service.snapshot();
+  EXPECT_EQ(v2->routing, v1->routing);  // Shared, not rebuilt.
+
+  MapPatch topology;
+  topology.removed_lanelets.push_back(v1->map.lanelets().begin()->first);
+  ASSERT_TRUE(service.ApplyPatch(topology).ok());
+  auto v3 = service.snapshot();
+  EXPECT_NE(v3->routing, v2->routing);  // Rebuilt for the new topology.
+}
+
+TEST(MapServiceTest, MetricsFlowThroughRegistry) {
+  MetricsRegistry registry;
+  MapService::Options opt = SmallTileOptions();
+  opt.metrics = &registry;
+  MapService service(opt);
+  EXPECT_EQ(&service.metrics(), &registry);
+
+  ASSERT_TRUE(service.Init(StraightRoad(500.0)).ok());
+  Aabb box = service.snapshot()->map.BoundingBox();
+  ASSERT_TRUE(service.GetRegion(box).ok());
+  ASSERT_TRUE(service.GetRegion(box).ok());
+  (void)service.MatchToLane({1e9, 1e9});  // An error.
+
+  MapPatch patch;
+  ElementId sign = FirstLandmarkId(service.snapshot()->map);
+  patch.moved_landmarks.push_back(
+      {sign, service.snapshot()->map.FindLandmark(sign)->position});
+  ASSERT_TRUE(service.ApplyPatch(patch).ok());
+
+  EXPECT_GE(registry.GetCounter("map_service.requests")->value(), 3u);
+  EXPECT_GE(registry.GetCounter("map_service.errors")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("map_service.patches_published")->value(),
+            1u);
+  EXPECT_EQ(registry.GetGauge("map_service.snapshot_version")->value(), 2.0);
+  EXPECT_EQ(registry.GetLatency("map_service.get_region")->count(), 2u);
+  EXPECT_EQ(registry.GetLatency("map_service.publish")->count(), 1u);
+  // The snapshot's tile cache exports through the same registry: the two
+  // identical region loads give the second one cache hits.
+  EXPECT_GT(registry.GetCounter("tile_store.cache_hits")->value(), 0u);
+}
+
+TEST(MapServiceTest, ReInitKeepsVersionMonotonic) {
+  MapService service(SmallTileOptions());
+  ASSERT_TRUE(service.Init(StraightRoad(300.0)).ok());
+  ASSERT_TRUE(service.Init(StraightRoad(400.0)).ok());
+  EXPECT_EQ(service.version(), 2u);
+}
+
+TEST(MapServiceTest, PatchSurvivesSerializationIntoPublish) {
+  // The fleet-side flow: a patch arrives on the wire, is decoded, and
+  // published as one version.
+  MapService service(SmallTileOptions());
+  ASSERT_TRUE(service.Init(StraightRoad(500.0)).ok());
+  ElementId sign = FirstLandmarkId(service.snapshot()->map);
+  MapPatch patch;
+  patch.removed_landmarks.push_back(sign);
+
+  auto decoded = DeserializePatch(SerializePatch(patch));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(service.ApplyPatch(*std::move(decoded)).ok());
+  EXPECT_EQ(service.snapshot()->map.FindLandmark(sign), nullptr);
+}
+
+}  // namespace
+}  // namespace hdmap

@@ -1,0 +1,132 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace hdmap {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetOverwrites) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(LatencyHistogramTest, ExactStatsMatchSamples) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.ApproxPercentileSeconds(50), 0.0);
+  h.Record(0.001);
+  h.Record(0.003);
+  h.Record(0.002);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.mean_seconds(), 0.002, 1e-12);
+  EXPECT_NEAR(h.min_seconds(), 0.001, 1e-12);
+  EXPECT_NEAR(h.max_seconds(), 0.003, 1e-12);
+}
+
+TEST(LatencyHistogramTest, PercentilesApproximateTheDistribution) {
+  LatencyHistogram h;
+  // 1000 samples spread uniformly over [1 ms, 100 ms].
+  for (int i = 0; i < 1000; ++i) h.Record(0.001 + 0.099 * i / 999.0);
+  double p50 = h.ApproxPercentileSeconds(50);
+  double p99 = h.ApproxPercentileSeconds(99);
+  EXPECT_GT(p50, 0.035);
+  EXPECT_LT(p50, 0.065);
+  EXPECT_GT(p99, 0.090);
+  EXPECT_LT(p99, 0.110);
+  EXPECT_LE(h.ApproxPercentileSeconds(0), p50);
+  EXPECT_LE(p99, h.ApproxPercentileSeconds(100) + 1e-12);
+}
+
+TEST(LatencyHistogramTest, IgnoresNegativeAndNan) {
+  LatencyHistogram h;
+  h.Record(-1.0);
+  h.Record(std::nan(""));
+  EXPECT_EQ(h.count(), 0u);
+  h.Record(0.0);  // Valid: lands in the underflow bucket.
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(MetricsRegistryTest, GetReturnsStablePointerPerName) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("requests");
+  Counter* b = reg.GetCounter("requests");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(reg.GetCounter("errors"), a);
+  // Same name in different instrument families is distinct storage.
+  reg.GetGauge("requests")->Set(7.0);
+  EXPECT_EQ(a->value(), 0u);
+}
+
+TEST(MetricsRegistryTest, SnapshotExportsEveryInstrument) {
+  MetricsRegistry reg;
+  reg.GetCounter("hits")->Increment(3);
+  reg.GetGauge("version")->Set(2.0);
+  LatencyHistogram* lat = reg.GetLatency("get_region");
+  lat->Record(0.010);
+  lat->Record(0.020);
+
+  auto samples = reg.Snapshot();
+  auto find = [&](const std::string& name) -> const double* {
+    for (const auto& s : samples) {
+      if (s.name == name) return &s.value;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find("hits"), nullptr);
+  EXPECT_EQ(*find("hits"), 3.0);
+  ASSERT_NE(find("version"), nullptr);
+  EXPECT_EQ(*find("version"), 2.0);
+  ASSERT_NE(find("get_region.count"), nullptr);
+  EXPECT_EQ(*find("get_region.count"), 2.0);
+  ASSERT_NE(find("get_region.mean_ms"), nullptr);
+  EXPECT_NEAR(*find("get_region.mean_ms"), 15.0, 1e-9);
+  EXPECT_NE(find("get_region.p50_ms"), nullptr);
+  EXPECT_NE(find("get_region.p99_ms"), nullptr);
+  EXPECT_NE(find("get_region.max_ms"), nullptr);
+
+  std::string rendered = reg.Render();
+  EXPECT_NE(rendered.find("hits"), std::string::npos);
+  EXPECT_NE(rendered.find("get_region.p99_ms"), std::string::npos);
+}
+
+TEST(ScopedTimerTest, RecordsOnDestructionAndNullDisables) {
+  LatencyHistogram h;
+  { ScopedTimer t(&h); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.max_seconds(), 0.0);
+  { ScopedTimer t(nullptr); }  // Must not crash.
+}
+
+}  // namespace
+}  // namespace hdmap

@@ -164,7 +164,7 @@ class TileStorePropertyTest : public ::testing::TestWithParam<int> {};
 TEST_P(TileStorePropertyTest, RegionLoadIsComplete) {
   HdMap map = SmallTownWorld(static_cast<uint64_t>(GetParam()) + 700, 2, 3);
   double tile_size = 50.0 * GetParam();
-  TileStore store(tile_size);
+  TileStore store(TileStore::Options{.tile_size_m = tile_size});
   ASSERT_TRUE(store.Build(map).ok());
   auto region = store.LoadRegion(map.BoundingBox());
   ASSERT_TRUE(region.ok());

@@ -115,7 +115,7 @@ TEST(SerializationTest, CompactIsSmallAndAccurate) {
 
 TEST(TileStoreTest, BuildLoadStitch) {
   HdMap map = SmallTown();
-  TileStore store(128.0);
+  TileStore store(TileStore::Options{.tile_size_m = 128.0});
   ASSERT_TRUE(store.Build(map).ok());
   EXPECT_GT(store.NumTiles(), 1u);
   EXPECT_GT(store.TotalBytes(), 0u);
@@ -137,7 +137,7 @@ TEST(TileStoreTest, BuildLoadStitch) {
 }
 
 TEST(TileStoreTest, MissingTileIsNotFound) {
-  TileStore store(100.0);
+  TileStore store(TileStore::Options{.tile_size_m = 100.0});
   EXPECT_EQ(store.LoadTile({55, 55}).status().code(), StatusCode::kNotFound);
 }
 

@@ -46,7 +46,7 @@ HdMap TwoTileWorldWithSharedRegElement() {
 
 TEST(TileStoreRegressionTest, RegulatoryElementRidesWithEveryLanelet) {
   HdMap map = TwoTileWorldWithSharedRegElement();
-  TileStore store(100.0);
+  TileStore store(TileStore::Options{.tile_size_m = 100.0});
   ASSERT_TRUE(store.Build(map).ok());
   ASSERT_GE(store.NumTiles(), 2u);
 
@@ -74,7 +74,7 @@ TEST(TileStoreRegressionTest, RegulatoryElementRidesWithEveryLanelet) {
 
 TEST(TileStoreRegressionTest, PartialRegionReportsUnresolvedRegRefs) {
   HdMap map = TwoTileWorldWithSharedRegElement();
-  TileStore store(100.0);
+  TileStore store(TileStore::Options{.tile_size_m = 100.0});
   ASSERT_TRUE(store.Build(map).ok());
 
   // Region covering only lanelet 2: the element is kept, and its dangling
@@ -94,10 +94,10 @@ TEST(TileStoreRegressionTest, PartialRegionReportsUnresolvedRegRefs) {
 
 TEST(TileStoreTest, BuildOutputIsIdenticalAcrossThreadCounts) {
   HdMap map = SmallTown();
-  TileStore serial(128.0);
+  TileStore serial(TileStore::Options{.tile_size_m = 128.0});
   ASSERT_TRUE(serial.Build(map, 1).ok());
   for (size_t threads : {size_t{2}, size_t{8}}) {
-    TileStore parallel(128.0);
+    TileStore parallel(TileStore::Options{.tile_size_m = 128.0});
     ASSERT_TRUE(parallel.Build(map, threads).ok());
     ASSERT_EQ(parallel.NumTiles(), serial.NumTiles());
     EXPECT_EQ(parallel.raw_tiles(), serial.raw_tiles())
@@ -107,7 +107,7 @@ TEST(TileStoreTest, BuildOutputIsIdenticalAcrossThreadCounts) {
 
 TEST(TileStoreTest, ParallelRegionLoadMatchesSerial) {
   HdMap map = SmallTown();
-  TileStore store(128.0);
+  TileStore store(TileStore::Options{.tile_size_m = 128.0});
   ASSERT_TRUE(store.Build(map).ok());
   Aabb box = map.BoundingBox();
   auto serial = store.LoadRegion(box, nullptr, 1);
@@ -119,7 +119,7 @@ TEST(TileStoreTest, ParallelRegionLoadMatchesSerial) {
 
 TEST(TileStoreTest, CacheHitsOnRepeatedLoads) {
   HdMap map = SmallTown();
-  TileStore store(128.0);
+  TileStore store(TileStore::Options{.tile_size_m = 128.0});
   ASSERT_TRUE(store.Build(map).ok());
   ASSERT_GT(store.NumTiles(), 1u);
 
@@ -150,7 +150,7 @@ TEST(TileStoreTest, CacheHitsOnRepeatedLoads) {
 
 TEST(TileStoreTest, PutTileInvalidatesCacheEntry) {
   HdMap map = TwoTileWorldWithSharedRegElement();
-  TileStore store(100.0);
+  TileStore store(TileStore::Options{.tile_size_m = 100.0});
   ASSERT_TRUE(store.Build(map).ok());
   TileId tile = store.TileAt({15, 10});
   ASSERT_TRUE(store.LoadTile(tile).ok());  // Warm the cache.
@@ -170,7 +170,7 @@ TEST(TileStoreTest, PutTileInvalidatesCacheEntry) {
 
 TEST(TileStoreTest, CacheEvictsLeastRecentlyUsed) {
   HdMap map = SmallTown();
-  TileStore store(128.0, /*cache_capacity=*/2);
+  TileStore store(TileStore::Options{.tile_size_m = 128.0, .cache_capacity = 2});
   ASSERT_TRUE(store.Build(map).ok());
   ASSERT_GE(store.NumTiles(), 3u);
 
@@ -187,7 +187,7 @@ TEST(TileStoreTest, CacheEvictsLeastRecentlyUsed) {
 
 TEST(TileStoreTest, HugeQueryBoxIsRejected) {
   HdMap map = SmallTown();
-  TileStore store(128.0);
+  TileStore store(TileStore::Options{.tile_size_m = 128.0});
   ASSERT_TRUE(store.Build(map).ok());
 
   Aabb degenerate({-1e9, -1e9}, {1e9, 1e9});
@@ -204,7 +204,7 @@ TEST(TileStoreTest, HugeQueryBoxIsRejected) {
 
 TEST(TileStoreTest, ExtremeQueryBoxesAreRejectedNotOverflowed) {
   HdMap map = SmallTown();
-  TileStore store(1.0);
+  TileStore store(TileStore::Options{.tile_size_m = 1.0});
   ASSERT_TRUE(store.Build(map).ok());
 
   // Per-axis spans near 2^32: the old span product overflowed int64 and
@@ -226,7 +226,7 @@ TEST(TileStoreTest, ExtremeQueryBoxesAreRejectedNotOverflowed) {
 
 TEST(TileStoreTest, DisabledCacheCountsNoMisses) {
   HdMap map = SmallTown();
-  TileStore store(128.0, /*cache_capacity=*/0);
+  TileStore store(TileStore::Options{.tile_size_m = 128.0, .cache_capacity = 0});
   ASSERT_TRUE(store.Build(map).ok());
 
   ASSERT_TRUE(store.LoadRegion(map.BoundingBox()).ok());
@@ -245,10 +245,92 @@ TEST(TileStoreTest, BuildRejectsDegenerateElementBox) {
   // covering billions of tiles.
   huge.centerline = LineString({{0, 0}, {5e7, 5e7}});
   ASSERT_TRUE(map.AddLanelet(huge).ok());
-  TileStore store(100.0);
+  TileStore store(TileStore::Options{.tile_size_m = 100.0});
   Status s = store.Build(map);
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(store.NumTiles(), 0u);
+}
+
+TEST(TileStoreTest, DeprecatedScalarConstructorStillWorks) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  TileStore store(128.0, 4);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(store.tile_size(), 128.0);
+  EXPECT_EQ(store.cache_capacity(), 4u);
+  HdMap map = SmallTown();
+  ASSERT_TRUE(store.Build(map).ok());
+  EXPECT_GT(store.NumTiles(), 0u);
+}
+
+TEST(TileStoreTest, CopyKeepsBytesDropsCache) {
+  HdMap map = SmallTown();
+  TileStore store(TileStore::Options{.tile_size_m = 128.0});
+  ASSERT_TRUE(store.Build(map).ok());
+  auto present = store.TilesInBox(map.BoundingBox());
+  ASSERT_TRUE(present.ok());
+  ASSERT_TRUE(store.LoadTile(present->front()).ok());  // Warm one entry.
+
+  TileStore copy = store;
+  EXPECT_EQ(copy.raw_tiles(), store.raw_tiles());
+  EXPECT_EQ(copy.tile_size(), store.tile_size());
+  TileStoreStats stats = copy.stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
+  // The copy's cache starts cold: the first load is a miss, not a hit.
+  ASSERT_TRUE(copy.LoadTile(present->front()).ok());
+  EXPECT_EQ(copy.stats().cache_misses, 1u);
+}
+
+TEST(TileStoreTest, RebuildTilesMatchesFullBuild) {
+  HdMap map = SmallTown();
+  TileStore store(TileStore::Options{.tile_size_m = 128.0});
+  ASSERT_TRUE(store.Build(map).ok());
+
+  // Mutate the map: move every landmark by a small offset.
+  HdMap changed = map;
+  std::vector<std::pair<ElementId, Vec3>> moves;
+  for (const auto& [id, lm] : changed.landmarks()) {
+    moves.push_back({id, lm.position + Vec3{1, 1, 0}});
+  }
+  std::vector<TileId> touched;
+  for (const auto& [id, pos] : moves) {
+    const Landmark* lm = changed.FindLandmark(id);
+    touched.push_back(store.TileAt(lm->position.xy()));
+    touched.push_back(store.TileAt(pos.xy()));
+    ASSERT_TRUE(changed.MoveLandmark(id, pos).ok());
+  }
+
+  ASSERT_TRUE(store.RebuildTiles(changed, touched).ok());
+  TileStore full(TileStore::Options{.tile_size_m = 128.0});
+  ASSERT_TRUE(full.Build(changed).ok());
+  EXPECT_EQ(store.raw_tiles(), full.raw_tiles());
+}
+
+TEST(TileStoreTest, TileCoverageIncludesAbsentTiles) {
+  TileStore store(TileStore::Options{.tile_size_m = 100.0});
+  // Empty store: coverage still enumerates the tiling, TilesInBox doesn't.
+  Aabb box{{-50, -50}, {49, 49}};
+  auto coverage = store.TileCoverage(box);
+  ASSERT_TRUE(coverage.ok());
+  EXPECT_EQ(coverage->size(), 4u);
+  auto present = store.TilesInBox(box);
+  ASSERT_TRUE(present.ok());
+  EXPECT_TRUE(present->empty());
+}
+
+TEST(TileStoreTest, CacheCountersExportThroughRegistry) {
+  MetricsRegistry registry;
+  HdMap map = SmallTown();
+  TileStore store(TileStore::Options{
+      .tile_size_m = 128.0, .cache_capacity = 256, .metrics = &registry});
+  ASSERT_TRUE(store.Build(map).ok());
+  auto present = store.TilesInBox(map.BoundingBox());
+  ASSERT_TRUE(present.ok());
+  ASSERT_TRUE(store.LoadTile(present->front()).ok());
+  ASSERT_TRUE(store.LoadTile(present->front()).ok());
+  EXPECT_EQ(registry.GetCounter("tile_store.cache_misses")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("tile_store.cache_hits")->value(), 1u);
 }
 
 }  // namespace
