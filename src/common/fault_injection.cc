@@ -1,0 +1,127 @@
+#include "common/fault_injection.h"
+
+namespace hdmap {
+
+namespace {
+
+/// FNV-1a over arbitrary bytes; the building block for the deterministic
+/// per-(seed, site, payload) fault decisions.
+uint64_t HashBytes(uint64_t h, std::string_view bytes) {
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+/// Maps a hash to [0, 1) for the probability check.
+double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+}
+
+}  // namespace
+
+uint64_t FaultInjector::Mix(uint64_t h) const {
+  // splitmix64 finalizer: decorrelates the FNV chain from the seed.
+  h += 0x9e3779b97f4a7c15ull + seed_;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+void FaultInjector::AddPolicy(FaultPolicy policy) {
+  policies_.push_back(std::move(policy));
+}
+
+void FaultInjector::ClearPolicies() { policies_.clear(); }
+
+void FaultInjector::CountInjection(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = injected_.find(site);
+  if (it == injected_.end()) {
+    injected_.emplace(std::string(site), 1);
+  } else {
+    ++it->second;
+  }
+}
+
+bool FaultInjector::MaybeCorrupt(std::string_view site,
+                                 std::string_view payload,
+                                 std::string* corrupted) {
+  for (size_t pi = 0; pi < policies_.size(); ++pi) {
+    const FaultPolicy& policy = policies_[pi];
+    if (policy.kind == FaultKind::kFailStatus || policy.site != site) {
+      continue;
+    }
+    uint64_t h = Mix(HashBytes(HashBytes(kFnvOffset + pi, site), payload));
+    if (HashToUnit(h) >= policy.probability) continue;
+    // Fired: derive the mutation from an independent remix of the same
+    // hash so "fires" and "where" are uncorrelated.
+    uint64_t m = Mix(h ^ 0xa5a5a5a5a5a5a5a5ull);
+    *corrupted = std::string(payload);
+    switch (policy.kind) {
+      case FaultKind::kBitFlip:
+        if (!corrupted->empty()) {
+          size_t bit = static_cast<size_t>(m % (corrupted->size() * 8));
+          (*corrupted)[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+        }
+        break;
+      case FaultKind::kTruncate:
+        if (!corrupted->empty()) {
+          corrupted->resize(static_cast<size_t>(m % corrupted->size()));
+        }
+        break;
+      case FaultKind::kDrop:
+        corrupted->clear();
+        break;
+      case FaultKind::kFailStatus:
+        break;  // Unreachable; filtered above.
+    }
+    CountInjection(site);
+    return true;
+  }
+  return false;
+}
+
+Status FaultInjector::MaybeFail(std::string_view site) {
+  for (size_t pi = 0; pi < policies_.size(); ++pi) {
+    const FaultPolicy& policy = policies_[pi];
+    if (policy.kind != FaultKind::kFailStatus || policy.site != site) {
+      continue;
+    }
+    uint64_t call_index;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = fail_calls_.find(site);
+      if (it == fail_calls_.end()) {
+        it = fail_calls_.emplace(std::string(site), 0).first;
+      }
+      call_index = it->second++;
+    }
+    uint64_t h = Mix(HashBytes(kFnvOffset + pi, site) ^
+                     (call_index * 0x9e3779b97f4a7c15ull));
+    if (HashToUnit(h) >= policy.probability) continue;
+    CountInjection(site);
+    return Status(policy.fail_code,
+                  "injected fault at " + std::string(site) + " (call " +
+                      std::to_string(call_index) + ")");
+  }
+  return Status::Ok();
+}
+
+uint64_t FaultInjector::InjectedCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = injected_.find(site);
+  return it == injected_.end() ? 0 : it->second;
+}
+
+uint64_t FaultInjector::TotalInjected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [site, n] : injected_) total += n;
+  return total;
+}
+
+}  // namespace hdmap

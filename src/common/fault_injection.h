@@ -1,0 +1,88 @@
+#ifndef HDMAP_COMMON_FAULT_INJECTION_H_
+#define HDMAP_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hdmap {
+
+/// What a fault policy does when it fires.
+enum class FaultKind : uint8_t {
+  kBitFlip,   ///< Flip one pseudo-random bit of the payload.
+  kTruncate,  ///< Cut the payload at a pseudo-random offset.
+  kDrop,      ///< Replace the payload with an empty buffer.
+  kFailStatus,  ///< Make the instrumented call return a Status failure.
+};
+
+/// One armed fault: at `site`, with probability `probability` per call,
+/// apply `kind`. Data-plane kinds (kBitFlip/kTruncate/kDrop) apply to
+/// MaybeCorrupt; kFailStatus applies to MaybeFail with `fail_code`.
+struct FaultPolicy {
+  std::string site;
+  FaultKind kind = FaultKind::kBitFlip;
+  double probability = 0.0;
+  StatusCode fail_code = StatusCode::kInternal;
+};
+
+/// Deterministic fault injector for corruption and failure testing: the
+/// seams TileStore and MapService expose so tests and benches can corrupt
+/// tile loads and fail publishes on demand, reproducibly.
+///
+/// Determinism: data-plane decisions (and the mutation itself) are a pure
+/// function of (seed, site, payload bytes) — not of call order — so the
+/// same store corrupts the same tiles no matter how many threads load
+/// them or in what order. Control-plane decisions (MaybeFail) hash
+/// (seed, site, per-site call index); call sites like Publish are
+/// serialized by their caller, so the index is deterministic there.
+///
+/// Thread safety: AddPolicy/Clear must not race with Maybe*; Maybe* calls
+/// are safe from any thread (counters are guarded by a mutex).
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : seed_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void AddPolicy(FaultPolicy policy);
+  void ClearPolicies();
+
+  /// Data-plane hook. When a data-plane policy for `site` fires on this
+  /// payload, writes the corrupted payload to `*corrupted` and returns
+  /// true; otherwise returns false and leaves `*corrupted` untouched.
+  bool MaybeCorrupt(std::string_view site, std::string_view payload,
+                    std::string* corrupted);
+
+  /// Control-plane hook. Returns a failure with the policy's fail_code
+  /// when a kFailStatus policy for `site` fires, else OK.
+  Status MaybeFail(std::string_view site);
+
+  /// Faults injected so far at `site` (both planes).
+  uint64_t InjectedCount(std::string_view site) const;
+
+  /// Faults injected so far across all sites.
+  uint64_t TotalInjected() const;
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t Mix(uint64_t h) const;
+  void CountInjection(std::string_view site);
+
+  uint64_t seed_;
+  std::vector<FaultPolicy> policies_;
+
+  mutable std::mutex mu_;  // Guards injected_ and fail_calls_.
+  std::map<std::string, uint64_t, std::less<>> injected_;
+  std::map<std::string, uint64_t, std::less<>> fail_calls_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_COMMON_FAULT_INJECTION_H_

@@ -87,13 +87,50 @@ class BufferReader {
   }
   std::string ReadString() {
     uint32_t n = ReadU32();
-    if (pos_ + n > data_.size()) {
+    // A prior latched error must not yield a partial (zero-length) string
+    // that looks successfully read; stay failed and return nothing.
+    if (!status_.ok() || n > remaining()) {
       Fail();
       return {};
     }
     std::string s(data_.substr(pos_, n));
     pos_ += n;
     return s;
+  }
+
+  /// Advances past `n` bytes without decoding them; latches kDataLoss
+  /// (without advancing) when fewer than `n` bytes remain.
+  void Skip(size_t n) {
+    if (!status_.ok() || n > remaining()) {
+      Fail();
+      return;
+    }
+    pos_ += n;
+  }
+
+  /// Bytes left to read; 0 once an error has latched.
+  size_t remaining() const {
+    return status_.ok() ? data_.size() - pos_ : 0;
+  }
+
+  /// Validates a wire-supplied element count before the caller reserves
+  /// or loops: even at `min_element_size` bytes each, `claimed` elements
+  /// must fit in the remaining buffer. On failure latches kDataLoss and
+  /// returns false — a single flipped count byte then costs one status
+  /// check instead of a multi-gigabyte reserve-and-spin.
+  bool CheckCount(uint64_t claimed, size_t min_element_size) {
+    if (!status_.ok()) return false;
+    // Division form: immune to overflow for any claimed/element size.
+    if (min_element_size != 0 &&
+        claimed > remaining() / min_element_size) {
+      status_ = Status::DataLoss(
+          "claimed count " + std::to_string(claimed) + " x " +
+          std::to_string(min_element_size) + "B exceeds the " +
+          std::to_string(remaining()) + " bytes remaining at offset " +
+          std::to_string(pos_));
+      return false;
+    }
+    return true;
   }
 
   bool AtEnd() const { return pos_ >= data_.size(); }

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "core/binary_io.h"
+#include "core/wire_frame.h"
 
 namespace hdmap {
 
@@ -14,6 +15,14 @@ constexpr uint32_t kFullMagic = 0x48444d46;     // "HDMF"
 constexpr uint32_t kCompactMagic = 0x48444d43;  // "HDMC"
 constexpr uint32_t kVersion = 1;
 
+/// Strips and verifies the checksummed frame when `data` carries one;
+/// bare buffers (the pre-frame wire format) pass through untouched so
+/// legacy blobs keep deserializing.
+Result<std::string_view> FramePayload(std::string_view data) {
+  if (IsFramed(data)) return UnwrapFrame(data);
+  return data;
+}
+
 void WriteLineString(BufferWriter& w, const LineString& ls) {
   w.WriteU32(static_cast<uint32_t>(ls.size()));
   for (const Vec2& p : ls.points()) {
@@ -22,18 +31,21 @@ void WriteLineString(BufferWriter& w, const LineString& ls) {
   }
 }
 
-/// Caps the upfront reservation for an untrusted element count: a
-/// corrupted count field must not trigger an unbounded allocation. The
-/// vector still grows on demand if the data really is that large.
+/// Validates an untrusted element count against the bytes actually
+/// remaining in the buffer (`min_element_size` is a lower bound on the
+/// wire size of one element) and only then reserves the full amount. A
+/// flipped count byte latches kDataLoss on the reader — every decode
+/// loop here conditions on r.ok(), so nothing allocates or spins.
 template <typename T>
-void SafeReserve(std::vector<T>& v, uint32_t claimed) {
-  v.reserve(std::min<uint32_t>(claimed, 4096));
+void GuardedReserve(BufferReader& r, std::vector<T>& v, uint32_t claimed,
+                    size_t min_element_size) {
+  if (r.CheckCount(claimed, min_element_size)) v.reserve(claimed);
 }
 
 LineString ReadLineString(BufferReader& r) {
   uint32_t n = r.ReadU32();
   std::vector<Vec2> pts;
-  SafeReserve(pts, n);
+  GuardedReserve(r, pts, n, 16);  // 2 x F64 per point.
   for (uint32_t i = 0; i < n && r.ok(); ++i) {
     double x = r.ReadF64();
     double y = r.ReadF64();
@@ -50,7 +62,7 @@ void WriteIds(BufferWriter& w, const std::vector<ElementId>& ids) {
 std::vector<ElementId> ReadIds(BufferReader& r) {
   uint32_t n = r.ReadU32();
   std::vector<ElementId> ids;
-  SafeReserve(ids, n);
+  GuardedReserve(r, ids, n, 8);  // I64 per id.
   for (uint32_t i = 0; i < n && r.ok(); ++i) ids.push_back(r.ReadI64());
   return ids;
 }
@@ -81,7 +93,7 @@ Lanelet ReadLanelet(BufferReader& r) {
   ll.right_boundary_id = r.ReadI64();
   ll.centerline = ReadLineString(r);
   uint32_t nz = r.ReadU32();
-  SafeReserve(ll.elevation_profile, nz);
+  GuardedReserve(r, ll.elevation_profile, nz, 8);  // F64 per sample.
   for (uint32_t j = 0; j < nz && r.ok(); ++j) {
     ll.elevation_profile.push_back(r.ReadF64());
   }
@@ -151,7 +163,7 @@ void WriteQuantizedLineString(BufferWriter& w, const LineString& ls,
 LineString ReadQuantizedLineString(BufferReader& r, double quantum) {
   uint32_t n = r.ReadU32();
   std::vector<Vec2> pts;
-  SafeReserve(pts, n);
+  GuardedReserve(r, pts, n, 4);  // 2 x I16 delta per point (minimum).
   int64_t qx = 0;
   int64_t qy = 0;
   for (uint32_t i = 0; i < n && r.ok(); ++i) {
@@ -246,11 +258,12 @@ std::string SerializeMap(const HdMap& map) {
     WriteIds(w, n.bundle_ids);
   }
 
-  return w.Release();
+  return WrapFrame(w.buffer());
 }
 
 Result<HdMap> DeserializeMap(std::string_view data) {
-  BufferReader r(data);
+  HDMAP_ASSIGN_OR_RETURN(std::string_view payload, FramePayload(data));
+  BufferReader r(payload);
   if (r.ReadU32() != kFullMagic) {
     return Status::DataLoss("bad magic: not a full HD map buffer");
   }
@@ -260,6 +273,7 @@ Result<HdMap> DeserializeMap(std::string_view data) {
   HdMap map;
 
   uint32_t num_landmarks = r.ReadU32();
+  r.CheckCount(num_landmarks, 45);  // I64+U8+4xF64+string length.
   for (uint32_t i = 0; i < num_landmarks && r.ok(); ++i) {
     Landmark lm;
     lm.id = r.ReadI64();
@@ -273,6 +287,7 @@ Result<HdMap> DeserializeMap(std::string_view data) {
   }
 
   uint32_t num_lines = r.ReadU32();
+  r.CheckCount(num_lines, 25);  // I64+U8+F64+2 section counts.
   for (uint32_t i = 0; i < num_lines && r.ok(); ++i) {
     LineFeature lf;
     lf.id = r.ReadI64();
@@ -280,7 +295,7 @@ Result<HdMap> DeserializeMap(std::string_view data) {
     lf.reflectivity = r.ReadF64();
     lf.geometry = ReadLineString(r);
     uint32_t num_survey = r.ReadU32();
-    SafeReserve(lf.survey_points, num_survey);
+    GuardedReserve(r, lf.survey_points, num_survey, 12);  // 3 x F32.
     for (uint32_t j = 0; j < num_survey && r.ok(); ++j) {
       float x = r.ReadF32();
       float y = r.ReadF32();
@@ -291,13 +306,14 @@ Result<HdMap> DeserializeMap(std::string_view data) {
   }
 
   uint32_t num_areas = r.ReadU32();
+  r.CheckCount(num_areas, 13);  // I64+U8+vertex count.
   for (uint32_t i = 0; i < num_areas && r.ok(); ++i) {
     AreaFeature af;
     af.id = r.ReadI64();
     af.type = static_cast<AreaType>(r.ReadU8());
     uint32_t nv = r.ReadU32();
     std::vector<Vec2> verts;
-    SafeReserve(verts, nv);
+    GuardedReserve(r, verts, nv, 16);  // 2 x F64 per vertex.
     for (uint32_t j = 0; j < nv && r.ok(); ++j) {
       double x = r.ReadF64();
       double y = r.ReadF64();
@@ -308,16 +324,19 @@ Result<HdMap> DeserializeMap(std::string_view data) {
   }
 
   uint32_t num_lanelets = r.ReadU32();
+  r.CheckCount(num_lanelets, 76);  // Fixed lanelet fields + counts.
   for (uint32_t i = 0; i < num_lanelets && r.ok(); ++i) {
     HDMAP_RETURN_IF_ERROR(map.AddLanelet(ReadLanelet(r)));
   }
 
   uint32_t num_regs = r.ReadU32();
+  r.CheckCount(num_regs, 29);  // I64+U8+F64+I64+id count.
   for (uint32_t i = 0; i < num_regs && r.ok(); ++i) {
     HDMAP_RETURN_IF_ERROR(map.AddRegulatoryElement(ReadRegulatoryElement(r)));
   }
 
   uint32_t num_bundles = r.ReadU32();
+  r.CheckCount(num_bundles, 28);  // 3 x I64 + id count.
   for (uint32_t i = 0; i < num_bundles && r.ok(); ++i) {
     LaneBundle b;
     b.id = r.ReadI64();
@@ -328,6 +347,7 @@ Result<HdMap> DeserializeMap(std::string_view data) {
   }
 
   uint32_t num_nodes = r.ReadU32();
+  r.CheckCount(num_nodes, 28);  // I64+2xF64+id count.
   for (uint32_t i = 0; i < num_nodes && r.ok(); ++i) {
     MapNode n;
     n.id = r.ReadI64();
@@ -388,11 +408,12 @@ std::string SerializeCompactMap(const HdMap& map,
     w.WriteI64(ll.left_neighbor);
     w.WriteI64(ll.right_neighbor);
   }
-  return w.Release();
+  return WrapFrame(w.buffer());
 }
 
 Result<HdMap> DeserializeCompactMap(std::string_view data) {
-  BufferReader r(data);
+  HDMAP_ASSIGN_OR_RETURN(std::string_view payload, FramePayload(data));
+  BufferReader r(payload);
   if (r.ReadU32() != kCompactMagic) {
     return Status::DataLoss("bad magic: not a compact map buffer");
   }
@@ -403,6 +424,7 @@ Result<HdMap> DeserializeCompactMap(std::string_view data) {
   HdMap map;
 
   uint32_t num_landmarks = r.ReadU32();
+  r.CheckCount(num_landmarks, 25);  // I64+U8+3xI32+string length.
   for (uint32_t i = 0; i < num_landmarks && r.ok(); ++i) {
     Landmark lm;
     lm.id = r.ReadI64();
@@ -415,6 +437,7 @@ Result<HdMap> DeserializeCompactMap(std::string_view data) {
   }
 
   uint32_t num_compact_lines = r.ReadU32();
+  r.CheckCount(num_compact_lines, 13);  // I64+U8+point count.
   for (uint32_t i = 0; i < num_compact_lines && r.ok(); ++i) {
     LineFeature lf;
     lf.id = r.ReadI64();
@@ -424,6 +447,7 @@ Result<HdMap> DeserializeCompactMap(std::string_view data) {
   }
 
   uint32_t num_lanelets = r.ReadU32();
+  r.CheckCount(num_lanelets, 52);  // Fixed compact-lanelet fields.
   // Successor links may reference lanelets not yet inserted; collect and
   // fix up predecessors afterwards.
   std::vector<std::pair<ElementId, std::vector<ElementId>>> successor_links;
@@ -506,11 +530,12 @@ std::string SerializePatch(const MapPatch& patch) {
   }
   w.WriteU32(static_cast<uint32_t>(patch.removed_regulatory_elements.size()));
   for (ElementId id : patch.removed_regulatory_elements) w.WriteI64(id);
-  return w.Release();
+  return WrapFrame(w.buffer());
 }
 
 Result<MapPatch> DeserializePatch(std::string_view data) {
-  BufferReader r(data);
+  HDMAP_ASSIGN_OR_RETURN(std::string_view payload, FramePayload(data));
+  BufferReader r(payload);
   if (r.ReadU32() != kPatchMagic) {
     return Status::DataLoss("bad magic: not a map patch buffer");
   }
@@ -520,7 +545,7 @@ Result<MapPatch> DeserializePatch(std::string_view data) {
   }
   MapPatch patch;
   uint32_t num_added = r.ReadU32();
-  SafeReserve(patch.added_landmarks, num_added);
+  GuardedReserve(r, patch.added_landmarks, num_added, 45);
   for (uint32_t i = 0; i < num_added && r.ok(); ++i) {
     Landmark lm;
     lm.id = r.ReadI64();
@@ -533,12 +558,12 @@ Result<MapPatch> DeserializePatch(std::string_view data) {
     patch.added_landmarks.push_back(std::move(lm));
   }
   uint32_t num_removed = r.ReadU32();
-  SafeReserve(patch.removed_landmarks, num_removed);
+  GuardedReserve(r, patch.removed_landmarks, num_removed, 8);
   for (uint32_t i = 0; i < num_removed && r.ok(); ++i) {
     patch.removed_landmarks.push_back(r.ReadI64());
   }
   uint32_t num_moved = r.ReadU32();
-  SafeReserve(patch.moved_landmarks, num_moved);
+  GuardedReserve(r, patch.moved_landmarks, num_moved, 32);  // I64+3xF64.
   for (uint32_t i = 0; i < num_moved && r.ok(); ++i) {
     MapPatch::Move mv;
     mv.id = r.ReadI64();
@@ -548,7 +573,7 @@ Result<MapPatch> DeserializePatch(std::string_view data) {
     patch.moved_landmarks.push_back(mv);
   }
   uint32_t num_lines = r.ReadU32();
-  SafeReserve(patch.updated_line_features, num_lines);
+  GuardedReserve(r, patch.updated_line_features, num_lines, 21);
   for (uint32_t i = 0; i < num_lines && r.ok(); ++i) {
     LineFeature lf;
     lf.id = r.ReadI64();
@@ -556,7 +581,7 @@ Result<MapPatch> DeserializePatch(std::string_view data) {
     lf.reflectivity = r.ReadF64();
     uint32_t n = r.ReadU32();
     std::vector<Vec2> pts;
-    SafeReserve(pts, n);
+    GuardedReserve(r, pts, n, 16);
     for (uint32_t j = 0; j < n && r.ok(); ++j) {
       double x = r.ReadF64();
       double y = r.ReadF64();
@@ -567,22 +592,23 @@ Result<MapPatch> DeserializePatch(std::string_view data) {
   }
   if (version >= 2) {
     uint32_t num_lanelets = r.ReadU32();
-    SafeReserve(patch.updated_lanelets, num_lanelets);
+    GuardedReserve(r, patch.updated_lanelets, num_lanelets, 76);
     for (uint32_t i = 0; i < num_lanelets && r.ok(); ++i) {
       patch.updated_lanelets.push_back(ReadLanelet(r));
     }
     uint32_t num_removed_lanelets = r.ReadU32();
-    SafeReserve(patch.removed_lanelets, num_removed_lanelets);
+    GuardedReserve(r, patch.removed_lanelets, num_removed_lanelets, 8);
     for (uint32_t i = 0; i < num_removed_lanelets && r.ok(); ++i) {
       patch.removed_lanelets.push_back(r.ReadI64());
     }
     uint32_t num_regs = r.ReadU32();
-    SafeReserve(patch.updated_regulatory_elements, num_regs);
+    GuardedReserve(r, patch.updated_regulatory_elements, num_regs, 29);
     for (uint32_t i = 0; i < num_regs && r.ok(); ++i) {
       patch.updated_regulatory_elements.push_back(ReadRegulatoryElement(r));
     }
     uint32_t num_removed_regs = r.ReadU32();
-    SafeReserve(patch.removed_regulatory_elements, num_removed_regs);
+    GuardedReserve(r, patch.removed_regulatory_elements, num_removed_regs,
+                   8);
     for (uint32_t i = 0; i < num_removed_regs && r.ok(); ++i) {
       patch.removed_regulatory_elements.push_back(r.ReadI64());
     }

@@ -9,6 +9,14 @@
 
 namespace hdmap {
 
+// Wire format note: all three serializers emit their payload inside a
+// CRC32-protected frame (core/wire_frame.h), so truncation, bit flips,
+// and splices anywhere in the buffer are detected as kDataLoss at decode
+// time. The deserializers also accept bare pre-frame payloads (the v1/v2
+// legacy format) for backward compatibility. Framing adds a fixed
+// 16-byte header and is deterministic: byte-identical inputs produce
+// byte-identical framed outputs.
+
 /// Full-fidelity binary serialization of an HdMap (all layers, double
 /// precision, including dense survey payloads attached by the creation
 /// pipelines). This is the "conventional HD map" representation whose

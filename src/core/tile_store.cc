@@ -32,7 +32,8 @@ uint64_t TileId::Morton() const {
 
 TileStore::TileStore(const Options& options)
     : tile_size_(options.tile_size_m),
-      cache_capacity_(options.cache_capacity) {
+      cache_capacity_(options.cache_capacity),
+      faults_(options.fault_injector) {
   if (options.metrics != nullptr) {
     hits_exported_ = options.metrics->GetCounter("tile_store.cache_hits");
     misses_exported_ = options.metrics->GetCounter("tile_store.cache_misses");
@@ -48,7 +49,8 @@ TileStore::TileStore(const TileStore& other)
       cache_capacity_(other.cache_capacity_),
       hits_exported_(other.hits_exported_),
       misses_exported_(other.misses_exported_),
-      evictions_exported_(other.evictions_exported_) {}
+      evictions_exported_(other.evictions_exported_),
+      faults_(other.faults_) {}
 
 TileStore& TileStore::operator=(const TileStore& other) {
   if (this == &other) return *this;
@@ -59,6 +61,7 @@ TileStore& TileStore::operator=(const TileStore& other) {
   hits_exported_ = other.hits_exported_;
   misses_exported_ = other.misses_exported_;
   evictions_exported_ = other.evictions_exported_;
+  faults_ = other.faults_;
   CacheClear();
   ResetStats();
   return *this;
@@ -280,6 +283,12 @@ void TileStore::PutTile(const TileId& id, const HdMap& tile_map) {
   CacheErase(id.Morton());
 }
 
+void TileStore::PutRawTile(const TileId& id, std::string bytes) {
+  tiles_[id.Morton()] = std::move(bytes);
+  tile_ids_[id.Morton()] = id;
+  CacheErase(id.Morton());
+}
+
 Result<std::shared_ptr<const HdMap>> TileStore::LoadTileShared(
     uint64_t key) const {
   if (auto cached = CacheLookup(key)) return cached;
@@ -287,8 +296,24 @@ Result<std::shared_ptr<const HdMap>> TileStore::LoadTileShared(
   if (it == tiles_.end()) {
     return Status::NotFound("tile key " + std::to_string(key));
   }
-  HDMAP_ASSIGN_OR_RETURN(HdMap tile, DeserializeMap(it->second));
-  auto shared = std::make_shared<const HdMap>(std::move(tile));
+  if (IsQuarantined(key)) {
+    return Status::DataLoss("tile key " + std::to_string(key) +
+                            " quarantined after a failed decode");
+  }
+  std::string_view blob = it->second;
+  std::string corrupted;  // Owns injected mutations; empty otherwise.
+  if (faults_ != nullptr &&
+      faults_->MaybeCorrupt(kLoadFaultSite, blob, &corrupted)) {
+    blob = corrupted;
+  }
+  Result<HdMap> tile = DeserializeMap(blob);
+  if (!tile.ok()) {
+    // Corrupt bytes stay corrupt: remember the verdict so every later
+    // load fails fast instead of re-running checksum/decode.
+    if (tile.status().code() == StatusCode::kDataLoss) Quarantine(key);
+    return tile.status();
+  }
+  auto shared = std::make_shared<const HdMap>(std::move(tile).value());
   CacheInsert(key, shared);
   return shared;
 }
@@ -339,7 +364,8 @@ Result<std::vector<TileId>> TileStore::TilesInBox(const Aabb& box) const {
 }
 
 Result<HdMap> TileStore::LoadRegion(const Aabb& box, RegionReport* report,
-                                    size_t num_threads) const {
+                                    size_t num_threads,
+                                    RegionReadMode mode) const {
   HDMAP_ASSIGN_OR_RETURN(std::vector<TileId> tile_list, TilesInBox(box));
 
   // Fan out: deserialize (or fetch from cache) every tile concurrently.
@@ -352,9 +378,18 @@ Result<HdMap> TileStore::LoadRegion(const Aabb& box, RegionReport* report,
       [&](size_t i) { loaded[i] = LoadTileShared(tile_list[i].Morton()); },
       num_threads);
 
+  std::vector<TileId> corrupt_tiles;
   HdMap region;
-  for (Result<std::shared_ptr<const HdMap>>& tile_result : loaded) {
-    if (!tile_result.ok()) return tile_result.status();
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    Result<std::shared_ptr<const HdMap>>& tile_result = loaded[i];
+    if (!tile_result.ok()) {
+      if (mode == RegionReadMode::kStrict) return tile_result.status();
+      // Degraded mode: the tile is already quarantined by LoadTileShared;
+      // record it and keep stitching the survivors. (tile_list is in
+      // Morton order, so this list is deterministic too.)
+      corrupt_tiles.push_back(tile_list[i]);
+      continue;
+    }
     const HdMap& tile = **tile_result;
     for (const auto& [id, lm] : tile.landmarks()) {
       (void)region.AddLandmark(lm);  // Duplicates across tiles are fine.
@@ -382,8 +417,14 @@ Result<HdMap> TileStore::LoadRegion(const Aabb& box, RegionReport* report,
         }
       }
     }
+    report->corrupt_tiles = std::move(corrupt_tiles);
   }
   return region;
+}
+
+size_t TileStore::NumQuarantined() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return quarantined_.size();
 }
 
 TileStoreStats TileStore::stats() const {
@@ -435,6 +476,7 @@ void TileStore::CacheInsert(uint64_t key,
 
 void TileStore::CacheErase(uint64_t key) {
   std::lock_guard<std::mutex> lock(cache_mu_);
+  quarantined_.erase(key);  // New bytes get a fresh decode verdict.
   auto it = cache_.find(key);
   if (it == cache_.end()) return;
   lru_.erase(it->second.second);
@@ -445,6 +487,17 @@ void TileStore::CacheClear() {
   std::lock_guard<std::mutex> lock(cache_mu_);
   cache_.clear();
   lru_.clear();
+  quarantined_.clear();
+}
+
+bool TileStore::IsQuarantined(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return quarantined_.count(key) > 0;
+}
+
+void TileStore::Quarantine(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  quarantined_.insert(key);
 }
 
 }  // namespace hdmap

@@ -6,11 +6,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "core/hd_map.h"
@@ -50,6 +52,21 @@ struct TileStoreStats {
 struct RegionReport {
   /// (regulatory element id, unresolvable lanelet id) pairs.
   std::vector<std::pair<ElementId, ElementId>> unresolved_regulatory_refs;
+  /// Tiles that failed checksum/decode and were quarantined out of the
+  /// stitch (partial mode only; in strict mode the load fails instead).
+  /// Sorted by Morton key, i.e. deterministic across thread counts.
+  std::vector<TileId> corrupt_tiles;
+};
+
+/// How LoadRegion treats a tile that fails checksum/decode.
+enum class RegionReadMode {
+  /// Serve what survives: quarantine the corrupt tile (skip it, count it
+  /// in RegionReport::corrupt_tiles, never retry it into the cache) and
+  /// stitch the rest. The production default — one bad tile must not
+  /// take down a whole region.
+  kAllowPartial,
+  /// Fail the whole load with the tile's decode error.
+  kStrict,
 };
 
 /// Keyed collection of serialized map tiles (the unit of distribution and
@@ -63,9 +80,16 @@ struct RegionReport {
 /// count (element-to-tile assignment is sequential and deterministic,
 /// only the per-tile serialization is parallel).
 ///
+/// Corruption resilience: tile payloads travel inside a CRC32 frame
+/// (core/wire_frame.h), so a truncated or bit-flipped blob fails decode
+/// with kDataLoss instead of producing a silently wrong tile. A failed
+/// tile is quarantined (fail-fast on later loads, never cached) until its
+/// bytes are replaced; LoadRegion can stitch around it (kAllowPartial).
+///
 /// Thread safety: concurrent const calls (LoadTile/LoadRegion/TilesInBox)
-/// are safe with respect to the cache; mutations (Build/PutTile/
-/// RebuildTiles) and copies must be externally serialized against readers.
+/// are safe with respect to the cache and quarantine set; mutations
+/// (Build/PutTile/PutRawTile/RebuildTiles) and copies must be externally
+/// serialized against readers.
 class TileStore {
  public:
   /// Construction knobs. New knobs land here so signatures don't churn.
@@ -80,7 +104,15 @@ class TileStore {
     /// store (e.g. successive MapSnapshot versions) keep feeding the same
     /// series. The registry must outlive the store.
     MetricsRegistry* metrics = nullptr;
+    /// When set, every tile load passes through this injector at site
+    /// "tile_store.load" (see common/fault_injection.h), so tests and
+    /// benches can corrupt serialized tiles on demand with reproducible
+    /// seeds. Must outlive the store; null disables injection.
+    FaultInjector* fault_injector = nullptr;
   };
+
+  /// FaultInjector site name instrumenting LoadTile/LoadRegion blob reads.
+  static constexpr const char* kLoadFaultSite = "tile_store.load";
 
   /// Any single box (element bounding box in Build, query box in
   /// TilesInBox/LoadRegion) may cover at most this many tiles; larger
@@ -95,7 +127,7 @@ class TileStore {
   /// knobs don't churn call sites.
   [[deprecated("use TileStore(TileStore::Options)")]] explicit TileStore(
       double tile_size_m, size_t cache_capacity = 256)
-      : TileStore(Options{tile_size_m, cache_capacity, nullptr}) {}
+      : TileStore(Options{tile_size_m, cache_capacity, nullptr, nullptr}) {}
 
   /// Copies configuration and serialized tiles; the copy starts with a
   /// cold cache and zeroed stats (but keeps the metrics binding). This is
@@ -132,8 +164,15 @@ class TileStore {
                       size_t num_threads = 0);
 
   /// Replaces one tile's payload with the serialization of `tile_map`
-  /// and invalidates that tile's cache entry.
+  /// and invalidates that tile's cache and quarantine entries.
   void PutTile(const TileId& id, const HdMap& tile_map);
+
+  /// Installs `bytes` verbatim as tile `id`'s payload — the ingestion
+  /// path for tiles received over the wire from another store or service.
+  /// Nothing is validated here; corruption surfaces as kDataLoss when the
+  /// tile is first loaded (frame checksum). Invalidates the tile's cache
+  /// and quarantine entries.
+  void PutRawTile(const TileId& id, std::string bytes);
 
   /// Deserializes a tile (or copies it out of the cache); kNotFound for
   /// absent tiles.
@@ -153,9 +192,19 @@ class TileStore {
   /// concurrently on `num_threads` threads (0 = hardware concurrency);
   /// stitching is sequential in tile order, so the result is
   /// deterministic. When `report` is non-null it receives post-stitch
-  /// referential-integrity findings (see RegionReport).
-  Result<HdMap> LoadRegion(const Aabb& box, RegionReport* report = nullptr,
-                           size_t num_threads = 0) const;
+  /// referential-integrity findings and the quarantined-tile list (see
+  /// RegionReport). `mode` selects degraded-mode behaviour for tiles
+  /// that fail checksum/decode: kAllowPartial (default) stitches the
+  /// survivors and reports the corrupt tiles, kStrict fails the load.
+  Result<HdMap> LoadRegion(
+      const Aabb& box, RegionReport* report = nullptr,
+      size_t num_threads = 0,
+      RegionReadMode mode = RegionReadMode::kAllowPartial) const;
+
+  /// Tiles currently quarantined after a failed checksum/decode. A
+  /// quarantined tile is reported instead of retried until its bytes are
+  /// replaced (Build/RebuildTiles/PutTile/PutRawTile).
+  size_t NumQuarantined() const;
 
   /// Snapshot of the cache counters (thread-safe).
   TileStoreStats stats() const;
@@ -185,13 +234,19 @@ class TileStore {
                      std::map<uint64_t, TileId>* ids) const;
 
   /// Cache-aware tile load; returns a shared snapshot that must only be
-  /// read (never queried through the lazy-index API concurrently).
+  /// read (never queried through the lazy-index API concurrently). A
+  /// kDataLoss decode failure quarantines the tile: later loads fail fast
+  /// without re-decoding until the tile's bytes are replaced.
   Result<std::shared_ptr<const HdMap>> LoadTileShared(uint64_t key) const;
 
   std::shared_ptr<const HdMap> CacheLookup(uint64_t key) const;
   void CacheInsert(uint64_t key, std::shared_ptr<const HdMap> map) const;
+  /// Drops one tile's derived load state: cache entry and quarantine.
   void CacheErase(uint64_t key);
+  /// Drops all derived load state: cache and quarantine set.
   void CacheClear();
+  bool IsQuarantined(uint64_t key) const;
+  void Quarantine(uint64_t key) const;
 
   double tile_size_;
   std::map<uint64_t, std::string> tiles_;   // Morton key -> blob.
@@ -208,10 +263,17 @@ class TileStore {
       cache_;
   mutable TileStoreStats stats_;
 
+  // Tiles whose payload failed checksum/decode, keyed by Morton code;
+  // guarded by cache_mu_ (set during const loads, hence mutable).
+  mutable std::set<uint64_t> quarantined_;
+
   // Optional registry export of the cache counters (null when unbound).
   Counter* hits_exported_ = nullptr;
   Counter* misses_exported_ = nullptr;
   Counter* evictions_exported_ = nullptr;
+
+  // Optional fault-injection seam for tile loads (null when disabled).
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace hdmap

@@ -1,0 +1,95 @@
+#include "core/wire_frame.h"
+
+#include <array>
+#include <cstring>
+
+namespace hdmap {
+
+namespace {
+
+// "HDFR" little-endian: distinct from every legacy payload magic
+// ("HDMF"/"HDMC"/"HDMP"), so framed and bare buffers are unambiguous.
+constexpr uint32_t kFrameMagic = 0x52464448;
+
+constexpr std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kCrcTable = MakeCrcTable();
+
+uint32_t ReadHeaderU32(std::string_view data, size_t offset) {
+  uint32_t v = 0;
+  std::memcpy(&v, data.data() + offset, sizeof(v));
+  return v;
+}
+
+void AppendU32(std::string& out, uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t crc) {
+  crc = ~crc;
+  for (unsigned char byte : data) {
+    crc = kCrcTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+bool IsFramed(std::string_view data) {
+  return data.size() >= sizeof(uint32_t) &&
+         ReadHeaderU32(data, 0) == kFrameMagic;
+}
+
+std::string WrapFrame(std::string_view payload) {
+  std::string out;
+  out.reserve(kWireFrameHeaderSize + payload.size());
+  AppendU32(out, kFrameMagic);
+  AppendU32(out, kWireFrameVersion);
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  AppendU32(out, Crc32(payload));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+Result<std::string_view> UnwrapFrame(std::string_view data) {
+  if (data.size() < kWireFrameHeaderSize) {
+    return Status::DataLoss("frame truncated: " +
+                            std::to_string(data.size()) +
+                            " bytes, header needs " +
+                            std::to_string(kWireFrameHeaderSize));
+  }
+  if (ReadHeaderU32(data, 0) != kFrameMagic) {
+    return Status::DataLoss("bad frame magic");
+  }
+  uint32_t version = ReadHeaderU32(data, 4);
+  if (version != kWireFrameVersion) {
+    return Status::DataLoss("unsupported frame version " +
+                            std::to_string(version));
+  }
+  uint32_t length = ReadHeaderU32(data, 8);
+  if (length != data.size() - kWireFrameHeaderSize) {
+    return Status::DataLoss(
+        "frame length mismatch: header claims " + std::to_string(length) +
+        " payload bytes, buffer carries " +
+        std::to_string(data.size() - kWireFrameHeaderSize));
+  }
+  std::string_view payload = data.substr(kWireFrameHeaderSize);
+  uint32_t expected_crc = ReadHeaderU32(data, 12);
+  uint32_t actual_crc = Crc32(payload);
+  if (actual_crc != expected_crc) {
+    return Status::DataLoss("frame checksum mismatch (payload corrupted)");
+  }
+  return payload;
+}
+
+}  // namespace hdmap

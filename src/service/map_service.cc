@@ -17,6 +17,12 @@ MapService::MapService(Options options) : options_(std::move(options)) {
   if (options_.tile_store.metrics == nullptr) {
     options_.tile_store.metrics = metrics_;
   }
+  // Likewise the fault seam: one injector covers both the publish site and
+  // the tile-load site unless the caller split them.
+  faults_ = options_.fault_injector;
+  if (options_.tile_store.fault_injector == nullptr) {
+    options_.tile_store.fault_injector = faults_;
+  }
   lat_get_region_ = metrics_->GetLatency("map_service.get_region");
   lat_get_tile_ = metrics_->GetLatency("map_service.get_tile");
   lat_match_ = metrics_->GetLatency("map_service.match_to_lane");
@@ -24,6 +30,12 @@ MapService::MapService(Options options) : options_(std::move(options)) {
   lat_publish_ = metrics_->GetLatency("map_service.publish");
   requests_ = metrics_->GetCounter("map_service.requests");
   errors_ = metrics_->GetCounter("map_service.errors");
+  for (size_t i = 1; i < errors_by_code_.size(); ++i) {
+    errors_by_code_[i] = metrics_->GetCounter(
+        "map_service.errors{" +
+        std::string(StatusCodeToString(static_cast<StatusCode>(i))) + "}");
+  }
+  regions_degraded_ = metrics_->GetCounter("map_service.regions_degraded");
   patches_published_ = metrics_->GetCounter("map_service.patches_published");
   changes_published_ = metrics_->GetCounter("map_service.changes_published");
   version_gauge_ = metrics_->GetGauge("map_service.snapshot_version");
@@ -176,6 +188,12 @@ Status MapService::Publish() {
   }
   HDMAP_RETURN_IF_ERROR(snap->tiles.RebuildTiles(new_map, touched_list,
                                                  options_.publish_threads));
+  // Fault seam: an injected failure here aborts like any real publish
+  // error — the previous snapshot keeps serving and the staged queue
+  // stays intact.
+  if (faults_ != nullptr) {
+    HDMAP_RETURN_IF_ERROR(faults_->MaybeFail(kPublishFaultSite));
+  }
   snap->map = std::move(new_map);
   snap->map.BuildIndexes();
   // Landmark/marking-level patches don't alter lane topology or rules, so
@@ -210,6 +228,27 @@ void MapService::Install(std::shared_ptr<const MapSnapshot> snap) {
   version_gauge_->Set(static_cast<double>(snap->version));
   age_gauge_->Set(0.0);
   snapshot_.store(std::move(snap));
+  // The new snapshot carries freshly (re)built tiles, so prior data-loss
+  // events say nothing about it: re-baseline Health to kServing.
+  health_baseline_.store(DegradationEvents(), std::memory_order_relaxed);
+}
+
+void MapService::RecordError(StatusCode code) const {
+  errors_->Increment();
+  auto i = static_cast<size_t>(code);
+  if (i > 0 && i < errors_by_code_.size()) errors_by_code_[i]->Increment();
+}
+
+uint64_t MapService::DegradationEvents() const {
+  return errors_by_code_[static_cast<size_t>(StatusCode::kDataLoss)]->value() +
+         regions_degraded_->value();
+}
+
+ServiceHealth MapService::Health() const {
+  return DegradationEvents() >
+                 health_baseline_.load(std::memory_order_relaxed)
+             ? ServiceHealth::kDegraded
+             : ServiceHealth::kServing;
 }
 
 std::shared_ptr<const MapSnapshot> MapService::snapshot() const {
@@ -237,11 +276,23 @@ Result<HdMap> MapService::GetRegion(const Aabb& box,
   ScopedTimer timer(lat_get_region_);
   auto snap = snapshot();
   if (snap == nullptr) {
-    errors_->Increment();
+    RecordError(StatusCode::kFailedPrecondition);
     return Status::FailedPrecondition("MapService::Init has not run");
   }
-  auto region = snap->tiles.LoadRegion(box, report, options_.read_threads);
-  if (!region.ok()) errors_->Increment();
+  // Degradation is observed through the report even when the caller
+  // didn't ask for one.
+  RegionReport local_report;
+  RegionReport* rep = report != nullptr ? report : &local_report;
+  auto region = snap->tiles.LoadRegion(
+      box, rep, options_.read_threads,
+      options_.strict_reads ? RegionReadMode::kStrict
+                            : RegionReadMode::kAllowPartial);
+  if (!region.ok()) {
+    RecordError(region.status().code());
+  } else if (!rep->corrupt_tiles.empty()) {
+    // Served, but with holes: not an error, yet Health() must see it.
+    regions_degraded_->Increment();
+  }
   return region;
 }
 
@@ -250,11 +301,11 @@ Result<HdMap> MapService::GetTile(const TileId& id) const {
   ScopedTimer timer(lat_get_tile_);
   auto snap = snapshot();
   if (snap == nullptr) {
-    errors_->Increment();
+    RecordError(StatusCode::kFailedPrecondition);
     return Status::FailedPrecondition("MapService::Init has not run");
   }
   auto tile = snap->tiles.LoadTile(id);
-  if (!tile.ok()) errors_->Increment();
+  if (!tile.ok()) RecordError(tile.status().code());
   return tile;
 }
 
@@ -264,11 +315,11 @@ Result<LaneMatch> MapService::MatchToLane(const Vec2& position,
   ScopedTimer timer(lat_match_);
   auto snap = snapshot();
   if (snap == nullptr) {
-    errors_->Increment();
+    RecordError(StatusCode::kFailedPrecondition);
     return Status::FailedPrecondition("MapService::Init has not run");
   }
   auto match = snap->map.MatchToLane(position, max_distance);
-  if (!match.ok()) errors_->Increment();
+  if (!match.ok()) RecordError(match.status().code());
   return match;
 }
 
@@ -278,11 +329,11 @@ Result<Route> MapService::Route(ElementId from, ElementId to,
   ScopedTimer timer(lat_route_);
   auto snap = snapshot();
   if (snap == nullptr) {
-    errors_->Increment();
+    RecordError(StatusCode::kFailedPrecondition);
     return Status::FailedPrecondition("MapService::Init has not run");
   }
   auto route = PlanRoute(*snap->routing, from, to, algorithm);
-  if (!route.ok()) errors_->Increment();
+  if (!route.ok()) RecordError(route.status().code());
   return route;
 }
 

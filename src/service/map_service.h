@@ -1,6 +1,7 @@
 #ifndef HDMAP_SERVICE_MAP_SERVICE_H_
 #define HDMAP_SERVICE_MAP_SERVICE_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -8,6 +9,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -39,6 +41,17 @@ struct MapSnapshot {
   /// relational layer (lanelets/regulatory elements) — landmark- and
   /// marking-level patches reuse the graph instead of rebuilding it.
   std::shared_ptr<const RoutingGraph> routing;
+};
+
+/// Coarse serving-health signal derived from the error-code counters.
+enum class ServiceHealth {
+  /// No data-loss events observed since the current snapshot published.
+  kServing,
+  /// At least one corrupt tile was served around (degraded region) or
+  /// surfaced as a kDataLoss reader error since the current snapshot
+  /// published. Clears on the next successful Publish/Init — the only
+  /// paths that can replace the corrupt bytes.
+  kDegraded,
 };
 
 /// The serving front door of the map ecosystem (the workload of Pannen et
@@ -87,7 +100,19 @@ class MapService {
     /// External metrics registry; null means the service owns one
     /// (accessible via metrics()). Must outlive the service when set.
     MetricsRegistry* metrics = nullptr;
+    /// Fault-injection seam for tests/benches (must outlive the service;
+    /// null disables). Publish consults site "map_service.publish"; it is
+    /// also wired into `tile_store.fault_injector` (site
+    /// "tile_store.load") unless that is already set.
+    FaultInjector* fault_injector = nullptr;
+    /// When true, GetRegion fails whole requests with kDataLoss instead
+    /// of serving degraded regions (RegionReadMode::kStrict). Default off:
+    /// one corrupt tile should not take down a whole region read.
+    bool strict_reads = false;
   };
+
+  /// FaultInjector site name instrumenting Publish.
+  static constexpr const char* kPublishFaultSite = "map_service.publish";
 
   MapService() : MapService(Options{}) {}
   explicit MapService(Options options);
@@ -140,8 +165,18 @@ class MapService {
   /// Also refreshes the "map_service.snapshot_age_seconds" gauge.
   double SnapshotAgeSeconds() const;
 
+  /// Serving health, derived from the per-code error counters
+  /// ("map_service.errors{CODE}") and the degraded-region counter:
+  /// kDegraded once any data-loss event lands on the current snapshot,
+  /// kServing again after the next successful publish. kServing before
+  /// Init (nothing corrupt has been served).
+  ServiceHealth Health() const;
+
   /// Loads and stitches every tile intersecting `box` from the current
-  /// snapshot (see TileStore::LoadRegion).
+  /// snapshot (see TileStore::LoadRegion). By default a tile that fails
+  /// checksum/decode is skipped and reported (via `report` and the
+  /// "map_service.regions_degraded" counter) instead of failing the
+  /// request; Options::strict_reads opts out.
   Result<HdMap> GetRegion(const Aabb& box,
                           RegionReport* report = nullptr) const;
 
@@ -172,7 +207,17 @@ class MapService {
                                            const TileStore& tiles) const;
 
   /// Swaps in a fully built snapshot and updates version/age gauges.
+  /// Also re-baselines Health(): data-loss events before this publish no
+  /// longer count as degradation.
   void Install(std::shared_ptr<const MapSnapshot> snap);
+
+  /// Bumps the total error counter plus the per-code one
+  /// ("map_service.errors{CODE}").
+  void RecordError(StatusCode code) const;
+
+  /// Sum of the counters Health() watches (data-loss errors + degraded
+  /// regions served).
+  uint64_t DegradationEvents() const;
 
   Options options_;
   std::unique_ptr<MetricsRegistry> owned_metrics_;  // Null when external.
@@ -186,6 +231,11 @@ class MapService {
   LatencyHistogram* lat_publish_ = nullptr;
   Counter* requests_ = nullptr;
   Counter* errors_ = nullptr;
+  // Per-code breakdown of errors_, indexed by StatusCode; entry 0 (kOk)
+  // stays unused.
+  std::array<Counter*, 9> errors_by_code_{};
+  // GetRegion calls that succeeded by skipping corrupt tiles.
+  Counter* regions_degraded_ = nullptr;
   Counter* patches_published_ = nullptr;
   Counter* changes_published_ = nullptr;
   Gauge* version_gauge_ = nullptr;
@@ -201,6 +251,11 @@ class MapService {
   std::vector<MapPatch> staged_;
 
   std::mutex publish_mu_;  // Serializes Init/Publish (one writer at a time).
+
+  // DegradationEvents() as of the last Install; Health() compares the
+  // live counters against it.
+  std::atomic<uint64_t> health_baseline_{0};
+  FaultInjector* faults_ = nullptr;  // Aliases options_.fault_injector.
 };
 
 }  // namespace hdmap

@@ -82,6 +82,87 @@ TEST(BinaryIoTest, PartialScalarAtEnd) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(BinaryIoTest, RemainingTracksCursorAndError) {
+  BufferWriter w;
+  w.WriteU32(7);
+  w.WriteU64(9);
+  BufferReader r(w.buffer());
+  EXPECT_EQ(r.remaining(), 12u);
+  r.ReadU32();
+  EXPECT_EQ(r.remaining(), 8u);
+  r.ReadU64();
+  EXPECT_EQ(r.remaining(), 0u);
+  // A failed reader reports nothing left, whatever the cursor says.
+  r.ReadU8();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BinaryIoTest, SkipAdvancesAndBoundsChecks) {
+  BufferWriter w;
+  w.WriteU32(0xAAAAAAAA);
+  w.WriteU32(0xBBBBBBBB);
+  BufferReader r(w.buffer());
+  r.Skip(4);
+  EXPECT_EQ(r.ReadU32(), 0xBBBBBBBBu);
+  EXPECT_TRUE(r.ok());
+  // Skipping past the end latches DataLoss like any other read.
+  BufferReader r2(w.buffer());
+  r2.Skip(9);
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kDataLoss);
+  // Skip on an already-failed reader stays failed and moves nothing.
+  r2.Skip(0);
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST(BinaryIoTest, ReadStringAfterLatchedErrorStaysFailed) {
+  BufferWriter w;
+  w.WriteU32(0);      // Padding consumed below.
+  w.WriteString("abc");  // A perfectly valid string...
+  BufferReader r(w.buffer());
+  r.Skip(12);  // Past the end (buffer is 11 bytes): latches DataLoss.
+  EXPECT_FALSE(r.ok());
+  // ...that ReadString must not return once an error is latched.
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BinaryIoTest, CheckCountRejectsInflatedCounts) {
+  BufferWriter w;
+  w.WriteU32(10);  // 10 claimed elements, 8 bytes each = 80 > 4 remaining.
+  w.WriteU32(0);
+  BufferReader r(w.buffer());
+  uint32_t claimed = r.ReadU32();
+  EXPECT_FALSE(r.CheckCount(claimed, 8));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(BinaryIoTest, CheckCountAcceptsFeasibleCounts) {
+  BufferWriter w;
+  w.WriteU32(2);
+  w.WriteU64(1);
+  w.WriteU64(2);
+  BufferReader r(w.buffer());
+  uint32_t claimed = r.ReadU32();
+  EXPECT_TRUE(r.CheckCount(claimed, 8));
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.ReadU64(), 1u);
+  EXPECT_EQ(r.ReadU64(), 2u);
+}
+
+TEST(BinaryIoTest, CheckCountIsOverflowProof) {
+  BufferWriter w;
+  w.WriteU32(1);
+  BufferReader r(w.buffer());
+  // claimed * element_size would wrap around u64; the division form must
+  // still reject it.
+  EXPECT_FALSE(
+      r.CheckCount(std::numeric_limits<uint64_t>::max(), 16));
+  EXPECT_FALSE(r.ok());
+}
+
 TEST(BinaryIoTest, WriterSizeTracksContent) {
   BufferWriter w;
   EXPECT_EQ(w.size(), 0u);

@@ -257,5 +257,113 @@ TEST(MapServiceTest, PatchSurvivesSerializationIntoPublish) {
   EXPECT_EQ(service.snapshot()->map.FindLandmark(sign), nullptr);
 }
 
+TEST(MapServiceFaultTest, InjectedPublishFaultLeavesServiceIntact) {
+  FaultInjector faults(7);
+  faults.AddPolicy({MapService::kPublishFaultSite, FaultKind::kFailStatus,
+                    1.0, StatusCode::kInternal});
+  MapService::Options opt = SmallTileOptions();
+  opt.fault_injector = &faults;
+  MapService service(opt);
+  ASSERT_TRUE(service.Init(StraightRoad(500.0)).ok());
+  auto before = service.snapshot();
+  ElementId sign = FirstLandmarkId(before->map);
+  Vec3 old_pos = before->map.FindLandmark(sign)->position;
+
+  MapPatch patch;
+  patch.moved_landmarks.push_back({sign, old_pos + Vec3{1, 0, 0}});
+  service.StagePatch(patch);
+
+  // The injected failure aborts the publish after the expensive work;
+  // nothing rolls forward.
+  EXPECT_EQ(service.Publish().code(), StatusCode::kInternal);
+  EXPECT_EQ(service.version(), 1u);
+  EXPECT_EQ(service.snapshot(), before);
+  EXPECT_EQ(service.NumStagedPatches(), 1u);
+  // Old snapshot keeps serving reads throughout.
+  EXPECT_TRUE(service.GetRegion(before->map.BoundingBox()).ok());
+
+  // Fault lifted: the same staged patch publishes cleanly.
+  faults.ClearPolicies();
+  ASSERT_TRUE(service.Publish().ok());
+  EXPECT_EQ(service.version(), 2u);
+  EXPECT_EQ(service.NumStagedPatches(), 0u);
+  EXPECT_EQ(service.snapshot()->map.FindLandmark(sign)->position,
+            (old_pos + Vec3{1, 0, 0}));
+}
+
+TEST(MapServiceFaultTest, DegradedRegionsCountAndDriveHealth) {
+  FaultInjector faults(21);
+  MapService::Options opt = SmallTileOptions();
+  opt.fault_injector = &faults;
+  MapService service(opt);
+  ASSERT_TRUE(service.Init(StraightRoad(500.0)).ok());
+  Aabb world_box = service.snapshot()->map.BoundingBox();
+  EXPECT_EQ(service.Health(), ServiceHealth::kServing);
+
+  // Corrupt every tile load from here on.
+  faults.AddPolicy({TileStore::kLoadFaultSite, FaultKind::kBitFlip, 1.0});
+  RegionReport report;
+  auto region = service.GetRegion(world_box, &report);
+  // Partial mode: the request still succeeds, served around the holes.
+  ASSERT_TRUE(region.ok()) << region.status().ToString();
+  EXPECT_FALSE(report.corrupt_tiles.empty());
+  EXPECT_EQ(service.metrics().GetCounter("map_service.regions_degraded")
+                ->value(),
+            1u);
+  EXPECT_EQ(service.metrics().GetCounter("map_service.errors")->value(), 0u);
+  EXPECT_EQ(service.Health(), ServiceHealth::kDegraded);
+
+  // A degraded region observed without a caller-supplied report still
+  // counts.
+  ASSERT_TRUE(service.GetRegion(world_box).ok());
+  EXPECT_EQ(service.metrics().GetCounter("map_service.regions_degraded")
+                ->value(),
+            2u);
+
+  // Single-tile loads surface the data loss as a per-code error.
+  auto tile = service.GetTile(service.snapshot()->tiles.TileAt({10, 0}));
+  ASSERT_FALSE(tile.ok());
+  EXPECT_EQ(tile.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(
+      service.metrics().GetCounter("map_service.errors{DATA_LOSS}")->value(),
+      1u);
+  EXPECT_EQ(service.metrics().GetCounter("map_service.errors")->value(), 1u);
+
+  // A successful publish swaps in freshly built tiles and re-baselines
+  // health back to serving.
+  faults.ClearPolicies();
+  ElementId sign = FirstLandmarkId(service.snapshot()->map);
+  MapPatch patch;
+  patch.moved_landmarks.push_back(
+      {sign,
+       service.snapshot()->map.FindLandmark(sign)->position + Vec3{1, 0, 0}});
+  ASSERT_TRUE(service.ApplyPatch(patch).ok());
+  EXPECT_EQ(service.Health(), ServiceHealth::kServing);
+  ASSERT_TRUE(service.GetRegion(world_box, &report).ok());
+  EXPECT_TRUE(report.corrupt_tiles.empty());
+  EXPECT_EQ(service.Health(), ServiceHealth::kServing);
+}
+
+TEST(MapServiceFaultTest, StrictReadsFailInsteadOfDegrading) {
+  FaultInjector faults(33);
+  faults.AddPolicy({TileStore::kLoadFaultSite, FaultKind::kBitFlip, 1.0});
+  MapService::Options opt = SmallTileOptions();
+  opt.fault_injector = &faults;
+  opt.strict_reads = true;
+  MapService service(opt);
+  ASSERT_TRUE(service.Init(StraightRoad(500.0)).ok());
+
+  auto region = service.GetRegion(service.snapshot()->map.BoundingBox());
+  ASSERT_FALSE(region.ok());
+  EXPECT_EQ(region.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(
+      service.metrics().GetCounter("map_service.errors{DATA_LOSS}")->value(),
+      1u);
+  EXPECT_EQ(service.metrics().GetCounter("map_service.regions_degraded")
+                ->value(),
+            0u);
+  EXPECT_EQ(service.Health(), ServiceHealth::kDegraded);
+}
+
 }  // namespace
 }  // namespace hdmap

@@ -4,6 +4,7 @@
 #include "core/raster_layer.h"
 #include "core/serialization.h"
 #include "core/tile_store.h"
+#include "core/wire_frame.h"
 #include "sim/road_network_generator.h"
 
 namespace hdmap {
@@ -78,6 +79,112 @@ TEST(SerializationTest, RejectsTruncated) {
   std::string blob = SerializeMap(map);
   std::string truncated = blob.substr(0, blob.size() / 2);
   EXPECT_FALSE(DeserializeMap(truncated).ok());
+}
+
+TEST(WireFrameTest, Crc32MatchesKnownVectors) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  // Incremental == one-shot.
+  EXPECT_EQ(Crc32("6789", Crc32("12345")), Crc32("123456789"));
+}
+
+TEST(WireFrameTest, WrapUnwrapRoundTrips) {
+  std::string framed = WrapFrame("payload bytes");
+  EXPECT_EQ(framed.size(), 13u + kWireFrameHeaderSize);
+  EXPECT_TRUE(IsFramed(framed));
+  auto payload = UnwrapFrame(framed);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  EXPECT_EQ(*payload, "payload bytes");
+  // Framing is deterministic.
+  EXPECT_EQ(WrapFrame("payload bytes"), framed);
+}
+
+TEST(WireFrameTest, DetectsEveryHeaderAndPayloadDefect) {
+  std::string framed = WrapFrame("some payload");
+  // Flip one payload bit: CRC mismatch.
+  std::string bad = framed;
+  bad[kWireFrameHeaderSize + 3] ^= 0x10;
+  EXPECT_EQ(UnwrapFrame(bad).status().code(), StatusCode::kDataLoss);
+  // Truncate: length mismatch.
+  EXPECT_EQ(UnwrapFrame(std::string_view(framed).substr(0, framed.size() - 1))
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+  // Extend: length mismatch.
+  EXPECT_FALSE(UnwrapFrame(framed + "x").ok());
+  // Shorter than a header at all.
+  EXPECT_FALSE(UnwrapFrame("tiny").ok());
+  // Corrupt magic is simply not a frame.
+  bad = framed;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(IsFramed(bad));
+  EXPECT_FALSE(UnwrapFrame(bad).ok());
+}
+
+TEST(SerializationTest, FramedBlobsDetectCorruptionAnywhere) {
+  HdMap map = SmallTown();
+  std::string blob = SerializeMap(map);
+  ASSERT_TRUE(IsFramed(blob));
+  // A single flipped bit anywhere in the body must surface as kDataLoss
+  // (header defects may also report other frame errors; sample a spread
+  // of offsets rather than all of them to keep the test fast).
+  for (size_t pos = kWireFrameHeaderSize; pos < blob.size();
+       pos += blob.size() / 37 + 1) {
+    std::string bad = blob;
+    bad[pos] ^= 0x01;
+    auto r = DeserializeMap(bad);
+    ASSERT_FALSE(r.ok()) << "flip at " << pos << " went undetected";
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(SerializationTest, LegacyUnframedBlobsStillDeserialize) {
+  HdMap map = SmallTown();
+  // The bytes after the frame header are exactly the pre-framing wire
+  // format, so stripping the header reconstructs a v1/v2 legacy blob.
+  std::string full = SerializeMap(map);
+  auto from_legacy = DeserializeMap(
+      std::string_view(full).substr(kWireFrameHeaderSize));
+  ASSERT_TRUE(from_legacy.ok()) << from_legacy.status().ToString();
+  EXPECT_EQ(from_legacy->lanelets().size(), map.lanelets().size());
+
+  std::string compact = SerializeCompactMap(map);
+  auto compact_legacy = DeserializeCompactMap(
+      std::string_view(compact).substr(kWireFrameHeaderSize));
+  ASSERT_TRUE(compact_legacy.ok()) << compact_legacy.status().ToString();
+  EXPECT_EQ(compact_legacy->lanelets().size(), map.lanelets().size());
+
+  MapPatch patch;
+  Landmark lm;
+  lm.id = 4242;
+  lm.type = LandmarkType::kTrafficSign;
+  lm.position = {1.0, 2.0, 3.0};
+  patch.added_landmarks.push_back(lm);
+  std::string pblob = SerializePatch(patch);
+  auto patch_legacy = DeserializePatch(
+      std::string_view(pblob).substr(kWireFrameHeaderSize));
+  ASSERT_TRUE(patch_legacy.ok()) << patch_legacy.status().ToString();
+  EXPECT_EQ(patch_legacy->added_landmarks.size(), 1u);
+  EXPECT_EQ(patch_legacy->added_landmarks[0].id, 4242u);
+}
+
+TEST(SerializationTest, InflatedCountsFailWithoutHugeAllocation) {
+  HdMap map = SmallTown();
+  std::string blob = SerializeMap(map);
+  // Overwrite the first count field (just past the frame header and the
+  // payload magic+version) with a ludicrous value. The count guard must
+  // reject it against the remaining bytes instead of trusting it.
+  std::string bad = blob.substr(kWireFrameHeaderSize);  // Legacy path:
+  // no CRC to catch the edit, so the guard is load-bearing here.
+  ASSERT_GT(bad.size(), 12u);
+  bad[8] = static_cast<char>(0xFF);
+  bad[9] = static_cast<char>(0xFF);
+  bad[10] = static_cast<char>(0xFF);
+  bad[11] = static_cast<char>(0xFF);
+  auto r = DeserializeMap(bad);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(SerializationTest, CompactIsSmallAndAccurate) {

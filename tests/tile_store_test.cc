@@ -333,5 +333,143 @@ TEST(TileStoreTest, CacheCountersExportThroughRegistry) {
   EXPECT_EQ(registry.GetCounter("tile_store.cache_hits")->value(), 1u);
 }
 
+/// Flips one payload byte of tile `id` in place via the raw-ingestion
+/// path, so the frame CRC no longer matches.
+void CorruptTile(TileStore* store, const TileId& id) {
+  auto it = store->raw_tiles().find(id.Morton());
+  ASSERT_NE(it, store->raw_tiles().end());
+  std::string bad = it->second;
+  ASSERT_GT(bad.size(), 20u);
+  bad[20] ^= 0x01;
+  store->PutRawTile(id, std::move(bad));
+}
+
+TEST(TileStoreCorruptionTest, PartialModeStitchesAroundCorruptTile) {
+  HdMap map = TwoTileWorldWithSharedRegElement();
+  TileStore store(TileStore::Options{.tile_size_m = 100.0});
+  ASSERT_TRUE(store.Build(map).ok());
+  TileId bad_tile = store.TileAt({15, 10});  // Lanelet 1's tile.
+  CorruptTile(&store, bad_tile);
+
+  Aabb both({0, 0}, {530, 20});
+  RegionReport report;
+  auto region = store.LoadRegion(both, &report);
+  ASSERT_TRUE(region.ok()) << region.status().ToString();
+  // The surviving tile's content is served...
+  EXPECT_NE(region->FindLanelet(2), nullptr);
+  // ...the corrupt tile's is not, and the hole is reported.
+  EXPECT_EQ(region->FindLanelet(1), nullptr);
+  ASSERT_EQ(report.corrupt_tiles.size(), 1u);
+  EXPECT_EQ(report.corrupt_tiles[0], bad_tile);
+  EXPECT_EQ(store.NumQuarantined(), 1u);
+
+  // Strict mode refuses the same region outright.
+  auto strict = store.LoadRegion(both, nullptr, 0, RegionReadMode::kStrict);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(TileStoreCorruptionTest, QuarantineFailsFastAndNeverCaches) {
+  HdMap map = TwoTileWorldWithSharedRegElement();
+  TileStore store(TileStore::Options{.tile_size_m = 100.0});
+  ASSERT_TRUE(store.Build(map).ok());
+  TileId bad_tile = store.TileAt({15, 10});
+  CorruptTile(&store, bad_tile);
+
+  auto first = store.LoadTile(bad_tile);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(store.NumQuarantined(), 1u);
+  // The second load fails fast off the quarantine set (no re-decode) and
+  // never lands in the cache: still zero hits.
+  store.ResetStats();
+  auto second = store.LoadTile(bad_tile);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(store.stats().cache_hits, 0u);
+}
+
+TEST(TileStoreCorruptionTest, ReplacingBytesClearsQuarantine) {
+  HdMap map = TwoTileWorldWithSharedRegElement();
+  TileStore store(TileStore::Options{.tile_size_m = 100.0});
+  ASSERT_TRUE(store.Build(map).ok());
+  TileId bad_tile = store.TileAt({15, 10});
+  std::string good_bytes = store.raw_tiles().at(bad_tile.Morton());
+  CorruptTile(&store, bad_tile);
+  ASSERT_FALSE(store.LoadTile(bad_tile).ok());
+  ASSERT_EQ(store.NumQuarantined(), 1u);
+
+  // PutRawTile with intact bytes lifts the quarantine...
+  store.PutRawTile(bad_tile, good_bytes);
+  EXPECT_EQ(store.NumQuarantined(), 0u);
+  auto reloaded = store.LoadTile(bad_tile);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_NE(reloaded->FindLanelet(1), nullptr);
+
+  // ...and so does a full rebuild after re-corrupting.
+  CorruptTile(&store, bad_tile);
+  ASSERT_FALSE(store.LoadTile(bad_tile).ok());
+  ASSERT_EQ(store.NumQuarantined(), 1u);
+  ASSERT_TRUE(store.Build(map).ok());
+  EXPECT_EQ(store.NumQuarantined(), 0u);
+  EXPECT_TRUE(store.LoadTile(bad_tile).ok());
+}
+
+TEST(TileStoreCorruptionTest, FaultInjectorCorruptsLoadsDeterministically) {
+  HdMap map = TwoTileWorldWithSharedRegElement();
+  FaultInjector faults(1234);
+  faults.AddPolicy({TileStore::kLoadFaultSite, FaultKind::kBitFlip, 1.0});
+  TileStore store(TileStore::Options{.tile_size_m = 100.0,
+                                     .cache_capacity = 0,
+                                     .fault_injector = &faults});
+  ASSERT_TRUE(store.Build(map).ok());
+  TileId id = store.TileAt({15, 10});
+
+  auto load = store.LoadTile(id);
+  ASSERT_FALSE(load.ok());
+  EXPECT_EQ(load.status().code(), StatusCode::kDataLoss);
+  EXPECT_GE(faults.InjectedCount(TileStore::kLoadFaultSite), 1u);
+  EXPECT_EQ(store.NumQuarantined(), 1u);
+
+  // Same seed, fresh store: the identical blob makes the identical
+  // decision (content-hash determinism, independent of call order).
+  FaultInjector faults2(1234);
+  faults2.AddPolicy({TileStore::kLoadFaultSite, FaultKind::kBitFlip, 1.0});
+  TileStore store2(TileStore::Options{.tile_size_m = 100.0,
+                                      .cache_capacity = 0,
+                                      .fault_injector = &faults2});
+  ASSERT_TRUE(store2.Build(map).ok());
+  EXPECT_FALSE(store2.LoadTile(id).ok());
+
+  // Probability 0: injector wired but inert.
+  FaultInjector quiet(1234);
+  quiet.AddPolicy({TileStore::kLoadFaultSite, FaultKind::kBitFlip, 0.0});
+  TileStore store3(TileStore::Options{.tile_size_m = 100.0,
+                                      .cache_capacity = 0,
+                                      .fault_injector = &quiet});
+  ASSERT_TRUE(store3.Build(map).ok());
+  EXPECT_TRUE(store3.LoadTile(id).ok());
+  EXPECT_EQ(quiet.TotalInjected(), 0u);
+}
+
+TEST(TileStoreCorruptionTest, PutRawTileIngestsWireBytes) {
+  HdMap map = TwoTileWorldWithSharedRegElement();
+  TileStore source(TileStore::Options{.tile_size_m = 100.0});
+  ASSERT_TRUE(source.Build(map).ok());
+
+  // Ship two tiles' bytes to a second store over the "wire".
+  TileStore sink(TileStore::Options{.tile_size_m = 100.0});
+  ASSERT_TRUE(sink.Build(HdMap{}).ok());
+  TileId t1 = source.TileAt({15, 10});
+  TileId t2 = source.TileAt({515, 10});
+  sink.PutRawTile(t1, source.raw_tiles().at(t1.Morton()));
+  sink.PutRawTile(t2, source.raw_tiles().at(t2.Morton()));
+  EXPECT_EQ(sink.NumTiles(), 2u);
+  auto region = sink.LoadRegion(Aabb({0, 0}, {530, 20}));
+  ASSERT_TRUE(region.ok()) << region.status().ToString();
+  EXPECT_NE(region->FindLanelet(1), nullptr);
+  EXPECT_NE(region->FindLanelet(2), nullptr);
+}
+
 }  // namespace
 }  // namespace hdmap
