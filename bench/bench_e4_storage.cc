@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -12,7 +13,9 @@
 #include "core/serialization.h"
 #include "core/tile_store.h"
 #include "planning/route_planner.h"
+#include "service/map_service.h"
 #include "sim/road_network_generator.h"
+#include "storage/snapshot_store.h"
 
 namespace hdmap {
 namespace {
@@ -140,6 +143,80 @@ int Run() {
       cold_s * 1e3, hot_s * 1e3, cold_s / hot_s, stats.cache_hits,
       stats.cache_misses);
 
+  // --- Durability: checkpoint write, cold recovery, WAL ack overhead. ---
+  namespace fsys = std::filesystem;
+  fsys::path data_root =
+      fsys::temp_directory_path() / "hdmap_bench_e4_storage";
+  fsys::remove_all(data_root);
+  std::printf("  durability (checkpoint + patch WAL):\n");
+
+  // Checkpoint write: persist the serving store's tiles (temp dir, fsync,
+  // atomic rename). fsync dominates real deployments; both modes print.
+  double ckpt_mb = serving.TotalBytes() / 1e6;
+  double ckpt_fsync_s = 0.0, ckpt_nosync_s = 0.0;
+  {
+    SnapshotStore store({.data_dir = (data_root / "fsync").string(),
+                         .fsync = FsyncMode::kAlways});
+    bench::Timer t;
+    if (!store.WriteCheckpoint(serving, 1, 0).ok()) return 1;
+    ckpt_fsync_s = t.Seconds();
+  }
+  SnapshotStore ckpt_store({.data_dir = (data_root / "nosync").string(),
+                            .fsync = FsyncMode::kNever});
+  {
+    bench::Timer t;
+    if (!ckpt_store.WriteCheckpoint(serving, 1, 0).ok()) return 1;
+    ckpt_nosync_s = t.Seconds();
+  }
+  std::printf(
+      "    checkpoint write (%.1f MB, %zu tiles): %.1f ms fsync, "
+      "%.1f ms no-fsync\n",
+      ckpt_mb, serving.NumTiles(), ckpt_fsync_s * 1e3, ckpt_nosync_s * 1e3);
+
+  // Cold recovery: newest-valid scan + full per-tile validation + stitch.
+  size_t skipped = 0;
+  bench::Timer rec_timer;
+  auto recovered = ckpt_store.LoadNewestValid(
+      TileStore::Options{.tile_size_m = 256.0}, &skipped);
+  if (!recovered.ok()) return 1;
+  double rec_s = rec_timer.Seconds();
+  bool recovery_identical = recovered->tiles.raw_tiles() ==
+                            serving.raw_tiles();
+  std::printf("    cold recovery (validate + stitch): %.1f ms, bytes %s\n",
+              rec_s * 1e3, recovery_identical ? "identical" : "DIFFER");
+
+  // WAL ack overhead on StagePatch: what durability costs the writer per
+  // acknowledged patch, before any publish.
+  MapPatch wal_patch;
+  wal_patch.moved_landmarks.push_back(
+      {map.landmarks().begin()->first, {1.0, 2.0, 3.0}});
+  constexpr int kStageReps = 50;
+  auto time_stage = [&](const std::string& dir, FsyncMode mode) {
+    MapService::Options sopt;
+    sopt.tile_store.tile_size_m = 256.0;
+    sopt.durability.data_dir = dir;
+    sopt.durability.fsync = mode;
+    MapService service(sopt);
+    if (!service.Init(map).ok()) return -1.0;
+    bench::Timer t;
+    for (int i = 0; i < kStageReps; ++i) {
+      if (!service.StagePatch(wal_patch).ok()) return -1.0;
+    }
+    return t.Seconds() / kStageReps;
+  };
+  double stage_plain = time_stage("", FsyncMode::kNever);
+  double stage_wal = time_stage((data_root / "svc_nosync").string(),
+                                FsyncMode::kNever);
+  double stage_wal_fsync = time_stage((data_root / "svc_fsync").string(),
+                                      FsyncMode::kAlways);
+  if (stage_plain < 0.0 || stage_wal < 0.0 || stage_wal_fsync < 0.0) {
+    return 1;
+  }
+  std::printf(
+      "    StagePatch ack: %.1f us bare, %.1f us +WAL, %.1f us +WAL+fsync\n",
+      stage_plain * 1e6, stage_wal * 1e6, stage_wal_fsync * 1e6);
+  fsys::remove_all(data_root);
+
   // Determinism is a correctness guarantee and gates the exit code; the
   // speedup ratio is timing-dependent (flaky on loaded or low-core
   // machines), so it only warns.
@@ -149,7 +226,10 @@ int Run() {
   if (!deterministic) {
     std::printf("  FAIL: Build output differs across thread counts\n");
   }
-  return routed && deterministic ? 0 : 1;
+  if (!recovery_identical) {
+    std::printf("  FAIL: recovered checkpoint bytes differ from source\n");
+  }
+  return routed && deterministic && recovery_identical ? 0 : 1;
 }
 
 }  // namespace

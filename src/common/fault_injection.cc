@@ -1,5 +1,7 @@
 #include "common/fault_injection.h"
 
+#include "common/metrics.h"
+
 namespace hdmap {
 
 namespace {
@@ -37,13 +39,29 @@ void FaultInjector::AddPolicy(FaultPolicy policy) {
 
 void FaultInjector::ClearPolicies() { policies_.clear(); }
 
+void FaultInjector::BindMetrics(MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = metrics;
+  // Sites that already injected show up immediately, not on next fire.
+  if (metrics_ != nullptr) {
+    for (const auto& [site, n] : injected_) {
+      metrics_->GetGauge("fault_injector.injected{" + site + "}")
+          ->Set(static_cast<double>(n));
+    }
+  }
+}
+
 void FaultInjector::CountInjection(std::string_view site) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = injected_.find(site);
   if (it == injected_.end()) {
-    injected_.emplace(std::string(site), 1);
+    it = injected_.emplace(std::string(site), 1).first;
   } else {
     ++it->second;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetGauge("fault_injector.injected{" + it->first + "}")
+        ->Set(static_cast<double>(it->second));
   }
 }
 
@@ -75,6 +93,19 @@ bool FaultInjector::MaybeCorrupt(std::string_view site,
         break;
       case FaultKind::kDrop:
         corrupted->clear();
+        break;
+      case FaultKind::kTornWrite:
+        if (!corrupted->empty()) {
+          // Same length as the payload: the head landed, the tail reads
+          // back as scribble. A fresh splitmix chain per byte keeps the
+          // garbage deterministic in payload content alone.
+          size_t prefix = static_cast<size_t>(m % corrupted->size());
+          uint64_t g = m;
+          for (size_t i = prefix; i < corrupted->size(); ++i) {
+            g = Mix(g + i);
+            (*corrupted)[i] = static_cast<char>(g & 0xff);
+          }
+        }
         break;
       case FaultKind::kFailStatus:
         break;  // Unreachable; filtered above.

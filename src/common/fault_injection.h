@@ -12,12 +12,20 @@
 
 namespace hdmap {
 
+class MetricsRegistry;
+
 /// What a fault policy does when it fires.
 enum class FaultKind : uint8_t {
   kBitFlip,   ///< Flip one pseudo-random bit of the payload.
   kTruncate,  ///< Cut the payload at a pseudo-random offset.
   kDrop,      ///< Replace the payload with an empty buffer.
   kFailStatus,  ///< Make the instrumented call return a Status failure.
+  /// Keep a pseudo-random prefix and overwrite the rest with garbage,
+  /// preserving the payload's length. Models a torn write: a crash after
+  /// the head of a buffer reached disk but before the tail did, where the
+  /// tail reads back as stale or scribbled sectors rather than a short
+  /// file (that is kTruncate).
+  kTornWrite,
 };
 
 /// One armed fault: at `site`, with probability `probability` per call,
@@ -53,6 +61,13 @@ class FaultInjector {
   void AddPolicy(FaultPolicy policy);
   void ClearPolicies();
 
+  /// Exports per-site injected counts as gauges named
+  /// "fault_injector.injected{SITE}" through `metrics`, so a bench or
+  /// test reading a service's registry can report injected-vs-detected
+  /// without holding the injector itself. The registry must outlive the
+  /// injector; null unbinds. Like AddPolicy, must not race Maybe* calls.
+  void BindMetrics(MetricsRegistry* metrics);
+
   /// Data-plane hook. When a data-plane policy for `site` fires on this
   /// payload, writes the corrupted payload to `*corrupted` and returns
   /// true; otherwise returns false and leaves `*corrupted` untouched.
@@ -77,6 +92,7 @@ class FaultInjector {
 
   uint64_t seed_;
   std::vector<FaultPolicy> policies_;
+  MetricsRegistry* metrics_ = nullptr;  // Optional gauge export.
 
   mutable std::mutex mu_;  // Guards injected_ and fail_calls_.
   std::map<std::string, uint64_t, std::less<>> injected_;

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 
 #include "common/thread_pool.h"
 #include "core/serialization.h"
@@ -68,6 +70,7 @@ TileStore& TileStore::operator=(const TileStore& other) {
 }
 
 size_t TileStore::TotalBytes() const {
+  std::shared_lock<std::shared_mutex> lock(tiles_mu_);
   size_t total = 0;
   for (const auto& [key, blob] : tiles_) total += blob.size();
   return total;
@@ -195,8 +198,11 @@ Status TileStore::AssignTiles(const HdMap& map,
 }
 
 Status TileStore::Build(const HdMap& map, size_t num_threads) {
-  tiles_.clear();
-  tile_ids_.clear();
+  {
+    std::unique_lock<std::shared_mutex> lock(tiles_mu_);
+    tiles_.clear();
+    tile_ids_.clear();
+  }
   CacheClear();
 
   // Phase 1 (sequential, deterministic): assign every element to the tiles
@@ -204,11 +210,7 @@ Status TileStore::Build(const HdMap& map, size_t num_threads) {
   std::map<uint64_t, HdMap> tile_maps;
   std::map<uint64_t, TileId> ids;
   Status assigned = AssignTiles(map, nullptr, &tile_maps, &ids);
-  if (!assigned.ok()) {
-    tiles_.clear();
-    tile_ids_.clear();
-    return assigned;
-  }
+  if (!assigned.ok()) return assigned;
 
   // Phase 2 (parallel): serialize each tile independently. Each task owns
   // one output slot, so the assembled result — and therefore the stored
@@ -224,6 +226,7 @@ Status TileStore::Build(const HdMap& map, size_t num_threads) {
       [&](size_t i) { blobs[i] = SerializeMap(*work[i].second); },
       num_threads);
 
+  std::unique_lock<std::shared_mutex> lock(tiles_mu_);
   for (size_t i = 0; i < work.size(); ++i) {
     uint64_t key = work[i].first;
     tiles_[key] = std::move(blobs[i]);
@@ -257,75 +260,99 @@ Status TileStore::RebuildTiles(const HdMap& map,
       [&](size_t i) { blobs[i] = SerializeMap(*work[i].second); },
       num_threads);
 
+  {
+    std::unique_lock<std::shared_mutex> lock(tiles_mu_);
+    // Requested tiles with no remaining content disappear from the store
+    // (exactly as a full Build would never have created them).
+    for (const auto& [key, id] : requested) {
+      (void)id;
+      if (tile_maps.count(key) == 0) {
+        tiles_.erase(key);
+        tile_ids_.erase(key);
+      }
+    }
+    for (size_t i = 0; i < work.size(); ++i) {
+      uint64_t key = work[i].first;
+      tiles_[key] = std::move(blobs[i]);
+      tile_ids_[key] = ids[key];
+    }
+  }
   for (const auto& [key, id] : requested) {
     (void)id;
     CacheErase(key);
-  }
-  // Requested tiles with no remaining content disappear from the store
-  // (exactly as a full Build would never have created them).
-  for (const auto& [key, id] : requested) {
-    if (tile_maps.count(key) == 0) {
-      tiles_.erase(key);
-      tile_ids_.erase(key);
-    }
-  }
-  for (size_t i = 0; i < work.size(); ++i) {
-    uint64_t key = work[i].first;
-    tiles_[key] = std::move(blobs[i]);
-    tile_ids_[key] = ids[key];
   }
   return Status::Ok();
 }
 
 void TileStore::PutTile(const TileId& id, const HdMap& tile_map) {
-  tiles_[id.Morton()] = SerializeMap(tile_map);
-  tile_ids_[id.Morton()] = id;
+  std::string bytes = SerializeMap(tile_map);
+  {
+    std::unique_lock<std::shared_mutex> lock(tiles_mu_);
+    tiles_[id.Morton()] = std::move(bytes);
+    tile_ids_[id.Morton()] = id;
+  }
+  // After the bytes, not before: CacheErase bumps the mutation
+  // generation, so any reader still decoding the old payload has observed
+  // an older generation and its verdict is dropped.
   CacheErase(id.Morton());
 }
 
 void TileStore::PutRawTile(const TileId& id, std::string bytes) {
-  tiles_[id.Morton()] = std::move(bytes);
-  tile_ids_[id.Morton()] = id;
+  {
+    std::unique_lock<std::shared_mutex> lock(tiles_mu_);
+    tiles_[id.Morton()] = std::move(bytes);
+    tile_ids_[id.Morton()] = id;
+  }
   CacheErase(id.Morton());
 }
 
 Result<std::shared_ptr<const HdMap>> TileStore::LoadTileShared(
     uint64_t key) const {
   if (auto cached = CacheLookup(key)) return cached;
-  auto it = tiles_.find(key);
-  if (it == tiles_.end()) {
-    return Status::NotFound("tile key " + std::to_string(key));
-  }
   if (IsQuarantined(key)) {
     return Status::DataLoss("tile key " + std::to_string(key) +
                             " quarantined after a failed decode");
   }
-  std::string_view blob = it->second;
-  std::string corrupted;  // Owns injected mutations; empty otherwise.
-  if (faults_ != nullptr &&
-      faults_->MaybeCorrupt(kLoadFaultSite, blob, &corrupted)) {
-    blob = corrupted;
+  // Generation first, blob second: if a Put* replaces the bytes after
+  // this load, the verdict below is installed against a stale generation
+  // and dropped (worst case a wasted decode, never a poisoned cache).
+  uint64_t gen = mutation_gen_.load(std::memory_order_acquire);
+  Result<HdMap> tile = Status::Internal("tile not decoded");
+  {
+    std::shared_lock<std::shared_mutex> lock(tiles_mu_);
+    auto it = tiles_.find(key);
+    if (it == tiles_.end()) {
+      return Status::NotFound("tile key " + std::to_string(key));
+    }
+    std::string_view blob = it->second;
+    std::string corrupted;  // Owns injected mutations; empty otherwise.
+    if (faults_ != nullptr &&
+        faults_->MaybeCorrupt(kLoadFaultSite, blob, &corrupted)) {
+      blob = corrupted;
+    }
+    tile = DeserializeMap(blob);
   }
-  Result<HdMap> tile = DeserializeMap(blob);
   if (!tile.ok()) {
     // Corrupt bytes stay corrupt: remember the verdict so every later
     // load fails fast instead of re-running checksum/decode.
-    if (tile.status().code() == StatusCode::kDataLoss) Quarantine(key);
+    if (tile.status().code() == StatusCode::kDataLoss) Quarantine(key, gen);
     return tile.status();
   }
   auto shared = std::make_shared<const HdMap>(std::move(tile).value());
-  CacheInsert(key, shared);
+  CacheInsert(key, shared, gen);
   return shared;
 }
 
 Result<HdMap> TileStore::LoadTile(const TileId& id) const {
-  if (tiles_.find(id.Morton()) == tiles_.end()) {
-    return Status::NotFound("tile (" + std::to_string(id.x) + "," +
-                            std::to_string(id.y) + ")");
+  auto tile = LoadTileShared(id.Morton());
+  if (!tile.ok()) {
+    if (tile.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("tile (" + std::to_string(id.x) + "," +
+                              std::to_string(id.y) + ")");
+    }
+    return tile.status();
   }
-  HDMAP_ASSIGN_OR_RETURN(std::shared_ptr<const HdMap> tile,
-                         LoadTileShared(id.Morton()));
-  return HdMap(*tile);
+  return HdMap(**tile);
 }
 
 Result<std::vector<TileId>> TileStore::TileCoverage(const Aabb& box) const {
@@ -354,6 +381,7 @@ Result<std::vector<TileId>> TileStore::TilesInBox(const Aabb& box) const {
   }
   const TileId lo = range->first;
   const TileId hi = range->second;
+  std::shared_lock<std::shared_mutex> lock(tiles_mu_);
   for (int32_t ty = lo.y; ty <= hi.y; ++ty) {
     for (int32_t tx = lo.x; tx <= hi.x; ++tx) {
       TileId t{tx, ty};
@@ -363,11 +391,33 @@ Result<std::vector<TileId>> TileStore::TilesInBox(const Aabb& box) const {
   return out;
 }
 
+std::vector<TileId> TileStore::AllTiles() const {
+  std::shared_lock<std::shared_mutex> lock(tiles_mu_);
+  std::vector<TileId> out;
+  out.reserve(tile_ids_.size());
+  for (const auto& [key, id] : tile_ids_) {
+    (void)key;
+    out.push_back(id);
+  }
+  return out;
+}
+
 Result<HdMap> TileStore::LoadRegion(const Aabb& box, RegionReport* report,
                                     size_t num_threads,
                                     RegionReadMode mode) const {
   HDMAP_ASSIGN_OR_RETURN(std::vector<TileId> tile_list, TilesInBox(box));
+  return StitchTiles(tile_list, report, num_threads, mode);
+}
 
+Result<HdMap> TileStore::LoadAll(size_t num_threads) const {
+  return StitchTiles(AllTiles(), nullptr, num_threads,
+                     RegionReadMode::kStrict);
+}
+
+Result<HdMap> TileStore::StitchTiles(const std::vector<TileId>& tile_list,
+                                     RegionReport* report,
+                                     size_t num_threads,
+                                     RegionReadMode mode) const {
   // Fan out: deserialize (or fetch from cache) every tile concurrently.
   // Each task writes its own slot; stitching below is sequential in tile
   // order, so the stitched map is independent of thread timing.
@@ -455,10 +505,13 @@ std::shared_ptr<const HdMap> TileStore::CacheLookup(uint64_t key) const {
   return it->second.first;
 }
 
-void TileStore::CacheInsert(uint64_t key,
-                            std::shared_ptr<const HdMap> map) const {
+void TileStore::CacheInsert(uint64_t key, std::shared_ptr<const HdMap> map,
+                            uint64_t gen) const {
   if (cache_capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(cache_mu_);
+  // A Put* replaced some tile's bytes since this decode started; the
+  // decoded map may be of the old payload, so don't cache it.
+  if (mutation_gen_.load(std::memory_order_relaxed) != gen) return;
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     // Another thread deserialized the same tile first; keep its entry.
@@ -476,7 +529,10 @@ void TileStore::CacheInsert(uint64_t key,
 
 void TileStore::CacheErase(uint64_t key) {
   std::lock_guard<std::mutex> lock(cache_mu_);
-  quarantined_.erase(key);  // New bytes get a fresh decode verdict.
+  // Invalidate any in-flight decode of the old bytes along with the
+  // stored verdicts; new bytes get a fresh one.
+  mutation_gen_.fetch_add(1, std::memory_order_release);
+  quarantined_.erase(key);
   auto it = cache_.find(key);
   if (it == cache_.end()) return;
   lru_.erase(it->second.second);
@@ -485,6 +541,7 @@ void TileStore::CacheErase(uint64_t key) {
 
 void TileStore::CacheClear() {
   std::lock_guard<std::mutex> lock(cache_mu_);
+  mutation_gen_.fetch_add(1, std::memory_order_release);
   cache_.clear();
   lru_.clear();
   quarantined_.clear();
@@ -495,8 +552,11 @@ bool TileStore::IsQuarantined(uint64_t key) const {
   return quarantined_.count(key) > 0;
 }
 
-void TileStore::Quarantine(uint64_t key) const {
+void TileStore::Quarantine(uint64_t key, uint64_t gen) const {
   std::lock_guard<std::mutex> lock(cache_mu_);
+  // Same staleness rule as CacheInsert: never quarantine bytes that were
+  // replaced while this (failed) decode was in flight.
+  if (mutation_gen_.load(std::memory_order_relaxed) != gen) return;
   quarantined_.insert(key);
 }
 

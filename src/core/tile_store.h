@@ -1,12 +1,14 @@
 #ifndef HDMAP_CORE_TILE_STORE_H_
 #define HDMAP_CORE_TILE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -87,9 +89,15 @@ enum class RegionReadMode {
 /// bytes are replaced; LoadRegion can stitch around it (kAllowPartial).
 ///
 /// Thread safety: concurrent const calls (LoadTile/LoadRegion/TilesInBox)
-/// are safe with respect to the cache and quarantine set; mutations
-/// (Build/PutTile/PutRawTile/RebuildTiles) and copies must be externally
-/// serialized against readers.
+/// are safe with respect to the cache and quarantine set. Per-tile
+/// replacement (PutTile/PutRawTile) is additionally safe against
+/// concurrent readers: blob access is guarded by a shared mutex, and a
+/// store-wide mutation generation keeps a reader that raced an old blob
+/// from installing a stale cache entry or quarantine verdict over the new
+/// bytes — the ingestion path can repair a quarantined tile while other
+/// threads keep serving. Wholesale mutations (Build/RebuildTiles) and
+/// copies still require external serialization against readers and other
+/// writers.
 class TileStore {
  public:
   /// Construction knobs. New knobs land here so signatures don't churn.
@@ -187,6 +195,9 @@ class TileStore {
   /// kInvalidArgument when the box covers more than kMaxTilesPerBox tiles.
   Result<std::vector<TileId>> TilesInBox(const Aabb& box) const;
 
+  /// Every tile id present in the store, in Morton order.
+  std::vector<TileId> AllTiles() const;
+
   /// Loads and stitches all tiles intersecting `box` into one map
   /// (duplicated border elements are inserted once). Tiles deserialize
   /// concurrently on `num_threads` threads (0 = hardware concurrency);
@@ -201,6 +212,12 @@ class TileStore {
       size_t num_threads = 0,
       RegionReadMode mode = RegionReadMode::kAllowPartial) const;
 
+  /// Loads and stitches every tile in the store — the recovery path's
+  /// whole-map read, with no query box and hence no kMaxTilesPerBox cap.
+  /// Always strict: any tile failing checksum/decode fails the whole
+  /// load (a recovered snapshot must be fully intact before it serves).
+  Result<HdMap> LoadAll(size_t num_threads = 0) const;
+
   /// Tiles currently quarantined after a failed checksum/decode. A
   /// quarantined tile is reported instead of retried until its bytes are
   /// replaced (Build/RebuildTiles/PutTile/PutRawTile).
@@ -212,6 +229,8 @@ class TileStore {
 
   size_t cache_capacity() const { return cache_capacity_; }
 
+  /// Direct view of the serialized blobs (checkpointing, byte-equality in
+  /// tests). Not synchronized: must not race Put*/Build mutations.
   const std::map<uint64_t, std::string>& raw_tiles() const { return tiles_; }
 
  private:
@@ -239,18 +258,35 @@ class TileStore {
   /// without re-decoding until the tile's bytes are replaced.
   Result<std::shared_ptr<const HdMap>> LoadTileShared(uint64_t key) const;
 
+  /// Loads `tile_list` concurrently and stitches the survivors in tile
+  /// order (deterministic): the shared body of LoadRegion and LoadAll.
+  Result<HdMap> StitchTiles(const std::vector<TileId>& tile_list,
+                            RegionReport* report, size_t num_threads,
+                            RegionReadMode mode) const;
+
   std::shared_ptr<const HdMap> CacheLookup(uint64_t key) const;
-  void CacheInsert(uint64_t key, std::shared_ptr<const HdMap> map) const;
+  /// Installs a decode outcome (cache entry on success, quarantine on
+  /// kDataLoss) observed at mutation generation `gen`; dropped when a
+  /// Put* replaced the bytes since, so a racing reader cannot poison the
+  /// new payload's state with the old payload's verdict.
+  void CacheInsert(uint64_t key, std::shared_ptr<const HdMap> map,
+                   uint64_t gen) const;
+  void Quarantine(uint64_t key, uint64_t gen) const;
   /// Drops one tile's derived load state: cache entry and quarantine.
   void CacheErase(uint64_t key);
   /// Drops all derived load state: cache and quarantine set.
   void CacheClear();
   bool IsQuarantined(uint64_t key) const;
-  void Quarantine(uint64_t key) const;
 
   double tile_size_;
+  // Blob map, guarded by tiles_mu_ for per-tile replacement vs reads
+  // (wholesale Build/assignment still needs external serialization).
+  mutable std::shared_mutex tiles_mu_;
   std::map<uint64_t, std::string> tiles_;   // Morton key -> blob.
   std::map<uint64_t, TileId> tile_ids_;     // Morton key -> coordinates.
+  // Bumped (under cache_mu_) by every mutation that replaces tile bytes;
+  // lets in-flight loads detect that their verdict is stale.
+  mutable std::atomic<uint64_t> mutation_gen_{0};
 
   // Bounded LRU cache of deserialized tiles, keyed by Morton code.
   // lru_ front = most recently used; entries hold their lru_ iterator.

@@ -1,9 +1,30 @@
 #include "service/map_service.h"
 
+#include <algorithm>
 #include <map>
 #include <utility>
 
 namespace hdmap {
+
+namespace {
+
+int64_t WallClockUnixMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Steady-clock publish instant consistent with a wall-clock stamp taken
+/// (possibly a process lifetime) earlier: recovery back-dates the
+/// in-process age math so SnapshotAgeSeconds stays continuous across the
+/// restart.
+std::chrono::steady_clock::time_point BackdatedPublishTime(
+    int64_t published_unix_ms) {
+  int64_t age_ms = std::max<int64_t>(0, WallClockUnixMs() - published_unix_ms);
+  return std::chrono::steady_clock::now() - std::chrono::milliseconds(age_ms);
+}
+
+}  // namespace
 
 MapService::MapService(Options options) : options_(std::move(options)) {
   if (options_.metrics != nullptr) {
@@ -23,6 +44,24 @@ MapService::MapService(Options options) : options_(std::move(options)) {
   if (options_.tile_store.fault_injector == nullptr) {
     options_.tile_store.fault_injector = faults_;
   }
+  // Per-site injected counts export through the service registry, so
+  // benches read injected-vs-detected from one place.
+  if (faults_ != nullptr) faults_->BindMetrics(metrics_);
+  if (!options_.durability.data_dir.empty()) {
+    SnapshotStore::Options store_opts;
+    store_opts.data_dir = options_.durability.data_dir;
+    store_opts.fsync = options_.durability.fsync;
+    store_opts.retention = options_.durability.retention;
+    store_opts.metrics = metrics_;
+    store_opts.fault_injector = faults_;
+    snapshot_store_ = std::make_unique<SnapshotStore>(store_opts);
+    PatchWal::Options wal_opts;
+    wal_opts.path = options_.durability.data_dir + "/wal/patches.wal";
+    wal_opts.fsync = options_.durability.fsync;
+    wal_opts.metrics = metrics_;
+    wal_opts.fault_injector = faults_;
+    wal_ = std::make_unique<PatchWal>(wal_opts);
+  }
   lat_get_region_ = metrics_->GetLatency("map_service.get_region");
   lat_get_tile_ = metrics_->GetLatency("map_service.get_tile");
   lat_match_ = metrics_->GetLatency("map_service.match_to_lane");
@@ -41,10 +80,30 @@ MapService::MapService(Options options) : options_(std::move(options)) {
   version_gauge_ = metrics_->GetGauge("map_service.snapshot_version");
   age_gauge_ = metrics_->GetGauge("map_service.snapshot_age_seconds");
   staged_gauge_ = metrics_->GetGauge("map_service.staged_patches");
+  recoveries_ = metrics_->GetCounter("storage.recoveries");
+  wal_replayed_ = metrics_->GetCounter("wal.replayed_records");
+  wal_replay_apply_failures_ =
+      metrics_->GetCounter("wal.replay_apply_failures");
+  lat_recover_ = metrics_->GetLatency("storage.recover");
+  published_unix_ms_gauge_ =
+      metrics_->GetGauge("map_service.published_unix_ms");
 }
 
 Status MapService::Init(HdMap initial_map) {
   std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  // Existing durable state outranks the bootstrap map: a restarted
+  // service resumes where the fleet left it rather than regressing to a
+  // caller-provided (possibly stale) map.
+  bool durable_state_lost = false;
+  if (durable() && !snapshot_store_->ListCheckpoints().empty()) {
+    Status recovered = RecoverLocked();
+    // kNotFound means checkpoints exist but none validates: the durable
+    // state is beyond recovery, so fall through and bootstrap fresh from
+    // `initial_map` rather than refusing to serve at all. The loss is
+    // recorded after Install so Health() reports kDegraded.
+    if (recovered.code() != StatusCode::kNotFound) return recovered;
+    durable_state_lost = true;
+  }
   auto snap = std::make_shared<MapSnapshot>();
   snap->tiles = TileStore(options_.tile_store);
   HDMAP_RETURN_IF_ERROR(
@@ -56,14 +115,31 @@ Status MapService::Init(HdMap initial_map) {
   auto old = snapshot();
   snap->version = old == nullptr ? 1 : old->version + 1;
   snap->publish_time = std::chrono::steady_clock::now();
-  Install(std::move(snap));
+  snap->published_unix_ms = WallClockUnixMs();
+  Install(snap);
+  if (durable_state_lost) RecordError(StatusCode::kDataLoss);
+  if (durable()) {
+    // Bootstrap checkpoint: a crash right after Init already recovers.
+    Status ck = CheckpointLocked(*snap);
+    if (ck.ok()) publishes_since_checkpoint_ = 0;
+  }
   return Status::Ok();
 }
 
-void MapService::StagePatch(MapPatch patch) {
+Status MapService::StagePatch(MapPatch patch) {
   std::lock_guard<std::mutex> lock(staged_mu_);
+  if (wal_ != nullptr) {
+    // Write-ahead: the patch is only acknowledged (and only enters the
+    // staged queue) once its WAL record is durable.
+    Status appended = wal_->Append(patch, version());
+    if (!appended.ok()) {
+      RecordError(appended.code());
+      return appended;
+    }
+  }
   staged_.push_back(std::move(patch));
   staged_gauge_->Set(static_cast<double>(staged_.size()));
+  return Status::Ok();
 }
 
 size_t MapService::NumStagedPatches() const {
@@ -204,7 +280,8 @@ Status MapService::Publish() {
                       : old->routing;
   snap->version = old->version + 1;
   snap->publish_time = std::chrono::steady_clock::now();
-  Install(std::move(snap));
+  snap->published_unix_ms = WallClockUnixMs();
+  Install(snap);
 
   {
     // Remove exactly the patches that went out; anything staged while the
@@ -216,17 +293,144 @@ Status MapService::Publish() {
   }
   patches_published_->Increment(staged.size());
   changes_published_->Increment(num_changes);
+
+  if (durable()) {
+    ++publishes_since_checkpoint_;
+    if (publishes_since_checkpoint_ >=
+        options_.durability.checkpoint_every_n_publishes) {
+      // A checkpoint failure does not fail the publish: the new version
+      // serves from memory and the WAL still covers every acked patch
+      // since the last checkpoint that did land.
+      Status ck = CheckpointLocked(*snap);
+      if (ck.ok()) publishes_since_checkpoint_ = 0;
+    }
+  }
   return Status::Ok();
 }
 
 Status MapService::ApplyPatch(MapPatch patch) {
-  StagePatch(std::move(patch));
+  HDMAP_RETURN_IF_ERROR(StagePatch(std::move(patch)));
   return Publish();
+}
+
+Status MapService::CheckpointLocked(const MapSnapshot& snap) {
+  Status written = snapshot_store_->WriteCheckpoint(snap.tiles, snap.version,
+                                                    snap.published_unix_ms);
+  if (!written.ok()) {
+    RecordError(written.code());
+    return written;
+  }
+  // The checkpoint now covers every record the WAL held for published
+  // patches; rewrite it down to the patches still waiting in the queue
+  // (staged during or after this publish), so nothing acked is ever
+  // outside (checkpoint ∪ WAL).
+  std::lock_guard<std::mutex> lock(staged_mu_);
+  Status reset = wal_->Reset();
+  if (!reset.ok()) {
+    RecordError(reset.code());
+    return reset;
+  }
+  for (const MapPatch& patch : staged_) {
+    Status appended = wal_->Append(patch, snap.version);
+    if (!appended.ok()) {
+      RecordError(appended.code());
+      return appended;
+    }
+  }
+  return Status::Ok();
+}
+
+Status MapService::Recover() {
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  return RecoverLocked();
+}
+
+Status MapService::RecoverLocked() {
+  if (!durable()) {
+    return Status::FailedPrecondition(
+        "MapService durability is disabled (empty data_dir)");
+  }
+  ScopedTimer timer(lat_recover_);
+  size_t checkpoints_skipped = 0;
+  HDMAP_ASSIGN_OR_RETURN(
+      RecoveredSnapshot recovered,
+      snapshot_store_->LoadNewestValid(options_.tile_store,
+                                       &checkpoints_skipped));
+
+  // Replay the WAL tail past the checkpoint. Records are tolerated
+  // failures two ways: torn/corrupt records are skipped by Replay
+  // itself, and an intact record whose patch no longer applies (it
+  // depended on state lost with a newer, now-corrupt checkpoint) is
+  // skipped here.
+  size_t wal_skipped = 0;
+  size_t applied = 0;
+  uint64_t max_hint = 0;
+  HdMap map = std::move(recovered.map);
+  auto replay = wal_->Replay();
+  if (replay.ok()) {
+    wal_skipped = replay->skipped_records;
+    for (PatchWal::ReplayedRecord& record : replay->records) {
+      Status patched = hdmap::ApplyPatch(record.patch, &map);
+      if (!patched.ok()) {
+        ++wal_skipped;
+        wal_replay_apply_failures_->Increment();
+        continue;
+      }
+      ++applied;
+      max_hint = std::max(max_hint, record.version_hint);
+    }
+  } else {
+    // An unreadable WAL (I/O error, not content damage) degrades to
+    // checkpoint-only recovery.
+    ++wal_skipped;
+  }
+
+  auto snap = std::make_shared<MapSnapshot>();
+  if (applied == 0) {
+    // Bit-exact restore of the checkpoint, warm tiles included.
+    snap->tiles = std::move(recovered.tiles);
+    snap->version = recovered.version;
+    snap->published_unix_ms = recovered.published_unix_ms;
+  } else {
+    // Replayed patches fold into one recovered publish. A full rebuild
+    // equals the incremental path byte-for-byte (RebuildTiles
+    // postcondition) without needing per-patch touched-tile bookkeeping
+    // against a moving map.
+    snap->tiles = std::move(recovered.tiles);  // Keeps manifest tile size.
+    HDMAP_RETURN_IF_ERROR(snap->tiles.Build(map, options_.publish_threads));
+    snap->version = std::max(recovered.version, max_hint) + 1;
+    snap->published_unix_ms = WallClockUnixMs();
+  }
+  snap->publish_time = BackdatedPublishTime(snap->published_unix_ms);
+  snap->map = std::move(map);
+  snap->map.BuildIndexes();
+  snap->routing = std::make_shared<const RoutingGraph>(
+      RoutingGraph::Build(snap->map, options_.lane_change_penalty_s));
+  Install(snap);
+  recoveries_->Increment();
+  wal_replayed_->Increment(applied);
+
+  // Degradation accounting lands *after* Install re-baselined Health, so
+  // a recovery that skipped anything serves kDegraded until the next
+  // clean publish replaces the survivors' bytes.
+  for (size_t i = 0; i < checkpoints_skipped + wal_skipped; ++i) {
+    RecordError(StatusCode::kDataLoss);
+  }
+
+  // Re-protect: fold the replayed WAL into a checkpoint of the recovered
+  // state, so the next crash replays nothing. Failure is non-fatal — the
+  // old checkpoint plus the existing WAL still cover everything.
+  if (applied > 0 || wal_skipped > 0) {
+    Status ck = CheckpointLocked(*snap);
+    if (ck.ok()) publishes_since_checkpoint_ = 0;
+  }
+  return Status::Ok();
 }
 
 void MapService::Install(std::shared_ptr<const MapSnapshot> snap) {
   version_gauge_->Set(static_cast<double>(snap->version));
   age_gauge_->Set(0.0);
+  published_unix_ms_gauge_->Set(static_cast<double>(snap->published_unix_ms));
   snapshot_.store(std::move(snap));
   // The new snapshot carries freshly (re)built tiles, so prior data-loss
   // events say nothing about it: re-baseline Health to kServing.

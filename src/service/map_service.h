@@ -18,6 +18,8 @@
 #include "core/routing_graph.h"
 #include "core/tile_store.h"
 #include "planning/route_planner.h"
+#include "storage/patch_wal.h"
+#include "storage/snapshot_store.h"
 
 namespace hdmap {
 
@@ -31,7 +33,15 @@ namespace hdmap {
 struct MapSnapshot {
   /// Monotonic publish sequence number, starting at 1 for the initial map.
   uint64_t version = 0;
+  /// Steady-clock publish instant: the basis for in-process age math
+  /// (SnapshotAgeSeconds), immune to wall-clock steps. Meaningless across
+  /// restarts — a recovered snapshot back-dates it from
+  /// `published_unix_ms` so age stays continuous.
   std::chrono::steady_clock::time_point publish_time;
+  /// Wall-clock publish stamp (Unix epoch, milliseconds). Persisted in
+  /// the checkpoint manifest, so it is the one publish time that survives
+  /// a restart.
+  int64_t published_unix_ms = 0;
   /// The stitched, query-ready map (indexes pre-built; see
   /// HdMap::BuildIndexes).
   HdMap map;
@@ -109,6 +119,25 @@ class MapService {
     /// of serving degraded regions (RegionReadMode::kStrict). Default off:
     /// one corrupt tile should not take down a whole region read.
     bool strict_reads = false;
+
+    /// Crash-safe durability. Disabled (empty data_dir) by default, with
+    /// zero overhead on the serving hot path when disabled.
+    struct Durability {
+      /// Root directory for checkpoints and the patch WAL; empty turns
+      /// the durability layer off entirely.
+      std::string data_dir;
+      /// fsync policy for checkpoint files and WAL appends.
+      FsyncMode fsync = FsyncMode::kAlways;
+      /// Write a snapshot checkpoint every N successful publishes (1 =
+      /// every publish). Publishes between checkpoints survive crashes
+      /// through the WAL alone.
+      uint32_t checkpoint_every_n_publishes = 1;
+      /// Checkpoint versions kept on disk; older ones are pruned after
+      /// each checkpoint. The extras are the fallbacks recovery degrades
+      /// to when the newest checkpoint is torn or corrupt.
+      size_t retention = 2;
+    };
+    Durability durability;
   };
 
   /// FaultInjector site name instrumenting Publish.
@@ -124,13 +153,40 @@ class MapService {
   /// with kFailedPrecondition until this succeeds. Re-initializing an
   /// already-serving service replaces the map wholesale (full tile build)
   /// and keeps the version sequence monotonic.
+  ///
+  /// With durability enabled and existing state under data_dir, Init
+  /// recovers from disk instead (see Recover) and `initial_map` is
+  /// ignored: the durable map outranks the bootstrap map after a restart.
+  /// A fresh data_dir is bootstrapped by checkpointing `initial_map` as
+  /// version 1 before Init returns. If durable state exists but no
+  /// checkpoint validates (total loss), Init falls back to bootstrapping
+  /// from `initial_map` and records the loss (Health() == kDegraded).
   Status Init(HdMap initial_map);
+
+  /// Restores serving state from Options::durability.data_dir: loads the
+  /// newest checkpoint that validates end-to-end (torn or corrupt newer
+  /// ones are skipped, counted in "storage.checkpoints_invalid" and the
+  /// kDataLoss error counter), replays every intact WAL record past it
+  /// (torn/corrupt tail records are skipped and counted in
+  /// "wal.replay_skipped"), and resumes serving at the recovered version.
+  /// When anything was skipped, Health() reports kDegraded until the next
+  /// successful Publish. When WAL records were replayed, the recovered
+  /// state is immediately re-checkpointed so the next crash is covered.
+  /// kNotFound when no valid checkpoint exists; kFailedPrecondition when
+  /// durability is disabled.
+  Status Recover();
+
+  /// True when Options::durability.data_dir is set.
+  bool durable() const { return snapshot_store_ != nullptr; }
 
   // --- Writer side ---
 
   /// Queues a patch for the next Publish. Cheap and callable from any
-  /// thread; nothing becomes visible to readers until Publish.
-  void StagePatch(MapPatch patch);
+  /// thread; nothing becomes visible to readers until Publish. With
+  /// durability enabled the patch is appended to the write-ahead log and
+  /// fsynced *before* it is queued — an OK return means the patch
+  /// survives a crash. On a WAL append failure the patch is not staged.
+  Status StagePatch(MapPatch patch);
 
   /// Patches staged and not yet published.
   size_t NumStagedPatches() const;
@@ -146,6 +202,13 @@ class MapService {
   /// on any failure (unknown id in a patch, degenerate geometry) nothing
   /// is published, no version is consumed, and the staged queue is left
   /// intact for inspection. A Publish with nothing staged is a no-op.
+  ///
+  /// With durability enabled, every Nth successful publish (N =
+  /// checkpoint_every_n_publishes) also writes a checkpoint and then
+  /// rewrites the WAL down to the still-unpublished staged patches. A
+  /// checkpoint failure never fails the publish — the new version serves
+  /// from memory, the WAL keeps its records, and
+  /// "storage.checkpoint_failures" counts the miss.
   Status Publish();
 
   /// StagePatch + Publish in one call.
@@ -162,7 +225,11 @@ class MapService {
   uint64_t version() const;
 
   /// Seconds since the current snapshot was published (0 before Init).
-  /// Also refreshes the "map_service.snapshot_age_seconds" gauge.
+  /// Also refreshes the "map_service.snapshot_age_seconds" gauge. Age is
+  /// continuous across restarts: recovery back-dates the steady-clock
+  /// publish instant from the persisted wall-clock stamp
+  /// (MapSnapshot::published_unix_ms, also exported as the
+  /// "map_service.published_unix_ms" gauge).
   double SnapshotAgeSeconds() const;
 
   /// Serving health, derived from the per-code error counters
@@ -211,6 +278,13 @@ class MapService {
   /// longer count as degradation.
   void Install(std::shared_ptr<const MapSnapshot> snap);
 
+  /// Recover() body; caller holds publish_mu_.
+  Status RecoverLocked();
+
+  /// Checkpoints `snap` and, on success, rewrites the WAL down to the
+  /// still-staged (unpublished) patches. Caller holds publish_mu_.
+  Status CheckpointLocked(const MapSnapshot& snap);
+
   /// Bumps the total error counter plus the per-code one
   /// ("map_service.errors{CODE}").
   void RecordError(StatusCode code) const;
@@ -247,10 +321,28 @@ class MapService {
   // on the writer's publish work — the swap itself is a pointer store.
   std::atomic<std::shared_ptr<const MapSnapshot>> snapshot_;
 
-  mutable std::mutex staged_mu_;  // Guards staged_.
+  mutable std::mutex staged_mu_;  // Guards staged_ and WAL appends.
   std::vector<MapPatch> staged_;
 
-  std::mutex publish_mu_;  // Serializes Init/Publish (one writer at a time).
+  // Serializes Init/Publish/Recover (one writer at a time).
+  std::mutex publish_mu_;
+
+  // Durability layer; both null when Options::durability.data_dir is
+  // empty. WAL appends ride under staged_mu_ (append order == queue
+  // order); checkpoint writes ride under publish_mu_.
+  std::unique_ptr<SnapshotStore> snapshot_store_;
+  std::unique_ptr<PatchWal> wal_;
+  // Publishes since the last successful checkpoint; guarded by
+  // publish_mu_.
+  uint32_t publishes_since_checkpoint_ = 0;
+
+  // Recovery/durability instruments (null when metrics registry absent —
+  // never: the service always has a registry; resolved at construction).
+  Counter* recoveries_ = nullptr;
+  Counter* wal_replayed_ = nullptr;
+  Counter* wal_replay_apply_failures_ = nullptr;
+  LatencyHistogram* lat_recover_ = nullptr;
+  Gauge* published_unix_ms_gauge_ = nullptr;
 
   // DegradationEvents() as of the last Install; Health() compares the
   // live counters against it.

@@ -1,0 +1,79 @@
+#include "storage/fs_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hdmap {
+
+namespace {
+
+std::string ErrnoMessage(const char* op, const std::string& path) {
+  return std::string(op) + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Status WriteFileRaw(const std::string& path, std::string_view bytes,
+                    FsyncMode mode) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::Internal(ErrnoMessage("open", path));
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status err = Status::Internal(ErrnoMessage("write", path));
+      ::close(fd);
+      return err;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (mode == FsyncMode::kAlways && ::fsync(fd) != 0) {
+    Status err = Status::Internal(ErrnoMessage("fsync", path));
+    ::close(fd);
+    return err;
+  }
+  if (::close(fd) != 0) return Status::Internal(ErrnoMessage("close", path));
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileRaw(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::Internal(ErrnoMessage("open", path));
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status err = Status::Internal(ErrnoMessage("read", path));
+      ::close(fd);
+      return err;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status FsyncDir(const std::string& path, FsyncMode mode) {
+  if (mode == FsyncMode::kNever) return Status::Ok();
+  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::Internal(ErrnoMessage("open dir", path));
+  if (::fsync(fd) != 0) {
+    Status err = Status::Internal(ErrnoMessage("fsync dir", path));
+    ::close(fd);
+    return err;
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+}  // namespace hdmap

@@ -1,0 +1,36 @@
+#ifndef HDMAP_STORAGE_FS_UTIL_H_
+#define HDMAP_STORAGE_FS_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hdmap {
+
+/// When the durability layer calls fsync. Checkpoint/WAL *content* is
+/// identical either way; the mode only controls whether an acknowledged
+/// write is guaranteed to survive a power loss (kAlways) or merely a
+/// process crash (kNever — the bytes sit in the page cache).
+enum class FsyncMode {
+  kAlways,  ///< fsync every durable write before acknowledging it.
+  kNever,   ///< Skip fsync (tests/benches; still crash-consistent).
+};
+
+/// Writes `bytes` to `path` (create/truncate), fsyncing per `mode` before
+/// close. Not atomic on its own — checkpoint atomicity comes from writing
+/// into a temp directory and renaming it into place.
+Status WriteFileRaw(const std::string& path, std::string_view bytes,
+                    FsyncMode mode);
+
+/// Reads the whole file at `path`. kNotFound when it does not exist.
+Result<std::string> ReadFileRaw(const std::string& path);
+
+/// fsyncs a directory so a rename/create/unlink inside it is durable.
+/// No-op under FsyncMode::kNever.
+Status FsyncDir(const std::string& path, FsyncMode mode);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_STORAGE_FS_UTIL_H_

@@ -1,0 +1,106 @@
+#ifndef HDMAP_STORAGE_PATCH_WAL_H_
+#define HDMAP_STORAGE_PATCH_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/map_patch.h"
+#include "storage/fs_util.h"
+
+namespace hdmap {
+
+/// Append-only write-ahead log of staged MapPatches: the bridge between
+/// "patch acknowledged" and "patch covered by a checkpoint". Each record
+/// is length-prefixed and CRC-protected, and its payload is the framed
+/// SerializePatch wire format — so a torn append (crash mid-write) or a
+/// scribbled tail is detected record-by-record at replay, and the intact
+/// prefix is still recovered:
+///
+///   u32 magic | u32 payload_len | u32 crc32(version_hint || payload)
+///   | u64 version_hint | payload
+///
+/// `version_hint` records the published snapshot version current when the
+/// patch was staged, letting recovery order replayed patches relative to
+/// a checkpoint it fell back to.
+///
+/// Thread safety: none. MapService serializes Append/Reset behind its
+/// staged-queue lock (keeping WAL order identical to queue order).
+class PatchWal {
+ public:
+  struct Options {
+    /// Log file path; parent directories are created on first append.
+    std::string path;
+    FsyncMode fsync = FsyncMode::kAlways;
+    /// Optional export of append/replay counters ("wal.*"). Must outlive
+    /// the log.
+    MetricsRegistry* metrics = nullptr;
+    /// Optional fault seam (sites below). Must outlive the log.
+    FaultInjector* fault_injector = nullptr;
+  };
+
+  /// Data-plane faults corrupt a record's bytes as they are appended
+  /// (modelling a torn or scribbled append that was still acknowledged);
+  /// kFailStatus fails the append before anything is written.
+  static constexpr const char* kAppendFaultSite = "wal.append";
+  /// Data-plane faults corrupt the log bytes as they are read back.
+  static constexpr const char* kReplayFaultSite = "wal.replay";
+
+  explicit PatchWal(Options options);
+  ~PatchWal();
+
+  PatchWal(const PatchWal&) = delete;
+  PatchWal& operator=(const PatchWal&) = delete;
+
+  /// Appends one record and fsyncs per FsyncMode before returning: once
+  /// this is OK, the patch survives a crash (it will be replayed).
+  Status Append(const MapPatch& patch, uint64_t version_hint);
+
+  struct ReplayedRecord {
+    MapPatch patch;
+    uint64_t version_hint = 0;
+  };
+  struct ReplayResult {
+    /// Intact records in append order.
+    std::vector<ReplayedRecord> records;
+    /// Torn/corrupt records detected and skipped (a torn tail counts as
+    /// one however many bytes it garbled).
+    size_t skipped_records = 0;
+    size_t bytes_scanned = 0;
+  };
+
+  /// Scans the whole log, returning every intact record and counting the
+  /// damaged ones (also into "wal.replay_skipped"). A missing log file is
+  /// an empty result, not an error. Never fails on content — corruption
+  /// is data to report, not an error to propagate.
+  Result<ReplayResult> Replay() const;
+
+  /// Truncates the log to empty (after a checkpoint covered its records)
+  /// and fsyncs the truncation.
+  Status Reset();
+
+  /// Current log size on disk; 0 when the file does not exist.
+  uint64_t SizeBytes() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Status EnsureOpen();
+
+  Options options_;
+  int fd_ = -1;
+  Counter* appends_ = nullptr;
+  Counter* append_failures_ = nullptr;
+  Counter* replay_skipped_ = nullptr;
+  Counter* resets_ = nullptr;
+  Gauge* bytes_gauge_ = nullptr;
+  LatencyHistogram* lat_append_ = nullptr;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_STORAGE_PATCH_WAL_H_

@@ -1,8 +1,11 @@
 #include "service/map_service.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/serialization.h"
@@ -363,6 +366,318 @@ TEST(MapServiceFaultTest, StrictReadsFailInsteadOfDegrading) {
                 ->value(),
             0u);
   EXPECT_EQ(service.Health(), ServiceHealth::kDegraded);
+}
+
+// --- Durability & recovery ---
+
+namespace fs = std::filesystem;
+
+class ScopedDataDir {
+ public:
+  explicit ScopedDataDir(const std::string& tag) {
+    path_ = fs::path(::testing::TempDir()) /
+            ("hdmap_service_durability_" + tag + "_" +
+             std::to_string(::getpid()));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScopedDataDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+  fs::path path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+MapService::Options DurableOptions(const std::string& data_dir) {
+  MapService::Options opt;
+  opt.tile_store.tile_size_m = 100.0;
+  opt.durability.data_dir = data_dir;
+  // Tests hammer many tiny checkpoints; skipping fsync keeps them fast
+  // without changing any code path under test.
+  opt.durability.fsync = FsyncMode::kNever;
+  return opt;
+}
+
+size_t CountCheckpoints(const std::string& data_dir) {
+  fs::path root = fs::path(data_dir) / "checkpoints";
+  if (!fs::exists(root)) return 0;
+  size_t n = 0;
+  for (const auto& entry : fs::directory_iterator(root)) {
+    if (entry.is_directory() &&
+        entry.path().filename().string().rfind("v", 0) == 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(MapServiceDurabilityTest, NonDurableServiceTouchesNoDisk) {
+  MapService service(SmallTileOptions());
+  EXPECT_FALSE(service.durable());
+  ASSERT_TRUE(service.Init(StraightRoad(300.0)).ok());
+  MapPatch patch;
+  patch.moved_landmarks.push_back(
+      {FirstLandmarkId(service.snapshot()->map), {1, 2, 3}});
+  EXPECT_TRUE(service.StagePatch(patch).ok());
+  EXPECT_TRUE(service.Publish().ok());
+}
+
+TEST(MapServiceDurabilityTest, InitBootstrapsCheckpointAndEmptyWal) {
+  ScopedDataDir dir("bootstrap");
+  MapService service(DurableOptions(dir.str()));
+  EXPECT_TRUE(service.durable());
+  ASSERT_TRUE(service.Init(StraightRoad(300.0)).ok());
+  EXPECT_EQ(CountCheckpoints(dir.str()), 1u);
+  // Nothing staged yet, so the rewritten WAL is empty.
+  EXPECT_EQ(
+      service.metrics().GetGauge("wal.size_bytes")->value(), 0.0);
+}
+
+TEST(MapServiceDurabilityTest, RestartRecoversPublishedState) {
+  ScopedDataDir dir("restart");
+  ElementId sign = 0;
+  Vec3 new_pos;
+  std::map<uint64_t, std::string> published_bytes;
+  {
+    MapService service(DurableOptions(dir.str()));
+    ASSERT_TRUE(service.Init(StraightRoad(300.0)).ok());
+    sign = FirstLandmarkId(service.snapshot()->map);
+    new_pos =
+        service.snapshot()->map.FindLandmark(sign)->position + Vec3{5, 0, 0};
+    MapPatch patch;
+    patch.moved_landmarks.push_back({sign, new_pos});
+    ASSERT_TRUE(service.ApplyPatch(patch).ok());
+    EXPECT_EQ(service.version(), 2u);
+    published_bytes = service.snapshot()->tiles.raw_tiles();
+  }  // "Crash": the service goes away, only the data_dir survives.
+
+  MapService revived(DurableOptions(dir.str()));
+  // The bootstrap map is ignored: durable state outranks it.
+  ASSERT_TRUE(revived.Init(StraightRoad(100.0)).ok());
+  EXPECT_EQ(revived.version(), 2u);
+  EXPECT_EQ(revived.snapshot()->map.FindLandmark(sign)->position, new_pos);
+  // Byte-exact: recovery re-serves exactly the published tiles.
+  EXPECT_EQ(revived.snapshot()->tiles.raw_tiles(), published_bytes);
+  // A clean recovery is not a degradation.
+  EXPECT_EQ(revived.Health(), ServiceHealth::kServing);
+  EXPECT_EQ(revived.metrics().GetCounter("storage.recoveries")->value(), 1u);
+  // Age is continuous across the restart (back-dated from the persisted
+  // wall-clock stamp), not reset to zero-at-boot.
+  EXPECT_GE(revived.SnapshotAgeSeconds(), 0.0);
+  // And it keeps serving + publishing.
+  ASSERT_TRUE(
+      revived.GetRegion(revived.snapshot()->map.BoundingBox()).ok());
+  MapPatch more;
+  more.moved_landmarks.push_back({sign, new_pos + Vec3{1, 0, 0}});
+  ASSERT_TRUE(revived.ApplyPatch(more).ok());
+  EXPECT_EQ(revived.version(), 3u);
+}
+
+TEST(MapServiceDurabilityTest, AckedUnpublishedPatchSurvivesRestart) {
+  ScopedDataDir dir("staged");
+  ElementId sign = 0;
+  Vec3 new_pos;
+  {
+    MapService service(DurableOptions(dir.str()));
+    ASSERT_TRUE(service.Init(StraightRoad(300.0)).ok());
+    sign = FirstLandmarkId(service.snapshot()->map);
+    new_pos =
+        service.snapshot()->map.FindLandmark(sign)->position + Vec3{2, 2, 0};
+    MapPatch patch;
+    patch.moved_landmarks.push_back({sign, new_pos});
+    // Acked (WAL-fsynced) but never published.
+    ASSERT_TRUE(service.StagePatch(patch).ok());
+  }
+
+  MapService revived(DurableOptions(dir.str()));
+  ASSERT_TRUE(revived.Init(HdMap()).ok());
+  // The replayed patch folds into one recovered publish past v1.
+  EXPECT_EQ(revived.version(), 2u);
+  EXPECT_EQ(revived.snapshot()->map.FindLandmark(sign)->position, new_pos);
+  EXPECT_EQ(revived.metrics().GetCounter("wal.replayed_records")->value(),
+            1u);
+  // Recovery re-checkpointed, so a second restart replays nothing and
+  // lands on the same state (recovery is idempotent).
+  auto recovered_bytes = revived.snapshot()->tiles.raw_tiles();
+  MapService again(DurableOptions(dir.str()));
+  ASSERT_TRUE(again.Init(HdMap()).ok());
+  EXPECT_EQ(again.version(), 2u);
+  EXPECT_EQ(again.snapshot()->tiles.raw_tiles(), recovered_bytes);
+  EXPECT_EQ(again.metrics().GetCounter("wal.replayed_records")->value(), 0u);
+}
+
+TEST(MapServiceDurabilityTest, UncheckpointedPublishSurvivesViaWal) {
+  ScopedDataDir dir("wal_only");
+  ElementId sign = 0;
+  Vec3 final_pos;
+  {
+    MapService::Options opt = DurableOptions(dir.str());
+    // Effectively "never checkpoint after bootstrap": every publish
+    // survives through the WAL alone.
+    opt.durability.checkpoint_every_n_publishes = 1000;
+    MapService service(opt);
+    ASSERT_TRUE(service.Init(StraightRoad(300.0)).ok());
+    sign = FirstLandmarkId(service.snapshot()->map);
+    Vec3 pos = service.snapshot()->map.FindLandmark(sign)->position;
+    for (int i = 0; i < 3; ++i) {
+      pos = pos + Vec3{1, 0, 0};
+      MapPatch patch;
+      patch.moved_landmarks.push_back({sign, pos});
+      ASSERT_TRUE(service.ApplyPatch(patch).ok());
+    }
+    final_pos = pos;
+    EXPECT_EQ(service.version(), 4u);
+    EXPECT_EQ(CountCheckpoints(dir.str()), 1u);  // Only the bootstrap.
+  }
+
+  MapService revived(DurableOptions(dir.str()));
+  ASSERT_TRUE(revived.Init(HdMap()).ok());
+  EXPECT_EQ(revived.snapshot()->map.FindLandmark(sign)->position, final_pos);
+  EXPECT_EQ(revived.metrics().GetCounter("wal.replayed_records")->value(),
+            3u);
+  EXPECT_GE(revived.version(), 4u);
+}
+
+TEST(MapServiceDurabilityTest, CheckpointEveryNSkipsIntermediatePublishes) {
+  ScopedDataDir dir("every_n");
+  MapService::Options opt = DurableOptions(dir.str());
+  opt.durability.checkpoint_every_n_publishes = 2;
+  opt.durability.retention = 10;
+  MapService service(opt);
+  ASSERT_TRUE(service.Init(StraightRoad(300.0)).ok());
+  EXPECT_EQ(CountCheckpoints(dir.str()), 1u);
+  ElementId sign = FirstLandmarkId(service.snapshot()->map);
+
+  MapPatch patch;
+  patch.moved_landmarks.push_back(
+      {sign, service.snapshot()->map.FindLandmark(sign)->position});
+  ASSERT_TRUE(service.ApplyPatch(patch).ok());   // Publish 1: no checkpoint.
+  EXPECT_EQ(CountCheckpoints(dir.str()), 1u);
+  EXPECT_GT(service.metrics().GetGauge("wal.size_bytes")->value(), 0.0);
+  ASSERT_TRUE(service.ApplyPatch(patch).ok());   // Publish 2: checkpoint.
+  EXPECT_EQ(CountCheckpoints(dir.str()), 2u);
+  EXPECT_EQ(service.metrics().GetGauge("wal.size_bytes")->value(), 0.0);
+}
+
+TEST(MapServiceDurabilityTest, TornNewestCheckpointFallsBackDegraded) {
+  ScopedDataDir dir("fallback");
+  {
+    MapService service(DurableOptions(dir.str()));
+    ASSERT_TRUE(service.Init(StraightRoad(300.0)).ok());
+    MapPatch patch;
+    ElementId sign = FirstLandmarkId(service.snapshot()->map);
+    patch.moved_landmarks.push_back(
+        {sign,
+         service.snapshot()->map.FindLandmark(sign)->position + Vec3{9, 0, 0}});
+    ASSERT_TRUE(service.ApplyPatch(patch).ok());  // Checkpoint v2.
+  }
+  // Tear the newest checkpoint's manifest (the zero-padded version in the
+  // directory name sorts lexically).
+  fs::path newest;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dir.str()) / "checkpoints")) {
+    if (newest.empty() || entry.path().filename() > newest.filename()) {
+      newest = entry.path();
+    }
+  }
+  ASSERT_FALSE(newest.empty());
+  fs::path v2_manifest = newest / "manifest.bin";
+  ASSERT_TRUE(fs::exists(v2_manifest));
+  fs::resize_file(v2_manifest, fs::file_size(v2_manifest) / 2);
+
+  MapService revived(DurableOptions(dir.str()));
+  ASSERT_TRUE(revived.Init(HdMap()).ok());
+  // Fell back to the bootstrap checkpoint and said so.
+  EXPECT_EQ(revived.version(), 1u);
+  EXPECT_EQ(revived.Health(), ServiceHealth::kDegraded);
+  EXPECT_EQ(
+      revived.metrics().GetCounter("storage.checkpoints_invalid")->value(),
+      1u);
+  EXPECT_GE(
+      revived.metrics().GetCounter("map_service.errors{DATA_LOSS}")->value(),
+      1u);
+  // Degraded, but serving: a fresh publish clears the flag.
+  MapPatch patch;
+  ElementId sign = FirstLandmarkId(revived.snapshot()->map);
+  patch.moved_landmarks.push_back(
+      {sign, revived.snapshot()->map.FindLandmark(sign)->position});
+  ASSERT_TRUE(revived.ApplyPatch(patch).ok());
+  EXPECT_EQ(revived.Health(), ServiceHealth::kServing);
+}
+
+TEST(MapServiceDurabilityTest, TotalCheckpointLossFallsBackToBootstrapMap) {
+  ScopedDataDir dir("total_loss");
+  {
+    MapService service(DurableOptions(dir.str()));
+    ASSERT_TRUE(service.Init(StraightRoad(300.0)).ok());
+  }
+  // Destroy every checkpoint's manifest.
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dir.str()) / "checkpoints")) {
+    fs::remove(entry.path() / "manifest.bin");
+  }
+  MapService revived(DurableOptions(dir.str()));
+  ASSERT_TRUE(revived.Init(StraightRoad(150.0)).ok());
+  // Served from the bootstrap map, flagged degraded, and re-persisted.
+  EXPECT_EQ(revived.version(), 1u);
+  EXPECT_EQ(revived.Health(), ServiceHealth::kDegraded);
+  MapService again(DurableOptions(dir.str()));
+  ASSERT_TRUE(again.Init(HdMap()).ok());
+  EXPECT_EQ(again.snapshot()->map.lanelets().size(),
+            revived.snapshot()->map.lanelets().size());
+}
+
+TEST(MapServiceDurabilityTest, WalAppendFailureRejectsTheAck) {
+  ScopedDataDir dir("wal_fail");
+  FaultInjector faults(3);
+  MapService::Options opt = DurableOptions(dir.str());
+  opt.fault_injector = &faults;
+  MapService service(opt);
+  ASSERT_TRUE(service.Init(StraightRoad(300.0)).ok());
+
+  faults.AddPolicy({PatchWal::kAppendFaultSite, FaultKind::kFailStatus, 1.0,
+                    StatusCode::kInternal});
+  MapPatch patch;
+  patch.moved_landmarks.push_back(
+      {FirstLandmarkId(service.snapshot()->map), {1, 2, 3}});
+  EXPECT_EQ(service.StagePatch(patch).code(), StatusCode::kInternal);
+  // Not acked => not staged: the caller knows to retry.
+  EXPECT_EQ(service.NumStagedPatches(), 0u);
+  faults.ClearPolicies();
+  EXPECT_TRUE(service.StagePatch(patch).ok());
+  EXPECT_EQ(service.NumStagedPatches(), 1u);
+}
+
+TEST(MapServiceDurabilityTest, TornWalRecordIsSkippedAndCounted) {
+  ScopedDataDir dir("wal_torn");
+  ElementId sign = 0;
+  {
+    FaultInjector faults(11);
+    MapService::Options opt = DurableOptions(dir.str());
+    opt.fault_injector = &faults;
+    MapService service(opt);
+    ASSERT_TRUE(service.Init(StraightRoad(300.0)).ok());
+    sign = FirstLandmarkId(service.snapshot()->map);
+    MapPatch good;
+    good.moved_landmarks.push_back(
+        {sign, service.snapshot()->map.FindLandmark(sign)->position});
+    ASSERT_TRUE(service.StagePatch(good).ok());
+    // The second acked record is scribbled on its way to disk.
+    faults.AddPolicy({PatchWal::kAppendFaultSite, FaultKind::kTornWrite,
+                      1.0});
+    ASSERT_TRUE(service.StagePatch(good).ok());
+  }
+
+  MapService revived(DurableOptions(dir.str()));
+  ASSERT_TRUE(revived.Init(HdMap()).ok());
+  EXPECT_EQ(revived.metrics().GetCounter("wal.replayed_records")->value(),
+            1u);
+  EXPECT_GE(revived.metrics().GetCounter("wal.replay_skipped")->value(), 1u);
+  EXPECT_EQ(revived.Health(), ServiceHealth::kDegraded);
 }
 
 }  // namespace
