@@ -117,8 +117,37 @@ Status MapService::Init(HdMap initial_map) {
   snap->publish_time = std::chrono::steady_clock::now();
   snap->published_unix_ms = WallClockUnixMs();
   Install(snap);
-  if (durable_state_lost) RecordError(StatusCode::kDataLoss);
-  if (durable()) {
+  bool wal_unreadable = false;
+  if (durable_state_lost) {
+    RecordError(StatusCode::kDataLoss);
+    // The WAL may still hold intact acked records, but they were staged
+    // against state lost with the checkpoints and cannot apply to the
+    // bootstrap map. Count each one as lost and set the bytes aside
+    // (patches.wal.lost) for offline salvage, rather than letting the
+    // bootstrap checkpoint's WAL trim erase them silently.
+    auto orphaned = wal_->Replay();
+    if (orphaned.ok()) {
+      size_t lost = orphaned->records.size() + orphaned->skipped_records;
+      for (size_t i = 0; i < lost; ++i) RecordError(StatusCode::kDataLoss);
+      if (lost > 0) {
+        Status archived = wal_->Archive();
+        if (!archived.ok()) {
+          // Could not set the records aside; keep the file as-is (and
+          // skip the bootstrap checkpoint whose trim would replace it).
+          RecordError(archived.code());
+          wal_unreadable = true;
+        }
+      }
+    } else {
+      // The WAL file itself was unreadable (an I/O error, not content
+      // damage). Leave it in place — a retry after the fault clears may
+      // still recover it — which also rules out the bootstrap
+      // checkpoint, whose WAL trim would replace the file.
+      RecordError(orphaned.status().code());
+      wal_unreadable = true;
+    }
+  }
+  if (durable() && !wal_unreadable) {
     // Bootstrap checkpoint: a crash right after Init already recovers.
     Status ck = CheckpointLocked(*snap);
     if (ck.ok()) publishes_since_checkpoint_ = 0;
@@ -321,21 +350,16 @@ Status MapService::CheckpointLocked(const MapSnapshot& snap) {
     return written;
   }
   // The checkpoint now covers every record the WAL held for published
-  // patches; rewrite it down to the patches still waiting in the queue
-  // (staged during or after this publish), so nothing acked is ever
-  // outside (checkpoint ∪ WAL).
+  // patches; atomically rewrite it down to the patches still waiting in
+  // the queue (staged during or after this publish), so nothing acked is
+  // ever outside (checkpoint ∪ WAL). The rewrite lands via temp-file +
+  // rename: a crash or I/O error mid-trim leaves the old log — a
+  // superset of what is needed — instead of losing acked records.
   std::lock_guard<std::mutex> lock(staged_mu_);
-  Status reset = wal_->Reset();
-  if (!reset.ok()) {
-    RecordError(reset.code());
-    return reset;
-  }
-  for (const MapPatch& patch : staged_) {
-    Status appended = wal_->Append(patch, snap.version);
-    if (!appended.ok()) {
-      RecordError(appended.code());
-      return appended;
-    }
+  Status rewritten = wal_->Rewrite(staged_, snap.version);
+  if (!rewritten.ok()) {
+    RecordError(rewritten.code());
+    return rewritten;
   }
   return Status::Ok();
 }
@@ -367,15 +391,23 @@ Status MapService::RecoverLocked() {
   uint64_t max_hint = 0;
   HdMap map = std::move(recovered.map);
   auto replay = wal_->Replay();
-  if (replay.ok()) {
+  bool wal_readable = replay.ok();
+  if (wal_readable) {
     wal_skipped = replay->skipped_records;
     for (PatchWal::ReplayedRecord& record : replay->records) {
-      Status patched = hdmap::ApplyPatch(record.patch, &map);
+      // All-or-nothing per record: a patch staged against state lost
+      // with a skipped newer checkpoint may fail partway through
+      // ApplyPatch, so it is applied to a scratch copy — either the
+      // whole record lands or none of it does, never a half-applied
+      // combination that no version ever served.
+      HdMap trial = map;
+      Status patched = hdmap::ApplyPatch(record.patch, &trial);
       if (!patched.ok()) {
         ++wal_skipped;
         wal_replay_apply_failures_->Increment();
         continue;
       }
+      map = std::move(trial);
       ++applied;
       max_hint = std::max(max_hint, record.version_hint);
     }
@@ -419,8 +451,11 @@ Status MapService::RecoverLocked() {
 
   // Re-protect: fold the replayed WAL into a checkpoint of the recovered
   // state, so the next crash replays nothing. Failure is non-fatal — the
-  // old checkpoint plus the existing WAL still cover everything.
-  if (applied > 0 || wal_skipped > 0) {
+  // old checkpoint plus the existing WAL still cover everything. Skipped
+  // when the WAL was unreadable (a transient I/O error, not content
+  // damage): the checkpoint's WAL trim would destroy records a retry
+  // might still recover.
+  if (wal_readable && (applied > 0 || wal_skipped > 0)) {
     Status ck = CheckpointLocked(*snap);
     if (ck.ok()) publishes_since_checkpoint_ = 0;
   }

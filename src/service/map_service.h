@@ -160,7 +160,10 @@ class MapService {
   /// A fresh data_dir is bootstrapped by checkpointing `initial_map` as
   /// version 1 before Init returns. If durable state exists but no
   /// checkpoint validates (total loss), Init falls back to bootstrapping
-  /// from `initial_map` and records the loss (Health() == kDegraded).
+  /// from `initial_map` and records the loss (Health() == kDegraded);
+  /// WAL records orphaned by the loss (their base state is gone) are
+  /// each counted as a kDataLoss event and the log is set aside as
+  /// `patches.wal.lost` for offline salvage instead of being erased.
   Status Init(HdMap initial_map);
 
   /// Restores serving state from Options::durability.data_dir: loads the
@@ -281,8 +284,10 @@ class MapService {
   /// Recover() body; caller holds publish_mu_.
   Status RecoverLocked();
 
-  /// Checkpoints `snap` and, on success, rewrites the WAL down to the
-  /// still-staged (unpublished) patches. Caller holds publish_mu_.
+  /// Checkpoints `snap` and, on success, atomically rewrites the WAL
+  /// down to the still-staged (unpublished) patches (temp-file + rename:
+  /// a failed or interrupted trim leaves the old log intact). Caller
+  /// holds publish_mu_.
   Status CheckpointLocked(const MapSnapshot& snap);
 
   /// Bumps the total error counter plus the per-code one

@@ -55,6 +55,33 @@ Status PatchWal::EnsureOpen() {
   return Status::Ok();
 }
 
+std::string PatchWal::EncodeRecord(const MapPatch& patch,
+                                   uint64_t version_hint) const {
+  std::string payload = SerializePatch(patch);  // Already framed.
+  // The CRC covers version_hint || payload, split across buffers.
+  BufferWriter hint_bytes;
+  hint_bytes.WriteU64(version_hint);
+  uint32_t crc = Crc32(hint_bytes.buffer());
+  crc = Crc32(payload, crc);
+  BufferWriter record;
+  record.WriteU32(kRecordMagic);
+  record.WriteU32(static_cast<uint32_t>(payload.size()));
+  record.WriteU32(crc);
+  record.WriteU64(version_hint);
+  std::string bytes = record.Release();
+  bytes.append(payload);
+
+  std::string corrupted;
+  if (options_.fault_injector != nullptr &&
+      options_.fault_injector->MaybeCorrupt(kAppendFaultSite, bytes,
+                                            &corrupted)) {
+    // A corrupted record still acks: it models bytes mangled on their
+    // way to disk, which replay must detect and skip.
+    bytes = std::move(corrupted);
+  }
+  return bytes;
+}
+
 Status PatchWal::Append(const MapPatch& patch, uint64_t version_hint) {
   ScopedTimer timer(lat_append_);
   Status result = [&]() -> Status {
@@ -64,41 +91,29 @@ Status PatchWal::Append(const MapPatch& patch, uint64_t version_hint) {
     }
     HDMAP_RETURN_IF_ERROR(EnsureOpen());
 
-    std::string payload = SerializePatch(patch);  // Already framed.
-    // The CRC covers version_hint || payload, split across buffers.
-    BufferWriter hint_bytes;
-    hint_bytes.WriteU64(version_hint);
-    uint32_t crc = Crc32(hint_bytes.buffer());
-    crc = Crc32(payload, crc);
-    BufferWriter record;
-    record.WriteU32(kRecordMagic);
-    record.WriteU32(static_cast<uint32_t>(payload.size()));
-    record.WriteU32(crc);
-    record.WriteU64(version_hint);
-    std::string bytes = record.Release();
-    bytes.append(payload);
-
-    std::string_view out = bytes;
-    std::string corrupted;
-    if (faults != nullptr &&
-        faults->MaybeCorrupt(kAppendFaultSite, out, &corrupted)) {
-      // A corrupted append still acks: it models bytes mangled on their
-      // way to disk, which replay must detect and skip.
-      out = corrupted;
-    }
+    std::string bytes = EncodeRecord(patch, version_hint);
+    // Record boundary to roll back to: a failed write (ENOSPC/EIO midway)
+    // or fsync must not leave a partial record for later successful
+    // appends to land after — replay would lose its alignment at the torn
+    // bytes and discard every record behind them.
+    off_t record_start = ::lseek(fd_, 0, SEEK_END);
+    auto fail = [&](const char* op) {
+      Status err = Status::Internal(std::string(op) + " " + options_.path +
+                                    ": " + std::strerror(errno));
+      if (record_start >= 0) (void)::ftruncate(fd_, record_start);
+      return err;
+    };
     size_t off = 0;
-    while (off < out.size()) {
-      ssize_t n = ::write(fd_, out.data() + off, out.size() - off);
+    while (off < bytes.size()) {
+      ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
       if (n < 0) {
         if (errno == EINTR) continue;
-        return Status::Internal("write " + options_.path + ": " +
-                                std::strerror(errno));
+        return fail("write");
       }
       off += static_cast<size_t>(n);
     }
     if (options_.fsync == FsyncMode::kAlways && ::fsync(fd_) != 0) {
-      return Status::Internal("fsync " + options_.path + ": " +
-                              std::strerror(errno));
+      return fail("fsync");
     }
     return Status::Ok();
   }();
@@ -175,6 +190,74 @@ Result<PatchWal::ReplayResult> PatchWal::Replay() const {
   out.skipped_records = skipped;
   if (replay_skipped_ != nullptr) replay_skipped_->Increment(skipped);
   return out;
+}
+
+Status PatchWal::Rewrite(const std::vector<MapPatch>& patches,
+                         uint64_t version_hint) {
+  if (options_.path.empty()) {
+    return Status::FailedPrecondition("PatchWal has no path");
+  }
+  FaultInjector* faults = options_.fault_injector;
+  if (faults != nullptr) {
+    HDMAP_RETURN_IF_ERROR(faults->MaybeFail(kAppendFaultSite));
+  }
+  std::string bytes;
+  for (const MapPatch& patch : patches) {
+    bytes.append(EncodeRecord(patch, version_hint));
+  }
+
+  // Temp-file + rename: the log flips from old content to new in one
+  // atomic step, so a crash or failure anywhere below leaves the old
+  // records untouched.
+  std::error_code ec;
+  std::filesystem::path parent =
+      std::filesystem::path(options_.path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::string tmp = options_.path + ".tmp";
+  Status written = WriteFileRaw(tmp, bytes, options_.fsync);
+  if (!written.ok()) {
+    std::filesystem::remove(tmp, ec);
+    return written;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);  // The next Append reopens the renamed-in file.
+    fd_ = -1;
+  }
+  std::filesystem::rename(tmp, options_.path, ec);
+  if (ec) {
+    Status err =
+        Status::Internal("rename " + tmp + ": " + ec.message());
+    std::filesystem::remove(tmp, ec);
+    return err;
+  }
+  if (!parent.empty()) {
+    HDMAP_RETURN_IF_ERROR(FsyncDir(parent.string(), options_.fsync));
+  }
+  if (resets_ != nullptr) resets_->Increment();
+  if (bytes_gauge_ != nullptr) {
+    bytes_gauge_->Set(static_cast<double>(bytes.size()));
+  }
+  return Status::Ok();
+}
+
+Status PatchWal::Archive() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  std::error_code ec;
+  if (!std::filesystem::exists(options_.path, ec)) return Status::Ok();
+  std::filesystem::rename(options_.path, options_.path + ".lost", ec);
+  if (ec) {
+    return Status::Internal("archive " + options_.path + ": " + ec.message());
+  }
+  std::filesystem::path parent =
+      std::filesystem::path(options_.path).parent_path();
+  if (!parent.empty()) {
+    HDMAP_RETURN_IF_ERROR(FsyncDir(parent.string(), options_.fsync));
+  }
+  if (bytes_gauge_ != nullptr) bytes_gauge_->Set(0.0);
+  return Status::Ok();
 }
 
 Status PatchWal::Reset() {

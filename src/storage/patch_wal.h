@@ -57,8 +57,27 @@ class PatchWal {
   PatchWal& operator=(const PatchWal&) = delete;
 
   /// Appends one record and fsyncs per FsyncMode before returning: once
-  /// this is OK, the patch survives a crash (it will be replayed).
+  /// this is OK, the patch survives a crash (it will be replayed). On a
+  /// failed write or fsync the log is truncated back to the record
+  /// boundary it started at, so a mid-append I/O error never leaves torn
+  /// bytes for later successful appends to land after.
   Status Append(const MapPatch& patch, uint64_t version_hint);
+
+  /// Atomically replaces the whole log with one record per patch (all
+  /// stamped `version_hint`): the new content is written to a temp file,
+  /// fsynced per FsyncMode, renamed over the log, and the directory
+  /// fsynced. Used after a checkpoint to trim the log down to the
+  /// still-unpublished patches — a crash or I/O error at any point leaves
+  /// the old log fully intact (a superset of what is needed), never a
+  /// partial rewrite.
+  Status Rewrite(const std::vector<MapPatch>& patches, uint64_t version_hint);
+
+  /// Sets the log aside as "<path>.lost" (replacing any previous one) for
+  /// offline salvage, leaving an empty log behind. Used when the log's
+  /// records can no longer be applied (their base state is gone) but
+  /// silently erasing acked bytes would be worse. No-op if the log does
+  /// not exist.
+  Status Archive();
 
   struct ReplayedRecord {
     MapPatch patch;
@@ -90,6 +109,10 @@ class PatchWal {
 
  private:
   Status EnsureOpen();
+
+  /// One wire record (header + framed patch payload), with data-plane
+  /// append faults already applied.
+  std::string EncodeRecord(const MapPatch& patch, uint64_t version_hint) const;
 
   Options options_;
   int fd_ = -1;

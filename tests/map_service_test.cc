@@ -631,6 +631,69 @@ TEST(MapServiceDurabilityTest, TotalCheckpointLossFallsBackToBootstrapMap) {
             revived.snapshot()->map.lanelets().size());
 }
 
+TEST(MapServiceDurabilityTest, TotalLossPreservesOrphanedWalRecords) {
+  ScopedDataDir dir("total_loss_wal");
+  {
+    MapService service(DurableOptions(dir.str()));
+    ASSERT_TRUE(service.Init(StraightRoad(300.0)).ok());
+    MapPatch patch;
+    ElementId sign = FirstLandmarkId(service.snapshot()->map);
+    patch.moved_landmarks.push_back(
+        {sign, service.snapshot()->map.FindLandmark(sign)->position});
+    // Acked (WAL-fsynced) but never published nor checkpointed.
+    ASSERT_TRUE(service.StagePatch(patch).ok());
+  }
+  // Destroy every checkpoint: the WAL record's base state is gone.
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dir.str()) / "checkpoints")) {
+    fs::remove(entry.path() / "manifest.bin");
+  }
+
+  MapService revived(DurableOptions(dir.str()));
+  ASSERT_TRUE(revived.Init(StraightRoad(150.0)).ok());
+  EXPECT_EQ(revived.version(), 1u);
+  EXPECT_EQ(revived.Health(), ServiceHealth::kDegraded);
+  // The orphaned record is counted on top of the checkpoint loss, not
+  // silently folded into a single event...
+  EXPECT_GE(
+      revived.metrics().GetCounter("map_service.errors{DATA_LOSS}")->value(),
+      2u);
+  // ...and its bytes are set aside for salvage, not erased by the
+  // bootstrap checkpoint's WAL trim.
+  EXPECT_TRUE(fs::exists(fs::path(dir.str()) / "wal" / "patches.wal.lost"));
+  EXPECT_EQ(revived.metrics().GetGauge("wal.size_bytes")->value(), 0.0);
+  EXPECT_EQ(CountCheckpoints(dir.str()), 1u);  // Bootstrap re-persisted.
+}
+
+TEST(MapServiceDurabilityTest, UnappliableWalRecordLeavesNoPartialState) {
+  ScopedDataDir dir("wal_half_apply");
+  constexpr ElementId kGhost = 987654;  // Never existed in any version.
+  constexpr ElementId kExtra = 777777;
+  {
+    MapService service(DurableOptions(dir.str()));
+    ASSERT_TRUE(service.Init(StraightRoad(300.0)).ok());
+    // One record whose adds succeed but whose move then fails: replay
+    // must apply all of it or none of it.
+    MapPatch patch;
+    Landmark extra;
+    extra.id = kExtra;
+    extra.position = {5.0, -4.0, 1.0};
+    patch.added_landmarks.push_back(extra);
+    patch.moved_landmarks.push_back({kGhost, {1, 2, 3}});
+    ASSERT_TRUE(service.StagePatch(patch).ok());
+  }
+
+  MapService revived(DurableOptions(dir.str()));
+  ASSERT_TRUE(revived.Init(HdMap()).ok());
+  // The record was skipped whole: the added landmark from its first half
+  // must not have leaked into the served snapshot.
+  EXPECT_EQ(revived.snapshot()->map.FindLandmark(kExtra), nullptr);
+  EXPECT_EQ(revived.version(), 1u);
+  EXPECT_EQ(
+      revived.metrics().GetCounter("wal.replay_apply_failures")->value(), 1u);
+  EXPECT_EQ(revived.Health(), ServiceHealth::kDegraded);
+}
+
 TEST(MapServiceDurabilityTest, WalAppendFailureRejectsTheAck) {
   ScopedDataDir dir("wal_fail");
   FaultInjector faults(3);

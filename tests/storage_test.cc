@@ -364,6 +364,90 @@ TEST(PatchWalTest, ResetTruncatesAndLogStaysUsable) {
   EXPECT_EQ(replay->records[0].version_hint, 5u);
 }
 
+TEST(PatchWalTest, RewriteReplacesLogAtomically) {
+  ScopedTempDir dir("wal_rewrite");
+  std::string path = dir.str() + "/patches.wal";
+  MetricsRegistry metrics;
+  PatchWal wal({.path = path,
+                .fsync = FsyncMode::kNever,
+                .metrics = &metrics});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(wal.Append(MovePatch(1 + i, {1.0 * i, 0, 0}), 1 + i).ok());
+  }
+
+  std::vector<MapPatch> still_staged = {MovePatch(9, {9, 9, 9})};
+  ASSERT_TRUE(wal.Rewrite(still_staged, 7).ok());
+  EXPECT_FALSE(fs::exists(path + ".tmp"));  // No temp-file leftover.
+  EXPECT_EQ(metrics.GetGauge("wal.size_bytes")->value(),
+            static_cast<double>(wal.SizeBytes()));
+
+  auto replay = wal.Replay();
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->skipped_records, 0u);
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records[0].version_hint, 7u);
+  EXPECT_EQ(SerializePatch(replay->records[0].patch),
+            SerializePatch(still_staged[0]));
+
+  // The log keeps working after a rewrite (appends land after the
+  // rewritten content).
+  ASSERT_TRUE(wal.Append(MovePatch(2, {2, 2, 2}), 8).ok());
+  auto replay2 = wal.Replay();
+  ASSERT_TRUE(replay2.ok());
+  ASSERT_EQ(replay2->records.size(), 2u);
+  EXPECT_EQ(replay2->records[1].version_hint, 8u);
+}
+
+TEST(PatchWalTest, FailedRewriteLeavesOldLogIntact) {
+  ScopedTempDir dir("wal_rewrite_fail");
+  FaultInjector faults(17);
+  PatchWal wal({.path = dir.str() + "/patches.wal",
+                .fsync = FsyncMode::kNever,
+                .fault_injector = &faults});
+  ASSERT_TRUE(wal.Append(MovePatch(1, {1, 1, 1}), 1).ok());
+  ASSERT_TRUE(wal.Append(MovePatch(2, {2, 2, 2}), 2).ok());
+
+  faults.AddPolicy({PatchWal::kAppendFaultSite, FaultKind::kFailStatus, 1.0,
+                    StatusCode::kInternal});
+  EXPECT_EQ(wal.Rewrite({MovePatch(3, {3, 3, 3})}, 5).code(),
+            StatusCode::kInternal);
+  faults.ClearPolicies();
+
+  // The failed trim lost nothing: both old records still replay.
+  auto replay = wal.Replay();
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->skipped_records, 0u);
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[0].version_hint, 1u);
+  EXPECT_EQ(replay->records[1].version_hint, 2u);
+}
+
+TEST(PatchWalTest, ArchiveSetsLogAsideAndLogRestartsEmpty) {
+  ScopedTempDir dir("wal_archive");
+  std::string path = dir.str() + "/patches.wal";
+  PatchWal wal({.path = path, .fsync = FsyncMode::kNever});
+  ASSERT_TRUE(wal.Append(MovePatch(1, {1, 1, 1}), 4).ok());
+  ASSERT_TRUE(wal.Archive().ok());
+
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(path + ".lost"));
+  // The set-aside bytes are a readable log: salvage can replay them.
+  PatchWal lost({.path = path + ".lost", .fsync = FsyncMode::kNever});
+  auto salvage = lost.Replay();
+  ASSERT_TRUE(salvage.ok());
+  ASSERT_EQ(salvage->records.size(), 1u);
+  EXPECT_EQ(salvage->records[0].version_hint, 4u);
+
+  // The live log restarts empty and usable.
+  auto empty = wal.Replay();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->records.empty());
+  ASSERT_TRUE(wal.Append(MovePatch(2, {2, 2, 2}), 5).ok());
+  auto replay = wal.Replay();
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 1u);
+}
+
 TEST(PatchWalTest, InjectedTornAppendAcksButReplaySkips) {
   ScopedTempDir dir("wal_fault");
   MetricsRegistry metrics;
