@@ -17,8 +17,22 @@
 // blobs that corrupt (not of individual loads): a firing tile fires on
 // every load until a publish replaces its bytes.
 //
+// Observability hooks:
+//   --trace-out=FILE      enables the global TraceRecorder (1-in-8 head
+//                         sampling plus always-on error/slow capture) and
+//                         writes a Chrome trace_event JSON to FILE — load
+//                         it in https://ui.perfetto.dev. Degraded reads
+//                         appear as GetRegion roots nesting the failing
+//                         tile_store.decode span.
+//   --metrics-format=F    final metrics dump format: text (default),
+//                         prom (Prometheus exposition), or json.
+// The run always reports the service's recent structured events (with
+// trace ids) and a tracing-overhead probe: single-threaded GetRegion p50
+// with the recorder fully off vs enabled-but-unsampled.
+//
 // Usage: bench_e16_serving [--smoke] [--readers=N] [--seconds=S]
 //                          [--rate-hz=R] [--fault-pct=K]
+//                          [--trace-out=FILE] [--metrics-format=F]
 
 #include <atomic>
 #include <cstdio>
@@ -30,6 +44,7 @@
 
 #include "bench/bench_util.h"
 #include "common/statistics.h"
+#include "common/trace.h"
 #include "service/map_service.h"
 #include "tests/test_worlds.h"
 
@@ -103,10 +118,14 @@ int main(int argc, char** argv) {
   double seconds = 3.0;
   double rate_hz = 100.0;
   double fault_pct = 0.0;
+  std::string trace_out;
+  std::string metrics_format = "text";
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       readers = 2;
       seconds = 0.4;
+      smoke = true;
     } else if (std::strncmp(argv[i], "--readers=", 10) == 0) {
       readers = static_cast<size_t>(std::atoi(argv[i] + 10));
     } else if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
@@ -115,9 +134,19 @@ int main(int argc, char** argv) {
       rate_hz = std::atof(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--fault-pct=", 12) == 0) {
       fault_pct = std::atof(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--metrics-format=", 17) == 0) {
+      metrics_format = argv[i] + 17;
     }
   }
   const bool fault_mode = fault_pct > 0.0;
+  if (metrics_format != "text" && metrics_format != "prom" &&
+      metrics_format != "json") {
+    std::fprintf(stderr, "unknown --metrics-format=%s (text|prom|json)\n",
+                 metrics_format.c_str());
+    return 1;
+  }
 
   bench::PrintHeader(
       "E16", "snapshot serving under concurrent patch publishing",
@@ -152,6 +181,47 @@ int main(int argc, char** argv) {
 
   // The query box spans every marker (and several tile boundaries).
   Aabb box{{0.0, -10.0}, {400.0, 12.0}};
+
+  // Tracing-overhead probe: single-threaded GetRegion p50 with the
+  // recorder fully disabled (baseline) vs enabled with head sampling off
+  // (spans pay their clock/bookkeeping cost but record nothing). The
+  // acceptance bar is p50 within ~5% of baseline.
+  const int probe_iters = smoke ? 150 : 600;
+  auto probe_p50 = [&](int iters) {
+    std::vector<double> lat;
+    lat.reserve(static_cast<size_t>(iters));
+    for (int i = 0; i < iters; ++i) {
+      bench::Timer t;
+      (void)service.GetRegion(box);
+      lat.push_back(t.Seconds());
+    }
+    return Percentile(std::move(lat), 50);
+  };
+  TraceRecorder::Global().Configure(TraceRecorder::Options{});
+  (void)probe_p50(probe_iters / 3);  // Warm caches.
+  double p50_tracing_off = probe_p50(probe_iters);
+  {
+    TraceRecorder::Options probe_opts;
+    probe_opts.enabled = true;
+    probe_opts.sample_every_n = 0;  // Head sampling off.
+    probe_opts.slow_threshold_s = 0.0;
+    TraceRecorder::Global().Configure(probe_opts);
+  }
+  double p50_sampling_off = probe_p50(probe_iters);
+
+  // Main-load tracing: only when a trace file was requested. 1-in-8 head
+  // sampling keeps the ring representative without distorting latency;
+  // error and slow spans always record on top.
+  if (!trace_out.empty()) {
+    TraceRecorder::Options trace_opts;
+    trace_opts.enabled = true;
+    trace_opts.capacity = 16384;
+    trace_opts.sample_every_n = 8;
+    trace_opts.slow_threshold_s = 0.25;
+    TraceRecorder::Global().Configure(trace_opts);
+  } else {
+    TraceRecorder::Global().Configure(TraceRecorder::Options{});
+  }
 
   std::atomic<bool> stop{false};
   std::vector<ReaderResult> results(readers);
@@ -232,7 +302,63 @@ int main(int argc, char** argv) {
   bench::PrintRow("GetRegion p99", "low ms",
                   bench::Fmt("%.3f ms", Percentile(latencies, 99) * 1e3));
 
-  std::printf("\nmetrics registry:\n%s", registry.Render().c_str());
+  double overhead_pct =
+      p50_tracing_off > 0.0
+          ? 100.0 * (p50_sampling_off - p50_tracing_off) / p50_tracing_off
+          : 0.0;
+  bench::PrintRow("p50 tracing disabled", "baseline",
+                  bench::Fmt("%.3f ms", p50_tracing_off * 1e3));
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f ms (%+.1f %%)",
+                  p50_sampling_off * 1e3, overhead_pct);
+    bench::PrintRow("p50 enabled, sampling off", "within 5% of baseline",
+                    buf);
+  }
+
+  if (!trace_out.empty()) {
+    std::string json = TraceRecorder::Global().ExportChromeTraceJson();
+    FILE* f = std::fopen(trace_out.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%zu (of %llu recorded)",
+                  TraceRecorder::Global().Snapshot().size(),
+                  static_cast<unsigned long long>(
+                      TraceRecorder::Global().recorded()));
+    bench::PrintRow("trace spans buffered", "ring-bounded", buf);
+    std::printf("\ntrace written to %s (open in https://ui.perfetto.dev)\n",
+                trace_out.c_str());
+  }
+
+  uint64_t total_events = service.event_log().total_appended();
+  std::vector<EventLog::Event> events = service.RecentEvents(16);
+  std::printf("\nrecent events (newest first, %llu total):\n",
+              static_cast<unsigned long long>(total_events));
+  if (events.empty()) std::printf("  (none)\n");
+  for (const EventLog::Event& e : events) {
+    std::string_view type = EventLog::TypeToString(e.type);
+    std::string_view code = StatusCodeToString(e.code);
+    std::printf("  #%llu %.*s code=%.*s trace=%llu %s\n",
+                static_cast<unsigned long long>(e.seq),
+                static_cast<int>(type.size()), type.data(),
+                static_cast<int>(code.size()), code.data(),
+                static_cast<unsigned long long>(e.trace_id),
+                e.detail.c_str());
+  }
+
+  if (metrics_format == "prom") {
+    std::printf("\nmetrics (prometheus):\n%s",
+                registry.RenderPrometheus().c_str());
+  } else if (metrics_format == "json") {
+    std::printf("\nmetrics (json):\n%s", registry.RenderJson().c_str());
+  } else {
+    std::printf("\nmetrics registry:\n%s", registry.Render().c_str());
+  }
 
   // Consistency must hold with or without faults; under injection the
   // degraded path must additionally have absorbed the corruption (no

@@ -5,7 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "core/raster_layer.h"
 #include "core/serialization.h"
 #include "geometry/kd_tree.h"
@@ -171,6 +173,49 @@ void BM_RasterMatchScore(benchmark::State& state) {
                           static_cast<int64_t>(cells.size()));
 }
 BENCHMARK(BM_RasterMatchScore);
+
+void BM_LatencyHistogramRecord(benchmark::State& state) {
+  // Contended hot path: every thread records into one shared histogram.
+  // Before sharding this serialized on a single mutex; the multi-thread
+  // variants are the regression guard for that contention fix.
+  static LatencyHistogram histogram;
+  double sample = 1e-3 * (1 + state.thread_index());
+  for (auto _ : state) {
+    histogram.Record(sample);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatencyHistogramRecord)->Threads(1)->Threads(4)->Threads(8);
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  // The cost every request pays when tracing is off: must stay a few ns.
+  static TraceRecorder recorder;  // Default options: disabled.
+  for (auto _ : state) {
+    TraceSpan span("bench.request", TraceSpan::kRoot, &recorder);
+    benchmark::DoNotOptimize(span.active());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanUnsampled(benchmark::State& state) {
+  // Enabled recorder, head sampling off: spans do their clock/bookkeeping
+  // work but never touch the ring. This is the "sampling off" overhead
+  // the serving bench compares against baseline.
+  static TraceRecorder* recorder = [] {
+    TraceRecorder::Options opts;
+    opts.enabled = true;
+    opts.sample_every_n = 0;
+    opts.slow_threshold_s = 0.0;
+    return new TraceRecorder(opts);
+  }();
+  for (auto _ : state) {
+    TraceSpan span("bench.request", TraceSpan::kRoot, recorder);
+    benchmark::DoNotOptimize(span.trace_id());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanUnsampled)->Threads(1)->Threads(8);
 
 }  // namespace
 }  // namespace hdmap

@@ -3,73 +3,214 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace hdmap {
 
 namespace {
 
-// Log-scale bucketing for latencies: 1/32 of a decade per bucket over
-// [1 us, 10 s) — 7 decades, 224 buckets, ±4% relative resolution.
-constexpr double kLogLo = -6.0;
-constexpr double kLogHi = 1.0;
-constexpr int kLogBins = 224;
+/// Small dense per-thread ordinal used to pick a histogram shard; stable
+/// for the thread's lifetime so a thread always hits the same shard.
+size_t ThisThreadShardOrdinal() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+/// Splits "subsystem.verb{TAG}" into {"subsystem.verb", "TAG"}; the tag is
+/// empty when the name has no suffix.
+std::pair<std::string, std::string> SplitTag(const std::string& name) {
+  size_t open = name.find('{');
+  if (open == std::string::npos || name.back() != '}') return {name, ""};
+  return {name.substr(0, open),
+          name.substr(open + 1, name.size() - open - 2)};
+}
+
+/// Maps an instrument base name to a Prometheus metric name: invalid
+/// characters become '_' and everything is prefixed "hdmap_".
+std::string PromName(const std::string& base) {
+  std::string out = "hdmap_";
+  for (char c : base) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Escapes a Prometheus label value: backslash, double quote, newline.
+std::string PromEscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Escapes Prometheus HELP text: backslash and newline only (quotes are
+/// legal there).
+std::string PromEscapeHelp(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// "{tag="X"}" / "{tag="X",le="Y"}" / "{le="Y"}" / "" label block.
+std::string LabelBlock(const std::string& tag, const std::string& le = "") {
+  if (tag.empty() && le.empty()) return "";
+  std::string out = "{";
+  if (!tag.empty()) out += "tag=\"" + PromEscapeLabel(tag) + "\"";
+  if (!le.empty()) {
+    if (!tag.empty()) out += ",";
+    out += "le=\"" + le + "\"";
+  }
+  out += "}";
+  return out;
+}
 
 }  // namespace
 
-LatencyHistogram::LatencyHistogram()
-    : log_histogram_(kLogLo, kLogHi, kLogBins) {}
-
 void LatencyHistogram::Record(double seconds) {
   if (!(seconds >= 0.0)) return;  // Rejects negatives and NaN.
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.Add(seconds);
+  Shard& shard = shards_[ThisThreadShardOrdinal() % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.stats.Add(seconds);
   // log10(0) is -inf; any sub-microsecond sample lands in underflow anyway.
-  log_histogram_.Add(seconds > 0.0 ? std::log10(seconds) : kLogLo - 1.0);
+  shard.log_histogram.Add(seconds > 0.0 ? std::log10(seconds) : kLogLo - 1.0);
 }
 
-size_t LatencyHistogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_.count();
+RunningStats LatencyHistogram::MergedStats() const {
+  RunningStats merged;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    merged.Merge(shard.stats);
+  }
+  return merged;
 }
 
-double LatencyHistogram::mean_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_.mean();
+Histogram LatencyHistogram::MergedHistogram() const {
+  Histogram merged(kLogLo, kLogHi, kLogBins);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    merged.Merge(shard.log_histogram);
+  }
+  return merged;
 }
 
-double LatencyHistogram::min_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_.min();
-}
+size_t LatencyHistogram::count() const { return MergedStats().count(); }
 
-double LatencyHistogram::max_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_.max();
+double LatencyHistogram::mean_seconds() const { return MergedStats().mean(); }
+
+double LatencyHistogram::min_seconds() const { return MergedStats().min(); }
+
+double LatencyHistogram::max_seconds() const { return MergedStats().max(); }
+
+double LatencyHistogram::sum_seconds() const {
+  RunningStats merged = MergedStats();
+  return merged.mean() * static_cast<double>(merged.count());
 }
 
 double LatencyHistogram::ApproxPercentileSeconds(double p) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  size_t total = log_histogram_.total();
+  Histogram merged = MergedHistogram();
+  size_t total = merged.total();
   if (total == 0) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
   // Rank of the requested percentile among all samples, in cumulative
   // count space: underflow bucket first, then the bins, then overflow.
   double rank = p / 100.0 * static_cast<double>(total);
-  double cumulative = static_cast<double>(log_histogram_.underflow());
+  double cumulative = static_cast<double>(merged.underflow());
   if (rank <= cumulative) return std::pow(10.0, kLogLo);
-  for (int bin = 0; bin < log_histogram_.num_bins(); ++bin) {
-    double in_bin = static_cast<double>(log_histogram_.bin_count(bin));
+  for (int bin = 0; bin < merged.num_bins(); ++bin) {
+    double in_bin = static_cast<double>(merged.bin_count(bin));
     if (in_bin > 0.0 && rank <= cumulative + in_bin) {
       // Linear interpolation within the bucket, in log space.
       double frac = (rank - cumulative) / in_bin;
-      double log_value = log_histogram_.bin_lo(bin) +
-                         frac * (log_histogram_.bin_hi(bin) -
-                                 log_histogram_.bin_lo(bin));
+      double log_value =
+          merged.bin_lo(bin) +
+          frac * (merged.bin_hi(bin) - merged.bin_lo(bin));
       return std::pow(10.0, log_value);
     }
     cumulative += in_bin;
   }
   return std::pow(10.0, kLogHi);
+}
+
+std::vector<LatencyHistogram::Bucket> LatencyHistogram::CumulativeBuckets()
+    const {
+  Histogram merged = MergedHistogram();
+  // Export at 1/4-decade granularity: 8 internal bins per exported bucket,
+  // 28 finite bounds over [1 us, 10 s).
+  constexpr int kStride = 8;
+  std::vector<Bucket> out;
+  out.reserve(kLogBins / kStride + 1);
+  uint64_t cumulative = merged.underflow();
+  for (int bin = 0; bin < kLogBins; ++bin) {
+    cumulative += merged.bin_count(bin);
+    if ((bin + 1) % kStride == 0) {
+      out.push_back({std::pow(10.0, merged.bin_hi(bin)), cumulative});
+    }
+  }
+  cumulative += merged.overflow();
+  out.push_back({std::numeric_limits<double>::infinity(), cumulative});
+  return out;
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
@@ -91,6 +232,11 @@ LatencyHistogram* MetricsRegistry::GetLatency(const std::string& name) {
   auto& slot = latencies_[name];
   if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
   return slot.get();
+}
+
+void MetricsRegistry::SetHelp(const std::string& name, std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[name] = std::move(help);
 }
 
 std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
@@ -124,6 +270,148 @@ std::string MetricsRegistry::Render() const {
     text += buf;
   }
   return text;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+
+  // Group series by family (instrument base name) first: sorted full names
+  // do NOT keep a family's series contiguous ("x.errors2" sorts between
+  // "x.errors" and "x.errors{A}"), and a family must emit exactly one
+  // HELP/TYPE header.
+  auto help_for = [this](const std::string& base) {
+    auto it = help_.find(base);
+    return it != help_.end() ? PromEscapeHelp(it->second)
+                             : "hdmap instrument " + PromEscapeHelp(base);
+  };
+
+  {
+    std::map<std::string, std::vector<std::pair<std::string, uint64_t>>>
+        families;
+    for (const auto& [name, counter] : counters_) {
+      auto [base, tag] = SplitTag(name);
+      families[base].emplace_back(tag, counter->value());
+    }
+    for (const auto& [base, series] : families) {
+      std::string fam = PromName(base) + "_total";
+      out += "# HELP " + fam + " " + help_for(base) + "\n";
+      out += "# TYPE " + fam + " counter\n";
+      for (const auto& [tag, value] : series) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(value));
+        out += fam + LabelBlock(tag) + " " + buf + "\n";
+      }
+    }
+  }
+
+  {
+    std::map<std::string, std::vector<std::pair<std::string, double>>>
+        families;
+    for (const auto& [name, gauge] : gauges_) {
+      auto [base, tag] = SplitTag(name);
+      families[base].emplace_back(tag, gauge->value());
+    }
+    for (const auto& [base, series] : families) {
+      std::string fam = PromName(base);
+      out += "# HELP " + fam + " " + help_for(base) + "\n";
+      out += "# TYPE " + fam + " gauge\n";
+      for (const auto& [tag, value] : series) {
+        out += fam + LabelBlock(tag) + " " + FormatDouble(value) + "\n";
+      }
+    }
+  }
+
+  {
+    std::map<std::string,
+             std::vector<std::pair<std::string, const LatencyHistogram*>>>
+        families;
+    for (const auto& [name, latency] : latencies_) {
+      auto [base, tag] = SplitTag(name);
+      families[base].emplace_back(tag, latency.get());
+    }
+    for (const auto& [base, series] : families) {
+      std::string fam = PromName(base) + "_seconds";
+      out += "# HELP " + fam + " " + help_for(base) + " (seconds)\n";
+      out += "# TYPE " + fam + " histogram\n";
+      for (const auto& [tag, latency] : series) {
+        for (const LatencyHistogram::Bucket& bucket :
+             latency->CumulativeBuckets()) {
+          std::string le = std::isinf(bucket.le_seconds)
+                               ? "+Inf"
+                               : FormatDouble(bucket.le_seconds);
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%llu",
+                        static_cast<unsigned long long>(
+                            bucket.cumulative_count));
+          out += fam + "_bucket" + LabelBlock(tag, le) + " " + buf + "\n";
+        }
+        out += fam + "_sum" + LabelBlock(tag) + " " +
+               FormatDouble(latency->sum_seconds()) + "\n";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%zu", latency->count());
+        out += fam + "_count" + LabelBlock(tag) + " " + buf + "\n";
+      }
+    }
+  }
+
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": [";
+
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(counter->value()));
+    out += first ? "\n" : ",\n";
+    out += "    {\"name\": \"" + JsonEscape(name) +
+           "\", \"type\": \"counter\", \"unit\": \"1\", \"value\": " + buf +
+           "}";
+    first = false;
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"gauges\": [";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n" : ",\n";
+    out += "    {\"name\": \"" + JsonEscape(name) +
+           "\", \"type\": \"gauge\", \"unit\": \"1\", \"value\": " +
+           FormatDouble(gauge->value()) + "}";
+    first = false;
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"histograms\": [";
+  first = true;
+  for (const auto& [name, latency] : latencies_) {
+    char count_buf[32];
+    std::snprintf(count_buf, sizeof(count_buf), "%zu", latency->count());
+    out += first ? "\n" : ",\n";
+    out += "    {\"name\": \"" + JsonEscape(name) +
+           "\", \"type\": \"histogram\", \"unit\": \"seconds\", "
+           "\"count\": " +
+           count_buf + ", \"sum\": " + FormatDouble(latency->sum_seconds()) +
+           ", \"mean\": " + FormatDouble(latency->mean_seconds()) +
+           ", \"min\": " + FormatDouble(latency->min_seconds()) +
+           ", \"max\": " + FormatDouble(latency->max_seconds()) +
+           ", \"p50\": " +
+           FormatDouble(latency->ApproxPercentileSeconds(50.0)) +
+           ", \"p90\": " +
+           FormatDouble(latency->ApproxPercentileSeconds(90.0)) +
+           ", \"p99\": " +
+           FormatDouble(latency->ApproxPercentileSeconds(99.0)) + "}";
+    first = false;
+  }
+  out += first ? "]\n" : "\n  ]\n";
+
+  out += "}\n";
+  return out;
 }
 
 }  // namespace hdmap

@@ -15,14 +15,15 @@
 namespace hdmap {
 
 /// Monotonic counter (events served, cache hits, errors). Increment is
-/// lock-free; safe from any thread.
+/// lock-free; safe from any thread. Deliberately has no Reset(): exported
+/// snapshots must be monotonic (Prometheus counters assume it), so tests
+/// assert on deltas instead of zeroing shared state.
 class Counter {
  public:
   void Increment(uint64_t n = 1) {
     value_.fetch_add(n, std::memory_order_relaxed);
   }
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
-  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<uint64_t> value_{0};
@@ -44,10 +45,22 @@ class Gauge {
 /// [1 us, 10 s) (sub-microsecond samples land in the underflow bucket,
 /// 10 s+ in overflow). Bucketing keeps memory constant no matter how many
 /// samples arrive; percentile error is bounded by the bucket width
-/// (~5% relative). Record/readers are serialized by an internal mutex.
+/// (~5% relative).
+///
+/// The hot path is sharded: each recording thread hashes (by a stable
+/// thread ordinal) to one of kShards independent {mutex, stats, histogram}
+/// shards, so concurrent Record() calls from different threads do not
+/// contend on one lock. Readers merge the shards under the per-shard
+/// locks — reads are O(shards * bins) but off the hot path.
 class LatencyHistogram {
  public:
-  LatencyHistogram();
+  // Log-scale bucketing: 1/32 of a decade per bucket over [1 us, 10 s) —
+  // 7 decades, 224 buckets, ±4% relative resolution.
+  static constexpr double kLogLo = -6.0;
+  static constexpr double kLogHi = 1.0;
+  static constexpr int kLogBins = 224;
+
+  LatencyHistogram() = default;
 
   /// Records one latency sample, in seconds. Negative samples are ignored.
   void Record(double seconds);
@@ -56,16 +69,41 @@ class LatencyHistogram {
   double mean_seconds() const;
   double min_seconds() const;
   double max_seconds() const;
+  /// Total recorded time (count * mean), for Prometheus `_sum`.
+  double sum_seconds() const;
 
   /// Approximate p-th percentile (p in [0, 100]) in seconds, interpolated
   /// within the log-scale bucket; 0 with no samples. Percentiles that fall
-  /// in the underflow/overflow buckets clamp to the range edge.
+  /// in the underflow/overflow buckets clamp to the range edge (1 us /
+  /// 10 s).
   double ApproxPercentileSeconds(double p) const;
 
+  /// One cumulative bucket of the exported distribution: the number of
+  /// samples <= le_seconds.
+  struct Bucket {
+    double le_seconds = 0.0;  ///< Upper bound; +inf for the final bucket.
+    uint64_t cumulative_count = 0;
+  };
+
+  /// Prometheus-style cumulative buckets, coarsened to 1/4-decade bounds
+  /// (10^-6, 10^-5.75, ..., 10^1) plus a terminal +Inf bucket equal to
+  /// count(). Counts are cumulative and monotonically non-decreasing;
+  /// sub-microsecond samples are included from the first bucket up.
+  std::vector<Bucket> CumulativeBuckets() const;
+
  private:
-  mutable std::mutex mu_;
-  RunningStats stats_;
-  Histogram log_histogram_;  // Buckets over log10(seconds).
+  static constexpr size_t kShards = 8;
+
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    RunningStats stats;
+    Histogram log_histogram{kLogLo, kLogHi, kLogBins};
+  };
+
+  RunningStats MergedStats() const;
+  Histogram MergedHistogram() const;
+
+  Shard shards_[kShards];
 };
 
 /// Named registry of counters, gauges, and latency histograms: the single
@@ -74,6 +112,11 @@ class LatencyHistogram {
 /// returns a pointer that stays valid for the registry's lifetime, so hot
 /// paths resolve names once and then touch only the instrument. All
 /// methods are thread-safe.
+///
+/// Naming convention: `subsystem.verb` with an optional `{TAG}` suffix for
+/// per-dimension series (e.g. "map_service.errors{DATA_LOSS}"). The
+/// Prometheus exporter maps the tag to a `tag="..."` label so all series
+/// of one instrument form a single metric family.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -83,6 +126,11 @@ class MetricsRegistry {
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   LatencyHistogram* GetLatency(const std::string& name);
+
+  /// Attaches help text to an instrument (by its unsuffixed name, without
+  /// any `{TAG}`); emitted as the Prometheus `# HELP` line and the JSON
+  /// "help" field.
+  void SetHelp(const std::string& name, std::string help);
 
   /// One exported metric value. Latencies export count/mean/p50/p99.
   struct Sample {
@@ -97,12 +145,28 @@ class MetricsRegistry {
   /// Human-readable dump, one "name value" row per Sample.
   std::string Render() const;
 
+  /// Prometheus text exposition format (version 0.0.4): every instrument
+  /// as a metric family with `# HELP`/`# TYPE` annotations. Counters get
+  /// a `_total` suffix, latencies render as `_seconds` histograms with
+  /// cumulative `_bucket{le="..."}` series terminated by `+Inf`, plus
+  /// `_sum`/`_count`. Instrument names are sanitized ('.' -> '_') and
+  /// prefixed `hdmap_`; a `{TAG}` suffix becomes a `tag` label with
+  /// backslash/quote/newline escaping per the exposition format.
+  std::string RenderPrometheus() const;
+
+  /// Stable JSON snapshot: {"counters":[...],"gauges":[...],
+  /// "histograms":[...]}, sorted by name, each entry annotated with its
+  /// type and unit (latencies in seconds). Keys and ordering are part of
+  /// the contract — scrapers may depend on them.
+  std::string RenderJson() const;
+
  private:
   mutable std::mutex mu_;
   // node-based maps: pointers handed out by Get* stay stable.
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> latencies_;
+  std::map<std::string, std::string> help_;
 };
 
 /// RAII timer: records the elapsed wall time into a LatencyHistogram when

@@ -20,6 +20,24 @@ void RunningStats::Add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  size_t combined = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  mean_ += delta * static_cast<double>(other.count_) /
+           static_cast<double>(combined);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(combined);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = combined;
+}
+
 double RunningStats::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);
@@ -84,6 +102,17 @@ void Histogram::Add(double x) {
     return;
   }
   ++counts_[static_cast<size_t>(static_cast<int>(offset))];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+      other.width_ != width_) {
+    return;
+  }
+  for (size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
 }
 
 std::string Histogram::ToAscii(int max_bar_width) const {

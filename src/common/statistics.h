@@ -12,6 +12,11 @@ class RunningStats {
  public:
   void Add(double x);
 
+  /// Folds another accumulator into this one (Chan's parallel update), as
+  /// if every sample fed to `other` had been fed here. Used to combine
+  /// per-shard accumulators on read.
+  void Merge(const RunningStats& other);
+
   size_t count() const { return count_; }
   double mean() const { return count_ > 0 ? mean_ : 0.0; }
   /// Sample (Bessel-corrected) variance, m2/(n-1); 0 with fewer than 2
@@ -57,6 +62,11 @@ class Histogram {
   Histogram(double lo, double hi, int num_bins);
 
   void Add(double x);
+
+  /// Adds another histogram's tallies (bins, under/overflow, total) into
+  /// this one. Both histograms must have identical geometry (lo, width,
+  /// bin count); mismatched geometries are ignored.
+  void Merge(const Histogram& other);
 
   int num_bins() const { return static_cast<int>(counts_.size()); }
   /// All samples seen, including under/overflow.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/trace.h"
+
 namespace hdmap {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -25,9 +27,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Carry the submitting thread's trace context into the worker so spans
+  // opened inside the task nest under the submitting span.
+  TraceContext ctx = CurrentTraceContext();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back([ctx, task = std::move(task)] {
+      TraceContextScope scope(ctx);
+      task();
+    });
     ++in_flight_;
   }
   task_ready_.notify_one();
@@ -72,11 +80,15 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   std::vector<std::thread> threads;
   threads.reserve(num_threads);
   size_t chunk = (n + num_threads - 1) / num_threads;
+  // Propagate the calling thread's trace context so spans opened inside
+  // the loop body nest under the caller's span (one track per worker).
+  TraceContext ctx = CurrentTraceContext();
   for (size_t t = 0; t < num_threads; ++t) {
     size_t begin = t * chunk;
     size_t end = std::min(begin + chunk, n);
     if (begin >= end) break;
-    threads.emplace_back([begin, end, &fn] {
+    threads.emplace_back([begin, end, &fn, ctx] {
+      TraceContextScope scope(ctx);
       for (size_t i = begin; i < end; ++i) fn(i);
     });
   }

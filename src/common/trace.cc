@@ -1,0 +1,200 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace hdmap {
+
+namespace {
+
+thread_local TraceContext g_trace_context;
+
+/// Small dense thread ordinal (stable for the thread's lifetime): keys
+/// the ring stripe and labels the Perfetto track.
+uint32_t ThisThreadOrdinal() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TraceContext CurrentTraceContext() { return g_trace_context; }
+
+TraceContextScope::TraceContextScope(const TraceContext& ctx)
+    : saved_(g_trace_context) {
+  g_trace_context = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { g_trace_context = saved_; }
+
+TraceRecorder::TraceRecorder() { Configure(Options{}); }
+
+TraceRecorder::TraceRecorder(const Options& options) { Configure(options); }
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Configure(const Options& options) {
+  enabled_.store(options.enabled, std::memory_order_relaxed);
+  sample_every_n_.store(options.sample_every_n, std::memory_order_relaxed);
+  slow_threshold_ns_.store(
+      options.slow_threshold_s > 0.0
+          ? static_cast<uint64_t>(options.slow_threshold_s * 1e9)
+          : 0,
+      std::memory_order_relaxed);
+  stripe_capacity_ = std::max<size_t>(1, options.capacity / kStripes);
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.ring.assign(stripe_capacity_, TraceEvent{});
+    stripe.next = 0;
+    stripe.size = 0;
+  }
+}
+
+TraceRecorder::Options TraceRecorder::options() const {
+  Options out;
+  out.enabled = enabled_.load(std::memory_order_relaxed);
+  out.capacity = stripe_capacity_ * kStripes;
+  out.sample_every_n = sample_every_n_.load(std::memory_order_relaxed);
+  out.slow_threshold_s = slow_threshold_s();
+  return out;
+}
+
+bool TraceRecorder::SampleNextTrace() {
+  uint32_t n = sample_every_n_.load(std::memory_order_relaxed);
+  if (n == 0) return false;
+  return sample_counter_.fetch_add(1, std::memory_order_relaxed) % n == 0;
+}
+
+void TraceRecorder::Record(const TraceEvent& event) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& stripe = stripes_[ThisThreadOrdinal() % kStripes];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  if (stripe.ring.empty()) return;
+  if (stripe.size == stripe.ring.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ++stripe.size;
+  }
+  stripe.ring[stripe.next] = event;
+  stripe.next = (stripe.next + 1) % stripe.ring.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<TraceEvent> out;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    // Oldest-first within the stripe: the ring's next write position is
+    // also its oldest entry once it has wrapped.
+    size_t start = stripe.size == stripe.ring.size()
+                       ? stripe.next
+                       : (stripe.next + stripe.ring.size() - stripe.size) %
+                             stripe.ring.size();
+    for (size_t i = 0; i < stripe.size; ++i) {
+      out.push_back(stripe.ring[(start + i) % stripe.ring.size()]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.span_id < b.span_id;
+            });
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.next = 0;
+    stripe.size = 0;
+  }
+}
+
+std::string TraceRecorder::ExportChromeTraceJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out;
+  out.reserve(events.size() * 220 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[384];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n{\"name\":\"%s\",\"cat\":\"hdmap\",\"ph\":\"X\","
+        "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+        "\"args\":{\"trace_id\":\"%" PRIu64 "\",\"span_id\":\"%" PRIu64
+        "\",\"parent_span_id\":\"%" PRIu64
+        "\",\"status\":\"%.*s\",\"slow\":%s,\"sampled\":%s}}",
+        first ? "" : ",", e.name, static_cast<double>(e.start_ns) / 1e3,
+        static_cast<double>(e.duration_ns) / 1e3, e.thread_id, e.trace_id,
+        e.span_id, e.parent_span_id,
+        static_cast<int>(StatusCodeToString(e.status).size()),
+        StatusCodeToString(e.status).data(), e.slow ? "true" : "false",
+        e.sampled ? "true" : "false");
+    out += buf;
+    first = false;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+TraceSpan::TraceSpan(const char* name, TraceRecorder* recorder) {
+  event_.name = name;
+  const TraceContext& ctx = g_trace_context;
+  if (!ctx.active()) return;  // No enclosing trace: stay inert.
+  Open(recorder != nullptr ? recorder : &TraceRecorder::Global(), ctx);
+}
+
+TraceSpan::TraceSpan(const char* name, RootTag, TraceRecorder* recorder) {
+  event_.name = name;
+  TraceRecorder* rec =
+      recorder != nullptr ? recorder : &TraceRecorder::Global();
+  if (!rec->enabled()) return;
+  TraceContext ctx;
+  ctx.trace_id = rec->NextTraceId();
+  ctx.parent_span_id = 0;
+  ctx.sampled = rec->SampleNextTrace();
+  Open(rec, ctx);
+}
+
+void TraceSpan::Open(TraceRecorder* recorder, const TraceContext& ctx) {
+  recorder_ = recorder;
+  event_.trace_id = ctx.trace_id;
+  event_.parent_span_id = ctx.parent_span_id;
+  event_.span_id = recorder->NextSpanId();
+  event_.sampled = ctx.sampled;
+  event_.thread_id = ThisThreadOrdinal();
+  event_.start_ns = NowNs();
+  saved_ = g_trace_context;
+  g_trace_context =
+      TraceContext{event_.trace_id, event_.span_id, ctx.sampled};
+  active_ = true;
+}
+
+void TraceSpan::End() {
+  if (ended_) return;
+  ended_ = true;
+  if (!active_) return;
+  g_trace_context = saved_;
+  event_.duration_ns = NowNs() - event_.start_ns;
+  uint64_t slow_ns = recorder_->slow_threshold_ns();
+  event_.slow = slow_ns != 0 && event_.duration_ns > slow_ns;
+  if (event_.sampled || event_.slow ||
+      (event_.status != StatusCode::kOk && force_record_)) {
+    recorder_->Record(event_);
+  }
+}
+
+}  // namespace hdmap

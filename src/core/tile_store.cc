@@ -7,6 +7,7 @@
 #include <shared_mutex>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/serialization.h"
 
 namespace hdmap {
@@ -198,6 +199,7 @@ Status TileStore::AssignTiles(const HdMap& map,
 }
 
 Status TileStore::Build(const HdMap& map, size_t num_threads) {
+  TraceSpan span("tile_store.build");
   {
     std::unique_lock<std::shared_mutex> lock(tiles_mu_);
     tiles_.clear();
@@ -239,6 +241,7 @@ Status TileStore::RebuildTiles(const HdMap& map,
                                const std::vector<TileId>& tiles,
                                size_t num_threads) {
   if (tiles.empty()) return Status::Ok();
+  TraceSpan span("tile_store.rebuild");
 
   std::map<uint64_t, TileId> requested;
   for (const TileId& t : tiles) requested.emplace(t.Morton(), t);
@@ -308,8 +311,19 @@ void TileStore::PutRawTile(const TileId& id, std::string bytes) {
 
 Result<std::shared_ptr<const HdMap>> TileStore::LoadTileShared(
     uint64_t key) const {
+  // Cache hits are deliberately span-free: they are the hot path of every
+  // cached GetRegion (already counted by tile_store.cache_hits), and a
+  // span's two clock reads would cost more than the lookup itself. Spans
+  // cover the slow path only: miss -> raw load -> decode -> quarantine.
   if (auto cached = CacheLookup(key)) return cached;
+  // Child span of whatever request is loading (GetRegion fans these out
+  // across ParallelFor workers, so they nest under the request's root).
+  TraceSpan span("tile_store.load");
   if (IsQuarantined(key)) {
+    // Expected repeat of an already-discovered corruption: don't force it
+    // into the ring on every request, or it evicts the decode span that
+    // found the corrupt bytes in the first place.
+    span.SetStatus(StatusCode::kDataLoss, /*force=*/false);
     return Status::DataLoss("tile key " + std::to_string(key) +
                             " quarantined after a failed decode");
   }
@@ -320,22 +334,35 @@ Result<std::shared_ptr<const HdMap>> TileStore::LoadTileShared(
   Result<HdMap> tile = Status::Internal("tile not decoded");
   {
     std::shared_lock<std::shared_mutex> lock(tiles_mu_);
-    auto it = tiles_.find(key);
-    if (it == tiles_.end()) {
-      return Status::NotFound("tile key " + std::to_string(key));
-    }
-    std::string_view blob = it->second;
+    std::string_view blob;
     std::string corrupted;  // Owns injected mutations; empty otherwise.
-    if (faults_ != nullptr &&
-        faults_->MaybeCorrupt(kLoadFaultSite, blob, &corrupted)) {
-      blob = corrupted;
+    {
+      TraceSpan raw_span("tile_store.raw_load");
+      auto it = tiles_.find(key);
+      if (it == tiles_.end()) {
+        raw_span.SetStatus(StatusCode::kNotFound);
+        span.SetStatus(StatusCode::kNotFound);
+        return Status::NotFound("tile key " + std::to_string(key));
+      }
+      blob = it->second;
+      if (faults_ != nullptr &&
+          faults_->MaybeCorrupt(kLoadFaultSite, blob, &corrupted)) {
+        blob = corrupted;
+      }
     }
+    TraceSpan decode_span("tile_store.decode");
     tile = DeserializeMap(blob);
+    if (!tile.ok()) decode_span.SetStatus(tile.status().code());
   }
   if (!tile.ok()) {
+    span.SetStatus(tile.status().code());
     // Corrupt bytes stay corrupt: remember the verdict so every later
     // load fails fast instead of re-running checksum/decode.
-    if (tile.status().code() == StatusCode::kDataLoss) Quarantine(key, gen);
+    if (tile.status().code() == StatusCode::kDataLoss) {
+      TraceSpan quarantine_span("tile_store.quarantine");
+      quarantine_span.SetStatus(StatusCode::kDataLoss);
+      Quarantine(key, gen);
+    }
     return tile.status();
   }
   auto shared = std::make_shared<const HdMap>(std::move(tile).value());
@@ -428,6 +455,7 @@ Result<HdMap> TileStore::StitchTiles(const std::vector<TileId>& tile_list,
       [&](size_t i) { loaded[i] = LoadTileShared(tile_list[i].Morton()); },
       num_threads);
 
+  TraceSpan stitch_span("tile_store.stitch");
   std::vector<TileId> corrupt_tiles;
   HdMap region;
   for (size_t i = 0; i < loaded.size(); ++i) {

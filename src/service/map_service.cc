@@ -1,12 +1,31 @@
 #include "service/map_service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <utility>
 
 namespace hdmap {
 
 namespace {
+
+/// "tile (3,-1) tile (4,-1) ... (+2 more)" — bounded tile list for event
+/// detail strings.
+std::string FormatTileList(const std::vector<TileId>& tiles) {
+  constexpr size_t kMaxListed = 4;
+  std::string out;
+  char buf[48];
+  for (size_t i = 0; i < tiles.size() && i < kMaxListed; ++i) {
+    std::snprintf(buf, sizeof(buf), "%stile (%d,%d)", i == 0 ? "" : " ",
+                  tiles[i].x, tiles[i].y);
+    out += buf;
+  }
+  if (tiles.size() > kMaxListed) {
+    std::snprintf(buf, sizeof(buf), " (+%zu more)", tiles.size() - kMaxListed);
+    out += buf;
+  }
+  return out;
+}
 
 int64_t WallClockUnixMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -87,10 +106,29 @@ MapService::MapService(Options options) : options_(std::move(options)) {
   lat_recover_ = metrics_->GetLatency("storage.recover");
   published_unix_ms_gauge_ =
       metrics_->GetGauge("map_service.published_unix_ms");
+  events_.set_capacity(options_.event_log_capacity);
+
+  metrics_->SetHelp("map_service.requests",
+                    "Reader requests received across all endpoints");
+  metrics_->SetHelp("map_service.errors",
+                    "Requests and writer operations that returned non-OK");
+  metrics_->SetHelp("map_service.regions_degraded",
+                    "GetRegion calls served around corrupt tiles");
+  metrics_->SetHelp("map_service.get_region",
+                    "GetRegion end-to-end request latency");
+  metrics_->SetHelp("map_service.publish", "Publish (copy-on-write) latency");
+  metrics_->SetHelp("map_service.snapshot_age_seconds",
+                    "Seconds since the serving snapshot published");
+  metrics_->SetHelp("tile_store.cache_hits",
+                    "Decoded-tile cache hits on the serving snapshot");
+  metrics_->SetHelp("wal.appends", "Durable patch write-ahead-log appends");
+  metrics_->SetHelp("storage.checkpoint_write",
+                    "Full snapshot checkpoint write latency");
 }
 
 Status MapService::Init(HdMap initial_map) {
   std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  TraceSpan span("map_service.init", TraceSpan::kRoot);
   // Existing durable state outranks the bootstrap map: a restarted
   // service resumes where the fleet left it rather than regressing to a
   // caller-provided (possibly stale) map.
@@ -119,7 +157,11 @@ Status MapService::Init(HdMap initial_map) {
   Install(snap);
   bool wal_unreadable = false;
   if (durable_state_lost) {
+    span.SetStatus(StatusCode::kDataLoss);
     RecordError(StatusCode::kDataLoss);
+    events_.Append(EventLog::Type::kCheckpointFallback, span.trace_id(),
+                   "no checkpoint validated; bootstrapped from initial map",
+                   StatusCode::kDataLoss);
     // The WAL may still hold intact acked records, but they were staged
     // against state lost with the checkpoints and cannot apply to the
     // bootstrap map. Count each one as lost and set the bytes aside
@@ -130,6 +172,11 @@ Status MapService::Init(HdMap initial_map) {
       size_t lost = orphaned->records.size() + orphaned->skipped_records;
       for (size_t i = 0; i < lost; ++i) RecordError(StatusCode::kDataLoss);
       if (lost > 0) {
+        events_.Append(EventLog::Type::kWalDataLoss, span.trace_id(),
+                       std::to_string(lost) +
+                           " WAL record(s) orphaned by checkpoint loss; "
+                           "archived as patches.wal.lost",
+                       StatusCode::kDataLoss);
         Status archived = wal_->Archive();
         if (!archived.ok()) {
           // Could not set the records aside; keep the file as-is (and
@@ -156,12 +203,14 @@ Status MapService::Init(HdMap initial_map) {
 }
 
 Status MapService::StagePatch(MapPatch patch) {
+  TraceSpan span("map_service.stage_patch", TraceSpan::kRoot);
   std::lock_guard<std::mutex> lock(staged_mu_);
   if (wal_ != nullptr) {
     // Write-ahead: the patch is only acknowledged (and only enters the
     // staged queue) once its WAL record is durable.
     Status appended = wal_->Append(patch, version());
     if (!appended.ok()) {
+      span.SetStatus(appended.code());
       RecordError(appended.code());
       return appended;
     }
@@ -248,8 +297,10 @@ Result<std::vector<TileId>> MapService::TouchedTiles(
 
 Status MapService::Publish() {
   std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  TraceSpan span("map_service.publish", TraceSpan::kRoot);
   auto old = snapshot();
   if (old == nullptr) {
+    span.SetStatus(StatusCode::kFailedPrecondition);
     return Status::FailedPrecondition("MapService::Init has not run");
   }
   std::vector<MapPatch> staged;
@@ -297,7 +348,16 @@ Status MapService::Publish() {
   // error — the previous snapshot keeps serving and the staged queue
   // stays intact.
   if (faults_ != nullptr) {
-    HDMAP_RETURN_IF_ERROR(faults_->MaybeFail(kPublishFaultSite));
+    Status injected = faults_->MaybeFail(kPublishFaultSite);
+    if (!injected.ok()) {
+      // MaybeFail only ever fails by injecting, so this is known-synthetic.
+      span.SetStatus(injected.code());
+      events_.Append(EventLog::Type::kInjectedFault, span.trace_id(),
+                     std::string("publish aborted by injected fault at ") +
+                         kPublishFaultSite,
+                     injected.code());
+      return injected;
+    }
   }
   snap->map = std::move(new_map);
   snap->map.BuildIndexes();
@@ -366,6 +426,7 @@ Status MapService::CheckpointLocked(const MapSnapshot& snap) {
 
 Status MapService::Recover() {
   std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  TraceSpan span("map_service.recover", TraceSpan::kRoot);
   return RecoverLocked();
 }
 
@@ -374,6 +435,9 @@ Status MapService::RecoverLocked() {
     return Status::FailedPrecondition(
         "MapService durability is disabled (empty data_dir)");
   }
+  // Child span: nests under Init's or Recover's root, so a cold recovery
+  // renders as one flame graph (checkpoint load, WAL replay, rebuild).
+  TraceSpan span("storage.recover");
   ScopedTimer timer(lat_recover_);
   size_t checkpoints_skipped = 0;
   HDMAP_ASSIGN_OR_RETURN(
@@ -448,6 +512,29 @@ Status MapService::RecoverLocked() {
   for (size_t i = 0; i < checkpoints_skipped + wal_skipped; ++i) {
     RecordError(StatusCode::kDataLoss);
   }
+  if (checkpoints_skipped > 0) {
+    events_.Append(EventLog::Type::kCheckpointFallback, span.trace_id(),
+                   "fell back past " + std::to_string(checkpoints_skipped) +
+                       " invalid checkpoint(s)",
+                   StatusCode::kDataLoss);
+  }
+  if (wal_skipped > 0) {
+    events_.Append(EventLog::Type::kWalDataLoss, span.trace_id(),
+                   std::to_string(wal_skipped) +
+                       " WAL record(s) skipped during replay" +
+                       (wal_readable ? "" : " (log unreadable)"),
+                   StatusCode::kDataLoss);
+  }
+  if (checkpoints_skipped + wal_skipped > 0) {
+    span.SetStatus(StatusCode::kDataLoss);
+  }
+  events_.Append(EventLog::Type::kRecoverySummary, span.trace_id(),
+                 "recovered version " + std::to_string(snap->version) +
+                     ": replayed " + std::to_string(applied) +
+                     " WAL record(s), skipped " +
+                     std::to_string(checkpoints_skipped) +
+                     " checkpoint(s) and " + std::to_string(wal_skipped) +
+                     " WAL record(s)");
 
   // Re-protect: fold the replayed WAL into a checkpoint of the recovered
   // state, so the next crash replays nothing. Failure is non-fatal — the
@@ -476,6 +563,22 @@ void MapService::RecordError(StatusCode code) const {
   errors_->Increment();
   auto i = static_cast<size_t>(code);
   if (i > 0 && i < errors_by_code_.size()) errors_by_code_[i]->Increment();
+}
+
+void MapService::FinishRequest(TraceSpan& span, const char* endpoint,
+                               std::chrono::steady_clock::time_point start,
+                               StatusCode code) const {
+  span.SetStatus(code);
+  if (options_.slow_request_threshold_s <= 0.0) return;
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  if (elapsed <= options_.slow_request_threshold_s) return;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " took %.1f ms (threshold %.1f ms)",
+                elapsed * 1e3, options_.slow_request_threshold_s * 1e3);
+  events_.Append(EventLog::Type::kSlowRequest, span.trace_id(),
+                 std::string(endpoint) + buf, code);
 }
 
 uint64_t MapService::DegradationEvents() const {
@@ -512,10 +615,14 @@ double MapService::SnapshotAgeSeconds() const {
 Result<HdMap> MapService::GetRegion(const Aabb& box,
                                     RegionReport* report) const {
   requests_->Increment();
+  TraceSpan span("map_service.get_region", TraceSpan::kRoot);
+  auto start = std::chrono::steady_clock::now();
   ScopedTimer timer(lat_get_region_);
   auto snap = snapshot();
   if (snap == nullptr) {
     RecordError(StatusCode::kFailedPrecondition);
+    FinishRequest(span, "map_service.get_region", start,
+                  StatusCode::kFailedPrecondition);
     return Status::FailedPrecondition("MapService::Init has not run");
   }
   // Degradation is observed through the report even when the caller
@@ -526,53 +633,84 @@ Result<HdMap> MapService::GetRegion(const Aabb& box,
       box, rep, options_.read_threads,
       options_.strict_reads ? RegionReadMode::kStrict
                             : RegionReadMode::kAllowPartial);
+  StatusCode code = StatusCode::kOk;
   if (!region.ok()) {
-    RecordError(region.status().code());
+    code = region.status().code();
+    RecordError(code);
   } else if (!rep->corrupt_tiles.empty()) {
-    // Served, but with holes: not an error, yet Health() must see it.
+    // Served, but with holes: not an error, yet Health() must see it. The
+    // span is annotated kDataLoss (forcing it into the trace ring even in
+    // unsampled traces) and the event explains the matching
+    // regions_degraded increment with this request's trace id.
     regions_degraded_->Increment();
+    code = StatusCode::kDataLoss;
+    events_.Append(EventLog::Type::kQuarantinedTile, span.trace_id(),
+                   "get_region served degraded around " +
+                       std::to_string(rep->corrupt_tiles.size()) +
+                       " corrupt tile(s): " +
+                       FormatTileList(rep->corrupt_tiles),
+                   StatusCode::kDataLoss);
   }
+  FinishRequest(span, "map_service.get_region", start, code);
   return region;
 }
 
 Result<HdMap> MapService::GetTile(const TileId& id) const {
   requests_->Increment();
+  TraceSpan span("map_service.get_tile", TraceSpan::kRoot);
+  auto start = std::chrono::steady_clock::now();
   ScopedTimer timer(lat_get_tile_);
   auto snap = snapshot();
   if (snap == nullptr) {
     RecordError(StatusCode::kFailedPrecondition);
+    FinishRequest(span, "map_service.get_tile", start,
+                  StatusCode::kFailedPrecondition);
     return Status::FailedPrecondition("MapService::Init has not run");
   }
   auto tile = snap->tiles.LoadTile(id);
   if (!tile.ok()) RecordError(tile.status().code());
+  FinishRequest(span, "map_service.get_tile", start,
+                tile.ok() ? StatusCode::kOk : tile.status().code());
   return tile;
 }
 
 Result<LaneMatch> MapService::MatchToLane(const Vec2& position,
                                           double max_distance) const {
   requests_->Increment();
+  TraceSpan span("map_service.match_to_lane", TraceSpan::kRoot);
+  auto start = std::chrono::steady_clock::now();
   ScopedTimer timer(lat_match_);
   auto snap = snapshot();
   if (snap == nullptr) {
     RecordError(StatusCode::kFailedPrecondition);
+    FinishRequest(span, "map_service.match_to_lane", start,
+                  StatusCode::kFailedPrecondition);
     return Status::FailedPrecondition("MapService::Init has not run");
   }
   auto match = snap->map.MatchToLane(position, max_distance);
   if (!match.ok()) RecordError(match.status().code());
+  FinishRequest(span, "map_service.match_to_lane", start,
+                match.ok() ? StatusCode::kOk : match.status().code());
   return match;
 }
 
 Result<Route> MapService::Route(ElementId from, ElementId to,
                                 RouteAlgorithm algorithm) const {
   requests_->Increment();
+  TraceSpan span("map_service.route", TraceSpan::kRoot);
+  auto start = std::chrono::steady_clock::now();
   ScopedTimer timer(lat_route_);
   auto snap = snapshot();
   if (snap == nullptr) {
     RecordError(StatusCode::kFailedPrecondition);
+    FinishRequest(span, "map_service.route", start,
+                  StatusCode::kFailedPrecondition);
     return Status::FailedPrecondition("MapService::Init has not run");
   }
   auto route = PlanRoute(*snap->routing, from, to, algorithm);
   if (!route.ok()) RecordError(route.status().code());
+  FinishRequest(span, "map_service.route", start,
+                route.ok() ? StatusCode::kOk : route.status().code());
   return route;
 }
 

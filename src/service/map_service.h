@@ -9,10 +9,12 @@
 #include <mutex>
 #include <vector>
 
+#include "common/event_log.h"
 #include "common/fault_injection.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "core/hd_map.h"
 #include "core/map_patch.h"
 #include "core/routing_graph.h"
@@ -119,6 +121,11 @@ class MapService {
     /// of serving degraded regions (RegionReadMode::kStrict). Default off:
     /// one corrupt tile should not take down a whole region read.
     bool strict_reads = false;
+    /// Reader requests slower than this (seconds) land in the event log
+    /// as kSlowRequest records; <= 0 disables slow-request events.
+    double slow_request_threshold_s = 0.25;
+    /// Capacity of the structured event ring served by RecentEvents().
+    size_t event_log_capacity = 256;
 
     /// Crash-safe durability. Disabled (empty data_dir) by default, with
     /// zero overhead on the serving hot path when disabled.
@@ -262,6 +269,18 @@ class MapService {
       ElementId from, ElementId to,
       RouteAlgorithm algorithm = RouteAlgorithm::kAStar) const;
 
+  /// The newest structured events, newest first: why Health() is
+  /// degraded, which requests were slow, what a recovery skipped — each
+  /// record carries the trace id of the request that observed it, so a
+  /// metric increment joins back to its flame graph. See EventLog::Type
+  /// for the record taxonomy.
+  std::vector<EventLog::Event> RecentEvents(size_t max_n = 64) const {
+    return events_.Recent(max_n);
+  }
+
+  /// The event ring itself (e.g. for total_appended()).
+  const EventLog& event_log() const { return events_; }
+
   /// The registry all service and tile-cache metrics land in (the
   /// external one when Options::metrics was set, else the internal one).
   MetricsRegistry& metrics() const { return *metrics_; }
@@ -293,6 +312,13 @@ class MapService {
   /// Bumps the total error counter plus the per-code one
   /// ("map_service.errors{CODE}").
   void RecordError(StatusCode code) const;
+
+  /// Closes out one reader request: annotates the span with `code` and
+  /// emits a kSlowRequest event when the elapsed time crossed
+  /// Options::slow_request_threshold_s.
+  void FinishRequest(TraceSpan& span, const char* endpoint,
+                     std::chrono::steady_clock::time_point start,
+                     StatusCode code) const;
 
   /// Sum of the counters Health() watches (data-loss errors + degraded
   /// regions served).
@@ -348,6 +374,10 @@ class MapService {
   Counter* wal_replay_apply_failures_ = nullptr;
   LatencyHistogram* lat_recover_ = nullptr;
   Gauge* published_unix_ms_gauge_ = nullptr;
+
+  // Structured event ring behind RecentEvents(). mutable: const reader
+  // endpoints append degradation/slow-request records.
+  mutable EventLog events_;
 
   // DegradationEvents() as of the last Install; Health() compares the
   // live counters against it.

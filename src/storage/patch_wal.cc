@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "common/trace.h"
 #include "core/binary_io.h"
 #include "core/serialization.h"
 #include "core/wire_frame.h"
@@ -83,6 +84,7 @@ std::string PatchWal::EncodeRecord(const MapPatch& patch,
 }
 
 Status PatchWal::Append(const MapPatch& patch, uint64_t version_hint) {
+  TraceSpan span("wal.append");
   ScopedTimer timer(lat_append_);
   Status result = [&]() -> Status {
     FaultInjector* faults = options_.fault_injector;
@@ -118,6 +120,7 @@ Status PatchWal::Append(const MapPatch& patch, uint64_t version_hint) {
     return Status::Ok();
   }();
   if (!result.ok()) {
+    span.SetStatus(result.code());
     if (append_failures_ != nullptr) append_failures_->Increment();
     return result;
   }
@@ -129,10 +132,12 @@ Status PatchWal::Append(const MapPatch& patch, uint64_t version_hint) {
 }
 
 Result<PatchWal::ReplayResult> PatchWal::Replay() const {
+  TraceSpan span("wal.replay");
   ReplayResult out;
   auto file = ReadFileRaw(options_.path);
   if (!file.ok()) {
     if (file.status().code() == StatusCode::kNotFound) return out;
+    span.SetStatus(file.status().code());
     return file.status();
   }
   std::string buffer = std::move(file).value();
@@ -188,6 +193,7 @@ Result<PatchWal::ReplayResult> PatchWal::Replay() const {
     ++skipped;  // Trailing fragment shorter than a header.
   }
   out.skipped_records = skipped;
+  if (skipped > 0) span.SetStatus(StatusCode::kDataLoss);
   if (replay_skipped_ != nullptr) replay_skipped_->Increment(skipped);
   return out;
 }

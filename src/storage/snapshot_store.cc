@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "common/trace.h"
 #include "core/binary_io.h"
 #include "core/wire_frame.h"
 
@@ -114,6 +115,7 @@ Status SnapshotStore::WriteCheckpoint(const TileStore& tiles,
   if (options_.data_dir.empty()) {
     return Status::FailedPrecondition("SnapshotStore has no data_dir");
   }
+  TraceSpan span("storage.checkpoint_write");
   ScopedTimer timer(lat_write_);
   Status result = [&]() -> Status {
     FaultInjector* faults = options_.fault_injector;
@@ -160,8 +162,15 @@ Status SnapshotStore::WriteCheckpoint(const TileStore& tiles,
           faults->MaybeCorrupt(kWriteFaultSite, bytes, &corrupted)) {
         bytes = corrupted;
       }
-      HDMAP_RETURN_IF_ERROR(WriteFileRaw(tmp_dir + "/" + TileFileName(morton),
-                                         bytes, options_.fsync));
+      {
+        TraceSpan tile_span("storage.checkpoint_tile_write");
+        Status written = WriteFileRaw(
+            tmp_dir + "/" + TileFileName(morton), bytes, options_.fsync);
+        if (!written.ok()) {
+          tile_span.SetStatus(written.code());
+          return written;
+        }
+      }
       total_bytes += bytes.size();
       if (tiles_written_ != nullptr) tiles_written_->Increment();
     }
@@ -174,10 +183,21 @@ Status SnapshotStore::WriteCheckpoint(const TileStore& tiles,
                              &corrupted)) {
       manifest_bytes = corrupted;
     }
-    HDMAP_RETURN_IF_ERROR(WriteFileRaw(tmp_dir + "/" + kManifestFile,
-                                       manifest_bytes, options_.fsync));
-    total_bytes += manifest_bytes.size();
-    HDMAP_RETURN_IF_ERROR(FsyncDir(tmp_dir, options_.fsync));
+    {
+      TraceSpan manifest_span("storage.manifest_write");
+      Status written = WriteFileRaw(tmp_dir + "/" + kManifestFile,
+                                    manifest_bytes, options_.fsync);
+      if (!written.ok()) {
+        manifest_span.SetStatus(written.code());
+        return written;
+      }
+      total_bytes += manifest_bytes.size();
+      Status synced = FsyncDir(tmp_dir, options_.fsync);
+      if (!synced.ok()) {
+        manifest_span.SetStatus(synced.code());
+        return synced;
+      }
+    }
 
     // The commit point: everything is durable in the temp dir, flip it
     // visible with one rename.
@@ -195,6 +215,7 @@ Status SnapshotStore::WriteCheckpoint(const TileStore& tiles,
     return Status::Ok();
   }();
   if (!result.ok()) {
+    span.SetStatus(result.code());
     if (write_failures_ != nullptr) write_failures_->Increment();
     return result;
   }
@@ -239,6 +260,7 @@ void SnapshotStore::ApplyRetention() const {
 
 Result<RecoveredSnapshot> SnapshotStore::LoadCheckpoint(
     uint64_t version, const TileStore::Options& tile_options) const {
+  TraceSpan span("storage.checkpoint_load");
   const std::string dir = CheckpointDir(version);
   HDMAP_ASSIGN_OR_RETURN(std::string framed,
                          ReadFileRaw(dir + "/" + kManifestFile));

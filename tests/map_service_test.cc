@@ -5,9 +5,11 @@
 
 #include <filesystem>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "core/serialization.h"
 #include "tests/test_worlds.h"
 
@@ -741,6 +743,154 @@ TEST(MapServiceDurabilityTest, TornWalRecordIsSkippedAndCounted) {
             1u);
   EXPECT_GE(revived.metrics().GetCounter("wal.replay_skipped")->value(), 1u);
   EXPECT_EQ(revived.Health(), ServiceHealth::kDegraded);
+}
+
+// --- Observability: structured events + request tracing ---
+
+/// Enables the process-global trace recorder for one test and restores
+/// the disabled default on exit (other tests assume tracing off).
+class ScopedGlobalTracing {
+ public:
+  explicit ScopedGlobalTracing(const TraceRecorder::Options& opts) {
+    TraceRecorder::Global().Configure(opts);
+  }
+  ~ScopedGlobalTracing() {
+    TraceRecorder::Global().Configure(TraceRecorder::Options{});
+  }
+};
+
+TEST(MapServiceObservabilityTest, RecentEventsExplainEveryDegradedRegion) {
+  TraceRecorder::Options trace_opts;
+  trace_opts.enabled = true;
+  trace_opts.sample_every_n = 0;  // Only error/slow spans record.
+  ScopedGlobalTracing tracing(trace_opts);
+
+  FaultInjector faults(21);
+  MapService::Options opt = SmallTileOptions();
+  opt.fault_injector = &faults;
+  MapService service(opt);
+  ASSERT_TRUE(service.Init(StraightRoad(500.0)).ok());
+  Aabb world_box = service.snapshot()->map.BoundingBox();
+  uint64_t events_before = service.event_log().total_appended();
+
+  faults.AddPolicy({TileStore::kLoadFaultSite, FaultKind::kBitFlip, 1.0});
+  ASSERT_TRUE(service.GetRegion(world_box).ok());
+  ASSERT_TRUE(service.GetRegion(world_box).ok());
+  EXPECT_EQ(
+      service.metrics().GetCounter("map_service.regions_degraded")->value(),
+      2u);
+
+  // One QUARANTINED_TILE event per regions_degraded increment, newest
+  // first, each carrying the trace id of the request that observed it.
+  std::vector<EventLog::Event> events = service.RecentEvents();
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(service.event_log().total_appended() - events_before, 2u);
+  EXPECT_GT(events[0].seq, events[1].seq);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(events[i].type, EventLog::Type::kQuarantinedTile);
+    EXPECT_EQ(events[i].code, StatusCode::kDataLoss);
+    EXPECT_NE(events[i].trace_id, 0u);
+    EXPECT_NE(events[i].detail.find("corrupt tile"), std::string::npos)
+        << events[i].detail;
+  }
+
+  // Each event's trace id joins back to a recorded get_region root span
+  // (forced into the ring by its DATA_LOSS status despite sampling off).
+  std::set<uint64_t> root_traces;
+  for (const TraceEvent& e : TraceRecorder::Global().Snapshot()) {
+    if (std::string(e.name) == "map_service.get_region") {
+      EXPECT_EQ(e.status, StatusCode::kDataLoss);
+      root_traces.insert(e.trace_id);
+    }
+  }
+  EXPECT_EQ(root_traces.count(events[0].trace_id), 1u);
+  EXPECT_EQ(root_traces.count(events[1].trace_id), 1u);
+}
+
+TEST(MapServiceObservabilityTest, SlowRequestsLeaveAnEvent) {
+  MapService::Options opt = SmallTileOptions();
+  opt.slow_request_threshold_s = 1e-9;  // Everything is "slow".
+  MapService service(opt);
+  ASSERT_TRUE(service.Init(StraightRoad(300.0)).ok());
+  ASSERT_TRUE(service.GetRegion(service.snapshot()->map.BoundingBox()).ok());
+  std::vector<EventLog::Event> events = service.RecentEvents();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].type, EventLog::Type::kSlowRequest);
+  EXPECT_NE(events[0].detail.find("map_service.get_region"),
+            std::string::npos)
+      << events[0].detail;
+  EXPECT_NE(events[0].detail.find("threshold"), std::string::npos);
+}
+
+TEST(MapServiceObservabilityTest, InjectedPublishFaultIsLogged) {
+  FaultInjector faults(7);
+  faults.AddPolicy({MapService::kPublishFaultSite, FaultKind::kFailStatus,
+                    1.0, StatusCode::kInternal});
+  MapService::Options opt = SmallTileOptions();
+  opt.fault_injector = &faults;
+  MapService service(opt);
+  ASSERT_TRUE(service.Init(StraightRoad(300.0)).ok());
+  MapPatch patch;
+  patch.moved_landmarks.push_back(
+      {FirstLandmarkId(service.snapshot()->map), {1, 2, 3}});
+  service.StagePatch(patch);
+  EXPECT_EQ(service.Publish().code(), StatusCode::kInternal);
+  std::vector<EventLog::Event> events = service.RecentEvents();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].type, EventLog::Type::kInjectedFault);
+  EXPECT_EQ(events[0].code, StatusCode::kInternal);
+  EXPECT_NE(events[0].detail.find("map_service.publish"), std::string::npos);
+}
+
+TEST(MapServiceObservabilityTest, EventsOrderDegradeThenRecoverAcrossRestart) {
+  ScopedDataDir dir("events_order");
+  {
+    MapService service(DurableOptions(dir.str()));
+    ASSERT_TRUE(service.Init(StraightRoad(300.0)).ok());
+    MapPatch patch;
+    ElementId sign = FirstLandmarkId(service.snapshot()->map);
+    patch.moved_landmarks.push_back(
+        {sign,
+         service.snapshot()->map.FindLandmark(sign)->position + Vec3{9, 0, 0}});
+    ASSERT_TRUE(service.ApplyPatch(patch).ok());  // Checkpoint v2.
+  }
+  // Tear the newest checkpoint's manifest so recovery falls back to v1.
+  fs::path newest;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dir.str()) / "checkpoints")) {
+    if (newest.empty() || entry.path().filename() > newest.filename()) {
+      newest = entry.path();
+    }
+  }
+  ASSERT_FALSE(newest.empty());
+  fs::path manifest = newest / "manifest.bin";
+  fs::resize_file(manifest, fs::file_size(manifest) / 2);
+
+  FaultInjector faults(5);
+  MapService::Options opt = DurableOptions(dir.str());
+  opt.fault_injector = &faults;
+  MapService revived(opt);
+  ASSERT_TRUE(revived.Init(HdMap()).ok());
+  EXPECT_EQ(revived.Health(), ServiceHealth::kDegraded);
+
+  // Recovery already logged its story; now degrade a read on top.
+  faults.AddPolicy({TileStore::kLoadFaultSite, FaultKind::kBitFlip, 1.0});
+  ASSERT_TRUE(
+      revived.GetRegion(revived.snapshot()->map.BoundingBox()).ok());
+
+  // Newest first: the degraded read, then the recovery summary, then the
+  // checkpoint fallback that preceded it — seq strictly descending.
+  std::vector<EventLog::Event> events = revived.RecentEvents();
+  ASSERT_GE(events.size(), 3u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i].seq, events[i - 1].seq);
+  }
+  EXPECT_EQ(events[0].type, EventLog::Type::kQuarantinedTile);
+  EXPECT_EQ(events[1].type, EventLog::Type::kRecoverySummary);
+  EXPECT_EQ(events[2].type, EventLog::Type::kCheckpointFallback);
+  EXPECT_NE(events[1].detail.find("recovered version"), std::string::npos)
+      << events[1].detail;
+  EXPECT_NE(events[2].detail.find("checkpoint"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,303 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace hdmap {
+namespace {
+
+TraceRecorder::Options EnabledOptions(size_t capacity = 8192,
+                                      uint32_t sample_every_n = 1,
+                                      double slow_threshold_s = 0.25) {
+  TraceRecorder::Options opts;
+  opts.enabled = true;
+  opts.capacity = capacity;
+  opts.sample_every_n = sample_every_n;
+  opts.slow_threshold_s = slow_threshold_s;
+  return opts;
+}
+
+TEST(TraceSpanTest, DisabledRecorderMakesSpansInert) {
+  TraceRecorder recorder;  // Default options: disabled.
+  {
+    TraceSpan root("request", TraceSpan::kRoot, &recorder);
+    EXPECT_FALSE(root.active());
+    EXPECT_EQ(root.trace_id(), 0u);
+    TraceSpan child("step", &recorder);
+    EXPECT_FALSE(child.active());
+  }
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+}
+
+TEST(TraceSpanTest, ChildWithoutAmbientContextIsInert) {
+  TraceRecorder recorder(EnabledOptions());
+  TraceSpan orphan("library.helper", &recorder);
+  EXPECT_FALSE(orphan.active());
+  EXPECT_EQ(orphan.trace_id(), 0u);
+}
+
+TEST(TraceSpanTest, RootAndChildShareTraceAndNest) {
+  TraceRecorder recorder(EnabledOptions());
+  uint64_t root_trace = 0;
+  uint64_t root_span = 0;
+  {
+    TraceSpan root("map_service.get_region", TraceSpan::kRoot, &recorder);
+    ASSERT_TRUE(root.active());
+    root_trace = root.trace_id();
+    root_span = root.span_id();
+    EXPECT_EQ(CurrentTraceId(), root_trace);
+    {
+      TraceSpan child("tile_store.decode", &recorder);
+      ASSERT_TRUE(child.active());
+      EXPECT_EQ(child.trace_id(), root_trace);
+      EXPECT_NE(child.span_id(), root_span);
+    }
+    // Child restored the context to the root span.
+    EXPECT_EQ(CurrentTraceId(), root_trace);
+  }
+  EXPECT_EQ(CurrentTraceId(), 0u);
+
+  std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Snapshot sorts by start time: root first, child second.
+  EXPECT_STREQ(events[0].name, "map_service.get_region");
+  EXPECT_STREQ(events[1].name, "tile_store.decode");
+  EXPECT_EQ(events[0].trace_id, events[1].trace_id);
+  EXPECT_EQ(events[0].parent_span_id, 0u);
+  EXPECT_EQ(events[1].parent_span_id, events[0].span_id);
+  EXPECT_LE(events[1].duration_ns, events[0].duration_ns);
+}
+
+TEST(TraceSpanTest, SamplingOneInNKeepsErrorAndSlowSpans) {
+  // sample_every_n = 0: head sampling off entirely.
+  TraceRecorder recorder(EnabledOptions(8192, 0));
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span("request", TraceSpan::kRoot, &recorder);
+    EXPECT_TRUE(span.active());   // Traced (ids flow to children)...
+    EXPECT_FALSE(span.sampled()); // ...but not head-sampled.
+  }
+  EXPECT_TRUE(recorder.Snapshot().empty());
+
+  // An error span records even though its trace is unsampled.
+  {
+    TraceSpan span("request", TraceSpan::kRoot, &recorder);
+    span.SetStatus(StatusCode::kDataLoss);
+  }
+  std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].status, StatusCode::kDataLoss);
+  EXPECT_FALSE(events[0].sampled);
+}
+
+TEST(TraceSpanTest, ErrorChildRecordsAloneInUnsampledTrace) {
+  TraceRecorder recorder(EnabledOptions(8192, 0));
+  {
+    TraceSpan root("request", TraceSpan::kRoot, &recorder);
+    TraceSpan child("tile_store.decode", &recorder);
+    child.SetStatus(StatusCode::kDataLoss);
+  }
+  std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "tile_store.decode");
+}
+
+TEST(TraceSpanTest, NonForcedErrorRecordsOnlyWhenSampled) {
+  TraceRecorder recorder(EnabledOptions(8192, 0));
+  {
+    // Unsampled trace + force=false: status annotated but not recorded.
+    TraceSpan span("tile_store.load", TraceSpan::kRoot, &recorder);
+    span.SetStatus(StatusCode::kDataLoss, /*force=*/false);
+  }
+  EXPECT_TRUE(recorder.Snapshot().empty());
+
+  recorder.Configure(EnabledOptions(8192, 1));
+  {
+    // Sampled trace: the non-forced error span records like any other.
+    TraceSpan span("tile_store.load", TraceSpan::kRoot, &recorder);
+    span.SetStatus(StatusCode::kDataLoss, /*force=*/false);
+  }
+  std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].status, StatusCode::kDataLoss);
+}
+
+TEST(TraceSpanTest, OneInTwoSamplingRecordsHalfTheTraces) {
+  TraceRecorder recorder(EnabledOptions(8192, 2));
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span("request", TraceSpan::kRoot, &recorder);
+  }
+  EXPECT_EQ(recorder.Snapshot().size(), 5u);
+}
+
+TEST(TraceSpanTest, SlowSpanRecordsAndIsFlagged) {
+  TraceRecorder recorder(EnabledOptions(8192, 0, 1e-9));
+  {
+    TraceSpan span("request", TraceSpan::kRoot, &recorder);
+    // Any real work exceeds a 1 ns threshold.
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].slow);
+}
+
+TEST(TraceSpanTest, EndIsIdempotent) {
+  TraceRecorder recorder(EnabledOptions());
+  TraceSpan span("request", TraceSpan::kRoot, &recorder);
+  span.End();
+  span.End();  // Destructor will be a third call.
+  EXPECT_EQ(recorder.recorded(), 1u);
+}
+
+TEST(TraceContextTest, ScopePropagatesAcrossThreads) {
+  TraceRecorder recorder(EnabledOptions());
+  TraceSpan root("request", TraceSpan::kRoot, &recorder);
+  TraceContext ctx = CurrentTraceContext();
+  uint64_t seen_trace = 0;
+  std::thread worker([&] {
+    EXPECT_EQ(CurrentTraceId(), 0u);  // Fresh thread: no ambient trace.
+    TraceContextScope scope(ctx);
+    TraceSpan child("worker.step", &recorder);
+    seen_trace = child.trace_id();
+  });
+  worker.join();
+  EXPECT_EQ(seen_trace, root.trace_id());
+}
+
+TEST(TraceContextTest, ParallelForCarriesContextIntoWorkers) {
+  TraceRecorder recorder(EnabledOptions());
+  TraceSpan root("tile_store.load_region", TraceSpan::kRoot, &recorder);
+  constexpr size_t kN = 64;
+  std::vector<uint64_t> trace_ids(kN, 0);
+  ParallelFor(kN, [&](size_t i) {
+    TraceSpan span("tile_store.decode", &recorder);
+    trace_ids[i] = span.trace_id();
+  }, 4);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(trace_ids[i], root.trace_id()) << "iteration " << i;
+  }
+  root.End();
+  // Every span shares the trace and the decode spans all parent on root.
+  std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), kN + 1);
+  for (const TraceEvent& e : events) {
+    EXPECT_EQ(e.trace_id, root.trace_id());
+    if (std::string(e.name) == "tile_store.decode") {
+      EXPECT_EQ(e.parent_span_id, root.span_id());
+    }
+  }
+}
+
+TEST(TraceContextTest, ThreadPoolSubmitCarriesContext) {
+  TraceRecorder recorder(EnabledOptions());
+  ThreadPool pool(2);
+  TraceSpan root("request", TraceSpan::kRoot, &recorder);
+  std::atomic<uint64_t> seen{0};
+  pool.Submit([&] { seen.store(CurrentTraceId()); });
+  pool.Wait();
+  EXPECT_EQ(seen.load(), root.trace_id());
+}
+
+TEST(TraceRecorderTest, RingWrapsAndCountsDrops) {
+  // Tiny capacity: 16 total = 2 per stripe. Record from this one thread
+  // (one stripe) until it wraps.
+  TraceRecorder recorder(EnabledOptions(16));
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span("request", TraceSpan::kRoot, &recorder);
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 8u);
+  std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // The survivors are the newest two, in start order.
+  EXPECT_LE(events[0].start_ns, events[1].start_ns);
+  uint64_t max_trace = 0;
+  for (const TraceEvent& e : recorder.Snapshot()) {
+    max_trace = std::max(max_trace, e.trace_id);
+  }
+  EXPECT_EQ(events[1].trace_id, max_trace);
+}
+
+TEST(TraceRecorderTest, ConcurrentWritersWrapCleanly) {
+  // 8 writer threads hammering a deliberately tiny ring: exercises stripe
+  // locking and overwrite-on-wrap under contention (the TSan build of this
+  // test is the race check the PR requires).
+  TraceRecorder recorder(EnabledOptions(64));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span("request", TraceSpan::kRoot, &recorder);
+        TraceSpan child("step", &recorder);
+      }
+    });
+  }
+  // Concurrent readers while writers run.
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      std::vector<TraceEvent> events = recorder.Snapshot();
+      EXPECT_LE(events.size(), 64u);
+      (void)recorder.ExportChromeTraceJson();
+    }
+  });
+  for (auto& t : threads) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(recorder.recorded(),
+            static_cast<uint64_t>(kThreads) * kPerThread * 2);
+  EXPECT_EQ(recorder.recorded() - recorder.dropped(),
+            recorder.Snapshot().size());
+  // Every buffered event is well-formed (non-empty literal name).
+  for (const TraceEvent& e : recorder.Snapshot()) {
+    EXPECT_TRUE(std::string(e.name) == "request" ||
+                std::string(e.name) == "step");
+    EXPECT_NE(e.trace_id, 0u);
+  }
+}
+
+TEST(TraceRecorderTest, ChromeTraceJsonShape) {
+  TraceRecorder recorder(EnabledOptions());
+  {
+    TraceSpan root("map_service.get_region", TraceSpan::kRoot, &recorder);
+    TraceSpan child("tile_store.decode", &recorder);
+    child.SetStatus(StatusCode::kDataLoss);
+  }
+  std::string json = recorder.ExportChromeTraceJson();
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"name\":\"map_service.get_region\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"tile_store.decode\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"DATA_LOSS\""), std::string::npos);
+  // Braces balance (cheap well-formedness check; Perfetto is the real
+  // consumer).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TraceRecorderTest, ConfigureResetsRing) {
+  TraceRecorder recorder(EnabledOptions());
+  { TraceSpan span("request", TraceSpan::kRoot, &recorder); }
+  EXPECT_EQ(recorder.Snapshot().size(), 1u);
+  recorder.Configure(EnabledOptions(32));
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_EQ(recorder.options().capacity, 32u);
+}
+
+}  // namespace
+}  // namespace hdmap
