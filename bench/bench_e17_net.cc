@@ -1,0 +1,433 @@
+// E17: framed-TCP tile serving under open-loop network load.
+//
+// Drives the TileServer (src/net/) over real loopback sockets with an
+// open-loop generator: request send times are scheduled up front at a
+// fixed rate, independent of response arrival, so queueing delay shows
+// up as latency instead of silently throttling the offered load (the
+// closed-loop coordination-omission trap). Three phases:
+//
+//   1. Calibrate — one closed-loop connection measures the peak
+//      back-to-back GetTile throughput R_max.
+//   2. Load ladder — open-loop runs at 0.5x / 1x / 2x R_max across C
+//      pipelined connections. Per step: offered vs achieved send rate,
+//      served goodput, BUSY shed rate, and p50/p99/p999 of served
+//      latencies. The 2x step is the admission-control story: the
+//      server must shed with typed BUSY while goodput for admitted
+//      requests stays near the pre-saturation peak, rather than letting
+//      an unbounded queue grow until every response is late.
+//   3. Coalescing — K clients fire the identical GetRegion at a server
+//      whose handler is artificially slowed (the test hook widens the
+//      in-flight window); the computations counter shows K requests
+//      collapsing into 1 region serialization.
+//
+// The run fails (nonzero exit) if coalescing does not collapse
+// duplicates, if the 2x overload step sheds nothing, or if goodput
+// under 2x overload falls below half the 1x goodput (the report prints
+// the within-20% check; the exit gate is looser so CI boxes with one
+// core don't flake).
+//
+// Usage: bench_e17_net [--smoke] [--seconds=S] [--connections=C]
+//                      [--coalesce-clients=K]
+
+#include <atomic>
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/statistics.h"
+#include "core/tile_store.h"
+#include "net/tile_server.h"
+#include "service/map_service.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+struct LoadResult {
+  double offered_hz = 0;
+  double achieved_hz = 0;   // What the senders actually put on the wire.
+  double goodput_hz = 0;    // kOk responses per second.
+  uint64_t sent = 0;
+  uint64_t served = 0;
+  uint64_t busy = 0;
+  uint64_t errors = 0;
+  uint64_t overflow = 0;    // Scheduled sends dropped at the client.
+  double p50_ms = 0, p99_ms = 0, p999_ms = 0;
+};
+
+/// Client-side cap on outstanding (sent, unanswered) requests per
+/// connection — the "partly open" load model. Past it, scheduled sends
+/// are dropped at the client and counted, instead of wedging the socket
+/// until the server's write-stall guard kills the connection. The cap is
+/// far above the server's admission window, so it only binds when the
+/// generator machine itself can no longer drain responses.
+constexpr uint64_t kMaxOutstandingPerConn = 256;
+
+double PercentileMs(std::vector<double>& lat_s, double q) {
+  if (lat_s.empty()) return 0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(lat_s.size() - 1));
+  std::nth_element(lat_s.begin(), lat_s.begin() + static_cast<long>(idx),
+                   lat_s.end());
+  return lat_s[idx] * 1e3;
+}
+
+/// Closed-loop calibration at the same concurrency as the load phase:
+/// C connections round-trip back-to-back, and the summed served rate is
+/// the sustainable peak the open-loop factors scale from. Using the
+/// same client thread count matters on small boxes — the generator
+/// competes with the server for cores, and a single-connection RTT peak
+/// would overstate what open-loop clients can actually sustain.
+double CalibratePeakHz(uint16_t port, const std::vector<TileId>& tiles,
+                       double seconds, size_t connections) {
+  std::atomic<uint64_t> done{0};
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      NetClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) return;
+      bench::Timer t;
+      uint64_t mine = 0;
+      while (t.Seconds() < seconds) {
+        auto resp = client.GetTile(tiles[(c + mine) % tiles.size()]);
+        if (!resp.ok()) break;
+        if (resp->code == NetResponseCode::kOk) ++mine;
+      }
+      done.fetch_add(mine, std::memory_order_relaxed);
+    });
+  }
+  bench::Timer wall;
+  for (auto& th : threads) th.join();
+  double elapsed = wall.Seconds();
+  return elapsed > 0 ? static_cast<double>(done.load()) / elapsed : 0;
+}
+
+/// One open-loop step: C connections, each with a sender thread walking
+/// a precomputed schedule (send immediately when behind — lateness
+/// becomes queueing, never a lower offered rate) and a reader thread
+/// draining responses. Requests pipeline on each connection; the server
+/// sheds with BUSY past its admission caps.
+LoadResult RunOpenLoopStep(uint16_t port, const std::vector<TileId>& tiles,
+                           double rate_hz, double seconds,
+                           size_t connections) {
+  LoadResult out;
+  out.offered_hz = rate_hz;
+  const uint64_t per_conn =
+      std::max<uint64_t>(1, static_cast<uint64_t>(
+                                rate_hz * seconds /
+                                static_cast<double>(connections)));
+  const double interval_s =
+      seconds / static_cast<double>(per_conn);  // Per-connection spacing.
+
+  struct ConnStats {
+    uint64_t served = 0, busy = 0, errors = 0, overflow = 0;
+    std::atomic<uint64_t> outstanding{0};
+    std::atomic<bool> dead{false};
+    std::vector<double> lat_s;
+  };
+  std::vector<std::unique_ptr<NetClient>> clients;
+  std::vector<ConnStats> stats(connections);
+  for (size_t c = 0; c < connections; ++c) {
+    auto client = std::make_unique<NetClient>();
+    if (!client->Connect("127.0.0.1", port).ok()) {
+      std::fprintf(stderr, "connect failed\n");
+      std::exit(1);
+    }
+    clients.push_back(std::move(client));
+  }
+
+  bench::Timer wall;
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> total_sent{0};
+  for (size_t c = 0; c < connections; ++c) {
+    NetClient* client = clients[c].get();
+    ConnStats* st = &stats[c];
+    // Reader: every request (served, BUSY, or error) gets exactly one
+    // response, so draining per_conn responses is a complete join.
+    // Reader: drains until the sender reports how many responses are
+    // actually owed (every sent request gets exactly one response).
+    threads.emplace_back([client, st] {
+      // Blocks in ReadResponse only while a response is owed
+      // (outstanding > 0), so it can never hang after the sender ends.
+      for (;;) {
+        if (st->dead.load(std::memory_order_acquire) &&
+            st->outstanding.load(std::memory_order_acquire) == 0) {
+          break;
+        }
+        if (st->outstanding.load(std::memory_order_acquire) == 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          continue;
+        }
+        auto resp = client->ReadResponse();
+        if (!resp.ok()) {
+          st->errors += st->outstanding.exchange(0);
+          break;
+        }
+        st->outstanding.fetch_sub(1, std::memory_order_release);
+        switch (resp->code) {
+          case NetResponseCode::kOk:
+            ++st->served;
+            break;
+          case NetResponseCode::kBusy:
+            ++st->busy;
+            break;
+          default:
+            ++st->errors;
+        }
+      }
+    });
+    // Sender: fixed schedule anchored at the step start; drops a
+    // scheduled send when the outstanding window is full.
+    threads.emplace_back([client, st, &tiles, &total_sent, per_conn,
+                          interval_s, c] {
+      bench::Timer t0;
+      for (uint64_t i = 0; i < per_conn; ++i) {
+        double due = static_cast<double>(i) * interval_s;
+        double now = t0.Seconds();
+        if (now < due) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(due - now));
+        }
+        if (st->outstanding.load(std::memory_order_acquire) >=
+            kMaxOutstandingPerConn) {
+          ++st->overflow;
+          continue;
+        }
+        NetRequest req;
+        req.type = NetRequestType::kGetTile;
+        req.request_id = i + 1;
+        req.tile = tiles[(c + i) % tiles.size()];
+        st->outstanding.fetch_add(1, std::memory_order_release);
+        if (!client->Send(req).ok()) {
+          st->outstanding.fetch_sub(1, std::memory_order_release);
+          break;
+        }
+        total_sent.fetch_add(1, std::memory_order_relaxed);
+      }
+      st->dead.store(true, std::memory_order_release);
+    });
+  }
+  for (auto& th : threads) th.join();
+  double elapsed = wall.Seconds();
+
+  out.sent = total_sent.load();
+  for (auto& st : stats) {
+    out.served += st.served;
+    out.busy += st.busy;
+    out.errors += st.errors;
+    out.overflow += st.overflow;
+  }
+  out.achieved_hz = static_cast<double>(out.sent) / elapsed;
+  out.goodput_hz = static_cast<double>(out.served) / elapsed;
+  return out;
+}
+
+/// Latency-measuring variant: single closed-loop probe connection runs
+/// alongside the open-loop load and samples round-trip latency, so
+/// percentiles reflect what an admitted request experiences at this
+/// load level.
+LoadResult RunStepWithLatency(uint16_t port, const std::vector<TileId>& tiles,
+                              double rate_hz, double seconds,
+                              size_t connections) {
+  std::atomic<bool> stop{false};
+  std::vector<double> lat_s;
+  uint64_t probe_busy = 0;
+  std::thread probe([&] {
+    NetClient client;
+    if (!client.Connect("127.0.0.1", port).ok()) return;
+    while (!stop.load(std::memory_order_relaxed)) {
+      bench::Timer t;
+      auto resp = client.GetTile(tiles[lat_s.size() % tiles.size()]);
+      if (!resp.ok()) break;
+      if (resp->code == NetResponseCode::kOk) {
+        lat_s.push_back(t.Seconds());
+      } else if (resp->code == NetResponseCode::kBusy) {
+        ++probe_busy;
+        // Back off briefly so the probe itself doesn't camp the queue.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+  LoadResult out =
+      RunOpenLoopStep(port, tiles, rate_hz, seconds, connections);
+  stop.store(true);
+  probe.join();
+  out.busy += probe_busy;
+  out.p50_ms = PercentileMs(lat_s, 0.50);
+  out.p99_ms = PercentileMs(lat_s, 0.99);
+  out.p999_ms = PercentileMs(lat_s, 0.999);
+  return out;
+}
+
+/// Coalescing demo on a dedicated slow-handler server: K concurrent
+/// identical GetRegions must collapse into one computation.
+bool RunCoalesceDemo(const MapService& service, size_t k,
+                     uint64_t* computations_delta, uint64_t* coalesced) {
+  TileServer::Options opt;
+  opt.worker_threads = 4;
+  opt.handler_delay_ms_for_test = 100;  // Widens the in-flight window.
+  TileServer server(service, opt);
+  if (!server.Start().ok()) return false;
+  // The server shares the service's registry, so read deltas — the load
+  // phases already bumped these counters.
+  double comp_before =
+      server.metrics().GetCounter("net.computations")->value();
+  double coal_before =
+      server.metrics().GetCounter("net.coalesced")->value();
+
+  Aabb box = service.snapshot()->map.BoundingBox();
+  std::vector<std::unique_ptr<NetClient>> clients;
+  for (size_t i = 0; i < k; ++i) {
+    auto c = std::make_unique<NetClient>();
+    if (!c->Connect("127.0.0.1", server.port()).ok()) return false;
+    NetRequest req;
+    req.type = NetRequestType::kGetRegion;
+    req.request_id = i + 1;
+    req.box = box;
+    if (!c->Send(req).ok()) return false;
+    clients.push_back(std::move(c));
+  }
+  size_t ok = 0;
+  for (auto& c : clients) {
+    auto resp = c->ReadResponse();
+    if (resp.ok() && resp->code == NetResponseCode::kOk) ++ok;
+  }
+  *computations_delta = static_cast<uint64_t>(
+      server.metrics().GetCounter("net.computations")->value() -
+      comp_before);
+  *coalesced = static_cast<uint64_t>(
+      server.metrics().GetCounter("net.coalesced")->value() - coal_before);
+  server.Stop();
+  return ok == k;
+}
+
+int Run(int argc, char** argv) {
+  bool smoke = false;
+  double seconds = 3.0;
+  size_t connections = 4;
+  size_t coalesce_clients = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strncmp(argv[i], "--seconds=", 10) == 0)
+      seconds = std::atof(argv[i] + 10);
+    else if (std::strncmp(argv[i], "--connections=", 14) == 0)
+      connections = static_cast<size_t>(std::atoi(argv[i] + 14));
+    else if (std::strncmp(argv[i], "--coalesce-clients=", 19) == 0)
+      coalesce_clients = static_cast<size_t>(std::atoi(argv[i] + 19));
+  }
+  if (smoke) seconds = std::min(seconds, 1.0);
+
+  bench::PrintHeader(
+      "E17", "framed-TCP tile serving under open-loop load",
+      "serving edge must shed with typed BUSY, not queue without bound");
+
+  MapService::Options opt;
+  opt.tile_store.tile_size_m = 100.0;
+  MapService service(opt);
+  if (!service.Init(StraightRoad(2000.0)).ok()) {
+    std::fprintf(stderr, "service init failed\n");
+    return 1;
+  }
+  std::vector<TileId> tiles = service.snapshot()->tiles.AllTiles();
+  std::printf("world: straight road 2 km, %zu tiles of 100 m\n",
+              tiles.size());
+
+  TileServer::Options server_opt;
+  server_opt.worker_threads = 2;
+  server_opt.max_pending_requests = 64;
+  server_opt.max_inflight_per_connection = 32;
+  TileServer server(service, server_opt);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    return 1;
+  }
+
+  // Phase 1: closed-loop calibration.
+  double calib_s = smoke ? 0.3 : 1.0;
+  double peak_hz =
+      CalibratePeakHz(server.port(), tiles, calib_s, connections);
+  std::printf("calibration: closed-loop peak %.0f req/s over %zu conns\n",
+              peak_hz, connections);
+  if (peak_hz <= 0) return 1;
+
+  // Phase 2: open-loop ladder.
+  const double factors[] = {0.5, 1.0, 2.0};
+  LoadResult results[3];
+  for (int i = 0; i < 3; ++i) {
+    results[i] = RunStepWithLatency(server.port(), tiles,
+                                    factors[i] * peak_hz, seconds,
+                                    connections);
+    const LoadResult& r = results[i];
+    std::printf(
+        "load %.1fx | offered %6.0f/s sent %6llu drop %5llu | "
+        "goodput %6.0f/s busy %6llu err %3llu | "
+        "p50 %.2f ms p99 %.2f ms p999 %.2f ms\n",
+        factors[i], r.offered_hz, (unsigned long long)r.sent,
+        (unsigned long long)r.overflow, r.goodput_hz,
+        (unsigned long long)r.busy, (unsigned long long)r.errors, r.p50_ms,
+        r.p99_ms, r.p999_ms);
+  }
+  double busy_total =
+      server.metrics().GetCounter("net.busy_rejected")->value();
+  std::printf("server: %llu requests, %.0f busy-rejected total\n",
+              (unsigned long long)server.metrics()
+                  .GetCounter("net.requests")
+                  ->value(),
+              busy_total);
+  server.Stop();
+
+  // Phase 3: coalescing collapse.
+  uint64_t comp_delta = 0, coalesced = 0;
+  bool coalesce_ok =
+      RunCoalesceDemo(service, coalesce_clients, &comp_delta, &coalesced);
+  std::printf(
+      "coalescing: %zu identical GetRegions -> %llu computation(s), "
+      "%llu coalesced\n",
+      coalesce_clients, (unsigned long long)comp_delta,
+      (unsigned long long)coalesced);
+
+  // Report card. Pre-saturation peak = best goodput of the non-overload
+  // steps; the 2x step must retain most of it while shedding.
+  const LoadResult& r2 = results[2];
+  double peak_goodput =
+      std::max(results[0].goodput_hz, results[1].goodput_hz);
+  double retention =
+      peak_goodput > 0 ? r2.goodput_hz / peak_goodput : 0;
+  bench::PrintRow("coalescing collapse (K identical -> 1)", "1 computation",
+                  bench::Fmt("%.0f", (double)comp_delta) + " computation(s)");
+  bench::PrintRow("2x overload sheds with typed BUSY", "> 0 BUSY",
+                  bench::Fmt("%.0f", (double)r2.busy) + " BUSY");
+  bench::PrintRow("goodput retention at 2x overload", ">= 80% of peak",
+                  bench::Fmt("%.0f%%", retention * 100));
+
+  int rc = 0;
+  if (!coalesce_ok || comp_delta != 1) {
+    std::fprintf(stderr, "FAIL: coalescing did not collapse duplicates\n");
+    rc = 1;
+  }
+  if (r2.busy == 0) {
+    std::fprintf(stderr, "FAIL: no BUSY shedding at 2x overload\n");
+    rc = 1;
+  }
+  // Exit gate at 50% so one-core CI smoke runs don't flake; the printed
+  // report carries the 80% acceptance check for real runs.
+  if (retention < 0.5) {
+    std::fprintf(stderr,
+                 "FAIL: 2x-overload goodput %.0f/s < 50%% of peak %.0f/s\n",
+                 r2.goodput_hz, peak_goodput);
+    rc = 1;
+  }
+  std::printf("%s\n", rc == 0 ? "OK" : "FAILED");
+  return rc;
+}
+
+}  // namespace
+}  // namespace hdmap
+
+int main(int argc, char** argv) { return hdmap::Run(argc, argv); }

@@ -70,6 +70,8 @@ std::string_view EventLog::TypeToString(Type type) {
       return "SLOW_REQUEST";
     case Type::kRecoverySummary:
       return "RECOVERY_SUMMARY";
+    case Type::kBusyRejected:
+      return "BUSY_REJECTED";
   }
   return "UNKNOWN";
 }

@@ -41,6 +41,9 @@ class EventLog {
     kSlowRequest = 4,
     /// One recovery completed; detail summarizes what was restored.
     kRecoverySummary = 5,
+    /// Admission control rejected a request with a typed BUSY response
+    /// (full request queue or per-connection in-flight cap).
+    kBusyRejected = 6,
   };
 
   struct Event {

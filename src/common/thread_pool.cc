@@ -1,11 +1,25 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "common/trace.h"
 
 namespace hdmap {
+
+namespace {
+
+// Set for the lifetime of WorkerLoop: which pool (if any) owns the
+// calling thread. Read by Wait() (self-deadlock detection) and
+// ParallelFor (nested calls run serial).
+thread_local ThreadPool* t_current_worker_pool = nullptr;
+
+}  // namespace
+
+ThreadPool* ThreadPool::CurrentWorkerPool() { return t_current_worker_pool; }
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -42,11 +56,25 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  if (t_current_worker_pool == this) {
+    // The waiter occupies one of the worker slots whose drain it is
+    // waiting for; with the rest of the pool busy (or this the only
+    // worker) that never completes. Failing loudly here turns a silent
+    // production hang into an immediately debuggable crash.
+    std::fprintf(stderr,
+                 "FATAL: ThreadPool::Wait() called from a worker thread of "
+                 "the same pool; this deadlocks (the waiting task occupies "
+                 "the worker that would have to finish). Restructure the "
+                 "caller to wait from outside the pool.\n");
+    std::fflush(stderr);
+    std::abort();
+  }
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
+  t_current_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -71,28 +99,50 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
   num_threads = std::min(num_threads, n);
-  // Below this, thread spawn/join overhead dominates any win.
+  // Below this, fan-out overhead dominates any win.
   constexpr size_t kSerialCutoff = 2;
-  if (num_threads <= 1 || n < kSerialCutoff) {
+  if (num_threads <= 1 || n < kSerialCutoff ||
+      ThreadPool::CurrentWorkerPool() != nullptr) {
+    // Already inside a pool worker: this call is one lane of an enclosing
+    // fan-out. Running serial keeps total threads bounded by the
+    // enclosing pool and cannot deadlock against a saturated shared pool.
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
+  // One process-wide pool serves every ParallelFor call site, so K
+  // concurrent callers share hardware_concurrency workers instead of
+  // spawning K x cores fresh threads. Leaked deliberately: workers may
+  // outlive any static destruction order, and the pointer keeps the pool
+  // reachable (no leak-sanitizer report).
+  static ThreadPool* shared_pool = new ThreadPool(0);
+  // The chunk partition is unchanged from the thread-spawning
+  // implementation: it depends only on n and num_threads, so callers
+  // relying on deterministic chunking (TileStore::Build) see identical
+  // index ranges.
   size_t chunk = (n + num_threads - 1) / num_threads;
-  // Propagate the calling thread's trace context so spans opened inside
-  // the loop body nest under the caller's span (one track per worker).
-  TraceContext ctx = CurrentTraceContext();
-  for (size_t t = 0; t < num_threads; ++t) {
+  size_t num_chunks = (n + chunk - 1) / chunk;
+  // Latch shared by the chunks and the waiting caller. Heap-owned so the
+  // last worker's notify never races the caller's stack unwinding.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = num_chunks;
+  for (size_t t = 0; t < num_chunks; ++t) {
     size_t begin = t * chunk;
     size_t end = std::min(begin + chunk, n);
-    if (begin >= end) break;
-    threads.emplace_back([begin, end, &fn, ctx] {
-      TraceContextScope scope(ctx);
+    // Submit captures the caller's trace context, so spans opened inside
+    // the loop body still nest under the caller's span.
+    shared_pool->Submit([begin, end, &fn, latch] {
       for (size_t i = begin; i < end; ++i) fn(i);
+      std::lock_guard<std::mutex> lock(latch->mu);
+      if (--latch->remaining == 0) latch->cv.notify_all();
     });
   }
-  for (std::thread& t : threads) t.join();
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->remaining == 0; });
 }
 
 }  // namespace hdmap

@@ -28,12 +28,21 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues a task. Safe to call from any thread, including worker
-  /// threads (tasks must not Wait() from inside the pool, though —
-  /// that can deadlock).
+  /// threads.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. Must not be called
+  /// from one of this pool's own workers: the waiter would occupy the
+  /// worker slot that has to finish, deadlocking silently. That case is
+  /// detected (thread-local worker marker) and aborts with a fatal
+  /// message instead of hanging.
   void Wait();
+
+  /// The pool whose worker thread is executing the caller, or null when
+  /// the calling thread is not a pool worker. This is how ParallelFor
+  /// avoids nested oversubscription (it runs serial inside any pool
+  /// worker) and how Wait() detects the self-deadlock case.
+  static ThreadPool* CurrentWorkerPool();
 
  private:
   void WorkerLoop();
@@ -53,6 +62,15 @@ class ThreadPool {
 /// any order-independent use is deterministic. Falls back to a plain loop
 /// when n is small or one thread is requested. Blocks until all iterations
 /// complete. fn must not throw.
+///
+/// Scheduling: chunks run on one process-wide shared ThreadPool instead
+/// of freshly spawned std::threads, so K concurrent callers (e.g. K
+/// server handler threads each loading a region) share hardware_concurrency
+/// workers rather than creating K x cores threads. A call made from
+/// inside any ThreadPool worker runs serial on the calling thread — the
+/// caller is already one lane of a parallel fan-out, and nesting would
+/// both oversubscribe and risk waiting on the very pool the caller
+/// occupies.
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                  size_t num_threads = 0);
 

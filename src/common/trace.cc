@@ -161,6 +161,15 @@ TraceSpan::TraceSpan(const char* name, RootTag, TraceRecorder* recorder) {
   event_.name = name;
   TraceRecorder* rec =
       recorder != nullptr ? recorder : &TraceRecorder::Global();
+  const TraceContext& ambient = g_trace_context;
+  if (ambient.active()) {
+    // Already inside a trace: a layered entry point (e.g. a MapService
+    // endpoint called by the network edge, whose per-request span is the
+    // real root) joins the enclosing trace as a child, so one request
+    // yields one trace instead of two disconnected ones.
+    Open(rec, ambient);
+    return;
+  }
   if (!rec->enabled()) return;
   TraceContext ctx;
   ctx.trace_id = rec->NextTraceId();

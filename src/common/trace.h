@@ -202,7 +202,11 @@ class TraceSpan {
   /// `name` must outlive the recorder (use string literals).
   explicit TraceSpan(const char* name, TraceRecorder* recorder = nullptr);
 
-  /// Root span: starts a new trace when the recorder is enabled.
+  /// Root span: starts a new trace when the recorder is enabled. If an
+  /// ambient trace is already active on this thread (a layered entry
+  /// point — e.g. a MapService endpoint invoked by the network edge,
+  /// whose per-request span is the true root), joins it as a child
+  /// instead, so one request yields one trace.
   TraceSpan(const char* name, RootTag, TraceRecorder* recorder = nullptr);
 
   ~TraceSpan() { End(); }

@@ -1,0 +1,618 @@
+#include "net/tile_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/trace.h"
+#include "core/binary_io.h"
+#include "core/serialization.h"
+#include "core/wire_frame.h"
+
+namespace hdmap {
+
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+uint32_t HeaderCrcAt(std::string_view buffer) {
+  uint32_t crc = 0;
+  std::memcpy(&crc, buffer.data() + 8, sizeof(crc));
+  return crc;
+}
+
+/// Coalescing key: request type + args bytes. have_version is excluded —
+/// only full fetches reach the coalescing map, and a full fetch's result
+/// does not depend on what the client already holds.
+std::string CoalesceKey(const NetRequest& request) {
+  BufferWriter key;
+  key.WriteU8(static_cast<uint8_t>(request.type));
+  if (request.type == NetRequestType::kGetTile) {
+    key.WriteI32(request.tile.x);
+    key.WriteI32(request.tile.y);
+  } else if (request.type == NetRequestType::kGetRegion) {
+    key.WriteF64(request.box.min.x);
+    key.WriteF64(request.box.min.y);
+    key.WriteF64(request.box.max.x);
+    key.WriteF64(request.box.max.y);
+  }
+  return key.Release();
+}
+
+}  // namespace
+
+TileServer::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+TileServer::TileServer(const MapService& service, Options options)
+    : service_(service),
+      options_(std::move(options)),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : &service.metrics()),
+      events_(options_.event_log_capacity) {
+  requests_ = metrics_->GetCounter("net.requests");
+  busy_rejected_ = metrics_->GetCounter("net.busy_rejected");
+  coalesced_ = metrics_->GetCounter("net.coalesced");
+  computations_ = metrics_->GetCounter("net.computations");
+  not_modified_ = metrics_->GetCounter("net.not_modified");
+  deltas_ = metrics_->GetCounter("net.deltas");
+  malformed_ = metrics_->GetCounter("net.malformed_requests");
+  accepted_ = metrics_->GetCounter("net.connections_accepted");
+  conn_rejected_ = metrics_->GetCounter("net.connections_rejected");
+  bytes_in_ = metrics_->GetCounter("net.bytes_in");
+  bytes_out_ = metrics_->GetCounter("net.bytes_out");
+  connections_gauge_ = metrics_->GetGauge("net.connections");
+  latency_ = metrics_->GetLatency("net.request");
+  metrics_->SetHelp("net.requests", "Requests admitted by the tile server");
+  metrics_->SetHelp("net.busy_rejected",
+                    "Requests shed with a BUSY response by admission control");
+  metrics_->SetHelp("net.coalesced",
+                    "Requests served as waiters on another request's "
+                    "in-flight computation");
+  metrics_->SetHelp("net.computations",
+                    "Full-fetch payload computations actually run (admitted "
+                    "full fetches minus coalesced waiters)");
+  metrics_->SetHelp("net.request",
+                    "Tile-server request latency, admission to response");
+}
+
+TileServer::~TileServer() { Stop(); }
+
+Status TileServer::Start() {
+  if (running_.load()) {
+    return Status::FailedPrecondition("TileServer already started");
+  }
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::Internal(ErrnoMessage("socket"));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    Stop();
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 512) < 0) {
+    Status err = Status::Internal(ErrnoMessage("bind/listen"));
+    Stop();
+    return err;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_.store(ntohs(addr.sin_port));
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Status err = Status::Internal(ErrnoMessage("epoll_create1/eventfd"));
+    Stop();
+    return err;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  workers_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  running_.store(true);
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return Status::Ok();
+}
+
+void TileServer::Stop() {
+  running_.store(false);
+  if (io_thread_.joinable()) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+    io_thread_.join();
+  }
+  // Drains every admitted request (the pool destructor finishes its
+  // queue before joining), so responses already owed get written.
+  workers_.reset();
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections_.clear();  // Destructors close the sockets.
+  }
+  if (connections_gauge_ != nullptr) connections_gauge_->Set(0);
+  for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+size_t TileServer::NumConnections() const {
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  return connections_.size();
+}
+
+void TileServer::IoLoop() {
+  epoll_event events[64];
+  while (running_.load()) {
+    int n = ::epoll_wait(epoll_fd_, events, 64, 500);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drain = 0;
+        [[maybe_unused]] ssize_t r = ::read(wake_fd_, &drain, sizeof(drain));
+        continue;
+      }
+      if (fd == listen_fd_) {
+        HandleAccept();
+        continue;
+      }
+      std::shared_ptr<Connection> conn;
+      {
+        std::lock_guard<std::mutex> lock(connections_mu_);
+        auto it = connections_.find(fd);
+        if (it == connections_.end()) continue;
+        conn = it->second;
+      }
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 ||
+          !HandleReadable(conn)) {
+        RemoveConnection(fd);
+      }
+    }
+  }
+}
+
+void TileServer::HandleAccept() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN (or transient error): try next wakeup.
+    size_t count;
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      count = connections_.size();
+    }
+    if (count >= options_.max_connections) {
+      // No framing has been established yet, so there is no way to send
+      // a typed BUSY; an immediate close is the whole signal.
+      ::close(fd);
+      conn_rejected_->Increment();
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>(fd);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      connections_.emplace(fd, std::move(conn));
+      connections_gauge_->Set(static_cast<double>(connections_.size()));
+    }
+    accepted_->Increment();
+  }
+}
+
+bool TileServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  char buf[65536];
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      bytes_in_->Increment(static_cast<uint64_t>(n));
+      conn->read_buffer.append(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) return false;  // Peer closed.
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  for (;;) {
+    size_t frame_size = 0;
+    std::string_view body;
+    FrameParse parse =
+        ExtractFrame(conn->read_buffer, kNetRequestMagic, kMaxNetRequestBody,
+                     &frame_size, &body);
+    if (parse == FrameParse::kNeedMore) break;
+    if (parse == FrameParse::kViolation) {
+      // Bad magic / absurd length: the byte stream is not this protocol
+      // (or framing sync is lost for good). Nothing to resynchronize on.
+      malformed_->Increment();
+      return false;
+    }
+    uint32_t header_crc = HeaderCrcAt(conn->read_buffer);
+    std::string body_bytes(body);
+    if (options_.fault_injector != nullptr) {
+      std::string corrupted;
+      if (options_.fault_injector->MaybeCorrupt(kRecvFaultSite, body_bytes,
+                                                &corrupted)) {
+        body_bytes = std::move(corrupted);
+      }
+    }
+    HandleFrame(conn, body_bytes, header_crc);
+    conn->read_buffer.erase(0, frame_size);
+  }
+  return !conn->closed.load();
+}
+
+void TileServer::HandleFrame(const std::shared_ptr<Connection>& conn,
+                             std::string_view body, uint32_t header_crc) {
+  Result<NetRequest> decoded = DecodeRequestBody(body, header_crc);
+  if (!decoded.ok()) {
+    // The frame boundary was intact (magic + sane length), so the stream
+    // stays parseable: answer with a typed error and keep the
+    // connection. request_id 0 — the body bytes cannot be trusted.
+    malformed_->Increment();
+    WriteFrame(conn, EncodeResponseFrame(
+                         NetResponseCode::kError, decoded.status().code(), 0,
+                         service_.version(), decoded.status().message()));
+    return;
+  }
+  const NetRequest& request = decoded.value();
+  // Admission control. Both checks and the increments run only on the IO
+  // thread, so the caps are exact; decrements come from workers.
+  const char* shed_reason = nullptr;
+  if (pending_.load(std::memory_order_relaxed) >=
+      options_.max_pending_requests) {
+    shed_reason = "request queue full";
+  } else if (conn->inflight.load(std::memory_order_relaxed) >=
+             options_.max_inflight_per_connection) {
+    shed_reason = "connection in-flight cap reached";
+  }
+  if (shed_reason != nullptr) {
+    busy_rejected_->Increment();
+    events_.Append(EventLog::Type::kBusyRejected, 0,
+                   std::string(shed_reason) + " (request_id " +
+                       std::to_string(request.request_id) + ")");
+    WriteFrame(conn,
+               EncodeResponseFrame(NetResponseCode::kBusy, StatusCode::kOk,
+                                   request.request_id, service_.version(),
+                                   ""));
+    return;
+  }
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  conn->inflight.fetch_add(1, std::memory_order_relaxed);
+  auto admitted = std::chrono::steady_clock::now();
+  workers_->Submit([this, conn, request, admitted] {
+    ExecuteRequest(conn, request, admitted);
+  });
+}
+
+void TileServer::ExecuteRequest(
+    std::shared_ptr<Connection> conn, NetRequest request,
+    std::chrono::steady_clock::time_point admitted) {
+  TraceSpan span("net.request", TraceSpan::kRoot);
+  requests_->Increment();
+  if (request.type == NetRequestType::kPing) {
+    FinishRequest(conn, NetResponseCode::kOk, StatusCode::kOk,
+                  request.request_id, service_.version(), "", admitted);
+    return;
+  }
+  auto snap = service_.snapshot();
+  if (snap == nullptr) {
+    span.SetStatus(StatusCode::kFailedPrecondition);
+    FinishRequest(conn, NetResponseCode::kError,
+                  StatusCode::kFailedPrecondition, request.request_id, 0,
+                  "service not initialized", admitted);
+    return;
+  }
+  // Conditional fetch: cheap version probe before any computation.
+  if (request.have_version != 0) {
+    if (request.have_version == snap->version) {
+      not_modified_->Increment();
+      FinishRequest(conn, NetResponseCode::kNotModified, StatusCode::kOk,
+                    request.request_id, snap->version, "", admitted);
+      return;
+    }
+    if (request.type == NetRequestType::kGetRegion &&
+        request.have_version < snap->version) {
+      // The delta chain is map-wide, so only region clients (who hold
+      // map-level state) can apply it; a stale tile fetch goes full.
+      uint64_t reached = 0;
+      Result<std::vector<std::string>> delta =
+          service_.PatchesSince(request.have_version, &reached);
+      if (delta.ok()) {
+        deltas_->Increment();
+        FinishRequest(conn, NetResponseCode::kDelta, StatusCode::kOk,
+                      request.request_id, reached,
+                      EncodeDeltaPayload(delta.value()), admitted);
+        return;
+      }
+      // History fell short (or the chain is broken): full fetch below.
+    }
+  }
+  // Full fetch, coalesced: identical concurrent requests share one
+  // computation and every caller gets byte-identical payload bytes.
+  std::string key = CoalesceKey(request);
+  {
+    std::lock_guard<std::mutex> lock(coalesce_mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      it->second->waiters.push_back(
+          Waiter{conn, request.request_id, admitted});
+      coalesced_->Increment();
+      return;  // The owner writes this response.
+    }
+    inflight_.emplace(key, std::make_shared<Computation>());
+  }
+  uint64_t version = snap->version;
+  auto [code, status, payload] = ComputeFull(request, &version);
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(coalesce_mu_);
+    auto it = inflight_.find(key);
+    waiters = std::move(it->second->waiters);
+    inflight_.erase(it);
+    // After the erase (same critical section as waiter joins), no new
+    // waiter can attach to this computation — late duplicates start
+    // their own.
+  }
+  if (status != StatusCode::kOk) span.SetStatus(status);
+  FinishRequest(conn, code, status, request.request_id, version, payload,
+                admitted);
+  for (const Waiter& waiter : waiters) {
+    FinishRequest(waiter.conn, code, status, waiter.request_id, version,
+                  payload, waiter.admitted);
+  }
+}
+
+std::tuple<NetResponseCode, StatusCode, std::string> TileServer::ComputeFull(
+    const NetRequest& request, uint64_t* version) {
+  computations_->Increment();
+  if (options_.handler_delay_ms_for_test != 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.handler_delay_ms_for_test));
+  }
+  auto snap = service_.snapshot();
+  *version = snap->version;
+  if (request.type == NetRequestType::kGetTile) {
+    // Verbatim blob from the snapshot's tile store: zero re-encode, and
+    // the payload's embedded frame CRC travels with it. (The snapshot's
+    // store is immutable once published, so the unsynchronized
+    // raw_tiles() view is safe here.)
+    const auto& tiles = snap->tiles.raw_tiles();
+    auto it = tiles.find(request.tile.Morton());
+    if (it == tiles.end()) {
+      return {NetResponseCode::kError, StatusCode::kNotFound,
+              "tile (" + std::to_string(request.tile.x) + ", " +
+                  std::to_string(request.tile.y) + ") not present"};
+    }
+    return {NetResponseCode::kOk, StatusCode::kOk, it->second};
+  }
+  // Region: stitch (through the service, so degraded-mode policy and
+  // map_service.* accounting apply; its endpoint span nests under
+  // net.request) and serialize once. SerializeMap output is framed, so
+  // the client decodes and integrity-checks it like a tile blob.
+  Result<HdMap> region = service_.GetRegion(request.box);
+  if (!region.ok()) {
+    return {NetResponseCode::kError, region.status().code(),
+            region.status().message()};
+  }
+  TraceSpan serialize_span("net.serialize_region");
+  return {NetResponseCode::kOk, StatusCode::kOk, SerializeMap(*region)};
+}
+
+void TileServer::FinishRequest(
+    const std::shared_ptr<Connection>& conn, NetResponseCode code,
+    StatusCode status, uint64_t request_id, uint64_t version,
+    std::string_view payload,
+    std::chrono::steady_clock::time_point admitted) {
+  WriteFrame(conn,
+             EncodeResponseFrame(code, status, request_id, version, payload));
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - admitted)
+                       .count();
+  latency_->Record(elapsed);
+  if (options_.slow_request_threshold_s > 0 &&
+      elapsed > options_.slow_request_threshold_s) {
+    events_.Append(EventLog::Type::kSlowRequest, CurrentTraceId(),
+                   "net request_id " + std::to_string(request_id) + " took " +
+                       std::to_string(elapsed) + "s");
+  }
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void TileServer::WriteFrame(const std::shared_ptr<Connection>& conn,
+                            std::string_view frame) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->closed.load(std::memory_order_relaxed)) return;
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n = ::send(conn->fd, frame.data() + off, frame.size() - off,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{conn->fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, 5000) > 0) continue;
+      // A peer that stays unwritable for seconds is gone or wedged; a
+      // serving thread must not be parked on it indefinitely.
+      conn->closed.store(true, std::memory_order_relaxed);
+      return;
+    }
+    conn->closed.store(true, std::memory_order_relaxed);  // EPIPE etc.
+    return;
+  }
+  bytes_out_->Increment(frame.size());
+}
+
+void TileServer::RemoveConnection(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  std::shared_ptr<Connection> conn;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    conn = std::move(it->second);
+    connections_.erase(it);
+    connections_gauge_->Set(static_cast<double>(connections_.size()));
+  }
+  // Suppress further writes; the fd itself stays open until the last
+  // worker holding the Connection drops it, so a concurrent write can
+  // never hit a reused descriptor.
+  conn->closed.store(true, std::memory_order_relaxed);
+}
+
+// --- NetClient ---
+
+NetClient::~NetClient() { Close(); }
+
+Status NetClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Status::Internal(ErrnoMessage("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status err = Status::Internal(ErrnoMessage("connect"));
+    Close();
+    return err;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::Ok();
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  read_buffer_.clear();
+}
+
+Status NetClient::Send(const NetRequest& request) {
+  return SendRaw(EncodeRequestFrame(request));
+}
+
+Status NetClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Internal(ErrnoMessage("send"));
+  }
+  return Status::Ok();
+}
+
+Result<NetResponse> NetClient::ReadResponse() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  char buf[65536];
+  for (;;) {
+    size_t frame_size = 0;
+    std::string_view body;
+    FrameParse parse =
+        ExtractFrame(read_buffer_, kNetResponseMagic, kMaxNetResponseBody,
+                     &frame_size, &body);
+    if (parse == FrameParse::kViolation) {
+      return Status::DataLoss("response framing violated; closing");
+    }
+    if (parse == FrameParse::kFrame) {
+      Result<NetResponse> response =
+          DecodeResponseBody(body, HeaderCrcAt(read_buffer_));
+      read_buffer_.erase(0, frame_size);
+      return response;
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      read_buffer_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) return Status::Internal("connection closed by server");
+    return Status::Internal(ErrnoMessage("recv"));
+  }
+}
+
+Result<NetResponse> NetClient::Call(const NetRequest& request) {
+  Status sent = Send(request);
+  if (!sent.ok()) return sent;
+  return ReadResponse();
+}
+
+Result<NetResponse> NetClient::Ping() {
+  NetRequest request;
+  request.type = NetRequestType::kPing;
+  request.request_id = next_request_id_++;
+  return Call(request);
+}
+
+Result<NetResponse> NetClient::GetTile(const TileId& id,
+                                       uint64_t have_version) {
+  NetRequest request;
+  request.type = NetRequestType::kGetTile;
+  request.request_id = next_request_id_++;
+  request.have_version = have_version;
+  request.tile = id;
+  return Call(request);
+}
+
+Result<NetResponse> NetClient::GetRegion(const Aabb& box,
+                                         uint64_t have_version) {
+  NetRequest request;
+  request.type = NetRequestType::kGetRegion;
+  request.request_id = next_request_id_++;
+  request.have_version = have_version;
+  request.box = box;
+  return Call(request);
+}
+
+}  // namespace hdmap

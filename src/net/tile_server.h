@@ -1,0 +1,274 @@
+#ifndef HDMAP_NET_TILE_SERVER_H_
+#define HDMAP_NET_TILE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_log.h"
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "net/protocol.h"
+#include "service/map_service.h"
+
+namespace hdmap {
+
+/// Framed-TCP serving edge in front of a MapService: the process boundary
+/// of the HD-map ecosystem, where fleet clients fetch tiles/regions and
+/// poll for version deltas (net/protocol.h describes the wire format).
+///
+/// Architecture: one epoll IO thread owns accept + all socket reads and
+/// the connection table; decoded requests are admitted (or shed with a
+/// typed BUSY) and dispatched to a worker ThreadPool that computes and
+/// writes responses. Tile payloads are served verbatim from the
+/// snapshot's TileStore blobs — the reply path never re-serializes a
+/// tile.
+///
+/// Request coalescing: concurrent identical GetRegion/GetTile full
+/// fetches (same args, both unconditional) collapse into one
+/// computation; late arrivals park as waiters on the in-flight entry and
+/// every caller receives byte-identical payload bytes. This is the
+/// thundering-herd defence for fleet rollouts where thousands of
+/// vehicles cross the same map area after a publish.
+///
+/// Admission control: a global pending-request cap and a per-connection
+/// in-flight cap bound queueing. Beyond either cap the server answers
+/// immediately with kBusy (and a kBusyRejected event) instead of
+/// queueing without bound — clients see explicit backpressure with
+/// bounded latency rather than a growing silent queue.
+///
+/// Conditional fetch: a request carrying have_version == current is
+/// answered kNotModified; an older have_version within the service's
+/// publish history gets a kDelta payload (the PatchesSince chain) that
+/// is typically orders of magnitude smaller than the full region; a
+/// version outside the history falls back to a full fetch.
+///
+/// Observability: every admitted request runs under a root "net.request"
+/// TraceSpan (service-endpoint spans nest beneath it), latencies land in
+/// "net.request_seconds" with "net.*" counters alongside
+/// (requests/busy_rejected/coalesced/computations/bytes/...), and
+/// BUSY/slow events are appended to the server's EventLog.
+///
+/// Thread safety: Start/Stop from one thread. Everything else here is
+/// internal; the public read accessors are safe while serving.
+class TileServer {
+ public:
+  struct Options {
+    /// Listen address; the default loopback serves tests/benches.
+    std::string bind_address = "127.0.0.1";
+    /// TCP port; 0 picks an ephemeral port (read it back via port()).
+    uint16_t port = 0;
+    /// Worker threads computing responses; 0 = hardware concurrency.
+    size_t worker_threads = 0;
+    /// Accepted connections beyond this are closed immediately.
+    size_t max_connections = 1024;
+    /// Global cap on admitted-but-unfinished requests; beyond it new
+    /// requests are shed with kBusy.
+    size_t max_pending_requests = 256;
+    /// Per-connection cap on admitted-but-unfinished requests (bounds
+    /// how much of the global budget one pipelining client can take).
+    uint32_t max_inflight_per_connection = 64;
+    /// Requests slower than this (admission to response write, seconds)
+    /// log a kSlowRequest event; <= 0 disables.
+    double slow_request_threshold_s = 0.25;
+    size_t event_log_capacity = 256;
+    /// Registry for "net.*" instruments; null uses the service registry.
+    MetricsRegistry* metrics = nullptr;
+    /// Fault seam at site "net.recv" (request-body corruption after
+    /// framing, so CRC rejection paths are testable); null disables.
+    FaultInjector* fault_injector = nullptr;
+    /// Test hook: sleep this long inside every GetTile/GetRegion
+    /// computation, widening the coalescing/admission windows so tests
+    /// can deterministically pile up concurrent requests. 0 in
+    /// production.
+    uint32_t handler_delay_ms_for_test = 0;
+  };
+
+  /// FaultInjector site name for received request bodies.
+  static constexpr const char* kRecvFaultSite = "net.recv";
+
+  /// `service` must be Init'ed before requests arrive and must outlive
+  /// the server.
+  TileServer(const MapService& service, Options options);
+  ~TileServer();
+
+  TileServer(const TileServer&) = delete;
+  TileServer& operator=(const TileServer&) = delete;
+
+  /// Binds, listens, and starts the IO thread + worker pool.
+  Status Start();
+
+  /// Drains workers and closes every connection. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves port 0 after Start).
+  uint16_t port() const { return port_; }
+
+  const EventLog& event_log() const { return events_; }
+  std::vector<EventLog::Event> RecentEvents(size_t max_n = 64) const {
+    return events_.Recent(max_n);
+  }
+  MetricsRegistry& metrics() const { return *metrics_; }
+
+  /// Live connection count (for tests).
+  size_t NumConnections() const;
+
+ private:
+  struct Connection {
+    explicit Connection(int fd_in) : fd(fd_in) {}
+    ~Connection();
+
+    int fd = -1;
+    /// IO-thread-only receive buffer.
+    std::string read_buffer;
+    /// Serializes response writes from worker threads.
+    std::mutex write_mu;
+    /// Admitted-but-unfinished requests on this connection.
+    std::atomic<uint32_t> inflight{0};
+    /// Set on EOF/write failure; suppresses further writes. The fd stays
+    /// open until the last holder drops the Connection (workers may
+    /// still be writing), so the descriptor can never be reused under a
+    /// concurrent write.
+    std::atomic<bool> closed{false};
+  };
+
+  /// One parked duplicate of an in-flight computation.
+  struct Waiter {
+    std::shared_ptr<Connection> conn;
+    uint64_t request_id = 0;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  /// One in-flight GetRegion/GetTile computation; duplicates attach as
+  /// waiters. Guarded by coalesce_mu_.
+  struct Computation {
+    std::vector<Waiter> waiters;
+  };
+
+  void IoLoop();
+  void HandleAccept();
+  /// Reads, frames, admits, dispatches; returns false when the
+  /// connection must be dropped.
+  bool HandleReadable(const std::shared_ptr<Connection>& conn);
+  /// Admission + dispatch of one decoded frame body.
+  void HandleFrame(const std::shared_ptr<Connection>& conn,
+                   std::string_view body, uint32_t header_crc);
+  /// Worker-side request execution (everything after admission).
+  void ExecuteRequest(std::shared_ptr<Connection> conn, NetRequest request,
+                      std::chrono::steady_clock::time_point admitted);
+  /// Computes the full-fetch payload for a GetTile/GetRegion request.
+  /// Returns (code, status, payload).
+  std::tuple<NetResponseCode, StatusCode, std::string> ComputeFull(
+      const NetRequest& request, uint64_t* version);
+
+  /// Writes one response frame and closes out the request's accounting
+  /// (latency, slow event, pending/inflight decrements).
+  void FinishRequest(const std::shared_ptr<Connection>& conn,
+                     NetResponseCode code, StatusCode status,
+                     uint64_t request_id, uint64_t version,
+                     std::string_view payload,
+                     std::chrono::steady_clock::time_point admitted);
+  /// Blocking-ish write of `frame` to `conn` (short poll on EAGAIN; a
+  /// persistently stalled peer gets the connection marked closed).
+  void WriteFrame(const std::shared_ptr<Connection>& conn,
+                  std::string_view frame);
+  void RemoveConnection(int fd);
+
+  const MapService& service_;
+  Options options_;
+  MetricsRegistry* metrics_ = nullptr;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: Stop() wakes the IO thread.
+  std::atomic<uint16_t> port_{0};
+  std::atomic<bool> running_{false};
+  std::thread io_thread_;
+  std::unique_ptr<ThreadPool> workers_;
+
+  /// IO-thread-only connection table (plus post-join cleanup in Stop).
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+  mutable std::mutex connections_mu_;  // Only for NumConnections().
+  size_t num_connections_ = 0;
+
+  /// Admitted-but-unfinished requests across all connections.
+  std::atomic<size_t> pending_{0};
+
+  /// In-flight full-fetch computations, keyed by serialized request args
+  /// (type + coordinates). Guarded by coalesce_mu_; an entry's waiters
+  /// are joined and drained under the same lock, so no waiter can attach
+  /// after its owner picked up the list.
+  std::mutex coalesce_mu_;
+  std::unordered_map<std::string, std::shared_ptr<Computation>> inflight_;
+
+  mutable EventLog events_;
+
+  // "net.*" instruments, resolved once at construction.
+  Counter* requests_ = nullptr;
+  Counter* busy_rejected_ = nullptr;
+  Counter* coalesced_ = nullptr;
+  Counter* computations_ = nullptr;
+  Counter* not_modified_ = nullptr;
+  Counter* deltas_ = nullptr;
+  Counter* malformed_ = nullptr;
+  Counter* accepted_ = nullptr;
+  Counter* conn_rejected_ = nullptr;
+  Counter* bytes_in_ = nullptr;
+  Counter* bytes_out_ = nullptr;
+  Gauge* connections_gauge_ = nullptr;
+  LatencyHistogram* latency_ = nullptr;
+};
+
+/// Minimal blocking client for the TileServer protocol: the loopback
+/// harness tests and benches drive the full server path with, and a
+/// reference implementation for real consumers. One connection; not
+/// thread-safe (use one client per thread).
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  /// The socket (e.g. for a bench's poll loop). -1 when disconnected.
+  int fd() const { return fd_; }
+
+  /// Sends one request frame (blocking write).
+  Status Send(const NetRequest& request);
+  /// Sends pre-encoded bytes verbatim — the malformed-input seam for
+  /// tests.
+  Status SendRaw(std::string_view bytes);
+  /// Blocks until one complete response frame arrives and decodes it.
+  /// Responses to pipelined requests may arrive in any order; match via
+  /// NetResponse::request_id.
+  Result<NetResponse> ReadResponse();
+
+  /// Send + ReadResponse for one request (no pipelining).
+  Result<NetResponse> Call(const NetRequest& request);
+
+  /// Convenience wrappers around Call().
+  Result<NetResponse> Ping();
+  Result<NetResponse> GetTile(const TileId& id, uint64_t have_version = 0);
+  Result<NetResponse> GetRegion(const Aabb& box, uint64_t have_version = 0);
+
+ private:
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  std::string read_buffer_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_NET_TILE_SERVER_H_

@@ -5,6 +5,8 @@
 #include <map>
 #include <utility>
 
+#include "core/serialization.h"
+
 namespace hdmap {
 
 namespace {
@@ -155,6 +157,12 @@ Status MapService::Init(HdMap initial_map) {
   snap->publish_time = std::chrono::steady_clock::now();
   snap->published_unix_ms = WallClockUnixMs();
   Install(snap);
+  {
+    // A wholesale re-init is not patch-reachable from any prior version:
+    // the delta chain restarts here.
+    std::lock_guard<std::mutex> lock(history_mu_);
+    history_.clear();
+  }
   bool wal_unreadable = false;
   if (durable_state_lost) {
     span.SetStatus(StatusCode::kDataLoss);
@@ -204,10 +212,14 @@ Status MapService::Init(HdMap initial_map) {
 
 Status MapService::StagePatch(MapPatch patch) {
   TraceSpan span("map_service.stage_patch", TraceSpan::kRoot);
-  std::lock_guard<std::mutex> lock(staged_mu_);
+  // Shared: concurrent stagers overlap (their WAL appends group-commit
+  // under one fsync); only the checkpoint trim excludes them.
+  std::shared_lock<std::shared_mutex> flow_lock(stage_flow_mu_);
   if (wal_ != nullptr) {
     // Write-ahead: the patch is only acknowledged (and only enters the
-    // staged queue) once its WAL record is durable.
+    // staged queue) once its WAL record is durable. Deliberately outside
+    // staged_mu_ — holding the queue lock across the fsync would
+    // serialize every concurrent ack behind ~one fsync each.
     Status appended = wal_->Append(patch, version());
     if (!appended.ok()) {
       span.SetStatus(appended.code());
@@ -215,6 +227,7 @@ Status MapService::StagePatch(MapPatch patch) {
       return appended;
     }
   }
+  std::lock_guard<std::mutex> lock(staged_mu_);
   staged_.push_back(std::move(patch));
   staged_gauge_->Set(static_cast<double>(staged_.size()));
   return Status::Ok();
@@ -383,6 +396,21 @@ Status MapService::Publish() {
   patches_published_->Increment(staged.size());
   changes_published_->Increment(num_changes);
 
+  if (options_.publish_history > 0) {
+    // Retain this publish's patches (serialized once, shared by every
+    // later delta response) so clients at version-1 can catch up with a
+    // patch stream instead of a full refetch.
+    PublishRecord record;
+    record.version = snap->version;
+    record.patches.reserve(staged.size());
+    for (const MapPatch& patch : staged) {
+      record.patches.push_back(SerializePatch(patch));
+    }
+    std::lock_guard<std::mutex> lock(history_mu_);
+    history_.push_back(std::move(record));
+    while (history_.size() > options_.publish_history) history_.pop_front();
+  }
+
   if (durable()) {
     ++publishes_since_checkpoint_;
     if (publishes_since_checkpoint_ >=
@@ -415,6 +443,13 @@ Status MapService::CheckpointLocked(const MapSnapshot& snap) {
   // ever outside (checkpoint ∪ WAL). The rewrite lands via temp-file +
   // rename: a crash or I/O error mid-trim leaves the old log — a
   // superset of what is needed — instead of losing acked records.
+  //
+  // Exclusive fence vs StagePatch: a stager between its WAL append and
+  // its queue push has a durable record this trim's staged_ snapshot
+  // cannot see; trimming then would erase an acked patch. Holding
+  // stage_flow_mu_ exclusive waits those stagers out (and also satisfies
+  // PatchWal's requirement that Rewrite never race an Append).
+  std::unique_lock<std::shared_mutex> flow_lock(stage_flow_mu_);
   std::lock_guard<std::mutex> lock(staged_mu_);
   Status rewritten = wal_->Rewrite(staged_, snap.version);
   if (!rewritten.ok()) {
@@ -503,6 +538,12 @@ Status MapService::RecoverLocked() {
   snap->routing = std::make_shared<const RoutingGraph>(
       RoutingGraph::Build(snap->map, options_.lane_change_penalty_s));
   Install(snap);
+  {
+    // The recovered version was rebuilt from disk; clients holding
+    // pre-crash versions cannot be patched across the restart boundary.
+    std::lock_guard<std::mutex> lock(history_mu_);
+    history_.clear();
+  }
   recoveries_->Increment();
   wal_replayed_->Increment(applied);
 
@@ -591,6 +632,44 @@ ServiceHealth MapService::Health() const {
                  health_baseline_.load(std::memory_order_relaxed)
              ? ServiceHealth::kDegraded
              : ServiceHealth::kServing;
+}
+
+Result<std::vector<std::string>> MapService::PatchesSince(
+    uint64_t from_version, uint64_t* reached_version) const {
+  auto snap = snapshot();
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("MapService::Init has not run");
+  }
+  uint64_t current = snap->version;
+  if (reached_version != nullptr) *reached_version = current;
+  if (from_version > current) {
+    return Status::NotFound("client version " + std::to_string(from_version) +
+                            " is ahead of served version " +
+                            std::to_string(current));
+  }
+  if (from_version == current) return std::vector<std::string>{};
+  std::lock_guard<std::mutex> lock(history_mu_);
+  // The chain must cover every version in (from_version, current]
+  // contiguously; Init/Recover clear it, publishes append, so any gap
+  // means "history does not reach back that far".
+  std::vector<std::string> out;
+  uint64_t next_needed = from_version + 1;
+  for (const PublishRecord& record : history_) {
+    if (record.version < next_needed) continue;
+    if (record.version > next_needed) break;  // Gap: chain broken.
+    for (const std::string& patch : record.patches) out.push_back(patch);
+    ++next_needed;
+    // A publish may land between the snapshot read above and the history
+    // walk; stop at `current` so the delta matches the version the caller
+    // was told it would reach.
+    if (next_needed > current) break;
+  }
+  if (next_needed <= current) {
+    return Status::NotFound(
+        "publish history no longer reaches back to version " +
+        std::to_string(from_version));
+  }
+  return out;
 }
 
 std::shared_ptr<const MapSnapshot> MapService::snapshot() const {

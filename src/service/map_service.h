@@ -5,8 +5,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
+#include <string>
 #include <vector>
 
 #include "common/event_log.h"
@@ -126,6 +129,11 @@ class MapService {
     double slow_request_threshold_s = 0.25;
     /// Capacity of the structured event ring served by RecentEvents().
     size_t event_log_capacity = 256;
+    /// How many recent publishes keep their applied patches (serialized)
+    /// for PatchesSince — the delta chain a network edge serves to
+    /// clients asking "I have version V, send what changed". 0 disables
+    /// history (every conditional fetch beyond NOT_MODIFIED goes full).
+    size_t publish_history = 32;
 
     /// Crash-safe durability. Disabled (empty data_dir) by default, with
     /// zero overhead on the serving hot path when disabled.
@@ -196,6 +204,9 @@ class MapService {
   /// durability enabled the patch is appended to the write-ahead log and
   /// fsynced *before* it is queued — an OK return means the patch
   /// survives a crash. On a WAL append failure the patch is not staged.
+  /// Concurrent StagePatch calls commit as a group: the WAL batches
+  /// records sharing one fsync (PatchWal group commit), so K concurrent
+  /// acks cost ~1 fsync rather than K serialized ones.
   Status StagePatch(MapPatch patch);
 
   /// Patches staged and not yet published.
@@ -268,6 +279,22 @@ class MapService {
   Result<::hdmap::Route> Route(
       ElementId from, ElementId to,
       RouteAlgorithm algorithm = RouteAlgorithm::kAStar) const;
+
+  /// The serialized patches (framed SerializePatch payloads, in apply
+  /// order) that transform snapshot version `from_version` into the
+  /// current version — the delta a client holding `from_version` applies
+  /// instead of refetching whole regions. Empty when `from_version` is
+  /// already current. kNotFound when the retained history
+  /// (Options::publish_history publishes; cleared by Init/Recover, whose
+  /// rebuilds break the delta chain) no longer reaches back that far, or
+  /// when `from_version` is ahead of the server — callers fall back to a
+  /// full fetch. kFailedPrecondition before Init. On success
+  /// `reached_version` (when non-null) receives the version the chain
+  /// transforms `from_version` into — the version a publish-racing caller
+  /// must advertise with the delta, which may trail version() by the time
+  /// this returns.
+  Result<std::vector<std::string>> PatchesSince(
+      uint64_t from_version, uint64_t* reached_version = nullptr) const;
 
   /// The newest structured events, newest first: why Health() is
   /// degraded, which requests were slow, what a recovery skipped — each
@@ -352,8 +379,27 @@ class MapService {
   // on the writer's publish work — the swap itself is a pointer store.
   std::atomic<std::shared_ptr<const MapSnapshot>> snapshot_;
 
-  mutable std::mutex staged_mu_;  // Guards staged_ and WAL appends.
+  // Stage-vs-trim fence. StagePatch holds it shared for its whole
+  // [WAL append -> queue push] window (concurrent stagers proceed in
+  // parallel, which is what lets the WAL group-commit their fsyncs);
+  // CheckpointLocked holds it exclusive across the WAL trim, so a trim
+  // can never run between a patch's WAL append and its queue insertion —
+  // the window where the record is durable but invisible to the trim's
+  // staged_ snapshot, and would otherwise be erased while acked.
+  mutable std::shared_mutex stage_flow_mu_;
+  mutable std::mutex staged_mu_;  // Guards staged_ (the queue itself).
   std::vector<MapPatch> staged_;
+
+  // Recent publishes' applied patches (serialized), newest at the back:
+  // the delta chain behind PatchesSince. Entry for version v holds the
+  // patches that turned v-1 into v. Guarded by history_mu_; bounded by
+  // Options::publish_history.
+  mutable std::mutex history_mu_;
+  struct PublishRecord {
+    uint64_t version = 0;
+    std::vector<std::string> patches;
+  };
+  std::deque<PublishRecord> history_;
 
   // Serializes Init/Publish/Recover (one writer at a time).
   std::mutex publish_mu_;

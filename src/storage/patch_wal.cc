@@ -30,6 +30,7 @@ PatchWal::PatchWal(Options options) : options_(std::move(options)) {
     append_failures_ = options_.metrics->GetCounter("wal.append_failures");
     replay_skipped_ = options_.metrics->GetCounter("wal.replay_skipped");
     resets_ = options_.metrics->GetCounter("wal.resets");
+    batches_ = options_.metrics->GetCounter("wal.fsync_batches");
     bytes_gauge_ = options_.metrics->GetGauge("wal.size_bytes");
     lat_append_ = options_.metrics->GetLatency("wal.append");
   }
@@ -83,6 +84,33 @@ std::string PatchWal::EncodeRecord(const MapPatch& patch,
   return bytes;
 }
 
+Status PatchWal::WriteBatch(const std::string& batch) {
+  // Batch boundary to roll back to: a failed write (ENOSPC/EIO midway)
+  // or fsync must not leave partial records for later successful
+  // appends to land after — replay would lose its alignment at the torn
+  // bytes and discard every record behind them.
+  off_t batch_start = ::lseek(fd_, 0, SEEK_END);
+  auto fail = [&](const char* op) {
+    Status err = Status::Internal(std::string(op) + " " + options_.path +
+                                  ": " + std::strerror(errno));
+    if (batch_start >= 0) (void)::ftruncate(fd_, batch_start);
+    return err;
+  };
+  size_t off = 0;
+  while (off < batch.size()) {
+    ssize_t n = ::write(fd_, batch.data() + off, batch.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("write");
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (options_.fsync == FsyncMode::kAlways && ::fsync(fd_) != 0) {
+    return fail("fsync");
+  }
+  return Status::Ok();
+}
+
 Status PatchWal::Append(const MapPatch& patch, uint64_t version_hint) {
   TraceSpan span("wal.append");
   ScopedTimer timer(lat_append_);
@@ -91,31 +119,51 @@ Status PatchWal::Append(const MapPatch& patch, uint64_t version_hint) {
     if (faults != nullptr) {
       HDMAP_RETURN_IF_ERROR(faults->MaybeFail(kAppendFaultSite));
     }
-    HDMAP_RETURN_IF_ERROR(EnsureOpen());
-
+    // Encoding (serialize + CRC) happens outside the commit lock: only
+    // the memcpy onto the pending batch is serialized.
     std::string bytes = EncodeRecord(patch, version_hint);
-    // Record boundary to roll back to: a failed write (ENOSPC/EIO midway)
-    // or fsync must not leave a partial record for later successful
-    // appends to land after — replay would lose its alignment at the torn
-    // bytes and discard every record behind them.
-    off_t record_start = ::lseek(fd_, 0, SEEK_END);
-    auto fail = [&](const char* op) {
-      Status err = Status::Internal(std::string(op) + " " + options_.path +
-                                    ": " + std::strerror(errno));
-      if (record_start >= 0) (void)::ftruncate(fd_, record_start);
-      return err;
-    };
-    size_t off = 0;
-    while (off < bytes.size()) {
-      ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return fail("write");
+
+    std::unique_lock<std::mutex> lock(commit_mu_);
+    HDMAP_RETURN_IF_ERROR(EnsureOpen());  // Cheap after the first call.
+    uint64_t ticket = next_ticket_++;
+    pending_.append(bytes);
+    // Group commit: whoever finds no flush running becomes the leader for
+    // everything pending (their own record included); everyone else waits
+    // for a leader to push completed_ticket_ past their ticket. One
+    // write+fsync covers the whole batch.
+    while (completed_ticket_ < ticket) {
+      if (!flush_in_progress_) {
+        flush_in_progress_ = true;
+        std::string batch = std::move(pending_);
+        pending_.clear();
+        uint64_t batch_begin = taken_ticket_ + 1;
+        uint64_t batch_end = next_ticket_ - 1;
+        taken_ticket_ = batch_end;
+        lock.unlock();
+        Status flushed = WriteBatch(batch);
+        lock.lock();
+        completed_ticket_ = batch_end;
+        if (!flushed.ok()) {
+          // The whole batch was rolled back to its start boundary; every
+          // record in it must fail its appender's ack.
+          for (uint64_t t = batch_begin; t <= batch_end; ++t) {
+            failed_.emplace(t, flushed);
+          }
+        } else {
+          ++fsync_batches_;
+          if (batches_ != nullptr) batches_->Increment();
+        }
+        flush_in_progress_ = false;
+        commit_cv_.notify_all();
+      } else {
+        commit_cv_.wait(lock);
       }
-      off += static_cast<size_t>(n);
     }
-    if (options_.fsync == FsyncMode::kAlways && ::fsync(fd_) != 0) {
-      return fail("fsync");
+    auto it = failed_.find(ticket);
+    if (it != failed_.end()) {
+      Status err = it->second;
+      failed_.erase(it);
+      return err;
     }
     return Status::Ok();
   }();
@@ -129,6 +177,11 @@ Status PatchWal::Append(const MapPatch& patch, uint64_t version_hint) {
     bytes_gauge_->Set(static_cast<double>(SizeBytes()));
   }
   return Status::Ok();
+}
+
+uint64_t PatchWal::FsyncBatches() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return fsync_batches_;
 }
 
 Result<PatchWal::ReplayResult> PatchWal::Replay() const {

@@ -1,7 +1,10 @@
 #ifndef HDMAP_STORAGE_PATCH_WAL_H_
 #define HDMAP_STORAGE_PATCH_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,8 +31,16 @@ namespace hdmap {
 /// patch was staged, letting recovery order replayed patches relative to
 /// a checkpoint it fell back to.
 ///
-/// Thread safety: none. MapService serializes Append/Reset behind its
-/// staged-queue lock (keeping WAL order identical to queue order).
+/// Thread safety: Append is safe from any thread and uses group commit —
+/// concurrent appenders enqueue their encoded records under a short
+/// critical section, then one of them (the batch leader) writes and
+/// fsyncs every pending record with a single write+fsync pair while the
+/// others wait for their record's durability. An fsync costs the same
+/// whether it covers one record or twenty, so K concurrent StagePatch
+/// acks pay ~1 fsync instead of K serialized ones. Every other method
+/// (Rewrite/Reset/Archive/Replay) still requires external exclusion
+/// against in-flight Appends — MapService provides it with a
+/// shared/exclusive stage lock.
 class PatchWal {
  public:
   struct Options {
@@ -58,9 +69,11 @@ class PatchWal {
 
   /// Appends one record and fsyncs per FsyncMode before returning: once
   /// this is OK, the patch survives a crash (it will be replayed). On a
-  /// failed write or fsync the log is truncated back to the record
+  /// failed write or fsync the log is truncated back to the batch
   /// boundary it started at, so a mid-append I/O error never leaves torn
-  /// bytes for later successful appends to land after.
+  /// bytes for later successful appends to land after (every record of
+  /// the failed batch reports the failure to its appender). Safe to call
+  /// concurrently; see the group-commit note above.
   Status Append(const MapPatch& patch, uint64_t version_hint);
 
   /// Atomically replaces the whole log with one record per patch (all
@@ -107,6 +120,10 @@ class PatchWal {
 
   const Options& options() const { return options_; }
 
+  /// Completed group-commit flushes (each one write+fsync covering >= 1
+  /// records); appends / batches is the achieved commit-batching factor.
+  uint64_t FsyncBatches() const;
+
  private:
   Status EnsureOpen();
 
@@ -114,12 +131,33 @@ class PatchWal {
   /// append faults already applied.
   std::string EncodeRecord(const MapPatch& patch, uint64_t version_hint) const;
 
+  /// Writes `batch` at the log tail and fsyncs per FsyncMode; on any
+  /// failure truncates back to the pre-batch boundary. Exactly one thread
+  /// (the batch leader) runs this at a time.
+  Status WriteBatch(const std::string& batch);
+
   Options options_;
   int fd_ = -1;
+
+  // Group-commit state. Each Append takes a ticket, splices its encoded
+  // record onto pending_, and returns once a leader has flushed past its
+  // ticket (completed_ticket_ >= ticket). failed_ carries per-ticket
+  // flush errors back to their appenders (erased as they are consumed).
+  mutable std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  std::string pending_;
+  uint64_t next_ticket_ = 1;
+  uint64_t taken_ticket_ = 0;      // Highest ticket handed to a leader.
+  uint64_t completed_ticket_ = 0;  // Highest ticket flushed (ok or not).
+  bool flush_in_progress_ = false;
+  std::map<uint64_t, Status> failed_;
+  uint64_t fsync_batches_ = 0;
+
   Counter* appends_ = nullptr;
   Counter* append_failures_ = nullptr;
   Counter* replay_skipped_ = nullptr;
   Counter* resets_ = nullptr;
+  Counter* batches_ = nullptr;
   Gauge* bytes_gauge_ = nullptr;
   LatencyHistogram* lat_append_ = nullptr;
 };

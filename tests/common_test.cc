@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
@@ -320,6 +323,114 @@ TEST(ParallelForTest, EmptyAndTinyRanges) {
   EXPECT_EQ(calls, 0);
   ParallelFor(1, [&](size_t) { ++calls; }, 4);
   EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, CurrentWorkerPoolIdentifiesOwningPool) {
+  ThreadPool pool(2);
+  EXPECT_EQ(ThreadPool::CurrentWorkerPool(), nullptr);
+  std::atomic<ThreadPool*> seen{nullptr};
+  pool.Submit([&seen] { seen.store(ThreadPool::CurrentWorkerPool()); });
+  pool.Wait();
+  EXPECT_EQ(seen.load(), &pool);
+  EXPECT_EQ(ThreadPool::CurrentWorkerPool(), nullptr);
+}
+
+TEST(ThreadPoolDeathTest, WaitFromOwnWorkerAbortsWithDiagnostic) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // Before the worker-marker check this silently deadlocked: the waiting
+  // task occupies the only worker that could drain the queue. It must
+  // now fail fast with an actionable message instead.
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(1);
+        pool.Submit([&pool] { pool.Wait(); });
+        pool.Wait();
+      },
+      "Wait\\(\\) called from a worker thread of the same pool");
+}
+
+TEST(ParallelForTest, RunsSerialInsidePoolWorker) {
+  // A ParallelFor issued from inside any pool worker is one lane of an
+  // enclosing fan-out: it must run inline on the calling thread (bounded
+  // threads, no shared-pool deadlock), not fan out again.
+  ThreadPool pool(2);
+  std::atomic<int> on_calling_pool{0};
+  std::atomic<int> total{0};
+  pool.Submit([&] {
+    ParallelFor(
+        64,
+        [&](size_t) {
+          total.fetch_add(1);
+          if (ThreadPool::CurrentWorkerPool() == &pool) {
+            on_calling_pool.fetch_add(1);
+          }
+        },
+        8);
+  });
+  pool.Wait();
+  EXPECT_EQ(total.load(), 64);
+  // Every iteration ran on the submitting pool's own worker thread —
+  // none escaped to the shared ParallelFor pool or fresh threads.
+  EXPECT_EQ(on_calling_pool.load(), 64);
+}
+
+TEST(ParallelForTest, NestedCallsCompleteWithBoundedThreads) {
+  // Regression for nested oversubscription: the old implementation
+  // spawned fresh std::threads per call and per nesting level (outer x
+  // inner threads); the shared-pool implementation keeps every fn
+  // execution on the one process-wide pool, whose size is fixed. A
+  // saturated outer fan-out plus nested inner calls must also not
+  // deadlock (inner calls run serial on their worker).
+  std::set<std::thread::id> fn_threads;
+  std::mutex mu;
+  constexpr size_t kOuter = 16;
+  constexpr size_t kInner = 32;
+  std::atomic<size_t> total{0};
+  ParallelFor(
+      kOuter,
+      [&](size_t) {
+        ParallelFor(
+            kInner,
+            [&](size_t) {
+              total.fetch_add(1);
+              std::lock_guard<std::mutex> lock(mu);
+              fn_threads.insert(std::this_thread::get_id());
+            },
+            8);
+      },
+      8);
+  EXPECT_EQ(total.load(), kOuter * kInner);
+  // All iterations ran on shared-pool workers (at most
+  // hardware_concurrency of them), not on kOuter * kInner / chunk fresh
+  // threads. The caller thread may appear once via the serial fallback.
+  size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_LE(fn_threads.size(), hw + 1);
+}
+
+TEST(ParallelForTest, ConcurrentCallersShareOnePool) {
+  // K threads each issuing ParallelFor concurrently must share the one
+  // process-wide pool instead of spawning K x num_threads workers.
+  constexpr size_t kCallers = 8;
+  std::set<std::thread::id> fn_threads;
+  std::mutex mu;
+  std::atomic<size_t> total{0};
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      ParallelFor(
+          128,
+          [&](size_t) {
+            total.fetch_add(1);
+            std::lock_guard<std::mutex> lock(mu);
+            fn_threads.insert(std::this_thread::get_id());
+          },
+          8);
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(total.load(), kCallers * 128);
+  size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_LE(fn_threads.size(), hw);
 }
 
 TEST(ParallelForTest, ResultIndependentOfThreadCount) {

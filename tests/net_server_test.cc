@@ -1,0 +1,501 @@
+// Loopback tests of the framed-TCP tile server: every test drives the
+// real socket path (epoll IO thread, worker pool, admission control)
+// through NetClient against a server on 127.0.0.1.
+#include "net/tile_server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/trace.h"
+#include "core/map_patch.h"
+#include "core/serialization.h"
+#include "core/wire_frame.h"
+#include "net/protocol.h"
+#include "tests/test_worlds.h"
+
+namespace hdmap {
+namespace {
+
+MapService::Options SmallTileOptions() {
+  MapService::Options opt;
+  opt.tile_store.tile_size_m = 100.0;
+  return opt;
+}
+
+ElementId FirstLandmarkId(const HdMap& map) {
+  EXPECT_FALSE(map.landmarks().empty());
+  return map.landmarks().begin()->first;
+}
+
+/// Service + started server + one connected client.
+struct Harness {
+  explicit Harness(TileServer::Options server_options = {},
+                   MapService::Options service_options = SmallTileOptions(),
+                   double road_length = 500.0)
+      : service(std::move(service_options)) {
+    EXPECT_TRUE(service.Init(StraightRoad(road_length)).ok());
+    server = std::make_unique<TileServer>(service, std::move(server_options));
+    EXPECT_TRUE(server->Start().ok());
+    EXPECT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+  }
+
+  MapService service;
+  std::unique_ptr<TileServer> server;
+  NetClient client;
+};
+
+TEST(NetProtocolTest, RequestFrameRoundtrip) {
+  NetRequest request;
+  request.type = NetRequestType::kGetRegion;
+  request.request_id = 42;
+  request.have_version = 7;
+  request.box = Aabb{{-1.5, 2.5}, {100.0, 200.0}};
+  std::string frame = EncodeRequestFrame(request);
+
+  size_t frame_size = 0;
+  std::string_view body;
+  ASSERT_EQ(ExtractFrame(frame, kNetRequestMagic, kMaxNetRequestBody,
+                         &frame_size, &body),
+            FrameParse::kFrame);
+  EXPECT_EQ(frame_size, frame.size());
+  uint32_t crc = 0;
+  std::memcpy(&crc, frame.data() + 8, sizeof(crc));
+  auto decoded = DecodeRequestBody(body, crc);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, NetRequestType::kGetRegion);
+  EXPECT_EQ(decoded->request_id, 42u);
+  EXPECT_EQ(decoded->have_version, 7u);
+  EXPECT_EQ(decoded->box.min.x, -1.5);
+  EXPECT_EQ(decoded->box.max.y, 200.0);
+
+  // A flipped body bit fails the CRC, not the framing.
+  std::string corrupt = frame;
+  corrupt[kNetFrameHeaderSize + 3] ^= 0x10;
+  ASSERT_EQ(ExtractFrame(corrupt, kNetRequestMagic, kMaxNetRequestBody,
+                         &frame_size, &body),
+            FrameParse::kFrame);
+  EXPECT_EQ(DecodeRequestBody(body, crc).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(NetProtocolTest, PartialAndViolatingBuffers) {
+  std::string frame = EncodeRequestFrame(NetRequest{});
+  size_t frame_size = 0;
+  std::string_view body;
+  for (size_t n = 0; n < frame.size(); ++n) {
+    EXPECT_EQ(ExtractFrame(std::string_view(frame).substr(0, n),
+                           kNetRequestMagic, kMaxNetRequestBody, &frame_size,
+                           &body),
+              FrameParse::kNeedMore);
+  }
+  EXPECT_EQ(ExtractFrame("GARBAGEGARBAGE", kNetRequestMagic,
+                         kMaxNetRequestBody, &frame_size, &body),
+            FrameParse::kViolation);
+  // Oversized body length claim.
+  std::string oversized = frame;
+  uint32_t huge = 1u << 24;
+  std::memcpy(&oversized[4], &huge, sizeof(huge));
+  EXPECT_EQ(ExtractFrame(oversized, kNetRequestMagic, kMaxNetRequestBody,
+                         &frame_size, &body),
+            FrameParse::kViolation);
+}
+
+TEST(NetProtocolTest, DeltaPayloadRoundtrip) {
+  std::vector<std::string> patches = {"alpha", std::string(1000, 'x'), ""};
+  std::string payload = EncodeDeltaPayload(patches);
+  auto decoded = DecodeDeltaPayload(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, patches);
+  EXPECT_EQ(DecodeDeltaPayload(payload.substr(0, payload.size() - 1))
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(NetServerTest, PingReportsVersion) {
+  Harness h;
+  auto response = h.client.Ping();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, NetResponseCode::kOk);
+  EXPECT_EQ(response->version, 1u);
+  EXPECT_TRUE(response->payload.empty());
+}
+
+TEST(NetServerTest, GetTileServesVerbatimStoreBytes) {
+  Harness h;
+  auto snap = h.service.snapshot();
+  ASSERT_FALSE(snap->tiles.raw_tiles().empty());
+  const auto& [key, blob] = *snap->tiles.raw_tiles().begin();
+  TileId id = snap->tiles.AllTiles().front();
+  ASSERT_EQ(id.Morton(), key);
+
+  auto response = h.client.GetTile(id);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, NetResponseCode::kOk);
+  EXPECT_EQ(response->version, 1u);
+  // Zero re-encode: the payload is the store blob, byte for byte, and
+  // still carries its embedded frame CRC.
+  EXPECT_EQ(response->payload, blob);
+  EXPECT_TRUE(DeserializeMap(response->payload).ok());
+
+  // A missing tile is a typed error, and the connection survives it.
+  auto missing = h.client.GetTile(TileId{1000, 1000});
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->code, NetResponseCode::kError);
+  EXPECT_EQ(missing->status, StatusCode::kNotFound);
+  EXPECT_TRUE(h.client.Ping().ok());
+}
+
+TEST(NetServerTest, GetRegionRoundtrips) {
+  Harness h;
+  Aabb box = h.service.snapshot()->map.BoundingBox();
+  auto response = h.client.GetRegion(box);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->code, NetResponseCode::kOk);
+  auto region = DeserializeMap(response->payload);
+  ASSERT_TRUE(region.ok());
+  auto local = h.service.GetRegion(box);
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(SerializeMap(*region), SerializeMap(*local));
+}
+
+TEST(NetServerTest, CoalescingCollapsesIdenticalConcurrentRegions) {
+  TileServer::Options options;
+  options.worker_threads = 4;
+  options.handler_delay_ms_for_test = 150;
+  Harness h(options);
+  Aabb box = h.service.snapshot()->map.BoundingBox();
+
+  uint64_t computations_before =
+      h.server->metrics().GetCounter("net.computations")->value();
+
+  // Pipeline K identical unconditional fetches; the delay keeps the first
+  // computation in flight while the rest arrive and park as waiters.
+  constexpr int kDuplicates = 4;
+  for (int i = 0; i < kDuplicates; ++i) {
+    NetRequest request;
+    request.type = NetRequestType::kGetRegion;
+    request.request_id = 100 + static_cast<uint64_t>(i);
+    request.box = box;
+    ASSERT_TRUE(h.client.Send(request).ok());
+  }
+  std::vector<NetResponse> responses;
+  std::set<uint64_t> ids;
+  for (int i = 0; i < kDuplicates; ++i) {
+    auto response = h.client.ReadResponse();
+    ASSERT_TRUE(response.ok());
+    responses.push_back(*response);
+    ids.insert(response->request_id);
+  }
+  // Every duplicate got its own response (correct request_id pairing)...
+  EXPECT_EQ(ids.size(), static_cast<size_t>(kDuplicates));
+  // ...with byte-identical payloads...
+  for (const NetResponse& response : responses) {
+    EXPECT_EQ(response.code, NetResponseCode::kOk);
+    EXPECT_EQ(response.payload, responses.front().payload);
+  }
+  // ...from exactly one computation.
+  EXPECT_EQ(
+      h.server->metrics().GetCounter("net.computations")->value() -
+          computations_before,
+      1u);
+  EXPECT_EQ(h.server->metrics().GetCounter("net.coalesced")->value(),
+            static_cast<uint64_t>(kDuplicates - 1));
+}
+
+TEST(NetServerTest, BusyWhenGlobalQueueFull) {
+  TileServer::Options options;
+  options.worker_threads = 1;
+  options.max_pending_requests = 2;
+  options.handler_delay_ms_for_test = 300;
+  Harness h(options);
+
+  // Distinct tiles (no coalescing): the IO thread admits two and must
+  // shed the rest with typed BUSY responses while the slow worker holds
+  // the queue.
+  constexpr int kRequests = 6;
+  for (int i = 0; i < kRequests; ++i) {
+    NetRequest request;
+    request.type = NetRequestType::kGetTile;
+    request.request_id = static_cast<uint64_t>(i);
+    request.tile = TileId{i, 0};
+    ASSERT_TRUE(h.client.Send(request).ok());
+  }
+  int busy = 0;
+  int served = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    auto response = h.client.ReadResponse();
+    ASSERT_TRUE(response.ok());
+    if (response->code == NetResponseCode::kBusy) {
+      ++busy;
+    } else {
+      ++served;
+    }
+  }
+  EXPECT_EQ(busy, kRequests - 2);
+  EXPECT_EQ(served, 2);
+  EXPECT_EQ(h.server->metrics().GetCounter("net.busy_rejected")->value(),
+            static_cast<uint64_t>(busy));
+  // BUSY rejections are explainable from the event log.
+  bool saw_event = false;
+  for (const EventLog::Event& event : h.server->RecentEvents()) {
+    if (event.type == EventLog::Type::kBusyRejected) saw_event = true;
+  }
+  EXPECT_TRUE(saw_event);
+  // The server recovers once the backlog drains.
+  auto after = h.client.Ping();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->code, NetResponseCode::kOk);
+}
+
+TEST(NetServerTest, BusyAtPerConnectionCap) {
+  TileServer::Options options;
+  options.worker_threads = 1;
+  options.max_pending_requests = 100;
+  options.max_inflight_per_connection = 1;
+  options.handler_delay_ms_for_test = 200;
+  Harness h(options);
+
+  for (int i = 0; i < 3; ++i) {
+    NetRequest request;
+    request.type = NetRequestType::kGetTile;
+    request.request_id = static_cast<uint64_t>(i);
+    request.tile = TileId{i, 0};
+    ASSERT_TRUE(h.client.Send(request).ok());
+  }
+  int busy = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto response = h.client.ReadResponse();
+    ASSERT_TRUE(response.ok());
+    if (response->code == NetResponseCode::kBusy) ++busy;
+  }
+  EXPECT_EQ(busy, 2);
+
+  // A second connection is not throttled by the first one's cap.
+  NetClient other;
+  ASSERT_TRUE(other.Connect("127.0.0.1", h.server->port()).ok());
+  auto response = other.Ping();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, NetResponseCode::kOk);
+}
+
+TEST(NetServerTest, ConditionalFetchNotModified) {
+  Harness h;
+  auto response =
+      h.client.GetRegion(h.service.snapshot()->map.BoundingBox(), 1);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, NetResponseCode::kNotModified);
+  EXPECT_EQ(response->version, 1u);
+  EXPECT_TRUE(response->payload.empty());
+
+  auto tile_response =
+      h.client.GetTile(h.service.snapshot()->tiles.AllTiles().front(), 1);
+  ASSERT_TRUE(tile_response.ok());
+  EXPECT_EQ(tile_response->code, NetResponseCode::kNotModified);
+}
+
+TEST(NetServerTest, ConditionalFetchDeltaMatchesLocalApply) {
+  Harness h;
+  Aabb box = h.service.snapshot()->map.BoundingBox();
+
+  // Client syncs fully at version 1.
+  auto full = h.client.GetRegion(box);
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full->code, NetResponseCode::kOk);
+  auto local = DeserializeMap(full->payload);
+  ASSERT_TRUE(local.ok());
+
+  // Server publishes version 2 (small in-tile move: the delta is tiny).
+  ElementId sign = FirstLandmarkId(h.service.snapshot()->map);
+  MapPatch patch;
+  patch.moved_landmarks.push_back(
+      {sign,
+       h.service.snapshot()->map.FindLandmark(sign)->position +
+           Vec3{0.5, 0.5, 0.0}});
+  ASSERT_TRUE(h.service.ApplyPatch(patch).ok());
+  ASSERT_EQ(h.service.version(), 2u);
+
+  // "I have v1" now yields a delta reaching v2, far smaller than the
+  // full region payload.
+  auto delta_response = h.client.GetRegion(box, 1);
+  ASSERT_TRUE(delta_response.ok());
+  ASSERT_EQ(delta_response->code, NetResponseCode::kDelta);
+  EXPECT_EQ(delta_response->version, 2u);
+  EXPECT_LT(delta_response->payload.size(), full->payload.size() / 10);
+
+  auto framed_patches = DecodeDeltaPayload(delta_response->payload);
+  ASSERT_TRUE(framed_patches.ok());
+  ASSERT_EQ(framed_patches->size(), 1u);
+  auto wire_patch = DeserializePatch(framed_patches->front());
+  ASSERT_TRUE(wire_patch.ok());
+  ASSERT_TRUE(ApplyPatch(*wire_patch, &local.value()).ok());
+
+  // The locally patched map matches a fresh full fetch of version 2.
+  auto fresh = h.client.GetRegion(box);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_EQ(fresh->code, NetResponseCode::kOk);
+  EXPECT_EQ(SerializeMap(*local), fresh->payload);
+  EXPECT_EQ(local->FindLandmark(sign)->position,
+            h.service.snapshot()->map.FindLandmark(sign)->position);
+}
+
+TEST(NetServerTest, DeltaFallsBackToFullPastHistory) {
+  MapService::Options service_options = SmallTileOptions();
+  service_options.publish_history = 1;
+  Harness h({}, service_options);
+  ElementId sign = FirstLandmarkId(h.service.snapshot()->map);
+  for (int i = 0; i < 3; ++i) {
+    MapPatch patch;
+    patch.moved_landmarks.push_back(
+        {sign,
+         h.service.snapshot()->map.FindLandmark(sign)->position +
+             Vec3{0.1, 0.0, 0.0}});
+    ASSERT_TRUE(h.service.ApplyPatch(patch).ok());
+  }
+  ASSERT_EQ(h.service.version(), 4u);
+
+  // v1 -> v4 needs three publishes of history but only one is retained:
+  // the server answers with a full fetch instead of a broken chain.
+  auto response =
+      h.client.GetRegion(h.service.snapshot()->map.BoundingBox(), 1);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, NetResponseCode::kOk);
+  EXPECT_TRUE(DeserializeMap(response->payload).ok());
+
+  // The still-retained last step serves as a delta.
+  auto recent =
+      h.client.GetRegion(h.service.snapshot()->map.BoundingBox(), 3);
+  ASSERT_TRUE(recent.ok());
+  EXPECT_EQ(recent->code, NetResponseCode::kDelta);
+}
+
+TEST(NetServerTest, CorruptRequestBodyRejectedConnectionSurvives) {
+  Harness h;
+  // Valid framing, damaged body: flip one bit past the header.
+  NetRequest request;
+  request.type = NetRequestType::kPing;
+  request.request_id = 9;
+  std::string frame = EncodeRequestFrame(request);
+  frame[kNetFrameHeaderSize + 2] ^= 0x04;
+  ASSERT_TRUE(h.client.SendRaw(frame).ok());
+  auto response = h.client.ReadResponse();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, NetResponseCode::kError);
+  EXPECT_EQ(response->status, StatusCode::kDataLoss);
+  EXPECT_GE(h.server->metrics().GetCounter("net.malformed_requests")->value(),
+            1u);
+  // The stream is still framed: the next request is served normally.
+  auto after = h.client.Ping();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->code, NetResponseCode::kOk);
+}
+
+TEST(NetServerTest, RecvFaultInjectionRejectsWithoutKillingConnection) {
+  FaultInjector faults(1234);
+  faults.AddPolicy({TileServer::kRecvFaultSite, FaultKind::kBitFlip, 1.0});
+  TileServer::Options options;
+  options.fault_injector = &faults;
+  Harness h(options);
+
+  // Every request body is corrupted after framing: typed kDataLoss
+  // errors, connection intact.
+  for (int i = 0; i < 3; ++i) {
+    auto response = h.client.Ping();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->code, NetResponseCode::kError);
+    EXPECT_EQ(response->status, StatusCode::kDataLoss);
+  }
+  EXPECT_EQ(faults.InjectedCount(TileServer::kRecvFaultSite), 3u);
+
+  faults.ClearPolicies();
+  auto response = h.client.Ping();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, NetResponseCode::kOk);
+}
+
+TEST(NetServerTest, GarbageStreamClosesConnection) {
+  Harness h;
+  ASSERT_TRUE(h.client.SendRaw(std::string(64, 'Z')).ok());
+  // Framing is unrecoverable: the server drops the connection.
+  EXPECT_FALSE(h.client.ReadResponse().ok());
+  // New connections still serve.
+  NetClient fresh;
+  ASSERT_TRUE(fresh.Connect("127.0.0.1", h.server->port()).ok());
+  EXPECT_TRUE(fresh.Ping().ok());
+}
+
+TEST(NetServerTest, RequestTraceIsOneTreeRootedAtNetRequest) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  TraceRecorder::Options trace_options;
+  trace_options.enabled = true;
+  trace_options.sample_every_n = 1;
+  recorder.Configure(trace_options);
+
+  {
+    Harness h;
+    auto response =
+        h.client.GetRegion(h.service.snapshot()->map.BoundingBox());
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->code, NetResponseCode::kOk);
+  }
+
+  uint64_t net_trace = 0;
+  uint64_t net_span = 0;
+  for (const TraceEvent& event : recorder.Snapshot()) {
+    if (std::string_view(event.name) == "net.request" &&
+        event.parent_span_id == 0) {
+      net_trace = event.trace_id;
+      net_span = event.span_id;
+    }
+  }
+  ASSERT_NE(net_trace, 0u);
+  // The service endpoint's span joined the net.request trace as a child
+  // instead of starting a second root: one request, one trace tree.
+  bool service_child = false;
+  for (const TraceEvent& event : recorder.Snapshot()) {
+    if (std::string_view(event.name) == "map_service.get_region" &&
+        event.trace_id == net_trace && event.parent_span_id == net_span) {
+      service_child = true;
+    }
+  }
+  EXPECT_TRUE(service_child);
+  recorder.Configure(TraceRecorder::Options{});  // Back to disabled.
+}
+
+TEST(NetServerTest, StopDrainsAdmittedRequests) {
+  TileServer::Options options;
+  options.worker_threads = 2;
+  options.handler_delay_ms_for_test = 100;
+  auto h = std::make_unique<Harness>(options);
+  NetRequest request;
+  request.type = NetRequestType::kGetTile;
+  request.request_id = 7;
+  request.tile = h->service.snapshot()->tiles.AllTiles().front();
+  ASSERT_TRUE(h->client.Send(request).ok());
+  // Wait for admission (the request counter ticks at execution start),
+  // then stop while the handler is still inside its test delay: the
+  // worker pool drains its queue, so the admitted request still gets its
+  // response.
+  Counter* requests = h->server->metrics().GetCounter("net.requests");
+  for (int i = 0; i < 500 && requests->value() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(requests->value(), 1u);
+  h->server->Stop();
+  auto response = h->client.ReadResponse();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->request_id, 7u);
+  EXPECT_EQ(response->code, NetResponseCode::kOk);
+}
+
+}  // namespace
+}  // namespace hdmap
