@@ -117,7 +117,7 @@ int Run() {
   TileStore s1(TileStore::Options{.tile_size_m = 256.0});
   TileStore sn(TileStore::Options{.tile_size_m = 256.0});
   if (!s1.Build(map, 1).ok() || !sn.Build(map, nthreads).ok()) return 1;
-  bool deterministic = s1.raw_tiles() == sn.raw_tiles();
+  bool deterministic = s1.RawTilesCopy() == sn.RawTilesCopy();
   std::printf("    Build bytes 1 vs %zu threads: %s\n", nthreads,
               deterministic ? "identical" : "DIFFER");
 
@@ -142,6 +142,98 @@ int Run() {
       "cache %zu hits / %zu misses\n\n",
       cold_s * 1e3, hot_s * 1e3, cold_s / hot_s, stats.cache_hits,
       stats.cache_misses);
+
+  // --- Tile format v3: zero-copy views vs the legacy v1 decode. ---
+  std::printf("  tile format v3 (offset-table views) vs legacy v1 decode:\n");
+  TileStore v1_store(TileStore::Options{.tile_size_m = 256.0,
+                                        .format = TileFormat::kLegacyV1});
+  TileStore v3_store(TileStore::Options{.tile_size_m = 256.0,
+                                        .format = TileFormat::kFlatV3});
+  if (!v1_store.Build(map, nthreads).ok() ||
+      !v3_store.Build(map, nthreads).ok()) {
+    return 1;
+  }
+  auto in_box = v3_store.TilesInBox(hot_box);
+  if (!in_box.ok()) return 1;
+
+  // Cold "LoadRegion to first geometry": how long from untouched bytes
+  // to geometry in hand, across every tile in the region. v1 must decode
+  // each tile in full; v3 validates the offset tables and reads the
+  // first centerline point in place. Fresh store copies each rep keep
+  // both caches cold.
+  constexpr int kColdReps = 5;
+  double sink = 0.0;  // Defeats dead-code elimination.
+  bench::Timer v1_cold_timer;
+  for (int rep = 0; rep < kColdReps; ++rep) {
+    TileStore cold_store = v1_store;
+    for (const TileId& id : *in_box) {
+      auto tile = cold_store.LoadTile(id);
+      if (!tile.ok()) return 1;
+      if (!tile->lanelets().empty()) {
+        sink += tile->lanelets().begin()->second.centerline.front().x;
+      }
+    }
+  }
+  double v1_cold_s = v1_cold_timer.Seconds() / kColdReps;
+  bench::Timer v3_cold_timer;
+  for (int rep = 0; rep < kColdReps; ++rep) {
+    TileStore cold_store = v3_store;
+    for (const TileId& id : *in_box) {
+      auto view = cold_store.GetTileView(id);
+      if (!view.ok()) return 1;
+      if (view->view.num_lanelets() > 0) {
+        sink += view->view.lanelet(0).centerline().front().x;
+      }
+    }
+  }
+  double v3_cold_s = v3_cold_timer.Seconds() / kColdReps;
+  double v3_speedup = v3_cold_s > 0.0 ? v1_cold_s / v3_cold_s : 0.0;
+  std::printf(
+      "    cold region to first geometry: v1 %.2f ms, v3 %.3f ms (%.0fx)\n",
+      v1_cold_s * 1e3, v3_cold_s * 1e3, v3_speedup);
+
+  // Bytes served verbatim: the network GetTile path ships the pinned
+  // frame bytes untouched (CRC travels inside), vs re-decoding per
+  // request. Throughput over every tile in the region.
+  constexpr int kServeReps = 20;
+  size_t verbatim_bytes = 0;
+  bench::Timer verbatim_timer;
+  for (int rep = 0; rep < kServeReps; ++rep) {
+    for (const TileId& id : *in_box) {
+      auto bytes = v3_store.RawTileBytes(id);
+      if (!bytes.ok()) return 1;
+      verbatim_bytes += bytes->size();
+      sink += static_cast<double>(bytes->data()[0]);
+    }
+  }
+  double verbatim_s = verbatim_timer.Seconds();
+  TileStore decode_store(TileStore::Options{
+      .tile_size_m = 256.0, .cache_capacity = 0,
+      .format = TileFormat::kLegacyV1});
+  if (!decode_store.Build(map, nthreads).ok()) return 1;
+  size_t decoded_bytes = 0;
+  bench::Timer decode_timer;
+  for (const TileId& id : *in_box) {
+    auto bytes = decode_store.RawTileBytes(id);
+    if (!bytes.ok()) return 1;
+    decoded_bytes += bytes->size();
+    if (!decode_store.LoadTile(id).ok()) return 1;
+  }
+  double decode_s = decode_timer.Seconds();
+  std::printf(
+      "    bytes served verbatim: %.1f GB/s pinned (%zu tiles/rep); "
+      "decode path %.3f GB/s\n",
+      verbatim_bytes / 1e9 / verbatim_s, in_box->size(),
+      decoded_bytes / 1e9 / decode_s);
+
+  // Determinism gate now covers v3: byte-identical tiles across thread
+  // counts, and EncodeTileV3 round-trips through the view Materialize.
+  TileStore v3_serial(TileStore::Options{.tile_size_m = 256.0,
+                                         .format = TileFormat::kFlatV3});
+  if (!v3_serial.Build(map, 1).ok()) return 1;
+  bool v3_deterministic = v3_serial.RawTilesCopy() == v3_store.RawTilesCopy();
+  std::printf("    v3 bytes 1 vs %zu threads: %s  (sink %.1f)\n\n", nthreads,
+              v3_deterministic ? "identical" : "DIFFER", sink);
 
   // --- Durability: checkpoint write, cold recovery, WAL ack overhead. ---
   namespace fsys = std::filesystem;
@@ -180,8 +272,8 @@ int Run() {
       TileStore::Options{.tile_size_m = 256.0}, &skipped);
   if (!recovered.ok()) return 1;
   double rec_s = rec_timer.Seconds();
-  bool recovery_identical = recovered->tiles.raw_tiles() ==
-                            serving.raw_tiles();
+  bool recovery_identical = recovered->tiles.RawTilesCopy() ==
+                            serving.RawTilesCopy();
   std::printf("    cold recovery (validate + stitch): %.1f ms, bytes %s\n",
               rec_s * 1e3, recovery_identical ? "identical" : "DIFFER");
 
@@ -223,13 +315,22 @@ int Run() {
   if (cold_s / hot_s < 2.0) {
     std::printf("  WARNING: hot LoadRegion speedup below 2x target\n");
   }
+  if (v3_speedup < 3.0) {
+    std::printf(
+        "  WARNING: v3 cold-to-first-geometry speedup below 3x target\n");
+  }
   if (!deterministic) {
     std::printf("  FAIL: Build output differs across thread counts\n");
+  }
+  if (!v3_deterministic) {
+    std::printf("  FAIL: v3 tile bytes differ across thread counts\n");
   }
   if (!recovery_identical) {
     std::printf("  FAIL: recovered checkpoint bytes differ from source\n");
   }
-  return routed && deterministic && recovery_identical ? 0 : 1;
+  return routed && deterministic && v3_deterministic && recovery_identical
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -10,6 +10,8 @@
 #include "common/trace.h"
 #include "core/raster_layer.h"
 #include "core/serialization.h"
+#include "core/tile_view.h"
+#include "core/wire_frame.h"
 #include "geometry/kd_tree.h"
 #include "geometry/r_tree.h"
 #include "planning/route_planner.h"
@@ -186,6 +188,76 @@ void BM_LatencyHistogramRecord(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LatencyHistogramRecord)->Threads(1)->Threads(4)->Threads(8);
+
+std::string RandomBuffer(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::string buf(size, '\0');
+  for (char& c : buf) c = static_cast<char>(rng.NextU32());
+  return buf;
+}
+
+void BM_Crc32SliceBy8(benchmark::State& state) {
+  std::string buf = RandomBuffer(static_cast<size_t>(state.range(0)), 0xCC);
+  // Correctness gate, not just a timer: the slice-by-8 kernel must agree
+  // with the byte-at-a-time oracle on every buffer it is measured on
+  // (plus split-checksum continuation). Abort so the tier-2 ctest run
+  // fails loudly on any divergence.
+  uint32_t fast = Crc32(buf);
+  uint32_t slow = Crc32Bytewise(buf);
+  uint32_t split = Crc32(std::string_view(buf).substr(buf.size() / 3),
+                         Crc32(std::string_view(buf).substr(0, buf.size() / 3)));
+  if (fast != slow || fast != split) {
+    std::fprintf(stderr,
+                 "FATAL: Crc32 slice-by-8 diverges from bytewise oracle "
+                 "(%08x vs %08x, split %08x) on %zu bytes\n",
+                 fast, slow, split, buf.size());
+    std::abort();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(buf));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_Crc32SliceBy8)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_Crc32Bytewise(benchmark::State& state) {
+  std::string buf = RandomBuffer(static_cast<size_t>(state.range(0)), 0xCC);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32Bytewise(buf));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_Crc32Bytewise)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_TileViewCreate(benchmark::State& state) {
+  // Validate-only cost of the v3 read path (structure pass, no CRC): what
+  // a view-cache miss pays before in-place reads begin.
+  static const std::string* blob = new std::string(EncodeTileV3(BenchTown()));
+  for (auto _ : state) {
+    auto view = TileView::Create(std::string_view(*blob),
+                                 FrameChecksum::kTrust);
+    if (!view.ok()) std::abort();
+    benchmark::DoNotOptimize(view->NumElements());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(blob->size()));
+}
+BENCHMARK(BM_TileViewCreate);
+
+void BM_DeserializeMapV1(benchmark::State& state) {
+  // The full-decode path BM_TileViewCreate replaces on reads.
+  static const std::string* blob = new std::string(SerializeMap(BenchTown()));
+  for (auto _ : state) {
+    auto map = DeserializeMap(*blob);
+    if (!map.ok()) std::abort();
+    benchmark::DoNotOptimize(map->lanelets().size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(blob->size()));
+}
+BENCHMARK(BM_DeserializeMapV1);
 
 void BM_TraceSpanDisabled(benchmark::State& state) {
   // The cost every request pays when tracing is off: must stay a few ns.

@@ -4,7 +4,8 @@
 //   1. generate a ground-truth town map (or build your own via HdMap);
 //   2. spatial queries: lane matching, landmarks, speed limits;
 //   3. lane-level routing;
-//   4. serialization: full, compact, raster and tiles.
+//   4. serialization: full, compact, raster and tiles;
+//   5. zero-copy tile reads through the span-based view API.
 
 #include <cstdio>
 
@@ -80,5 +81,20 @@ int main() {
   std::printf("round-trip: %s (%zu elements)\n",
               restored.ok() ? "OK" : restored.status().ToString().c_str(),
               restored.ok() ? restored->NumElements() : 0);
+
+  // 5. Zero-copy reads: GetTileView validates a tile's offset tables once
+  // and then serves geometry straight out of the stored bytes — no
+  // per-request decode. The returned view pins its bytes, so it stays
+  // valid even if the store replaces the tile (or is destroyed).
+  TileId tile_id = tiles.TileAt(somewhere);
+  Result<PinnedTileView> view = tiles.GetTileView(tile_id);
+  if (view.ok() && view->view.num_lanelets() > 0) {
+    LaneletView lane = view->view.lanelet(0);
+    Vec2 start = lane.centerline().front();
+    std::printf("view API: tile (%d, %d) holds %zu elements; lanelet %lld "
+                "starts at (%.0f, %.0f) — read in place, zero decode\n",
+                tile_id.x, tile_id.y, view->view.NumElements(),
+                static_cast<long long>(lane.id()), start.x, start.y);
+  }
   return 0;
 }

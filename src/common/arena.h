@@ -1,0 +1,116 @@
+#ifndef HDMAP_COMMON_ARENA_H_
+#define HDMAP_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace hdmap {
+
+/// Bump allocator for short-lived scratch memory on decode/encode hot
+/// paths: allocation is a pointer increment, deallocation is free (the
+/// arena releases everything at once). Used where a codec would
+/// otherwise malloc/free many small temporary buffers per tile — e.g.
+/// the v3 encoder's per-section offset tables — so the residual
+/// serialize/materialize work stops exercising the global allocator.
+///
+/// Not thread-safe: one arena per worker (they are cheap to construct).
+/// Individual objects are never destroyed — allocate only trivially
+/// destructible scratch here, or run destructors yourself.
+class Arena {
+ public:
+  explicit Arena(size_t block_bytes = 64 * 1024)
+      : block_bytes_(block_bytes < 256 ? 256 : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Aligned bump allocation. Falls back to a dedicated block for
+  /// requests larger than the block size. `align` must be a power of 2.
+  void* Allocate(size_t size, size_t align = alignof(std::max_align_t)) {
+    if (size == 0) size = 1;
+    uintptr_t cur = reinterpret_cast<uintptr_t>(cursor_);
+    uintptr_t aligned = (cur + (align - 1)) & ~(uintptr_t(align) - 1);
+    size_t padding = aligned - cur;
+    if (cursor_ == nullptr || padding + size > remaining_) {
+      NewBlock(size + align);
+      cur = reinterpret_cast<uintptr_t>(cursor_);
+      aligned = (cur + (align - 1)) & ~(uintptr_t(align) - 1);
+      padding = aligned - cur;
+    }
+    cursor_ += padding + size;
+    remaining_ -= padding + size;
+    bytes_allocated_ += size;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Resets the arena for reuse: keeps the blocks already acquired (the
+  /// next round allocates from them without touching malloc), discards
+  /// their contents.
+  void Reset() {
+    if (blocks_.empty()) return;
+    // Keep only the first (largest-lived) block hot; the rest return to
+    // the allocator so a one-off spike does not pin memory forever.
+    blocks_.resize(1);
+    cursor_ = blocks_.front().data.get();
+    remaining_ = blocks_.front().size;
+    bytes_allocated_ = 0;
+  }
+
+  /// Total bytes handed out since construction/Reset (excludes padding).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  void NewBlock(size_t min_size) {
+    size_t size = min_size > block_bytes_ ? min_size : block_bytes_;
+    blocks_.push_back(Block{std::make_unique<char[]>(size), size});
+    cursor_ = blocks_.back().data.get();
+    remaining_ = size;
+  }
+
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  char* cursor_ = nullptr;
+  size_t remaining_ = 0;
+  size_t bytes_allocated_ = 0;
+};
+
+/// std::allocator-compatible adapter so standard containers can live on
+/// an Arena (scratch vectors in codecs). The arena must outlive the
+/// container; `deallocate` is a no-op.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) {}  // Freed wholesale by the arena.
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_COMMON_ARENA_H_

@@ -1,0 +1,79 @@
+#ifndef HDMAP_CORE_PINNED_BYTES_H_
+#define HDMAP_CORE_PINNED_BYTES_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hdmap {
+
+/// An immutable, reference-counted byte buffer: a span plus the shared
+/// ownership that keeps it alive. The storage behind the span is either
+/// an owned heap string or an externally-owned region (e.g. an mmap'd
+/// checkpoint file) pinned through `owner`.
+///
+/// This is the lifetime contract of the zero-copy read path: a
+/// PinnedBytes handed out by TileStore or SnapshotStore stays valid no
+/// matter what happens to the source afterwards — the tile's bytes may
+/// be replaced (PutRawTile), the snapshot swapped, or the checkpoint
+/// directory retention-deleted (a POSIX unlink does not invalidate live
+/// mappings). Holders therefore never copy and never synchronize; they
+/// just keep the PinnedBytes (and with it the pin) for as long as they
+/// read.
+class PinnedBytes {
+ public:
+  PinnedBytes() = default;
+
+  /// Takes ownership of `bytes` (one move, no copy).
+  static PinnedBytes FromString(std::string bytes) {
+    auto owned = std::make_shared<const std::string>(std::move(bytes));
+    const uint8_t* data = reinterpret_cast<const uint8_t*>(owned->data());
+    size_t size = owned->size();
+    return PinnedBytes(std::move(owned), data, size);
+  }
+
+  /// Copies `bytes` into a new owned buffer.
+  static PinnedBytes CopyOf(std::string_view bytes) {
+    return FromString(std::string(bytes));
+  }
+
+  /// Wraps an externally-owned region: `owner` is whatever keeps
+  /// [data, data + size) alive (an MmapFile, a containing buffer, ...).
+  static PinnedBytes FromOwner(std::shared_ptr<const void> owner,
+                              const uint8_t* data, size_t size) {
+    return PinnedBytes(std::move(owner), data, size);
+  }
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::span<const uint8_t> span() const { return {data_, size_}; }
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(data_), size_};
+  }
+
+  /// The ownership token (shared with every copy of this PinnedBytes).
+  const std::shared_ptr<const void>& owner() const { return owner_; }
+
+  /// Byte-wise equality (not identity).
+  friend bool operator==(const PinnedBytes& a, const PinnedBytes& b) {
+    return a.view() == b.view();
+  }
+
+ private:
+  PinnedBytes(std::shared_ptr<const void> owner, const uint8_t* data,
+              size_t size)
+      : owner_(std::move(owner)), data_(data), size_(size) {}
+
+  std::shared_ptr<const void> owner_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_CORE_PINNED_BYTES_H_

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 
 #include "core/binary_io.h"
+#include "core/tile_view.h"
 #include "core/wire_frame.h"
 
 namespace hdmap {
@@ -263,6 +265,18 @@ std::string SerializeMap(const HdMap& map) {
 
 Result<HdMap> DeserializeMap(std::string_view data) {
   HDMAP_ASSIGN_OR_RETURN(std::string_view payload, FramePayload(data));
+  // Version dispatch on the payload magic: v3 payloads are validated and
+  // materialized by the view machinery (the frame CRC was just checked
+  // above, so Create only runs the structural pass); everything else
+  // falls through to the v1 decoder below.
+  if (payload.size() >= sizeof(uint32_t)) {
+    uint32_t magic = 0;
+    std::memcpy(&magic, payload.data(), sizeof(magic));
+    if (magic == kTileV3Magic) {
+      HDMAP_ASSIGN_OR_RETURN(TileView view, TileView::Create(payload));
+      return view.Materialize();
+    }
+  }
   BufferReader r(payload);
   if (r.ReadU32() != kFullMagic) {
     return Status::DataLoss("bad magic: not a full HD map buffer");

@@ -35,6 +35,7 @@ uint64_t TileId::Morton() const {
 
 TileStore::TileStore(const Options& options)
     : tile_size_(options.tile_size_m),
+      format_(options.format),
       cache_capacity_(options.cache_capacity),
       faults_(options.fault_injector) {
   if (options.metrics != nullptr) {
@@ -47,6 +48,7 @@ TileStore::TileStore(const Options& options)
 
 TileStore::TileStore(const TileStore& other)
     : tile_size_(other.tile_size_),
+      format_(other.format_),
       tiles_(other.tiles_),
       tile_ids_(other.tile_ids_),
       cache_capacity_(other.cache_capacity_),
@@ -58,6 +60,7 @@ TileStore::TileStore(const TileStore& other)
 TileStore& TileStore::operator=(const TileStore& other) {
   if (this == &other) return *this;
   tile_size_ = other.tile_size_;
+  format_ = other.format_;
   tiles_ = other.tiles_;
   tile_ids_ = other.tile_ids_;
   cache_capacity_ = other.cache_capacity_;
@@ -225,13 +228,13 @@ Status TileStore::Build(const HdMap& map, size_t num_threads) {
   std::vector<std::string> blobs(work.size());
   ParallelFor(
       work.size(),
-      [&](size_t i) { blobs[i] = SerializeMap(*work[i].second); },
+      [&](size_t i) { blobs[i] = EncodeBlob(*work[i].second); },
       num_threads);
 
   std::unique_lock<std::shared_mutex> lock(tiles_mu_);
   for (size_t i = 0; i < work.size(); ++i) {
     uint64_t key = work[i].first;
-    tiles_[key] = std::move(blobs[i]);
+    tiles_[key] = PinnedBytes::FromString(std::move(blobs[i]));
     tile_ids_[key] = ids[key];
   }
   return Status::Ok();
@@ -260,7 +263,7 @@ Status TileStore::RebuildTiles(const HdMap& map,
   std::vector<std::string> blobs(work.size());
   ParallelFor(
       work.size(),
-      [&](size_t i) { blobs[i] = SerializeMap(*work[i].second); },
+      [&](size_t i) { blobs[i] = EncodeBlob(*work[i].second); },
       num_threads);
 
   {
@@ -276,7 +279,7 @@ Status TileStore::RebuildTiles(const HdMap& map,
     }
     for (size_t i = 0; i < work.size(); ++i) {
       uint64_t key = work[i].first;
-      tiles_[key] = std::move(blobs[i]);
+      tiles_[key] = PinnedBytes::FromString(std::move(blobs[i]));
       tile_ids_[key] = ids[key];
     }
   }
@@ -288,7 +291,14 @@ Status TileStore::RebuildTiles(const HdMap& map,
 }
 
 void TileStore::PutTile(const TileId& id, const HdMap& tile_map) {
-  std::string bytes = SerializeMap(tile_map);
+  PutRawTile(id, EncodeBlob(tile_map));
+}
+
+void TileStore::PutRawTile(const TileId& id, std::string bytes) {
+  PutPinnedTile(id, PinnedBytes::FromString(std::move(bytes)));
+}
+
+void TileStore::PutPinnedTile(const TileId& id, PinnedBytes bytes) {
   {
     std::unique_lock<std::shared_mutex> lock(tiles_mu_);
     tiles_[id.Morton()] = std::move(bytes);
@@ -300,13 +310,9 @@ void TileStore::PutTile(const TileId& id, const HdMap& tile_map) {
   CacheErase(id.Morton());
 }
 
-void TileStore::PutRawTile(const TileId& id, std::string bytes) {
-  {
-    std::unique_lock<std::shared_mutex> lock(tiles_mu_);
-    tiles_[id.Morton()] = std::move(bytes);
-    tile_ids_[id.Morton()] = id;
-  }
-  CacheErase(id.Morton());
+std::string TileStore::EncodeBlob(const HdMap& tile_map) const {
+  return format_ == TileFormat::kFlatV3 ? EncodeTileV3(tile_map)
+                                        : SerializeMap(tile_map);
 }
 
 Result<std::shared_ptr<const HdMap>> TileStore::LoadTileShared(
@@ -344,7 +350,7 @@ Result<std::shared_ptr<const HdMap>> TileStore::LoadTileShared(
         span.SetStatus(StatusCode::kNotFound);
         return Status::NotFound("tile key " + std::to_string(key));
       }
-      blob = it->second;
+      blob = it->second.view();
       if (faults_ != nullptr &&
           faults_->MaybeCorrupt(kLoadFaultSite, blob, &corrupted)) {
         blob = corrupted;
@@ -380,6 +386,77 @@ Result<HdMap> TileStore::LoadTile(const TileId& id) const {
     return tile.status();
   }
   return HdMap(**tile);
+}
+
+Result<PinnedTileView> TileStore::GetTileView(const TileId& id) const {
+  const uint64_t key = id.Morton();
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = view_cache_.find(key);
+    if (it != view_cache_.end()) return it->second;
+  }
+  TraceSpan span("tile_store.view");
+  if (IsQuarantined(key)) {
+    span.SetStatus(StatusCode::kDataLoss, /*force=*/false);
+    return Status::DataLoss("tile key " + std::to_string(key) +
+                            " quarantined after a failed decode");
+  }
+  // Same staleness protocol as LoadTileShared: sample the generation
+  // before the bytes, so a view validated against a replaced payload is
+  // never installed over the new payload's state.
+  uint64_t gen = mutation_gen_.load(std::memory_order_acquire);
+  PinnedBytes bytes;
+  {
+    std::shared_lock<std::shared_mutex> lock(tiles_mu_);
+    auto it = tiles_.find(key);
+    if (it == tiles_.end()) {
+      span.SetStatus(StatusCode::kNotFound);
+      return Status::NotFound("tile (" + std::to_string(id.x) + "," +
+                              std::to_string(id.y) + ")");
+    }
+    bytes = it->second;  // Pin: valid after the lock drops, forever.
+  }
+  if (!IsTileV3(bytes.view())) {
+    // Not corruption — the tile is simply stored in the v1 format (frame
+    // integrity is still checked by the decode path). No quarantine.
+    span.SetStatus(StatusCode::kFailedPrecondition);
+    return Status::FailedPrecondition(
+        "tile (" + std::to_string(id.x) + "," + std::to_string(id.y) +
+        ") is not in the v3 flat format; use LoadTile");
+  }
+  auto view = TileView::Create(bytes.span());
+  if (!view.ok()) {
+    span.SetStatus(view.status().code());
+    if (view.status().code() == StatusCode::kDataLoss) {
+      Quarantine(key, gen);
+    }
+    return view.status();
+  }
+  PinnedTileView pinned{std::move(bytes), *view};
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (mutation_gen_.load(std::memory_order_relaxed) == gen) {
+    view_cache_.emplace(key, pinned);
+  }
+  return pinned;
+}
+
+Result<PinnedBytes> TileStore::RawTileBytes(const TileId& id) const {
+  std::shared_lock<std::shared_mutex> lock(tiles_mu_);
+  auto it = tiles_.find(id.Morton());
+  if (it == tiles_.end()) {
+    return Status::NotFound("tile (" + std::to_string(id.x) + "," +
+                            std::to_string(id.y) + ")");
+  }
+  return it->second;
+}
+
+std::map<uint64_t, std::string> TileStore::RawTilesCopy() const {
+  std::shared_lock<std::shared_mutex> lock(tiles_mu_);
+  std::map<uint64_t, std::string> out;
+  for (const auto& [key, blob] : tiles_) {
+    out.emplace(key, std::string(blob.view()));
+  }
+  return out;
 }
 
 Result<std::vector<TileId>> TileStore::TileCoverage(const Aabb& box) const {
@@ -561,6 +638,7 @@ void TileStore::CacheErase(uint64_t key) {
   // stored verdicts; new bytes get a fresh one.
   mutation_gen_.fetch_add(1, std::memory_order_release);
   quarantined_.erase(key);
+  view_cache_.erase(key);
   auto it = cache_.find(key);
   if (it == cache_.end()) return;
   lru_.erase(it->second.second);
@@ -573,6 +651,7 @@ void TileStore::CacheClear() {
   cache_.clear();
   lru_.clear();
   quarantined_.clear();
+  view_cache_.clear();
 }
 
 bool TileStore::IsQuarantined(uint64_t key) const {

@@ -18,8 +18,29 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "core/hd_map.h"
+#include "core/pinned_bytes.h"
+#include "core/tile_view.h"
+
+// Which encoder Build/PutTile use when Options::format is left at its
+// default. CMake sets this from -DHDMAP_FORMAT_V3=ON/OFF (the OFF preset
+// is the escape hatch while v3 soaks); both encoders are always compiled
+// and both decoders always accept either format.
+#ifndef HDMAP_FORMAT_V3_DEFAULT
+#define HDMAP_FORMAT_V3_DEFAULT 1
+#endif
 
 namespace hdmap {
+
+/// Serialization format for tiles written by Build/RebuildTiles/PutTile.
+/// Reads are format-agnostic: DeserializeMap dispatches on the payload
+/// magic, so a store can hold a mix (e.g. right after a format rollout).
+enum class TileFormat {
+  /// v1 streaming encoding (core/serialization.h): decode-everything.
+  kLegacyV1,
+  /// v3 offset-table layout (core/tile_view.h): the framed bytes are the
+  /// queryable representation; GetTileView serves them without decoding.
+  kFlatV3,
+};
 
 /// Tile coordinate in a uniform square tiling of the plane.
 struct TileId {
@@ -117,6 +138,10 @@ class TileStore {
     /// benches can corrupt serialized tiles on demand with reproducible
     /// seeds. Must outlive the store; null disables injection.
     FaultInjector* fault_injector = nullptr;
+    /// Encoder used for tiles this store serializes itself. Defaults to
+    /// the build-wide choice (-DHDMAP_FORMAT_V3).
+    TileFormat format = HDMAP_FORMAT_V3_DEFAULT ? TileFormat::kFlatV3
+                                                : TileFormat::kLegacyV1;
   };
 
   /// FaultInjector site name instrumenting LoadTile/LoadRegion blob reads.
@@ -131,16 +156,11 @@ class TileStore {
   TileStore() : TileStore(Options{}) {}
   explicit TileStore(const Options& options);
 
-  /// Deprecated two-scalar constructor; use TileStore(Options) so new
-  /// knobs don't churn call sites.
-  [[deprecated("use TileStore(TileStore::Options)")]] explicit TileStore(
-      double tile_size_m, size_t cache_capacity = 256)
-      : TileStore(Options{tile_size_m, cache_capacity, nullptr, nullptr}) {}
-
   /// Copies configuration and serialized tiles; the copy starts with a
   /// cold cache and zeroed stats (but keeps the metrics binding). This is
-  /// the copy-on-write step of snapshot publishing: untouched tiles share
-  /// nothing but their serialized bytes.
+  /// the copy-on-write step of snapshot publishing: tile bytes are
+  /// immutable and reference-counted (PinnedBytes), so the copy shares
+  /// them without duplicating a byte.
   TileStore(const TileStore& other);
   TileStore& operator=(const TileStore& other);
 
@@ -182,9 +202,30 @@ class TileStore {
   /// and quarantine entries.
   void PutRawTile(const TileId& id, std::string bytes);
 
+  /// Same as PutRawTile but zero-copy: `bytes` may be backed by an
+  /// external owner (e.g. an mmap'd checkpoint), and the store pins it
+  /// rather than copying it onto the heap.
+  void PutPinnedTile(const TileId& id, PinnedBytes bytes);
+
   /// Deserializes a tile (or copies it out of the cache); kNotFound for
   /// absent tiles.
   Result<HdMap> LoadTile(const TileId& id) const;
+
+  /// Zero-copy read of one v3 tile: validates the framed bytes once per
+  /// payload generation (CRC + structural pass, cached like decoded
+  /// tiles) and returns in-place accessors over them — no allocation, no
+  /// decode. The returned view stays valid for its own lifetime even if
+  /// the tile is replaced or the store destroyed (the PinnedTileView
+  /// holds the pin). kNotFound for absent tiles, kDataLoss (and
+  /// quarantine, exactly like LoadTile) for corrupt ones, and
+  /// kFailedPrecondition for tiles stored in the legacy v1 format —
+  /// fall back to LoadTile for those.
+  Result<PinnedTileView> GetTileView(const TileId& id) const;
+
+  /// The tile's serialized framed bytes, pinned — the serve-verbatim
+  /// path (a network reply can hold the span with no copy and no lock).
+  /// kNotFound for absent tiles. Thread-safe against Put*.
+  Result<PinnedBytes> RawTileBytes(const TileId& id) const;
 
   /// Every tile id in the tiling intersecting `box`, present in the store
   /// or not (the touched-tile enumeration for incremental updates).
@@ -228,10 +269,13 @@ class TileStore {
   void ResetStats();
 
   size_t cache_capacity() const { return cache_capacity_; }
+  TileFormat format() const { return format_; }
 
-  /// Direct view of the serialized blobs (checkpointing, byte-equality in
-  /// tests). Not synchronized: must not race Put*/Build mutations.
-  const std::map<uint64_t, std::string>& raw_tiles() const { return tiles_; }
+  /// Copy of every serialized blob, keyed by Morton code — byte-equality
+  /// checks in tests/benches and other whole-store sweeps. Thread-safe
+  /// (unlike the raw_tiles() reference accessor it replaces); prefer
+  /// RawTileBytes for single tiles — it pins instead of copying.
+  std::map<uint64_t, std::string> RawTilesCopy() const;
 
  private:
   /// Validated [lo, hi] tile range covered by `box`. Computes the tile
@@ -251,6 +295,9 @@ class TileStore {
                      const std::map<uint64_t, TileId>* only,
                      std::map<uint64_t, HdMap>* tile_maps,
                      std::map<uint64_t, TileId>* ids) const;
+
+  /// Serializes one tile's map in the store's configured format.
+  std::string EncodeBlob(const HdMap& tile_map) const;
 
   /// Cache-aware tile load; returns a shared snapshot that must only be
   /// read (never queried through the lazy-index API concurrently). A
@@ -279,10 +326,13 @@ class TileStore {
   bool IsQuarantined(uint64_t key) const;
 
   double tile_size_;
+  TileFormat format_;
   // Blob map, guarded by tiles_mu_ for per-tile replacement vs reads
   // (wholesale Build/assignment still needs external serialization).
+  // Blobs are immutable PinnedBytes: replacing a tile swaps the map
+  // entry while readers holding the old pin keep a valid buffer.
   mutable std::shared_mutex tiles_mu_;
-  std::map<uint64_t, std::string> tiles_;   // Morton key -> blob.
+  std::map<uint64_t, PinnedBytes> tiles_;   // Morton key -> framed blob.
   std::map<uint64_t, TileId> tile_ids_;     // Morton key -> coordinates.
   // Bumped (under cache_mu_) by every mutation that replaces tile bytes;
   // lets in-flight loads detect that their verdict is stale.
@@ -302,6 +352,13 @@ class TileStore {
   // Tiles whose payload failed checksum/decode, keyed by Morton code;
   // guarded by cache_mu_ (set during const loads, hence mutable).
   mutable std::set<uint64_t> quarantined_;
+
+  // Validated-once views of v3 tiles, keyed by Morton code; guarded by
+  // cache_mu_ and invalidated with the decoded cache (CacheErase /
+  // CacheClear). Entries are tiny (a pin plus section pointers) and
+  // bounded by the tile count, so no LRU. The pinned bytes are the
+  // store's own blobs — pinning them costs nothing extra.
+  mutable std::unordered_map<uint64_t, PinnedTileView> view_cache_;
 
   // Optional registry export of the cache counters (null when unbound).
   Counter* hits_exported_ = nullptr;

@@ -17,6 +17,7 @@
 #include "common/trace.h"
 #include "core/binary_io.h"
 #include "core/serialization.h"
+#include "core/tile_view.h"
 #include "core/wire_frame.h"
 
 namespace hdmap {
@@ -410,29 +411,34 @@ std::tuple<NetResponseCode, StatusCode, std::string> TileServer::ComputeFull(
   *version = snap->version;
   if (request.type == NetRequestType::kGetTile) {
     // Verbatim blob from the snapshot's tile store: zero re-encode, and
-    // the payload's embedded frame CRC travels with it. (The snapshot's
-    // store is immutable once published, so the unsynchronized
-    // raw_tiles() view is safe here.)
-    const auto& tiles = snap->tiles.raw_tiles();
-    auto it = tiles.find(request.tile.Morton());
-    if (it == tiles.end()) {
+    // the payload's embedded frame CRC travels with it. RawTileBytes
+    // pins the blob, so the bytes stay valid while the response frame
+    // is assembled even if a publish swaps the store underneath.
+    Result<PinnedBytes> bytes = snap->tiles.RawTileBytes(request.tile);
+    if (!bytes.ok()) {
       return {NetResponseCode::kError, StatusCode::kNotFound,
               "tile (" + std::to_string(request.tile.x) + ", " +
                   std::to_string(request.tile.y) + ") not present"};
     }
-    return {NetResponseCode::kOk, StatusCode::kOk, it->second};
+    return {NetResponseCode::kOk, StatusCode::kOk,
+            std::string(bytes->view())};
   }
   // Region: stitch (through the service, so degraded-mode policy and
   // map_service.* accounting apply; its endpoint span nests under
-  // net.request) and serialize once. SerializeMap output is framed, so
-  // the client decodes and integrity-checks it like a tile blob.
+  // net.request) and serialize once, in the snapshot's own tile format.
+  // Either encoding is framed, so the client decodes and
+  // integrity-checks it like a tile blob (DeserializeMap dispatches on
+  // the payload magic).
   Result<HdMap> region = service_.GetRegion(request.box);
   if (!region.ok()) {
     return {NetResponseCode::kError, region.status().code(),
             region.status().message()};
   }
   TraceSpan serialize_span("net.serialize_region");
-  return {NetResponseCode::kOk, StatusCode::kOk, SerializeMap(*region)};
+  std::string payload = snap->tiles.format() == TileFormat::kFlatV3
+                            ? EncodeTileV3(*region)
+                            : SerializeMap(*region);
+  return {NetResponseCode::kOk, StatusCode::kOk, std::move(payload)};
 }
 
 void TileServer::FinishRequest(

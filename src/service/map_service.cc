@@ -753,6 +753,28 @@ Result<HdMap> MapService::GetTile(const TileId& id) const {
   return tile;
 }
 
+Result<VersionedTileView> MapService::GetTileView(const TileId& id) const {
+  requests_->Increment();
+  TraceSpan span("map_service.get_tile_view", TraceSpan::kRoot);
+  auto start = std::chrono::steady_clock::now();
+  ScopedTimer timer(lat_get_tile_);
+  auto snap = snapshot();
+  if (snap == nullptr) {
+    RecordError(StatusCode::kFailedPrecondition);
+    FinishRequest(span, "map_service.get_tile_view", start,
+                  StatusCode::kFailedPrecondition);
+    return Status::FailedPrecondition("MapService::Init has not run");
+  }
+  // The view pins the tile bytes itself, so it remains valid even after
+  // `snap` dies with this frame and a later publish drops the store.
+  auto view = snap->tiles.GetTileView(id);
+  StatusCode code = view.ok() ? StatusCode::kOk : view.status().code();
+  if (!view.ok()) RecordError(code);
+  FinishRequest(span, "map_service.get_tile_view", start, code);
+  if (!view.ok()) return view.status();
+  return VersionedTileView{snap->version, *std::move(view)};
+}
+
 Result<LaneMatch> MapService::MatchToLane(const Vec2& position,
                                           double max_distance) const {
   requests_->Increment();

@@ -58,6 +58,13 @@ struct MapSnapshot {
   std::shared_ptr<const RoutingGraph> routing;
 };
 
+/// A zero-copy tile view stamped with the snapshot version it was read
+/// from (the version a client caches or advertises for deltas).
+struct VersionedTileView {
+  uint64_t version = 0;
+  PinnedTileView tile;
+};
+
 /// Coarse serving-health signal derived from the error-code counters.
 enum class ServiceHealth {
   /// No data-loss events observed since the current snapshot published.
@@ -270,6 +277,16 @@ class MapService {
 
   /// One tile of the current snapshot (see TileStore::LoadTile).
   Result<HdMap> GetTile(const TileId& id) const;
+
+  /// Zero-copy read of one tile of the current snapshot (see
+  /// TileStore::GetTileView): in-place accessors over the tile's framed
+  /// v3 bytes, no decode. The view pins its bytes, so it stays valid
+  /// across snapshot swaps and store teardown — a caller may hold it for
+  /// as long as it reads, with no coordination against publishes.
+  /// `version` reports the snapshot the view came from.
+  /// kFailedPrecondition before Init or for tiles stored in the legacy
+  /// v1 format (fall back to GetTile).
+  Result<VersionedTileView> GetTileView(const TileId& id) const;
 
   /// Lane-level match against the current snapshot's stitched map.
   Result<LaneMatch> MatchToLane(const Vec2& position,

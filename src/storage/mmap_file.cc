@@ -1,0 +1,49 @@
+#include "storage/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hdmap {
+
+Result<std::shared_ptr<MmapFile>> MmapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound(path + " does not exist");
+    }
+    return Status::Internal("open " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal("fstat " + path + ": " + std::strerror(err));
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  void* addr = nullptr;
+  if (size > 0) {
+    addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      int err = errno;
+      ::close(fd);
+      return Status::Internal("mmap " + path + ": " + std::strerror(err));
+    }
+  }
+  // The mapping holds its own reference to the file; the descriptor is
+  // no longer needed (and closing it keeps fd usage flat however many
+  // checkpoint generations are pinned).
+  ::close(fd);
+  return std::shared_ptr<MmapFile>(new MmapFile(addr, size));
+}
+
+MmapFile::~MmapFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+}  // namespace hdmap

@@ -1,0 +1,53 @@
+#ifndef HDMAP_STORAGE_MMAP_FILE_H_
+#define HDMAP_STORAGE_MMAP_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace hdmap {
+
+/// A read-only memory-mapped file. The mapping lives until the MmapFile
+/// is destroyed; POSIX keeps it valid even after the file is unlinked
+/// (retention-delete of a checkpoint directory), which is what lets
+/// checkpoint readers hold zero-copy views with no coordination against
+/// the writer — they pin the MmapFile via shared_ptr (PinnedBytes) and
+/// the kernel keeps the pages alive.
+///
+/// Mapped MAP_PRIVATE: in-place writes by another process are not part
+/// of the durability contract (checkpoints are only ever replaced by
+/// atomic rename), so no effort is made to observe them.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. kNotFound when the file does not exist,
+  /// kInternal for other open/map failures. An empty file maps to an
+  /// empty (but valid) MmapFile.
+  static Result<std::shared_ptr<MmapFile>> Open(const std::string& path);
+
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(addr_); }
+  size_t size() const { return size_; }
+
+  std::span<const uint8_t> span() const { return {data(), size_}; }
+  std::string_view view() const {
+    return {static_cast<const char*>(addr_), size_};
+  }
+
+ private:
+  MmapFile(void* addr, size_t size) : addr_(addr), size_(size) {}
+
+  void* addr_ = nullptr;  // nullptr for an empty file.
+  size_t size_ = 0;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_STORAGE_MMAP_FILE_H_

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/trace.h"
+#include "storage/mmap_file.h"
 #include "core/binary_io.h"
 #include "core/wire_frame.h"
 
@@ -149,14 +150,14 @@ Status SnapshotStore::WriteCheckpoint(const TileStore& tiles,
     manifest.WriteU64(ids.size());
     for (const TileId& id : ids) {
       uint64_t morton = id.Morton();
-      const std::string& blob = tiles.raw_tiles().at(morton);
+      HDMAP_ASSIGN_OR_RETURN(PinnedBytes blob, tiles.RawTileBytes(id));
       manifest.WriteU64(morton);
       manifest.WriteI32(id.x);
       manifest.WriteI32(id.y);
       // The manifest records the intended length; an injected or real
       // torn tile write then disagrees with it and fails validation.
       manifest.WriteU64(blob.size());
-      std::string_view bytes = blob;
+      std::string_view bytes = blob.view();
       std::string corrupted;
       if (faults != nullptr &&
           faults->MaybeCorrupt(kWriteFaultSite, bytes, &corrupted)) {
@@ -276,20 +277,78 @@ Result<RecoveredSnapshot> SnapshotStore::LoadCheckpoint(
   out.published_unix_ms = manifest.published_unix_ms;
   out.tiles = TileStore(opts);
   for (const ManifestEntry& e : manifest.entries) {
-    HDMAP_ASSIGN_OR_RETURN(std::string blob,
-                           ReadFileRaw(dir + "/" + TileFileName(e.morton)));
-    if (blob.size() != e.size) {
+    // Zero-copy recovery: the tile file is mmap'd and pinned into the
+    // store instead of being copied onto the heap. The mapping outlives
+    // retention-deletes of this checkpoint (POSIX unlink semantics), so
+    // the recovered store needs no further relationship with the dir.
+    HDMAP_ASSIGN_OR_RETURN(std::shared_ptr<MmapFile> file,
+                           MmapFile::Open(dir + "/" + TileFileName(e.morton)));
+    if (file->size() != e.size) {
       return Status::DataLoss(
           "tile " + TileFileName(e.morton) + " in " + dir + " is " +
-          std::to_string(blob.size()) + " bytes, manifest says " +
+          std::to_string(file->size()) + " bytes, manifest says " +
           std::to_string(e.size));
     }
-    out.tiles.PutRawTile(e.id, std::move(blob));
+    PinnedBytes blob =
+        PinnedBytes::FromOwner(file, file->data(), file->size());
+    out.tiles.PutPinnedTile(e.id, std::move(blob));
   }
   // Full validation + stitch: every tile must pass its frame CRC and
   // decode before the checkpoint is considered servable.
   HDMAP_ASSIGN_OR_RETURN(out.map, out.tiles.LoadAll());
   return out;
+}
+
+Result<MappedCheckpoint> SnapshotStore::OpenMapped(uint64_t version) const {
+  TraceSpan span("storage.checkpoint_open_mapped");
+  const std::string dir = CheckpointDir(version);
+  HDMAP_ASSIGN_OR_RETURN(std::string framed,
+                         ReadFileRaw(dir + "/" + kManifestFile));
+  HDMAP_ASSIGN_OR_RETURN(Manifest manifest, ParseManifest(framed));
+  if (manifest.version != version) {
+    return Status::DataLoss("manifest in " + dir + " claims version " +
+                            std::to_string(manifest.version));
+  }
+  MappedCheckpoint out;
+  out.version = manifest.version;
+  out.published_unix_ms = manifest.published_unix_ms;
+  out.tile_size_m = manifest.tile_size_m;
+  for (const ManifestEntry& e : manifest.entries) {
+    HDMAP_ASSIGN_OR_RETURN(std::shared_ptr<MmapFile> file,
+                           MmapFile::Open(dir + "/" + TileFileName(e.morton)));
+    if (file->size() != e.size) {
+      return Status::DataLoss(
+          "tile " + TileFileName(e.morton) + " in " + dir + " is " +
+          std::to_string(file->size()) + " bytes, manifest says " +
+          std::to_string(e.size));
+    }
+    // The once-per-generation CRC check. Views over this tile use
+    // FrameChecksum::kTrust from here on: the mapping is private and the
+    // file only ever replaced wholesale, so the verified bytes cannot
+    // change underneath the views.
+    HDMAP_RETURN_IF_ERROR(UnwrapFrame(file->view()).status());
+    out.tiles.emplace(
+        e.morton, PinnedBytes::FromOwner(file, file->data(), file->size()));
+    out.tile_ids.emplace(e.morton, e.id);
+  }
+  return out;
+}
+
+Result<PinnedTileView> MappedCheckpoint::View(uint64_t morton) const {
+  auto it = tiles.find(morton);
+  if (it == tiles.end()) {
+    return Status::NotFound("tile key " + std::to_string(morton) +
+                            " not in checkpoint v" + std::to_string(version));
+  }
+  if (!IsTileV3(it->second.view())) {
+    return Status::FailedPrecondition(
+        "tile key " + std::to_string(morton) +
+        " is not in the v3 flat format; DeserializeMap its bytes instead");
+  }
+  HDMAP_ASSIGN_OR_RETURN(
+      TileView view,
+      TileView::Create(it->second.span(), FrameChecksum::kTrust));
+  return PinnedTileView{it->second, view};
 }
 
 Result<RecoveredSnapshot> SnapshotStore::LoadNewestValid(

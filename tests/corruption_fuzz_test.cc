@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "core/serialization.h"
 #include "core/tile_store.h"
+#include "core/tile_view.h"
 #include "core/wire_frame.h"
 #include "sim/road_network_generator.h"
 
@@ -158,6 +159,31 @@ TEST(CorruptionFuzzTest, DeserializePatchNeverCrashes) {
               "DeserializePatch");
 }
 
+TEST(CorruptionFuzzTest, TileViewCreateNeverCrashes) {
+  HdMap map = SmallTown();
+  std::string blob = EncodeTileV3(map);
+  FuzzDecoder(blob, [](std::string_view d) { return TileView::Create(d); },
+              "TileView::Create");
+}
+
+// The offset-table family: mutate the BARE v3 payload and re-frame it
+// with a freshly computed (valid) CRC, so every mutation reaches the
+// structural validator — out-of-range offsets, overlapping slots,
+// truncated tables — instead of dying at the frame checksum. Survivors
+// must stay fully traversable (Materialize walks every record).
+TEST(CorruptionFuzzTest, ReframedV3OffsetTablesNeverCrash) {
+  HdMap map = SmallTown();
+  std::string framed = EncodeTileV3(map);
+  std::string payload(std::string_view(framed).substr(kWireFrameHeaderSize));
+  Rng rng(kSeed ^ 0x33);
+  size_t iters = FuzzIters();
+  for (size_t i = 0; i < iters; ++i) {
+    std::string bad = WrapFrame(Mutate(payload, rng));
+    auto view = TileView::Create(std::string_view(bad));
+    if (view.ok()) (void)view->Materialize();
+  }
+}
+
 TEST(CorruptionFuzzTest, RawGarbageNeverCrashesAnyDecoder) {
   Rng rng(kSeed ^ 0x9999);
   size_t iters = FuzzIters();
@@ -189,7 +215,7 @@ TEST(CorruptionFuzzTest, LoadRegionServesAroundMutatedTiles) {
     for (const TileId& id : *present) {
       if (!rng.Bernoulli(0.5)) continue;
       store.PutRawTile(
-          id, Mutate(pristine.raw_tiles().at(id.Morton()), rng));
+          id, Mutate(pristine.RawTilesCopy().at(id.Morton()), rng));
       ++mutated;
     }
     RegionReport report;

@@ -244,8 +244,8 @@ TEST(CrashRecoveryFuzzTest, RecoveryInvariantsHoldUnderRandomFaults) {
     MapService recovered2(ServiceOptions(dir.str(), nullptr, rng));
     ASSERT_TRUE(recovered2.Init(StraightRoad(200.0)).ok());
     EXPECT_EQ(recovered2.version(), recovered.version());
-    EXPECT_EQ(recovered2.snapshot()->tiles.raw_tiles(),
-              recovered.snapshot()->tiles.raw_tiles());
+    EXPECT_EQ(recovered2.snapshot()->tiles.RawTilesCopy(),
+              recovered.snapshot()->tiles.RawTilesCopy());
   }
   // The exact-equality property must have actually run.
   EXPECT_GT(clean_iters, 0u);

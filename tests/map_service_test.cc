@@ -66,6 +66,46 @@ TEST(MapServiceTest, InitServesAllEndpoints) {
   EXPECT_GE(service.SnapshotAgeSeconds(), 0.0);
 }
 
+TEST(MapServiceTest, GetTileViewServesAndPinsAcrossPublish) {
+  MapService::Options opt = SmallTileOptions();
+  opt.tile_store.format = TileFormat::kFlatV3;  // Views need v3 bytes.
+  MapService service(opt);
+  EXPECT_EQ(service.GetTileView(TileId{0, 0}).status().code(),
+            StatusCode::kFailedPrecondition);  // Before Init.
+  ASSERT_TRUE(service.Init(StraightRoad(500.0)).ok());
+
+  TileId id = service.snapshot()->tiles.TileAt({10, 0});
+  auto view = service.GetTileView(id);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->version, 1u);
+  EXPECT_GT(view->tile.view.NumElements(), 0u);
+  size_t lanelets_before = view->tile.view.num_lanelets();
+
+  // Publish a new version: the held view keeps serving the old bytes
+  // (the pin outlives the snapshot it came from), while a fresh call
+  // reports the new version.
+  ElementId sign = FirstLandmarkId(service.snapshot()->map);
+  MapPatch patch;
+  patch.moved_landmarks.push_back(
+      {sign, service.snapshot()->map.FindLandmark(sign)->position +
+                 Vec3{1.0, 0.0, 0.0}});
+  service.StagePatch(patch);
+  ASSERT_TRUE(service.Publish().ok());
+
+  EXPECT_EQ(view->tile.view.num_lanelets(), lanelets_before);
+  ASSERT_TRUE(view->tile.view.Materialize().ok());
+  auto fresh = service.GetTileView(id);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->version, 2u);
+
+  // View and decode agree on content (same post-publish version).
+  auto tile = service.GetTile(id);
+  ASSERT_TRUE(tile.ok());
+  auto materialized = fresh->tile.view.Materialize();
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_EQ(SerializeMap(*materialized), SerializeMap(*tile));
+}
+
 TEST(MapServiceTest, HeldSnapshotIsIsolatedFromPublish) {
   MapService service(SmallTileOptions());
   ASSERT_TRUE(service.Init(StraightRoad(500.0)).ok());
@@ -120,12 +160,12 @@ TEST(MapServiceTest, CowTilesMatchFullRebuild) {
   // the patched map: byte-identical tiles under the same options.
   TileStore full(TileStore::Options{.tile_size_m = 100.0});
   ASSERT_TRUE(full.Build(after->map).ok());
-  EXPECT_EQ(after->tiles.raw_tiles(), full.raw_tiles());
+  EXPECT_EQ(after->tiles.RawTilesCopy(), full.RawTilesCopy());
   // And the previous snapshot's store was left byte-identical to its own
   // full build.
   TileStore old_full(TileStore::Options{.tile_size_m = 100.0});
   ASSERT_TRUE(old_full.Build(before->map).ok());
-  EXPECT_EQ(before->tiles.raw_tiles(), old_full.raw_tiles());
+  EXPECT_EQ(before->tiles.RawTilesCopy(), old_full.RawTilesCopy());
 }
 
 TEST(MapServiceTest, CowTilesMatchFullRebuildOnRelationalPatch) {
@@ -160,7 +200,7 @@ TEST(MapServiceTest, CowTilesMatchFullRebuildOnRelationalPatch) {
   EXPECT_NEAR(after->map.EffectiveSpeedLimit(lane_id), 6.0, 1e-9);
   TileStore full(TileStore::Options{.tile_size_m = 100.0});
   ASSERT_TRUE(full.Build(after->map).ok());
-  EXPECT_EQ(after->tiles.raw_tiles(), full.raw_tiles());
+  EXPECT_EQ(after->tiles.RawTilesCopy(), full.RawTilesCopy());
 }
 
 TEST(MapServiceTest, PublishIsAllOrNothing) {
@@ -454,7 +494,7 @@ TEST(MapServiceDurabilityTest, RestartRecoversPublishedState) {
     patch.moved_landmarks.push_back({sign, new_pos});
     ASSERT_TRUE(service.ApplyPatch(patch).ok());
     EXPECT_EQ(service.version(), 2u);
-    published_bytes = service.snapshot()->tiles.raw_tiles();
+    published_bytes = service.snapshot()->tiles.RawTilesCopy();
   }  // "Crash": the service goes away, only the data_dir survives.
 
   MapService revived(DurableOptions(dir.str()));
@@ -463,7 +503,7 @@ TEST(MapServiceDurabilityTest, RestartRecoversPublishedState) {
   EXPECT_EQ(revived.version(), 2u);
   EXPECT_EQ(revived.snapshot()->map.FindLandmark(sign)->position, new_pos);
   // Byte-exact: recovery re-serves exactly the published tiles.
-  EXPECT_EQ(revived.snapshot()->tiles.raw_tiles(), published_bytes);
+  EXPECT_EQ(revived.snapshot()->tiles.RawTilesCopy(), published_bytes);
   // A clean recovery is not a degradation.
   EXPECT_EQ(revived.Health(), ServiceHealth::kServing);
   EXPECT_EQ(revived.metrics().GetCounter("storage.recoveries")->value(), 1u);
@@ -504,11 +544,11 @@ TEST(MapServiceDurabilityTest, AckedUnpublishedPatchSurvivesRestart) {
             1u);
   // Recovery re-checkpointed, so a second restart replays nothing and
   // lands on the same state (recovery is idempotent).
-  auto recovered_bytes = revived.snapshot()->tiles.raw_tiles();
+  auto recovered_bytes = revived.snapshot()->tiles.RawTilesCopy();
   MapService again(DurableOptions(dir.str()));
   ASSERT_TRUE(again.Init(HdMap()).ok());
   EXPECT_EQ(again.version(), 2u);
-  EXPECT_EQ(again.snapshot()->tiles.raw_tiles(), recovered_bytes);
+  EXPECT_EQ(again.snapshot()->tiles.RawTilesCopy(), recovered_bytes);
   EXPECT_EQ(again.metrics().GetCounter("wal.replayed_records")->value(), 0u);
 }
 

@@ -18,6 +18,7 @@
 #include "common/trace.h"
 #include "core/map_patch.h"
 #include "core/serialization.h"
+#include "core/tile_view.h"
 #include "core/wire_frame.h"
 #include "net/protocol.h"
 #include "tests/test_worlds.h"
@@ -133,8 +134,9 @@ TEST(NetServerTest, PingReportsVersion) {
 TEST(NetServerTest, GetTileServesVerbatimStoreBytes) {
   Harness h;
   auto snap = h.service.snapshot();
-  ASSERT_FALSE(snap->tiles.raw_tiles().empty());
-  const auto& [key, blob] = *snap->tiles.raw_tiles().begin();
+  auto raw = snap->tiles.RawTilesCopy();
+  ASSERT_FALSE(raw.empty());
+  const auto& [key, blob] = *raw.begin();
   TileId id = snap->tiles.AllTiles().front();
   ASSERT_EQ(id.Morton(), key);
 
@@ -339,11 +341,17 @@ TEST(NetServerTest, ConditionalFetchDeltaMatchesLocalApply) {
   ASSERT_TRUE(wire_patch.ok());
   ASSERT_TRUE(ApplyPatch(*wire_patch, &local.value()).ok());
 
-  // The locally patched map matches a fresh full fetch of version 2.
+  // The locally patched map matches a fresh full fetch of version 2 —
+  // byte-identical once re-encoded in whichever region format the
+  // server's store uses (v3 by default, v1 under -DHDMAP_FORMAT_V3=OFF).
   auto fresh = h.client.GetRegion(box);
   ASSERT_TRUE(fresh.ok());
   ASSERT_EQ(fresh->code, NetResponseCode::kOk);
-  EXPECT_EQ(SerializeMap(*local), fresh->payload);
+  std::string reencoded =
+      h.service.snapshot()->tiles.format() == TileFormat::kFlatV3
+          ? EncodeTileV3(*local)
+          : SerializeMap(*local);
+  EXPECT_EQ(reencoded, fresh->payload);
   EXPECT_EQ(local->FindLandmark(sign)->position,
             h.service.snapshot()->map.FindLandmark(sign)->position);
 }
