@@ -19,12 +19,18 @@
 //      whose handler is artificially slowed (the test hook widens the
 //      in-flight window); the computations counter shows K requests
 //      collapsing into 1 region serialization.
+//   4. Failover — a 1-leader/2-follower replication cluster takes a
+//      closed-loop write load; the leader is killed mid-run. Reports
+//      time-to-promotion (the degraded window the FailoverController
+//      measured between heartbeat-timeout detection and the new leader
+//      installing), write attempts lost while leaderless, and the
+//      FAILOVER_* records from the controller's event log.
 //
 // The run fails (nonzero exit) if coalescing does not collapse
-// duplicates, if the 2x overload step sheds nothing, or if goodput
+// duplicates, if the 2x overload step sheds nothing, if goodput
 // under 2x overload falls below half the 1x goodput (the report prints
 // the within-20% check; the exit gate is looser so CI boxes with one
-// core don't flake).
+// core don't flake), or if no failover completes after the leader kill.
 //
 // Usage: bench_e17_net [--smoke] [--seconds=S] [--connections=C]
 //                      [--coalesce-clients=K]
@@ -41,9 +47,12 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/event_log.h"
 #include "common/statistics.h"
 #include "core/tile_store.h"
 #include "net/tile_server.h"
+#include "replication/failover_controller.h"
+#include "replication/node.h"
 #include "service/map_service.h"
 #include "tests/test_worlds.h"
 
@@ -307,6 +316,118 @@ bool RunCoalesceDemo(const MapService& service, size_t k,
   return ok == k;
 }
 
+struct FailoverResult {
+  bool promoted = false;
+  double time_to_promotion_ms = 0;  // Controller-measured degraded window.
+  double detection_ms = 0;          // Kill -> kFailoverDetected wall time.
+  uint64_t writes_acked_before = 0;
+  uint64_t writes_acked_after = 0;
+  uint64_t writes_lost_at_kill = 0;  // Attempts failed while leaderless.
+  std::vector<EventLog::Event> events;
+};
+
+/// Phase 4: kill the leader of a live 3-node cluster under closed-loop
+/// write load and measure the promotion. The writer keeps hammering
+/// through the outage, so "writes lost at kill" is the count of attempts
+/// that failed between the kill and the first ack from the new leader —
+/// the client-visible cost of the degraded window.
+FailoverResult RunFailoverDemo(double seconds) {
+  FailoverResult out;
+  FaultInjector faults(0xE17);
+  std::vector<std::unique_ptr<ReplicationNode>> nodes;
+  HdMap world = StraightRoad(300.0);
+  for (int i = 0; i < 3; ++i) {
+    ReplicationNode::Options no;
+    no.node_id = i;
+    no.service.tile_store.tile_size_m = 100.0;
+    no.heartbeat_interval_ms = 10;
+    no.io_timeout_ms = 150;
+    no.min_ack_replicas = 1;
+    no.ack_timeout_ms = 2000;
+    no.faults = &faults;
+    nodes.push_back(std::make_unique<ReplicationNode>(no));
+    if (!nodes.back()->Start(world).ok()) return out;
+  }
+  FailoverController::Options co;
+  co.poll_interval_ms = 10;
+  co.leader_timeout_ms = 100;
+  FailoverController controller(co);
+  for (auto& node : nodes) controller.AddNode(node.get());
+  if (!controller.Start().ok()) return out;
+
+  // Closed-loop writer against whichever node the controller calls
+  // leader; counts acked writes and failed attempts.
+  std::atomic<bool> stop{false};
+  std::atomic<bool> killed{false};
+  std::atomic<uint64_t> acked_before{0}, acked_after{0}, lost{0};
+  std::thread writer([&] {
+    uint64_t id = 17000000;
+    bool recovered = false;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ReplicationNode* leader = controller.leader();
+      bool ok = false;
+      if (leader != nullptr && leader->alive()) {
+        MapPatch patch;
+        Landmark lm;
+        lm.id = id++;
+        lm.position = {static_cast<double>(id % 97), 0.0, 0.0};
+        patch.added_landmarks.push_back(lm);
+        ok = leader->StagePatch(patch).ok() && leader->Publish().ok();
+      }
+      if (!killed.load(std::memory_order_acquire)) {
+        if (ok) acked_before.fetch_add(1, std::memory_order_relaxed);
+      } else if (!recovered) {
+        if (ok) {
+          recovered = true;  // First ack from the promoted leader.
+          acked_after.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          lost.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else if (ok) {
+        acked_after.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!ok) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  // Warm up, then kill.
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(std::max(0.2, seconds / 4)));
+  ReplicationNode* old_leader = controller.leader();
+  size_t failovers_before = controller.failover_count();
+  bench::Timer kill_timer;
+  old_leader->Halt();
+  killed.store(true, std::memory_order_release);
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(5000);
+  while (controller.failover_count() == failovers_before &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  out.detection_ms = kill_timer.Seconds() * 1e3;
+  out.promoted = controller.failover_count() > failovers_before;
+
+  // Let the new leader take writes for the back half, then quiesce.
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(std::max(0.2, seconds / 4)));
+  stop.store(true);
+  writer.join();
+  out.time_to_promotion_ms = controller.last_degraded_window_ms();
+  out.writes_acked_before = acked_before.load();
+  out.writes_acked_after = acked_after.load();
+  out.writes_lost_at_kill = lost.load();
+  for (const auto& event : controller.RecentEvents()) {
+    if (event.type == EventLog::Type::kFailoverDetected ||
+        event.type == EventLog::Type::kFailoverComplete) {
+      out.events.push_back(event);
+    }
+  }
+  controller.Stop();
+  for (auto& node : nodes) node->Halt();
+  return out;
+}
+
 int Run(int argc, char** argv) {
   bool smoke = false;
   double seconds = 3.0;
@@ -392,6 +513,22 @@ int Run(int argc, char** argv) {
       coalesce_clients, (unsigned long long)comp_delta,
       (unsigned long long)coalesced);
 
+  // Phase 4: failover under write load.
+  FailoverResult fo = RunFailoverDemo(seconds);
+  std::printf(
+      "failover: promotion %s | degraded window %.1f ms "
+      "(kill->promote wall %.1f ms) | acked %llu before, %llu after | "
+      "%llu write attempt(s) lost at kill\n",
+      fo.promoted ? "OK" : "MISSING", fo.time_to_promotion_ms,
+      fo.detection_ms, (unsigned long long)fo.writes_acked_before,
+      (unsigned long long)fo.writes_acked_after,
+      (unsigned long long)fo.writes_lost_at_kill);
+  for (const auto& event : fo.events) {
+    std::printf("  event %-18s %s\n",
+                std::string(EventLog::TypeToString(event.type)).c_str(),
+                event.detail.c_str());
+  }
+
   // Report card. Pre-saturation peak = best goodput of the non-overload
   // steps; the 2x step must retain most of it while shedding.
   const LoadResult& r2 = results[2];
@@ -405,6 +542,10 @@ int Run(int argc, char** argv) {
                   bench::Fmt("%.0f", (double)r2.busy) + " BUSY");
   bench::PrintRow("goodput retention at 2x overload", ">= 80% of peak",
                   bench::Fmt("%.0f%%", retention * 100));
+  bench::PrintRow("failover time-to-promotion", "< 1000 ms",
+                  bench::Fmt("%.1f ms", fo.time_to_promotion_ms));
+  bench::PrintRow("writes acked by promoted leader", "> 0",
+                  bench::Fmt("%.0f", (double)fo.writes_acked_after));
 
   int rc = 0;
   if (!coalesce_ok || comp_delta != 1) {
@@ -421,6 +562,11 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: 2x-overload goodput %.0f/s < 50%% of peak %.0f/s\n",
                  r2.goodput_hz, peak_goodput);
+    rc = 1;
+  }
+  if (!fo.promoted || fo.writes_acked_after == 0) {
+    std::fprintf(stderr, "FAIL: leader kill did not end in a working "
+                         "promotion\n");
     rc = 1;
   }
   std::printf("%s\n", rc == 0 ? "OK" : "FAILED");

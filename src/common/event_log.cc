@@ -72,6 +72,14 @@ std::string_view EventLog::TypeToString(Type type) {
       return "RECOVERY_SUMMARY";
     case Type::kBusyRejected:
       return "BUSY_REJECTED";
+    case Type::kConnectionReaped:
+      return "CONNECTION_REAPED";
+    case Type::kFailoverDetected:
+      return "FAILOVER_DETECTED";
+    case Type::kFailoverComplete:
+      return "FAILOVER_COMPLETE";
+    case Type::kReplicaCatchUp:
+      return "REPLICA_CATCH_UP";
   }
   return "UNKNOWN";
 }

@@ -44,6 +44,21 @@ class EventLog {
     /// Admission control rejected a request with a typed BUSY response
     /// (full request queue or per-connection in-flight cap).
     kBusyRejected = 6,
+    /// The tile server reaped a connection idle past the configured
+    /// timeout (a dead client or follower pinning an epoll slot).
+    kConnectionReaped = 7,
+    /// Failover: the controller observed the leader dead or silent past
+    /// the heartbeat timeout; detail carries how stale the last contact
+    /// was. The degraded window opens here.
+    kFailoverDetected = 8,
+    /// Failover: a follower was promoted to leader under a new term;
+    /// detail carries the promoted node, term, and the degraded-window
+    /// duration in milliseconds.
+    kFailoverComplete = 9,
+    /// A replica discarded its state and installed a shipped catch-up
+    /// snapshot (its position had been trimmed from the leader's log, or
+    /// its state had diverged).
+    kReplicaCatchUp = 10,
   };
 
   struct Event {

@@ -34,10 +34,14 @@ uint64_t FaultInjector::Mix(uint64_t h) const {
 }
 
 void FaultInjector::AddPolicy(FaultPolicy policy) {
+  std::unique_lock<std::shared_mutex> lock(policy_mu_);
   policies_.push_back(std::move(policy));
 }
 
-void FaultInjector::ClearPolicies() { policies_.clear(); }
+void FaultInjector::ClearPolicies() {
+  std::unique_lock<std::shared_mutex> lock(policy_mu_);
+  policies_.clear();
+}
 
 void FaultInjector::BindMetrics(MetricsRegistry* metrics) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -68,6 +72,7 @@ void FaultInjector::CountInjection(std::string_view site) {
 bool FaultInjector::MaybeCorrupt(std::string_view site,
                                  std::string_view payload,
                                  std::string* corrupted) {
+  std::shared_lock<std::shared_mutex> policy_lock(policy_mu_);
   for (size_t pi = 0; pi < policies_.size(); ++pi) {
     const FaultPolicy& policy = policies_[pi];
     if (policy.kind == FaultKind::kFailStatus || policy.site != site) {
@@ -117,6 +122,7 @@ bool FaultInjector::MaybeCorrupt(std::string_view site,
 }
 
 Status FaultInjector::MaybeFail(std::string_view site) {
+  std::shared_lock<std::shared_mutex> policy_lock(policy_mu_);
   for (size_t pi = 0; pi < policies_.size(); ++pi) {
     const FaultPolicy& policy = policies_[pi];
     if (policy.kind != FaultKind::kFailStatus || policy.site != site) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -49,8 +50,10 @@ struct FaultPolicy {
 /// (seed, site, per-site call index); call sites like Publish are
 /// serialized by their caller, so the index is deterministic there.
 ///
-/// Thread safety: AddPolicy/Clear must not race with Maybe*; Maybe* calls
-/// are safe from any thread (counters are guarded by a mutex).
+/// Thread safety: every method is safe from any thread. AddPolicy/Clear
+/// take the policy lock exclusively, so a chaos harness can arm and
+/// disarm fault bursts while instrumented threads (WAL shippers, server
+/// workers) keep calling Maybe* concurrently.
 class FaultInjector {
  public:
   explicit FaultInjector(uint64_t seed) : seed_(seed) {}
@@ -91,6 +94,7 @@ class FaultInjector {
   void CountInjection(std::string_view site);
 
   uint64_t seed_;
+  mutable std::shared_mutex policy_mu_;  // Guards policies_.
   std::vector<FaultPolicy> policies_;
   MetricsRegistry* metrics_ = nullptr;  // Optional gauge export.
 

@@ -67,8 +67,16 @@ std::string EncodeRequestFrame(const NetRequest& request) {
       body.WriteF64(request.box.max.x);
       body.WriteF64(request.box.max.y);
       break;
+    case NetRequestType::kReplicate:
+    case NetRequestType::kCatchUp:
+      break;  // Opaque payload appended below (raw, not length-prefixed).
   }
-  return WrapBody(kNetRequestMagic, body.buffer(), Crc32(body.buffer()));
+  std::string bytes = body.Release();
+  if (request.type == NetRequestType::kReplicate ||
+      request.type == NetRequestType::kCatchUp) {
+    bytes.append(request.payload);
+  }
+  return WrapBody(kNetRequestMagic, bytes, Crc32(bytes));
 }
 
 std::string EncodeResponseFrame(NetResponseCode code, StatusCode status,
@@ -130,6 +138,15 @@ Result<NetRequest> DecodeRequestBody(std::string_view body,
       request.box.max.x = reader.ReadF64();
       request.box.max.y = reader.ReadF64();
       break;
+    case static_cast<uint8_t>(NetRequestType::kReplicate):
+    case static_cast<uint8_t>(NetRequestType::kCatchUp): {
+      // The rest of the body is the opaque replication payload; the
+      // frame's body CRC (checked above) already covers it.
+      request.type = static_cast<NetRequestType>(type);
+      constexpr size_t kPrefix = 1 + sizeof(uint64_t) + sizeof(uint64_t);
+      request.payload = std::string(body.substr(kPrefix));
+      return request;
+    }
     default:
       return Status::InvalidArgument("unknown request type " +
                                      std::to_string(type));

@@ -32,6 +32,17 @@ namespace hdmap {
 ///     kPing       (no args)
 ///     kGetTile    i32 x | i32 y
 ///     kGetRegion  f64 min_x | f64 min_y | f64 max_x | f64 max_y
+///     kReplicate  opaque replication payload (rest of body)
+///     kCatchUp    opaque replication payload (rest of body)
+///
+/// kReplicate/kCatchUp are the replication plane (replication/wire.h
+/// defines their payloads): a leader's WalShipper pushes WAL record
+/// batches and catch-up snapshots to a follower's TileServer, which
+/// routes them to its ReplicationHandler and acks in the response
+/// payload. They share the framing, CRC, and connection machinery with
+/// the client plane, but a server only accepts them (and only then
+/// accepts bodies larger than kMaxNetRequestBody) when a replication
+/// handler is configured.
 ///
 /// Response body = meta | payload:
 ///
@@ -60,6 +71,12 @@ enum class NetRequestType : uint8_t {
   kPing = 0,
   kGetTile = 1,
   kGetRegion = 2,
+  /// Leader -> follower: a batch of replication log records (or an empty
+  /// batch as a heartbeat). Only served with a replication handler.
+  kReplicate = 3,
+  /// Leader -> follower: a full catch-up snapshot for a follower whose
+  /// position was trimmed from the leader's log.
+  kCatchUp = 4,
 };
 
 enum class NetResponseCode : uint8_t {
@@ -82,6 +99,9 @@ struct NetRequest {
   uint64_t have_version = 0;
   TileId tile;  ///< kGetTile only.
   Aabb box;     ///< kGetRegion only.
+  /// kReplicate/kCatchUp only: opaque replication-plane payload, carried
+  /// verbatim after the fixed prefix (replication/wire.h encodes it).
+  std::string payload;
 };
 
 /// One decoded response (client side).
@@ -104,10 +124,15 @@ inline constexpr uint32_t kNetResponseMagic = 0x534D4448;  // "HDMS"
 inline constexpr size_t kNetFrameHeaderSize = 12;
 /// code + status + request_id + version.
 inline constexpr size_t kNetResponseMetaSize = 18;
-/// Largest legal request body. Requests are fixed-shape and tiny; a
-/// larger claim is a protocol violation (or garbage on the port), not a
+/// Largest legal request body. Client requests are fixed-shape and tiny;
+/// a larger claim is a protocol violation (or garbage on the port), not a
 /// big request.
 inline constexpr size_t kMaxNetRequestBody = 256;
+/// Largest legal request body on a server with a replication handler:
+/// kReplicate batches and kCatchUp snapshots carry map content (256 MiB
+/// still guards allocation against a corrupt length field).
+inline constexpr size_t kMaxNetReplicationBody = static_cast<size_t>(256)
+                                                 << 20;
 /// Largest legal response body a client will accept (1 GiB guards the
 /// client against allocating on a corrupt length field).
 inline constexpr size_t kMaxNetResponseBody = static_cast<size_t>(1)

@@ -75,6 +75,7 @@ TileServer::TileServer(const MapService& service, Options options)
   conn_rejected_ = metrics_->GetCounter("net.connections_rejected");
   bytes_in_ = metrics_->GetCounter("net.bytes_in");
   bytes_out_ = metrics_->GetCounter("net.bytes_out");
+  reaped_ = metrics_->GetCounter("net.connections_reaped");
   connections_gauge_ = metrics_->GetGauge("net.connections");
   latency_ = metrics_->GetLatency("net.request");
   metrics_->SetHelp("net.requests", "Requests admitted by the tile server");
@@ -88,6 +89,8 @@ TileServer::TileServer(const MapService& service, Options options)
                     "full fetches minus coalesced waiters)");
   metrics_->SetHelp("net.request",
                     "Tile-server request latency, admission to response");
+  metrics_->SetHelp("net.connections_reaped",
+                    "Connections closed by the idle-timeout reaper");
 }
 
 TileServer::~TileServer() { Stop(); }
@@ -171,11 +174,28 @@ size_t TileServer::NumConnections() const {
 
 void TileServer::IoLoop() {
   epoll_event events[64];
+  // The reaper rides the epoll tick; sweep at ~half the timeout so a
+  // connection is reaped within ~1.5x the configured idle window.
+  auto last_sweep = std::chrono::steady_clock::now();
+  int wait_ms = 500;
+  if (options_.idle_timeout_s > 0) {
+    wait_ms = std::min(
+        wait_ms,
+        std::max(1, static_cast<int>(options_.idle_timeout_s * 500.0)));
+  }
   while (running_.load()) {
-    int n = ::epoll_wait(epoll_fd_, events, 64, 500);
+    int n = ::epoll_wait(epoll_fd_, events, 64, wait_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
+    }
+    if (options_.idle_timeout_s > 0) {
+      auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(now - last_sweep).count() >=
+          options_.idle_timeout_s / 2.0) {
+        last_sweep = now;
+        ReapIdleConnections();
+      }
     }
     for (int i = 0; i < n; ++i) {
       int fd = events[i].data.fd;
@@ -236,8 +256,34 @@ void TileServer::HandleAccept() {
   }
 }
 
+void TileServer::ReapIdleConnections() {
+  // IO-thread only: last_activity and the victim scan race nothing. A
+  // connection with in-flight requests is never reaped — a worker still
+  // owes it a response, however long the computation takes.
+  auto now = std::chrono::steady_clock::now();
+  std::vector<int> victims;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (const auto& [fd, conn] : connections_) {
+      if (conn->inflight.load(std::memory_order_relaxed) > 0) continue;
+      double idle =
+          std::chrono::duration<double>(now - conn->last_activity).count();
+      if (idle > options_.idle_timeout_s) victims.push_back(fd);
+    }
+  }
+  for (int fd : victims) {
+    reaped_->Increment();
+    events_.Append(EventLog::Type::kConnectionReaped, 0,
+                   "reaped connection fd " + std::to_string(fd) +
+                       " idle past " +
+                       std::to_string(options_.idle_timeout_s) + "s");
+    RemoveConnection(fd);
+  }
+}
+
 bool TileServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
   char buf[65536];
+  conn->last_activity = std::chrono::steady_clock::now();
   for (;;) {
     ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (n > 0) {
@@ -251,12 +297,17 @@ bool TileServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
     if (errno == EINTR) continue;
     return false;
   }
+  // A replication-enabled server must accept shipped batches and
+  // catch-up snapshots, which carry map content; a plain tile server
+  // keeps the tiny fixed-shape cap.
+  const size_t max_body = options_.replication != nullptr
+                              ? kMaxNetReplicationBody
+                              : kMaxNetRequestBody;
   for (;;) {
     size_t frame_size = 0;
     std::string_view body;
-    FrameParse parse =
-        ExtractFrame(conn->read_buffer, kNetRequestMagic, kMaxNetRequestBody,
-                     &frame_size, &body);
+    FrameParse parse = ExtractFrame(conn->read_buffer, kNetRequestMagic,
+                                    max_body, &frame_size, &body);
     if (parse == FrameParse::kNeedMore) break;
     if (parse == FrameParse::kViolation) {
       // Bad magic / absurd length: the byte stream is not this protocol
@@ -330,6 +381,22 @@ void TileServer::ExecuteRequest(
   if (request.type == NetRequestType::kPing) {
     FinishRequest(conn, NetResponseCode::kOk, StatusCode::kOk,
                   request.request_id, service_.version(), "", admitted);
+    return;
+  }
+  if (request.type == NetRequestType::kReplicate ||
+      request.type == NetRequestType::kCatchUp) {
+    if (options_.replication == nullptr) {
+      span.SetStatus(StatusCode::kUnimplemented);
+      FinishRequest(conn, NetResponseCode::kError, StatusCode::kUnimplemented,
+                    request.request_id, service_.version(),
+                    "no replication handler configured", admitted);
+      return;
+    }
+    ReplicationHandler::Reply reply =
+        options_.replication->HandleReplication(request);
+    if (reply.status != StatusCode::kOk) span.SetStatus(reply.status);
+    FinishRequest(conn, reply.code, reply.status, request.request_id,
+                  service_.version(), reply.payload, admitted);
     return;
   }
   auto snap = service_.snapshot();
@@ -512,6 +579,8 @@ NetClient::~NetClient() { Close(); }
 
 Status NetClient::Connect(const std::string& host, uint16_t port) {
   Close();
+  host_ = host;
+  port_ = port;
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) return Status::Internal(ErrnoMessage("socket"));
   sockaddr_in addr{};
@@ -559,8 +628,10 @@ Status NetClient::SendRaw(std::string_view bytes) {
   return Status::Ok();
 }
 
-Result<NetResponse> NetClient::ReadResponse() {
+Result<NetResponse> NetClient::ReadResponse(uint32_t timeout_ms) {
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
   char buf[65536];
   for (;;) {
     size_t frame_size = 0;
@@ -577,6 +648,22 @@ Result<NetResponse> NetClient::ReadResponse() {
       read_buffer_.erase(0, frame_size);
       return response;
     }
+    if (timeout_ms > 0) {
+      int remaining = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count());
+      if (remaining <= 0) {
+        return Status::OutOfRange("response wait exceeded " +
+                                  std::to_string(timeout_ms) + "ms");
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      int ready = ::poll(&pfd, 1, remaining);
+      if (ready < 0 && errno != EINTR) {
+        return Status::Internal(ErrnoMessage("poll"));
+      }
+      if (ready <= 0) continue;  // Timeout re-checked above; EINTR retried.
+    }
     ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n > 0) {
       read_buffer_.append(buf, static_cast<size_t>(n));
@@ -592,6 +679,117 @@ Result<NetResponse> NetClient::Call(const NetRequest& request) {
   Status sent = Send(request);
   if (!sent.ok()) return sent;
   return ReadResponse();
+}
+
+void NetClient::set_retry_options(RetryOptions options) {
+  retry_ = options;
+  jitter_state_ = retry_.jitter_seed != 0 ? retry_.jitter_seed : 1;
+  if (retry_.metrics != nullptr) {
+    attempts_counter_ = retry_.metrics->GetCounter("net_client.attempts");
+    retries_counter_ = retry_.metrics->GetCounter("net_client.retries");
+    backoff_ms_counter_ =
+        retry_.metrics->GetCounter("net_client.backoff_ms_total");
+    deadline_exceeded_counter_ =
+        retry_.metrics->GetCounter("net_client.deadline_exceeded");
+    retry_.metrics->SetHelp("net_client.attempts",
+                            "Individual request attempts, retries included");
+    retry_.metrics->SetHelp(
+        "net_client.backoff_ms_total",
+        "Total milliseconds this client spent backing off between retries");
+  } else {
+    attempts_counter_ = nullptr;
+    retries_counter_ = nullptr;
+    backoff_ms_counter_ = nullptr;
+    deadline_exceeded_counter_ = nullptr;
+  }
+}
+
+uint32_t NetClient::RemainingMs(std::chrono::steady_clock::time_point deadline,
+                                bool* expired) const {
+  if (retry_.deadline_ms == 0) {
+    *expired = false;
+    return 0;  // No deadline: unbounded waits.
+  }
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - std::chrono::steady_clock::now())
+                  .count();
+  *expired = left <= 0;
+  return left <= 0 ? 1 : static_cast<uint32_t>(left);
+}
+
+Result<NetResponse> NetClient::CallWithRetry(const NetRequest& request) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(retry_.deadline_ms);
+  Result<NetResponse> last = Status::Internal("no attempt ran");
+  int attempts = std::max(1, retry_.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    bool expired = false;
+    uint32_t remaining = RemainingMs(deadline, &expired);
+    if (expired) {
+      if (deadline_exceeded_counter_ != nullptr) {
+        deadline_exceeded_counter_->Increment();
+      }
+      return last;
+    }
+    if (attempt > 0) {
+      // Capped exponential backoff with jitter in [0.5, 1.0): retry k
+      // waits up to initial * 2^(k-1), never beyond the cap or the
+      // deadline. xorshift64 keeps the sequence deterministic per seed.
+      uint64_t cap = std::min<uint64_t>(
+          retry_.max_backoff_ms,
+          static_cast<uint64_t>(retry_.initial_backoff_ms) << (attempt - 1));
+      jitter_state_ ^= jitter_state_ << 13;
+      jitter_state_ ^= jitter_state_ >> 7;
+      jitter_state_ ^= jitter_state_ << 17;
+      uint64_t wait_ms = cap - (cap / 2 > 0 ? jitter_state_ % (cap / 2) : 0);
+      if (retry_.deadline_ms > 0 && wait_ms >= remaining) wait_ms = remaining;
+      if (wait_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+        if (backoff_ms_counter_ != nullptr) {
+          backoff_ms_counter_->Increment(wait_ms);
+        }
+      }
+      if (retries_counter_ != nullptr) retries_counter_->Increment();
+      remaining = RemainingMs(deadline, &expired);
+      if (expired) {
+        if (deadline_exceeded_counter_ != nullptr) {
+          deadline_exceeded_counter_->Increment();
+        }
+        return last;
+      }
+    }
+    if (attempts_counter_ != nullptr) attempts_counter_->Increment();
+    if (fd_ < 0) {
+      if (host_.empty()) return Status::FailedPrecondition("never connected");
+      Status connected = Connect(host_, port_);
+      if (!connected.ok()) {
+        last = connected;  // Transient connect failure: retry.
+        continue;
+      }
+    }
+    Status sent = Send(request);
+    if (!sent.ok()) {
+      last = sent;
+      Close();  // The stream may hold a half-written frame.
+      continue;
+    }
+    Result<NetResponse> response = ReadResponse(remaining);
+    if (!response.ok()) {
+      last = std::move(response);
+      // IO failure or response timeout: the framing position is unknown,
+      // so the connection cannot be reused.
+      Close();
+      continue;
+    }
+    if (response->code == NetResponseCode::kBusy) {
+      // Typed backpressure: the connection is fine, only the server is
+      // loaded; back off without reconnecting.
+      last = std::move(response);
+      continue;
+    }
+    return response;
+  }
+  return last;
 }
 
 Result<NetResponse> NetClient::Ping() {

@@ -21,6 +21,24 @@
 
 namespace hdmap {
 
+/// Server-side hook for the replication plane: kReplicate/kCatchUp
+/// requests decoded by a TileServer are handed here (on a worker thread)
+/// instead of the tile-serving paths. The returned payload rides back in
+/// the response body (replication/wire.h defines both directions).
+/// Implementations must be thread-safe — requests from several
+/// connections may arrive concurrently.
+class ReplicationHandler {
+ public:
+  virtual ~ReplicationHandler() = default;
+
+  struct Reply {
+    NetResponseCode code = NetResponseCode::kOk;
+    StatusCode status = StatusCode::kOk;
+    std::string payload;
+  };
+  virtual Reply HandleReplication(const NetRequest& request) = 0;
+};
+
 /// Framed-TCP serving edge in front of a MapService: the process boundary
 /// of the HD-map ecosystem, where fleet clients fetch tiles/regions and
 /// poll for version deltas (net/protocol.h describes the wire format).
@@ -90,6 +108,16 @@ class TileServer {
     /// can deterministically pile up concurrent requests. 0 in
     /// production.
     uint32_t handler_delay_ms_for_test = 0;
+    /// Connections with no received bytes and no in-flight requests for
+    /// this long are reaped (closed, with a kConnectionReaped event and
+    /// a "net.connections_reaped" increment), so dead clients and
+    /// followers cannot pin epoll slots and fds forever. <= 0 disables.
+    double idle_timeout_s = 0.0;
+    /// Replication plane: when set, kReplicate/kCatchUp requests are
+    /// routed to this handler (and request bodies up to
+    /// kMaxNetReplicationBody are accepted). Must outlive the server;
+    /// null rejects replication requests with kUnimplemented.
+    ReplicationHandler* replication = nullptr;
   };
 
   /// FaultInjector site name for received request bodies.
@@ -129,6 +157,10 @@ class TileServer {
     int fd = -1;
     /// IO-thread-only receive buffer.
     std::string read_buffer;
+    /// IO-thread-only: last instant bytes arrived (or the accept), the
+    /// clock the idle reaper sweeps against.
+    std::chrono::steady_clock::time_point last_activity =
+        std::chrono::steady_clock::now();
     /// Serializes response writes from worker threads.
     std::mutex write_mu;
     /// Admitted-but-unfinished requests on this connection.
@@ -155,6 +187,9 @@ class TileServer {
 
   void IoLoop();
   void HandleAccept();
+  /// IO-thread sweep closing connections idle past Options::idle_timeout_s
+  /// (skipping any with in-flight requests).
+  void ReapIdleConnections();
   /// Reads, frames, admits, dispatches; returns false when the
   /// connection must be dropped.
   bool HandleReadable(const std::shared_ptr<Connection>& conn);
@@ -223,6 +258,7 @@ class TileServer {
   Counter* conn_rejected_ = nullptr;
   Counter* bytes_in_ = nullptr;
   Counter* bytes_out_ = nullptr;
+  Counter* reaped_ = nullptr;
   Gauge* connections_gauge_ = nullptr;
   LatencyHistogram* latency_ = nullptr;
 };
@@ -233,6 +269,26 @@ class TileServer {
 /// thread-safe (use one client per thread).
 class NetClient {
  public:
+  /// Retry policy for CallWithRetry: capped exponential backoff with
+  /// deterministic jitter on kBusy responses and transient connect/IO
+  /// failures, all bounded by one overall deadline.
+  struct RetryOptions {
+    /// Total tries (first call + retries). 1 disables retrying.
+    int max_attempts = 4;
+    /// Backoff before retry k is min(initial << (k-1), max), scaled by a
+    /// jitter factor in [0.5, 1.0) so synchronized clients desynchronize.
+    uint32_t initial_backoff_ms = 10;
+    uint32_t max_backoff_ms = 1000;
+    /// Overall deadline across all attempts, including each attempt's
+    /// response wait; 0 disables (waits are then unbounded, as before).
+    uint32_t deadline_ms = 0;
+    /// Seed of the jitter sequence (deterministic per client).
+    uint64_t jitter_seed = 1;
+    /// When set, exports "net_client.*" counters (attempts, retries,
+    /// backoff_ms_total, deadline_exceeded). Must outlive the client.
+    MetricsRegistry* metrics = nullptr;
+  };
+
   NetClient() = default;
   ~NetClient();
 
@@ -245,6 +301,9 @@ class NetClient {
   /// The socket (e.g. for a bench's poll loop). -1 when disconnected.
   int fd() const { return fd_; }
 
+  void set_retry_options(RetryOptions options);
+  const RetryOptions& retry_options() const { return retry_; }
+
   /// Sends one request frame (blocking write).
   Status Send(const NetRequest& request);
   /// Sends pre-encoded bytes verbatim — the malformed-input seam for
@@ -252,11 +311,20 @@ class NetClient {
   Status SendRaw(std::string_view bytes);
   /// Blocks until one complete response frame arrives and decodes it.
   /// Responses to pipelined requests may arrive in any order; match via
-  /// NetResponse::request_id.
-  Result<NetResponse> ReadResponse();
+  /// NetResponse::request_id. `timeout_ms` > 0 bounds the wait
+  /// (kOutOfRange on expiry, with the connection left in an undefined
+  /// framing state — Close it); 0 waits forever.
+  Result<NetResponse> ReadResponse(uint32_t timeout_ms = 0);
 
   /// Send + ReadResponse for one request (no pipelining).
   Result<NetResponse> Call(const NetRequest& request);
+
+  /// Call under RetryOptions: kBusy responses and transient connect/IO
+  /// failures are retried with capped exponential backoff + jitter
+  /// (reconnecting to the last Connect endpoint after an IO failure)
+  /// until an attempt settles, attempts run out, or the deadline passes.
+  /// The last response/error is returned either way.
+  Result<NetResponse> CallWithRetry(const NetRequest& request);
 
   /// Convenience wrappers around Call().
   Result<NetResponse> Ping();
@@ -264,9 +332,22 @@ class NetClient {
   Result<NetResponse> GetRegion(const Aabb& box, uint64_t have_version = 0);
 
  private:
+  /// Milliseconds left until `deadline` (minimum 1), or 0 for "no
+  /// deadline"; sets *expired when the deadline has passed.
+  uint32_t RemainingMs(std::chrono::steady_clock::time_point deadline,
+                       bool* expired) const;
+
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
   std::string read_buffer_;
+  std::string host_;  // Last Connect endpoint (for retry reconnects).
+  uint16_t port_ = 0;
+  RetryOptions retry_;
+  uint64_t jitter_state_ = 1;
+  Counter* attempts_counter_ = nullptr;
+  Counter* retries_counter_ = nullptr;
+  Counter* backoff_ms_counter_ = nullptr;
+  Counter* deadline_exceeded_counter_ = nullptr;
 };
 
 }  // namespace hdmap

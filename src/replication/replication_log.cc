@@ -1,0 +1,111 @@
+#include "replication/replication_log.h"
+
+#include <utility>
+
+#include "core/serialization.h"
+
+namespace hdmap {
+
+ReplicationLog::ReplicationLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+uint64_t ReplicationLog::Append(ReplRecordKind kind, uint64_t term,
+                                uint64_t version, std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReplRecord record;
+  record.seq = next_seq_++;
+  record.term = term;
+  record.kind = kind;
+  record.version = version;
+  record.payload = std::move(payload);
+  records_.push_back(std::move(record));
+  return records_.back().seq;
+}
+
+Status ReplicationLog::AppendReplicated(const ReplRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (record.seq != next_seq_) {
+    return Status::InvalidArgument(
+        "replicated record seq " + std::to_string(record.seq) +
+        " is not the next position " + std::to_string(next_seq_));
+  }
+  records_.push_back(record);
+  ++next_seq_;
+  return Status::Ok();
+}
+
+Result<size_t> ReplicationLog::InitFromWal(const PatchWal& wal, uint64_t term,
+                                           uint64_t first_seq) {
+  Result<PatchWal::ReplayResult> replayed = wal.Replay();
+  if (!replayed.ok()) return replayed.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!records_.empty()) {
+    return Status::FailedPrecondition(
+        "InitFromWal requires an empty replication log");
+  }
+  next_seq_ = first_seq == 0 ? 1 : first_seq;
+  for (const PatchWal::ReplayedRecord& rec : replayed.value().records) {
+    ReplRecord record;
+    record.seq = next_seq_++;
+    record.term = term;
+    record.kind = ReplRecordKind::kPatch;
+    record.version = rec.version_hint;
+    record.payload = SerializePatch(rec.patch);
+    records_.push_back(std::move(record));
+  }
+  return records_.size();
+}
+
+Result<std::vector<ReplRecord>> ReplicationLog::ReadFrom(
+    uint64_t from_seq, size_t max_records, size_t max_bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t start = records_.empty() ? next_seq_ : records_.front().seq;
+  if (from_seq < start) {
+    return Status::OutOfRange(
+        "seq " + std::to_string(from_seq) + " was trimmed (log starts at " +
+        std::to_string(start) + "); catch-up snapshot required");
+  }
+  std::vector<ReplRecord> out;
+  size_t bytes = 0;
+  for (const ReplRecord& record : records_) {
+    if (record.seq < from_seq) continue;
+    if (!out.empty() &&
+        (out.size() >= max_records || bytes + record.WireSize() > max_bytes)) {
+      break;
+    }
+    bytes += record.WireSize();
+    out.push_back(record);
+  }
+  return out;
+}
+
+void ReplicationLog::TrimToCapacity(uint64_t keep_from_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (records_.size() > capacity_ &&
+         records_.front().seq < keep_from_seq) {
+    records_.pop_front();
+  }
+}
+
+void ReplicationLog::ResetTo(uint64_t next_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  next_seq_ = next_seq == 0 ? 1 : next_seq;
+}
+
+uint64_t ReplicationLog::start_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.empty() ? next_seq_ : records_.front().seq;
+}
+
+uint64_t ReplicationLog::end_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+size_t ReplicationLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+}  // namespace hdmap

@@ -1,0 +1,84 @@
+#ifndef HDMAP_REPLICATION_REPLICATION_LOG_H_
+#define HDMAP_REPLICATION_REPLICATION_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "replication/wire.h"
+#include "storage/patch_wal.h"
+
+namespace hdmap {
+
+/// In-memory, bounded tail of a node's replication stream — the shipping
+/// buffer the WalShipper reads and followers mirror. It is the tailing
+/// interface over the durable PatchWal: on a leader every StagePatch
+/// appends the same framed patch bytes to both (the WAL first — the
+/// ack-before-durable rule holds for replication too), publishes append a
+/// marker record, and `InitFromWal` bootstraps the tail from a WAL's
+/// surviving records after a cold start.
+///
+/// Seqs are 1-based and contiguous. The log is bounded: `TrimToCapacity`
+/// drops the oldest records but never past the caller's floor (the
+/// staged-but-unpublished tail, which a catch-up snapshot cannot carry).
+/// A follower whose position predates `start_seq()` is served a snapshot
+/// instead (kCatchUp).
+///
+/// Thread-safe; every method takes an internal mutex.
+class ReplicationLog {
+ public:
+  explicit ReplicationLog(size_t capacity = 4096);
+
+  /// Appends a record authored by this node (leader path) and stamps the
+  /// next seq, which is returned.
+  uint64_t Append(ReplRecordKind kind, uint64_t term, uint64_t version,
+                  std::string payload);
+
+  /// Appends a record received from a leader (follower mirror path),
+  /// preserving its seq/term. The seq must be exactly end_seq() + 1.
+  Status AppendReplicated(const ReplRecord& record);
+
+  /// Bootstraps the tail from a PatchWal's surviving records (cold
+  /// start): each replayed WAL record becomes a kPatch record under
+  /// `term`, starting at seq `first_seq`. The log must be empty. Returns
+  /// the number of records loaded.
+  Result<size_t> InitFromWal(const PatchWal& wal, uint64_t term,
+                             uint64_t first_seq);
+
+  /// Records with seq in [from_seq, end], capped at `max_records` and
+  /// roughly `max_bytes` (always at least one when available). Returns
+  /// kOutOfRange when from_seq predates start_seq() — the reader needs a
+  /// catch-up snapshot. An empty vector means the reader is caught up.
+  Result<std::vector<ReplRecord>> ReadFrom(uint64_t from_seq,
+                                           size_t max_records,
+                                           size_t max_bytes) const;
+
+  /// Drops records from the front while over capacity, but never a
+  /// record with seq >= keep_from_seq.
+  void TrimToCapacity(uint64_t keep_from_seq);
+
+  /// Empties the log and stamps the next append `next_seq` (catch-up
+  /// install: the snapshot subsumes everything before it).
+  void ResetTo(uint64_t next_seq);
+
+  /// Seq of the oldest retained record; end_seq() + 1 when empty.
+  uint64_t start_seq() const;
+  /// Seq of the newest record ever appended (survives trims); 0 when
+  /// nothing was ever appended.
+  uint64_t end_seq() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t next_seq_ = 1;
+  std::deque<ReplRecord> records_;
+};
+
+}  // namespace hdmap
+
+#endif  // HDMAP_REPLICATION_REPLICATION_LOG_H_

@@ -1,0 +1,136 @@
+#include "replication/wire.h"
+
+#include "core/binary_io.h"
+
+namespace hdmap {
+namespace {
+
+// Fixed-size part of an encoded ReplRecord (seq, term, kind, version,
+// payload length prefix) — the CheckCount floor for batch decoding.
+constexpr size_t kMinRecordWireSize = 8 + 8 + 1 + 8 + 4;
+// x, y, length prefix of an encoded catch-up tile.
+constexpr size_t kMinTileWireSize = 4 + 4 + 4;
+
+void EncodeRecord(const ReplRecord& record, BufferWriter* out) {
+  out->WriteU64(record.seq);
+  out->WriteU64(record.term);
+  out->WriteU8(static_cast<uint8_t>(record.kind));
+  out->WriteU64(record.version);
+  out->WriteString(record.payload);
+}
+
+Status DecodeRecord(BufferReader* reader, ReplRecord* out) {
+  out->seq = reader->ReadU64();
+  out->term = reader->ReadU64();
+  uint8_t kind = reader->ReadU8();
+  out->version = reader->ReadU64();
+  out->payload = reader->ReadString();
+  if (!reader->ok()) return reader->status();
+  if (kind > static_cast<uint8_t>(ReplRecordKind::kPublish)) {
+    return Status::DataLoss("replication record has unknown kind " +
+                            std::to_string(kind));
+  }
+  out->kind = static_cast<ReplRecordKind>(kind);
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeShipBatch(const ReplShipBatch& batch) {
+  BufferWriter out;
+  out.WriteU64(batch.term);
+  out.WriteU64(batch.leader_end_seq);
+  out.WriteU32(static_cast<uint32_t>(batch.records.size()));
+  for (const ReplRecord& record : batch.records) EncodeRecord(record, &out);
+  return out.Release();
+}
+
+Result<ReplShipBatch> DecodeShipBatch(std::string_view payload) {
+  BufferReader reader(payload);
+  ReplShipBatch batch;
+  batch.term = reader.ReadU64();
+  batch.leader_end_seq = reader.ReadU64();
+  uint32_t count = reader.ReadU32();
+  if (!reader.CheckCount(count, kMinRecordWireSize)) return reader.status();
+  batch.records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ReplRecord record;
+    Status status = DecodeRecord(&reader, &record);
+    if (!status.ok()) return status;
+    batch.records.push_back(std::move(record));
+  }
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("trailing bytes after replication batch");
+  }
+  return batch;
+}
+
+std::string EncodeAck(const ReplAck& ack) {
+  BufferWriter out;
+  out.WriteU64(ack.term);
+  out.WriteU64(ack.next_seq);
+  out.WriteU64(ack.version);
+  out.WriteU8(ack.flags);
+  return out.Release();
+}
+
+Result<ReplAck> DecodeAck(std::string_view payload) {
+  BufferReader reader(payload);
+  ReplAck ack;
+  ack.term = reader.ReadU64();
+  ack.next_seq = reader.ReadU64();
+  ack.version = reader.ReadU64();
+  ack.flags = reader.ReadU8();
+  if (!reader.ok()) return reader.status();
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("trailing bytes after replication ack");
+  }
+  if ((ack.flags & ~(kReplAckStaleTerm | kReplAckNeedCatchUp)) != 0) {
+    return Status::DataLoss("replication ack has unknown flags " +
+                            std::to_string(ack.flags));
+  }
+  return ack;
+}
+
+std::string EncodeCatchUp(const ReplCatchUp& snapshot) {
+  BufferWriter out;
+  out.WriteU64(snapshot.term);
+  out.WriteU64(snapshot.resume_seq);
+  out.WriteU64(snapshot.version);
+  out.WriteI64(snapshot.published_unix_ms);
+  out.WriteF64(snapshot.tile_size_m);
+  out.WriteU32(static_cast<uint32_t>(snapshot.tiles.size()));
+  for (const auto& [id, bytes] : snapshot.tiles) {
+    out.WriteI32(id.x);
+    out.WriteI32(id.y);
+    out.WriteString(bytes);
+  }
+  return out.Release();
+}
+
+Result<ReplCatchUp> DecodeCatchUp(std::string_view payload) {
+  BufferReader reader(payload);
+  ReplCatchUp snapshot;
+  snapshot.term = reader.ReadU64();
+  snapshot.resume_seq = reader.ReadU64();
+  snapshot.version = reader.ReadU64();
+  snapshot.published_unix_ms = reader.ReadI64();
+  snapshot.tile_size_m = reader.ReadF64();
+  uint32_t count = reader.ReadU32();
+  if (!reader.CheckCount(count, kMinTileWireSize)) return reader.status();
+  snapshot.tiles.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TileId id;
+    id.x = reader.ReadI32();
+    id.y = reader.ReadI32();
+    std::string bytes = reader.ReadString();
+    if (!reader.ok()) return reader.status();
+    snapshot.tiles.emplace_back(id, std::move(bytes));
+  }
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("trailing bytes after catch-up snapshot");
+  }
+  return snapshot;
+}
+
+}  // namespace hdmap

@@ -1,0 +1,108 @@
+#ifndef HDMAP_REPLICATION_WIRE_H_
+#define HDMAP_REPLICATION_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/tile_store.h"
+
+namespace hdmap {
+
+/// Payload formats of the replication plane (net/protocol.h routes them:
+/// kReplicate carries a ReplShipBatch and acks with a ReplAck; kCatchUp
+/// carries a ReplCatchUp and acks the same way). All integers are
+/// little-endian, strings are u32-length-prefixed, and the whole payload
+/// rides inside a request/response frame whose CRC covers it — so a torn
+/// or bit-flipped shipment either fails the frame CRC or fails these
+/// decoders' bounds/validity checks, and the follower nacks instead of
+/// applying garbage.
+
+/// What one replication log record carries.
+enum class ReplRecordKind : uint8_t {
+  /// One staged patch; payload is the framed SerializePatch bytes (the
+  /// exact WAL payload), applied on the follower via StagePatch.
+  kPatch = 0,
+  /// A publish marker: "publish everything staged, reaching `version`".
+  /// Payload is empty; the follower runs its own Publish and checks it
+  /// lands on the same version (byte-determinism makes the result
+  /// tile-identical to the leader's).
+  kPublish = 1,
+};
+
+/// One record of a node's ReplicationLog — the shipped unit.
+struct ReplRecord {
+  /// 1-based, contiguous per log; the follower position and ack unit.
+  uint64_t seq = 0;
+  /// Leader term that created the record (fencing bookkeeping).
+  uint64_t term = 0;
+  ReplRecordKind kind = ReplRecordKind::kPatch;
+  /// kPatch: snapshot version current when the patch was staged (the
+  /// WAL's version_hint). kPublish: the version the publish produces.
+  uint64_t version = 0;
+  std::string payload;
+
+  size_t WireSize() const { return 8 + 8 + 1 + 8 + 4 + payload.size(); }
+};
+
+/// Leader -> follower: a batch of log records. An empty batch is a
+/// heartbeat (it still carries the term and the leader's log end, so a
+/// follower can see its lag and the leader stays visibly alive).
+struct ReplShipBatch {
+  /// The shipping leader's current term; a follower on a higher term
+  /// rejects the whole batch (kReplAckStaleTerm) — the fencing rule that
+  /// keeps a deposed leader's late records out.
+  uint64_t term = 0;
+  /// Leader log end at send time.
+  uint64_t leader_end_seq = 0;
+  std::vector<ReplRecord> records;
+};
+
+/// ReplAck::flags bits.
+/// The sender's term is older than the follower's: the sender was
+/// deposed and must step down; nothing was applied.
+inline constexpr uint8_t kReplAckStaleTerm = 0x1;
+/// The follower cannot reach the leader's state by log records alone
+/// (its position was trimmed, or a publish marker missed its version):
+/// send a kCatchUp snapshot.
+inline constexpr uint8_t kReplAckNeedCatchUp = 0x2;
+
+/// Follower -> leader: the response payload to kReplicate and kCatchUp.
+struct ReplAck {
+  uint64_t term = 0;      ///< Follower's current term.
+  uint64_t next_seq = 0;  ///< Next record the follower will accept.
+  uint64_t version = 0;   ///< Follower's served snapshot version.
+  uint8_t flags = 0;
+};
+
+/// Leader -> follower: a full snapshot for catch-up. Installing it puts
+/// the follower at exactly (`version`, position `resume_seq`): records
+/// with seq > resume_seq still apply on top (they are the leader's
+/// staged-but-unpublished tail, which a snapshot cannot carry).
+struct ReplCatchUp {
+  uint64_t term = 0;
+  uint64_t resume_seq = 0;
+  uint64_t version = 0;
+  int64_t published_unix_ms = 0;
+  double tile_size_m = 0.0;
+  /// Serialized (framed) tile blobs — byte-identical to the leader's
+  /// store, so the follower's state is byte-identical after install.
+  std::vector<std::pair<TileId, std::string>> tiles;
+};
+
+std::string EncodeShipBatch(const ReplShipBatch& batch);
+Result<ReplShipBatch> DecodeShipBatch(std::string_view payload);
+
+std::string EncodeAck(const ReplAck& ack);
+Result<ReplAck> DecodeAck(std::string_view payload);
+
+std::string EncodeCatchUp(const ReplCatchUp& snapshot);
+Result<ReplCatchUp> DecodeCatchUp(std::string_view payload);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_REPLICATION_WIRE_H_

@@ -210,6 +210,62 @@ Status MapService::Init(HdMap initial_map) {
   return Status::Ok();
 }
 
+Status MapService::InstallReplicatedSnapshot(
+    uint64_t version, int64_t published_unix_ms, double tile_size_m,
+    std::vector<std::pair<TileId, std::string>> tiles) {
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  TraceSpan span("map_service.install_replicated", TraceSpan::kRoot);
+  if (tile_size_m != options_.tile_store.tile_size_m) {
+    span.SetStatus(StatusCode::kInvalidArgument);
+    RecordError(StatusCode::kInvalidArgument);
+    return Status::InvalidArgument(
+        "shipped snapshot tiling " + std::to_string(tile_size_m) +
+        "m does not match this service's " +
+        std::to_string(options_.tile_store.tile_size_m) + "m");
+  }
+  auto snap = std::make_shared<MapSnapshot>();
+  snap->tiles = TileStore(options_.tile_store);
+  for (auto& [id, bytes] : tiles) {
+    snap->tiles.PutRawTile(id, std::move(bytes));
+  }
+  // Strict whole-map stitch: every shipped tile must validate before any
+  // of this state serves. On failure nothing is installed — the previous
+  // snapshot (however stale) beats a corrupt one.
+  auto stitched = snap->tiles.LoadAll(options_.publish_threads);
+  if (!stitched.ok()) {
+    span.SetStatus(stitched.status().code());
+    RecordError(stitched.status().code());
+    return stitched.status();
+  }
+  snap->map = *std::move(stitched);
+  snap->map.BuildIndexes();
+  snap->routing = std::make_shared<const RoutingGraph>(
+      RoutingGraph::Build(snap->map, options_.lane_change_penalty_s));
+  snap->version = version;
+  snap->published_unix_ms = published_unix_ms;
+  snap->publish_time = BackdatedPublishTime(published_unix_ms);
+  Install(snap);
+  DiscardStagedPatches();
+  {
+    // The install is not patch-reachable from any locally served
+    // version: the delta chain restarts here.
+    std::lock_guard<std::mutex> lock(history_mu_);
+    history_.clear();
+  }
+  events_.Append(EventLog::Type::kReplicaCatchUp, span.trace_id(),
+                 "installed replicated snapshot version " +
+                     std::to_string(version) + " (" +
+                     std::to_string(snap->tiles.NumTiles()) + " tiles)");
+  if (durable()) {
+    // Cover the install across a crash; the trim also drops WAL records
+    // for the staged patches discarded above. Failure is non-fatal — the
+    // snapshot serves from memory either way.
+    Status ck = CheckpointLocked(*snap);
+    if (ck.ok()) publishes_since_checkpoint_ = 0;
+  }
+  return Status::Ok();
+}
+
 Status MapService::StagePatch(MapPatch patch) {
   TraceSpan span("map_service.stage_patch", TraceSpan::kRoot);
   // Shared: concurrent stagers overlap (their WAL appends group-commit

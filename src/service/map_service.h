@@ -204,6 +204,21 @@ class MapService {
   /// True when Options::durability.data_dir is set.
   bool durable() const { return snapshot_store_ != nullptr; }
 
+  /// Installs a snapshot shipped from a replication leader (the
+  /// follower-side catch-up path): the given serialized tiles replace
+  /// the served state wholesale at exactly `version`, with the staged
+  /// queue and delta history cleared (they described state this install
+  /// discards). Every tile must pass its frame CRC and decode (strict
+  /// stitch) before anything becomes visible — a corrupt shipment is
+  /// rejected with kDataLoss and the previous snapshot keeps serving.
+  /// `tile_size_m` must match this service's tiling (byte-identity with
+  /// the leader is meaningless across tilings). With durability enabled
+  /// the installed snapshot is checkpointed and the WAL trimmed, so a
+  /// restarted follower recovers to it.
+  Status InstallReplicatedSnapshot(
+      uint64_t version, int64_t published_unix_ms, double tile_size_m,
+      std::vector<std::pair<TileId, std::string>> tiles);
+
   // --- Writer side ---
 
   /// Queues a patch for the next Publish. Cheap and callable from any
