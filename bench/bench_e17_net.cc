@@ -4,7 +4,7 @@
 // open-loop generator: request send times are scheduled up front at a
 // fixed rate, independent of response arrival, so queueing delay shows
 // up as latency instead of silently throttling the offered load (the
-// closed-loop coordination-omission trap). Three phases:
+// closed-loop coordination-omission trap). Five phases:
 //
 //   1. Calibrate — one closed-loop connection measures the peak
 //      back-to-back GetTile throughput R_max.
@@ -25,12 +25,23 @@
 //      measured between heartbeat-timeout detection and the new leader
 //      installing), write attempts lost while leaderless, and the
 //      FAILOVER_* records from the controller's event log.
+//   5. Observability overhead — closed-loop GetTile p50/p99 with trace
+//      propagation off, on with an unsampled recorder (trace ids ride
+//      the wire, nothing records), and on with every request sampled;
+//      the budget for either "on" mode is < 5% on p50. Then kStats is
+//      scraped continuously while a 2x open-loop overload runs: the
+//      introspection plane is exempt from admission shedding, so the
+//      scrape must keep answering while GetTiles are shed with BUSY.
 //
 // The run fails (nonzero exit) if coalescing does not collapse
 // duplicates, if the 2x overload step sheds nothing, if goodput
 // under 2x overload falls below half the 1x goodput (the report prints
 // the within-20% check; the exit gate is looser so CI boxes with one
-// core don't flake), or if no failover completes after the leader kill.
+// core don't flake), if no failover completes after the leader kill,
+// if trace propagation costs more than 50% on p50 (the report prints
+// the 5% budget; microsecond RTTs on shared boxes are too noisy for a
+// tight exit gate), or if the kStats scrape stops answering under
+// overload.
 //
 // Usage: bench_e17_net [--smoke] [--seconds=S] [--connections=C]
 //                      [--coalesce-clients=K]
@@ -49,6 +60,7 @@
 #include "bench/bench_util.h"
 #include "common/event_log.h"
 #include "common/statistics.h"
+#include "common/trace.h"
 #include "core/tile_store.h"
 #include "net/tile_server.h"
 #include "replication/failover_controller.h"
@@ -271,6 +283,38 @@ LoadResult RunStepWithLatency(uint16_t port, const std::vector<TileId>& tiles,
   out.p50_ms = PercentileMs(lat_s, 0.50);
   out.p99_ms = PercentileMs(lat_s, 0.99);
   out.p999_ms = PercentileMs(lat_s, 0.999);
+  return out;
+}
+
+/// Phase 5 helper: closed-loop GetTile RTTs on one connection with the
+/// client's trace propagation toggled. The Global recorder's
+/// configuration (enabled / sample rate) is the caller's business —
+/// this only drives requests and collects percentiles.
+struct LatencyPair {
+  double p50_ms = 0, p99_ms = 0;
+  uint64_t served = 0;
+};
+
+LatencyPair MeasureGetTileLatency(uint16_t port,
+                                  const std::vector<TileId>& tiles,
+                                  double seconds, bool propagate) {
+  LatencyPair out;
+  NetClient client;
+  client.set_propagate_trace(propagate);
+  if (!client.Connect("127.0.0.1", port).ok()) return out;
+  std::vector<double> lat_s;
+  lat_s.reserve(1u << 16);
+  bench::Timer t;
+  uint64_t i = 0;
+  while (t.Seconds() < seconds) {
+    bench::Timer rt;
+    auto resp = client.GetTile(tiles[i++ % tiles.size()]);
+    if (!resp.ok() || resp->code != NetResponseCode::kOk) break;
+    lat_s.push_back(rt.Seconds());
+  }
+  out.served = lat_s.size();
+  out.p50_ms = PercentileMs(lat_s, 0.50);
+  out.p99_ms = PercentileMs(lat_s, 0.99);
   return out;
 }
 
@@ -529,6 +573,92 @@ int Run(int argc, char** argv) {
                 event.detail.c_str());
   }
 
+  // Phase 5: observability overhead. Fresh server on the same world; the
+  // closed-loop RTT is compared with propagation off, on-but-unsampled
+  // (trace ids ride the wire, nothing records), and on with every
+  // request head-sampled. Then kStats is scraped while a 2x open-loop
+  // overload runs — the introspection plane is exempt from admission
+  // shedding, so it must keep answering while GetTiles are shed.
+  TileServer::Options obs_opt;
+  obs_opt.worker_threads = 2;
+  obs_opt.max_pending_requests = 64;
+  obs_opt.max_inflight_per_connection = 32;
+  obs_opt.stats_label = "bench-e17";
+  TileServer obs_server(service, obs_opt);
+  if (!obs_server.Start().ok()) {
+    std::fprintf(stderr, "phase-5 server start failed\n");
+    return 1;
+  }
+  const double obs_s = smoke ? 0.3 : std::min(seconds, 2.0);
+  TraceRecorder::Options rec_off;  // enabled = false
+  TraceRecorder::Global().Configure(rec_off);
+  LatencyPair lat_off =
+      MeasureGetTileLatency(obs_server.port(), tiles, obs_s, false);
+  TraceRecorder::Options rec_on;
+  rec_on.enabled = true;
+  rec_on.sample_every_n = 0;    // Ids propagate; no span records.
+  rec_on.slow_threshold_s = 0;  // Keep the slow path out of the numbers.
+  TraceRecorder::Global().Configure(rec_on);
+  LatencyPair lat_on =
+      MeasureGetTileLatency(obs_server.port(), tiles, obs_s, true);
+  rec_on.sample_every_n = 1;    // Client + server spans on every request.
+  TraceRecorder::Global().Configure(rec_on);
+  LatencyPair lat_sampled =
+      MeasureGetTileLatency(obs_server.port(), tiles, obs_s, true);
+  TraceRecorder::Global().Configure(rec_off);
+  double ovh_on = lat_off.p50_ms > 0
+                      ? (lat_on.p50_ms - lat_off.p50_ms) / lat_off.p50_ms
+                      : 0;
+  double ovh_sampled =
+      lat_off.p50_ms > 0
+          ? (lat_sampled.p50_ms - lat_off.p50_ms) / lat_off.p50_ms
+          : 0;
+  std::printf(
+      "observability: GetTile p50/p99 %.3f/%.3f ms off | "
+      "%.3f/%.3f ms on (%+.1f%%) | %.3f/%.3f ms on+sampled (%+.1f%%)\n",
+      lat_off.p50_ms, lat_off.p99_ms, lat_on.p50_ms, lat_on.p99_ms,
+      ovh_on * 100, lat_sampled.p50_ms, lat_sampled.p99_ms,
+      ovh_sampled * 100);
+
+  std::vector<double> scrape_s;
+  uint64_t scrape_fail = 0;
+  std::atomic<bool> scrape_stop{false};
+  std::thread scraper([&] {
+    NetClient client;
+    if (!client.Connect("127.0.0.1", obs_server.port()).ok()) {
+      ++scrape_fail;
+      return;
+    }
+    while (!scrape_stop.load(std::memory_order_relaxed)) {
+      bench::Timer t;
+      auto resp = client.FetchStats(NetStatsFormat::kJson, 16);
+      if (!resp.ok()) {
+        ++scrape_fail;
+        break;
+      }
+      if (resp->code == NetResponseCode::kOk) {
+        scrape_s.push_back(t.Seconds());
+      } else {
+        ++scrape_fail;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  LoadResult obs_overload = RunOpenLoopStep(
+      obs_server.port(), tiles, 2.0 * peak_hz, obs_s, connections);
+  scrape_stop.store(true);
+  scraper.join();
+  obs_server.Stop();
+  double scrape_p50 = PercentileMs(scrape_s, 0.50);
+  double scrape_p99 = PercentileMs(scrape_s, 0.99);
+  std::printf(
+      "observability: kStats scrape p50 %.2f ms p99 %.2f ms over %zu "
+      "scrape(s) at 2x overload (%llu GetTile(s) shed BUSY meanwhile, "
+      "%llu scrape failure(s))\n",
+      scrape_p50, scrape_p99, scrape_s.size(),
+      (unsigned long long)obs_overload.busy,
+      (unsigned long long)scrape_fail);
+
   // Report card. Pre-saturation peak = best goodput of the non-overload
   // steps; the 2x step must retain most of it while shedding.
   const LoadResult& r2 = results[2];
@@ -546,6 +676,12 @@ int Run(int argc, char** argv) {
                   bench::Fmt("%.1f ms", fo.time_to_promotion_ms));
   bench::PrintRow("writes acked by promoted leader", "> 0",
                   bench::Fmt("%.0f", (double)fo.writes_acked_after));
+  bench::PrintRow("trace propagation p50 overhead", "< 5%",
+                  bench::Fmt("%+.1f%%", ovh_on * 100));
+  bench::PrintRow("propagation + sampling p50 overhead", "< 5%",
+                  bench::Fmt("%+.1f%%", ovh_sampled * 100));
+  bench::PrintRow("kStats scrape p99 at 2x overload", "< 100 ms",
+                  bench::Fmt("%.1f ms", scrape_p99));
 
   int rc = 0;
   if (!coalesce_ok || comp_delta != 1) {
@@ -567,6 +703,24 @@ int Run(int argc, char** argv) {
   if (!fo.promoted || fo.writes_acked_after == 0) {
     std::fprintf(stderr, "FAIL: leader kill did not end in a working "
                          "promotion\n");
+    rc = 1;
+  }
+  // Exit gate at 50% so shared one-core boxes don't flake on
+  // microsecond RTT deltas; the printed report carries the 5% budget
+  // for real runs.
+  if (lat_off.served > 0 &&
+      (ovh_on > 0.5 || ovh_sampled > 0.5)) {
+    std::fprintf(stderr,
+                 "FAIL: trace propagation overhead %+.1f%% / %+.1f%% "
+                 "exceeds 50%% on p50\n",
+                 ovh_on * 100, ovh_sampled * 100);
+    rc = 1;
+  }
+  if (scrape_s.empty() || scrape_p99 > 1000.0) {
+    std::fprintf(stderr,
+                 "FAIL: kStats scrape did not keep answering under 2x "
+                 "overload (%zu ok, p99 %.1f ms)\n",
+                 scrape_s.size(), scrape_p99);
     rc = 1;
   }
   std::printf("%s\n", rc == 0 ? "OK" : "FAILED");

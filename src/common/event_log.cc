@@ -2,9 +2,46 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <utility>
 
 namespace hdmap {
+
+namespace {
+
+void AppendEscaped(std::string_view value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
 
 EventLog::EventLog(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
 
@@ -82,6 +119,34 @@ std::string_view EventLog::TypeToString(Type type) {
       return "REPLICA_CATCH_UP";
   }
   return "UNKNOWN";
+}
+
+bool EventLog::TypeFromString(std::string_view name, Type* out) {
+  for (uint8_t raw = 0; raw <= static_cast<uint8_t>(Type::kReplicaCatchUp);
+       ++raw) {
+    Type type = static_cast<Type>(raw);
+    if (TypeToString(type) == name) {
+      *out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
+void EventLog::AppendJson(const Event& event, std::string* out) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "{\"seq\":%" PRIu64 ",\"unix_ms\":%" PRId64 ",\"type\":\"",
+                event.seq, event.unix_ms);
+  *out += buf;
+  *out += TypeToString(event.type);
+  *out += "\",\"code\":\"";
+  *out += StatusCodeToString(event.code);
+  std::snprintf(buf, sizeof(buf), "\",\"trace_id\":\"%" PRIu64 "\",\"detail\":\"",
+                event.trace_id);
+  *out += buf;
+  AppendEscaped(event.detail, out);
+  *out += "\"}";
 }
 
 }  // namespace hdmap

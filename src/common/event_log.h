@@ -98,6 +98,18 @@ class EventLog {
 
   static std::string_view TypeToString(Type type);
 
+  /// Inverse of TypeToString (the kStats parse-back path). Returns false
+  /// (leaving *out untouched) for unknown names — a newer node may emit
+  /// types this build does not know.
+  static bool TypeFromString(std::string_view name, Type* out);
+
+  /// Appends `event` to `*out` as one JSON object
+  /// ({"seq":..,"unix_ms":..,"type":"..","code":"..","trace_id":"..",
+  /// "detail":".."}) with the detail string escaped. This is the wire
+  /// shape the kStats introspection response and the ClusterInspector's
+  /// failover-timeline join both consume.
+  static void AppendJson(const Event& event, std::string* out);
+
  private:
   mutable std::mutex mu_;
   size_t capacity_;

@@ -414,4 +414,15 @@ std::string MetricsRegistry::RenderJson() const {
   return out;
 }
 
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size() + gauges_.size() + latencies_.size());
+  for (const auto& [name, unused] : counters_) out.push_back(name);
+  for (const auto& [name, unused] : gauges_) out.push_back(name);
+  for (const auto& [name, unused] : latencies_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 }  // namespace hdmap

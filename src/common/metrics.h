@@ -160,6 +160,12 @@ class MetricsRegistry {
   /// the contract — scrapers may depend on them.
   std::string RenderJson() const;
 
+  /// Every registered instrument name (raw `subsystem.verb{TAG}` form,
+  /// before Prometheus sanitization), sorted. The metrics-name lint test
+  /// walks this to catch malformed registrations before they reach a
+  /// scraper.
+  std::vector<std::string> Names() const;
+
  private:
   mutable std::mutex mu_;
   // node-based maps: pointers handed out by Get* stay stable.

@@ -26,6 +26,20 @@ uint64_t NowNs() {
           .count());
 }
 
+/// Offset (µs) from the steady clock to the unix epoch, sampled now.
+/// Spans store steady timestamps (immune to NTP steps mid-span); adding
+/// this anchor at export time puts them on the shared wall clock so two
+/// processes' timelines align.
+int64_t WallAnchorUsNow() {
+  int64_t wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+  int64_t steady_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+  return wall_us - steady_us;
+}
+
 }  // namespace
 
 TraceContext CurrentTraceContext() { return g_trace_context; }
@@ -37,9 +51,14 @@ TraceContextScope::TraceContextScope(const TraceContext& ctx)
 
 TraceContextScope::~TraceContextScope() { g_trace_context = saved_; }
 
-TraceRecorder::TraceRecorder() { Configure(Options{}); }
+TraceRecorder::TraceRecorder() : wall_anchor_us_(WallAnchorUsNow()) {
+  Configure(Options{});
+}
 
-TraceRecorder::TraceRecorder(const Options& options) { Configure(options); }
+TraceRecorder::TraceRecorder(const Options& options)
+    : wall_anchor_us_(WallAnchorUsNow()) {
+  Configure(options);
+}
 
 TraceRecorder& TraceRecorder::Global() {
   static TraceRecorder* recorder = new TraceRecorder();
@@ -123,28 +142,40 @@ void TraceRecorder::Clear() {
 }
 
 std::string TraceRecorder::ExportChromeTraceJson() const {
+  return ExportChromeTraceJson(1, "hdmap");
+}
+
+std::string TraceRecorder::ExportChromeTraceJson(
+    uint32_t process_id, const std::string& process_label) const {
   std::vector<TraceEvent> events = Snapshot();
   std::string out;
-  out.reserve(events.size() * 220 + 64);
+  out.reserve(events.size() * 220 + 192);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  char buf[384];
-  bool first = true;
+  char buf[448];
+  // Perfetto names the process track from this metadata record, which
+  // is what makes a merged multi-node export readable.
+  std::snprintf(buf, sizeof(buf),
+                "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                "\"args\":{\"name\":\"%s\"}}",
+                process_id, process_label.c_str());
+  out += buf;
   for (const TraceEvent& e : events) {
     std::snprintf(
         buf, sizeof(buf),
-        "%s\n{\"name\":\"%s\",\"cat\":\"hdmap\",\"ph\":\"X\","
-        "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+        ",\n{\"name\":\"%s\",\"cat\":\"hdmap\",\"ph\":\"X\","
+        "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%u,\"tid\":%u,"
         "\"args\":{\"trace_id\":\"%" PRIu64 "\",\"span_id\":\"%" PRIu64
         "\",\"parent_span_id\":\"%" PRIu64
         "\",\"status\":\"%.*s\",\"slow\":%s,\"sampled\":%s}}",
-        first ? "" : ",", e.name, static_cast<double>(e.start_ns) / 1e3,
-        static_cast<double>(e.duration_ns) / 1e3, e.thread_id, e.trace_id,
-        e.span_id, e.parent_span_id,
+        e.name,
+        static_cast<double>(e.start_ns) / 1e3 +
+            static_cast<double>(wall_anchor_us_),
+        static_cast<double>(e.duration_ns) / 1e3, process_id, e.thread_id,
+        e.trace_id, e.span_id, e.parent_span_id,
         static_cast<int>(StatusCodeToString(e.status).size()),
         StatusCodeToString(e.status).data(), e.slow ? "true" : "false",
         e.sampled ? "true" : "false");
     out += buf;
-    first = false;
   }
   out += "\n]}\n";
   return out;
@@ -200,7 +231,7 @@ void TraceSpan::End() {
   event_.duration_ns = NowNs() - event_.start_ns;
   uint64_t slow_ns = recorder_->slow_threshold_ns();
   event_.slow = slow_ns != 0 && event_.duration_ns > slow_ns;
-  if (event_.sampled || event_.slow ||
+  if (record_always_ || event_.sampled || event_.slow ||
       (event_.status != StatusCode::kOk && force_record_)) {
     recorder_->Record(event_);
   }

@@ -141,6 +141,21 @@ class TraceRecorder {
   /// corrupt-tile decode is one click away from its GetRegion root.
   std::string ExportChromeTraceJson() const;
 
+  /// Multi-process variant: events carry `process_id` as their Perfetto
+  /// pid (with a process_name metadata record naming the track
+  /// `process_label`), and timestamps are shifted by the recorder's
+  /// wall-clock anchor so exports from different processes share one
+  /// timeline. Concatenate per-node exports with MergeChromeTraceJson
+  /// (src/obs) and spans line up across the process boundary.
+  std::string ExportChromeTraceJson(uint32_t process_id,
+                                    const std::string& process_label) const;
+
+  /// Microseconds to add to a steady_clock microsecond reading to place
+  /// it on the unix epoch: captured once at construction, so every span
+  /// in this process shares the same offset and cross-process exports
+  /// align to within clock-sync error.
+  int64_t wall_anchor_us() const { return wall_anchor_us_; }
+
   // --- Span support (used by TraceSpan; rarely called directly) ---
 
   uint64_t NextTraceId() {
@@ -172,6 +187,8 @@ class TraceRecorder {
   std::atomic<uint32_t> sample_every_n_{1};
   std::atomic<uint64_t> slow_threshold_ns_{0};
   size_t stripe_capacity_ = 0;  // Set by Configure; fixed while tracing.
+
+  int64_t wall_anchor_us_ = 0;  // Set once at construction.
 
   std::atomic<uint64_t> next_trace_id_{1};
   std::atomic<uint64_t> next_span_id_{1};
@@ -229,6 +246,11 @@ class TraceSpan {
   /// Closes the span early (the destructor then does nothing).
   void End();
 
+  /// Forces this span into the ring regardless of sampling — the
+  /// slow-RPC watchdog uses it so a budget-violating request leaves its
+  /// full cross-node trace id in the export even at sample_every_n = 0.
+  void ForceRecord() { record_always_ = true; }
+
   /// 0 when inert (no recorder / no active trace).
   uint64_t trace_id() const { return event_.trace_id; }
   uint64_t span_id() const { return event_.span_id; }
@@ -244,6 +266,7 @@ class TraceSpan {
   bool active_ = false;
   bool ended_ = false;
   bool force_record_ = true;
+  bool record_always_ = false;
 };
 
 /// The calling thread's current trace id (0 when no span is open): the

@@ -50,10 +50,26 @@ std::string_view NetResponseCodeToString(NetResponseCode code) {
 }
 
 std::string EncodeRequestFrame(const NetRequest& request) {
+  TraceContext ctx;
+  ctx.trace_id = request.trace_id;
+  ctx.parent_span_id = request.parent_span_id;
+  ctx.sampled = request.trace_sampled;
+  return EncodeRequestFrame(request, ctx);
+}
+
+std::string EncodeRequestFrame(const NetRequest& request,
+                               const TraceContext& ctx) {
   BufferWriter body;
-  body.WriteU8(static_cast<uint8_t>(request.type));
+  uint8_t type = static_cast<uint8_t>(request.type);
+  if (ctx.active()) type |= kNetTraceFlag;
+  body.WriteU8(type);
   body.WriteU64(request.request_id);
   body.WriteU64(request.have_version);
+  if (ctx.active()) {
+    body.WriteU64(ctx.trace_id);
+    body.WriteU64(ctx.parent_span_id);
+    body.WriteU8(ctx.sampled ? kNetTraceSampledBit : 0);
+  }
   switch (request.type) {
     case NetRequestType::kPing:
       break;
@@ -70,6 +86,10 @@ std::string EncodeRequestFrame(const NetRequest& request) {
     case NetRequestType::kReplicate:
     case NetRequestType::kCatchUp:
       break;  // Opaque payload appended below (raw, not length-prefixed).
+    case NetRequestType::kStats:
+      body.WriteU8(static_cast<uint8_t>(request.stats_format));
+      body.WriteU32(request.stats_max_events);
+      break;
   }
   std::string bytes = body.Release();
   if (request.type == NetRequestType::kReplicate ||
@@ -119,9 +139,16 @@ Result<NetRequest> DecodeRequestBody(std::string_view body,
   }
   BufferReader reader(body);
   NetRequest request;
-  uint8_t type = reader.ReadU8();
+  uint8_t raw_type = reader.ReadU8();
+  bool traced = (raw_type & kNetTraceFlag) != 0;
+  uint8_t type = raw_type & kNetTypeMask;
   request.request_id = reader.ReadU64();
   request.have_version = reader.ReadU64();
+  if (traced) {
+    request.trace_id = reader.ReadU64();
+    request.parent_span_id = reader.ReadU64();
+    request.trace_sampled = (reader.ReadU8() & kNetTraceSampledBit) != 0;
+  }
   switch (type) {
     case static_cast<uint8_t>(NetRequestType::kPing):
       request.type = NetRequestType::kPing;
@@ -143,9 +170,22 @@ Result<NetRequest> DecodeRequestBody(std::string_view body,
       // The rest of the body is the opaque replication payload; the
       // frame's body CRC (checked above) already covers it.
       request.type = static_cast<NetRequestType>(type);
-      constexpr size_t kPrefix = 1 + sizeof(uint64_t) + sizeof(uint64_t);
-      request.payload = std::string(body.substr(kPrefix));
+      if (!reader.ok()) return reader.status();
+      size_t prefix = 1 + sizeof(uint64_t) + sizeof(uint64_t) +
+                      (traced ? kNetTraceBlockSize : 0);
+      request.payload = std::string(body.substr(prefix));
       return request;
+    }
+    case static_cast<uint8_t>(NetRequestType::kStats): {
+      request.type = NetRequestType::kStats;
+      uint8_t format = reader.ReadU8();
+      request.stats_max_events = reader.ReadU32();
+      if (format > static_cast<uint8_t>(NetStatsFormat::kPrometheus)) {
+        return Status::InvalidArgument("unknown stats format " +
+                                       std::to_string(format));
+      }
+      request.stats_format = static_cast<NetStatsFormat>(format);
+      break;
     }
     default:
       return Status::InvalidArgument("unknown request type " +

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "core/tile_store.h"
 #include "geometry/aabb.h"
 
@@ -28,12 +29,27 @@ namespace hdmap {
 ///
 /// Request body:
 ///
-///   u8 type | u64 request_id | u64 have_version | type-specific args
+///   u8 type | u64 request_id | u64 have_version | [trace block]
+///     | type-specific args
 ///     kPing       (no args)
 ///     kGetTile    i32 x | i32 y
 ///     kGetRegion  f64 min_x | f64 min_y | f64 max_x | f64 max_y
 ///     kReplicate  opaque replication payload (rest of body)
 ///     kCatchUp    opaque replication payload (rest of body)
+///     kStats      u8 format (NetStatsFormat) | u32 max_events
+///
+/// Trace propagation (protocol v2): when the high bit of the type byte
+/// (kNetTraceFlag) is set, a 17-byte trace block follows have_version:
+///
+///   u64 trace_id | u64 parent_span_id | u8 flags (bit0 = sampled)
+///
+/// and the type-specific args follow the block. An encoder with no
+/// active trace context leaves the flag clear, producing bytes identical
+/// to protocol v1 — so a v2 client talking to a v1 server interoperates
+/// whenever propagation is off, and a v1 client's requests decode
+/// unchanged on a v2 server. A flagged request reaching a v1 decoder
+/// fails as a typed kError (unknown type >= 0x80) without losing
+/// framing: the connection survives, only that request is refused.
 ///
 /// kReplicate/kCatchUp are the replication plane (replication/wire.h
 /// defines their payloads): a leader's WalShipper pushes WAL record
@@ -77,6 +93,27 @@ enum class NetRequestType : uint8_t {
   /// Leader -> follower: a full catch-up snapshot for a follower whose
   /// position was trimmed from the leader's log.
   kCatchUp = 4,
+  /// Remote introspection: the node's metrics (Prometheus or JSON),
+  /// recent events, health, and replication status in one response.
+  /// Exempt from admission shedding so a scrape still answers under
+  /// overload (the kBusy storm is exactly when you need it).
+  kStats = 5,
+};
+
+/// High bit of the request type byte: a 17-byte trace block
+/// (u64 trace_id | u64 parent_span_id | u8 flags) follows have_version.
+inline constexpr uint8_t kNetTraceFlag = 0x80;
+/// Low bits of the type byte (the actual NetRequestType).
+inline constexpr uint8_t kNetTypeMask = 0x7F;
+/// Bit0 of the trace-block flags byte: the trace was head-sampled.
+inline constexpr uint8_t kNetTraceSampledBit = 0x01;
+/// Size of the optional trace block.
+inline constexpr size_t kNetTraceBlockSize = 17;
+
+/// Payload format of a kStats request.
+enum class NetStatsFormat : uint8_t {
+  kJson = 0,        ///< Node-status JSON document (see DESIGN.md §13).
+  kPrometheus = 1,  ///< MetricsRegistry::RenderPrometheus() text only.
 };
 
 enum class NetResponseCode : uint8_t {
@@ -102,6 +139,14 @@ struct NetRequest {
   /// kReplicate/kCatchUp only: opaque replication-plane payload, carried
   /// verbatim after the fixed prefix (replication/wire.h encodes it).
   std::string payload;
+  /// Propagated trace context (0 = none); the server adopts it so its
+  /// spans parent under the client's trace across the process boundary.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  bool trace_sampled = false;
+  /// kStats only.
+  NetStatsFormat stats_format = NetStatsFormat::kJson;
+  uint32_t stats_max_events = 32;
 };
 
 /// One decoded response (client side).
@@ -138,8 +183,18 @@ inline constexpr size_t kMaxNetReplicationBody = static_cast<size_t>(256)
 inline constexpr size_t kMaxNetResponseBody = static_cast<size_t>(1)
                                               << 30;
 
-/// Encodes a complete request frame (header + CRC'd body).
+/// Encodes a complete request frame (header + CRC'd body). The trace
+/// block is emitted only when request.trace_id != 0; otherwise the bytes
+/// are identical to protocol v1.
 std::string EncodeRequestFrame(const NetRequest& request);
+
+/// Same, with `ctx` injected as the request's trace fields (the
+/// NetClient's choke point: every wrapper, retry attempt, and
+/// replication batch routes through here, so an active ambient context
+/// rides along without the call sites copying fields). Avoids copying
+/// large replication payloads into a patched NetRequest.
+std::string EncodeRequestFrame(const NetRequest& request,
+                               const TraceContext& ctx);
 
 /// Encodes a complete response frame. `payload` is appended verbatim
 /// after the meta (zero re-encode; one copy into the output buffer).

@@ -10,8 +10,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cinttypes>
+#include <cstdio>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "common/trace.h"
@@ -346,9 +350,16 @@ void TileServer::HandleFrame(const std::shared_ptr<Connection>& conn,
   const NetRequest& request = decoded.value();
   // Admission control. Both checks and the increments run only on the IO
   // thread, so the caps are exact; decrements come from workers.
+  // kStats is exempt: a scrape must still answer during a kBusy storm —
+  // overload is exactly when the introspection plane earns its keep. It
+  // still counts against pending_/inflight below, so a scrape cannot
+  // leak accounting, and its response is tiny and computed without
+  // touching the coalescing or snapshot paths.
   const char* shed_reason = nullptr;
-  if (pending_.load(std::memory_order_relaxed) >=
-      options_.max_pending_requests) {
+  if (request.type == NetRequestType::kStats) {
+    // Never shed.
+  } else if (pending_.load(std::memory_order_relaxed) >=
+             options_.max_pending_requests) {
     shed_reason = "request queue full";
   } else if (conn->inflight.load(std::memory_order_relaxed) >=
              options_.max_inflight_per_connection) {
@@ -376,11 +387,27 @@ void TileServer::HandleFrame(const std::shared_ptr<Connection>& conn,
 void TileServer::ExecuteRequest(
     std::shared_ptr<Connection> conn, NetRequest request,
     std::chrono::steady_clock::time_point admitted) {
-  TraceSpan span("net.request", TraceSpan::kRoot);
+  // Adopt the client's propagated trace context (when tracing is on), so
+  // the root "net.request" span parents under the caller's span and the
+  // whole RPC renders as one tree across the process boundary.
+  TraceRecorder* recorder =
+      options_.trace != nullptr ? options_.trace : &TraceRecorder::Global();
+  std::optional<TraceContextScope> adopted;
+  if (request.trace_id != 0 && recorder->enabled()) {
+    adopted.emplace(TraceContext{request.trace_id, request.parent_span_id,
+                                 request.trace_sampled});
+  }
+  TraceSpan span("net.request", TraceSpan::kRoot, options_.trace);
   requests_->Increment();
   if (request.type == NetRequestType::kPing) {
     FinishRequest(conn, NetResponseCode::kOk, StatusCode::kOk,
                   request.request_id, service_.version(), "", admitted);
+    return;
+  }
+  if (request.type == NetRequestType::kStats) {
+    FinishRequest(conn, NetResponseCode::kOk, StatusCode::kOk,
+                  request.request_id, service_.version(),
+                  BuildStatsPayload(request), admitted);
     return;
   }
   if (request.type == NetRequestType::kReplicate ||
@@ -501,11 +528,66 @@ std::tuple<NetResponseCode, StatusCode, std::string> TileServer::ComputeFull(
     return {NetResponseCode::kError, region.status().code(),
             region.status().message()};
   }
-  TraceSpan serialize_span("net.serialize_region");
+  TraceSpan serialize_span("net.serialize_region", options_.trace);
   std::string payload = snap->tiles.format() == TileFormat::kFlatV3
                             ? EncodeTileV3(*region)
                             : SerializeMap(*region);
   return {NetResponseCode::kOk, StatusCode::kOk, std::move(payload)};
+}
+
+std::string TileServer::BuildStatsPayload(const NetRequest& request) const {
+  if (request.stats_format == NetStatsFormat::kPrometheus) {
+    return metrics_->RenderPrometheus();
+  }
+  // Node-status JSON: {"node":{...},"replication":...,"events":[...],
+  // "metrics":{...}} — the document ClusterInspector polls. max_events
+  // bounds the merged event array (the ring caps each source already;
+  // the clamp guards a hostile request from inflating the response).
+  size_t max_events = std::min<uint32_t>(request.stats_max_events, 1024);
+  std::string out = "{\"node\":{\"label\":\"";
+  out += options_.stats_label.empty() ? "hdmap" : options_.stats_label;
+  out += "\",\"health\":\"";
+  out += ServiceHealthToString(service_.Health());
+  char buf[96];
+  int64_t unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+  std::snprintf(buf, sizeof(buf),
+                "\",\"version\":%" PRIu64 ",\"unix_ms\":%" PRId64 "},",
+                service_.version(), unix_ms);
+  out += buf;
+  out += "\"replication\":";
+  out += options_.replication_status_json != nullptr
+             ? options_.replication_status_json()
+             : "null";
+  // Merge the three event sources (server edge, service, node extras)
+  // newest-first so a scraper sees one timeline per node.
+  std::vector<EventLog::Event> events = events_.Recent(max_events);
+  for (EventLog::Event& e : service_.RecentEvents(max_events)) {
+    events.push_back(std::move(e));
+  }
+  if (options_.extra_events != nullptr) {
+    for (EventLog::Event& e : options_.extra_events(max_events)) {
+      events.push_back(std::move(e));
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const EventLog::Event& a, const EventLog::Event& b) {
+              if (a.unix_ms != b.unix_ms) return a.unix_ms > b.unix_ms;
+              return a.seq > b.seq;
+            });
+  if (events.size() > max_events) events.resize(max_events);
+  out += ",\"events\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i != 0) out += ",";
+    EventLog::AppendJson(events[i], &out);
+  }
+  out += "],\"metrics\":";
+  out += metrics_->RenderJson();
+  // RenderJson ends with a newline; keep the document single-trailing.
+  while (!out.empty() && out.back() == '\n') out.pop_back();
+  out += "}\n";
+  return out;
 }
 
 void TileServer::FinishRequest(
@@ -609,7 +691,16 @@ void NetClient::Close() {
 }
 
 Status NetClient::Send(const NetRequest& request) {
-  return SendRaw(EncodeRequestFrame(request));
+  // The choke point for trace propagation: every wrapper, CallWithRetry
+  // attempt, and replication exchange routes through here, so an active
+  // ambient context rides along on every frame. Explicit trace fields on
+  // the request win (a relay forwarding someone else's context).
+  TraceContext ctx;
+  ctx.trace_id = request.trace_id;
+  ctx.parent_span_id = request.parent_span_id;
+  ctx.sampled = request.trace_sampled;
+  if (propagate_trace_ && !ctx.active()) ctx = CurrentTraceContext();
+  return SendRaw(EncodeRequestFrame(request, ctx));
 }
 
 Status NetClient::SendRaw(std::string_view bytes) {
@@ -676,9 +767,37 @@ Result<NetResponse> NetClient::ReadResponse(uint32_t timeout_ms) {
 }
 
 Result<NetResponse> NetClient::Call(const NetRequest& request) {
+  // Root span for the end-to-end RPC (joins an enclosing trace as a
+  // child when one is active); Send picks it up from the ambient
+  // context, so the server's spans parent under this one.
+  TraceSpan span("net_client.call", TraceSpan::kRoot);
+  auto started = std::chrono::steady_clock::now();
   Status sent = Send(request);
-  if (!sent.ok()) return sent;
-  return ReadResponse();
+  if (!sent.ok()) {
+    span.SetStatus(sent.code(), /*force=*/false);
+    return sent;
+  }
+  Result<NetResponse> response = ReadResponse();
+  if (!response.ok()) span.SetStatus(response.status().code(), /*force=*/false);
+  CheckRpcBudget(&span, "call", started);
+  return response;
+}
+
+void NetClient::CheckRpcBudget(
+    TraceSpan* span, const char* what,
+    std::chrono::steady_clock::time_point started) {
+  if (slow_rpc_budget_s_ <= 0 || watchdog_events_ == nullptr) return;
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  if (elapsed <= slow_rpc_budget_s_) return;
+  // Budget blown: force the span into the ring (the cross-node trace id
+  // must survive even unsampled) and leave a joinable event.
+  span->ForceRecord();
+  watchdog_events_->Append(
+      EventLog::Type::kSlowRequest, span->trace_id(),
+      std::string("net_client ") + what + " took " + std::to_string(elapsed) +
+          "s against a " + std::to_string(slow_rpc_budget_s_) + "s budget");
 }
 
 void NetClient::set_retry_options(RetryOptions options) {
@@ -718,8 +837,12 @@ uint32_t NetClient::RemainingMs(std::chrono::steady_clock::time_point deadline,
 }
 
 Result<NetResponse> NetClient::CallWithRetry(const NetRequest& request) {
-  auto deadline = std::chrono::steady_clock::now() +
-                  std::chrono::milliseconds(retry_.deadline_ms);
+  // One span across the whole retry loop: every attempt's frame carries
+  // this context, so a retried request still renders as one RPC (its
+  // server-side net.request spans all parent here).
+  TraceSpan span("net_client.call", TraceSpan::kRoot);
+  auto started = std::chrono::steady_clock::now();
+  auto deadline = started + std::chrono::milliseconds(retry_.deadline_ms);
   Result<NetResponse> last = Status::Internal("no attempt ran");
   int attempts = std::max(1, retry_.max_attempts);
   for (int attempt = 0; attempt < attempts; ++attempt) {
@@ -729,6 +852,7 @@ Result<NetResponse> NetClient::CallWithRetry(const NetRequest& request) {
       if (deadline_exceeded_counter_ != nullptr) {
         deadline_exceeded_counter_->Increment();
       }
+      CheckRpcBudget(&span, "call_with_retry", started);
       return last;
     }
     if (attempt > 0) {
@@ -755,6 +879,7 @@ Result<NetResponse> NetClient::CallWithRetry(const NetRequest& request) {
         if (deadline_exceeded_counter_ != nullptr) {
           deadline_exceeded_counter_->Increment();
         }
+        CheckRpcBudget(&span, "call_with_retry", started);
         return last;
       }
     }
@@ -787,8 +912,10 @@ Result<NetResponse> NetClient::CallWithRetry(const NetRequest& request) {
       last = std::move(response);
       continue;
     }
+    CheckRpcBudget(&span, "call_with_retry", started);
     return response;
   }
+  CheckRpcBudget(&span, "call_with_retry", started);
   return last;
 }
 
@@ -816,6 +943,16 @@ Result<NetResponse> NetClient::GetRegion(const Aabb& box,
   request.request_id = next_request_id_++;
   request.have_version = have_version;
   request.box = box;
+  return Call(request);
+}
+
+Result<NetResponse> NetClient::FetchStats(NetStatsFormat format,
+                                          uint32_t max_events) {
+  NetRequest request;
+  request.type = NetRequestType::kStats;
+  request.request_id = next_request_id_++;
+  request.stats_format = format;
+  request.stats_max_events = max_events;
   return Call(request);
 }
 

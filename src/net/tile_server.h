@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -118,6 +119,22 @@ class TileServer {
     /// kMaxNetReplicationBody are accepted). Must outlive the server;
     /// null rejects replication requests with kUnimplemented.
     ReplicationHandler* replication = nullptr;
+    /// Node label reported in the kStats "node" block (empty = "hdmap").
+    std::string stats_label;
+    /// When set, the kStats JSON response embeds this callback's output
+    /// as its "replication" value (ReplicationNode wires its status
+    /// document here); unset reports null.
+    std::function<std::string()> replication_status_json;
+    /// Extra event source merged into the kStats "events" array beside
+    /// the server's and service's own logs (ReplicationNode wires its
+    /// failover/catch-up events here). Called with the max event count.
+    std::function<std::vector<EventLog::Event>(size_t)> extra_events;
+    /// Recorder for the server's spans ("net.request" roots, inbound
+    /// trace adoption, serialization children); null uses
+    /// TraceRecorder::Global(). Tests hosting several "processes" in one
+    /// address space give each server its own recorder so per-node
+    /// exports stay disjoint.
+    TraceRecorder* trace = nullptr;
   };
 
   /// FaultInjector site name for received request bodies.
@@ -203,6 +220,10 @@ class TileServer {
   /// Returns (code, status, payload).
   std::tuple<NetResponseCode, StatusCode, std::string> ComputeFull(
       const NetRequest& request, uint64_t* version);
+
+  /// Assembles the kStats response payload (Prometheus text or the
+  /// node-status JSON document, per the request's format).
+  std::string BuildStatsPayload(const NetRequest& request) const;
 
   /// Writes one response frame and closes out the request's accounting
   /// (latency, slow event, pending/inflight decrements).
@@ -304,6 +325,24 @@ class NetClient {
   void set_retry_options(RetryOptions options);
   const RetryOptions& retry_options() const { return retry_; }
 
+  /// Trace propagation (default on): every Send injects the thread's
+  /// ambient TraceContext into the request's trace block, so server-side
+  /// spans parent under the caller's trace across the process boundary.
+  /// With no active context (or tracing disabled) the encoding stays
+  /// byte-identical to protocol v1.
+  void set_propagate_trace(bool on) { propagate_trace_ = on; }
+  bool propagate_trace() const { return propagate_trace_; }
+
+  /// Slow-RPC watchdog: a Call/CallWithRetry slower than `budget_s`
+  /// end-to-end force-records its "net_client.call" span (so the full
+  /// cross-node trace id survives even unsampled) and appends a
+  /// kSlowRequest event carrying that trace id to `events`. budget_s
+  /// <= 0 or a null log disables. `events` must outlive the client.
+  void set_slow_rpc_watchdog(double budget_s, EventLog* events) {
+    slow_rpc_budget_s_ = budget_s;
+    watchdog_events_ = events;
+  }
+
   /// Sends one request frame (blocking write).
   Status Send(const NetRequest& request);
   /// Sends pre-encoded bytes verbatim — the malformed-input seam for
@@ -331,11 +370,22 @@ class NetClient {
   Result<NetResponse> GetTile(const TileId& id, uint64_t have_version = 0);
   Result<NetResponse> GetRegion(const Aabb& box, uint64_t have_version = 0);
 
+  /// Remote introspection: fetches the server's kStats document
+  /// (metrics + events + health + replication status as JSON, or the
+  /// Prometheus exposition text). The response payload is the document.
+  Result<NetResponse> FetchStats(NetStatsFormat format = NetStatsFormat::kJson,
+                                 uint32_t max_events = 32);
+
  private:
   /// Milliseconds left until `deadline` (minimum 1), or 0 for "no
   /// deadline"; sets *expired when the deadline has passed.
   uint32_t RemainingMs(std::chrono::steady_clock::time_point deadline,
                        bool* expired) const;
+
+  /// Watchdog check at the end of Call/CallWithRetry (see
+  /// set_slow_rpc_watchdog).
+  void CheckRpcBudget(TraceSpan* span, const char* what,
+                      std::chrono::steady_clock::time_point started);
 
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
@@ -344,6 +394,9 @@ class NetClient {
   uint16_t port_ = 0;
   RetryOptions retry_;
   uint64_t jitter_state_ = 1;
+  bool propagate_trace_ = true;
+  double slow_rpc_budget_s_ = 0.0;
+  EventLog* watchdog_events_ = nullptr;
   Counter* attempts_counter_ = nullptr;
   Counter* retries_counter_ = nullptr;
   Counter* backoff_ms_counter_ = nullptr;

@@ -1,0 +1,53 @@
+#ifndef HDMAP_OBS_JSON_H_
+#define HDMAP_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hdmap {
+
+/// Minimal owned JSON document, just enough to consume the kStats node
+/// document (node header, replication status, events, metrics) without an
+/// external dependency. Objects preserve insertion order and are scanned
+/// linearly on lookup — the documents are tens of keys, not thousands.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Member lookup; null when this is not an object or the key is absent.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed member accessors with fallbacks (missing key, wrong kind, or
+  /// non-object receiver all yield the fallback — scraping must not
+  /// crash on a node running an older payload shape).
+  std::string GetString(std::string_view key,
+                        const std::string& fallback = std::string()) const;
+  double GetNumber(std::string_view key, double fallback = 0.0) const;
+  uint64_t GetU64(std::string_view key, uint64_t fallback = 0) const;
+  int64_t GetI64(std::string_view key, int64_t fallback = 0) const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing junk is
+/// an error). Depth-limited to keep hostile input from recursing the
+/// stack away.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace hdmap
+
+#endif  // HDMAP_OBS_JSON_H_

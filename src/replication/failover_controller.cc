@@ -168,12 +168,50 @@ void FailoverController::Promote(ReplicationNode* dead_leader,
                                  double silence_ms) {
   auto detected = std::chrono::steady_clock::now();
 
-  // Candidates: reachable followers. Most-caught-up wins; ties go to the
-  // lowest node id so the choice is deterministic.
+  // Nothing to do unless some follower is reachable (don't burn a term
+  // or depose a live leader when there is no one to promote).
+  bool have_candidate = false;
+  for (ReplicationNode* node : nodes_) {
+    if (node != dead_leader && node->alive() && !node->partitioned()) {
+      have_candidate = true;
+      break;
+    }
+  }
+  if (!have_candidate) return;  // keep watching
+
+  uint64_t new_term = 0;
+  for (ReplicationNode* node : nodes_) {
+    new_term = std::max(new_term, node->term());
+  }
+  new_term = std::max(new_term, term_.load()) + 1;
+
+  // Fence FIRST, then choose. A falsely-dead leader (silent heartbeats,
+  // live write path) keeps acking writes while this promotion runs; if
+  // the candidate were chosen before every reachable node rejects the
+  // old term, records acked during the promote window could land only
+  // on a non-candidate and be truncated by the new leader's history —
+  // acked-write loss. After the fence, applied seqs are final for the
+  // old term, so the max-applied candidate provably holds every acked
+  // write.
+  if (dead_leader->alive() && !dead_leader->partitioned()) {
+    dead_leader->StepDown(new_term);
+  }
+  for (ReplicationNode* node : nodes_) {
+    if (node == dead_leader || !node->alive() || node->partitioned()) continue;
+    node->FenceTerm(new_term);
+  }
+
+  // Candidates: every reachable node — including the deposed leader
+  // when it is alive and unpartitioned (heartbeats lost, node fine).
+  // An alive old leader holds every acked write by definition, so
+  // excluding it would let a behind follower win the election and
+  // truncate acked records out of the only node that has them.
+  // Most-caught-up wins; ties go to the lowest node id so the choice
+  // is deterministic.
   ReplicationNode* best = nullptr;
   uint64_t best_seq = 0;
   for (ReplicationNode* node : nodes_) {
-    if (node == dead_leader || !node->alive() || node->partitioned()) continue;
+    if (!node->alive() || node->partitioned()) continue;
     uint64_t seq = node->applied_seq();
     if (best == nullptr || seq > best_seq ||
         (seq == best_seq && node->node_id() < best->node_id())) {
@@ -181,13 +219,7 @@ void FailoverController::Promote(ReplicationNode* dead_leader,
       best_seq = seq;
     }
   }
-  if (best == nullptr) return;  // nothing to promote; keep watching
-
-  uint64_t new_term = 0;
-  for (ReplicationNode* node : nodes_) {
-    new_term = std::max(new_term, node->term());
-  }
-  new_term = std::max(new_term, term_.load()) + 1;
+  if (best == nullptr) return;  // raced a kill/partition; keep watching
 
   events_.Append(
       EventLog::Type::kFailoverDetected, 0,
@@ -199,8 +231,10 @@ void FailoverController::Promote(ReplicationNode* dead_leader,
           " at term " + std::to_string(new_term));
 
   best->BecomeLeader(new_term, ReachablePeersOf(best));
-  if (dead_leader->alive() && !dead_leader->partitioned()) {
-    dead_leader->StepDown(new_term);
+  if (best != dead_leader && dead_leader->alive() &&
+      !dead_leader->partitioned()) {
+    // Already stepped down by the fence above; rejoin as a follower (it
+    // will be repaired by snapshot before applying anything).
     best->AddFollower({dead_leader->node_id(), dead_leader->host(),
                        dead_leader->port()});
   }

@@ -1,5 +1,9 @@
 #include "replication/node.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <utility>
 
 #include "core/serialization.h"
@@ -31,20 +35,38 @@ ReplicationNode::ReplicationNode(Options options)
         };
         ro.consume_resync = [this] { return resync_needed_.exchange(false); };
         return ro;
-      }()) {}
+      }()) {
+  ack_wait_ = service_.metrics().GetLatency("replication.ack_wait");
+  service_.metrics().SetHelp(
+      "replication.ack_wait",
+      "Time the leader write path blocked in the semi-synchronous ack gate");
+}
 
 ReplicationNode::~ReplicationNode() {
   Halt();
 }
 
-Status ReplicationNode::Start(const HdMap& initial_map) {
-  HDMAP_RETURN_IF_ERROR(service_.Init(initial_map));
+TileServer::Options ReplicationNode::ServerOptions() {
   TileServer::Options server_options = opts_.server;
   server_options.replication = &replica_;
   if (server_options.fault_injector == nullptr) {
     server_options.fault_injector = opts_.faults;
   }
-  server_ = std::make_unique<TileServer>(service_, server_options);
+  // kStats introspection: label the node, expose replication progress,
+  // and merge the node's failover events into the served event list.
+  if (server_options.stats_label.empty()) {
+    server_options.stats_label = "node-" + std::to_string(opts_.node_id);
+  }
+  server_options.replication_status_json = [this] {
+    return ReplicationStatusJson();
+  };
+  server_options.extra_events = [this](size_t n) { return events_.Recent(n); };
+  return server_options;
+}
+
+Status ReplicationNode::Start(const HdMap& initial_map) {
+  HDMAP_RETURN_IF_ERROR(service_.Init(initial_map));
+  server_ = std::make_unique<TileServer>(service_, ServerOptions());
   HDMAP_RETURN_IF_ERROR(server_->Start());
   opts_.server.port = server_->port();  // keep the resolved port on restart
   role_.store(Role::kFollower);
@@ -73,12 +95,7 @@ void ReplicationNode::Halt() {
 
 Status ReplicationNode::Restart() {
   if (alive_.load()) return Status::Ok();
-  TileServer::Options server_options = opts_.server;
-  server_options.replication = &replica_;
-  if (server_options.fault_injector == nullptr) {
-    server_options.fault_injector = opts_.faults;
-  }
-  server_ = std::make_unique<TileServer>(service_, server_options);
+  server_ = std::make_unique<TileServer>(service_, ServerOptions());
   HDMAP_RETURN_IF_ERROR(server_->Start());
   opts_.server.port = server_->port();
   role_.store(Role::kFollower);
@@ -118,6 +135,7 @@ void ReplicationNode::BecomeLeader(
     so.partitioned = [this] { return partitioned_.load(); };
     so.metrics = &service_.metrics();
     so.faults = opts_.faults;
+    so.trace = opts_.server.trace;
     so.heartbeat_interval_ms = opts_.heartbeat_interval_ms;
     so.io_timeout_ms = opts_.io_timeout_ms;
     shipper_ = std::make_shared<WalShipper>(so);
@@ -149,6 +167,10 @@ void ReplicationNode::StepDown(uint64_t term) {
   events_.Append(EventLog::Type::kFailoverDetected, 0,
                  "node " + std::to_string(opts_.node_id) +
                      " deposed: observed term " + std::to_string(term));
+}
+
+void ReplicationNode::FenceTerm(uint64_t term) {
+  replica_.FenceTerm(term);
 }
 
 void ReplicationNode::AddFollower(const WalShipper::FollowerInfo& follower) {
@@ -218,11 +240,17 @@ Status ReplicationNode::AwaitAcks(const std::shared_ptr<WalShipper>& shipper,
     return Status::Internal("write staged locally but no shipper is running");
   }
   shipper->NotifyAppend();
+  std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
   // Deliberately NOT capped at the live follower count: a leader that
   // lost every follower must not self-ack, or "acked" would stop meaning
   // "survives this node's death".
-  if (!shipper->WaitForAcks(seq, opts_.min_ack_replicas,
-                            opts_.ack_timeout_ms)) {
+  bool acked = shipper->WaitForAcks(seq, opts_.min_ack_replicas,
+                                    opts_.ack_timeout_ms);
+  ack_wait_->Record(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count());
+  if (!acked) {
     return Status::Internal(
         "write staged locally but not acked by " +
         std::to_string(opts_.min_ack_replicas) + " replica(s) within " +
@@ -241,8 +269,52 @@ uint16_t ReplicationNode::port() const {
 }
 
 uint64_t ReplicationNode::applied_seq() const {
-  if (role_.load() == Role::kLeader) return log_.end_seq();
-  return replica_.applied_seq();
+  // The mirror log tracks applies for followers too, and a deposed
+  // leader's data lives only in its log (its replica position is stale
+  // from before its reign) — so the max is the node's true position.
+  // The controller ranks promotion candidates with this; under-reporting
+  // a deposed-but-alive leader would elect a behind follower and
+  // truncate acked writes.
+  return std::max(log_.end_seq(), replica_.applied_seq());
+}
+
+std::string ReplicationNode::ReplicationStatusJson() const {
+  std::shared_ptr<WalShipper> shipper;
+  uint64_t last_publish = 0;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    shipper = shipper_;
+    last_publish = last_publish_seq_;
+  }
+  char buf[256];
+  std::string out;
+  out.reserve(512);
+  std::snprintf(buf, sizeof(buf),
+                "{\"node_id\":%d,\"role\":\"%s\",\"term\":%" PRIu64
+                ",\"applied_seq\":%" PRIu64 ",\"last_publish_seq\":%" PRIu64
+                ",\"log_start_seq\":%" PRIu64 ",\"log_end_seq\":%" PRIu64
+                ",\"ms_since_leader_contact\":%.1f,\"followers\":[",
+                opts_.node_id,
+                role_.load() == Role::kLeader ? "LEADER" : "FOLLOWER",
+                term_.load(), applied_seq(), last_publish, log_.start_seq(),
+                log_.end_seq(), MsSinceLeaderContact());
+  out += buf;
+  if (shipper != nullptr) {
+    // Progress() takes the shipper's own mutex (then the log's); both sit
+    // below write_mu_ in the lock order, and neither is held here.
+    bool first = true;
+    for (const WalShipper::FollowerProgress& p : shipper->Progress()) {
+      if (!first) out += ',';
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"node_id\":%d,\"acked_seq\":%" PRIu64
+                    ",\"lag_records\":%" PRIu64 ",\"lag_ms\":%.1f}",
+                    p.node_id, p.acked_seq, p.lag_records, p.lag_ms);
+      out += buf;
+    }
+  }
+  out += "]}";
+  return out;
 }
 
 std::string ReplicationNode::BuildCatchUpPayload() {

@@ -83,6 +83,11 @@ class ReplicationNode {
   void BecomeLeader(uint64_t term,
                     const std::vector<WalShipper::FollowerInfo>& followers);
   void StepDown(uint64_t term);
+  /// Failover fencing: raises this node's term under the replica lock
+  /// so batches from any older term are rejected from here on. Called
+  /// on every reachable node before the controller picks a promotion
+  /// candidate (see Replica::FenceTerm).
+  void FenceTerm(uint64_t term);
   void AddFollower(const WalShipper::FollowerInfo& follower);
   bool HasFollower(int node_id) const;
 
@@ -114,7 +119,17 @@ class ReplicationNode {
   WalShipper* shipper() { return shipper_.get(); }
   const EventLog& events() const { return events_; }
 
+  /// Replication status document served as the kStats "replication"
+  /// value: role, term, log positions, leader-contact age, and (as
+  /// leader) per-follower acked seq + lag in records and milliseconds.
+  /// Safe from any thread; never blocks on the write path's ack wait.
+  std::string ReplicationStatusJson() const;
+
  private:
+  /// Server options for Start/Restart: the configured template plus the
+  /// replication handler, fault fallback, and the kStats introspection
+  /// hooks (label, replication status, node events).
+  TileServer::Options ServerOptions();
   /// Captures a catch-up snapshot of the current state (consistent with
   /// the last publish marker); empty string when not leader.
   std::string BuildCatchUpPayload();
@@ -143,6 +158,10 @@ class ReplicationNode {
   std::shared_ptr<WalShipper> shipper_;  // under write_mu_; live as leader
   uint64_t last_publish_seq_ = 0;        // under write_mu_
   uint64_t leader_term_ = 0;             // term of our last election
+
+  /// "replication.ack_wait" — time the write path spent blocked in the
+  /// semi-synchronous ack gate (exported as a _seconds histogram).
+  LatencyHistogram* ack_wait_ = nullptr;
 };
 
 }  // namespace hdmap

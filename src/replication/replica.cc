@@ -199,6 +199,22 @@ ReplicationHandler::Reply Replica::AckReply(const ReplAck& ack) const {
   return reply;
 }
 
+void Replica::FenceTerm(uint64_t term) {
+  std::function<void(uint64_t)> notify;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t observed = opts_.term->load(std::memory_order_acquire);
+    if (observed >= term) return;
+    while (observed < term &&
+           !opts_.term->compare_exchange_weak(observed, term)) {
+    }
+    notify = opts_.on_higher_term;
+  }
+  // Outside mu_ (unlike OnShip's in-batch path) purely for symmetry with
+  // the controller's call site; StepDown only takes the node write lock.
+  if (notify) notify(term);
+}
+
 uint64_t Replica::next_seq() const {
   std::lock_guard<std::mutex> lock(mu_);
   return next_seq_;

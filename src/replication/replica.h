@@ -91,6 +91,16 @@ class Replica : public ReplicationHandler {
   /// the node wholesale. Nothing is applied in between.
   void ForceCatchUp();
 
+  /// Failover fencing: forwards the shared term to `term` under the
+  /// replica lock, so once this returns no batch from an older term can
+  /// be applied or acked. The controller fences every reachable node
+  /// BEFORE choosing a promotion candidate — otherwise a falsely-dead
+  /// leader could keep acking writes during the promote window, and
+  /// those acked records would be truncated by the new leader's
+  /// history. Invokes on_higher_term exactly like an observed ship
+  /// batch would.
+  void FenceTerm(uint64_t term);
+
   /// Simulated network partition: while set, every request is rejected
   /// with kError/kInternal before any state is touched — to the leader
   /// this node is unreachable.

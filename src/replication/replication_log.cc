@@ -19,6 +19,7 @@ uint64_t ReplicationLog::Append(ReplRecordKind kind, uint64_t term,
   record.version = version;
   record.payload = std::move(payload);
   records_.push_back(std::move(record));
+  stamps_.push_back(std::chrono::steady_clock::now());
   return records_.back().seq;
 }
 
@@ -30,6 +31,7 @@ Status ReplicationLog::AppendReplicated(const ReplRecord& record) {
         " is not the next position " + std::to_string(next_seq_));
   }
   records_.push_back(record);
+  stamps_.push_back(std::chrono::steady_clock::now());
   ++next_seq_;
   return Status::Ok();
 }
@@ -52,6 +54,7 @@ Result<size_t> ReplicationLog::InitFromWal(const PatchWal& wal, uint64_t term,
     record.version = rec.version_hint;
     record.payload = SerializePatch(rec.patch);
     records_.push_back(std::move(record));
+    stamps_.push_back(std::chrono::steady_clock::now());
   }
   return records_.size();
 }
@@ -84,12 +87,14 @@ void ReplicationLog::TrimToCapacity(uint64_t keep_from_seq) {
   while (records_.size() > capacity_ &&
          records_.front().seq < keep_from_seq) {
     records_.pop_front();
+    stamps_.pop_front();
   }
 }
 
 void ReplicationLog::ResetTo(uint64_t next_seq) {
   std::lock_guard<std::mutex> lock(mu_);
   records_.clear();
+  stamps_.clear();
   next_seq_ = next_seq == 0 ? 1 : next_seq;
 }
 
@@ -106,6 +111,17 @@ uint64_t ReplicationLog::end_seq() const {
 size_t ReplicationLog::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return records_.size();
+}
+
+double ReplicationLog::OldestPendingAgeMs(uint64_t next_seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.empty() || next_seq >= next_seq_) return 0.0;
+  uint64_t start = records_.front().seq;
+  if (next_seq < start) return 0.0;  // Trimmed: age unknowable.
+  size_t index = static_cast<size_t>(next_seq - start);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - stamps_[index])
+      .count();
 }
 
 }  // namespace hdmap

@@ -1,6 +1,7 @@
 #ifndef HDMAP_REPLICATION_REPLICATION_LOG_H_
 #define HDMAP_REPLICATION_REPLICATION_LOG_H_
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -72,11 +73,22 @@ class ReplicationLog {
   uint64_t end_seq() const;
   size_t size() const;
 
+  /// Milliseconds since the record at `next_seq` (a follower's next
+  /// expected position) was appended here — the replication lag in time
+  /// units, from the leader's clock. 0 when the follower is caught up
+  /// (next_seq past the end) or the record was already trimmed (age is
+  /// then unknowable; the record count still shows the lag).
+  double OldestPendingAgeMs(uint64_t next_seq) const;
+
  private:
   mutable std::mutex mu_;
   size_t capacity_;
   uint64_t next_seq_ = 1;
   std::deque<ReplRecord> records_;
+  /// Append instants, parallel to records_ (stamps_[i] is records_[i]'s);
+  /// feeds OldestPendingAgeMs. Kept out of ReplRecord: the stamp is
+  /// shipper-side bookkeeping, not wire state.
+  std::deque<std::chrono::steady_clock::time_point> stamps_;
 };
 
 }  // namespace hdmap

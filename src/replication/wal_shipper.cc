@@ -37,6 +37,17 @@ void WalShipper::AddFollower(const FollowerInfo& follower) {
   }
   auto session = std::make_unique<Session>();
   session->info = follower;
+  if (opts_.metrics != nullptr) {
+    std::string tag = "{FOLLOWER" + std::to_string(follower.node_id) + "}";
+    session->lag_records_gauge =
+        opts_.metrics->GetGauge("replication.lag_records" + tag);
+    session->lag_ms_gauge = opts_.metrics->GetGauge("replication.lag_ms" + tag);
+    opts_.metrics->SetHelp("replication.lag_records",
+                           "Records this follower trails the leader's log by");
+    opts_.metrics->SetHelp(
+        "replication.lag_ms",
+        "Age of this follower's oldest unacked record, leader clock");
+  }
   Session* raw = session.get();
   sessions_.push_back(std::move(session));
   raw->thread = std::thread([this, raw] { RunSession(raw); });
@@ -113,6 +124,25 @@ uint64_t WalShipper::AckedSeq(int node_id) const {
   return 0;
 }
 
+std::vector<WalShipper::FollowerProgress> WalShipper::Progress() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FollowerProgress> out;
+  out.reserve(sessions_.size());
+  uint64_t end = opts_.log != nullptr ? opts_.log->end_seq() : 0;
+  for (const auto& session : sessions_) {
+    FollowerProgress progress;
+    progress.node_id = session->info.node_id;
+    progress.acked_seq = session->acked_seq.load(std::memory_order_acquire);
+    progress.lag_records =
+        end > progress.acked_seq ? end - progress.acked_seq : 0;
+    progress.lag_ms = opts_.log != nullptr
+                          ? opts_.log->OldestPendingAgeMs(progress.acked_seq + 1)
+                          : 0.0;
+    out.push_back(progress);
+  }
+  return out;
+}
+
 bool WalShipper::Exchange(NetClient& client, Session* session,
                           NetRequestType type, std::string payload,
                           ReplAck* ack) {
@@ -168,6 +198,12 @@ void WalShipper::RunSession(Session* session) {
     if (opts_.partitioned && opts_.partitioned()) continue;
 
     uint64_t term = opts_.term->load(std::memory_order_acquire);
+
+    // Each exchange runs under its own root span: the ambient context it
+    // installs is what NetClient::Send stamps into the outgoing frame,
+    // so the follower's server-side net.request span parents under the
+    // leader's shipping trace (one replication RPC, one tree).
+    TraceSpan ship_span("repl.ship", TraceSpan::kRoot, opts_.trace);
 
     // Gather what the follower needs: log records from its position, or a
     // snapshot when that position was trimmed away (or the follower asked).
@@ -247,6 +283,15 @@ void WalShipper::RunSession(Session* session) {
     next = ack.next_seq;
     uint64_t acked = ack.next_seq == 0 ? 0 : ack.next_seq - 1;
     session->acked_seq.store(acked, std::memory_order_release);
+    if (session->lag_records_gauge != nullptr) {
+      // Per-follower lag after every ack: in records against the current
+      // log end, and in leader-clock milliseconds as the age of the
+      // oldest record the follower has not acked (0 when caught up).
+      uint64_t end = opts_.log->end_seq();
+      session->lag_records_gauge->Set(
+          static_cast<double>(end > acked ? end - acked : 0));
+      session->lag_ms_gauge->Set(opts_.log->OldestPendingAgeMs(acked + 1));
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       ack_cv_.notify_all();

@@ -71,6 +71,11 @@ class WalShipper {
     std::function<bool()> partitioned;
     MetricsRegistry* metrics = nullptr;
     FaultInjector* faults = nullptr;
+    /// Recorder for the per-exchange "repl.ship" root spans (the context
+    /// each batch/heartbeat carries over the wire, so a follower's
+    /// net.request spans parent under the leader's shipping trace); null
+    /// uses TraceRecorder::Global().
+    TraceRecorder* trace = nullptr;
     /// An idle session sends an empty batch this often (liveness signal
     /// for the failover detector).
     uint32_t heartbeat_interval_ms = 20;
@@ -109,11 +114,27 @@ class WalShipper {
   /// Highest acked seq for a follower; 0 when unknown.
   uint64_t AckedSeq(int node_id) const;
 
+  /// One follower's shipping position, for introspection (the kStats
+  /// replication document and ClusterInspector lag views).
+  struct FollowerProgress {
+    int node_id = 0;
+    uint64_t acked_seq = 0;
+    uint64_t lag_records = 0;
+    double lag_ms = 0.0;
+  };
+  /// Every follower's progress against the current log end. Consistent
+  /// per entry (each acked_seq is one atomic read), not across entries.
+  std::vector<FollowerProgress> Progress() const;
+
  private:
   struct Session {
     FollowerInfo info;
     std::thread thread;
     std::atomic<uint64_t> acked_seq{0};
+    /// "replication.lag_records{FOLLOWERn}" / "replication.lag_ms{...}"
+    /// gauges, resolved in AddFollower; null without a registry.
+    Gauge* lag_records_gauge = nullptr;
+    Gauge* lag_ms_gauge = nullptr;
   };
 
   void RunSession(Session* session);

@@ -690,6 +690,16 @@ ServiceHealth MapService::Health() const {
              : ServiceHealth::kServing;
 }
 
+std::string_view ServiceHealthToString(ServiceHealth health) {
+  switch (health) {
+    case ServiceHealth::kServing:
+      return "SERVING";
+    case ServiceHealth::kDegraded:
+      return "DEGRADED";
+  }
+  return "UNKNOWN";
+}
+
 Result<std::vector<std::string>> MapService::PatchesSince(
     uint64_t from_version, uint64_t* reached_version) const {
   auto snap = snapshot();

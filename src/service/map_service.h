@@ -10,6 +10,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/event_log.h"
@@ -75,6 +76,10 @@ enum class ServiceHealth {
   /// paths that can replace the corrupt bytes.
   kDegraded,
 };
+
+/// "SERVING" / "DEGRADED" — the wire spelling kStats responses and the
+/// ClusterInspector's cluster view use.
+std::string_view ServiceHealthToString(ServiceHealth health);
 
 /// The serving front door of the map ecosystem (the workload of Pannen et
 /// al. [44] / Qi et al. [47]: fleets read regions and patches land

@@ -112,5 +112,35 @@ TEST(EventLogTest, TypeToStringCoversEveryType) {
             "RECOVERY_SUMMARY");
 }
 
+TEST(EventLogTest, TypeFromStringInvertsTypeToString) {
+  for (uint8_t raw = 0;
+       raw <= static_cast<uint8_t>(EventLog::Type::kReplicaCatchUp); ++raw) {
+    EventLog::Type type = static_cast<EventLog::Type>(raw);
+    EventLog::Type back = EventLog::Type::kQuarantinedTile;
+    ASSERT_TRUE(
+        EventLog::TypeFromString(EventLog::TypeToString(type), &back));
+    EXPECT_EQ(back, type);
+  }
+  EventLog::Type out = EventLog::Type::kSlowRequest;
+  EXPECT_FALSE(EventLog::TypeFromString("NOT_A_TYPE", &out));
+  EXPECT_EQ(out, EventLog::Type::kSlowRequest);  // Untouched on failure.
+}
+
+TEST(EventLogTest, AppendJsonEmitsWireShape) {
+  EventLog::Event event;
+  event.seq = 3;
+  event.unix_ms = 1754700000200;
+  event.type = EventLog::Type::kSlowRequest;
+  event.code = StatusCode::kOk;
+  event.trace_id = 18446744073709551615ull;
+  event.detail = "took 1.2s \"budget\"\n0.5s";
+  std::string out;
+  EventLog::AppendJson(event, &out);
+  EXPECT_EQ(out,
+            "{\"seq\":3,\"unix_ms\":1754700000200,\"type\":\"SLOW_REQUEST\","
+            "\"code\":\"OK\",\"trace_id\":\"18446744073709551615\","
+            "\"detail\":\"took 1.2s \\\"budget\\\"\\n0.5s\"}");
+}
+
 }  // namespace
 }  // namespace hdmap

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -536,6 +537,41 @@ TEST(JsonRenderTest, SnapshotCarriesTypesAndUnits) {
   reg.GetCounter("bad\"name\nx");
   std::string json2 = reg.RenderJson();
   EXPECT_NE(json2.find("bad\\\"name\\nx"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, NamesReturnsSortedRawKeys) {
+  MetricsRegistry reg;
+  reg.GetCounter("zeta.count");
+  reg.GetGauge("replication.lag_records{FOLLOWER1}");
+  reg.GetLatency("alpha.latency");
+  std::vector<std::string> names = reg.Names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(names[0], "alpha.latency");
+  EXPECT_EQ(names[1], "replication.lag_records{FOLLOWER1}");
+  EXPECT_EQ(names[2], "zeta.count");
+}
+
+TEST(MetricsRegistryTest, ReplicationLagFamiliesRenderWithFollowerLabels) {
+  MetricsRegistry reg;
+  reg.GetGauge("replication.lag_records{FOLLOWER1}")->Set(3);
+  reg.GetGauge("replication.lag_records{FOLLOWER2}")->Set(0);
+  reg.GetGauge("replication.lag_ms{FOLLOWER1}")->Set(12.5);
+  reg.GetLatency("replication.ack_wait")->Record(0.004);
+  std::string prom = reg.RenderPrometheus();
+  // One family header, one series per follower tag.
+  EXPECT_NE(prom.find("# TYPE hdmap_replication_lag_records gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("hdmap_replication_lag_records{tag=\"FOLLOWER1\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("hdmap_replication_lag_records{tag=\"FOLLOWER2\"} 0"),
+            std::string::npos);
+  EXPECT_NE(prom.find("hdmap_replication_lag_ms{tag=\"FOLLOWER1\"} 12.5"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE hdmap_replication_ack_wait_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("hdmap_replication_ack_wait_seconds_count 1"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -110,6 +110,107 @@ TEST(NetProtocolTest, PartialAndViolatingBuffers) {
             FrameParse::kViolation);
 }
 
+TEST(NetProtocolTest, TraceFieldsRoundTripAndStayV1CompatibleWhenAbsent) {
+  NetRequest request;
+  request.type = NetRequestType::kGetTile;
+  request.request_id = 11;
+  request.tile = TileId{3, -2};
+
+  // Untraced: the encoding is byte-identical to protocol v1 — no flag
+  // bit, no trace block, old peers parse it unchanged.
+  std::string plain = EncodeRequestFrame(request);
+  EXPECT_EQ(plain[kNetFrameHeaderSize] & kNetTraceFlag, 0);
+
+  // Traced: the type byte carries the flag, the block rides after
+  // have_version, and every field round-trips.
+  request.trace_id = 0xAABBCCDDEEFF0011ull;
+  request.parent_span_id = 0x1122334455667788ull;
+  request.trace_sampled = true;
+  std::string traced = EncodeRequestFrame(request);
+  EXPECT_NE(traced[kNetFrameHeaderSize] & kNetTraceFlag, 0);
+  EXPECT_EQ(traced.size(), plain.size() + kNetTraceBlockSize);
+
+  size_t frame_size = 0;
+  std::string_view body;
+  ASSERT_EQ(ExtractFrame(traced, kNetRequestMagic, kMaxNetRequestBody,
+                         &frame_size, &body),
+            FrameParse::kFrame);
+  uint32_t crc = 0;
+  std::memcpy(&crc, traced.data() + 8, sizeof(crc));
+  auto decoded = DecodeRequestBody(body, crc);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, NetRequestType::kGetTile);
+  EXPECT_EQ(decoded->trace_id, 0xAABBCCDDEEFF0011ull);
+  EXPECT_EQ(decoded->parent_span_id, 0x1122334455667788ull);
+  EXPECT_TRUE(decoded->trace_sampled);
+  EXPECT_EQ(decoded->tile, (TileId{3, -2}));
+
+  // An unsampled context round-trips the flag bit too.
+  request.trace_sampled = false;
+  std::string unsampled = EncodeRequestFrame(request);
+  ASSERT_EQ(ExtractFrame(unsampled, kNetRequestMagic, kMaxNetRequestBody,
+                         &frame_size, &body),
+            FrameParse::kFrame);
+  std::memcpy(&crc, unsampled.data() + 8, sizeof(crc));
+  decoded = DecodeRequestBody(body, crc);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->trace_sampled);
+}
+
+TEST(NetProtocolTest, TracedReplicationPayloadSurvivesRoundTrip) {
+  NetRequest request;
+  request.type = NetRequestType::kReplicate;
+  request.request_id = 5;
+  request.payload = std::string("batch-bytes\x00with-nul", 20);
+  request.trace_id = 77;
+  request.parent_span_id = 78;
+  std::string frame = EncodeRequestFrame(request);
+
+  size_t frame_size = 0;
+  std::string_view body;
+  ASSERT_EQ(ExtractFrame(frame, kNetRequestMagic, kMaxNetRequestBody,
+                         &frame_size, &body),
+            FrameParse::kFrame);
+  uint32_t crc = 0;
+  std::memcpy(&crc, frame.data() + 8, sizeof(crc));
+  auto decoded = DecodeRequestBody(body, crc);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->payload, request.payload);
+  EXPECT_EQ(decoded->trace_id, 77u);
+}
+
+TEST(NetProtocolTest, StatsRequestRoundTripAndFormatValidation) {
+  NetRequest request;
+  request.type = NetRequestType::kStats;
+  request.request_id = 9;
+  request.stats_format = NetStatsFormat::kPrometheus;
+  request.stats_max_events = 128;
+  std::string frame = EncodeRequestFrame(request);
+
+  size_t frame_size = 0;
+  std::string_view body;
+  ASSERT_EQ(ExtractFrame(frame, kNetRequestMagic, kMaxNetRequestBody,
+                         &frame_size, &body),
+            FrameParse::kFrame);
+  uint32_t crc = 0;
+  std::memcpy(&crc, frame.data() + 8, sizeof(crc));
+  auto decoded = DecodeRequestBody(body, crc);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, NetRequestType::kStats);
+  EXPECT_EQ(decoded->stats_format, NetStatsFormat::kPrometheus);
+  EXPECT_EQ(decoded->stats_max_events, 128u);
+
+  // An out-of-range format byte is a typed decode error, not UB.
+  std::string bad = frame;
+  bad[kNetFrameHeaderSize + 1 + 8 + 8] = 7;
+  ASSERT_EQ(ExtractFrame(bad, kNetRequestMagic, kMaxNetRequestBody,
+                         &frame_size, &body),
+            FrameParse::kFrame);
+  uint32_t bad_crc = Crc32(body);
+  EXPECT_EQ(DecodeRequestBody(body, bad_crc).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(NetProtocolTest, DeltaPayloadRoundtrip) {
   std::vector<std::string> patches = {"alpha", std::string(1000, 'x'), ""};
   std::string payload = EncodeDeltaPayload(patches);
@@ -441,7 +542,7 @@ TEST(NetServerTest, GarbageStreamClosesConnection) {
   EXPECT_TRUE(fresh.Ping().ok());
 }
 
-TEST(NetServerTest, RequestTraceIsOneTreeRootedAtNetRequest) {
+TEST(NetServerTest, RequestTraceIsOneTreeRootedAtNetClientCall) {
   TraceRecorder& recorder = TraceRecorder::Global();
   TraceRecorder::Options trace_options;
   trace_options.enabled = true;
@@ -456,27 +557,137 @@ TEST(NetServerTest, RequestTraceIsOneTreeRootedAtNetRequest) {
     EXPECT_EQ(response->code, NetResponseCode::kOk);
   }
 
-  uint64_t net_trace = 0;
+  // The client call is the cross-process root; its context travels in
+  // the request frame, so the server-side net.request joins the SAME
+  // trace as a child instead of rooting a second one.
+  uint64_t client_trace = 0;
+  uint64_t client_span = 0;
+  for (const TraceEvent& event : recorder.Snapshot()) {
+    if (std::string_view(event.name) == "net_client.call" &&
+        event.parent_span_id == 0) {
+      client_trace = event.trace_id;
+      client_span = event.span_id;
+    }
+  }
+  ASSERT_NE(client_trace, 0u);
   uint64_t net_span = 0;
   for (const TraceEvent& event : recorder.Snapshot()) {
     if (std::string_view(event.name) == "net.request" &&
-        event.parent_span_id == 0) {
-      net_trace = event.trace_id;
+        event.trace_id == client_trace &&
+        event.parent_span_id == client_span) {
       net_span = event.span_id;
     }
   }
-  ASSERT_NE(net_trace, 0u);
-  // The service endpoint's span joined the net.request trace as a child
-  // instead of starting a second root: one request, one trace tree.
+  ASSERT_NE(net_span, 0u);
+  // And the service endpoint's span hangs under net.request: one
+  // request, one tree, three layers, two processes' worth of spans.
   bool service_child = false;
   for (const TraceEvent& event : recorder.Snapshot()) {
     if (std::string_view(event.name) == "map_service.get_region" &&
-        event.trace_id == net_trace && event.parent_span_id == net_span) {
+        event.trace_id == client_trace && event.parent_span_id == net_span) {
       service_child = true;
     }
   }
   EXPECT_TRUE(service_child);
   recorder.Configure(TraceRecorder::Options{});  // Back to disabled.
+}
+
+TEST(NetServerTest, TracePropagationOffKeepsServerTraceSeparate) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  TraceRecorder::Options trace_options;
+  trace_options.enabled = true;
+  trace_options.sample_every_n = 1;
+  recorder.Configure(trace_options);
+
+  {
+    Harness h;
+    h.client.set_propagate_trace(false);
+    ASSERT_TRUE(h.client.Ping().ok());
+  }
+
+  // With propagation off the frame carries no trace block, so the server
+  // roots its own trace — disjoint from the client's.
+  uint64_t client_trace = 0;
+  for (const TraceEvent& event : recorder.Snapshot()) {
+    if (std::string_view(event.name) == "net_client.call") {
+      client_trace = event.trace_id;
+    }
+  }
+  ASSERT_NE(client_trace, 0u);
+  bool server_rooted_fresh = false;
+  for (const TraceEvent& event : recorder.Snapshot()) {
+    if (std::string_view(event.name) == "net.request") {
+      EXPECT_NE(event.trace_id, client_trace);
+      if (event.parent_span_id == 0) server_rooted_fresh = true;
+    }
+  }
+  EXPECT_TRUE(server_rooted_fresh);
+  recorder.Configure(TraceRecorder::Options{});
+}
+
+TEST(NetServerTest, KStatsServesJsonDocument) {
+  Harness h;
+  ASSERT_TRUE(h.client.Ping().ok());  // Tick at least one counter.
+  auto response = h.client.FetchStats();
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->code, NetResponseCode::kOk);
+  const std::string& doc = response->payload;
+  EXPECT_NE(doc.find("\"node\":{\"label\":\"hdmap\""), std::string::npos);
+  EXPECT_NE(doc.find("\"health\":\"SERVING\""), std::string::npos);
+  // No replication callback configured: the document says so typed-ly.
+  EXPECT_NE(doc.find("\"replication\":null"), std::string::npos);
+  EXPECT_NE(doc.find("\"events\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(doc.find("net.requests"), std::string::npos);
+}
+
+TEST(NetServerTest, KStatsServesPrometheusExposition) {
+  Harness h;
+  ASSERT_TRUE(h.client.Ping().ok());
+  auto response = h.client.FetchStats(NetStatsFormat::kPrometheus);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->code, NetResponseCode::kOk);
+  EXPECT_NE(response->payload.find("# HELP hdmap_"), std::string::npos);
+  EXPECT_NE(response->payload.find("# TYPE hdmap_net_requests_total counter"),
+            std::string::npos);
+}
+
+TEST(NetServerTest, SlowRpcWatchdogForceRecordsTrace) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  TraceRecorder::Options trace_options;
+  trace_options.enabled = true;
+  trace_options.sample_every_n = 0;  // Unsampled: only forced spans record.
+  trace_options.slow_threshold_s = 0.0;
+  recorder.Configure(trace_options);
+
+  EventLog watchdog_log(16);
+  {
+    TileServer::Options options;
+    options.handler_delay_ms_for_test = 20;  // Applies on the fetch path.
+    Harness h(options);
+    h.client.set_slow_rpc_watchdog(/*budget_s=*/0.001, &watchdog_log);
+    TileId id = h.service.snapshot()->tiles.AllTiles().front();
+    auto response = h.client.GetTile(id);
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->code, NetResponseCode::kOk);
+  }
+
+  // The budget was blown, so the watchdog appended a SLOW_REQUEST event
+  // carrying the call's trace id — and force-recorded the span despite
+  // sampling being off, so the id resolves in the ring.
+  std::vector<EventLog::Event> events = watchdog_log.Recent();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, EventLog::Type::kSlowRequest);
+  ASSERT_NE(events[0].trace_id, 0u);
+  bool span_recorded = false;
+  for (const TraceEvent& event : recorder.Snapshot()) {
+    if (std::string_view(event.name) == "net_client.call" &&
+        event.trace_id == events[0].trace_id) {
+      span_recorded = true;
+    }
+  }
+  EXPECT_TRUE(span_recorded);
+  recorder.Configure(TraceRecorder::Options{});
 }
 
 TEST(NetServerTest, StopDrainsAdmittedRequests) {

@@ -299,5 +299,47 @@ TEST(TraceRecorderTest, ConfigureResetsRing) {
   EXPECT_EQ(recorder.options().capacity, 32u);
 }
 
+TEST(TraceRecorderTest, ExportCarriesProcessIdAndWallAnchor) {
+  TraceRecorder recorder(EnabledOptions());
+  EXPECT_GT(recorder.wall_anchor_us(), 0);
+  { TraceSpan span("net.request", TraceSpan::kRoot, &recorder); }
+  std::string json = recorder.ExportChromeTraceJson(7, "node-7");
+  // The process-name metadata record labels the track, and every event
+  // carries the export's pid — what makes multi-node merges readable.
+  EXPECT_NE(json.find("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":7,"
+                      "\"args\":{\"name\":\"node-7\"}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"net.request\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":7,"), std::string::npos);
+  // Anchored timestamps are wall-clock microseconds: far from zero.
+  EXPECT_EQ(json.find("\"ts\":0.0"), std::string::npos);
+  // The no-argument overload defaults to pid 1 / "hdmap" (the v1 shape).
+  std::string legacy = recorder.ExportChromeTraceJson();
+  EXPECT_NE(legacy.find("\"args\":{\"name\":\"hdmap\"}"), std::string::npos);
+}
+
+TEST(TraceSpanTest, ForceRecordOverridesSampling) {
+  TraceRecorder::Options options;
+  options.enabled = true;
+  options.sample_every_n = 0;  // Nothing records by default.
+  options.slow_threshold_s = 0.0;
+  TraceRecorder recorder(options);
+  {
+    TraceSpan dropped("request", TraceSpan::kRoot, &recorder);
+  }
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  uint64_t forced_trace = 0;
+  {
+    TraceSpan forced("request", TraceSpan::kRoot, &recorder);
+    forced.ForceRecord();
+    forced_trace = forced.trace_id();
+  }
+  ASSERT_NE(forced_trace, 0u);
+  std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, forced_trace);
+  EXPECT_FALSE(events[0].sampled);
+}
+
 }  // namespace
 }  // namespace hdmap
